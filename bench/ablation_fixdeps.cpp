@@ -1,0 +1,106 @@
+// Ablation: what FixDeps buys and what it costs.
+//
+// Part 1 (necessity): the unfixed fusion (Fig. 3) is executed next to
+// the sequential program on random inputs; the max element error shows
+// which kernels the naive fusion silently breaks (all but Cholesky).
+//
+// Part 2 (cost): dynamic instruction counts of seq vs the *untiled*
+// fixed program - the pure branching/loop overhead of sinking + fixing,
+// before any tiling benefit (the overhead Figures 7/8 track).
+//
+// Part 3 (copy-array merging, Theorems 3/4): extra memory introduced by
+// ElimRW with the merged copy arrays, versus the worst case the paper
+// contrasts against (array expansion: one extra N x N x L array).
+#include <cmath>
+
+#include "bench_util.h"
+#include "interp/observer.h"
+
+using namespace fixfuse;
+using namespace fixfuse::kernels;
+
+namespace {
+
+native::Matrix runA(const ir::Program& p,
+                    const std::map<std::string, std::int64_t>& params,
+                    const std::map<std::string, native::Matrix>& init,
+                    interp::CountingObserver* obs = nullptr) {
+  interp::Machine m(p, params);
+  for (const auto& [nm, mat] : init)
+    if (m.hasArray(nm)) m.array(nm).data() = mat;
+  interp::Interpreter it(p, m, obs);
+  it.run();
+  return m.array("A").data();
+}
+
+double maxAbsDiff(const native::Matrix& a, const native::Matrix& b) {
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    d = std::max(d, std::fabs(a[i] - b[i]));
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: FixDeps necessity and overhead\n");
+  std::printf("\n%-9s %18s %18s\n", "kernel", "|seq - fusedRaw|",
+              "|seq - fixed|");
+  for (const std::string name : {"lu", "cholesky", "qr", "jacobi"}) {
+    KernelBundle b = buildKernel(name, {/*tile=*/0});
+    std::int64_t n = 10;
+    std::map<std::string, std::int64_t> params{{"N", n}};
+    if (name == "jacobi") params["M"] = 4;
+    std::map<std::string, native::Matrix> init;
+    init["A"] = name == "cholesky" ? native::spdMatrix(n, 5)
+                                   : native::randomMatrix(n, 5, 0.5, 1.5);
+    native::Matrix seq = runA(b.seq, params, init);
+    native::Matrix fusedRaw = runA(b.fused, params, init);
+    native::Matrix fixed = runA(b.fixed, params, init);
+    std::printf("%-9s %18.3e %18.3e\n", name.c_str(),
+                maxAbsDiff(seq, fusedRaw), maxAbsDiff(seq, fixed));
+  }
+
+  std::printf("\nOverhead of the fixed (untiled) fused code, N = 128:\n");
+  std::printf("%-9s %14s %14s %8s\n", "kernel", "instr seq", "instr fixed",
+              "ratio");
+  for (const std::string name : {"lu", "cholesky", "qr", "jacobi"}) {
+    KernelBundle b = buildKernel(name, {/*tile=*/0});
+    std::int64_t n = 128;
+    std::map<std::string, std::int64_t> params{{"N", n}};
+    if (name == "jacobi") params["M"] = 4;
+    std::map<std::string, native::Matrix> init;
+    init["A"] = name == "cholesky" ? native::spdMatrix(n, 5)
+                                   : native::randomMatrix(n, 5, 0.5, 1.5);
+    interp::CountingObserver so, fo;
+    runA(b.seq, params, init, &so);
+    runA(b.fixed, params, init, &fo);
+    std::printf("%-9s %14llu %14llu %7.2fx\n", name.c_str(),
+                static_cast<unsigned long long>(so.totalInstructions()),
+                static_cast<unsigned long long>(fo.totalInstructions()),
+                static_cast<double>(fo.totalInstructions()) /
+                    static_cast<double>(so.totalInstructions()));
+  }
+  std::printf("\nCopy arrays introduced by ElimRW (Theorems 3/4):\n");
+  std::printf("%-9s %12s %22s\n", "kernel", "copy arrays",
+              "extra doubles (N=128)");
+  for (const std::string name : {"lu", "cholesky", "qr", "jacobi"}) {
+    KernelBundle b = buildKernel(name, {/*tile=*/0});
+    std::size_t hCount = 0, extra = 0;
+    for (const auto& a : b.fixed.arrays)
+      if (a.name.rfind("H_", 0) == 0) {
+        ++hCount;
+        extra += (128 + 1) * (128 + 1);
+      }
+    // Jacobi scalarises L away, so its net extra memory is ~zero.
+    std::printf("%-9s %12zu %22zu%s\n", name.c_str(), hCount, extra,
+                name == "jacobi" ? "  (net ~0: L was scalarised away)" : "");
+  }
+  std::printf(
+      "\nexpected shape: fusedRaw differs (nonzero error) for lu/qr/jacobi "
+      "and matches for cholesky; |seq - fixed| is exactly 0 everywhere; "
+      "the fixed code pays a modest instruction overhead; at most one copy "
+      "array per original array (merged across readers), versus O(N^3) for "
+      "array expansion.\n");
+  return 0;
+}

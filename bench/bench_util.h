@@ -1,0 +1,78 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every binary prints a self-describing table to stdout. By default the
+// sweeps are scaled down so the whole bench suite runs in minutes on a
+// laptop; set FIXFUSE_FULL=1 for paper-scale sweeps (N up to ~2342 at
+// multiples of 238, Jacobi M = 500).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "interp/interp.h"
+#include "kernels/common.h"
+#include "kernels/native.h"
+#include "sim/perf.h"
+
+namespace fixfuse::bench {
+
+inline bool fullRuns() {
+  const char* v = std::getenv("FIXFUSE_FULL");
+  return v && v[0] == '1';
+}
+
+/// The paper's problem sizes: 200..2500 at multiples of 238 ("this
+/// captures some pathological cases about cache misses").
+inline std::vector<std::int64_t> paperSizes() {
+  std::vector<std::int64_t> out{200};
+  for (std::int64_t n = 238; n <= 2500; n += 238) out.push_back(n);
+  return out;
+}
+
+inline double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock seconds of fn(), best of `reps`.
+template <typename Fn>
+double timeBest(Fn&& fn, int reps = 1) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    double t0 = now();
+    fn();
+    double dt = now() - t0;
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+/// Run an IR program under the full Octane2 simulation; arrays initialised
+/// from `init` (by name; missing arrays left zero).
+inline sim::PerfCounts simulate(
+    const ir::Program& p, const std::map<std::string, std::int64_t>& params,
+    const std::map<std::string, kernels::native::Matrix>& init,
+    const sim::CacheConfig& l1 = sim::CacheConfig::octane2L1(),
+    const sim::CacheConfig& l2 = sim::CacheConfig::octane2L2()) {
+  interp::Machine m(p, params);
+  for (const auto& [name, mat] : init)
+    if (m.hasArray(name)) m.array(name).data() = mat;
+  sim::SimObserver obs(l1, l2);
+  interp::Interpreter interp(p, m, &obs);
+  interp.run();
+  return obs.counts();
+}
+
+/// A guard against dead-code elimination of native runs.
+inline void consume(const double* data, std::size_t n) {
+  double s = 0;
+  for (std::size_t i = 0; i < n; i += 97) s += data[i];
+  volatile double sink = s;
+  (void)sink;
+}
+
+}  // namespace fixfuse::bench

@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks of the compiler infrastructure itself:
+// polyhedral operations, dependence analysis, the FixDeps pipeline and
+// interpreter throughput. These guard the tool's own performance (the
+// analyses run at compile time in a real deployment).
+#include <benchmark/benchmark.h>
+
+#include "core/elim.h"
+#include "core/fuse.h"
+#include "core/sink.h"
+#include "deps/analysis.h"
+#include "interp/interp.h"
+#include "kernels/common.h"
+#include "kernels/native.h"
+#include "poly/set.h"
+
+using namespace fixfuse;
+
+namespace {
+
+poly::IntegerSet luDepLikeSet() {
+  using poly::AffineExpr;
+  poly::IntegerSet s({"k_s", "j_s", "i_s", "k_t", "j_t", "i_t"});
+  auto V = [](const char* n) { return AffineExpr::var(n); };
+  s.addRange("k_s", AffineExpr(1), V("N") - AffineExpr(1));
+  s.addRange("j_s", V("k_s") + AffineExpr(1), V("N"));
+  s.addRange("i_s", V("k_s"), V("N"));
+  s.addRange("k_t", AffineExpr(1), V("N") - AffineExpr(1));
+  s.addRange("j_t", V("k_t") + AffineExpr(1), V("N"));
+  s.addRange("i_t", V("k_t"), V("N"));
+  s.addEQ(V("i_s") - V("i_t"));
+  s.addEQ(V("k_s") - V("k_t"));
+  return s;
+}
+
+void BM_FourierMotzkinProjection(benchmark::State& state) {
+  poly::IntegerSet s = luDepLikeSet();
+  for (auto _ : state) {
+    auto r = s.eliminated({"i_s", "j_s", "k_s"});
+    benchmark::DoNotOptimize(r.constraints().size());
+  }
+}
+BENCHMARK(BM_FourierMotzkinProjection);
+
+void BM_ProvablyEmpty(benchmark::State& state) {
+  poly::IntegerSet s = luDepLikeSet();
+  s.addGE(poly::AffineExpr::var("j_t") - poly::AffineExpr::var("j_s") -
+          poly::AffineExpr(1));
+  s.addGE(poly::AffineExpr::var("j_s") - poly::AffineExpr::var("j_t"));
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 1000000);
+  for (auto _ : state) {
+    bool e = s.provablyEmpty(ctx);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_ProvablyEmpty);
+
+void BM_ComputeWCholesky(benchmark::State& state) {
+  auto bundle = kernels::buildCholesky({0});
+  for (auto _ : state) {
+    auto w = deps::computeW(bundle.system, 0);
+    benchmark::DoNotOptimize(w.entries.size());
+  }
+}
+BENCHMARK(BM_ComputeWCholesky);
+
+void BM_FullPipeline(benchmark::State& state) {
+  // The whole compile-side pipeline: build, sink, FixDeps, fuse, tile.
+  for (auto _ : state) {
+    auto b = kernels::buildKernel("jacobi", {16});
+    benchmark::DoNotOptimize(b.fixed.arrays.size());
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  auto b = kernels::buildCholesky({0});
+  std::int64_t n = 64;
+  auto a0 = kernels::native::spdMatrix(n, 1);
+  for (auto _ : state) {
+    interp::Machine m(b.seq, {{"N", n}});
+    m.array("A").data() = a0;
+    interp::Interpreter it(b.seq, m, nullptr);
+    it.run();
+    benchmark::DoNotOptimize(m.array("A").data()[10]);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * n / 6);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Table 1: capability comparison - which of the five methods handles
+// each of the four kernels. The literature rows are the paper's own
+// claims; the "This Work" row is *computed*: for each kernel we run the
+// full pipeline (peel/sink -> FixDeps -> fuse) and verify the result
+// against the Fig. 1 semantics with the interpreter on random inputs.
+#include "bench_util.h"
+#include "interp/interp.h"
+
+using namespace fixfuse;
+using namespace fixfuse::kernels;
+
+namespace {
+
+bool pipelineHandles(const std::string& name) {
+  try {
+    KernelBundle b = buildKernel(name, {/*tile=*/4});
+    std::int64_t n = 8;
+    std::map<std::string, std::int64_t> params{{"N", n}};
+    if (name == "jacobi") params["M"] = 3;
+    std::map<std::string, native::Matrix> init;
+    init["A"] = name == "cholesky" ? native::spdMatrix(n, 5)
+                                   : native::randomMatrix(n, 5, 0.5, 1.5);
+    auto run = [&](const ir::Program& p) {
+      interp::Machine m(p, params);
+      for (const auto& [nm, mat] : init)
+        if (m.hasArray(nm)) m.array(nm).data() = mat;
+      interp::Interpreter it(p, m, nullptr);
+      it.run();
+      return m.array("A").data();
+    };
+    // fixed must match seq; tiled must match its own baseline.
+    if (run(b.seq) != run(b.fixed)) return false;
+    if (run(b.tiledBaseline) != run(b.tiled)) return false;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 1: capability of five methods on the four kernels\n");
+  std::printf("%-34s %4s %4s %9s %7s\n", "method", "LU", "QR", "Cholesky",
+              "Jacobi");
+  // Literature rows as the paper states them (x = cannot handle).
+  std::printf("%-34s %4s %4s %9s %7s\n", "Matrix Factorisations [2]", "yes",
+              "yes", "yes", "x");
+  std::printf("%-34s %4s %4s %9s %7s\n", "Stencil Computations [12]", "x",
+              "x", "x", "yes");
+  std::printf("%-34s %4s %4s %9s %7s\n", "Data Shackling [8]", "yes", "yes",
+              "yes", "x");
+  std::printf("%-34s %4s %4s %9s %7s\n", "Iteration Space Transforms [1]",
+              "x", "x", "yes", "yes");
+  // Our row, computed.
+  const char* lu = pipelineHandles("lu") ? "yes" : "x";
+  const char* qr = pipelineHandles("qr") ? "yes" : "x";
+  const char* ch = pipelineHandles("cholesky") ? "yes" : "x";
+  const char* ja = pipelineHandles("jacobi") ? "yes" : "x";
+  std::printf("%-34s %4s %4s %9s %7s   (computed + verified)\n",
+              "This Work (fixfuse)", lu, qr, ch, ja);
+  bool all = std::string(lu) == "yes" && std::string(qr) == "yes" &&
+             std::string(ch) == "yes" && std::string(ja) == "yes";
+  std::printf("\n%s\n", all ? "PASS: all four kernels handled in the unified "
+                              "framework, as the paper claims."
+                            : "FAIL: some kernel was not handled!");
+  return all ? 0 : 1;
+}

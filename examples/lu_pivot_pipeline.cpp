@@ -1,0 +1,58 @@
+// LU with partial pivoting through the pipeline (paper Figs. 1a/3a/4a):
+// peel, sink (the swap loop lands on the fused i dimension), FixDeps
+// Full-tiles the data-dependent pivot search, and the interpreter plus a
+// linear-system solve validate the result.
+#include <cmath>
+#include <cstdio>
+
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "kernels/common.h"
+#include "kernels/native.h"
+
+using namespace fixfuse;
+using namespace fixfuse::kernels;
+
+int main() {
+  KernelBundle b = buildLu({/*tile=*/32});
+
+  std::printf("== FixDeps log ==\n%s", b.fixLog.str().c_str());
+  std::printf("(the pivot-search nest gets tile sizes [1, 1, Full] - the "
+              "paper's \"tile size N\")\n\n");
+  std::printf("== fixed fused LU (Fig. 4a analogue) ==\n%s\n",
+              ir::printProgram(b.fixed).c_str());
+
+  // Interpreter check: fixed == seq bit for bit.
+  std::int64_t n = 16;
+  native::Matrix a0 = native::randomMatrix(n, 21);
+  auto run = [&](const ir::Program& p) {
+    interp::Machine m(p, {{"N", n}});
+    m.array("A").data() = a0;
+    interp::Interpreter it(p, m, nullptr);
+    it.run();
+    return m.array("A").data();
+  };
+  std::printf("fixed == seq  : %s\n", run(b.fixed) == run(b.seq) ? "yes" : "NO");
+  std::printf("tiled == full-swap baseline : %s\n\n",
+              run(b.tiled) == run(b.tiledBaseline) ? "yes" : "NO");
+
+  // Mathematical check: factor + solve A x = b against a known solution.
+  native::Matrix lu = a0;
+  std::vector<std::int64_t> piv(static_cast<std::size_t>(n + 1), 0);
+  native::luSeqWithPivots(lu.data(), n, piv.data());
+  const std::int64_t lda = n + 1;
+  std::vector<double> rhs(static_cast<std::size_t>(n + 1), 0.0);
+  for (std::int64_t i = 1; i <= n; ++i)
+    for (std::int64_t j = 1; j <= n; ++j)
+      rhs[static_cast<std::size_t>(i)] +=
+          a0[static_cast<std::size_t>(j * lda + i)] * static_cast<double>(j);
+  auto x = native::luSolve(lu.data(), piv.data(), rhs, n);
+  double worst = 0;
+  for (std::int64_t i = 1; i <= n; ++i)
+    worst = std::max(worst, std::fabs(x[static_cast<std::size_t>(i)] -
+                                      static_cast<double>(i)));
+  std::printf("solve residual max|x - xhat| = %.3e (pivoted factorisation "
+              "is numerically sound)\n",
+              worst);
+  return 0;
+}

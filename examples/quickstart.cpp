@@ -1,0 +1,86 @@
+// Quickstart: fix an illegal fusion of two simple loops.
+//
+//   L1: do i = 1, N   A(i) = B(i) + 1
+//   L2: do i = 1, N   C(i) = A(i+2) * 2        <- reads ahead of L1
+//
+// Fusing the two loops at the same iteration makes L2 read A(i+2) before
+// L1 has written it. fixfuse computes the violated dependence, tiles L1
+// with T = d+1 = 3 so it runs "compressed" ahead of schedule, and the
+// fused loop becomes legal. The interpreter verifies the repair.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "codegen/emit_c.h"
+#include "core/elim.h"
+#include "core/fuse.h"
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "ir/rewrite.h"
+
+using namespace fixfuse;
+using namespace fixfuse::ir;
+using poly::AffineExpr;
+
+int main() {
+  // --- describe the two perfect nests and the common fused space ----------
+  deps::NestSystem sys;
+  sys.ctx.addParam("N", 4, 1000000);
+  sys.decls.params = {"N"};
+  sys.decls.declareArray("A", {add(iv("N"), ic(4))});
+  sys.decls.declareArray("B", {add(iv("N"), ic(4))});
+  sys.decls.declareArray("C", {add(iv("N"), ic(4))});
+  sys.decls.body = blockS({});
+  sys.isVars = {"i"};
+  sys.isBounds = {{AffineExpr(1), AffineExpr::var("N")}};
+
+  deps::PerfectNest l1;
+  l1.vars = {"i"};
+  l1.domain = poly::IntegerSet({"i"});
+  l1.domain.addRange("i", AffineExpr(1), AffineExpr::var("N"));
+  l1.body = blockS({aassign("A", {iv("i")}, add(load("B", {iv("i")}), fc(1.0)))});
+  l1.embed = deps::AffineMap{{AffineExpr::var("i")}};
+
+  deps::PerfectNest l2 = l1;
+  l2.body = blockS({aassign("C", {iv("i")},
+                            mul(load("A", {add(iv("i"), ic(2))}), fc(2.0)))});
+  sys.nests = {l1, l2};
+  int id = 0;
+  for (auto& nest : sys.nests)
+    forEachStmt(*nest.body, [&](const Stmt& s) {
+      if (s.kind() == StmtKind::Assign)
+        const_cast<Stmt&>(s).setAssignId(id++);
+    });
+
+  ir::Program seq = core::generateSequentialProgram(sys);
+  ir::Program broken = core::generateFusedProgram(sys);
+
+  // --- FixDeps -------------------------------------------------------------
+  core::FixLog log = core::fixDeps(sys);
+  ir::Program fixed = core::generateFusedProgram(sys);
+
+  std::printf("== what FixDeps did ==\n%s\n", log.str().c_str());
+  std::printf("== fixed fused program ==\n%s\n", printProgram(fixed).c_str());
+
+  // --- verify with the interpreter ------------------------------------------
+  auto init = [](interp::Machine& m) {
+    for (auto& v : m.array("B").data()) v = 1.5;
+    int x = 0;
+    for (auto& v : m.array("A").data()) v = 0.25 * ++x;
+  };
+  interp::Machine ms = interp::runProgram(seq, {{"N", 20}}, init);
+  interp::Machine mb = interp::runProgram(broken, {{"N", 20}}, init);
+  interp::Machine mf = interp::runProgram(fixed, {{"N", 20}}, init);
+  std::printf("max |seq - naive fused| on C : %g (nonzero: the fusion was "
+              "illegal)\n",
+              interp::maxArrayDifference(ms, mb, "C"));
+  std::printf("max |seq - fixed fused| on C : %g (zero: FixDeps repaired "
+              "it)\n\n",
+              interp::maxArrayDifference(ms, mf, "C"));
+
+  // --- export as C -----------------------------------------------------------
+  std::printf("== emitted C ==\n%s\n",
+              codegen::emitC(fixed, {"fused_fixed", true}).c_str());
+  return 0;
+}

@@ -1,0 +1,217 @@
+#include "codegen/emit_c.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace fixfuse::codegen {
+
+using ir::BinOp;
+using ir::CallFn;
+using ir::CmpOp;
+using ir::Expr;
+using ir::ExprKind;
+using ir::Stmt;
+using ir::StmtKind;
+
+namespace {
+
+const char* cmpOpC(CmpOp op) {
+  switch (op) {
+    case CmpOp::EQ: return "==";
+    case CmpOp::NE: return "!=";
+    case CmpOp::LT: return "<";
+    case CmpOp::LE: return "<=";
+    case CmpOp::GT: return ">";
+    case CmpOp::GE: return ">=";
+  }
+  FIXFUSE_UNREACHABLE("cmpOpC");
+}
+
+class Emitter {
+ public:
+  Emitter(const ir::Program& p, const EmitOptions& opts)
+      : p_(p), opts_(opts) {}
+
+  std::string run() {
+    if (opts_.standalone) {
+      os_ << "#include <math.h>\n\n";
+      os_ << "/* floor division and modulus (round toward -inf) */\n";
+      os_ << "static long ff_fdiv(long a, long b) {\n"
+          << "  long q = a / b, r = a % b;\n"
+          << "  if (r != 0 && ((r < 0) != (b < 0))) --q;\n"
+          << "  return q;\n}\n";
+      os_ << "static long ff_mod(long a, long b) {\n"
+          << "  return a - ff_fdiv(a, b) * b;\n}\n";
+      os_ << "static long ff_min(long a, long b) { return a < b ? a : b; }\n";
+      os_ << "static long ff_max(long a, long b) { return a > b ? a : b; }\n\n";
+    }
+    // Array access macros.
+    for (const auto& a : p_.arrays) {
+      os_ << "#define " << a.name << "_AT(";
+      for (std::size_t d = 0; d < a.extents.size(); ++d)
+        os_ << (d ? ", " : "") << "d" << d;
+      os_ << ") " << a.name << "_[";
+      // Column-major linearisation (first index fastest, matching the
+      // interpreter's machine layout): d0 + e0*(d1 + e1*(d2 + ...)).
+      std::size_t rank = a.extents.size();
+      std::string lin = "(d" + std::to_string(rank - 1) + ")";
+      for (std::size_t d = rank - 1; d-- > 0;)
+        lin = "((d" + std::to_string(d) + ") + (" + emitExpr(*a.extents[d]) +
+              ") * " + lin + ")";
+      os_ << lin << "]\n";
+    }
+    os_ << "\nvoid " << opts_.functionName << "(";
+    bool first = true;
+    for (const auto& prm : p_.params) {
+      os_ << (first ? "" : ", ") << "long " << prm;
+      first = false;
+    }
+    for (const auto& a : p_.arrays) {
+      os_ << (first ? "" : ", ") << "double* " << a.name << "_";
+      first = false;
+    }
+    os_ << ") {\n";
+    for (const auto& s : p_.scalars)
+      os_ << "  " << (s.type == ir::Type::Int ? "long" : "double") << " "
+          << s.name << " = 0;\n";
+    if (p_.body) emitStmt(*p_.body, 1);
+    os_ << "}\n";
+    for (const auto& a : p_.arrays) os_ << "#undef " << a.name << "_AT\n";
+    return os_.str();
+  }
+
+ private:
+  std::string emitExpr(const Expr& e) {
+    std::ostringstream s;
+    switch (e.kind()) {
+      case ExprKind::IntConst:
+        s << e.intValue() << "L";
+        break;
+      case ExprKind::FloatConst: {
+        s.precision(17);
+        s << e.floatValue();
+        std::string t = s.str();
+        if (t.find('.') == std::string::npos &&
+            t.find('e') == std::string::npos)
+          t += ".0";
+        return t;
+      }
+      case ExprKind::VarRef:
+      case ExprKind::ScalarLoad:
+        s << e.name();
+        break;
+      case ExprKind::Binary:
+        switch (e.binOp()) {
+          case BinOp::Add:
+            s << "(" << emitExpr(*e.lhs()) << " + " << emitExpr(*e.rhs()) << ")";
+            break;
+          case BinOp::Sub:
+            s << "(" << emitExpr(*e.lhs()) << " - " << emitExpr(*e.rhs()) << ")";
+            break;
+          case BinOp::Mul:
+            s << "(" << emitExpr(*e.lhs()) << " * " << emitExpr(*e.rhs()) << ")";
+            break;
+          case BinOp::Div:
+            s << "(" << emitExpr(*e.lhs()) << " / " << emitExpr(*e.rhs()) << ")";
+            break;
+          case BinOp::FloorDiv:
+            s << "ff_fdiv(" << emitExpr(*e.lhs()) << ", " << emitExpr(*e.rhs())
+              << ")";
+            break;
+          case BinOp::Mod:
+            s << "ff_mod(" << emitExpr(*e.lhs()) << ", " << emitExpr(*e.rhs())
+              << ")";
+            break;
+          case BinOp::Min:
+            s << "ff_min(" << emitExpr(*e.lhs()) << ", " << emitExpr(*e.rhs())
+              << ")";
+            break;
+          case BinOp::Max:
+            s << "ff_max(" << emitExpr(*e.lhs()) << ", " << emitExpr(*e.rhs())
+              << ")";
+            break;
+        }
+        break;
+      case ExprKind::ArrayLoad: {
+        s << e.name() << "_AT(";
+        for (std::size_t d = 0; d < e.indices().size(); ++d)
+          s << (d ? ", " : "") << emitExpr(*e.indices()[d]);
+        s << ")";
+        break;
+      }
+      case ExprKind::Call:
+        s << (e.callFn() == CallFn::Sqrt ? "sqrt" : "fabs") << "("
+          << emitExpr(*e.operand()) << ")";
+        break;
+      case ExprKind::Compare:
+        s << "(" << emitExpr(*e.lhs()) << " " << cmpOpC(e.cmpOp()) << " "
+          << emitExpr(*e.rhs()) << ")";
+        break;
+      case ExprKind::BoolBinary:
+        s << "(" << emitExpr(*e.lhs())
+          << (e.boolOp() == ir::BoolOp::And ? " && " : " || ")
+          << emitExpr(*e.rhs()) << ")";
+        break;
+      case ExprKind::BoolNot:
+        s << "(!" << emitExpr(*e.operand()) << ")";
+        break;
+      case ExprKind::Select:
+        s << "(" << emitExpr(*e.selectCond()) << " ? " << emitExpr(*e.lhs())
+          << " : " << emitExpr(*e.rhs()) << ")";
+        break;
+    }
+    return s.str();
+  }
+
+  void emitStmt(const Stmt& st, int indent) {
+    std::string pad = repeat("  ", indent);
+    switch (st.kind()) {
+      case StmtKind::Assign: {
+        const ir::LValue& lhs = st.lhs();
+        if (lhs.isScalar()) {
+          os_ << pad << lhs.name << " = " << emitExpr(*st.rhs()) << ";\n";
+        } else {
+          os_ << pad << lhs.name << "_AT(";
+          for (std::size_t d = 0; d < lhs.indices.size(); ++d)
+            os_ << (d ? ", " : "") << emitExpr(*lhs.indices[d]);
+          os_ << ") = " << emitExpr(*st.rhs()) << ";\n";
+        }
+        return;
+      }
+      case StmtKind::If:
+        os_ << pad << "if " << emitExpr(*st.cond()) << " {\n";
+        emitStmt(*st.thenBody(), indent + 1);
+        if (st.elseBody()) {
+          os_ << pad << "} else {\n";
+          emitStmt(*st.elseBody(), indent + 1);
+        }
+        os_ << pad << "}\n";
+        return;
+      case StmtKind::Loop:
+        os_ << pad << "for (long " << st.loopVar() << " = "
+            << emitExpr(*st.lowerBound()) << "; " << st.loopVar()
+            << " <= " << emitExpr(*st.upperBound()) << "; ++" << st.loopVar()
+            << ") {\n";
+        emitStmt(*st.loopBody(), indent + 1);
+        os_ << pad << "}\n";
+        return;
+      case StmtKind::Block:
+        for (const auto& s : st.stmts()) emitStmt(*s, indent);
+        return;
+    }
+  }
+
+  const ir::Program& p_;
+  const EmitOptions& opts_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string emitC(const ir::Program& p, const EmitOptions& opts) {
+  return Emitter(p, opts).run();
+}
+
+}  // namespace fixfuse::codegen

@@ -1,0 +1,26 @@
+// C code emission from the loop-nest IR.
+//
+// Emits a self-contained, compilable C function for a Program: integer
+// parameters become `long` arguments, arrays become `double*` arguments
+// with row-major macro indexing, scalars become locals. Used to inspect
+// the transformed kernels (the artifacts the paper's Fig. 4 shows) and to
+// export them for external compilation; the test suite syntax-checks the
+// emitted code with the host compiler.
+#pragma once
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace fixfuse::codegen {
+
+struct EmitOptions {
+  std::string functionName = "kernel";
+  /// Emit `#include <math.h>` and helper macros (off when embedding into
+  /// a larger translation unit that already has them).
+  bool standalone = true;
+};
+
+std::string emitC(const ir::Program& p, const EmitOptions& opts = {});
+
+}  // namespace fixfuse::codegen

@@ -1,0 +1,605 @@
+#include "core/elim.h"
+
+#include <map>
+#include <sstream>
+
+#include "core/scan.h"
+#include "ir/affine_bridge.h"
+#include "ir/rewrite.h"
+#include "support/error.h"
+
+namespace fixfuse::core {
+
+using deps::Access;
+using deps::AccessPairDep;
+using deps::DepKind;
+using deps::NestSystem;
+using deps::PerfectNest;
+using deps::TileSize;
+using ir::ExprPtr;
+using ir::StmtPtr;
+using poly::AffineExpr;
+using poly::Constraint;
+using poly::IntegerSet;
+using poly::PresburgerSet;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// ElimWW_WR helpers
+// ---------------------------------------------------------------------------
+
+/// Does the fuse-codegen restriction accept these sizes for this system?
+bool sizesStructurallyOk(const NestSystem& sys,
+                         const std::vector<TileSize>& sizes) {
+  for (std::size_t j = 0; j < sys.dims(); ++j) {
+    if (sizes[j].isUnit()) continue;
+    for (std::size_t u = 0; u < j; ++u) {
+      if (sizes[u].isUnit()) continue;
+      bool refs = sys.isBounds[j].first.uses(sys.isVars[u]) ||
+                  sys.isBounds[j].second.uses(sys.isVars[u]);
+      if (refs && !(sizes[j].isFull() && sizes[u].isFull())) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<TileSize> fullPrefix(std::size_t n, std::size_t m) {
+  std::vector<TileSize> sizes(n, TileSize::of(1));
+  for (std::size_t i = 0; i < m; ++i) sizes[i] = TileSize::full();
+  return sizes;
+}
+
+}  // namespace
+
+void elimFlowOutput(NestSystem& sys, FixLog* log) {
+  sys.validate();
+  const std::size_t n = sys.dims();
+  if (sys.nests.size() < 2) return;
+  for (std::size_t k = sys.nests.size() - 1; k-- > 0;) {
+    deps::WSet w = deps::computeW(sys, k);
+    if (w.empty()) continue;
+
+    auto dists = deps::distanceBounds(sys, w);
+    // m = outermost span of loops carrying violated dependences
+    // (largest index with d_i > 0, 1-based).
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!dists[i].zero) m = i + 1;
+    FIXFUSE_CHECK(m > 0, "W(k) nonempty but all distances are zero");
+
+    std::vector<TileSize> sizes(n, TileSize::of(1));
+    for (std::size_t i = 0; i < m; ++i) {
+      if (dists[i].zero)
+        sizes[i] = TileSize::of(1);
+      else if (dists[i].bounded)
+        sizes[i] = TileSize::of(dists[i].bound + 1);
+      else
+        sizes[i] = TileSize::full();
+    }
+
+    FixLog::TileAction action;
+    action.nest = k;
+    action.wSize = w.entries.size();
+    action.dists = dists;
+
+    auto apply = [&](const std::vector<TileSize>& s) {
+      sys.nests[k].tileSizes = s;
+      return deps::computeW(sys, k).empty();
+    };
+
+    bool done = false;
+    if (sizesStructurallyOk(sys, sizes) &&
+        deps::tilingLegalForNest(sys, k, sizes)) {
+      done = apply(sizes);
+    }
+    if (!done) {
+      // Escalate: one Full tile over the whole dependence-carrying span -
+      // the nest then runs entirely at the slice origin, which is always
+      // legal and discharges every backward dependence out of it.
+      for (std::size_t span = m; span <= n && !done; ++span) {
+        std::vector<TileSize> esc = fullPrefix(n, span);
+        if (!sizesStructurallyOk(sys, esc)) continue;
+        if (!deps::tilingLegalForNest(sys, k, esc)) continue;
+        done = apply(esc);
+        if (done) {
+          sizes = esc;
+          action.escalatedToFull = true;
+        }
+      }
+    }
+    if (!done) {
+      sys.nests[k].tileSizes.clear();
+      throw UnsupportedError(
+          "ElimWW_WR could not discharge the violated flow/output "
+          "dependences of nest " +
+          std::to_string(k));
+    }
+    action.sizes = sizes;
+    if (log) log->tiles.push_back(std::move(action));
+  }
+  FIXFUSE_CHECK(deps::flowOutputViolationsFixed(sys),
+                "ElimWW_WR post-condition failed");
+}
+
+// ---------------------------------------------------------------------------
+// ElimRW helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Project a relation onto the given (leading) variables; requires the
+/// projection to be exact when `requireExact` is set.
+PresburgerSet projectOnto(const PresburgerSet& rel,
+                          const std::vector<std::string>& keep,
+                          bool requireExact) {
+  PresburgerSet out(keep);
+  for (const auto& piece : rel.pieces()) {
+    std::vector<std::string> drop;
+    for (const auto& v : piece.vars())
+      if (std::find(keep.begin(), keep.end(), v) == keep.end())
+        drop.push_back(v);
+    IntegerSet p = piece.eliminated(drop);
+    if (requireExact && !p.exact())
+      throw UnsupportedError(
+          "inexact projection while building a copy guard / C_R condition");
+    FIXFUSE_CHECK(p.vars() == keep, "projection variable order changed");
+    out.addPiece(std::move(p));
+  }
+  return out;
+}
+
+/// Rename the suffixed variables of a projected set back to the nest's
+/// plain variable names.
+PresburgerSet unsuffix(const PresburgerSet& s,
+                       const std::vector<std::string>& suffixedVars,
+                       const std::vector<std::string>& plainVars) {
+  PresburgerSet out = s;
+  for (std::size_t i = 0; i < suffixedVars.size(); ++i)
+    out = out.renamed(suffixedVars[i], plainVars[i]);
+  return out;
+}
+
+/// Bool guard expression for a union of conjunctions, pruned against a
+/// context domain. Returns nullptr when the guard is trivially true
+/// (some piece prunes to no constraints).
+ExprPtr guardExprFor(const PresburgerSet& s, const IntegerSet& context,
+                     const poly::ParamContext& ctx) {
+  std::vector<std::vector<Constraint>> pieces;
+  for (const auto& piece : s.pieces()) {
+    auto kept = pruneImplied(piece.constraints(), context, ctx);
+    if (kept.empty()) return nullptr;  // piece covers the whole context
+    pieces.push_back(std::move(kept));
+  }
+  FIXFUSE_CHECK(!pieces.empty(), "guard over empty set");
+  return ir::piecesToCond(pieces);
+}
+
+/// Insert `stmt` immediately before the assignment with id `assignId`
+/// inside `body` (searching blocks recursively). Returns true if found.
+/// `stmt` is consumed only on success.
+bool insertBefore(ir::Stmt& body, int assignId, StmtPtr& stmt) {
+  switch (body.kind()) {
+    case ir::StmtKind::Block: {
+      auto& stmts = body.stmtsMutable();
+      for (std::size_t i = 0; i < stmts.size(); ++i) {
+        if (stmts[i]->kind() == ir::StmtKind::Assign &&
+            stmts[i]->assignId() == assignId) {
+          stmts.insert(stmts.begin() + static_cast<std::ptrdiff_t>(i),
+                       std::move(stmt));
+          return true;
+        }
+        if (insertBefore(*stmts[i], assignId, stmt)) return true;
+      }
+      return false;
+    }
+    case ir::StmtKind::If:
+      if (insertBefore(*body.thenBodyMutable(), assignId, stmt)) return true;
+      if (body.elseBodyMutable())
+        return insertBefore(*body.elseBodyMutable(), assignId, stmt);
+      return false;
+    case ir::StmtKind::Loop:
+      return insertBefore(*body.loopBodyMutable(), assignId, stmt);
+    case ir::StmtKind::Assign:
+      return false;
+  }
+  FIXFUSE_UNREACHABLE("insertBefore");
+}
+
+/// Replace reads of `array` with matching affine subscripts inside the
+/// assignment `assignId` of `body` by select(cond, H[subs], A[subs]).
+struct ReadRedirect {
+  std::string array;
+  std::string copyArray;
+  bool isScalar = false;
+  ir::Type scalarType = ir::Type::Float;
+  std::vector<AffineExpr> subscripts;  // which read to redirect
+  ExprPtr cond;                        // nullptr = unconditional
+  int assignId = -1;
+  std::size_t* counter = nullptr;
+};
+
+ExprPtr redirectExpr(const ExprPtr& e, const ReadRedirect& r);
+
+std::vector<ExprPtr> redirectAll(const std::vector<ExprPtr>& es,
+                                 const ReadRedirect& r) {
+  std::vector<ExprPtr> out;
+  out.reserve(es.size());
+  for (const auto& e : es) out.push_back(redirectExpr(e, r));
+  return out;
+}
+
+ExprPtr redirectExpr(const ExprPtr& e, const ReadRedirect& r) {
+  using ir::Expr;
+  using ir::ExprKind;
+  switch (e->kind()) {
+    case ExprKind::IntConst:
+    case ExprKind::FloatConst:
+    case ExprKind::VarRef:
+      return e;
+    case ExprKind::ScalarLoad: {
+      if (!r.isScalar || e->name() != r.array) return e;
+      ExprPtr hload = Expr::scalarLoad(r.copyArray, r.scalarType);
+      if (r.counter) ++*r.counter;
+      if (r.scalarType == ir::Type::Float && r.cond)
+        return ir::selectE(r.cond, hload, e);
+      // Unconditional (or Int scalar): read the copy directly.
+      FIXFUSE_CHECK(!r.cond, "conditional Int scalar redirect unsupported");
+      return hload;
+    }
+    case ExprKind::ArrayLoad: {
+      std::vector<ExprPtr> idx = redirectAll(e->indices(), r);
+      ExprPtr base = Expr::arrayLoad(e->name(), idx);
+      if (r.isScalar || e->name() != r.array) return base;
+      // Match the subscripts of the targeted read.
+      bool match = idx.size() == r.subscripts.size();
+      if (match)
+        for (std::size_t d = 0; d < idx.size(); ++d) {
+          auto a = ir::toAffine(*idx[d]);
+          if (!a || *a != r.subscripts[d]) {
+            match = false;
+            break;
+          }
+        }
+      if (!match) return base;
+      if (r.counter) ++*r.counter;
+      ExprPtr hload = Expr::arrayLoad(r.copyArray, idx);
+      return r.cond ? ir::selectE(r.cond, hload, base) : hload;
+    }
+    case ExprKind::Binary:
+      return Expr::binary(e->binOp(), redirectExpr(e->lhs(), r),
+                          redirectExpr(e->rhs(), r));
+    case ExprKind::Call:
+      return Expr::call(e->callFn(), redirectExpr(e->operand(), r));
+    case ExprKind::Compare:
+      return Expr::compare(e->cmpOp(), redirectExpr(e->lhs(), r),
+                           redirectExpr(e->rhs(), r));
+    case ExprKind::BoolBinary:
+      return Expr::boolBinary(e->boolOp(), redirectExpr(e->lhs(), r),
+                              redirectExpr(e->rhs(), r));
+    case ExprKind::BoolNot:
+      return Expr::boolNot(redirectExpr(e->operand(), r));
+    case ExprKind::Select:
+      return Expr::select(redirectExpr(e->selectCond(), r),
+                          redirectExpr(e->lhs(), r),
+                          redirectExpr(e->rhs(), r));
+  }
+  FIXFUSE_UNREACHABLE("redirectExpr");
+}
+
+void redirectInStmt(ir::Stmt& body, const ReadRedirect& r) {
+  switch (body.kind()) {
+    case ir::StmtKind::Assign: {
+      if (body.assignId() != r.assignId) return;
+      ir::LValue lhs = body.lhs();
+      lhs.indices = redirectAll(lhs.indices, r);
+      ExprPtr rhs = redirectExpr(body.rhs(), r);
+      int id = body.assignId();
+      body = *ir::Stmt::assign(std::move(lhs), std::move(rhs));
+      body.setAssignId(id);
+      return;
+    }
+    case ir::StmtKind::If:
+      redirectInStmt(*body.thenBodyMutable(), r);
+      if (body.elseBodyMutable()) redirectInStmt(*body.elseBodyMutable(), r);
+      return;
+    case ir::StmtKind::Loop:
+      redirectInStmt(*body.loopBodyMutable(), r);
+      return;
+    case ir::StmtKind::Block:
+      for (auto& st : body.stmtsMutable()) redirectInStmt(*st, r);
+      return;
+  }
+}
+
+/// Theorem 3/4 precondition: among nests k+1..K-1, no location of `name`
+/// is written twice *within one iteration of the shared container loops*
+/// (by different instances or different statements). Writes in different
+/// shared iterations are re-copied per iteration and stay correct.
+bool singleClobber(const NestSystem& sys, std::size_t k,
+                   const std::string& name) {
+  struct W {
+    std::size_t nest;
+    Access acc;
+  };
+  std::vector<W> writes;
+  for (std::size_t kp = k + 1; kp < sys.nests.size(); ++kp)
+    for (const auto& a :
+         deps::writesOf(deps::collectAccesses(sys.nests[kp]), name))
+      writes.push_back({kp, a});
+  for (std::size_t x = 0; x < writes.size(); ++x)
+    for (std::size_t y = x; y < writes.size(); ++y) {
+      const W& a = writes[x];
+      const W& b = writes[y];
+      if (!a.acc.fullyAffine() || !b.acc.fullyAffine()) return false;
+      if (!a.acc.guardExact || !b.acc.guardExact) return false;
+      const auto& av = sys.nests[a.nest].vars;
+      const auto& bv = sys.nests[b.nest].vars;
+      std::vector<std::string> relVars;
+      for (const auto& v : av) relVars.push_back(v + "_x");
+      for (const auto& v : bv) relVars.push_back(v + "_y");
+      IntegerSet base(relVars);
+      {
+        IntegerSet ai = a.acc.instances;
+        for (const auto& v : av) ai = ai.renamed(v, v + "_x");
+        for (const auto& c : ai.constraints()) base.addConstraint(c);
+        IntegerSet bi = b.acc.instances;
+        for (const auto& v : bv) bi = bi.renamed(v, v + "_y");
+        for (const auto& c : bi.constraints()) base.addConstraint(c);
+      }
+      // Restrict to one shared-container iteration.
+      std::size_t shared = deps::sharedPrefixDepth(sys, a.nest, b.nest);
+      for (std::size_t d = 0; d < shared; ++d)
+        base.addEQ(AffineExpr::var(av[d] + "_x") -
+                   AffineExpr::var(bv[d] + "_y"));
+      FIXFUSE_CHECK(a.acc.subs.size() == b.acc.subs.size(),
+                    "rank mismatch on " + name);
+      for (std::size_t d = 0; d < a.acc.subs.size(); ++d) {
+        AffineExpr sa = a.acc.subs[d].expr;
+        AffineExpr sb = b.acc.subs[d].expr;
+        for (const auto& v : av) sa = sa.renamed(v, v + "_x");
+        for (const auto& v : bv) sb = sb.renamed(v, v + "_y");
+        base.addEQ(sa - sb);
+      }
+      PresburgerSet doubled(relVars);
+      bool samePlace = a.nest == b.nest && a.acc.assignId == b.acc.assignId;
+      if (samePlace) {
+        // Same statement: double write iff two distinct instances alias.
+        std::vector<AffineExpr> xs, ys;
+        for (const auto& v : av) xs.push_back(AffineExpr::var(v + "_x"));
+        for (const auto& v : bv) ys.push_back(AffineExpr::var(v + "_y"));
+        for (const auto& piece : poly::lexLessPieces(xs, ys)) {
+          IntegerSet p = base;
+          for (const auto& c : piece) p.addConstraint(c);
+          doubled.addPiece(std::move(p));
+        }
+      } else {
+        doubled.addPiece(base);
+      }
+      if (!doubled.provablyEmpty(sys.ctx)) return false;
+    }
+  return true;
+}
+
+/// Replace the guarded copy `if (cond) { <assign id> }` by the bare
+/// assignment (used when a second reader nest shares a merged copy array
+/// and the union of guards must cover both - unconditional is always
+/// safe under the single-clobber precondition).
+bool unguardAssign(ir::Stmt& body, int assignId) {
+  switch (body.kind()) {
+    case ir::StmtKind::Block: {
+      auto& stmts = body.stmtsMutable();
+      for (std::size_t i = 0; i < stmts.size(); ++i) {
+        if (stmts[i]->kind() == ir::StmtKind::If) {
+          const ir::Stmt* thenB = stmts[i]->thenBody();
+          if (thenB->kind() == ir::StmtKind::Block &&
+              thenB->stmts().size() == 1 &&
+              thenB->stmts()[0]->kind() == ir::StmtKind::Assign &&
+              thenB->stmts()[0]->assignId() == assignId) {
+            stmts[i] = thenB->stmts()[0]->clone();
+            return true;
+          }
+        }
+        if (stmts[i]->kind() == ir::StmtKind::Assign &&
+            stmts[i]->assignId() == assignId)
+          return true;  // already unconditional
+        if (unguardAssign(*stmts[i], assignId)) return true;
+      }
+      return false;
+    }
+    case ir::StmtKind::If:
+      if (unguardAssign(*body.thenBodyMutable(), assignId)) return true;
+      if (body.elseBodyMutable())
+        return unguardAssign(*body.elseBodyMutable(), assignId);
+      return false;
+    case ir::StmtKind::Loop:
+      return unguardAssign(*body.loopBodyMutable(), assignId);
+    case ir::StmtKind::Assign:
+      return false;
+  }
+  FIXFUSE_UNREACHABLE("unguardAssign");
+}
+
+}  // namespace
+
+void elimAnti(NestSystem& sys, FixLog* log) {
+  constexpr const char* kSrc = "_s";
+  constexpr const char* kTgt = "_t";
+  if (sys.nests.size() < 2) return;
+  // Theorem 3/4 merging: one copy array per original array, shared by all
+  // reader nests; the copy before a given write is inserted once and
+  // widened (to unconditional) when another reader also needs it.
+  std::map<std::string, std::string> copyArrayOf;
+  std::map<std::pair<std::size_t, int>, int> copyIdOf;  // write -> copy id
+  for (std::size_t k = 0; k + 1 < sys.nests.size(); ++k) {
+    PerfectNest& reader = sys.nests[k];
+    auto readerAccesses = deps::collectAccesses(reader);
+    for (const auto& name : deps::accessedNames(readerAccesses)) {
+      auto pairs = deps::violatedAntiDeps(sys, k, name);
+      if (pairs.empty()) continue;
+
+      // Preconditions.
+      for (const auto& p : pairs)
+        if (!p.exactInfo)
+          throw UnsupportedError(
+              "ElimRW needs exact guards/subscripts for " + name);
+      for (const auto& a : readerAccesses)
+        if (a.isWrite && a.name == name)
+          throw UnsupportedError("reader nest also writes " + name +
+                                 "; unsupported by ElimRW");
+      if (!singleClobber(sys, k, name))
+        throw UnsupportedError(
+            "later nests clobber a location of " + name +
+            " more than once (Theorem 3/4 precondition fails)");
+
+      const bool isScalar = sys.decls.hasScalar(name);
+      ir::Type scalarType =
+          isScalar ? sys.decls.scalar(name).type : ir::Type::Float;
+      std::string hname;
+      if (auto it = copyArrayOf.find(name); it != copyArrayOf.end()) {
+        hname = it->second;  // Theorem 4: merged with an earlier reader's
+      } else {
+        hname = "H_" + name + "_" + std::to_string(k + 1);
+        if (isScalar)
+          sys.decls.declareScalar(hname, scalarType);
+        else
+          sys.decls.declareArray(hname, sys.decls.array(name).extents);
+        copyArrayOf.emplace(name, hname);
+      }
+      FixLog::CopyAction action;
+      action.array = name;
+      action.copyArray = hname;
+      action.readerNest = k;
+
+      // --- copies before each clobbering write -----------------------------
+      // Group pairs by the write statement.
+      std::map<std::pair<std::size_t, int>, std::vector<const AccessPairDep*>>
+          byWrite;
+      for (const auto& p : pairs)
+        byWrite[{p.tgtNest, p.tgt.assignId}].push_back(&p);
+      for (const auto& [key, group] : byWrite) {
+        auto [kp, assignId] = key;
+        PerfectNest& writer = sys.nests[kp];
+        if (writer.body->kind() != ir::StmtKind::Block)
+          writer.body = ir::blockS({writer.body->clone()});
+        if (auto it = copyIdOf.find(key); it != copyIdOf.end()) {
+          // A copy for this write already exists (another reader); widen
+          // its guard to cover both readers - unconditional is safe under
+          // single-clobber.
+          FIXFUSE_CHECK(unguardAssign(*writer.body, it->second),
+                        "existing copy not found while merging");
+          continue;
+        }
+        // Guard: instances of the write that clobber a still-needed value.
+        std::vector<std::string> tgtSuffixed;
+        for (const auto& v : writer.vars)
+          tgtSuffixed.push_back(deps::suffixed(v, kTgt));
+        PresburgerSet collected(tgtSuffixed);
+        for (const AccessPairDep* p : group)
+          collected.unionWith(
+              projectOnto(p->rel, tgtSuffixed, /*requireExact=*/false));
+        PresburgerSet plain = unsuffix(collected, tgtSuffixed, writer.vars);
+        ExprPtr cond = guardExprFor(plain, writer.domain, sys.ctx);
+
+        // Copy statement: H[subs] = A[subs] with the write's subscripts.
+        // It gets a fresh assignment id so later analyses of this nest
+        // stay well-formed.
+        int maxId = -1;
+        ir::forEachStmt(*writer.body, [&](const ir::Stmt& st) {
+          if (st.kind() == ir::StmtKind::Assign)
+            maxId = std::max(maxId, st.assignId());
+        });
+        const Access& wAcc = group.front()->tgt;
+        StmtPtr copy;
+        if (isScalar) {
+          copy = ir::Stmt::assign(ir::LValue{hname, {}},
+                                  ir::Expr::scalarLoad(name, scalarType));
+        } else {
+          std::vector<ExprPtr> idx;
+          for (const auto& s : wAcc.subs) {
+            FIXFUSE_CHECK(s.isAffine(), "copy of non-affine write");
+            idx.push_back(ir::fromAffine(s.expr));
+          }
+          copy = ir::Stmt::assign(ir::LValue{hname, idx},
+                                  ir::Expr::arrayLoad(name, idx));
+        }
+        copy->setAssignId(maxId + 1);
+        copyIdOf[key] = maxId + 1;
+        if (cond) {
+          std::vector<StmtPtr> stmts;
+          stmts.push_back(std::move(copy));
+          copy = ir::ifs(cond, std::move(stmts));
+        }
+        FIXFUSE_CHECK(insertBefore(*writer.body, assignId, copy),
+                      "clobbering write not found for copy insertion");
+        ++action.copiesInserted;
+      }
+
+      // --- redirect the reads ----------------------------------------------
+      std::map<std::pair<int, std::string>,
+               std::pair<const Access*, PresburgerSet>>
+          byRead;
+      std::vector<std::string> srcSuffixed;
+      for (const auto& v : reader.vars)
+        srcSuffixed.push_back(deps::suffixed(v, kSrc));
+      for (const auto& p : pairs) {
+        std::string subKey;
+        for (const auto& s : p.src.subs)
+          subKey += (s.isAffine() ? s.expr.str() : std::string("*")) + ";";
+        auto key = std::make_pair(p.src.assignId, subKey);
+        PresburgerSet proj =
+            projectOnto(p.rel, srcSuffixed, /*requireExact=*/true);
+        auto it = byRead.find(key);
+        if (it == byRead.end())
+          byRead.emplace(key, std::make_pair(&p.src, std::move(proj)));
+        else
+          it->second.second.unionWith(proj);
+      }
+      for (auto& [key, entry] : byRead) {
+        const Access* acc = entry.first;
+        PresburgerSet plain = unsuffix(entry.second, srcSuffixed, reader.vars);
+        ExprPtr cond = guardExprFor(plain, acc->instances, sys.ctx);
+        ReadRedirect r;
+        r.array = name;
+        r.copyArray = hname;
+        r.isScalar = isScalar;
+        r.scalarType = scalarType;
+        for (const auto& s : acc->subs) {
+          FIXFUSE_CHECK(s.isAffine(), "redirect of non-affine read");
+          r.subscripts.push_back(s.expr);
+        }
+        r.cond = cond;
+        r.assignId = acc->assignId;
+        r.counter = &action.readsRedirected;
+        redirectInStmt(*reader.body, r);
+      }
+      if (log) log->copies.push_back(std::move(action));
+    }
+  }
+}
+
+FixLog fixDeps(NestSystem& sys) {
+  FixLog log;
+  elimFlowOutput(sys, &log);
+  elimAnti(sys, &log);
+  return log;
+}
+
+std::string FixLog::str() const {
+  std::ostringstream os;
+  for (const auto& t : tiles) {
+    os << "tile nest " << t.nest << " (|W|=" << t.wSize << "): sizes [";
+    for (std::size_t i = 0; i < t.sizes.size(); ++i) {
+      if (i) os << ", ";
+      os << t.sizes[i].str();
+    }
+    os << "]" << (t.escalatedToFull ? " (escalated)" : "") << "\n";
+  }
+  for (const auto& c : copies)
+    os << "copy array " << c.copyArray << " for " << c.array << " (reader "
+       << c.readerNest << "): " << c.copiesInserted << " copies, "
+       << c.readsRedirected << " reads redirected\n";
+  return os.str();
+}
+
+}  // namespace fixfuse::core

@@ -1,0 +1,65 @@
+// The paper's FixDeps algorithm (Fig. 2).
+//
+//   elimFlowOutput - ElimWW_WR: walk the nests bottom-up; whenever the
+//     fusion violates flow/output dependences out of L_k (W(k) nonempty),
+//     tile L_k with sizes derived from the per-dimension backward
+//     distances d_i (T_i > d_i, Full when d_i is parameter-dependent),
+//     escalating to Full tiles when the computed sizes are either illegal
+//     for L_k's intra-nest dependences or insufficient to discharge W(k).
+//     Post-condition (Theorem 1): no violated flow/output dependence
+//     remains - re-verified symbolically, not assumed.
+//
+//   elimAnti - ElimRW: for every violated anti-dependence on an array or
+//     scalar A from a reader nest L_k to later writer nests, introduce a
+//     copy array H_{A,k}, insert a guarded copy of the old value
+//     immediately before each clobbering write, and redirect the affected
+//     reads through Select(C_R, H, A). Requires (and checks) the paper's
+//     Theorem 3/4 single-clobber precondition: among the later nests no
+//     location of A is written twice; the guard can then over-approximate
+//     safely while C_R must be (and is checked to be) exact.
+//
+//   fixDeps - the driver: elimFlowOutput then elimAnti (then the caller
+//     generates the fused program with core::generateFusedProgram).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "deps/analysis.h"
+#include "deps/nestsystem.h"
+
+namespace fixfuse::core {
+
+/// Record of what FixDeps did, for reporting and tests.
+struct FixLog {
+  struct TileAction {
+    std::size_t nest;
+    std::size_t wSize;                       // violated flow/output pairs
+    std::vector<deps::DistanceBound> dists;  // per fused dim
+    std::vector<deps::TileSize> sizes;       // chosen tile sizes
+    bool escalatedToFull = false;
+  };
+  struct CopyAction {
+    std::string array;       // original array/scalar
+    std::string copyArray;   // the H_{A,k} introduced
+    std::size_t readerNest;  // k
+    std::size_t copiesInserted = 0;
+    std::size_t readsRedirected = 0;
+  };
+  std::vector<TileAction> tiles;
+  std::vector<CopyAction> copies;
+
+  std::string str() const;
+};
+
+/// ElimWW_WR. Mutates tile sizes of `sys`. Throws UnsupportedError when
+/// no legal escalation discharges the violations.
+void elimFlowOutput(deps::NestSystem& sys, FixLog* log = nullptr);
+
+/// ElimRW. Mutates nest bodies and declarations of `sys`.
+void elimAnti(deps::NestSystem& sys, FixLog* log = nullptr);
+
+/// Full FixDeps pipeline.
+FixLog fixDeps(deps::NestSystem& sys);
+
+}  // namespace fixfuse::core

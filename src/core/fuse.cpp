@@ -1,0 +1,269 @@
+#include "core/fuse.h"
+
+#include "core/scan.h"
+#include "ir/affine_bridge.h"
+#include "ir/rewrite.h"
+#include "ir/validate.h"
+#include "support/error.h"
+
+namespace fixfuse::core {
+
+using deps::NestSystem;
+using deps::PerfectNest;
+using deps::TileSize;
+using ir::ExprPtr;
+using ir::StmtPtr;
+using poly::AffineExpr;
+using poly::Constraint;
+using poly::IntegerSet;
+
+namespace {
+
+/// Fused lower/upper bound of dim j with outer fused vars replaced by the
+/// given coordinate expressions.
+AffineExpr boundAt(const NestSystem& sys, std::size_t j, bool lower,
+                   const std::vector<AffineExpr>& outerCoords) {
+  AffineExpr b = lower ? sys.isBounds[j].first : sys.isBounds[j].second;
+  for (std::size_t t = 0; t < j; ++t)
+    b = b.substituted(sys.isVars[t], outerCoords[t]);
+  return b;
+}
+
+/// Membership constraints of nest k at fused point `coords` (affine exprs
+/// over whatever variables the caller uses): domain constraints pulled
+/// back through F_k^{-1} plus the pinned-dimension equalities.
+std::vector<Constraint> membershipConstraints(
+    const NestSystem& sys, std::size_t k,
+    const std::vector<AffineExpr>& coords,
+    const std::map<std::string, AffineExpr>& inv) {
+  const PerfectNest& nest = sys.nests[k];
+  std::vector<Constraint> out;
+  // Domain constraints with nest vars expressed through the fused coords.
+  for (const auto& c : nest.domain.constraints()) {
+    AffineExpr e = c.expr;
+    for (const auto& v : nest.vars) e = e.substituted(v, inv.at(v));
+    // inv is in terms of the abstract fused vars; re-express via coords.
+    for (std::size_t j = 0; j < sys.dims(); ++j)
+      e = e.substituted(sys.isVars[j], coords[j]);
+    out.push_back({e, c.kind});
+  }
+  // Pinned dimensions: I_j == F_j(F^{-1}(I)).
+  for (std::size_t j = 0; j < sys.dims(); ++j) {
+    AffineExpr f = nest.embed.outputs[j];
+    for (const auto& v : nest.vars) f = f.substituted(v, inv.at(v));
+    for (std::size_t t = 0; t < sys.dims(); ++t)
+      f = f.substituted(sys.isVars[t], coords[t]);
+    AffineExpr diff = coords[j] - f;
+    if (diff == AffineExpr(0)) continue;  // identity dimension
+    out.push_back(Constraint::eq(diff));
+  }
+  return out;
+}
+
+/// BODY_k with nest vars replaced by their fused-space solution evaluated
+/// at `coords`.
+StmtPtr instantiateBody(const NestSystem& sys, std::size_t k,
+                        const std::vector<AffineExpr>& coords,
+                        const std::map<std::string, AffineExpr>& inv) {
+  const PerfectNest& nest = sys.nests[k];
+  std::map<std::string, ExprPtr> subst;
+  for (const auto& v : nest.vars) {
+    AffineExpr e = inv.at(v);
+    for (std::size_t j = 0; j < sys.dims(); ++j)
+      e = e.substituted(sys.isVars[j], coords[j]);
+    subst[v] = ir::fromAffine(e);
+  }
+  return ir::substituteVarsStmt(*nest.body, subst);
+}
+
+/// Contribution of nest k inside the fused loop body.
+StmtPtr nestContribution(const NestSystem& sys, std::size_t k,
+                         const FuseOptions& opts,
+                         const poly::IntegerSet& isCtx) {
+  const PerfectNest& nest = sys.nests[k];
+  auto invOpt = deps::invertEmbedding(nest.embed, nest.vars, sys.isVars);
+  FIXFUSE_CHECK(invOpt.has_value(), "non-invertible embedding");
+  const auto& inv = *invOpt;
+
+  std::vector<AffineExpr> isCoords;
+  for (const auto& v : sys.isVars) isCoords.push_back(AffineExpr::var(v));
+
+  const bool tiled = nest.isTiled();
+  if (!tiled) {
+    std::vector<Constraint> cond =
+        membershipConstraints(sys, k, isCoords, inv);
+    if (opts.pruneGuards) cond = pruneImplied(cond, isCtx, sys.ctx);
+    StmtPtr body = instantiateBody(sys, k, isCoords, inv);
+    if (cond.empty()) return body;
+    std::vector<StmtPtr> stmts;
+    stmts.push_back(std::move(body));
+    return ir::ifs(ir::constraintsToCond(cond), std::move(stmts));
+  }
+
+  // --- tiled contribution ---------------------------------------------------
+  // Restriction: when a non-unit dim j has bounds referencing a non-unit
+  // outer dim u, both must be Full - then the nest collapses to a single
+  // slot covering the whole domain and the slot/point origins trivially
+  // agree. A *concrete* tile size whose slice origin depends on another
+  // tiled dim would make the decomposition ambiguous between the slot
+  // space and the point space. All kernels in the paper satisfy this
+  // (e.g. LU Full-tiles only the i loop, whose triangular bound
+  // references the *unit* dims k and j).
+  for (std::size_t j = 0; j < sys.dims(); ++j) {
+    if (nest.tileSizes[j].isUnit()) continue;
+    for (std::size_t u = 0; u < j; ++u) {
+      if (nest.tileSizes[u].isUnit()) continue;
+      bool refs = sys.isBounds[j].first.uses(sys.isVars[u]) ||
+                  sys.isBounds[j].second.uses(sys.isVars[u]);
+      if (refs && !(nest.tileSizes[j].isFull() && nest.tileSizes[u].isFull()))
+        throw UnsupportedError("bound of tiled dim " + sys.isVars[j] +
+                               " references tiled dim " + sys.isVars[u] +
+                               " with a concrete tile size");
+    }
+  }
+  // Tile-slot guard over the fused coords, point coordinates, point loops.
+  std::vector<Constraint> slotGuard;
+  std::vector<AffineExpr> pointCoords;     // affine exprs for each dim
+  std::vector<std::string> pointLoopVars;  // dims that get a loop
+  std::vector<std::pair<ExprPtr, ExprPtr>> pointLoopBounds;
+
+  for (std::size_t j = 0; j < sys.dims(); ++j) {
+    TileSize t = nest.tileSizes[j];
+    if (t.isUnit()) {
+      pointCoords.push_back(isCoords[j]);
+      continue;
+    }
+    std::string pv = opts.pointVarPrefix + sys.isVars[j];
+    // Per-slice origin with *fused* outer coords (the tile-slot space) for
+    // the guard, and with *point* outer coords for the loop bounds.
+    AffineExpr lbSlot = boundAt(sys, j, /*lower=*/true, isCoords);
+    AffineExpr lbPoint = boundAt(sys, j, /*lower=*/true, pointCoords);
+    AffineExpr ubPoint = boundAt(sys, j, /*lower=*/false, pointCoords);
+    if (t.isFull()) {
+      // Single tile at the slice origin.
+      slotGuard.push_back(Constraint::eq(isCoords[j] - lbSlot));
+      pointLoopVars.push_back(pv);
+      pointLoopBounds.emplace_back(ir::fromAffine(lbPoint),
+                                   ir::fromAffine(ubPoint));
+    } else {
+      // Tile index c = I_j - lb; points lb + c*T .. lb + c*T + T - 1.
+      AffineExpr c = isCoords[j] - lbSlot;
+      slotGuard.push_back(Constraint::ge(c));  // c >= 0
+      // The tile must start inside the dimension: lb + c*T <= ub (with the
+      // slot-space outer coords).
+      AffineExpr ubSlot = boundAt(sys, j, /*lower=*/false, isCoords);
+      slotGuard.push_back(Constraint::ge(ubSlot - (lbSlot + c * t.value)));
+      AffineExpr cPoint = isCoords[j] - lbPoint;  // same I_j, point outers
+      AffineExpr start = lbPoint + cPoint * t.value;
+      AffineExpr end = start + AffineExpr(t.value - 1);
+      pointLoopVars.push_back(pv);
+      pointLoopBounds.emplace_back(
+          ir::imax(ir::fromAffine(start), ir::fromAffine(lbPoint)),
+          ir::imin(ir::fromAffine(end), ir::fromAffine(ubPoint)));
+    }
+    pointCoords.push_back(AffineExpr::var(pv));
+  }
+
+  // Membership + body at the point coordinates.
+  std::vector<Constraint> cond = membershipConstraints(sys, k, pointCoords, inv);
+  if (opts.pruneGuards) {
+    // Context: the fused box over the point coordinates where loops exist,
+    // fused vars elsewhere. Build a set over all vars appearing.
+    // Use the plain IS box renamed: point vars replace loop dims.
+    IntegerSet ctxSet = isCtx;
+    for (std::size_t j = 0, p = 0; j < sys.dims(); ++j) {
+      if (nest.tileSizes[j].isUnit()) continue;
+      ctxSet = ctxSet.renamed(sys.isVars[j], pointLoopVars[p]);
+      ++p;
+    }
+    cond = pruneImplied(cond, ctxSet, sys.ctx);
+  }
+  // Conditions that do not mention a point-loop variable hoist out of the
+  // point loops and join the slot guard (e.g. LU's "j == k+1" wraps the
+  // whole pivot-search P loop in Fig. 4a rather than each P iteration).
+  std::vector<Constraint> innerCond;
+  for (const auto& c : cond) {
+    bool usesPointVar = false;
+    for (const auto& pv : pointLoopVars)
+      if (c.expr.uses(pv)) usesPointVar = true;
+    if (usesPointVar)
+      innerCond.push_back(c);
+    else
+      slotGuard.push_back(c);
+  }
+
+  StmtPtr inner = instantiateBody(sys, k, pointCoords, inv);
+  if (!innerCond.empty()) {
+    std::vector<StmtPtr> stmts;
+    stmts.push_back(std::move(inner));
+    inner = ir::ifs(ir::constraintsToCond(innerCond), std::move(stmts));
+  }
+  // Point loops, innermost last.
+  for (std::size_t p = pointLoopVars.size(); p-- > 0;)
+    inner = ir::Stmt::loop(pointLoopVars[p], pointLoopBounds[p].first,
+                           pointLoopBounds[p].second, std::move(inner));
+  if (!slotGuard.empty()) {
+    std::vector<StmtPtr> stmts;
+    stmts.push_back(std::move(inner));
+    inner = ir::ifs(ir::constraintsToCond(slotGuard), std::move(stmts));
+  }
+  return inner;
+}
+
+}  // namespace
+
+ir::Program generateSequentialProgram(const deps::NestSystem& sys) {
+  for (const auto& nest : sys.nests)
+    FIXFUSE_CHECK(nest.sharedPrefix == 0,
+                  "sequential reference of a sunk system is the original "
+                  "imperfect program, not nest-by-nest execution");
+  ir::Program out = sys.decls;
+  std::vector<StmtPtr> stmts;
+  for (const auto& nest : sys.nests) {
+    StmtPtr body = nest.body->clone();
+    stmts.push_back(nest.vars.empty()
+                        ? std::move(body)
+                        : scanLoops(nest.domain, std::move(body),
+                                    /*guardBody=*/true));
+  }
+  out.body = ir::blockS(std::move(stmts));
+  StmtPtr s = ir::simplifyStmt(*out.body);
+  out.body = s ? std::move(s) : ir::blockS({});
+  if (out.body->kind() != ir::StmtKind::Block)
+    out.body = ir::blockS({out.body->clone()});
+  out.numberAssignments();
+  ir::validate(out);
+  return out;
+}
+
+ir::Program generateFusedProgram(const deps::NestSystem& sys,
+                                 const FuseOptions& opts) {
+  sys.validate();
+  ir::Program out = sys.decls;
+
+  IntegerSet isCtx = sys.isDomain();
+
+  std::vector<StmtPtr> bodyStmts;
+  for (std::size_t k = 0; k < sys.nests.size(); ++k)
+    bodyStmts.push_back(nestContribution(sys, k, opts, isCtx));
+  StmtPtr inner = ir::blockS(std::move(bodyStmts));
+
+  for (std::size_t j = sys.dims(); j-- > 0;) {
+    inner = ir::Stmt::loop(sys.isVars[j],
+                           ir::fromAffine(sys.isBounds[j].first),
+                           ir::fromAffine(sys.isBounds[j].second),
+                           std::move(inner));
+  }
+  out.body = ir::blockS({std::move(inner)});
+  if (opts.simplifyResult) {
+    StmtPtr s = ir::simplifyStmt(*out.body);
+    out.body = s ? std::move(s) : ir::blockS({});
+  }
+  if (out.body->kind() != ir::StmtKind::Block)
+    out.body = ir::blockS({out.body->clone()});
+  out.numberAssignments();
+  ir::validate(out);
+  return out;
+}
+
+}  // namespace fixfuse::core

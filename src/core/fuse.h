@@ -1,0 +1,46 @@
+// Fused-program generation (Eq. 4 of the paper, plus the tiled nest code
+// of Fig. 2 lines 27-33 when ElimWW_WR has assigned tile sizes).
+//
+// The generated program is one perfect loop nest over the fused space.
+// At fused iteration I, each nest contributes in order:
+//
+//   untiled nest:  if (I in F_k(IS_k))  BODY_k(F_k^{-1}(I))
+//
+//   tiled nest:    if (I is a tile slot of L_k)
+//                    point loops J over the tile, clipped to IS
+//                      if (J in F_k(IS_k))  BODY_k(F_k^{-1}(J))
+//
+// A dimension tiled with size T turns the fused coordinate I_j into a
+// *tile index*: tile c = I_j - lb_j covers points lb_j + c*T .. + T-1
+// (lb_j is the per-slice fused lower bound), so the whole nest executes
+// "compressed" near the slice origin - this is what eliminates backward
+// flow/output dependences. A Full tile degenerates to the guard
+// I_j == lb_j with one point loop spanning the entire dimension (the
+// paper's T = N case, e.g. the pivot-search P loop of LU in Fig. 4).
+#pragma once
+
+#include "deps/nestsystem.h"
+#include "ir/stmt.h"
+
+namespace fixfuse::core {
+
+struct FuseOptions {
+  /// Prefix for point-loop variables of tiled nests ("P" reproduces the
+  /// paper's Fig. 4).
+  std::string pointVarPrefix = "P";
+  /// Drop guard constraints already implied by the fused-space bounds.
+  bool pruneGuards = true;
+  /// Run the statement simplifier on the result.
+  bool simplifyResult = true;
+};
+
+/// Generate the fused (and, where tile sizes are set, tiled) program.
+ir::Program generateFusedProgram(const deps::NestSystem& sys,
+                                 const FuseOptions& opts = {});
+
+/// Reference semantics: the nests executed one after another, each over
+/// its own domain (the program *before* fusion, Eq. 1). Used as the
+/// ground truth in equivalence tests.
+ir::Program generateSequentialProgram(const deps::NestSystem& sys);
+
+}  // namespace fixfuse::core

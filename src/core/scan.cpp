@@ -1,0 +1,136 @@
+#include "core/scan.h"
+
+#include "ir/affine_bridge.h"
+#include "ir/rewrite.h"
+#include "support/error.h"
+
+namespace fixfuse::core {
+
+using ir::ExprPtr;
+using ir::StmtPtr;
+using poly::AffineExpr;
+using poly::Constraint;
+using poly::IntegerSet;
+
+namespace {
+
+/// ceil(e / a) as an IR expression (a > 0): floordiv(e + a - 1, a).
+ExprPtr ceilDivExpr(const AffineExpr& e, std::int64_t a) {
+  FIXFUSE_CHECK(a > 0, "non-positive divisor");
+  if (a == 1) return ir::fromAffine(e);
+  return ir::floordiv(ir::fromAffine(e + AffineExpr(a - 1)), ir::ic(a));
+}
+
+/// floor(e / a) as an IR expression (a > 0).
+ExprPtr floorDivExpr(const AffineExpr& e, std::int64_t a) {
+  FIXFUSE_CHECK(a > 0, "non-positive divisor");
+  if (a == 1) return ir::fromAffine(e);
+  return ir::floordiv(ir::fromAffine(e), ir::ic(a));
+}
+
+}  // namespace
+
+ScanBounds boundsFor(const poly::IntegerSet& s, std::size_t varIndex) {
+  FIXFUSE_CHECK(varIndex < s.vars().size(), "var index out of range");
+  const std::string v = s.vars()[varIndex];
+  std::vector<std::string> inner(s.vars().begin() +
+                                     static_cast<std::ptrdiff_t>(varIndex) + 1,
+                                 s.vars().end());
+  IntegerSet proj = s.eliminated(inner);
+
+  ExprPtr lower, upper;
+  for (const auto& c : proj.constraints()) {
+    std::int64_t a = c.expr.coeff(v);
+    if (a == 0) continue;
+    AffineExpr rest = c.expr - AffineExpr::term(a, v);
+    if (c.kind == Constraint::Kind::EQ) {
+      // a*v + rest == 0: v == (-rest)/a ; use as both bounds when a = +-1.
+      if (a == 1 || a == -1) {
+        ExprPtr e = ir::fromAffine(-rest * a);
+        lower = lower ? ir::imax(lower, e) : e;
+        upper = upper ? ir::imin(upper, e) : e;
+        continue;
+      }
+      // Fall through to the two-inequality reading below.
+      // a*v >= -rest and a*v <= -rest.
+      if (a > 0) {
+        ExprPtr lo = ceilDivExpr(-rest, a);
+        ExprPtr hi = floorDivExpr(-rest, a);
+        lower = lower ? ir::imax(lower, lo) : lo;
+        upper = upper ? ir::imin(upper, hi) : hi;
+      } else {
+        ExprPtr lo = ceilDivExpr(rest, -a);
+        ExprPtr hi = floorDivExpr(rest, -a);
+        lower = lower ? ir::imax(lower, lo) : lo;
+        upper = upper ? ir::imin(upper, hi) : hi;
+      }
+      continue;
+    }
+    if (a > 0) {
+      // a*v >= -rest  =>  v >= ceil(-rest / a)
+      ExprPtr e = ceilDivExpr(-rest, a);
+      lower = lower ? ir::imax(lower, e) : e;
+    } else {
+      // -b*v >= -rest  =>  v <= floor(rest / b)
+      ExprPtr e = floorDivExpr(rest, -a);
+      upper = upper ? ir::imin(upper, e) : e;
+    }
+  }
+  FIXFUSE_CHECK(lower != nullptr, "no lower bound for " + v);
+  FIXFUSE_CHECK(upper != nullptr, "no upper bound for " + v);
+  return {ir::simplify(lower), ir::simplify(upper)};
+}
+
+ir::StmtPtr scanLoops(const poly::IntegerSet& s, ir::StmtPtr body,
+                      bool guardBody) {
+  StmtPtr current = std::move(body);
+  if (guardBody && !s.constraints().empty())
+    current = ir::ifs(ir::constraintsToCond(s.constraints()),
+                      [&] {
+                        std::vector<StmtPtr> v;
+                        v.push_back(std::move(current));
+                        return v;
+                      }());
+  for (std::size_t j = s.vars().size(); j-- > 0;) {
+    ScanBounds b = boundsFor(s, j);
+    current = ir::Stmt::loop(s.vars()[j], b.lower, b.upper,
+                             std::move(current));
+  }
+  return current;
+}
+
+bool scanNeedsGuard(const poly::IntegerSet& s) {
+  for (const auto& c : s.constraints()) {
+    const std::string* innermost = nullptr;
+    for (const auto& v : s.vars())
+      if (c.expr.uses(v)) innermost = &v;
+    if (!innermost) continue;  // parameter-only constraint
+    std::int64_t a = c.expr.coeff(*innermost);
+    if (a != 1 && a != -1) return true;
+  }
+  return false;
+}
+
+std::vector<poly::Constraint> pruneImplied(
+    const std::vector<poly::Constraint>& cs, const poly::IntegerSet& context,
+    const poly::ParamContext& ctx) {
+  std::vector<Constraint> kept;
+  for (const auto& c : cs) {
+    bool implied = false;
+    if (c.kind == Constraint::Kind::GE) {
+      IntegerSet neg = context;
+      neg.addGE(-c.expr - AffineExpr(1));
+      implied = neg.provablyEmpty(ctx);
+    } else {
+      IntegerSet above = context;
+      above.addGE(c.expr - AffineExpr(1));
+      IntegerSet below = context;
+      below.addGE(-c.expr - AffineExpr(1));
+      implied = above.provablyEmpty(ctx) && below.provablyEmpty(ctx);
+    }
+    if (!implied) kept.push_back(c);
+  }
+  return kept;
+}
+
+}  // namespace fixfuse::core

@@ -1,0 +1,49 @@
+// Loop generation from integer sets (a deliberately small code scanner in
+// the spirit of Ancourt-Irigoin bound generation).
+//
+// scanLoops(set, body) emits one loop per set variable, outermost first,
+// with bounds read off the Fourier-Motzkin projections:
+//     lb_j = max over lower bounds  ceil((-rest)/a)
+//     ub_j = min over upper bounds  floor(rest/b)
+// Because FM may be inexact, the body can additionally be guarded by the
+// exact membership condition; with the guard the generated code is always
+// exact regardless of projection precision.
+#pragma once
+
+#include "ir/stmt.h"
+#include "poly/set.h"
+
+namespace fixfuse::core {
+
+/// IR bounds of `v` implied by `s` once `inner` vars are projected out.
+/// Returned exprs may reference outer set vars and parameters.
+struct ScanBounds {
+  ir::ExprPtr lower;
+  ir::ExprPtr upper;
+};
+ScanBounds boundsFor(const poly::IntegerSet& s, std::size_t varIndex);
+
+/// Nested loops enumerating the points of `s` in lexicographic order of
+/// its variable tuple, around `body` (which references the set vars).
+/// When guardBody is true the body is wrapped in the set's membership
+/// condition (constraintsToCond of all constraints), making the scan
+/// exact even when the FM bounds over-approximate.
+ir::StmtPtr scanLoops(const poly::IntegerSet& s, ir::StmtPtr body,
+                      bool guardBody);
+
+/// Drop from `cs` every constraint implied by `context` (over the same
+/// variables) under `ctx`. Keeps generated guards readable.
+std::vector<poly::Constraint> pruneImplied(
+    const std::vector<poly::Constraint>& cs, const poly::IntegerSet& context,
+    const poly::ParamContext& ctx);
+
+/// True when scanning `s` without a membership guard could visit points
+/// outside the set: some constraint's innermost variable (in vars()
+/// order) has a non-unit coefficient, so the FM loop bound for that
+/// variable is only an over-approximation. When every constraint has a
+/// +-1 coefficient on its innermost variable, the per-variable bounds
+/// enforce the constraint exactly and the guard is unnecessary (outer
+/// ranges may still over-run, but only into empty loops).
+bool scanNeedsGuard(const poly::IntegerSet& s);
+
+}  // namespace fixfuse::core

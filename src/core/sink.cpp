@@ -1,0 +1,395 @@
+#include "core/sink.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/affine_bridge.h"
+#include "ir/rewrite.h"
+#include "support/error.h"
+
+namespace fixfuse::core {
+
+using deps::AffineMap;
+using deps::NestSystem;
+using deps::PerfectNest;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+using poly::AffineExpr;
+using poly::IntegerSet;
+
+namespace {
+
+struct Bound {
+  AffineExpr lb, ub;
+};
+
+struct SubNest {
+  std::vector<std::string> prefixVars;  // container loop vars (outer first)
+  std::vector<std::string> ownVars;     // this nest's private loop vars
+  std::vector<Bound> ownBounds;
+  StmtPtr body;  // guards wrapped back in
+};
+
+struct Discovery {
+  std::map<std::string, Bound> prefixBounds;
+  std::vector<SubNest> nests;
+};
+
+bool containsLoop(const Stmt& s) {
+  bool found = false;
+  ir::forEachStmt(s, [&](const Stmt& st) {
+    if (st.kind() == StmtKind::Loop) found = true;
+  });
+  return found;
+}
+
+Bound affineBoundsOf(const Stmt& loop) {
+  auto lb = ir::toAffine(*loop.lowerBound());
+  auto ub = ir::toAffine(*loop.upperBound());
+  if (!lb || !ub)
+    throw UnsupportedError("non-affine bounds of loop " + loop.loopVar());
+  return {*lb, *ub};
+}
+
+StmtPtr wrapGuards(StmtPtr body, const std::vector<ExprPtr>& guards) {
+  for (std::size_t g = guards.size(); g-- > 0;) {
+    std::vector<StmtPtr> stmts;
+    stmts.push_back(std::move(body));
+    body = ir::ifs(guards[g], std::move(stmts));
+  }
+  return body;
+}
+
+class Sinker {
+ public:
+  explicit Sinker(const ir::Program& p) : p_(p) {}
+
+  Discovery run() {
+    FIXFUSE_CHECK(p_.body && p_.body->kind() == StmtKind::Block,
+                  "program body must be a block");
+    const Stmt* top = nullptr;
+    for (const auto& st : p_.body->stmts()) {
+      FIXFUSE_CHECK(st->kind() == StmtKind::Loop,
+                    "codeSink expects a single top-level loop (split "
+                    "prologue/epilogue first)");
+      FIXFUSE_CHECK(top == nullptr, "multiple top-level loops");
+      top = st.get();
+    }
+    FIXFUSE_CHECK(top != nullptr, "no top-level loop");
+    std::vector<std::string> prefix;
+    std::vector<ExprPtr> guards;
+    container(*top, prefix, guards);
+    return std::move(d_);
+  }
+
+ private:
+  /// `loop` is a container: record its var in the prefix and walk items.
+  void container(const Stmt& loop, std::vector<std::string> prefix,
+                 const std::vector<ExprPtr>& guards) {
+    d_.prefixBounds[loop.loopVar()] = affineBoundsOf(loop);
+    prefix.push_back(loop.loopVar());
+    std::vector<StmtPtr> group;
+    walkItems(*loop.loopBody(), prefix, guards, group);
+    flush(prefix, guards, group);
+  }
+
+  void flush(const std::vector<std::string>& prefix,
+             const std::vector<ExprPtr>& guards,
+             std::vector<StmtPtr>& group) {
+    if (group.empty()) return;
+    SubNest n;
+    n.prefixVars = prefix;
+    n.body = wrapGuards(ir::blockS(std::move(group)), guards);
+    group.clear();
+    d_.nests.push_back(std::move(n));
+  }
+
+  void walkItems(const Stmt& blockOrStmt, const std::vector<std::string>& prefix,
+                 const std::vector<ExprPtr>& guards,
+                 std::vector<StmtPtr>& group) {
+    switch (blockOrStmt.kind()) {
+      case StmtKind::Block:
+        for (const auto& st : blockOrStmt.stmts())
+          walkItems(*st, prefix, guards, group);
+        return;
+      case StmtKind::Assign:
+        group.push_back(blockOrStmt.clone());
+        return;
+      case StmtKind::If: {
+        if (!containsLoop(blockOrStmt)) {
+          group.push_back(blockOrStmt.clone());
+          return;
+        }
+        FIXFUSE_CHECK(blockOrStmt.elseBody() == nullptr ||
+                          !containsLoop(*blockOrStmt.elseBody()),
+                      "else-branch containing loops is unsupported");
+        flush(prefix, guards, group);
+        auto inner = guards;
+        inner.push_back(blockOrStmt.cond());
+        std::vector<StmtPtr> innerGroup;
+        walkItems(*blockOrStmt.thenBody(), prefix, inner, innerGroup);
+        flush(prefix, inner, innerGroup);
+        if (blockOrStmt.elseBody()) {
+          auto elseGuards = guards;
+          elseGuards.push_back(ir::notE(blockOrStmt.cond()));
+          std::vector<StmtPtr> elseGroup;
+          walkItems(*blockOrStmt.elseBody(), prefix, elseGuards, elseGroup);
+          flush(prefix, elseGuards, elseGroup);
+        }
+        return;
+      }
+      case StmtKind::Loop: {
+        flush(prefix, guards, group);
+        // Descend the perfect chain.
+        std::vector<std::string> own;
+        std::vector<Bound> ownBounds;
+        const Stmt* cur = &blockOrStmt;
+        while (true) {
+          own.push_back(cur->loopVar());
+          ownBounds.push_back(affineBoundsOf(*cur));
+          // Inspect the body: single loop -> descend; no loops -> leaf;
+          // mixed -> imperfect container, recurse.
+          const Stmt* body = cur->loopBody();
+          const Stmt* single = body;
+          while (single->kind() == StmtKind::Block &&
+                 single->stmts().size() == 1)
+            single = single->stmts()[0].get();
+          if (single->kind() == StmtKind::Loop) {
+            cur = single;
+            continue;
+          }
+          if (!containsLoop(*body)) {
+            SubNest n;
+            n.prefixVars = prefix;
+            n.ownVars = own;
+            n.ownBounds = ownBounds;
+            n.body = wrapGuards(body->clone(), guards);
+            d_.nests.push_back(std::move(n));
+            return;
+          }
+          // Imperfect inside: the chain so far joins the prefix.
+          std::vector<std::string> newPrefix = prefix;
+          for (std::size_t i = 0; i + 1 < own.size(); ++i) {
+            d_.prefixBounds[own[i]] = ownBounds[i];
+            newPrefix.push_back(own[i]);
+          }
+          container(*cur, newPrefix, guards);
+          return;
+        }
+      }
+    }
+  }
+
+  const ir::Program& p_;
+  Discovery d_;
+};
+
+}  // namespace
+
+deps::NestSystem codeSink(const ir::Program& p, const poly::ParamContext& ctx,
+                          const SinkOptions& opts) {
+  ir::Program numbered = p;
+  numbered.numberAssignments();
+  Sinker sinker(numbered);
+  Discovery d = sinker.run();
+  FIXFUSE_CHECK(!d.nests.empty(), "nothing to sink");
+
+  // Main nest = deepest (prefix + own); ties broken toward the last, which
+  // matches the paper's kernels (the *-marked computation-heavy nest).
+  std::size_t mainIdx = 0;
+  std::size_t bestDepth = 0;
+  for (std::size_t i = 0; i < d.nests.size(); ++i) {
+    std::size_t depth = d.nests[i].prefixVars.size() + d.nests[i].ownVars.size();
+    if (depth >= bestDepth) {
+      bestDepth = depth;
+      mainIdx = i;
+    }
+  }
+  const SubNest& main = d.nests[mainIdx];
+
+  NestSystem sys;
+  sys.ctx = ctx;
+  sys.decls = p;
+  sys.decls.body = ir::blockS({});
+
+  sys.isVars = main.prefixVars;
+  sys.isVars.insert(sys.isVars.end(), main.ownVars.begin(),
+                    main.ownVars.end());
+  const std::size_t n = sys.isVars.size();
+  {
+    std::set<std::string> uniq(sys.isVars.begin(), sys.isVars.end());
+    FIXFUSE_CHECK(uniq.size() == n, "fused variable name collision");
+  }
+
+  // Dim mapping per nest: prefix vars identity; own vars by override,
+  // then by name, then by depth.
+  auto mapDims = [&](std::size_t nestIdx)
+      -> std::map<std::string, std::size_t> {
+    const SubNest& sn = d.nests[nestIdx];
+    std::map<std::string, std::size_t> dims;
+    for (const auto& v : sn.prefixVars) {
+      auto it = std::find(sys.isVars.begin(), sys.isVars.end(), v);
+      FIXFUSE_CHECK(it != sys.isVars.end(), "prefix var missing from IS");
+      dims[v] = static_cast<std::size_t>(it - sys.isVars.begin());
+    }
+    auto ov = opts.dimOverrides.find(nestIdx);
+    std::set<std::size_t> taken;
+    for (const auto& [v, dim] : dims) {
+      (void)v;
+      taken.insert(dim);
+    }
+    for (std::size_t i = 0; i < sn.ownVars.size(); ++i) {
+      const std::string& v = sn.ownVars[i];
+      std::size_t dim = n;  // invalid
+      if (ov != opts.dimOverrides.end() && ov->second.count(v)) {
+        dim = ov->second.at(v);
+      } else {
+        auto it = std::find(sys.isVars.begin(), sys.isVars.end(), v);
+        if (it != sys.isVars.end())
+          dim = static_cast<std::size_t>(it - sys.isVars.begin());
+      }
+      if (dim >= n || taken.count(dim)) {
+        // By depth: first free dim at or after prefix + i.
+        for (std::size_t c = sn.prefixVars.size(); c < n; ++c)
+          if (!taken.count(c)) {
+            dim = c;
+            break;
+          }
+      }
+      FIXFUSE_CHECK(dim < n && !taken.count(dim),
+                    "cannot map loop var " + v + " to a fused dim");
+      dims[v] = dim;
+      taken.insert(dim);
+    }
+    return dims;
+  };
+
+  std::vector<std::map<std::string, std::size_t>> nestDims;
+  for (std::size_t i = 0; i < d.nests.size(); ++i)
+    nestDims.push_back(mapDims(i));
+
+  // Fused bounds per dim: a candidate bound from every nest owning that
+  // dim (renamed into fused variable names); pick a provably dominating
+  // candidate.
+  sys.isBounds.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (auto it = opts.isBoundOverrides.find(j);
+        it != opts.isBoundOverrides.end()) {
+      sys.isBounds[j] = it->second;
+      continue;
+    }
+    std::vector<AffineExpr> lbs, ubs;
+    for (std::size_t i = 0; i < d.nests.size(); ++i) {
+      const SubNest& sn = d.nests[i];
+      for (std::size_t v = 0; v < sn.ownVars.size(); ++v) {
+        if (nestDims[i].at(sn.ownVars[v]) != j) continue;
+        AffineExpr lb = sn.ownBounds[v].lb;
+        AffineExpr ub = sn.ownBounds[v].ub;
+        // Rename this nest's vars into fused names.
+        for (const auto& [var, dim] : nestDims[i]) {
+          if (var == sys.isVars[dim]) continue;
+          lb = lb.renamed(var, sys.isVars[dim]);
+          ub = ub.renamed(var, sys.isVars[dim]);
+        }
+        lbs.push_back(lb);
+        ubs.push_back(ub);
+      }
+      // Prefix vars: container bound.
+      if (j < sn.prefixVars.size() && sn.prefixVars[j] == sys.isVars[j]) {
+        auto it = d.prefixBounds.find(sys.isVars[j]);
+        if (it != d.prefixBounds.end()) {
+          lbs.push_back(it->second.lb);
+          ubs.push_back(it->second.ub);
+        }
+      }
+    }
+    FIXFUSE_CHECK(!lbs.empty(), "no bound candidates for fused dim " +
+                                    sys.isVars[j]);
+    // Context: outer dims within their already-chosen fused bounds.
+    IntegerSet context(std::vector<std::string>(sys.isVars.begin(),
+                                                sys.isVars.begin() +
+                                                    static_cast<std::ptrdiff_t>(j)));
+    for (std::size_t t = 0; t < j; ++t) {
+      context.addGE(AffineExpr::var(sys.isVars[t]) - sys.isBounds[t].first);
+      context.addGE(sys.isBounds[t].second - AffineExpr::var(sys.isVars[t]));
+    }
+    auto dominatesLow = [&](const AffineExpr& c) {
+      for (const auto& o : lbs) {
+        IntegerSet bad = context;
+        bad.addGE(c - o - AffineExpr(1));  // c > o somewhere?
+        if (!bad.provablyEmpty(ctx)) return false;
+      }
+      return true;
+    };
+    auto dominatesHigh = [&](const AffineExpr& c) {
+      for (const auto& o : ubs) {
+        IntegerSet bad = context;
+        bad.addGE(o - c - AffineExpr(1));  // c < o somewhere?
+        if (!bad.provablyEmpty(ctx)) return false;
+      }
+      return true;
+    };
+    bool foundLb = false, foundUb = false;
+    for (const auto& c : lbs)
+      if (dominatesLow(c)) {
+        sys.isBounds[j].first = c;
+        foundLb = true;
+        break;
+      }
+    for (const auto& c : ubs)
+      if (dominatesHigh(c)) {
+        sys.isBounds[j].second = c;
+        foundUb = true;
+        break;
+      }
+    if (!foundLb || !foundUb)
+      throw UnsupportedError("no dominating fused bound for dim " +
+                             sys.isVars[j]);
+  }
+
+  // Build the nests.
+  for (std::size_t i = 0; i < d.nests.size(); ++i) {
+    const SubNest& sn = d.nests[i];
+    PerfectNest nest;
+    nest.vars = sn.prefixVars;
+    nest.vars.insert(nest.vars.end(), sn.ownVars.begin(), sn.ownVars.end());
+    nest.sharedPrefix = sn.prefixVars.size();
+    // Domain.
+    IntegerSet dom(nest.vars);
+    for (const auto& v : sn.prefixVars) {
+      auto it = d.prefixBounds.find(v);
+      FIXFUSE_CHECK(it != d.prefixBounds.end(), "prefix bound missing");
+      dom.addRange(v, it->second.lb, it->second.ub);
+    }
+    for (std::size_t v = 0; v < sn.ownVars.size(); ++v)
+      dom.addRange(sn.ownVars[v], sn.ownBounds[v].lb, sn.ownBounds[v].ub);
+    nest.domain = dom;
+    nest.body = sn.body->clone();
+    // Embedding: mapped dims get the variable; missing dims are pinned at
+    // the fused lower bound with outer fused vars replaced by this nest's
+    // own outputs (computed in dimension order, so outer pins resolve).
+    std::vector<AffineExpr> outputs(n);
+    std::vector<bool> haveOutput(n, false);
+    for (const auto& [var, dim] : nestDims[i]) {
+      outputs[dim] = AffineExpr::var(var);
+      haveOutput[dim] = true;
+    }
+    for (std::size_t jdim = 0; jdim < n; ++jdim) {
+      if (haveOutput[jdim]) continue;
+      AffineExpr pin = sys.isBounds[jdim].first;
+      for (std::size_t t = 0; t < jdim; ++t)
+        pin = pin.substituted(sys.isVars[t], outputs[t]);
+      outputs[jdim] = pin;
+      haveOutput[jdim] = true;
+    }
+    nest.embed = AffineMap{outputs};
+    sys.nests.push_back(std::move(nest));
+  }
+
+  sys.validate();
+  return sys;
+}
+
+}  // namespace fixfuse::core

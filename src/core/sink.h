@@ -1,0 +1,44 @@
+// Code sinking: turn an imperfect loop nest (Fig. 1 style) into a system
+// of perfect nests embedded in a common fused space (Fig. 3 style).
+//
+// Supported shape: the program body is a single outer loop (apply
+// peelLastIteration first when the last iteration must be split off, as
+// in LU). The loop body is a sequence of plain statements, perfect
+// sub-loop chains, if-guarded sub-loops (the guard - affine or
+// data-dependent like LU's "if (m != k)" - is kept inside the sunk
+// body), and recursively imperfect sub-loops (handled by recursion,
+// which realises the paper's "apply the algorithm inside out").
+//
+// The fused space takes the variables of the deepest sub-nest; other
+// nests map their loop variables by name, then by depth, unless an
+// explicit override is given (LU's swap loop maps its j to the fused i
+// to reproduce Fig. 3 exactly). Missing dimensions are pinned at the
+// fused lower bound - the boundary embedding the paper uses for all four
+// kernels. FixDeps then repairs whatever this placement violates.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "deps/nestsystem.h"
+#include "ir/stmt.h"
+#include "poly/set.h"
+
+namespace fixfuse::core {
+
+struct SinkOptions {
+  /// subnest index (discovery order) -> { loop var -> fused dim index }.
+  std::map<std::size_t, std::map<std::string, std::size_t>> dimOverrides;
+  /// Explicit fused-space bounds per dim index, overriding the dominance
+  /// search (QR widens j to i..N so the nests pinned at the column head
+  /// still run at i = N; the paper's Fig. 3b does the same).
+  std::map<std::size_t, std::pair<poly::AffineExpr, poly::AffineExpr>>
+      isBoundOverrides;
+};
+
+/// Sink `p` into a NestSystem whose parameters live in `ctx`.
+deps::NestSystem codeSink(const ir::Program& p, const poly::ParamContext& ctx,
+                          const SinkOptions& opts = {});
+
+}  // namespace fixfuse::core

@@ -1,0 +1,794 @@
+#include "core/transforms.h"
+
+#include <functional>
+#include <set>
+
+#include "core/scan.h"
+#include "deps/access.h"
+#include "deps/nestsystem.h"
+#include "ir/affine_bridge.h"
+#include "ir/printer.h"
+#include "ir/rewrite.h"
+#include "ir/validate.h"
+#include "support/error.h"
+
+namespace fixfuse::core {
+
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+using poly::AffineExpr;
+using poly::IntegerSet;
+
+namespace {
+
+/// The unique top-level loop of a program body (skipping through a
+/// single-statement block chain). Throws when absent or ambiguous.
+const Stmt& topLevelLoop(const ir::Program& p) {
+  FIXFUSE_CHECK(p.body != nullptr, "program without body");
+  const Stmt* s = p.body.get();
+  while (s->kind() == StmtKind::Block) {
+    const Stmt* onlyLoop = nullptr;
+    for (const auto& st : s->stmts()) {
+      if (st->kind() == StmtKind::Loop) {
+        FIXFUSE_CHECK(onlyLoop == nullptr, "multiple top-level loops");
+        onlyLoop = st.get();
+      }
+    }
+    FIXFUSE_CHECK(onlyLoop != nullptr, "no top-level loop");
+    s = onlyLoop;
+    break;
+  }
+  FIXFUSE_CHECK(s->kind() == StmtKind::Loop, "no top-level loop");
+  return *s;
+}
+
+/// Replace the top-level loop in the body block with `replacement`
+/// statements (in place of the loop, preserving surrounding statements).
+ir::Program withTopLevelLoopReplaced(const ir::Program& p,
+                                     std::vector<StmtPtr> replacement) {
+  ir::Program out = p;
+  FIXFUSE_CHECK(out.body->kind() == StmtKind::Block, "body is not a block");
+  auto& stmts = out.body->stmtsMutable();
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    if (stmts[i]->kind() == StmtKind::Loop) {
+      stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(i));
+      for (std::size_t r = 0; r < replacement.size(); ++r)
+        stmts.insert(stmts.begin() + static_cast<std::ptrdiff_t>(i + r),
+                     std::move(replacement[r]));
+      return out;
+    }
+  }
+  FIXFUSE_UNREACHABLE("top-level loop disappeared");
+}
+
+}  // namespace
+
+std::vector<const Stmt*> perfectLoopChain(const ir::Program& p) {
+  std::vector<const Stmt*> chain;
+  const Stmt* s = &topLevelLoop(p);
+  while (true) {
+    chain.push_back(s);
+    const Stmt* body = s->loopBody();
+    // Descend while the body is exactly one loop (possibly via blocks).
+    const Stmt* next = body;
+    while (next->kind() == StmtKind::Block && next->stmts().size() == 1)
+      next = next->stmts()[0].get();
+    if (next->kind() != StmtKind::Loop) break;
+    s = next;
+  }
+  return chain;
+}
+
+ir::Program peelLastIteration(const ir::Program& p,
+                              const std::string& loopVar) {
+  const Stmt& loop = topLevelLoop(p);
+  FIXFUSE_CHECK(loop.loopVar() == loopVar,
+                "top-level loop is " + loop.loopVar() + ", not " + loopVar);
+  std::vector<StmtPtr> replacement;
+  replacement.push_back(Stmt::loop(
+      loopVar, loop.lowerBound(),
+      ir::simplify(ir::sub(loop.upperBound(), ir::ic(1))),
+      loop.loopBody()->clone()));
+  StmtPtr last = ir::substituteVarsStmt(*loop.loopBody(),
+                                        {{loopVar, loop.upperBound()}});
+  replacement.push_back(ir::simplifyStmt(*last));
+  if (!replacement.back()) replacement.pop_back();
+  ir::Program out = withTopLevelLoopReplaced(p, std::move(replacement));
+  out.numberAssignments();
+  ir::validate(out);
+  return out;
+}
+
+ir::Program unimodularTransform(const ir::Program& p, const IntMatrix& U,
+                                const std::vector<std::string>& newVars) {
+  FIXFUSE_CHECK(U.isUnimodular(), "transform matrix is not unimodular");
+  auto chain = perfectLoopChain(p);
+  const int n = static_cast<int>(chain.size());
+  FIXFUSE_CHECK(U.rows() == n && U.cols() == n,
+                "matrix size does not match nest depth");
+  FIXFUSE_CHECK(static_cast<int>(newVars.size()) == n, "newVars arity");
+
+  // Old iteration domain over the old loop variables.
+  std::vector<std::string> oldVars;
+  for (const Stmt* s : chain) oldVars.push_back(s->loopVar());
+  IntegerSet domain(oldVars);
+  for (const Stmt* s : chain) {
+    auto lb = ir::toAffine(*s->lowerBound());
+    auto ub = ir::toAffine(*s->upperBound());
+    FIXFUSE_CHECK(lb && ub, "non-affine loop bounds in unimodularTransform");
+    domain.addRange(s->loopVar(), *lb, *ub);
+  }
+
+  // v = U^{-1} u  (exact integer expressions since U is unimodular).
+  IntMatrix inv = U.unimodularInverse();
+  std::map<std::string, AffineExpr> oldFromNew;
+  for (int i = 0; i < n; ++i) {
+    AffineExpr e;
+    for (int j = 0; j < n; ++j)
+      e += AffineExpr::term(inv.at(i, j),
+                            newVars[static_cast<std::size_t>(j)]);
+    oldFromNew[oldVars[static_cast<std::size_t>(i)]] = e;
+  }
+
+  // New domain over the new variables.
+  IntegerSet newDomain(newVars);
+  for (const auto& c : domain.constraints()) {
+    AffineExpr e = c.expr;
+    for (const auto& [v, repl] : oldFromNew) e = e.substituted(v, repl);
+    newDomain.addConstraint({e, c.kind});
+  }
+
+  // Body with the substitution applied.
+  std::map<std::string, ExprPtr> subst;
+  for (const auto& [v, repl] : oldFromNew) subst[v] = ir::fromAffine(repl);
+  StmtPtr body = ir::substituteVarsStmt(*chain.back()->loopBody(), subst);
+
+  // Guard the body with the exact membership test only when the FM scan
+  // bounds could over-approximate (non-unit innermost coefficients);
+  // unimodular transforms of unit-coefficient domains scan guard-free.
+  StmtPtr loops = scanLoops(newDomain, std::move(body),
+                            scanNeedsGuard(newDomain));
+
+  std::vector<StmtPtr> replacement;
+  StmtPtr simplified = ir::simplifyStmt(*loops);
+  replacement.push_back(simplified ? std::move(simplified)
+                                   : std::move(loops));
+  ir::Program out = withTopLevelLoopReplaced(p, std::move(replacement));
+  out.numberAssignments();
+  ir::validate(out);
+  return out;
+}
+
+ir::Program tileRectangular(const ir::Program& p,
+                            const std::vector<std::int64_t>& tileSizes) {
+  auto chain = perfectLoopChain(p);
+  FIXFUSE_CHECK(tileSizes.size() <= chain.size(),
+                "more tile sizes than loops");
+  for (std::int64_t t : tileSizes)
+    FIXFUSE_CHECK(t >= 1, "tile sizes must be positive");
+
+  // Affine domain of the nest (needed to bound tile counters whose loop's
+  // bounds reference other *tiled* loops, e.g. QR's triangular j loop).
+  // Bounds may be max/min trees of affine pieces (skewed nests produce
+  // them); each piece becomes one domain constraint.
+  std::function<void(const ExprPtr&, bool, std::vector<AffineExpr>&)>
+      collectPieces = [&](const ExprPtr& e, bool lower,
+                          std::vector<AffineExpr>& out) {
+        if (e->kind() == ir::ExprKind::Binary &&
+            e->binOp() == (lower ? ir::BinOp::Max : ir::BinOp::Min)) {
+          collectPieces(e->lhs(), lower, out);
+          collectPieces(e->rhs(), lower, out);
+          return;
+        }
+        auto a = ir::toAffine(*e);
+        FIXFUSE_CHECK(a.has_value(),
+                      "non-affine loop bounds in tileRectangular");
+        out.push_back(*a);
+      };
+  std::vector<std::string> loopVars;
+  for (const Stmt* s : chain) loopVars.push_back(s->loopVar());
+  IntegerSet domain(loopVars);
+  // Representative per-loop bound pieces: lowers[d] / uppers[d].
+  std::vector<std::vector<AffineExpr>> lowers(chain.size()), uppers(chain.size());
+  for (std::size_t d = 0; d < chain.size(); ++d) {
+    collectPieces(chain[d]->lowerBound(), true, lowers[d]);
+    collectPieces(chain[d]->upperBound(), false, uppers[d]);
+    for (const auto& l : lowers[d])
+      domain.addGE(AffineExpr::var(loopVars[d]) - l);
+    for (const auto& u : uppers[d])
+      domain.addGE(u - AffineExpr::var(loopVars[d]));
+  }
+  auto anyRefs = [&](const std::vector<AffineExpr>& pieces, auto pred) {
+    for (const auto& p : pieces)
+      if (pred(p)) return true;
+    return false;
+  };
+
+  // Counter loops all sit outside the point loops, so a counter bound may
+  // not reference *any* loop variable (tiled or not) - fall back to the
+  // domain-wide maximum extent in that case.
+  auto refsLoopVar = [&](const AffineExpr& e) {
+    for (const auto& v : loopVars)
+      if (e.uses(v)) return true;
+    return false;
+  };
+
+  /// Params-only affine upper bound of `obj` over the domain, as an IR
+  /// expression floor(expr / div).
+  auto symbolicMax = [&](const AffineExpr& obj) -> ExprPtr {
+    auto bounds = domain.symbolicUpperBounds(obj);
+    for (const auto& [expr, div] : bounds) {
+      bool paramsOnly = true;
+      for (const auto& v : expr.variables())
+        if (std::find(loopVars.begin(), loopVars.end(), v) != loopVars.end())
+          paramsOnly = false;
+      if (!paramsOnly) continue;
+      return div == 1 ? ir::fromAffine(expr)
+                      : ir::floordiv(ir::fromAffine(expr), ir::ic(div));
+    }
+    throw UnsupportedError("tile counter extent is unbounded");
+  };
+  /// Params-only affine lower bound: min(obj) >= -max(-obj).
+  auto symbolicMin = [&](const AffineExpr& obj) -> ExprPtr {
+    return ir::simplify(ir::sub(ir::ic(0), symbolicMax(-obj)));
+  };
+
+  // Fixed-lattice tiling: dimension d is cut at multiples of t relative
+  // to the global origin (tile index floor(v / t)). A per-slice origin
+  // would implicitly re-skew the space and can reverse dependences that
+  // are legal under rectangular tiling, so the lattice must NOT depend on
+  // outer loop variables.
+  //
+  // Point loops, innermost original loop outward.
+  StmtPtr inner = chain.back()->loopBody()->clone();
+  for (std::size_t d = chain.size(); d-- > 0;) {
+    const Stmt* loop = chain[d];
+    std::int64_t t = d < tileSizes.size() ? tileSizes[d] : 1;
+    if (t == 1) {
+      inner = Stmt::loop(loop->loopVar(), loop->lowerBound(),
+                         loop->upperBound(), std::move(inner));
+      continue;
+    }
+    std::string tv = "T" + loop->loopVar();
+    // v from max(lb, Tv*t) .. min(ub, Tv*t + t - 1).
+    ExprPtr start = ir::simplify(ir::mul(ir::iv(tv), ir::ic(t)));
+    ExprPtr end = ir::simplify(ir::add(start, ir::ic(t - 1)));
+    inner = Stmt::loop(loop->loopVar(), ir::imax(start, loop->lowerBound()),
+                       ir::imin(end, loop->upperBound()), std::move(inner));
+  }
+
+  // Tile-counter loops, outermost first around everything:
+  // Tv from floor(min(v)/t) .. floor(max(v)/t).
+  for (std::size_t d = tileSizes.size(); d-- > 0;) {
+    if (tileSizes[d] == 1) continue;
+    const Stmt* loop = chain[d];
+    std::string tv = "T" + loop->loopVar();
+    auto usesLoopVar = [&](const AffineExpr& e) { return refsLoopVar(e); };
+    ExprPtr lo = anyRefs(lowers[d], usesLoopVar)
+                     ? symbolicMin(AffineExpr::var(loopVars[d]))
+                     : loop->lowerBound();
+    ExprPtr hi = anyRefs(uppers[d], usesLoopVar)
+                     ? symbolicMax(AffineExpr::var(loopVars[d]))
+                     : loop->upperBound();
+    inner = Stmt::loop(tv, ir::simplify(ir::floordiv(lo, ir::ic(tileSizes[d]))),
+                       ir::simplify(ir::floordiv(hi, ir::ic(tileSizes[d]))),
+                       std::move(inner));
+  }
+
+  std::vector<StmtPtr> replacement;
+  replacement.push_back(std::move(inner));
+  ir::Program out = withTopLevelLoopReplaced(p, std::move(replacement));
+  out.numberAssignments();
+  ir::validate(out);
+  return out;
+}
+
+ir::Program tileLoopInnermost(const ir::Program& p, const std::string& var,
+                              std::int64_t tile, std::size_t keepInner) {
+  FIXFUSE_CHECK(tile >= 1, "tile must be positive");
+  auto chain = perfectLoopChain(p);
+  std::size_t target = chain.size();
+  for (std::size_t d = 0; d < chain.size(); ++d)
+    if (chain[d]->loopVar() == var) target = d;
+  FIXFUSE_CHECK(target < chain.size(), "no loop named " + var);
+
+  // Domain over all loop variables (affine bounds required).
+  std::vector<std::string> loopVars;
+  for (const Stmt* s : chain) loopVars.push_back(s->loopVar());
+  // New variable order: strip counter, the other loops, then `var`, with
+  // the last keepInner other loops staying inside it.
+  std::vector<std::string> others;
+  for (const auto& v : loopVars)
+    if (v != var) others.push_back(v);
+  FIXFUSE_CHECK(keepInner <= others.size(), "keepInner too large");
+  std::string counter = "T" + var;
+  std::vector<std::string> order{counter};
+  order.insert(order.end(), others.begin(),
+               others.end() - static_cast<std::ptrdiff_t>(keepInner));
+  order.push_back(var);
+  order.insert(order.end(),
+               others.end() - static_cast<std::ptrdiff_t>(keepInner),
+               others.end());
+
+  IntegerSet dom(order);
+  for (const Stmt* s : chain) {
+    auto lb = ir::toAffine(*s->lowerBound());
+    auto ub = ir::toAffine(*s->upperBound());
+    FIXFUSE_CHECK(lb && ub, "non-affine bounds in tileLoopInnermost");
+    dom.addRange(s->loopVar(), *lb, *ub);
+  }
+  // Strip constraints: tile*counter <= var <= tile*counter + tile - 1.
+  AffineExpr v = AffineExpr::var(var);
+  AffineExpr c = AffineExpr::var(counter);
+  dom.addGE(v - c * tile);
+  dom.addGE(c * tile + AffineExpr(tile - 1) - v);
+  dom.addGE(c);  // counter >= 0 (all kernel loops start at >= 0)
+
+  StmtPtr body = chain.back()->loopBody()->clone();
+  // Guard only when some constraint's innermost-variable coefficient is
+  // non-unit (the strip constraints put their `tile` coefficient on the
+  // *counter*, which is outermost, so kernels typically scan guard-free).
+  StmtPtr loops = scanLoops(dom, std::move(body), scanNeedsGuard(dom));
+  StmtPtr simplified = ir::simplifyStmt(*loops);
+  std::vector<StmtPtr> replacement;
+  replacement.push_back(simplified ? std::move(simplified) : std::move(loops));
+  ir::Program out = withTopLevelLoopReplaced(p, std::move(replacement));
+  out.numberAssignments();
+  ir::validate(out);
+  return out;
+}
+
+namespace {
+
+bool sameIndexList(const std::vector<ExprPtr>& a,
+                   const std::vector<ExprPtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto ai = ir::toAffine(*a[i]);
+    auto bi = ir::toAffine(*b[i]);
+    if (!ai || !bi || !(*ai == *bi)) return false;
+  }
+  return true;
+}
+
+/// Rewrite loads of `name` into scalar loads; returns the new expression.
+ExprPtr scalarizeExpr(const ExprPtr& e, const std::string& name,
+                      const std::string& scalarName) {
+  using ir::Expr;
+  using ir::ExprKind;
+  if (e->kind() == ExprKind::ArrayLoad && e->name() == name)
+    return Expr::scalarLoad(scalarName, ir::Type::Float);
+  switch (e->kind()) {
+    case ExprKind::Binary:
+      return Expr::binary(e->binOp(), scalarizeExpr(e->lhs(), name, scalarName),
+                          scalarizeExpr(e->rhs(), name, scalarName));
+    case ExprKind::Call:
+      return Expr::call(e->callFn(),
+                        scalarizeExpr(e->operand(), name, scalarName));
+    case ExprKind::Compare:
+      return Expr::compare(e->cmpOp(),
+                           scalarizeExpr(e->lhs(), name, scalarName),
+                           scalarizeExpr(e->rhs(), name, scalarName));
+    case ExprKind::BoolBinary:
+      return Expr::boolBinary(e->boolOp(),
+                              scalarizeExpr(e->lhs(), name, scalarName),
+                              scalarizeExpr(e->rhs(), name, scalarName));
+    case ExprKind::BoolNot:
+      return Expr::boolNot(scalarizeExpr(e->operand(), name, scalarName));
+    case ExprKind::Select:
+      return Expr::select(scalarizeExpr(e->selectCond(), name, scalarName),
+                          scalarizeExpr(e->lhs(), name, scalarName),
+                          scalarizeExpr(e->rhs(), name, scalarName));
+    default:
+      return e;
+  }
+}
+
+/// Check + rewrite statements. `lastWrite` tracks the subscripts of the
+/// most recent write to `name` in the current straight-line region.
+void scalarizeStmt(Stmt& s, const std::string& name,
+                   const std::string& scalarName,
+                   std::vector<ExprPtr>* lastWrite) {
+  switch (s.kind()) {
+    case StmtKind::Assign: {
+      // Reads must be covered by the preceding write in this region.
+      bool readsIt = false;
+      auto checkReads = [&](const ir::Expr& e) {
+        if (e.kind() == ir::ExprKind::ArrayLoad && e.name() == name)
+          readsIt = true;
+      };
+      for (const auto& i : s.lhs().indices) ir::forEachExprIn(*i, checkReads);
+      ir::forEachExprIn(*s.rhs(), checkReads);
+      if (readsIt) {
+        if (!lastWrite || lastWrite->empty())
+          throw UnsupportedError("read of " + name +
+                                 " is not dominated by a same-block write");
+        // Indices must match the last write.
+        bool ok = true;
+        ir::forEachExprIn(*s.rhs(), [&](const ir::Expr& e) {
+          if (e.kind() == ir::ExprKind::ArrayLoad && e.name() == name &&
+              !sameIndexList(e.indices(), *lastWrite))
+            ok = false;
+        });
+        if (!ok)
+          throw UnsupportedError("read of " + name +
+                                 " with different subscripts than the "
+                                 "preceding write");
+      }
+      ir::LValue lhs = s.lhs();
+      ExprPtr rhs = scalarizeExpr(s.rhs(), name, scalarName);
+      if (lhs.name == name) {
+        if (lastWrite) *lastWrite = lhs.indices;
+        lhs = ir::LValue{scalarName, {}};
+      }
+      int id = s.assignId();
+      s = *Stmt::assign(std::move(lhs), std::move(rhs));
+      s.setAssignId(id);
+      return;
+    }
+    case StmtKind::If: {
+      // An If that never touches the array (e.g. the guarded H copies
+      // ElimRW inserts) is transparent to the tracking; otherwise reset
+      // conservatively after the divergent paths.
+      bool touches = false;
+      ir::forEachExpr(s, [&](const ir::Expr& e) {
+        if (e.kind() == ir::ExprKind::ArrayLoad && e.name() == name)
+          touches = true;
+      });
+      ir::forEachStmt(s, [&](const Stmt& st) {
+        if (st.kind() == StmtKind::Assign && st.lhs().name == name)
+          touches = true;
+      });
+      if (!touches) return;
+      std::vector<ExprPtr> thenTrack =
+          lastWrite ? *lastWrite : std::vector<ExprPtr>{};
+      scalarizeStmt(*s.thenBodyMutable(), name, scalarName, &thenTrack);
+      if (s.elseBodyMutable()) {
+        std::vector<ExprPtr> elseTrack =
+            lastWrite ? *lastWrite : std::vector<ExprPtr>{};
+        scalarizeStmt(*s.elseBodyMutable(), name, scalarName, &elseTrack);
+      }
+      if (lastWrite) lastWrite->clear();  // unknown after divergent paths
+      return;
+    }
+    case StmtKind::Loop: {
+      std::vector<ExprPtr> track;
+      scalarizeStmt(*s.loopBodyMutable(), name, scalarName, &track);
+      if (lastWrite) lastWrite->clear();
+      return;
+    }
+    case StmtKind::Block: {
+      for (auto& st : s.stmtsMutable())
+        scalarizeStmt(*st, name, scalarName, lastWrite);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ir::StmtPtr contextSimplify(const Stmt& s, const IntegerSet& context,
+                            const poly::ParamContext& ctx) {
+  switch (s.kind()) {
+    case StmtKind::Assign:
+      return s.clone();
+    case StmtKind::If: {
+      auto pieces = ir::condToPieces(*s.cond());
+      if (pieces) {
+        // cond provably false: every piece contradicts the context.
+        bool allFalse = true;
+        for (const auto& piece : *pieces) {
+          IntegerSet q = context;
+          for (const auto& c : piece) q.addConstraint(c);
+          if (!q.provablyEmpty(ctx)) {
+            allFalse = false;
+            break;
+          }
+        }
+        if (allFalse)
+          return s.elseBody() ? contextSimplify(*s.elseBody(), context, ctx)
+                              : nullptr;
+        // cond provably true: the negation contradicts the context.
+        auto negPieces = ir::condToPieces(*ir::notE(s.cond()));
+        if (negPieces) {
+          bool allTrue = true;
+          for (const auto& piece : *negPieces) {
+            IntegerSet q = context;
+            for (const auto& c : piece) q.addConstraint(c);
+            if (!q.provablyEmpty(ctx)) {
+              allTrue = false;
+              break;
+            }
+          }
+          if (allTrue) return contextSimplify(*s.thenBody(), context, ctx);
+        }
+      }
+      StmtPtr thenB = contextSimplify(*s.thenBody(), context, ctx);
+      StmtPtr elseB =
+          s.elseBody() ? contextSimplify(*s.elseBody(), context, ctx) : nullptr;
+      if (!thenB && !elseB) return nullptr;
+      if (!thenB)
+        return Stmt::ifThen(ir::simplify(ir::notE(s.cond())),
+                            std::move(elseB));
+      return Stmt::ifThenElse(s.cond(), std::move(thenB), std::move(elseB));
+    }
+    case StmtKind::Loop: {
+      // Enrich the context with the loop's affine bounds when available.
+      IntegerSet inner = context;
+      auto lb = ir::toAffine(*s.lowerBound());
+      auto ub = ir::toAffine(*s.upperBound());
+      if (lb && ub) {
+        inner.addGE(AffineExpr::var(s.loopVar()) - *lb);
+        inner.addGE(*ub - AffineExpr::var(s.loopVar()));
+      }
+      StmtPtr body = contextSimplify(*s.loopBody(), inner, ctx);
+      if (!body) return nullptr;
+      return Stmt::loop(s.loopVar(), s.lowerBound(), s.upperBound(),
+                        std::move(body));
+    }
+    case StmtKind::Block: {
+      std::vector<StmtPtr> out;
+      for (const auto& st : s.stmts()) {
+        StmtPtr r = contextSimplify(*st, context, ctx);
+        if (r) out.push_back(std::move(r));
+      }
+      if (out.empty()) return nullptr;
+      return ir::blockS(std::move(out));
+    }
+  }
+  FIXFUSE_UNREACHABLE("contextSimplify");
+}
+
+namespace {
+
+/// Rewrite the unique loop named `var` via `fn`; throws if absent or
+/// duplicated.
+StmtPtr rewriteNamedLoop(const Stmt& s, const std::string& var,
+                         const std::function<StmtPtr(const Stmt&)>& fn,
+                         int& found) {
+  switch (s.kind()) {
+    case StmtKind::Assign:
+      return s.clone();
+    case StmtKind::If: {
+      StmtPtr thenB = rewriteNamedLoop(*s.thenBody(), var, fn, found);
+      StmtPtr elseB = s.elseBody()
+                          ? rewriteNamedLoop(*s.elseBody(), var, fn, found)
+                          : nullptr;
+      return Stmt::ifThenElse(s.cond(), std::move(thenB), std::move(elseB));
+    }
+    case StmtKind::Loop: {
+      if (s.loopVar() == var) {
+        ++found;
+        return fn(s);
+      }
+      return Stmt::loop(s.loopVar(), s.lowerBound(), s.upperBound(),
+                        rewriteNamedLoop(*s.loopBody(), var, fn, found));
+    }
+    case StmtKind::Block: {
+      std::vector<StmtPtr> out;
+      for (const auto& st : s.stmts())
+        out.push_back(rewriteNamedLoop(*st, var, fn, found));
+      return ir::blockS(std::move(out));
+    }
+  }
+  FIXFUSE_UNREACHABLE("rewriteNamedLoop");
+}
+
+}  // namespace
+
+ir::Program indexSetSplit(const ir::Program& p, const std::string& var,
+                          const poly::AffineExpr& point,
+                          const poly::ParamContext& ctx) {
+  int found = 0;
+  auto splitOne = [&](const Stmt& loop) -> StmtPtr {
+    ExprPtr pt = ir::fromAffine(point);
+    AffineExpr v = AffineExpr::var(var);
+
+    // Segment 1: v in [lb, point-1].
+    IntegerSet c1(std::vector<std::string>{});
+    c1.addGE(point - v - AffineExpr(1));
+    StmtPtr b1 = contextSimplify(*loop.loopBody(), c1, ctx);
+    // Segment 2: v == point (loop body with v substituted).
+    IntegerSet c2(std::vector<std::string>{});
+    c2.addEQ(v - point);
+    StmtPtr b2 = contextSimplify(*loop.loopBody(), c2, ctx);
+    if (b2) b2 = ir::substituteVarsStmt(*b2, {{var, pt}});
+    // Segment 3: v in [point+1, ub].
+    IntegerSet c3(std::vector<std::string>{});
+    c3.addGE(v - point - AffineExpr(1));
+    StmtPtr b3 = contextSimplify(*loop.loopBody(), c3, ctx);
+
+    std::vector<StmtPtr> seq;
+    if (b1)
+      seq.push_back(Stmt::loop(
+          var, loop.lowerBound(),
+          ir::simplify(ir::imin(loop.upperBound(), ir::sub(pt, ir::ic(1)))),
+          std::move(b1)));
+    if (b2) {
+      std::vector<StmtPtr> guarded;
+      guarded.push_back(std::move(b2));
+      seq.push_back(ir::ifs(
+          ir::andE(ir::geE(pt, loop.lowerBound()),
+                   ir::leE(pt, loop.upperBound())),
+          std::move(guarded)));
+    }
+    if (b3)
+      seq.push_back(Stmt::loop(
+          var,
+          ir::simplify(ir::imax(loop.lowerBound(), ir::add(pt, ir::ic(1)))),
+          loop.upperBound(), std::move(b3)));
+    FIXFUSE_CHECK(!seq.empty(), "split produced nothing");
+    return ir::blockS(std::move(seq));
+  };
+
+  ir::Program out = p;
+  out.body = rewriteNamedLoop(*p.body, var, splitOne, found);
+  FIXFUSE_CHECK(found == 1, "loop " + var + " not found exactly once");
+  StmtPtr simplified = ir::simplifyStmt(*out.body);
+  out.body = simplified ? std::move(simplified) : ir::blockS({});
+  if (out.body->kind() != StmtKind::Block)
+    out.body = ir::blockS({out.body->clone()});
+  out.numberAssignments();
+  ir::validate(out);
+  return out;
+}
+
+ir::Program distributeLoops(const ir::Program& p,
+                            const poly::ParamContext& ctx) {
+  auto chain = perfectLoopChain(p);
+  const Stmt* innerBody = chain.back()->loopBody();
+  FIXFUSE_CHECK(innerBody->kind() == StmtKind::Block,
+                "perfect nest body is not a block");
+  const auto& stmts = innerBody->stmts();
+  if (stmts.size() <= 1) return p;
+
+  // Shared machinery: one single-statement "nest" per body statement,
+  // all over the same domain with identity embeddings and a full shared
+  // prefix (the fused original order).
+  std::vector<std::string> vars;
+  poly::IntegerSet domain(std::vector<std::string>{});
+  {
+    std::vector<std::string> names;
+    for (const Stmt* s : chain) names.push_back(s->loopVar());
+    domain = poly::IntegerSet(names);
+    for (const Stmt* s : chain) {
+      auto lb = ir::toAffine(*s->lowerBound());
+      auto ub = ir::toAffine(*s->upperBound());
+      FIXFUSE_CHECK(lb && ub, "non-affine bounds in distributeLoops");
+      domain.addRange(s->loopVar(), *lb, *ub);
+    }
+    vars = names;
+  }
+  deps::NestSystem sys;
+  sys.ctx = ctx;
+  sys.decls = p;
+  sys.decls.body = ir::blockS({});
+  sys.isVars = vars;
+  for (const Stmt* s : chain)
+    sys.isBounds.emplace_back(*ir::toAffine(*s->lowerBound()),
+                              *ir::toAffine(*s->upperBound()));
+  for (const auto& st : stmts) {
+    deps::PerfectNest nest;
+    nest.vars = vars;
+    nest.sharedPrefix = vars.size();
+    nest.domain = domain;
+    nest.body = ir::blockS({st->clone()});
+    std::vector<AffineExpr> outs;
+    for (const auto& v : vars) outs.push_back(AffineExpr::var(v));
+    nest.embed = deps::AffineMap{outs};
+    sys.nests.push_back(std::move(nest));
+  }
+  {
+    int id = 0;
+    for (auto& nest : sys.nests)
+      ir::forEachStmt(*nest.body, [&](const Stmt& s) {
+        if (s.kind() == StmtKind::Assign)
+          const_cast<Stmt&>(s).setAssignId(id++);
+      });
+  }
+
+  // A split between earlier statement k and later statement kp is
+  // illegal iff some instance of kp conflicts with (same location, at
+  // least one write) a *strictly later* instance of k: in the original
+  // interleaved order kp@i2 runs before k@i1 whenever i2 < i1, and
+  // distribution (k's nest entirely first) would reverse that
+  // dependence. Non-affine guards/subscripts degrade soundly to
+  // may-alias.
+  auto depsBackward = [&](std::size_t k, std::size_t kp) {
+    auto aAll = deps::collectAccesses(sys.nests[k]);
+    auto bAll = deps::collectAccesses(sys.nests[kp]);
+    for (const auto& a : aAll)
+      for (const auto& b : bAll) {
+        if (a.name != b.name || a.isScalar != b.isScalar) continue;
+        if (!a.isWrite && !b.isWrite) continue;
+        std::vector<std::string> relVars;
+        for (const auto& v : vars) relVars.push_back(v + "_a");
+        for (const auto& v : vars) relVars.push_back(v + "_b");
+        poly::IntegerSet base(relVars);
+        {
+          poly::IntegerSet ai = a.instances, bi = b.instances;
+          for (const auto& v : vars) ai = ai.renamed(v, v + "_a");
+          for (const auto& v : vars) bi = bi.renamed(v, v + "_b");
+          for (const auto& c : ai.constraints()) base.addConstraint(c);
+          for (const auto& c : bi.constraints()) base.addConstraint(c);
+        }
+        if (!a.isScalar)
+          for (std::size_t d = 0; d < a.subs.size(); ++d) {
+            if (!a.subs[d].isAffine() || !b.subs[d].isAffine()) continue;
+            AffineExpr sa = a.subs[d].expr, sb = b.subs[d].expr;
+            for (const auto& v : vars) sa = sa.renamed(v, v + "_a");
+            for (const auto& v : vars) sb = sb.renamed(v, v + "_b");
+            base.addEQ(sa - sb);
+          }
+        std::vector<AffineExpr> ia, ib;
+        for (const auto& v : vars) {
+          ia.push_back(AffineExpr::var(v + "_a"));
+          ib.push_back(AffineExpr::var(v + "_b"));
+        }
+        poly::PresburgerSet backward(relVars);
+        for (const auto& piece : poly::lexLessPieces(ib, ia)) {
+          poly::IntegerSet pc = base;
+          for (const auto& c : piece) pc.addConstraint(c);
+          backward.addPiece(std::move(pc));
+        }
+        if (!backward.provablyEmpty(ctx)) return true;
+      }
+    return false;
+  };
+
+  // Greedy maximal split: start a new group whenever every pair across
+  // the boundary is clean.
+  std::vector<std::vector<std::size_t>> groups{{0}};
+  for (std::size_t s = 1; s < stmts.size(); ++s) {
+    bool clean = true;
+    for (std::size_t k = 0; clean && k < s; ++k) {
+      // Statements in earlier groups vs statement s: a split exists
+      // between them only if they end up in different nests, which the
+      // greedy grouping decides; test against ALL earlier statements, so
+      // the boundary is safe wherever it lands.
+      if (depsBackward(k, s)) clean = false;
+    }
+    if (clean)
+      groups.push_back({s});
+    else
+      groups.back().push_back(s);
+  }
+  if (groups.size() == 1) return p;
+
+  // Rebuild: one nest per group.
+  auto rebuildNest = [&](const std::vector<std::size_t>& group) {
+    std::vector<StmtPtr> body;
+    for (std::size_t s : group) body.push_back(stmts[s]->clone());
+    StmtPtr inner = ir::blockS(std::move(body));
+    for (std::size_t d = chain.size(); d-- > 0;)
+      inner = Stmt::loop(chain[d]->loopVar(), chain[d]->lowerBound(),
+                         chain[d]->upperBound(), std::move(inner));
+    return inner;
+  };
+  std::vector<StmtPtr> replacement;
+  for (const auto& g : groups) replacement.push_back(rebuildNest(g));
+  ir::Program out = withTopLevelLoopReplaced(p, std::move(replacement));
+  out.numberAssignments();
+  ir::validate(out);
+  return out;
+}
+
+ir::Program scalarizeArray(const ir::Program& p, const std::string& name,
+                           const std::string& scalarName) {
+  FIXFUSE_CHECK(p.hasArray(name), "no array " + name);
+  ir::Program out = p;
+  std::vector<ExprPtr> track;
+  scalarizeStmt(*out.body, name, scalarName, &track);
+  out.arrays.erase(
+      std::remove_if(out.arrays.begin(), out.arrays.end(),
+                     [&](const ir::ArrayDecl& a) { return a.name == name; }),
+      out.arrays.end());
+  out.declareScalar(scalarName, ir::Type::Float);
+  out.numberAssignments();
+  ir::validate(out);
+  return out;
+}
+
+}  // namespace fixfuse::core

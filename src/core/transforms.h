@@ -1,0 +1,111 @@
+// Classic enabling loop transformations used around FixDeps:
+//
+//  * peelLastIteration - LU peels the last iteration of the k loop before
+//    sinking (Fig. 3a's epilogue).
+//  * unimodularTransform - skewing / permutation / any unimodular change
+//    of basis on a perfect affine nest; Jacobi uses skew [[1,0],[1,1]] on
+//    (t,i)/(t,j) followed by moving t innermost (Sec. 4).
+//  * tileRectangular - locality tiling of a perfect nest (the final step
+//    of the paper's pipeline). Implemented with tile-counter loops so the
+//    step-1 loop IR suffices; inner bounds are clipped with min/max, so
+//    triangular nests tile correctly.
+//  * scalarizeArray - replace a temporary array that is always written
+//    then immediately read at identical subscripts inside one statement
+//    block by a scalar (the paper eliminates Jacobi's L this way).
+//
+// All transforms return new Programs; callers verify behaviour with the
+// interpreter (tests do this on every kernel).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "poly/set.h"
+#include "support/intmatrix.h"
+
+namespace fixfuse::core {
+
+/// Split the unique top-level loop named `loopVar` into [lb, ub-1] plus a
+/// copy of the body with loopVar := ub. The loop must execute at least
+/// once for all parameter values (caller guarantees, e.g. N >= 1).
+ir::Program peelLastIteration(const ir::Program& p, const std::string& loopVar);
+
+/// Apply the unimodular matrix U to the perfect nest rooted at the
+/// unique top-level loop of `p`: new iteration vector u = U * v where v
+/// are the nest's loop variables outermost-first. The nest's bounds must
+/// be affine. New loops are named `newVars` (outermost first) and scan
+/// the transformed domain in lexicographic order; the body runs with
+/// v = U^{-1} u. Legality is the caller's concern (check with deps or
+/// verify by interpretation).
+ir::Program unimodularTransform(const ir::Program& p, const IntMatrix& U,
+                                const std::vector<std::string>& newVars);
+
+/// Tile the outermost `tileSizes.size()` loops of the perfect nest rooted
+/// at the unique top-level loop of `p`. Tile-counter loops are named by
+/// prefixing "T" to the loop variable. A size of 1 leaves that loop
+/// untiled (no counter loop emitted).
+ir::Program tileRectangular(const ir::Program& p,
+                            const std::vector<std::int64_t>& tileSizes);
+
+/// Strip-mine loop `var` of the perfect nest by `tile` and move its point
+/// loop inward: loop order becomes
+/// (T<var>, <other loops>, <var>, <last keepInner other loops>).
+/// With keepInner = 0 the point loop is innermost. This is the paper's
+/// "tile the outermost k loop" for LU and Cholesky: within a k-strip the
+/// trailing sweep applies all of the strip's k steps back-to-back, which
+/// is what creates the cache reuse (plain strip-mining would not reorder
+/// anything); keepInner = 1 keeps the contiguous i loop innermost.
+/// Legality is the caller's concern; the instance *set* is exact by
+/// construction (bounds or guard).
+ir::Program tileLoopInnermost(const ir::Program& p, const std::string& var,
+                              std::int64_t tile, std::size_t keepInner = 0);
+
+/// Replace array `name` by scalar `scalarName` when every read follows a
+/// write with syntactically identical subscripts within the same block
+/// (checked; throws UnsupportedError otherwise). The array declaration is
+/// removed and a Float scalar declared.
+ir::Program scalarizeArray(const ir::Program& p, const std::string& name,
+                           const std::string& scalarName);
+
+/// The perfect loop chain at the top of `p`'s body: the loop statements
+/// outermost first. Stops at the first body that is not a single loop.
+std::vector<const ir::Stmt*> perfectLoopChain(const ir::Program& p);
+
+/// Simplify affine guards under a constraint context: an If whose
+/// condition is provably true within `context` is flattened, one
+/// provably false loses its branch. Non-affine conditions are left
+/// alone. Used by indexSetSplit, and useful on any generated code.
+ir::StmtPtr contextSimplify(const ir::Stmt& s,
+                            const poly::IntegerSet& context,
+                            const poly::ParamContext& ctx);
+
+/// Index-set splitting (loop unswitching at a point): split the unique
+/// loop named `var` anywhere in `p` into the segments
+///   [lb, point-1], {point}, [point+1, ub]
+/// and context-simplify each copy, so guards of the form `var == point`
+/// disappear from the off-point segments and fold to true at the point.
+/// This recovers the branch-free inner loops a production compiler makes
+/// of the fused+tiled kernels (e.g. Cholesky's `j == k+1` boundary step).
+/// Always semantics-preserving; `point` must be an affine expression over
+/// enclosing loop variables and parameters.
+ir::Program indexSetSplit(const ir::Program& p, const std::string& var,
+                          const poly::AffineExpr& point,
+                          const poly::ParamContext& ctx);
+
+/// Loop distribution - the inverse of loop fusion and the paper's stated
+/// future work (Sec. 6). Splits the perfect nest rooted at the unique
+/// top-level loop into a maximal sequence of consecutive nests, one per
+/// group of body statements, inserting a split point between statements
+/// s and s+1 whenever it is provably legal: distribution is illegal
+/// exactly when some instance of a *later* statement precedes (in the
+/// fused iteration order) a dependent instance of an *earlier* statement
+/// - running the earlier nest to completion first would reverse that
+/// dependence. The test uses the same sound dependence machinery as
+/// FixDeps (non-affine guards/subscripts degrade to may-alias, never to
+/// a wrong split). Bodies with control flow other than affine guards
+/// are kept together conservatively.
+ir::Program distributeLoops(const ir::Program& p,
+                            const poly::ParamContext& ctx);
+
+}  // namespace fixfuse::core

@@ -1,0 +1,187 @@
+#include "deps/access.h"
+
+#include <set>
+#include <sstream>
+
+#include "ir/affine_bridge.h"
+#include "ir/rewrite.h"
+#include "support/error.h"
+
+namespace fixfuse::deps {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::Stmt;
+using ir::StmtKind;
+using poly::Constraint;
+using poly::IntegerSet;
+
+namespace {
+
+/// Guard state on the walk: a union of conjunctions (DNF), each an
+/// IntegerSet over the nest variables, plus an exactness flag.
+struct GuardState {
+  std::vector<IntegerSet> pieces;
+  bool exact = true;
+};
+
+class Collector {
+ public:
+  explicit Collector(const PerfectNest& nest) : nest_(nest) {
+    GuardState root;
+    root.pieces.push_back(nest.domain);
+    walk(*nest.body, root);
+  }
+
+  std::vector<Access> take() { return std::move(out_); }
+
+ private:
+  void walk(const Stmt& s, const GuardState& g) {
+    switch (s.kind()) {
+      case StmtKind::Assign:
+        emitAssign(s, g);
+        return;
+      case StmtKind::If: {
+        auto ps = ir::condToPieces(*s.cond());
+        if (!ps) {
+          // Data-dependent guard: both branches may execute; drop it.
+          GuardState inexact = g;
+          inexact.exact = false;
+          walk(*s.thenBody(), inexact);
+          if (s.elseBody()) walk(*s.elseBody(), inexact);
+          return;
+        }
+        GuardState thenG;
+        thenG.exact = g.exact;
+        for (const auto& ctx : g.pieces)
+          for (const auto& piece : *ps) {
+            IntegerSet refined = ctx;
+            for (const auto& c : piece) refined.addConstraint(c);
+            if (!refined.knownEmpty()) thenG.pieces.push_back(refined);
+          }
+        if (!thenG.pieces.empty()) walk(*s.thenBody(), thenG);
+        if (s.elseBody()) {
+          auto nps = ir::condToPieces(*ir::notE(s.cond()));
+          FIXFUSE_CHECK(nps.has_value(), "negation lost affineness");
+          GuardState elseG;
+          elseG.exact = g.exact;
+          for (const auto& ctx : g.pieces)
+            for (const auto& piece : *nps) {
+              IntegerSet refined = ctx;
+              for (const auto& c : piece) refined.addConstraint(c);
+              if (!refined.knownEmpty()) elseG.pieces.push_back(refined);
+            }
+          if (!elseG.pieces.empty()) walk(*s.elseBody(), elseG);
+        }
+        return;
+      }
+      case StmtKind::Loop:
+        throw UnsupportedError(
+            "perfect-nest body contains a loop; sink it into the fused "
+            "space first");
+      case StmtKind::Block:
+        for (const auto& st : s.stmts()) walk(*st, g);
+        return;
+    }
+  }
+
+  void emitAssign(const Stmt& s, const GuardState& g) {
+    FIXFUSE_CHECK(s.assignId() >= 0, "assignment not numbered");
+    // The write.
+    Access w;
+    w.name = s.lhs().name;
+    w.isWrite = true;
+    w.isScalar = s.lhs().isScalar();
+    w.assignId = s.assignId();
+    if (!w.isScalar) {
+      for (const auto& ie : s.lhs().indices) {
+        auto a = ir::toAffine(*ie);
+        w.subs.push_back(a ? Subscript::affine(*a) : Subscript::any());
+      }
+    }
+    emitPerPiece(w, g);
+    // Reads inside the rhs and inside the lhs subscripts.
+    auto visitReads = [&](const Expr& root) {
+      ir::forEachExprIn(root, [&](const Expr& e) {
+        if (e.kind() == ExprKind::ArrayLoad) {
+          Access r;
+          r.name = e.name();
+          r.isWrite = false;
+          r.isScalar = false;
+          r.assignId = s.assignId();
+          for (const auto& ie : e.indices()) {
+            auto a = ir::toAffine(*ie);
+            r.subs.push_back(a ? Subscript::affine(*a) : Subscript::any());
+          }
+          emitPerPiece(r, g);
+        } else if (e.kind() == ExprKind::ScalarLoad) {
+          Access r;
+          r.name = e.name();
+          r.isWrite = false;
+          r.isScalar = true;
+          r.assignId = s.assignId();
+          emitPerPiece(r, g);
+        }
+      });
+    };
+    for (const auto& ie : s.lhs().indices) visitReads(*ie);
+    visitReads(*s.rhs());
+  }
+
+  void emitPerPiece(const Access& proto, const GuardState& g) {
+    for (const auto& piece : g.pieces) {
+      Access a = proto;
+      a.instances = piece;
+      a.guardExact = g.exact;
+      out_.push_back(std::move(a));
+    }
+  }
+
+  const PerfectNest& nest_;
+  std::vector<Access> out_;
+};
+
+}  // namespace
+
+std::string Access::str() const {
+  std::ostringstream os;
+  os << (isWrite ? "W " : "R ") << name;
+  if (isScalar) {
+    os << " (scalar)";
+  } else {
+    for (const auto& s : subs)
+      os << "[" << (s.isAffine() ? s.expr.str() : std::string("*")) << "]";
+  }
+  os << " @stmt" << assignId << " on " << instances.str();
+  if (!guardExact) os << " (may)";
+  return os.str();
+}
+
+std::vector<Access> collectAccesses(const PerfectNest& nest) {
+  Collector c(nest);
+  return c.take();
+}
+
+std::vector<Access> writesOf(const std::vector<Access>& all,
+                             const std::string& name) {
+  std::vector<Access> out;
+  for (const auto& a : all)
+    if (a.isWrite && a.name == name) out.push_back(a);
+  return out;
+}
+
+std::vector<Access> readsOf(const std::vector<Access>& all,
+                            const std::string& name) {
+  std::vector<Access> out;
+  for (const auto& a : all)
+    if (!a.isWrite && a.name == name) out.push_back(a);
+  return out;
+}
+
+std::vector<std::string> accessedNames(const std::vector<Access>& all) {
+  std::set<std::string> names;
+  for (const auto& a : all) names.insert(a.name);
+  return {names.begin(), names.end()};
+}
+
+}  // namespace fixfuse::deps

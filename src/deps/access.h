@@ -1,0 +1,77 @@
+// Extraction of array/scalar accesses from a perfect nest's body.
+//
+// Every access record carries its *instance set*: the sub-polyhedron of
+// the nest's domain on which the access actually executes (the domain
+// intersected with the affine guards on the path to the statement). A
+// non-affine guard (e.g. LU's data-dependent pivot test) cannot constrain
+// the instance set; the access is then flagged guardExact = false and
+// treated as may-execute - a sound over-approximation for dependence
+// analysis. Similarly a non-affine subscript (A(m, j) with data-dependent
+// m) is flagged and treated as may-touch-any-element.
+//
+// Guards in DNF with several pieces produce one Access record per piece.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "deps/nestsystem.h"
+#include "ir/stmt.h"
+#include "poly/set.h"
+
+namespace fixfuse::deps {
+
+/// One array subscript: affine in the nest vars and parameters, or
+/// data-dependent (LU's pivot row m) and thus "may equal anything".
+/// Keeping the distinction per dimension matters: A(m, j)'s affine column
+/// still disambiguates it from accesses to other columns, which is what
+/// lets FixDeps leave LU's swap nest untiled (Fig. 4).
+struct Subscript {
+  enum class Kind { Affine, Any };
+  Kind kind = Kind::Affine;
+  poly::AffineExpr expr;  // valid when kind == Affine
+
+  static Subscript affine(poly::AffineExpr e) {
+    return {Kind::Affine, std::move(e)};
+  }
+  static Subscript any() { return {Kind::Any, {}}; }
+  bool isAffine() const { return kind == Kind::Affine; }
+};
+
+struct Access {
+  std::string name;
+  bool isWrite = false;
+  bool isScalar = false;
+  /// Per-dimension subscripts (empty for scalars). Over nest vars+params.
+  std::vector<Subscript> subs;
+  bool fullyAffine() const {
+    for (const auto& s : subs)
+      if (!s.isAffine()) return false;
+    return true;
+  }
+  /// Instances (over the nest's vars) at which this access executes,
+  /// as an over-approximation when guardExact is false.
+  poly::IntegerSet instances;
+  /// False when a non-affine guard on the path had to be dropped.
+  bool guardExact = true;
+  /// Id of the enclosing assignment (alpha in the paper's Eq. 6).
+  int assignId = -1;
+
+  std::string str() const;
+};
+
+/// All accesses of a nest body, in textual order (writes and reads).
+/// Assign ids must have been numbered (Program::numberAssignments or
+/// NestSystem construction does this).
+std::vector<Access> collectAccesses(const PerfectNest& nest);
+
+/// Convenience filters.
+std::vector<Access> writesOf(const std::vector<Access>& all,
+                             const std::string& name);
+std::vector<Access> readsOf(const std::vector<Access>& all,
+                            const std::string& name);
+
+/// Names of all arrays/scalars accessed in a nest.
+std::vector<std::string> accessedNames(const std::vector<Access>& all);
+
+}  // namespace fixfuse::deps

@@ -1,0 +1,334 @@
+#include "deps/analysis.h"
+
+#include <set>
+
+#include "support/error.h"
+
+namespace fixfuse::deps {
+
+using poly::AffineExpr;
+using poly::Constraint;
+using poly::IntegerSet;
+using poly::PresburgerSet;
+
+const char* depKindName(DepKind k) {
+  switch (k) {
+    case DepKind::Flow: return "flow";
+    case DepKind::Output: return "output";
+    case DepKind::Anti: return "anti";
+  }
+  FIXFUSE_UNREACHABLE("depKindName");
+}
+
+namespace {
+
+constexpr const char* kSrcSuffix = "_s";
+constexpr const char* kTgtSuffix = "_t";
+
+/// Rename every nest variable of `s` with `suffix`.
+IntegerSet renameAll(const IntegerSet& s, const std::vector<std::string>& vars,
+                     const std::string& suffix) {
+  IntegerSet out = s;
+  for (const auto& v : vars) out = out.renamed(v, suffixed(v, suffix));
+  return out;
+}
+
+AffineExpr renameAllExpr(AffineExpr e, const std::vector<std::string>& vars,
+                         const std::string& suffix) {
+  for (const auto& v : vars) e = e.renamed(v, suffixed(v, suffix));
+  return e;
+}
+
+/// Build the violated relation for one (srcAccess, tgtAccess) pair.
+AccessPairDep buildPair(const NestSystem& sys, std::size_t k, std::size_t kp,
+                        const Access& src, const Access& tgt, DepKind kind) {
+  const PerfectNest& srcNest = sys.nests[k];
+  const PerfectNest& tgtNest = sys.nests[kp];
+
+  AccessPairDep out;
+  out.srcNest = k;
+  out.tgtNest = kp;
+  out.src = src;
+  out.tgt = tgt;
+  out.kind = kind;
+  out.exactInfo = src.guardExact && tgt.guardExact;
+
+  for (const auto& v : srcNest.vars)
+    out.srcVars.push_back(suffixed(v, kSrcSuffix));
+  for (const auto& v : tgtNest.vars)
+    out.tgtVars.push_back(suffixed(v, kTgtSuffix));
+
+  // Execution positions (with tile existentials when a nest is tiled).
+  ExecPosition srcPos = execPosition(sys, k, kSrcSuffix);
+  ExecPosition tgtPos = execPosition(sys, kp, kTgtSuffix);
+
+  std::vector<std::string> relVars = out.srcVars;
+  relVars.insert(relVars.end(), out.tgtVars.begin(), out.tgtVars.end());
+  relVars.insert(relVars.end(), srcPos.existentials.begin(),
+                 srcPos.existentials.end());
+  relVars.insert(relVars.end(), tgtPos.existentials.begin(),
+                 tgtPos.existentials.end());
+
+  IntegerSet base(relVars);
+  const IntegerSet srcInst = renameAll(src.instances, srcNest.vars, kSrcSuffix);
+  const IntegerSet tgtInst = renameAll(tgt.instances, tgtNest.vars, kTgtSuffix);
+  for (const auto& c : srcInst.constraints()) base.addConstraint(c);
+  for (const auto& c : tgtInst.constraints()) base.addConstraint(c);
+  for (const auto& c : srcPos.constraints) base.addConstraint(c);
+  for (const auto& c : tgtPos.constraints) base.addConstraint(c);
+
+  // Subscript equality: only when both sides are exact affine accesses to
+  // the same array; otherwise the pair may alias unconditionally.
+  if (!src.isScalar && !tgt.isScalar) {
+    FIXFUSE_CHECK(src.subs.size() == tgt.subs.size(),
+                  "rank mismatch between accesses of " + src.name);
+    // Per-dimension: affine dimensions constrain the aliasing even when
+    // another dimension is data-dependent (LU's A(m, j)).
+    for (std::size_t d = 0; d < src.subs.size(); ++d) {
+      if (!src.subs[d].isAffine() || !tgt.subs[d].isAffine()) {
+        out.exactInfo = false;
+        continue;
+      }
+      AffineExpr ss =
+          renameAllExpr(src.subs[d].expr, srcNest.vars, kSrcSuffix);
+      AffineExpr ts =
+          renameAllExpr(tgt.subs[d].expr, tgtNest.vars, kTgtSuffix);
+      base.addEQ(ss - ts);
+    }
+  }
+
+  // Original order: with shared container loops, instance s of L_k runs
+  // before instance t of L_k' (k < k') iff shared(s) <=lex shared(t); the
+  // dependence only exists under that condition. Without shared loops the
+  // nests are fully sequential (Eq. 1) and the condition is vacuous.
+  std::vector<std::vector<Constraint>> origPieces;
+  std::size_t shared = sharedPrefixDepth(sys, k, kp);
+  if (shared == 0) {
+    origPieces.push_back({});
+  } else {
+    std::vector<AffineExpr> s, t;
+    for (std::size_t d = 0; d < shared; ++d) {
+      s.push_back(AffineExpr::var(suffixed(srcNest.vars[d], kSrcSuffix)));
+      t.push_back(AffineExpr::var(suffixed(tgtNest.vars[d], kTgtSuffix)));
+    }
+    std::vector<Constraint> equal;
+    for (std::size_t d = 0; d < shared; ++d)
+      equal.push_back(Constraint::eq(s[d] - t[d]));
+    origPieces.push_back(std::move(equal));
+    for (auto& piece : poly::lexLessPieces(s, t))
+      origPieces.push_back(std::move(piece));
+  }
+
+  // Violation: execPos_tgt < execPos_src lexicographically.
+  PresburgerSet rel(relVars);
+  for (const auto& orig : origPieces)
+    for (const auto& piece : poly::lexLessPieces(tgtPos.position,
+                                                 srcPos.position)) {
+      IntegerSet p = base;
+      for (const auto& c : orig) p.addConstraint(c);
+      for (const auto& c : piece) p.addConstraint(c);
+      rel.addPiece(std::move(p));
+    }
+  out.rel = std::move(rel);
+  return out;
+}
+
+bool namesMatch(const Access& a, const Access& b) {
+  return a.name == b.name && a.isScalar == b.isScalar;
+}
+
+}  // namespace
+
+std::vector<AccessPairDep> violatedDepPairs(const NestSystem& sys,
+                                            std::size_t k, std::size_t kp,
+                                            const std::string& name,
+                                            DepKind kind) {
+  FIXFUSE_CHECK(k < kp && kp < sys.nests.size(), "bad nest pair");
+  auto srcAll = collectAccesses(sys.nests[k]);
+  auto tgtAll = collectAccesses(sys.nests[kp]);
+  std::vector<Access> srcs = kind == DepKind::Anti ? readsOf(srcAll, name)
+                                                   : writesOf(srcAll, name);
+  std::vector<Access> tgts = kind == DepKind::Flow ? readsOf(tgtAll, name)
+                                                   : writesOf(tgtAll, name);
+  std::vector<AccessPairDep> out;
+  for (const auto& s : srcs)
+    for (const auto& t : tgts) {
+      if (!namesMatch(s, t)) continue;
+      out.push_back(buildPair(sys, k, kp, s, t, kind));
+    }
+  return out;
+}
+
+WSet computeW(const NestSystem& sys, std::size_t k) {
+  WSet w;
+  auto srcAll = collectAccesses(sys.nests[k]);
+  std::set<std::string> names;
+  for (const auto& a : srcAll)
+    if (a.isWrite) names.insert(a.name);
+  for (std::size_t kp = k + 1; kp < sys.nests.size(); ++kp)
+    for (const auto& name : names)
+      for (DepKind kind : {DepKind::Flow, DepKind::Output})
+        for (auto& pair : violatedDepPairs(sys, k, kp, name, kind))
+          if (!pair.provablyEmpty(sys.ctx)) w.entries.push_back(std::move(pair));
+  return w;
+}
+
+std::vector<AccessPairDep> violatedAntiDeps(const NestSystem& sys,
+                                            std::size_t k,
+                                            const std::string& name) {
+  std::vector<AccessPairDep> out;
+  for (std::size_t kp = k + 1; kp < sys.nests.size(); ++kp)
+    for (auto& pair : violatedDepPairs(sys, k, kp, name, DepKind::Anti))
+      if (!pair.provablyEmpty(sys.ctx)) out.push_back(std::move(pair));
+  return out;
+}
+
+namespace {
+
+/// Distance objective at dim `i` for one entry: F_src,i(s) - execPos_tgt,i(t).
+AffineExpr distanceObjective(const NestSystem& sys, const AccessPairDep& e,
+                             std::size_t dim) {
+  const PerfectNest& srcNest = sys.nests[e.srcNest];
+  AffineExpr f = renameAllExpr(srcNest.embed.outputs[dim], srcNest.vars,
+                               kSrcSuffix);
+  ExecPosition tgtPos = execPosition(sys, e.tgtNest, kTgtSuffix);
+  return f - tgtPos.position[dim];
+}
+
+}  // namespace
+
+std::vector<DistanceBound> distanceBounds(const NestSystem& sys,
+                                          const WSet& w) {
+  std::size_t n = sys.dims();
+  // Live filtered relations, one per entry (the paper's D_i).
+  std::vector<PresburgerSet> live;
+  live.reserve(w.entries.size());
+  for (const auto& e : w.entries) live.push_back(e.rel);
+
+  std::vector<DistanceBound> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DistanceBound b;
+    b.zero = true;
+    for (std::size_t e = 0; e < w.entries.size(); ++e) {
+      AffineExpr obj = distanceObjective(sys, w.entries[e], i);
+      if (!live[e].provablyAtMost(obj, 0, sys.ctx)) {
+        b.zero = false;
+        break;
+      }
+    }
+    if (b.zero) {
+      b.bounded = true;
+      b.bound = 0;
+    } else {
+      // Find a constant bound if one exists (doubling then accepting).
+      for (std::int64_t cand : {1, 2, 4, 8, 16, 32, 64, 128}) {
+        bool ok = true;
+        for (std::size_t e = 0; e < w.entries.size(); ++e) {
+          AffineExpr obj = distanceObjective(sys, w.entries[e], i);
+          if (!live[e].provablyAtMost(obj, cand, sys.ctx)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          b.bounded = true;
+          b.bound = cand;
+          break;
+        }
+      }
+    }
+    out[i] = b;
+    // D_{i+1}: keep only the part not carried at level i (obj_i <= 0).
+    for (std::size_t e = 0; e < w.entries.size(); ++e) {
+      AffineExpr obj = distanceObjective(sys, w.entries[e], i);
+      live[e] = live[e].intersectedWith({Constraint::ge(-obj)});
+    }
+  }
+  return out;
+}
+
+bool flowOutputViolationsFixed(const NestSystem& sys) {
+  for (std::size_t k = 0; k + 1 < sys.nests.size(); ++k)
+    if (!computeW(sys, k).empty()) return false;
+  return true;
+}
+
+bool tilingLegalForNest(const NestSystem& sys, std::size_t k,
+                        const std::vector<TileSize>& sizes) {
+  // Apply the candidate sizes on a copy and test for reversed intra-nest
+  // dependences: original order s < t (nest-local lex) but t executes
+  // strictly before s, or in the same fused iteration with F(t) < F(s)
+  // (points within a tile enumerate in fused lexicographic order).
+  NestSystem trial = sys;
+  trial.nests[k].tileSizes = sizes;
+  const PerfectNest& nest = trial.nests[k];
+  if (nest.vars.empty()) return true;
+
+  auto all = collectAccesses(nest);
+  ExecPosition sPos = execPosition(trial, k, kSrcSuffix);
+  ExecPosition tPos = execPosition(trial, k, kTgtSuffix);
+
+  std::vector<std::string> sVars, tVars;
+  for (const auto& v : nest.vars) sVars.push_back(suffixed(v, kSrcSuffix));
+  for (const auto& v : nest.vars) tVars.push_back(suffixed(v, kTgtSuffix));
+  std::vector<std::string> relVars = sVars;
+  relVars.insert(relVars.end(), tVars.begin(), tVars.end());
+  relVars.insert(relVars.end(), sPos.existentials.begin(),
+                 sPos.existentials.end());
+  relVars.insert(relVars.end(), tPos.existentials.begin(),
+                 tPos.existentials.end());
+
+  std::vector<AffineExpr> sOrig, tOrig;  // nest-local original order
+  for (const auto& v : nest.vars) {
+    sOrig.push_back(AffineExpr::var(suffixed(v, kSrcSuffix)));
+    tOrig.push_back(AffineExpr::var(suffixed(v, kTgtSuffix)));
+  }
+  std::vector<AffineExpr> sF = nest.embed.outputs, tF = nest.embed.outputs;
+  for (auto& f : sF) f = renameAllExpr(f, nest.vars, kSrcSuffix);
+  for (auto& f : tF) f = renameAllExpr(f, nest.vars, kTgtSuffix);
+
+  for (const auto& a : all)
+    for (const auto& b : all) {
+      if (!(a.isWrite || b.isWrite)) continue;
+      if (!namesMatch(a, b)) continue;
+      IntegerSet base(relVars);
+      const IntegerSet aInst = renameAll(a.instances, nest.vars, kSrcSuffix);
+      const IntegerSet bInst = renameAll(b.instances, nest.vars, kTgtSuffix);
+      for (const auto& c : aInst.constraints()) base.addConstraint(c);
+      for (const auto& c : bInst.constraints()) base.addConstraint(c);
+      for (const auto& c : sPos.constraints) base.addConstraint(c);
+      for (const auto& c : tPos.constraints) base.addConstraint(c);
+      if (!a.isScalar && !b.isScalar) {
+        for (std::size_t d = 0; d < a.subs.size(); ++d) {
+          if (!a.subs[d].isAffine() || !b.subs[d].isAffine()) continue;
+          base.addEQ(renameAllExpr(a.subs[d].expr, nest.vars, kSrcSuffix) -
+                     renameAllExpr(b.subs[d].expr, nest.vars, kTgtSuffix));
+        }
+      }
+
+      PresburgerSet reversed(relVars);
+      // Case 1: exec(t) strictly before exec(s).
+      for (const auto& ord : poly::lexLessPieces(sOrig, tOrig))
+        for (const auto& rev : poly::lexLessPieces(tPos.position,
+                                                   sPos.position)) {
+          IntegerSet p = base;
+          for (const auto& c : ord) p.addConstraint(c);
+          for (const auto& c : rev) p.addConstraint(c);
+          reversed.addPiece(std::move(p));
+        }
+      // Case 2: same fused iteration, but F(t) < F(s).
+      for (const auto& ord : poly::lexLessPieces(sOrig, tOrig))
+        for (const auto& rev : poly::lexLessPieces(tF, sF)) {
+          IntegerSet p = base;
+          for (const auto& c : ord) p.addConstraint(c);
+          for (std::size_t j = 0; j < sPos.position.size(); ++j)
+            p.addEQ(sPos.position[j] - tPos.position[j]);
+          for (const auto& c : rev) p.addConstraint(c);
+          reversed.addPiece(std::move(p));
+        }
+      if (!reversed.provablyEmpty(sys.ctx)) return false;
+    }
+  return true;
+}
+
+}  // namespace fixfuse::deps

@@ -1,0 +1,100 @@
+// Fusion-preventing dependence analysis (Eqs. 5-6 of the paper).
+//
+// A dependence from nest L_k to a later nest L_k' (k < k') is *violated*
+// by the fusion when the target instance executes strictly before the
+// source instance in the fused schedule: execPos_k'(t) < execPos_k(s)
+// lexicographically. (At equal fused iterations the bodies run in nest
+// order, so equality preserves the dependence.) Execution positions
+// account for any tiling already applied by ElimWW_WR to later nests -
+// the bottom-up recomputation of Fig. 2 line 14.
+//
+// Every query returns a *sound over-approximation*: guards or subscripts
+// that are not affine are dropped (may-execute / may-alias), and
+// Fourier-Motzkin projections only ever grow the relation. Therefore
+// "provably empty" answers are trustworthy and everything else is
+// treated as a real dependence, exactly the safe direction for FixDeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deps/access.h"
+#include "deps/nestsystem.h"
+#include "poly/presburger.h"
+
+namespace fixfuse::deps {
+
+enum class DepKind {
+  Flow,    // WR_A(k,k'): write in k, read in k'
+  Output,  // WW_A(k,k'): write in k, write in k'
+  Anti,    // RW_A(k,k'): read in k, write in k'
+};
+
+const char* depKindName(DepKind k);
+
+/// One violated-dependence relation between a concrete access pair.
+struct AccessPairDep {
+  std::size_t srcNest = 0;
+  std::size_t tgtNest = 0;
+  Access src;  // access in L_srcNest (variables unsuffixed)
+  Access tgt;  // access in L_tgtNest
+  DepKind kind = DepKind::Flow;
+  /// Suffixed variable names, in the order they appear in rel.vars():
+  /// srcVars ("_s") ++ tgtVars ("_t") ++ tile existentials.
+  std::vector<std::string> srcVars;
+  std::vector<std::string> tgtVars;
+  /// The violated instances.
+  poly::PresburgerSet rel;
+  /// False when a non-affine guard/subscript was dropped somewhere.
+  bool exactInfo = true;
+
+  bool provablyEmpty(const poly::ParamContext& ctx) const {
+    return rel.provablyEmpty(ctx);
+  }
+};
+
+/// All violated dependences of `kind` on `name` from nest k to nest kp.
+std::vector<AccessPairDep> violatedDepPairs(const NestSystem& sys,
+                                            std::size_t k, std::size_t kp,
+                                            const std::string& name,
+                                            DepKind kind);
+
+/// The paper's W(k): every violated flow/output dependence from L_k to
+/// any later nest, over every variable (Fig. 2 lines 11-17). Entries that
+/// are provably empty are dropped.
+struct WSet {
+  std::vector<AccessPairDep> entries;
+  bool empty() const { return entries.empty(); }
+};
+WSet computeW(const NestSystem& sys, std::size_t k);
+
+/// All violated anti-dependences from L_k to later nests on `name`
+/// (provably empty entries dropped).
+std::vector<AccessPairDep> violatedAntiDeps(const NestSystem& sys,
+                                            std::size_t k,
+                                            const std::string& name);
+
+/// Per-dimension backward-distance bounds d_i of a W set, with the
+/// paper's D_i filtering (Fig. 2 lines 19-24). The objective at dim i is
+/// F_src,i(s) - execPos_tgt,i(t).
+struct DistanceBound {
+  bool zero = false;       // provably d_i <= 0
+  bool bounded = false;    // d_i <= bound for all parameter values
+  std::int64_t bound = 0;  // valid when bounded
+};
+std::vector<DistanceBound> distanceBounds(const NestSystem& sys,
+                                          const WSet& w);
+
+/// True when no flow/output dependence of any nest pair is violated
+/// under the system's current tile sizes (the post-condition of
+/// ElimWW_WR; empirical Theorem 1).
+bool flowOutputViolationsFixed(const NestSystem& sys);
+
+/// Tiling legality for the *intra-nest* dependences of L_k (Fig. 2 line
+/// 25): true when applying `sizes` to L_k provably reverses no dependence
+/// between two instances of L_k itself.
+bool tilingLegalForNest(const NestSystem& sys, std::size_t k,
+                        const std::vector<TileSize>& sizes);
+
+}  // namespace fixfuse::deps

@@ -1,0 +1,190 @@
+#include "deps/nestsystem.h"
+
+#include <set>
+
+#include "support/error.h"
+
+namespace fixfuse::deps {
+
+using poly::AffineExpr;
+using poly::Constraint;
+using poly::IntegerSet;
+
+std::vector<std::int64_t> AffineMap::apply(
+    const std::map<std::string, std::int64_t>& binding) const {
+  std::vector<std::int64_t> out;
+  out.reserve(outputs.size());
+  for (const auto& e : outputs) out.push_back(e.evaluate(binding));
+  return out;
+}
+
+bool PerfectNest::isTiled() const {
+  for (const auto& t : tileSizes)
+    if (!t.isUnit()) return true;
+  return false;
+}
+
+std::vector<AffineExpr> NestSystem::origin() const {
+  // O_j = L_j with outer fused vars replaced by their own origins.
+  std::vector<AffineExpr> o;
+  for (std::size_t j = 0; j < isVars.size(); ++j) {
+    AffineExpr lb = isBounds[j].first;
+    for (std::size_t t = 0; t < j; ++t)
+      lb = lb.substituted(isVars[t], o[t]);
+    o.push_back(lb);
+  }
+  return o;
+}
+
+poly::IntegerSet NestSystem::isDomain() const {
+  IntegerSet s(isVars);
+  for (std::size_t j = 0; j < isVars.size(); ++j) {
+    s.addGE(AffineExpr::var(isVars[j]) - isBounds[j].first);
+    s.addGE(isBounds[j].second - AffineExpr::var(isVars[j]));
+  }
+  return s;
+}
+
+void NestSystem::validate() const {
+  FIXFUSE_CHECK(!isVars.empty(), "empty fused space");
+  FIXFUSE_CHECK(isBounds.size() == isVars.size(), "isBounds arity mismatch");
+  std::set<std::string> isSet(isVars.begin(), isVars.end());
+  FIXFUSE_CHECK(isSet.size() == isVars.size(), "duplicate fused variable");
+  // Bounds may only use parameters and outer fused vars.
+  for (std::size_t j = 0; j < isVars.size(); ++j) {
+    for (const auto& [lb, ub] : {isBounds[j]}) {
+      for (const auto& e : {lb, ub})
+        for (const auto& v : e.variables()) {
+          bool isParam = std::find(decls.params.begin(), decls.params.end(),
+                                   v) != decls.params.end();
+          bool isOuter = false;
+          for (std::size_t t = 0; t < j; ++t)
+            if (isVars[t] == v) isOuter = true;
+          FIXFUSE_CHECK(isParam || isOuter,
+                        "fused bound of " + isVars[j] + " uses " + v);
+        }
+    }
+  }
+  FIXFUSE_CHECK(!nests.empty(), "nest system without nests");
+  for (std::size_t k = 0; k < nests.size(); ++k) {
+    const PerfectNest& n = nests[k];
+    FIXFUSE_CHECK(n.embed.dims() == isVars.size(),
+                  "embedding arity mismatch in nest " + std::to_string(k));
+    FIXFUSE_CHECK(n.domain.vars() == n.vars,
+                  "domain variable mismatch in nest " + std::to_string(k));
+    FIXFUSE_CHECK(n.body != nullptr, "nest " + std::to_string(k) + " has no body");
+    FIXFUSE_CHECK(n.tileSizes.empty() || n.tileSizes.size() == isVars.size(),
+                  "tile size arity mismatch in nest " + std::to_string(k));
+    for (const auto& t : n.tileSizes)
+      FIXFUSE_CHECK(t.isFull() || t.value >= 1, "non-positive tile size");
+    FIXFUSE_CHECK(
+        invertEmbedding(n.embed, n.vars, isVars).has_value(),
+        "embedding of nest " + std::to_string(k) + " is not invertible");
+  }
+}
+
+std::optional<std::map<std::string, AffineExpr>> invertEmbedding(
+    const AffineMap& embed, const std::vector<std::string>& nestVars,
+    const std::vector<std::string>& isVars) {
+  if (embed.outputs.size() != isVars.size()) return std::nullopt;
+  // Triangular solve: repeatedly find an output F_j = +-v + rest where v is
+  // an unsolved nest var and `rest` no longer mentions unsolved vars;
+  // then v = +-(I_j - rest).
+  std::map<std::string, AffineExpr> solved;
+  std::set<std::string> unsolved(nestVars.begin(), nestVars.end());
+  // Outputs with the current solution substituted in.
+  std::vector<AffineExpr> outs = embed.outputs;
+  bool progress = true;
+  while (!unsolved.empty() && progress) {
+    progress = false;
+    for (std::size_t j = 0; j < outs.size(); ++j) {
+      // Count unsolved vars in this output.
+      const AffineExpr& f = outs[j];
+      std::string candidate;
+      int count = 0;
+      for (const auto& v : f.variables())
+        if (unsolved.count(v)) {
+          ++count;
+          candidate = v;
+        }
+      if (count != 1) continue;
+      std::int64_t c = f.coeff(candidate);
+      if (c != 1 && c != -1) continue;
+      // I_j = c*v + rest  =>  v = c*(I_j - rest)
+      AffineExpr rest = f - AffineExpr::term(c, candidate);
+      AffineExpr sol = (AffineExpr::var(isVars[j]) - rest) * c;
+      solved.emplace(candidate, sol);
+      unsolved.erase(candidate);
+      for (auto& o : outs) o = o.substituted(candidate, sol);
+      progress = true;
+    }
+  }
+  if (!unsolved.empty()) return std::nullopt;
+  return solved;
+}
+
+std::string suffixed(const std::string& name, const std::string& suffix) {
+  return name + suffix;
+}
+
+std::size_t sharedPrefixDepth(const NestSystem& sys, std::size_t k,
+                              std::size_t kp) {
+  FIXFUSE_CHECK(k < sys.nests.size() && kp < sys.nests.size(),
+                "nest index out of range");
+  const PerfectNest& a = sys.nests[k];
+  const PerfectNest& b = sys.nests[kp];
+  std::size_t depth = std::min(a.sharedPrefix, b.sharedPrefix);
+  std::size_t d = 0;
+  while (d < depth && d < a.vars.size() && d < b.vars.size() &&
+         a.vars[d] == b.vars[d] &&
+         a.embed.outputs[d] == AffineExpr::var(a.vars[d]) &&
+         b.embed.outputs[d] == AffineExpr::var(b.vars[d]))
+    ++d;
+  return d;
+}
+
+ExecPosition execPosition(const NestSystem& sys, std::size_t nestIdx,
+                          const std::string& varSuffix) {
+  FIXFUSE_CHECK(nestIdx < sys.nests.size(), "nest index out of range");
+  const PerfectNest& nest = sys.nests[nestIdx];
+
+  // F_k with the nest variables suffixed.
+  std::vector<AffineExpr> F = nest.embed.outputs;
+  for (auto& f : F)
+    for (const auto& v : nest.vars) f = f.renamed(v, suffixed(v, varSuffix));
+
+  ExecPosition out;
+  out.position.reserve(sys.dims());
+  for (std::size_t j = 0; j < sys.dims(); ++j) {
+    TileSize t = nest.tileSizes.empty() ? TileSize::of(1) : nest.tileSizes[j];
+    if (t.isUnit()) {
+      out.position.push_back(F[j]);
+      continue;
+    }
+    // Per-slice tile origin: the fused lower bound of dim j with outer
+    // fused vars replaced by this instance's fused coordinates.
+    AffineExpr lb = sys.isBounds[j].first;
+    for (std::size_t u = 0; u < j; ++u)
+      lb = lb.substituted(sys.isVars[u], F[u]);
+    if (t.isFull()) {
+      // One tile: everything executes at the slice origin.
+      out.position.push_back(lb);
+      continue;
+    }
+    // Concrete T: position = lb + c with existential c s.t.
+    // T*c <= F_j - lb <= T*c + T - 1, c >= 0.
+    std::string e = "__tile" + std::to_string(nestIdx) + "_" +
+                    std::to_string(j) + varSuffix;
+    out.existentials.push_back(e);
+    AffineExpr ev = AffineExpr::var(e);
+    AffineExpr diff = F[j] - lb;
+    out.constraints.push_back(Constraint::ge(ev));
+    out.constraints.push_back(Constraint::ge(diff - ev * t.value));
+    out.constraints.push_back(
+        Constraint::ge(ev * t.value + AffineExpr(t.value - 1) - diff));
+    out.position.push_back(lb + ev);
+  }
+  return out;
+}
+
+}  // namespace fixfuse::deps

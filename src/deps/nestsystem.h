@@ -1,0 +1,140 @@
+// The central data structure of the paper's algorithm: a system of K
+// perfect loop nests (Eq. 1) together with the common fused iteration
+// space IS (Eq. 2) and one injective affine embedding F_k : IS_k -> IS
+// per nest (Eq. 3).
+//
+// Each nest additionally carries its *tile sizes* - the state mutated by
+// ElimWW_WR (Fig. 2). An untiled nest executes instance s at fused time
+// F_k(s). A nest tiled with sizes (T_1..T_n) and fused-space origin O
+// executes instance s at fused time
+//     E_k(s)_j = O_j + floor((F_k(s)_j - O_j) / T_j),
+// i.e. tile c runs in full when the fused loop reaches iteration O + c
+// (the "compressed ahead-of-schedule" execution the paper's tiled code in
+// lines 27-33 of Fig. 2 realises). T_j = 1 leaves E = F. A size may also
+// be Full (one tile spanning the whole extent, the paper's "T = N" case,
+// legal even when the extent is parametric): then E_k(s)_j = O_j.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "poly/presburger.h"
+#include "poly/set.h"
+
+namespace fixfuse::deps {
+
+/// One tile size: a concrete positive integer, or Full (single tile over
+/// the whole dimension).
+struct TileSize {
+  static constexpr std::int64_t kFull = -1;
+  std::int64_t value = 1;
+
+  static TileSize full() { return TileSize{kFull}; }
+  static TileSize of(std::int64_t v) { return TileSize{v}; }
+  bool isFull() const { return value == kFull; }
+  bool isUnit() const { return value == 1; }
+  std::string str() const {
+    return isFull() ? "Full" : std::to_string(value);
+  }
+};
+
+/// Affine map from a nest's iteration variables (+ parameters) to the
+/// fused space: one output expression per IS dimension.
+struct AffineMap {
+  std::vector<poly::AffineExpr> outputs;
+
+  std::size_t dims() const { return outputs.size(); }
+  /// Apply to a concrete point (binding covers nest vars and parameters).
+  std::vector<std::int64_t> apply(
+      const std::map<std::string, std::int64_t>& binding) const;
+};
+
+/// One perfect loop nest L_k.
+struct PerfectNest {
+  /// Loop variables, outermost first. May be empty (a straight-line nest
+  /// of statements, e.g. "temp=0; m=k" in LU after sinking).
+  std::vector<std::string> vars;
+  /// How many leading vars are *shared container loops* of the original
+  /// imperfect program (k for LU, t for Jacobi, i / (i,j) for QR). The
+  /// original execution order interleaves nests per shared iteration:
+  /// instance s of L_k precedes instance t of L_k' (k < k') iff
+  /// shared(s) <=lex shared(t). Nests built by codeSink set this; nests
+  /// representing genuinely separate loops (Eq. 1) leave it 0.
+  std::size_t sharedPrefix = 0;
+  /// Iteration domain over `vars` (parametric).
+  poly::IntegerSet domain;
+  /// Body statements in terms of `vars` and parameters.
+  ir::StmtPtr body;
+  /// F_k - must have one output per IS dimension.
+  AffineMap embed;
+  /// Tile sizes set by ElimWW_WR; empty means untiled (all 1).
+  std::vector<TileSize> tileSizes;
+
+  bool isTiled() const;
+};
+
+/// The whole system. `decls` supplies parameters, array and scalar
+/// declarations (its body is ignored); the fused-program generator copies
+/// them into the generated program.
+struct NestSystem {
+  ir::Program decls;
+  /// Fused space variables, outermost first.
+  std::vector<std::string> isVars;
+  /// Inclusive affine bounds L_j <= I_j <= U_j of the fused space, as
+  /// (lower, upper) expressions over parameters and *outer* fused vars
+  /// (triangular bounds like "j+1 <= i <= N" are allowed).
+  std::vector<std::pair<poly::AffineExpr, poly::AffineExpr>> isBounds;
+  /// O = lexicographic minimum of IS: for each dim, the lower bound with
+  /// outer dims substituted by their own lower bounds (computed).
+  std::vector<poly::AffineExpr> origin() const;
+  /// The IS box as an IntegerSet over isVars.
+  poly::IntegerSet isDomain() const;
+
+  std::vector<PerfectNest> nests;
+
+  /// Parameter context used for all symbolic proofs on this system.
+  poly::ParamContext ctx;
+
+  std::size_t dims() const { return isVars.size(); }
+
+  /// Structural checks: embedding arity, domain var mismatch, embedding
+  /// invertibility, tile size vector lengths. Throws on violation.
+  void validate() const;
+};
+
+/// Solve an embedding for the nest variables: returns, for each nest var,
+/// an affine expression over the fused variables `isVars` and parameters,
+/// or nullopt when the embedding is not unit-coefficient solvable.
+/// (Every kernel embedding in this repo maps each nest var into exactly
+/// one output with coefficient +-1, so the triangular solve succeeds.)
+std::optional<std::map<std::string, poly::AffineExpr>> invertEmbedding(
+    const AffineMap& embed, const std::vector<std::string>& nestVars,
+    const std::vector<std::string>& isVars);
+
+/// Execution-position expressions of a nest, over its own variables plus
+/// fresh existential tile counters. Returns the position expressions and
+/// the constraints binding the existential variables (empty when untiled).
+struct ExecPosition {
+  std::vector<poly::AffineExpr> position;     // one per IS dim
+  std::vector<std::string> existentials;      // fresh tile-counter names
+  std::vector<poly::Constraint> constraints;  // bind the existentials
+};
+ExecPosition execPosition(const NestSystem& sys, std::size_t nestIdx,
+                          const std::string& varSuffix);
+
+/// Rename all of a nest's variables with a suffix inside a set of
+/// constraints-building helpers (used to juxtapose two nests' instances
+/// in one dependence set).
+std::string suffixed(const std::string& name, const std::string& suffix);
+
+/// Number of leading shared-container variables common to nests k and kp:
+/// min of both sharedPrefix counts, limited to leading dims where both
+/// embeddings are the identical variable.
+std::size_t sharedPrefixDepth(const NestSystem& sys, std::size_t k,
+                              std::size_t kp);
+
+}  // namespace fixfuse::deps

@@ -1,0 +1,254 @@
+#include "interp/interp.h"
+
+#include <cmath>
+
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace fixfuse::interp {
+
+using ir::BinOp;
+using ir::CallFn;
+using ir::CmpOp;
+using ir::Expr;
+using ir::ExprKind;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::Type;
+
+Interpreter::Interpreter(const ir::Program& program, Machine& machine,
+                         Observer* observer)
+    : program_(program), machine_(machine), obs_(observer) {
+  env_.reserve(16);
+  idxScratch_.reserve(8);
+}
+
+int Interpreter::siteOf(const Stmt& s) {
+  auto [it, inserted] = sites_.emplace(&s, nextSite_);
+  if (inserted) ++nextSite_;
+  return it->second;
+}
+
+std::int64_t Interpreter::evalInt(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::IntConst:
+      return e.intValue();
+    case ExprKind::VarRef: {
+      // Innermost binding wins (there is no shadowing post-validate, but
+      // search from the back anyway: the hot variables are the inner ones).
+      for (auto it = env_.rbegin(); it != env_.rend(); ++it)
+        if (it->first == e.name()) return it->second;
+      auto pit = machine_.params().find(e.name());
+      FIXFUSE_CHECK(pit != machine_.params().end(),
+                    "unbound variable " + e.name());
+      return pit->second;
+    }
+    case ExprKind::ScalarLoad:
+      return machine_.intScalar(e.name());
+    case ExprKind::Binary: {
+      std::int64_t l = evalInt(*e.lhs());
+      std::int64_t r = evalInt(*e.rhs());
+      if (obs_) obs_->onIntOps(1);
+      switch (e.binOp()) {
+        case BinOp::Add: return l + r;
+        case BinOp::Sub: return l - r;
+        case BinOp::Mul: return l * r;
+        case BinOp::FloorDiv: return floorDiv(l, r);
+        case BinOp::Mod: return floorMod(l, r);
+        case BinOp::Min: return std::min(l, r);
+        case BinOp::Max: return std::max(l, r);
+        case BinOp::Div: break;
+      }
+      FIXFUSE_UNREACHABLE("int binop");
+    }
+    default:
+      throw InternalError("expression is not Int-evaluable: " + e.str());
+  }
+}
+
+double Interpreter::evalFloat(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::FloatConst:
+      return e.floatValue();
+    case ExprKind::ScalarLoad:
+      return machine_.floatScalar(e.name());
+    case ExprKind::ArrayLoad: {
+      const auto& idxExprs = e.indices();
+      idxScratch_.clear();
+      for (const auto& ie : idxExprs) idxScratch_.push_back(evalInt(*ie));
+      const ArrayStorage& st = machine_.array(e.name());
+      if (obs_) {
+        obs_->onIntOps(idxExprs.size());  // address computation
+        obs_->onLoad(st.addrOf(idxScratch_));
+      }
+      return st.get(idxScratch_);
+    }
+    case ExprKind::Binary: {
+      double l = evalFloat(*e.lhs());
+      double r = evalFloat(*e.rhs());
+      if (obs_) obs_->onFlops(1);
+      switch (e.binOp()) {
+        case BinOp::Add: return l + r;
+        case BinOp::Sub: return l - r;
+        case BinOp::Mul: return l * r;
+        case BinOp::Div: return l / r;
+        default: break;
+      }
+      FIXFUSE_UNREACHABLE("float binop");
+    }
+    case ExprKind::Call: {
+      double a = evalFloat(*e.operand());
+      if (obs_) obs_->onFlops(1);
+      return e.callFn() == CallFn::Sqrt ? std::sqrt(a) : std::fabs(a);
+    }
+    case ExprKind::Select: {
+      // Branchless conditional move: one integer op, no branch event.
+      bool c = evalBool(*e.selectCond());
+      if (obs_) obs_->onIntOps(1);
+      return c ? evalFloat(*e.lhs()) : evalFloat(*e.rhs());
+    }
+    default:
+      throw InternalError("expression is not Float-evaluable: " + e.str());
+  }
+}
+
+bool Interpreter::evalBool(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::Compare: {
+      bool result = false;
+      if (e.lhs()->type() == Type::Int) {
+        std::int64_t l = evalInt(*e.lhs());
+        std::int64_t r = evalInt(*e.rhs());
+        if (obs_) obs_->onIntOps(1);
+        switch (e.cmpOp()) {
+          case CmpOp::EQ: result = l == r; break;
+          case CmpOp::NE: result = l != r; break;
+          case CmpOp::LT: result = l < r; break;
+          case CmpOp::LE: result = l <= r; break;
+          case CmpOp::GT: result = l > r; break;
+          case CmpOp::GE: result = l >= r; break;
+        }
+      } else {
+        double l = evalFloat(*e.lhs());
+        double r = evalFloat(*e.rhs());
+        if (obs_) obs_->onFlops(1);
+        switch (e.cmpOp()) {
+          case CmpOp::EQ: result = l == r; break;
+          case CmpOp::NE: result = l != r; break;
+          case CmpOp::LT: result = l < r; break;
+          case CmpOp::LE: result = l <= r; break;
+          case CmpOp::GT: result = l > r; break;
+          case CmpOp::GE: result = l >= r; break;
+        }
+      }
+      return result;
+    }
+    case ExprKind::BoolBinary: {
+      // Short-circuit, like the C code the paper compiles.
+      bool l = evalBool(*e.lhs());
+      if (e.boolOp() == ir::BoolOp::And)
+        return l && evalBool(*e.rhs());
+      return l || evalBool(*e.rhs());
+    }
+    case ExprKind::BoolNot:
+      return !evalBool(*e.operand());
+    default:
+      throw InternalError("expression is not Bool-evaluable: " + e.str());
+  }
+}
+
+void Interpreter::exec(const Stmt& s) {
+  switch (s.kind()) {
+    case StmtKind::Assign: {
+      const ir::LValue& lhs = s.lhs();
+      if (lhs.isScalar()) {
+        if (program_.scalar(lhs.name).type == Type::Int)
+          machine_.setIntScalar(lhs.name, evalInt(*s.rhs()));
+        else
+          machine_.setFloatScalar(lhs.name, evalFloat(*s.rhs()));
+        return;
+      }
+      double v = evalFloat(*s.rhs());
+      idxScratch_.clear();
+      for (const auto& ie : lhs.indices) idxScratch_.push_back(evalInt(*ie));
+      ArrayStorage& st = machine_.array(lhs.name);
+      if (obs_) {
+        obs_->onIntOps(lhs.indices.size());
+        obs_->onStore(st.addrOf(idxScratch_));
+      }
+      st.set(idxScratch_, v);
+      return;
+    }
+    case StmtKind::If: {
+      bool taken = evalBool(*s.cond());
+      if (obs_) obs_->onBranch(siteOf(s), taken);
+      if (taken)
+        exec(*s.thenBody());
+      else if (s.elseBody())
+        exec(*s.elseBody());
+      return;
+    }
+    case StmtKind::Loop: {
+      std::int64_t lb = evalInt(*s.lowerBound());
+      std::int64_t ub = evalInt(*s.upperBound());
+      int site = obs_ ? siteOf(s) : 0;
+      env_.emplace_back(s.loopVar(), lb);
+      for (std::int64_t v = lb; v <= ub; ++v) {
+        env_.back().second = v;
+        if (obs_) {
+          obs_->onIntOps(1);          // induction increment / compare
+          obs_->onBranch(site, true);  // back-edge taken
+        }
+        exec(*s.loopBody());
+      }
+      if (obs_) obs_->onBranch(site, false);  // loop exit
+      env_.pop_back();
+      return;
+    }
+    case StmtKind::Block:
+      for (const auto& st : s.stmts()) exec(*st);
+      return;
+  }
+}
+
+void Interpreter::run() {
+  if (program_.body) exec(*program_.body);
+}
+
+Machine runProgram(const ir::Program& program,
+                   const std::map<std::string, std::int64_t>& params,
+                   const std::function<void(Machine&)>& init,
+                   Observer* observer) {
+  Machine m(program, params);
+  if (init) init(m);
+  Interpreter interp(program, m, observer);
+  interp.run();
+  return m;
+}
+
+double maxArrayDifference(const Machine& a, const Machine& b,
+                          const std::string& array) {
+  const auto& sa = a.array(array);
+  const auto& sb = b.array(array);
+  FIXFUSE_CHECK(sa.extents() == sb.extents(),
+                "array shape mismatch for " + array);
+  double maxDiff = 0.0;
+  for (std::size_t i = 0; i < sa.data().size(); ++i)
+    maxDiff = std::max(maxDiff, std::fabs(sa.data()[i] - sb.data()[i]));
+  return maxDiff;
+}
+
+bool statesMatch(const ir::Program& pa, const Machine& a,
+                 const ir::Program& pb, const Machine& b, double tol,
+                 std::string* whichArray) {
+  for (const auto& decl : pa.arrays) {
+    if (!pb.hasArray(decl.name) || !b.hasArray(decl.name)) continue;
+    if (maxArrayDifference(a, b, decl.name) > tol) {
+      if (whichArray) *whichArray = decl.name;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fixfuse::interp

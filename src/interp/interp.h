@@ -1,0 +1,63 @@
+// Reference interpreter for the loop-nest IR.
+//
+// The interpreter is the ground truth for every transformation in this
+// repository: a transformation is accepted only if the transformed
+// program produces the same machine state as the original on random
+// inputs (the empirical counterpart of the paper's Theorems 1-2).
+// It also drives the trace-based cache/branch simulation.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "interp/machine.h"
+#include "interp/observer.h"
+#include "ir/stmt.h"
+
+namespace fixfuse::interp {
+
+class Interpreter {
+ public:
+  /// `program` and `machine` must outlive the interpreter.
+  Interpreter(const ir::Program& program, Machine& machine,
+              Observer* observer = nullptr);
+
+  /// Execute the whole program body.
+  void run();
+
+ private:
+  std::int64_t evalInt(const ir::Expr& e);
+  double evalFloat(const ir::Expr& e);
+  bool evalBool(const ir::Expr& e);
+  void exec(const ir::Stmt& s);
+  int siteOf(const ir::Stmt& s);
+
+  const ir::Program& program_;
+  Machine& machine_;
+  Observer* obs_;
+  // Loop variable environment. Loop depth is tiny, so a flat vector with
+  // linear search beats a map.
+  std::vector<std::pair<std::string, std::int64_t>> env_;
+  std::unordered_map<const ir::Stmt*, int> sites_;
+  int nextSite_ = 0;
+  std::vector<std::int64_t> idxScratch_;
+};
+
+/// Allocate a machine, run `program` on it, and return the final state.
+Machine runProgram(const ir::Program& program,
+                   const std::map<std::string, std::int64_t>& params,
+                   const std::function<void(Machine&)>& init,
+                   Observer* observer = nullptr);
+
+/// Max absolute element difference between same-named arrays of two
+/// machines; throws if the shapes differ.
+double maxArrayDifference(const Machine& a, const Machine& b,
+                          const std::string& array);
+
+/// True when every array common to both programs matches within `tol`
+/// (and writes the first offending array name to `whichArray`).
+bool statesMatch(const ir::Program& pa, const Machine& a,
+                 const ir::Program& pb, const Machine& b, double tol,
+                 std::string* whichArray = nullptr);
+
+}  // namespace fixfuse::interp

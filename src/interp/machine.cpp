@@ -1,0 +1,109 @@
+#include "interp/machine.h"
+
+#include "ir/affine_bridge.h"
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace fixfuse::interp {
+
+namespace {
+constexpr std::uint64_t kBaseAddress = 0x10000;  // first array base
+constexpr std::uint64_t kAlignment = 64;
+constexpr std::uint64_t kInterArrayGap = 128;  // one L2 line of padding
+}  // namespace
+
+ArrayStorage::ArrayStorage(std::vector<std::int64_t> extents,
+                           std::uint64_t base)
+    : extents_(std::move(extents)), base_(base) {
+  FIXFUSE_CHECK(!extents_.empty(), "rank-0 array storage");
+  // Column-major (first index fastest), i.e. Fortran order: the paper's
+  // programs are Fortran and its ANSI-C translations preserve the stride
+  // pattern, so A(i, k) with the i loop innermost walks memory
+  // contiguously. Cache behaviour fidelity depends on this.
+  std::int64_t total = 1;
+  strides_.assign(extents_.size(), 1);
+  for (std::size_t d = 0; d < extents_.size(); ++d) {
+    FIXFUSE_CHECK(extents_[d] > 0, "non-positive array extent");
+    strides_[d] = total;
+    total = checkedMul(total, extents_[d]);
+  }
+  data_.assign(static_cast<std::size_t>(total), 0.0);
+}
+
+std::size_t ArrayStorage::linearIndex(std::span<const std::int64_t> idx) const {
+  FIXFUSE_CHECK(idx.size() == extents_.size(), "array rank mismatch");
+  std::int64_t lin = 0;
+  for (std::size_t d = 0; d < idx.size(); ++d) {
+    FIXFUSE_CHECK(idx[d] >= 0 && idx[d] < extents_[d],
+                  "array index out of bounds: dim " + std::to_string(d) +
+                      " index " + std::to_string(idx[d]) + " extent " +
+                      std::to_string(extents_[d]));
+    lin += idx[d] * strides_[d];
+  }
+  return static_cast<std::size_t>(lin);
+}
+
+Machine::Machine(const ir::Program& p,
+                 const std::map<std::string, std::int64_t>& params)
+    : params_(params) {
+  for (const auto& name : p.params)
+    FIXFUSE_CHECK(params_.count(name), "missing parameter " + name);
+  std::uint64_t next = kBaseAddress;
+  for (const auto& decl : p.arrays) {
+    std::vector<std::int64_t> extents;
+    extents.reserve(decl.extents.size());
+    for (const auto& e : decl.extents) {
+      auto a = ir::toAffine(*e);
+      FIXFUSE_CHECK(a.has_value(), "non-affine extent for " + decl.name);
+      extents.push_back(a->evaluate(params_));
+    }
+    ArrayStorage storage(std::move(extents), next);
+    next += storage.byteSize() + kInterArrayGap;
+    next = (next + kAlignment - 1) / kAlignment * kAlignment;
+    arrays_.emplace(decl.name, std::move(storage));
+  }
+  for (const auto& s : p.scalars) {
+    if (s.type == ir::Type::Int)
+      intScalars_[s.name] = 0;
+    else
+      floatScalars_[s.name] = 0.0;
+  }
+}
+
+ArrayStorage& Machine::array(const std::string& name) {
+  auto it = arrays_.find(name);
+  FIXFUSE_CHECK(it != arrays_.end(), "unknown array " + name);
+  return it->second;
+}
+
+const ArrayStorage& Machine::array(const std::string& name) const {
+  auto it = arrays_.find(name);
+  FIXFUSE_CHECK(it != arrays_.end(), "unknown array " + name);
+  return it->second;
+}
+
+double Machine::floatScalar(const std::string& name) const {
+  auto it = floatScalars_.find(name);
+  FIXFUSE_CHECK(it != floatScalars_.end(), "unknown float scalar " + name);
+  return it->second;
+}
+
+std::int64_t Machine::intScalar(const std::string& name) const {
+  auto it = intScalars_.find(name);
+  FIXFUSE_CHECK(it != intScalars_.end(), "unknown int scalar " + name);
+  return it->second;
+}
+
+void Machine::setFloatScalar(const std::string& name, double v) {
+  auto it = floatScalars_.find(name);
+  FIXFUSE_CHECK(it != floatScalars_.end(), "unknown float scalar " + name);
+  it->second = v;
+}
+
+void Machine::setIntScalar(const std::string& name, std::int64_t v) {
+  auto it = intScalars_.find(name);
+  FIXFUSE_CHECK(it != intScalars_.end(), "unknown int scalar " + name);
+  it->second = v;
+}
+
+}  // namespace fixfuse::interp

@@ -1,0 +1,87 @@
+// Machine state for the reference interpreter: parameter bindings, array
+// storage with simulated byte addresses, and scalar registers.
+//
+// Arrays are laid out column-major (Fortran order, first index fastest) with 8-byte double elements, each array
+// base aligned to 64 bytes and separated by one L2 line (128 B) of padding,
+// mimicking a static C allocation. The addresses feed the cache simulator,
+// so the layout is part of the experiment configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace fixfuse::interp {
+
+class ArrayStorage {
+ public:
+  ArrayStorage() = default;
+  ArrayStorage(std::vector<std::int64_t> extents, std::uint64_t base);
+
+  const std::vector<std::int64_t>& extents() const { return extents_; }
+  std::uint64_t base() const { return base_; }
+  std::size_t elementCount() const { return data_.size(); }
+  std::uint64_t byteSize() const { return data_.size() * sizeof(double); }
+
+  /// column-major linear index; throws InternalError on out-of-bounds.
+  std::size_t linearIndex(std::span<const std::int64_t> idx) const;
+  std::uint64_t addrOf(std::span<const std::int64_t> idx) const {
+    return base_ + linearIndex(idx) * sizeof(double);
+  }
+
+  double get(std::span<const std::int64_t> idx) const {
+    return data_[linearIndex(idx)];
+  }
+  void set(std::span<const std::int64_t> idx, double v) {
+    data_[linearIndex(idx)] = v;
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::vector<std::int64_t> extents_;
+  std::vector<std::int64_t> strides_;
+  std::vector<double> data_;
+  std::uint64_t base_ = 0;
+};
+
+class Machine {
+ public:
+  /// Allocate storage for every array of `p` with parameters bound to
+  /// `params`; scalars start at 0.
+  Machine(const ir::Program& p,
+          const std::map<std::string, std::int64_t>& params);
+
+  const std::map<std::string, std::int64_t>& params() const { return params_; }
+
+  bool hasArray(const std::string& name) const {
+    return arrays_.count(name) != 0;
+  }
+  ArrayStorage& array(const std::string& name);
+  const ArrayStorage& array(const std::string& name) const;
+
+  double floatScalar(const std::string& name) const;
+  std::int64_t intScalar(const std::string& name) const;
+  void setFloatScalar(const std::string& name, double v);
+  void setIntScalar(const std::string& name, std::int64_t v);
+
+  const std::map<std::string, double>& floatScalars() const {
+    return floatScalars_;
+  }
+  const std::map<std::string, std::int64_t>& intScalars() const {
+    return intScalars_;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> params_;
+  std::map<std::string, ArrayStorage> arrays_;
+  std::map<std::string, double> floatScalars_;
+  std::map<std::string, std::int64_t> intScalars_;
+};
+
+}  // namespace fixfuse::interp

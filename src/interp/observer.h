@@ -1,0 +1,51 @@
+// Event stream emitted by the interpreter.
+//
+// Each observer callback corresponds to one class of dynamic event the
+// paper's perfex measurements distinguish:
+//   * onLoad / onStore : data-array memory accesses (byte addresses) ->
+//     cache simulation (Fig. 6). Scalars are register-resident and emit
+//     no memory traffic, matching an optimising compiler.
+//   * onBranch : resolved conditional branches, keyed by a stable static
+//     site id -> branch-prediction simulation (Fig. 7).
+//   * onIntOps / onFlops : graduated integer / floating-point instruction
+//     proxies (Fig. 8).
+#pragma once
+
+#include <cstdint>
+
+namespace fixfuse::interp {
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  virtual void onLoad(std::uint64_t addr) { (void)addr; }
+  virtual void onStore(std::uint64_t addr) { (void)addr; }
+  virtual void onBranch(int site, bool taken) {
+    (void)site;
+    (void)taken;
+  }
+  virtual void onIntOps(std::uint64_t n) { (void)n; }
+  virtual void onFlops(std::uint64_t n) { (void)n; }
+};
+
+/// Simple counting observer; useful on its own and as a base class.
+class CountingObserver : public Observer {
+ public:
+  void onLoad(std::uint64_t) override { ++loads; }
+  void onStore(std::uint64_t) override { ++stores; }
+  void onBranch(int, bool) override { ++branches; }
+  void onIntOps(std::uint64_t n) override { intOps += n; }
+  void onFlops(std::uint64_t n) override { flops += n; }
+
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t intOps = 0;
+  std::uint64_t flops = 0;
+
+  std::uint64_t totalInstructions() const {
+    return loads + stores + branches + intOps + flops;
+  }
+};
+
+}  // namespace fixfuse::interp

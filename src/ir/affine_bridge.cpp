@@ -1,0 +1,151 @@
+#include "ir/affine_bridge.h"
+
+#include "support/error.h"
+
+namespace fixfuse::ir {
+
+using poly::AffineExpr;
+using poly::Constraint;
+
+std::optional<AffineExpr> toAffine(const Expr& e) {
+  FIXFUSE_CHECK(e.type() == Type::Int, "toAffine on non-Int expression");
+  switch (e.kind()) {
+    case ExprKind::IntConst:
+      return AffineExpr(e.intValue());
+    case ExprKind::VarRef:
+      return AffineExpr::var(e.name());
+    case ExprKind::ScalarLoad:
+      return std::nullopt;  // data-dependent (e.g. pivot row m)
+    case ExprKind::Binary: {
+      auto l = toAffine(*e.lhs());
+      auto r = toAffine(*e.rhs());
+      if (!l || !r) return std::nullopt;
+      switch (e.binOp()) {
+        case BinOp::Add:
+          return *l + *r;
+        case BinOp::Sub:
+          return *l - *r;
+        case BinOp::Mul:
+          if (l->isConstant()) return *r * l->constant();
+          if (r->isConstant()) return *l * r->constant();
+          return std::nullopt;
+        default:
+          return std::nullopt;  // floor-div / mod / min / max
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+ExprPtr fromAffine(const AffineExpr& a) {
+  ExprPtr acc;
+  for (const auto& name : a.variables()) {
+    std::int64_t c = a.coeff(name);
+    ExprPtr term = c == 1 ? iv(name) : mul(ic(c), iv(name));
+    acc = acc ? add(acc, term) : term;
+  }
+  if (!acc) return ic(a.constant());
+  if (a.constant() != 0) acc = add(acc, ic(a.constant()));
+  return acc;
+}
+
+namespace {
+
+/// DNF for cond (negated ? !cond : cond).
+std::optional<std::vector<std::vector<Constraint>>> pieces(
+    const Expr& cond, bool negated) {
+  switch (cond.kind()) {
+    case ExprKind::Compare: {
+      if (cond.lhs()->type() != Type::Int) return std::nullopt;
+      auto l = toAffine(*cond.lhs());
+      auto r = toAffine(*cond.rhs());
+      if (!l || !r) return std::nullopt;
+      CmpOp op = cond.cmpOp();
+      if (negated) {
+        switch (op) {
+          case CmpOp::EQ: op = CmpOp::NE; break;
+          case CmpOp::NE: op = CmpOp::EQ; break;
+          case CmpOp::LT: op = CmpOp::GE; break;
+          case CmpOp::LE: op = CmpOp::GT; break;
+          case CmpOp::GT: op = CmpOp::LE; break;
+          case CmpOp::GE: op = CmpOp::LT; break;
+        }
+      }
+      AffineExpr d = *l - *r;
+      switch (op) {
+        case CmpOp::EQ:
+          return {{{Constraint::eq(d)}}};
+        case CmpOp::NE:
+          // l < r or l > r
+          return {{{Constraint::ge(-d - AffineExpr(1))},
+                   {Constraint::ge(d - AffineExpr(1))}}};
+        case CmpOp::LT:
+          return {{{Constraint::ge(-d - AffineExpr(1))}}};
+        case CmpOp::LE:
+          return {{{Constraint::ge(-d)}}};
+        case CmpOp::GT:
+          return {{{Constraint::ge(d - AffineExpr(1))}}};
+        case CmpOp::GE:
+          return {{{Constraint::ge(d)}}};
+      }
+      FIXFUSE_UNREACHABLE("cmp op");
+    }
+    case ExprKind::BoolBinary: {
+      bool isAnd = (cond.boolOp() == BoolOp::And) != negated;  // De Morgan
+      auto l = pieces(*cond.lhs(), negated);
+      auto r = pieces(*cond.rhs(), negated);
+      if (!l || !r) return std::nullopt;
+      if (!isAnd) {
+        auto u = *l;
+        u.insert(u.end(), r->begin(), r->end());
+        return u;
+      }
+      // Cartesian product of the two DNFs.
+      std::vector<std::vector<Constraint>> out;
+      for (const auto& lp : *l)
+        for (const auto& rp : *r) {
+          auto piece = lp;
+          piece.insert(piece.end(), rp.begin(), rp.end());
+          out.push_back(std::move(piece));
+        }
+      return out;
+    }
+    case ExprKind::BoolNot:
+      return pieces(*cond.operand(), !negated);
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<std::vector<Constraint>>> condToPieces(
+    const Expr& cond) {
+  FIXFUSE_CHECK(cond.type() == Type::Bool, "condToPieces on non-Bool");
+  return pieces(cond, false);
+}
+
+ExprPtr constraintsToCond(const std::vector<Constraint>& cs) {
+  FIXFUSE_CHECK(!cs.empty(), "empty constraint conjunction");
+  std::vector<ExprPtr> conds;
+  conds.reserve(cs.size());
+  for (const auto& c : cs) {
+    ExprPtr e = fromAffine(c.expr);
+    conds.push_back(c.kind == Constraint::Kind::GE ? geE(e, ic(0))
+                                                   : eqE(e, ic(0)));
+  }
+  return andAll(std::move(conds));
+}
+
+ExprPtr piecesToCond(const std::vector<std::vector<Constraint>>& ps) {
+  FIXFUSE_CHECK(!ps.empty(), "empty piece list");
+  ExprPtr acc;
+  for (const auto& piece : ps) {
+    ExprPtr c = constraintsToCond(piece);
+    acc = acc ? orE(acc, c) : c;
+  }
+  return acc;
+}
+
+}  // namespace fixfuse::ir

@@ -1,0 +1,36 @@
+// Conversions between IR expressions and poly affine machinery.
+//
+//  * toAffine:   Int Expr -> AffineExpr when the expression is affine in
+//                its symbols (loop vars + parameters); nullopt otherwise
+//                (e.g. i*j, floor-div, mod, min/max, scalar loads).
+//  * fromAffine: AffineExpr -> Int Expr (always possible).
+//  * condToPieces: Bool Expr -> DNF list of constraint conjunctions when
+//                the condition is affine; nullopt for data-dependent
+//                guards like LU's abs(d) > temp.
+//  * piecesToCond: constraint conjunction -> Bool Expr guard.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ir/expr.h"
+#include "poly/set.h"
+
+namespace fixfuse::ir {
+
+std::optional<poly::AffineExpr> toAffine(const Expr& e);
+
+ExprPtr fromAffine(const poly::AffineExpr& a);
+
+/// DNF of an affine Bool expression: the condition holds iff some piece's
+/// constraints all hold. NE comparisons split into two pieces; BoolNot is
+/// pushed inward (De Morgan).
+std::optional<std::vector<std::vector<poly::Constraint>>> condToPieces(
+    const Expr& cond);
+
+/// Bool Expr testing the conjunction of affine constraints.
+/// `pieces` must be non-empty; multiple pieces are OR-ed.
+ExprPtr piecesToCond(const std::vector<std::vector<poly::Constraint>>& pieces);
+ExprPtr constraintsToCond(const std::vector<poly::Constraint>& cs);
+
+}  // namespace fixfuse::ir

@@ -1,0 +1,321 @@
+#include "ir/expr.h"
+
+#include <sstream>
+
+namespace fixfuse::ir {
+
+namespace {
+const char* binOpName(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::FloorDiv: return "fdiv";
+    case BinOp::Mod: return "mod";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+  }
+  FIXFUSE_UNREACHABLE("binOpName");
+}
+const char* cmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::EQ: return "==";
+    case CmpOp::NE: return "!=";
+    case CmpOp::LT: return "<";
+    case CmpOp::LE: return "<=";
+    case CmpOp::GT: return ">";
+    case CmpOp::GE: return ">=";
+  }
+  FIXFUSE_UNREACHABLE("cmpOpName");
+}
+}  // namespace
+
+std::int64_t Expr::intValue() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::IntConst, "not an IntConst");
+  return intValue_;
+}
+double Expr::floatValue() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::FloatConst, "not a FloatConst");
+  return floatValue_;
+}
+const std::string& Expr::name() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::VarRef || kind_ == ExprKind::ScalarLoad ||
+                    kind_ == ExprKind::ArrayLoad,
+                "node has no name");
+  return name_;
+}
+BinOp Expr::binOp() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::Binary, "not a Binary");
+  return binOp_;
+}
+CmpOp Expr::cmpOp() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::Compare, "not a Compare");
+  return cmpOp_;
+}
+BoolOp Expr::boolOp() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::BoolBinary, "not a BoolBinary");
+  return boolOp_;
+}
+CallFn Expr::callFn() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::Call, "not a Call");
+  return callFn_;
+}
+const ExprPtr& Expr::lhs() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::Binary || kind_ == ExprKind::Compare ||
+                    kind_ == ExprKind::BoolBinary ||
+                    kind_ == ExprKind::Select,
+                "node has no lhs");
+  return lhs_;
+}
+const ExprPtr& Expr::rhs() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::Binary || kind_ == ExprKind::Compare ||
+                    kind_ == ExprKind::BoolBinary ||
+                    kind_ == ExprKind::Select,
+                "node has no rhs");
+  return rhs_;
+}
+const ExprPtr& Expr::selectCond() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::Select, "not a Select");
+  return operand_;
+}
+const ExprPtr& Expr::operand() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::Call || kind_ == ExprKind::BoolNot,
+                "node has no operand");
+  return operand_;
+}
+const std::vector<ExprPtr>& Expr::indices() const {
+  FIXFUSE_CHECK(kind_ == ExprKind::ArrayLoad, "not an ArrayLoad");
+  return indices_;
+}
+
+ExprPtr Expr::intConst(std::int64_t v) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::IntConst, Type::Int));
+  e->intValue_ = v;
+  return e;
+}
+
+ExprPtr Expr::floatConst(double v) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::FloatConst, Type::Float));
+  e->floatValue_ = v;
+  return e;
+}
+
+ExprPtr Expr::varRef(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::VarRef, Type::Int));
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::binary(BinOp op, ExprPtr l, ExprPtr r) {
+  FIXFUSE_CHECK(l && r, "null Binary operand");
+  FIXFUSE_CHECK(l->type() == r->type(), "Binary operand type mismatch");
+  FIXFUSE_CHECK(l->type() != Type::Bool, "Binary on Bool");
+  if (op == BinOp::Div)
+    FIXFUSE_CHECK(l->type() == Type::Float, "Div is Float-only");
+  if (op == BinOp::FloorDiv || op == BinOp::Mod || op == BinOp::Min ||
+      op == BinOp::Max)
+    FIXFUSE_CHECK(l->type() == Type::Int, "int-only BinOp on Float");
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Binary, l->type()));
+  e->binOp_ = op;
+  e->lhs_ = std::move(l);
+  e->rhs_ = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::arrayLoad(std::string array, std::vector<ExprPtr> indices) {
+  FIXFUSE_CHECK(!indices.empty(), "ArrayLoad without indices");
+  for (const auto& i : indices)
+    FIXFUSE_CHECK(i && i->type() == Type::Int, "non-Int array index");
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::ArrayLoad, Type::Float));
+  e->name_ = std::move(array);
+  e->indices_ = std::move(indices);
+  return e;
+}
+
+ExprPtr Expr::scalarLoad(std::string name, Type t) {
+  FIXFUSE_CHECK(t == Type::Int || t == Type::Float, "Bool scalar");
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::ScalarLoad, t));
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::call(CallFn fn, ExprPtr arg) {
+  FIXFUSE_CHECK(arg && arg->type() == Type::Float, "Call takes Float");
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Call, Type::Float));
+  e->callFn_ = fn;
+  e->operand_ = std::move(arg);
+  return e;
+}
+
+ExprPtr Expr::compare(CmpOp op, ExprPtr l, ExprPtr r) {
+  FIXFUSE_CHECK(l && r, "null Compare operand");
+  FIXFUSE_CHECK(l->type() == r->type() && l->type() != Type::Bool,
+                "Compare operand type mismatch");
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Compare, Type::Bool));
+  e->cmpOp_ = op;
+  e->lhs_ = std::move(l);
+  e->rhs_ = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::boolBinary(BoolOp op, ExprPtr l, ExprPtr r) {
+  FIXFUSE_CHECK(l && r && l->type() == Type::Bool && r->type() == Type::Bool,
+                "BoolBinary takes Bool operands");
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::BoolBinary, Type::Bool));
+  e->boolOp_ = op;
+  e->lhs_ = std::move(l);
+  e->rhs_ = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::select(ExprPtr cond, ExprPtr a, ExprPtr b) {
+  FIXFUSE_CHECK(cond && cond->type() == Type::Bool, "Select cond not Bool");
+  FIXFUSE_CHECK(a && b && a->type() == Type::Float && b->type() == Type::Float,
+                "Select arms must be Float");
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Select, Type::Float));
+  e->operand_ = std::move(cond);
+  e->lhs_ = std::move(a);
+  e->rhs_ = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::boolNot(ExprPtr x) {
+  FIXFUSE_CHECK(x && x->type() == Type::Bool, "BoolNot takes Bool");
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::BoolNot, Type::Bool));
+  e->operand_ = std::move(x);
+  return e;
+}
+
+std::string Expr::str() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case ExprKind::IntConst:
+      os << intValue_;
+      break;
+    case ExprKind::FloatConst:
+      os << floatValue_;
+      break;
+    case ExprKind::VarRef:
+    case ExprKind::ScalarLoad:
+      os << name_;
+      break;
+    case ExprKind::Binary:
+      if (binOp_ == BinOp::Min || binOp_ == BinOp::Max ||
+          binOp_ == BinOp::FloorDiv || binOp_ == BinOp::Mod)
+        os << binOpName(binOp_) << "(" << lhs_->str() << ", " << rhs_->str()
+           << ")";
+      else
+        os << "(" << lhs_->str() << " " << binOpName(binOp_) << " "
+           << rhs_->str() << ")";
+      break;
+    case ExprKind::ArrayLoad: {
+      os << name_;
+      for (const auto& i : indices_) os << "[" << i->str() << "]";
+      break;
+    }
+    case ExprKind::Call:
+      os << (callFn_ == CallFn::Sqrt ? "sqrt" : "fabs") << "("
+         << operand_->str() << ")";
+      break;
+    case ExprKind::Compare:
+      os << "(" << lhs_->str() << " " << cmpOpName(cmpOp_) << " "
+         << rhs_->str() << ")";
+      break;
+    case ExprKind::BoolBinary:
+      os << "(" << lhs_->str() << (boolOp_ == BoolOp::And ? " && " : " || ")
+         << rhs_->str() << ")";
+      break;
+    case ExprKind::BoolNot:
+      os << "!(" << operand_->str() << ")";
+      break;
+    case ExprKind::Select:
+      os << "(" << operand_->str() << " ? " << lhs_->str() << " : "
+         << rhs_->str() << ")";
+      break;
+  }
+  return os.str();
+}
+
+// --- terse helpers ----------------------------------------------------------
+
+ExprPtr ic(std::int64_t v) { return Expr::intConst(v); }
+ExprPtr fc(double v) { return Expr::floatConst(v); }
+ExprPtr iv(const std::string& name) { return Expr::varRef(name); }
+
+ExprPtr add(ExprPtr a, ExprPtr b) {
+  return Expr::binary(BinOp::Add, std::move(a), std::move(b));
+}
+ExprPtr sub(ExprPtr a, ExprPtr b) {
+  return Expr::binary(BinOp::Sub, std::move(a), std::move(b));
+}
+ExprPtr mul(ExprPtr a, ExprPtr b) {
+  return Expr::binary(BinOp::Mul, std::move(a), std::move(b));
+}
+ExprPtr fdiv(ExprPtr a, ExprPtr b) {
+  return Expr::binary(BinOp::Div, std::move(a), std::move(b));
+}
+ExprPtr floordiv(ExprPtr a, ExprPtr b) {
+  return Expr::binary(BinOp::FloorDiv, std::move(a), std::move(b));
+}
+ExprPtr mod(ExprPtr a, ExprPtr b) {
+  return Expr::binary(BinOp::Mod, std::move(a), std::move(b));
+}
+ExprPtr imin(ExprPtr a, ExprPtr b) {
+  return Expr::binary(BinOp::Min, std::move(a), std::move(b));
+}
+ExprPtr imax(ExprPtr a, ExprPtr b) {
+  return Expr::binary(BinOp::Max, std::move(a), std::move(b));
+}
+
+ExprPtr load(const std::string& array, std::vector<ExprPtr> indices) {
+  return Expr::arrayLoad(array, std::move(indices));
+}
+ExprPtr sloadf(const std::string& name) {
+  return Expr::scalarLoad(name, Type::Float);
+}
+ExprPtr sloadi(const std::string& name) {
+  return Expr::scalarLoad(name, Type::Int);
+}
+
+ExprPtr sqrtE(ExprPtr x) { return Expr::call(CallFn::Sqrt, std::move(x)); }
+ExprPtr fabsE(ExprPtr x) { return Expr::call(CallFn::Fabs, std::move(x)); }
+
+ExprPtr eqE(ExprPtr a, ExprPtr b) {
+  return Expr::compare(CmpOp::EQ, std::move(a), std::move(b));
+}
+ExprPtr neE(ExprPtr a, ExprPtr b) {
+  return Expr::compare(CmpOp::NE, std::move(a), std::move(b));
+}
+ExprPtr ltE(ExprPtr a, ExprPtr b) {
+  return Expr::compare(CmpOp::LT, std::move(a), std::move(b));
+}
+ExprPtr leE(ExprPtr a, ExprPtr b) {
+  return Expr::compare(CmpOp::LE, std::move(a), std::move(b));
+}
+ExprPtr gtE(ExprPtr a, ExprPtr b) {
+  return Expr::compare(CmpOp::GT, std::move(a), std::move(b));
+}
+ExprPtr geE(ExprPtr a, ExprPtr b) {
+  return Expr::compare(CmpOp::GE, std::move(a), std::move(b));
+}
+ExprPtr andE(ExprPtr a, ExprPtr b) {
+  return Expr::boolBinary(BoolOp::And, std::move(a), std::move(b));
+}
+ExprPtr orE(ExprPtr a, ExprPtr b) {
+  return Expr::boolBinary(BoolOp::Or, std::move(a), std::move(b));
+}
+ExprPtr notE(ExprPtr a) { return Expr::boolNot(std::move(a)); }
+ExprPtr selectE(ExprPtr cond, ExprPtr a, ExprPtr b) {
+  return Expr::select(std::move(cond), std::move(a), std::move(b));
+}
+
+ExprPtr andAll(std::vector<ExprPtr> conds) {
+  FIXFUSE_CHECK(!conds.empty(), "andAll of empty list");
+  ExprPtr acc = conds[0];
+  for (std::size_t i = 1; i < conds.size(); ++i)
+    acc = andE(acc, conds[i]);
+  return acc;
+}
+
+}  // namespace fixfuse::ir

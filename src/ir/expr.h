@@ -1,0 +1,144 @@
+// Expression trees for the loop-nest IR.
+//
+// The IR models the FORTRAN-like programs of the paper (Fig. 1): integer
+// index expressions (affine in loop variables and parameters, plus
+// floor-div/mod needed by tiled code), double-precision value expressions
+// over array elements and scalars, sqrt/fabs calls, comparisons and
+// boolean connectives for loop guards - including the *non-affine*,
+// data-dependent guards that LU's pivot search needs.
+//
+// Expressions are immutable once built and shared via shared_ptr: a
+// rewrite produces new nodes and re-uses untouched subtrees.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace fixfuse::ir {
+
+enum class Type { Int, Float, Bool };
+
+enum class ExprKind {
+  IntConst,    // 64-bit integer literal
+  FloatConst,  // double literal
+  VarRef,      // loop variable or integer parameter (N, M, ...)
+  Binary,      // arithmetic on two operands of equal type
+  ArrayLoad,   // A[i_1]...[i_d] (double elements)
+  ScalarLoad,  // named scalar, Int (e.g. pivot row m) or Float (temp, norm)
+  Call,        // sqrt | fabs, one double argument
+  Compare,     // ==, !=, <, <=, >, >= on Int or Float operands -> Bool
+  BoolBinary,  // &&, ||
+  BoolNot,     // !
+  Select,      // cond ? a : b on Float operands (ElimRW read redirection)
+};
+
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,       // Float only
+  FloorDiv,  // Int only (rounds toward -inf, as tiled code requires)
+  Mod,       // Int only (mathematical, result in [0, |rhs|))
+  Min,       // Int only
+  Max,       // Int only
+};
+
+enum class CmpOp { EQ, NE, LT, LE, GT, GE };
+enum class BoolOp { And, Or };
+enum class CallFn { Sqrt, Fabs };
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+  Type type() const { return type_; }
+
+  // Payload accessors; each checks the kind.
+  std::int64_t intValue() const;
+  double floatValue() const;
+  const std::string& name() const;       // VarRef / ScalarLoad / ArrayLoad
+  BinOp binOp() const;
+  CmpOp cmpOp() const;
+  BoolOp boolOp() const;
+  CallFn callFn() const;
+  const ExprPtr& lhs() const;            // Binary / Compare / BoolBinary / Select
+  const ExprPtr& rhs() const;
+  const ExprPtr& operand() const;        // Call / BoolNot
+  const ExprPtr& selectCond() const;     // Select
+  const std::vector<ExprPtr>& indices() const;  // ArrayLoad
+
+  std::string str() const;
+
+  // --- factories -----------------------------------------------------------
+  static ExprPtr intConst(std::int64_t v);
+  static ExprPtr floatConst(double v);
+  static ExprPtr varRef(std::string name);
+  static ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr arrayLoad(std::string array, std::vector<ExprPtr> indices);
+  static ExprPtr scalarLoad(std::string name, Type t);
+  static ExprPtr call(CallFn fn, ExprPtr arg);
+  static ExprPtr compare(CmpOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr boolBinary(BoolOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr boolNot(ExprPtr e);
+  static ExprPtr select(ExprPtr cond, ExprPtr a, ExprPtr b);
+
+ private:
+  Expr(ExprKind k, Type t) : kind_(k), type_(t) {}
+
+  ExprKind kind_;
+  Type type_;
+  std::int64_t intValue_ = 0;
+  double floatValue_ = 0.0;
+  std::string name_;
+  BinOp binOp_ = BinOp::Add;
+  CmpOp cmpOp_ = CmpOp::EQ;
+  BoolOp boolOp_ = BoolOp::And;
+  CallFn callFn_ = CallFn::Sqrt;
+  ExprPtr lhs_, rhs_, operand_;
+  std::vector<ExprPtr> indices_;
+};
+
+// --- terse builder helpers (the transformation code uses these heavily) ----
+
+ExprPtr ic(std::int64_t v);
+ExprPtr fc(double v);
+ExprPtr iv(const std::string& name);
+
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr fdiv(ExprPtr a, ExprPtr b);      // Float division
+ExprPtr floordiv(ExprPtr a, ExprPtr b);  // Int floor division
+ExprPtr mod(ExprPtr a, ExprPtr b);
+ExprPtr imin(ExprPtr a, ExprPtr b);
+ExprPtr imax(ExprPtr a, ExprPtr b);
+
+ExprPtr load(const std::string& array, std::vector<ExprPtr> indices);
+ExprPtr sloadf(const std::string& name);  // Float scalar
+ExprPtr sloadi(const std::string& name);  // Int scalar
+
+ExprPtr sqrtE(ExprPtr x);
+ExprPtr fabsE(ExprPtr x);
+
+ExprPtr eqE(ExprPtr a, ExprPtr b);
+ExprPtr neE(ExprPtr a, ExprPtr b);
+ExprPtr ltE(ExprPtr a, ExprPtr b);
+ExprPtr leE(ExprPtr a, ExprPtr b);
+ExprPtr gtE(ExprPtr a, ExprPtr b);
+ExprPtr geE(ExprPtr a, ExprPtr b);
+ExprPtr andE(ExprPtr a, ExprPtr b);
+ExprPtr orE(ExprPtr a, ExprPtr b);
+ExprPtr notE(ExprPtr a);
+ExprPtr selectE(ExprPtr cond, ExprPtr a, ExprPtr b);
+
+/// Conjunction of a list of Bool exprs (true constant when empty is not
+/// representable; the list must be non-empty).
+ExprPtr andAll(std::vector<ExprPtr> conds);
+
+}  // namespace fixfuse::ir

@@ -1,0 +1,496 @@
+#include "ir/parse.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "ir/validate.h"
+
+namespace fixfuse::ir {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok {
+  Ident, Int, Float,
+  LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+  Assign, Semi, Comma, DotDot, Question, Colon, Not,
+  AndAnd, OrOr, Eq, Ne, Le, Ge, Lt, Gt,
+  Plus, Minus, Star, Slash,
+  End,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::int64_t intVal = 0;
+  double floatVal = 0.0;
+  std::size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return cur_; }
+  Token next() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])))) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    cur_ = Token{Tok::End, "", 0, 0.0, line_};
+    if (pos_ >= text_.size()) return;
+    char c = text_[pos_];
+    auto two = [&](char a, char b, Tok t) {
+      if (c == a && pos_ + 1 < text_.size() && text_[pos_ + 1] == b) {
+        cur_.kind = t;
+        cur_.text = std::string{a, b};
+        pos_ += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two('&', '&', Tok::AndAnd) || two('|', '|', Tok::OrOr) ||
+        two('=', '=', Tok::Eq) || two('!', '=', Tok::Ne) ||
+        two('<', '=', Tok::Le) || two('>', '=', Tok::Ge) ||
+        two('.', '.', Tok::DotDot))
+      return;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_'))
+        ++pos_;
+      cur_.kind = Tok::Ident;
+      cur_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      bool isFloat = false;
+      while (pos_ < text_.size()) {
+        char d = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++pos_;
+        } else if (d == '.' &&
+                   !(pos_ + 1 < text_.size() && text_[pos_ + 1] == '.')) {
+          // a lone '.' continues a float; ".." is the range token
+          isFloat = true;
+          ++pos_;
+        } else if (d == 'e' || d == 'E') {
+          isFloat = true;
+          ++pos_;
+          if (pos_ < text_.size() &&
+              (text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        } else {
+          break;
+        }
+      }
+      cur_.text = text_.substr(start, pos_ - start);
+      if (isFloat) {
+        cur_.kind = Tok::Float;
+        cur_.floatVal = std::stod(cur_.text);
+      } else {
+        cur_.kind = Tok::Int;
+        cur_.intVal = std::stoll(cur_.text);
+      }
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case '(': cur_.kind = Tok::LParen; break;
+      case ')': cur_.kind = Tok::RParen; break;
+      case '[': cur_.kind = Tok::LBracket; break;
+      case ']': cur_.kind = Tok::RBracket; break;
+      case '{': cur_.kind = Tok::LBrace; break;
+      case '}': cur_.kind = Tok::RBrace; break;
+      case '=': cur_.kind = Tok::Assign; break;
+      case ';': cur_.kind = Tok::Semi; break;
+      case ',': cur_.kind = Tok::Comma; break;
+      case '?': cur_.kind = Tok::Question; break;
+      case ':': cur_.kind = Tok::Colon; break;
+      case '!': cur_.kind = Tok::Not; break;
+      case '+': cur_.kind = Tok::Plus; break;
+      case '-': cur_.kind = Tok::Minus; break;
+      case '*': cur_.kind = Tok::Star; break;
+      case '/': cur_.kind = Tok::Slash; break;
+      case '<': cur_.kind = Tok::Lt; break;
+      case '>': cur_.kind = Tok::Gt; break;
+      default:
+        throw ParseError("unexpected character '" + std::string(1, c) +
+                         "' at line " + std::to_string(line_ + 1));
+    }
+    cur_.text = std::string(1, c);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 0;
+  Token cur_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  Program run() {
+    expectIdent("program");
+    expect(Tok::LParen);
+    Program p;
+    if (lex_.peek().kind != Tok::RParen) {
+      for (;;) {
+        p.params.push_back(expectAnyIdent());
+        if (lex_.peek().kind != Tok::Comma) break;
+        lex_.next();
+      }
+    }
+    expect(Tok::RParen);
+    expect(Tok::LBrace);
+    program_ = &p;  // array extents may reference the parameters
+    // Declarations: `double NAME[...]...;`, `double NAME;`, `long NAME;`.
+    while (lex_.peek().kind == Tok::Ident &&
+           (lex_.peek().text == "double" || lex_.peek().text == "long")) {
+      std::string ty = lex_.next().text;
+      std::string name = expectAnyIdent();
+      if (ty == "long") {
+        p.declareScalar(name, Type::Int);
+        expect(Tok::Semi);
+        continue;
+      }
+      if (lex_.peek().kind != Tok::LBracket) {
+        p.declareScalar(name, Type::Float);
+        expect(Tok::Semi);
+        continue;
+      }
+      std::vector<ExprPtr> extents;
+      while (lex_.peek().kind == Tok::LBracket) {
+        lex_.next();
+        extents.push_back(coerceInt(parseExpr(0), "array extent"));
+        expect(Tok::RBracket);
+      }
+      p.declareArray(name, std::move(extents));
+      expect(Tok::Semi);
+    }
+    std::vector<StmtPtr> body;
+    while (lex_.peek().kind != Tok::RBrace) body.push_back(parseStmt());
+    expect(Tok::RBrace);
+    p.body = blockS(std::move(body));
+    p.numberAssignments();
+    validate(p);
+    program_ = nullptr;
+    return p;
+  }
+
+ private:
+  // --- statements -----------------------------------------------------------
+
+  StmtPtr parseStmt() {
+    const Token& t = lex_.peek();
+    if (t.kind == Tok::Ident && t.text == "for") return parseFor();
+    if (t.kind == Tok::Ident && t.text == "if") return parseIf();
+    return parseAssign();
+  }
+
+  StmtPtr parseFor() {
+    lex_.next();  // for
+    std::string var = expectAnyIdent();
+    expect(Tok::Assign);
+    ExprPtr lb = coerceInt(parseExpr(0), "loop bound");
+    expect(Tok::DotDot);
+    ExprPtr ub = coerceInt(parseExpr(0), "loop bound");
+    loopVars_.insert(var);
+    expect(Tok::LBrace);
+    std::vector<StmtPtr> body;
+    while (lex_.peek().kind != Tok::RBrace) body.push_back(parseStmt());
+    expect(Tok::RBrace);
+    loopVars_.erase(var);
+    return loopS(var, std::move(lb), std::move(ub), std::move(body));
+  }
+
+  StmtPtr parseIf() {
+    lex_.next();  // if
+    ExprPtr cond = parseExpr(0);
+    if (cond->type() != Type::Bool)
+      throw ParseError("if condition is not boolean");
+    expect(Tok::LBrace);
+    std::vector<StmtPtr> thenB;
+    while (lex_.peek().kind != Tok::RBrace) thenB.push_back(parseStmt());
+    expect(Tok::RBrace);
+    if (lex_.peek().kind == Tok::Ident && lex_.peek().text == "else") {
+      lex_.next();
+      expect(Tok::LBrace);
+      std::vector<StmtPtr> elseB;
+      while (lex_.peek().kind != Tok::RBrace) elseB.push_back(parseStmt());
+      expect(Tok::RBrace);
+      return ifelse(std::move(cond), std::move(thenB), std::move(elseB));
+    }
+    return ifs(std::move(cond), std::move(thenB));
+  }
+
+  StmtPtr parseAssign() {
+    std::string name = expectAnyIdent();
+    std::vector<ExprPtr> indices;
+    while (lex_.peek().kind == Tok::LBracket) {
+      lex_.next();
+      indices.push_back(coerceInt(parseExpr(0), "subscript"));
+      expect(Tok::RBracket);
+    }
+    expect(Tok::Assign);
+    ExprPtr rhs = parseExpr(0);
+    expect(Tok::Semi);
+    if (indices.empty()) {
+      // Scalar target decides the rhs type.
+      if (!program_->hasScalar(name))
+        throw ParseError("assignment to undeclared scalar " + name);
+      Type t = program_->scalar(name).type;
+      if (t == Type::Float) rhs = coerceFloat(rhs, "scalar assignment");
+      if (t == Type::Int && rhs->type() != Type::Int)
+        throw ParseError("cannot assign non-integer to long " + name);
+      return sassign(name, std::move(rhs));
+    }
+    if (!program_->hasArray(name))
+      throw ParseError("assignment to undeclared array " + name);
+    return aassign(name, std::move(indices),
+                   coerceFloat(rhs, "array assignment"));
+  }
+
+  // --- expressions (Pratt) ----------------------------------------------------
+
+  // Precedence levels: 1 = ||, 2 = &&, 3 = comparisons, 4 = + -, 5 = * /.
+  int precedenceOf(Tok k) {
+    switch (k) {
+      case Tok::OrOr: return 1;
+      case Tok::AndAnd: return 2;
+      case Tok::Eq: case Tok::Ne: case Tok::Lt:
+      case Tok::Le: case Tok::Gt: case Tok::Ge: return 3;
+      case Tok::Plus: case Tok::Minus: return 4;
+      case Tok::Star: case Tok::Slash: return 5;
+      default: return 0;
+    }
+  }
+
+  ExprPtr parseExpr(int minPrec) {
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+      Tok k = lex_.peek().kind;
+      int prec = precedenceOf(k);
+      if (prec == 0 || prec <= minPrec) break;
+      lex_.next();
+      ExprPtr rhs = parseExpr(prec);
+      lhs = combine(k, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr combine(Tok k, ExprPtr l, ExprPtr r) {
+    switch (k) {
+      case Tok::OrOr: return orE(std::move(l), std::move(r));
+      case Tok::AndAnd: return andE(std::move(l), std::move(r));
+      case Tok::Eq: case Tok::Ne: case Tok::Lt:
+      case Tok::Le: case Tok::Gt: case Tok::Ge: {
+        unifyArith(l, r, "comparison");
+        switch (k) {
+          case Tok::Eq: return eqE(std::move(l), std::move(r));
+          case Tok::Ne: return neE(std::move(l), std::move(r));
+          case Tok::Lt: return ltE(std::move(l), std::move(r));
+          case Tok::Le: return leE(std::move(l), std::move(r));
+          case Tok::Gt: return gtE(std::move(l), std::move(r));
+          default: return geE(std::move(l), std::move(r));
+        }
+      }
+      case Tok::Plus:
+        unifyArith(l, r, "+");
+        return add(std::move(l), std::move(r));
+      case Tok::Minus:
+        unifyArith(l, r, "-");
+        return sub(std::move(l), std::move(r));
+      case Tok::Star:
+        unifyArith(l, r, "*");
+        return mul(std::move(l), std::move(r));
+      case Tok::Slash:
+        // `/` is Float division; integer division is spelt fdiv(a, b).
+        l = coerceFloat(l, "/");
+        r = coerceFloat(r, "/");
+        return fdiv(std::move(l), std::move(r));
+      default:
+        throw ParseError("bad operator");
+    }
+  }
+
+  ExprPtr parseUnary() {
+    const Token& t = lex_.peek();
+    if (t.kind == Tok::Minus) {
+      lex_.next();
+      ExprPtr e = parseUnary();
+      // Negative literals stay literals, so round-tripping the printer's
+      // "(-1 * k)" / "(N + -1)" forms is exact.
+      if (e->kind() == ExprKind::IntConst) return ic(-e->intValue());
+      if (e->kind() == ExprKind::FloatConst) return fc(-e->floatValue());
+      if (e->type() == Type::Int) return sub(ic(0), std::move(e));
+      return sub(fc(0.0), coerceFloat(e, "unary -"));
+    }
+    if (t.kind == Tok::Not) {
+      lex_.next();
+      ExprPtr e = parseUnary();
+      if (e->type() != Type::Bool) throw ParseError("! needs a boolean");
+      return notE(std::move(e));
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    Token t = lex_.next();
+    switch (t.kind) {
+      case Tok::Int:
+        return ic(t.intVal);
+      case Tok::Float:
+        return fc(t.floatVal);
+      case Tok::LParen: {
+        ExprPtr e = parseExpr(0);
+        if (lex_.peek().kind == Tok::Question) {
+          lex_.next();
+          if (e->type() != Type::Bool)
+            throw ParseError("select condition is not boolean");
+          ExprPtr a = coerceFloat(parseExpr(0), "select");
+          expect(Tok::Colon);
+          ExprPtr b = coerceFloat(parseExpr(0), "select");
+          expect(Tok::RParen);
+          return selectE(std::move(e), std::move(a), std::move(b));
+        }
+        expect(Tok::RParen);
+        return e;
+      }
+      case Tok::Ident: {
+        const std::string& name = t.text;
+        if (name == "fdiv" || name == "mod" || name == "min" ||
+            name == "max") {
+          expect(Tok::LParen);
+          ExprPtr a = coerceInt(parseExpr(0), name);
+          expect(Tok::Comma);
+          ExprPtr b = coerceInt(parseExpr(0), name);
+          expect(Tok::RParen);
+          if (name == "fdiv") return floordiv(std::move(a), std::move(b));
+          if (name == "mod") return mod(std::move(a), std::move(b));
+          if (name == "min") return imin(std::move(a), std::move(b));
+          return imax(std::move(a), std::move(b));
+        }
+        if (name == "sqrt" || name == "fabs") {
+          expect(Tok::LParen);
+          ExprPtr a = coerceFloat(parseExpr(0), name);
+          expect(Tok::RParen);
+          return name == "sqrt" ? sqrtE(std::move(a)) : fabsE(std::move(a));
+        }
+        // Array load?
+        if (lex_.peek().kind == Tok::LBracket) {
+          if (!program_->hasArray(name))
+            throw ParseError("load from undeclared array " + name);
+          std::vector<ExprPtr> idx;
+          while (lex_.peek().kind == Tok::LBracket) {
+            lex_.next();
+            idx.push_back(coerceInt(parseExpr(0), "subscript"));
+            expect(Tok::RBracket);
+          }
+          return load(name, std::move(idx));
+        }
+        // Scalar, loop var or parameter.
+        if (program_->hasScalar(name)) {
+          return program_->scalar(name).type == Type::Int ? sloadi(name)
+                                                          : sloadf(name);
+        }
+        bool isParam = std::find(program_->params.begin(),
+                                 program_->params.end(),
+                                 name) != program_->params.end();
+        if (isParam || loopVars_.count(name)) return iv(name);
+        throw ParseError("unknown identifier " + name + " at line " +
+                         std::to_string(t.line + 1));
+      }
+      default:
+        throw ParseError("unexpected token '" + t.text + "' at line " +
+                         std::to_string(t.line + 1));
+    }
+  }
+
+  // --- typing helpers ---------------------------------------------------------
+
+  /// Make both operands the same arithmetic type, converting integer
+  /// *literals* to Float where needed.
+  void unifyArith(ExprPtr& l, ExprPtr& r, const std::string& what) {
+    if (l->type() == r->type()) {
+      if (l->type() == Type::Bool)
+        throw ParseError(what + " applied to booleans");
+      return;
+    }
+    if (l->type() == Type::Float && r->kind() == ExprKind::IntConst) {
+      r = fc(static_cast<double>(r->intValue()));
+      return;
+    }
+    if (r->type() == Type::Float && l->kind() == ExprKind::IntConst) {
+      l = fc(static_cast<double>(l->intValue()));
+      return;
+    }
+    throw ParseError("type mismatch in " + what);
+  }
+
+  ExprPtr coerceFloat(ExprPtr e, const std::string& what) {
+    if (e->type() == Type::Float) return e;
+    if (e->kind() == ExprKind::IntConst)
+      return fc(static_cast<double>(e->intValue()));
+    throw ParseError(what + " needs a floating-point operand");
+  }
+
+  ExprPtr coerceInt(ExprPtr e, const std::string& what) {
+    if (e->type() == Type::Int) return e;
+    throw ParseError(what + " needs an integer operand");
+  }
+
+  // --- token helpers ------------------------------------------------------------
+
+  void expect(Tok k) {
+    Token t = lex_.next();
+    if (t.kind != k)
+      throw ParseError("unexpected token '" + t.text + "' at line " +
+                       std::to_string(t.line + 1));
+  }
+
+  void expectIdent(const std::string& kw) {
+    Token t = lex_.next();
+    if (t.kind != Tok::Ident || t.text != kw)
+      throw ParseError("expected '" + kw + "' at line " +
+                       std::to_string(t.line + 1));
+  }
+
+  std::string expectAnyIdent() {
+    Token t = lex_.next();
+    if (t.kind != Tok::Ident)
+      throw ParseError("expected identifier at line " +
+                       std::to_string(t.line + 1));
+    return t.text;
+  }
+
+  Lexer lex_;
+  Program* program_ = nullptr;
+  std::set<std::string> loopVars_;
+};
+
+}  // namespace
+
+Program parseProgram(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace fixfuse::ir

@@ -1,0 +1,41 @@
+// Parser for the textual program syntax the printer emits, so programs
+// can be written (and round-tripped) as text:
+//
+//   program(N) {
+//     double A[(N + 1)][(N + 1)];
+//     double temp;
+//     long m;
+//     for k = 1 .. (N - 1) {
+//       if ((i == k) && (j == (k + 1))) { temp = 0; }
+//       A[i][j] = (A[i][j] - (A[i][k] * A[k][j]));
+//     }
+//   }
+//
+// Expressions use C-style infix with the usual precedence, plus
+// fdiv/mod/min/max(a, b), sqrt/fabs(x), and the select form
+// (cond ? a : b). Typing is resolved during parsing: parameters and loop
+// variables are Int, `long` scalars Int, `double` scalars Float, array
+// elements Float; integer literals coerce to Float where an operand or
+// assignment requires it.
+//
+// parse(print(p)) reproduces p up to floating-point literal printing
+// (exact for the dyadic constants all kernels use) - the test suite
+// round-trips every kernel program version through the parser.
+#pragma once
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace fixfuse::ir {
+
+/// Parse a whole program. Throws ParseError on malformed input.
+Program parseProgram(const std::string& text);
+
+class ParseError : public fixfuse::Error {
+ public:
+  explicit ParseError(const std::string& what)
+      : fixfuse::Error("parse error: " + what) {}
+};
+
+}  // namespace fixfuse::ir

@@ -1,0 +1,70 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/str.h"
+
+namespace fixfuse::ir {
+
+namespace {
+void printRec(const Stmt& s, int indent, std::ostringstream& os) {
+  std::string pad = repeat("  ", indent);
+  switch (s.kind()) {
+    case StmtKind::Assign:
+      os << pad << s.lhs().str() << " = " << s.rhs()->str() << ";\n";
+      return;
+    case StmtKind::If:
+      os << pad << "if " << s.cond()->str() << " {\n";
+      printRec(*s.thenBody(), indent + 1, os);
+      if (s.elseBody()) {
+        os << pad << "} else {\n";
+        printRec(*s.elseBody(), indent + 1, os);
+      }
+      os << pad << "}\n";
+      return;
+    case StmtKind::Loop:
+      os << pad << "for " << s.loopVar() << " = " << s.lowerBound()->str()
+         << " .. " << s.upperBound()->str() << " {\n";
+      printRec(*s.loopBody(), indent + 1, os);
+      os << pad << "}\n";
+      return;
+    case StmtKind::Block:
+      for (const auto& st : s.stmts()) printRec(*st, indent, os);
+      return;
+  }
+}
+}  // namespace
+
+std::string printStmt(const Stmt& s, int indent) {
+  std::ostringstream os;
+  printRec(s, indent, os);
+  return os.str();
+}
+
+std::string printProgram(const Program& p) {
+  std::ostringstream os;
+  os << "program(";
+  for (std::size_t i = 0; i < p.params.size(); ++i) {
+    if (i) os << ", ";
+    os << p.params[i];
+  }
+  os << ") {\n";
+  for (const auto& a : p.arrays) {
+    os << "  double " << a.name;
+    for (const auto& e : a.extents) os << "[" << e->str() << "]";
+    os << ";\n";
+  }
+  for (const auto& s : p.scalars)
+    os << "  " << (s.type == Type::Int ? "long" : "double") << " " << s.name
+       << ";\n";
+  if (p.body) printRec(*p.body, 1, os);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fixfuse::ir
+
+// Out-of-line Program::str (declared in stmt.h) delegates to the printer.
+namespace fixfuse::ir {
+std::string Program::str() const { return printProgram(*this); }
+}  // namespace fixfuse::ir

@@ -1,0 +1,14 @@
+// Human-readable pretty printer for statements and programs.
+// The syntax is C-like pseudocode; the codegen module emits compilable C.
+#pragma once
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace fixfuse::ir {
+
+std::string printStmt(const Stmt& s, int indent = 0);
+std::string printProgram(const Program& p);
+
+}  // namespace fixfuse::ir

@@ -1,0 +1,386 @@
+#include "ir/rewrite.h"
+
+#include "ir/affine_bridge.h"
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace fixfuse::ir {
+
+ExprPtr substituteVar(const ExprPtr& e, const std::string& name,
+                      const ExprPtr& replacement) {
+  return substituteVars(e, {{name, replacement}});
+}
+
+ExprPtr substituteVars(const ExprPtr& e,
+                       const std::map<std::string, ExprPtr>& subst) {
+  FIXFUSE_CHECK(e != nullptr, "null expr in substitution");
+  switch (e->kind()) {
+    case ExprKind::IntConst:
+    case ExprKind::FloatConst:
+    case ExprKind::ScalarLoad:
+      return e;
+    case ExprKind::VarRef: {
+      auto it = subst.find(e->name());
+      return it == subst.end() ? e : it->second;
+    }
+    case ExprKind::Binary: {
+      auto l = substituteVars(e->lhs(), subst);
+      auto r = substituteVars(e->rhs(), subst);
+      if (l == e->lhs() && r == e->rhs()) return e;
+      return Expr::binary(e->binOp(), std::move(l), std::move(r));
+    }
+    case ExprKind::ArrayLoad: {
+      std::vector<ExprPtr> idx;
+      bool changed = false;
+      idx.reserve(e->indices().size());
+      for (const auto& i : e->indices()) {
+        idx.push_back(substituteVars(i, subst));
+        changed |= idx.back() != i;
+      }
+      if (!changed) return e;
+      return Expr::arrayLoad(e->name(), std::move(idx));
+    }
+    case ExprKind::Call: {
+      auto a = substituteVars(e->operand(), subst);
+      if (a == e->operand()) return e;
+      return Expr::call(e->callFn(), std::move(a));
+    }
+    case ExprKind::Compare: {
+      auto l = substituteVars(e->lhs(), subst);
+      auto r = substituteVars(e->rhs(), subst);
+      if (l == e->lhs() && r == e->rhs()) return e;
+      return Expr::compare(e->cmpOp(), std::move(l), std::move(r));
+    }
+    case ExprKind::BoolBinary: {
+      auto l = substituteVars(e->lhs(), subst);
+      auto r = substituteVars(e->rhs(), subst);
+      if (l == e->lhs() && r == e->rhs()) return e;
+      return Expr::boolBinary(e->boolOp(), std::move(l), std::move(r));
+    }
+    case ExprKind::BoolNot: {
+      auto a = substituteVars(e->operand(), subst);
+      if (a == e->operand()) return e;
+      return Expr::boolNot(std::move(a));
+    }
+    case ExprKind::Select: {
+      auto c = substituteVars(e->selectCond(), subst);
+      auto l = substituteVars(e->lhs(), subst);
+      auto r = substituteVars(e->rhs(), subst);
+      if (c == e->selectCond() && l == e->lhs() && r == e->rhs()) return e;
+      return Expr::select(std::move(c), std::move(l), std::move(r));
+    }
+  }
+  FIXFUSE_UNREACHABLE("substituteVars");
+}
+
+StmtPtr substituteVarsStmt(const Stmt& s,
+                           const std::map<std::string, ExprPtr>& subst) {
+  switch (s.kind()) {
+    case StmtKind::Assign: {
+      LValue lhs = s.lhs();
+      for (auto& i : lhs.indices) i = substituteVars(i, subst);
+      auto out = Stmt::assign(std::move(lhs), substituteVars(s.rhs(), subst));
+      out->setAssignId(s.assignId());
+      return out;
+    }
+    case StmtKind::If:
+      return Stmt::ifThenElse(
+          substituteVars(s.cond(), subst),
+          substituteVarsStmt(*s.thenBody(), subst),
+          s.elseBody() ? substituteVarsStmt(*s.elseBody(), subst) : nullptr);
+    case StmtKind::Loop: {
+      // The loop variable shadows any outer binding of the same name.
+      auto inner = subst;
+      inner.erase(s.loopVar());
+      return Stmt::loop(s.loopVar(), substituteVars(s.lowerBound(), subst),
+                        substituteVars(s.upperBound(), subst),
+                        inner.empty() ? s.loopBody()->clone()
+                                      : substituteVarsStmt(*s.loopBody(),
+                                                           inner));
+    }
+    case StmtKind::Block: {
+      std::vector<StmtPtr> out;
+      out.reserve(s.stmts().size());
+      for (const auto& st : s.stmts())
+        out.push_back(substituteVarsStmt(*st, subst));
+      return Stmt::block(std::move(out));
+    }
+  }
+  FIXFUSE_UNREACHABLE("substituteVarsStmt");
+}
+
+void forEachStmt(const Stmt& s, const std::function<void(const Stmt&)>& fn) {
+  fn(s);
+  switch (s.kind()) {
+    case StmtKind::Assign:
+      return;
+    case StmtKind::If:
+      forEachStmt(*s.thenBody(), fn);
+      if (s.elseBody()) forEachStmt(*s.elseBody(), fn);
+      return;
+    case StmtKind::Loop:
+      forEachStmt(*s.loopBody(), fn);
+      return;
+    case StmtKind::Block:
+      for (const auto& st : s.stmts()) forEachStmt(*st, fn);
+      return;
+  }
+}
+
+void forEachExprIn(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  switch (e.kind()) {
+    case ExprKind::IntConst:
+    case ExprKind::FloatConst:
+    case ExprKind::VarRef:
+    case ExprKind::ScalarLoad:
+      return;
+    case ExprKind::Binary:
+    case ExprKind::Compare:
+    case ExprKind::BoolBinary:
+      forEachExprIn(*e.lhs(), fn);
+      forEachExprIn(*e.rhs(), fn);
+      return;
+    case ExprKind::ArrayLoad:
+      for (const auto& i : e.indices()) forEachExprIn(*i, fn);
+      return;
+    case ExprKind::Call:
+    case ExprKind::BoolNot:
+      forEachExprIn(*e.operand(), fn);
+      return;
+    case ExprKind::Select:
+      forEachExprIn(*e.selectCond(), fn);
+      forEachExprIn(*e.lhs(), fn);
+      forEachExprIn(*e.rhs(), fn);
+      return;
+  }
+}
+
+void forEachExpr(const Stmt& s, const std::function<void(const Expr&)>& fn) {
+  forEachStmt(s, [&](const Stmt& st) {
+    switch (st.kind()) {
+      case StmtKind::Assign:
+        for (const auto& i : st.lhs().indices) forEachExprIn(*i, fn);
+        forEachExprIn(*st.rhs(), fn);
+        return;
+      case StmtKind::If:
+        forEachExprIn(*st.cond(), fn);
+        return;
+      case StmtKind::Loop:
+        forEachExprIn(*st.lowerBound(), fn);
+        forEachExprIn(*st.upperBound(), fn);
+        return;
+      case StmtKind::Block:
+        return;
+    }
+  });
+}
+
+namespace {
+
+std::optional<std::int64_t> intConstOf(const ExprPtr& e) {
+  if (e->kind() == ExprKind::IntConst) return e->intValue();
+  return std::nullopt;
+}
+
+}  // namespace
+
+ExprPtr simplify(const ExprPtr& e) {
+  switch (e->type()) {
+    case Type::Int: {
+      // Affine canonicalisation subsumes constant folding for +,-,*.
+      if (auto a = toAffine(*e)) return fromAffine(*a);
+      if (e->kind() == ExprKind::Binary) {
+        auto l = simplify(e->lhs());
+        auto r = simplify(e->rhs());
+        auto lc = intConstOf(l), rc = intConstOf(r);
+        if (lc && rc) {
+          switch (e->binOp()) {
+            case BinOp::FloorDiv:
+              if (*rc != 0) return ic(floorDiv(*lc, *rc));
+              break;
+            case BinOp::Mod:
+              if (*rc != 0) return ic(floorMod(*lc, *rc));
+              break;
+            case BinOp::Min:
+              return ic(std::min(*lc, *rc));
+            case BinOp::Max:
+              return ic(std::max(*lc, *rc));
+            default:
+              break;
+          }
+        }
+        // x fdiv 1 == x ; x mod 1 == 0
+        if (rc && *rc == 1 && e->binOp() == BinOp::FloorDiv) return l;
+        if (rc && *rc == 1 && e->binOp() == BinOp::Mod) return ic(0);
+        if (l != e->lhs() || r != e->rhs())
+          return Expr::binary(e->binOp(), std::move(l), std::move(r));
+      }
+      return e;
+    }
+    case Type::Float: {
+      switch (e->kind()) {
+        case ExprKind::Binary: {
+          auto l = simplify(e->lhs());
+          auto r = simplify(e->rhs());
+          if (l != e->lhs() || r != e->rhs())
+            return Expr::binary(e->binOp(), std::move(l), std::move(r));
+          return e;
+        }
+        case ExprKind::Call: {
+          auto a = simplify(e->operand());
+          if (a != e->operand()) return Expr::call(e->callFn(), std::move(a));
+          return e;
+        }
+        case ExprKind::ArrayLoad: {
+          std::vector<ExprPtr> idx;
+          bool changed = false;
+          for (const auto& i : e->indices()) {
+            idx.push_back(simplify(i));
+            changed |= idx.back() != i;
+          }
+          if (changed) return Expr::arrayLoad(e->name(), std::move(idx));
+          return e;
+        }
+        case ExprKind::Select: {
+          auto c = simplify(e->selectCond());
+          bool v = false;
+          if (foldsToBool(c, v)) return simplify(v ? e->lhs() : e->rhs());
+          auto l = simplify(e->lhs());
+          auto r = simplify(e->rhs());
+          if (c != e->selectCond() || l != e->lhs() || r != e->rhs())
+            return Expr::select(std::move(c), std::move(l), std::move(r));
+          return e;
+        }
+        default:
+          return e;
+      }
+    }
+    case Type::Bool: {
+      switch (e->kind()) {
+        case ExprKind::Compare: {
+          auto l = simplify(e->lhs());
+          auto r = simplify(e->rhs());
+          if (l->type() == Type::Int) {
+            auto lc = intConstOf(l), rc = intConstOf(r);
+            if (lc && rc) {
+              bool v = false;
+              switch (e->cmpOp()) {
+                case CmpOp::EQ: v = *lc == *rc; break;
+                case CmpOp::NE: v = *lc != *rc; break;
+                case CmpOp::LT: v = *lc < *rc; break;
+                case CmpOp::LE: v = *lc <= *rc; break;
+                case CmpOp::GT: v = *lc > *rc; break;
+                case CmpOp::GE: v = *lc >= *rc; break;
+              }
+              return v ? eqE(ic(1), ic(1)) : eqE(ic(1), ic(0));
+            }
+          }
+          if (l != e->lhs() || r != e->rhs())
+            return Expr::compare(e->cmpOp(), std::move(l), std::move(r));
+          return e;
+        }
+        case ExprKind::BoolBinary: {
+          auto l = simplify(e->lhs());
+          auto r = simplify(e->rhs());
+          bool lv = false, rv = false;
+          bool lf = foldsToBool(l, lv), rf = foldsToBool(r, rv);
+          if (e->boolOp() == BoolOp::And) {
+            if (lf && !lv) return l;          // false && r
+            if (rf && !rv) return r;          // l && false
+            if (lf && lv) return r;           // true && r
+            if (rf && rv) return l;           // l && true
+          } else {
+            if (lf && lv) return l;           // true || r
+            if (rf && rv) return r;           // l || true
+            if (lf && !lv) return r;          // false || r
+            if (rf && !rv) return l;          // l || false
+          }
+          if (l != e->lhs() || r != e->rhs())
+            return Expr::boolBinary(e->boolOp(), std::move(l), std::move(r));
+          return e;
+        }
+        case ExprKind::BoolNot: {
+          auto a = simplify(e->operand());
+          bool v = false;
+          if (foldsToBool(a, v)) return v ? eqE(ic(1), ic(0)) : eqE(ic(1), ic(1));
+          if (a != e->operand()) return Expr::boolNot(std::move(a));
+          return e;
+        }
+        default:
+          return e;
+      }
+    }
+  }
+  FIXFUSE_UNREACHABLE("simplify");
+}
+
+bool foldsToBool(const ExprPtr& cond, bool& value) {
+  if (cond->kind() != ExprKind::Compare) return false;
+  if (cond->lhs()->kind() != ExprKind::IntConst ||
+      cond->rhs()->kind() != ExprKind::IntConst)
+    return false;
+  std::int64_t l = cond->lhs()->intValue(), r = cond->rhs()->intValue();
+  switch (cond->cmpOp()) {
+    case CmpOp::EQ: value = l == r; break;
+    case CmpOp::NE: value = l != r; break;
+    case CmpOp::LT: value = l < r; break;
+    case CmpOp::LE: value = l <= r; break;
+    case CmpOp::GT: value = l > r; break;
+    case CmpOp::GE: value = l >= r; break;
+  }
+  return true;
+}
+
+StmtPtr simplifyStmt(const Stmt& s) {
+  switch (s.kind()) {
+    case StmtKind::Assign: {
+      LValue lhs = s.lhs();
+      for (auto& i : lhs.indices) i = simplify(i);
+      auto out = Stmt::assign(std::move(lhs), simplify(s.rhs()));
+      out->setAssignId(s.assignId());
+      return out;
+    }
+    case StmtKind::If: {
+      ExprPtr cond = simplify(s.cond());
+      bool v = false;
+      if (foldsToBool(cond, v)) {
+        if (v) return simplifyStmt(*s.thenBody());
+        return s.elseBody() ? simplifyStmt(*s.elseBody()) : nullptr;
+      }
+      StmtPtr thenB = simplifyStmt(*s.thenBody());
+      StmtPtr elseB = s.elseBody() ? simplifyStmt(*s.elseBody()) : nullptr;
+      if (!thenB && !elseB) return nullptr;
+      if (!thenB) {
+        // if (c) {} else B  ==>  if (!c) B
+        return Stmt::ifThen(simplify(notE(cond)), std::move(elseB));
+      }
+      return Stmt::ifThenElse(std::move(cond), std::move(thenB),
+                              std::move(elseB));
+    }
+    case StmtKind::Loop: {
+      StmtPtr body = simplifyStmt(*s.loopBody());
+      if (!body) return nullptr;
+      return Stmt::loop(s.loopVar(), simplify(s.lowerBound()),
+                        simplify(s.upperBound()), std::move(body));
+    }
+    case StmtKind::Block: {
+      std::vector<StmtPtr> out;
+      for (const auto& st : s.stmts()) {
+        StmtPtr r = simplifyStmt(*st);
+        if (!r) continue;
+        // Flatten nested blocks.
+        if (r->kind() == StmtKind::Block) {
+          for (auto& inner : r->stmtsMutable()) out.push_back(std::move(inner));
+        } else {
+          out.push_back(std::move(r));
+        }
+      }
+      if (out.empty()) return nullptr;
+      return Stmt::block(std::move(out));
+    }
+  }
+  FIXFUSE_UNREACHABLE("simplifyStmt");
+}
+
+}  // namespace fixfuse::ir

@@ -1,0 +1,51 @@
+// Tree-walking utilities: substitution, renaming, traversal, and a
+// light-weight simplifier used to keep generated (fused/tiled) code
+// readable and cheap to interpret.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace fixfuse::ir {
+
+/// Replace every VarRef named `name` in `e` by `replacement`.
+ExprPtr substituteVar(const ExprPtr& e, const std::string& name,
+                      const ExprPtr& replacement);
+
+/// Replace several variables at once (simultaneous substitution).
+ExprPtr substituteVars(const ExprPtr& e,
+                       const std::map<std::string, ExprPtr>& subst);
+
+/// Deep-copy `s` with a simultaneous variable substitution applied to all
+/// expressions (bounds, conditions, subscripts, right-hand sides). Loop
+/// variables bound inside `s` shadow the substitution.
+StmtPtr substituteVarsStmt(const Stmt& s,
+                           const std::map<std::string, ExprPtr>& subst);
+
+/// Pre-order traversal of all statements.
+void forEachStmt(const Stmt& s, const std::function<void(const Stmt&)>& fn);
+
+/// Pre-order traversal of every expression in a statement tree (bounds,
+/// conditions, subscripts, rhs) including nested sub-expressions.
+void forEachExpr(const Stmt& s, const std::function<void(const Expr&)>& fn);
+void forEachExprIn(const Expr& e, const std::function<void(const Expr&)>& fn);
+
+/// Constant-fold and canonicalise. Int expressions that are affine are
+/// rebuilt in canonical form; Bool expressions with decidable comparisons
+/// fold to their truth value where possible (returned as 1==1 / 1==0 only
+/// when a whole branch folds - callers usually drop those).
+ExprPtr simplify(const ExprPtr& e);
+
+/// Simplify every expression in a statement tree; prune If statements
+/// whose affine condition is identically true or false *syntactically*
+/// (constant-folded), and drop empty blocks.
+/// Returns nullptr when the whole statement simplifies away.
+StmtPtr simplifyStmt(const Stmt& s);
+
+/// True when the condition folds to a constant; value via `value`.
+bool foldsToBool(const ExprPtr& cond, bool& value);
+
+}  // namespace fixfuse::ir

@@ -1,0 +1,256 @@
+#include "ir/stmt.h"
+
+#include <sstream>
+
+#include "support/str.h"
+
+namespace fixfuse::ir {
+
+std::string LValue::str() const {
+  std::string s = name;
+  for (const auto& i : indices) s += "[" + i->str() + "]";
+  return s;
+}
+
+// --- accessors --------------------------------------------------------------
+
+const LValue& Stmt::lhs() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::Assign, "not an Assign");
+  return lhs_;
+}
+const ExprPtr& Stmt::rhs() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::Assign, "not an Assign");
+  return rhs_;
+}
+int Stmt::assignId() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::Assign, "not an Assign");
+  return assignId_;
+}
+void Stmt::setAssignId(int id) {
+  FIXFUSE_CHECK(kind_ == StmtKind::Assign, "not an Assign");
+  assignId_ = id;
+}
+const ExprPtr& Stmt::cond() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::If, "not an If");
+  return cond_;
+}
+const Stmt* Stmt::thenBody() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::If, "not an If");
+  return a_.get();
+}
+const Stmt* Stmt::elseBody() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::If, "not an If");
+  return b_.get();
+}
+Stmt* Stmt::thenBodyMutable() {
+  FIXFUSE_CHECK(kind_ == StmtKind::If, "not an If");
+  return a_.get();
+}
+Stmt* Stmt::elseBodyMutable() {
+  FIXFUSE_CHECK(kind_ == StmtKind::If, "not an If");
+  return b_.get();
+}
+const std::string& Stmt::loopVar() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::Loop, "not a Loop");
+  return loopVar_;
+}
+const ExprPtr& Stmt::lowerBound() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::Loop, "not a Loop");
+  return lb_;
+}
+const ExprPtr& Stmt::upperBound() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::Loop, "not a Loop");
+  return ub_;
+}
+const Stmt* Stmt::loopBody() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::Loop, "not a Loop");
+  return a_.get();
+}
+Stmt* Stmt::loopBodyMutable() {
+  FIXFUSE_CHECK(kind_ == StmtKind::Loop, "not a Loop");
+  return a_.get();
+}
+const std::vector<StmtPtr>& Stmt::stmts() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::Block, "not a Block");
+  return blockStmts_;
+}
+std::vector<StmtPtr>& Stmt::stmtsMutable() {
+  FIXFUSE_CHECK(kind_ == StmtKind::Block, "not a Block");
+  return blockStmts_;
+}
+
+// --- factories --------------------------------------------------------------
+
+StmtPtr Stmt::assign(LValue lhs, ExprPtr rhs) {
+  FIXFUSE_CHECK(rhs != nullptr, "null Assign rhs");
+  for (const auto& i : lhs.indices)
+    FIXFUSE_CHECK(i && i->type() == Type::Int, "non-Int lhs index");
+  auto s = StmtPtr(new Stmt(StmtKind::Assign));
+  s->lhs_ = std::move(lhs);
+  s->rhs_ = std::move(rhs);
+  return s;
+}
+
+StmtPtr Stmt::ifThen(ExprPtr cond, StmtPtr thenBody) {
+  return ifThenElse(std::move(cond), std::move(thenBody), nullptr);
+}
+
+StmtPtr Stmt::ifThenElse(ExprPtr cond, StmtPtr thenBody, StmtPtr elseBody) {
+  FIXFUSE_CHECK(cond && cond->type() == Type::Bool, "If condition not Bool");
+  FIXFUSE_CHECK(thenBody != nullptr, "null then-branch");
+  auto s = StmtPtr(new Stmt(StmtKind::If));
+  s->cond_ = std::move(cond);
+  s->a_ = std::move(thenBody);
+  s->b_ = std::move(elseBody);
+  return s;
+}
+
+StmtPtr Stmt::loop(std::string var, ExprPtr lb, ExprPtr ub, StmtPtr body) {
+  FIXFUSE_CHECK(lb && lb->type() == Type::Int, "loop lower bound not Int");
+  FIXFUSE_CHECK(ub && ub->type() == Type::Int, "loop upper bound not Int");
+  FIXFUSE_CHECK(body != nullptr, "null loop body");
+  auto s = StmtPtr(new Stmt(StmtKind::Loop));
+  s->loopVar_ = std::move(var);
+  s->lb_ = std::move(lb);
+  s->ub_ = std::move(ub);
+  s->a_ = std::move(body);
+  return s;
+}
+
+StmtPtr Stmt::block(std::vector<StmtPtr> stmts) {
+  for (const auto& st : stmts) FIXFUSE_CHECK(st != nullptr, "null stmt");
+  auto s = StmtPtr(new Stmt(StmtKind::Block));
+  s->blockStmts_ = std::move(stmts);
+  return s;
+}
+
+StmtPtr Stmt::clone() const {
+  switch (kind_) {
+    case StmtKind::Assign: {
+      auto s = assign(lhs_, rhs_);
+      s->assignId_ = assignId_;
+      return s;
+    }
+    case StmtKind::If:
+      return ifThenElse(cond_, a_->clone(), b_ ? b_->clone() : nullptr);
+    case StmtKind::Loop:
+      return loop(loopVar_, lb_, ub_, a_->clone());
+    case StmtKind::Block: {
+      std::vector<StmtPtr> copies;
+      copies.reserve(blockStmts_.size());
+      for (const auto& st : blockStmts_) copies.push_back(st->clone());
+      return block(std::move(copies));
+    }
+  }
+  FIXFUSE_UNREACHABLE("clone");
+}
+
+// --- terse builders ---------------------------------------------------------
+
+StmtPtr sassign(const std::string& scalar, ExprPtr rhs) {
+  return Stmt::assign(LValue{scalar, {}}, std::move(rhs));
+}
+
+StmtPtr aassign(const std::string& array, std::vector<ExprPtr> indices,
+                ExprPtr rhs) {
+  return Stmt::assign(LValue{array, std::move(indices)}, std::move(rhs));
+}
+
+StmtPtr ifs(ExprPtr cond, std::vector<StmtPtr> thenStmts) {
+  return Stmt::ifThen(std::move(cond), Stmt::block(std::move(thenStmts)));
+}
+
+StmtPtr ifelse(ExprPtr cond, std::vector<StmtPtr> thenStmts,
+               std::vector<StmtPtr> elseStmts) {
+  return Stmt::ifThenElse(std::move(cond), Stmt::block(std::move(thenStmts)),
+                          Stmt::block(std::move(elseStmts)));
+}
+
+StmtPtr loopS(const std::string& var, ExprPtr lb, ExprPtr ub,
+              std::vector<StmtPtr> body) {
+  return Stmt::loop(var, std::move(lb), std::move(ub),
+                    Stmt::block(std::move(body)));
+}
+
+StmtPtr blockS(std::vector<StmtPtr> stmts) {
+  return Stmt::block(std::move(stmts));
+}
+
+// --- Program ----------------------------------------------------------------
+
+Program::Program(const Program& o)
+    : params(o.params), arrays(o.arrays), scalars(o.scalars),
+      body(o.body ? o.body->clone() : nullptr) {}
+
+Program& Program::operator=(const Program& o) {
+  if (this == &o) return *this;
+  params = o.params;
+  arrays = o.arrays;
+  scalars = o.scalars;
+  body = o.body ? o.body->clone() : nullptr;
+  return *this;
+}
+
+bool Program::hasArray(const std::string& name) const {
+  for (const auto& a : arrays)
+    if (a.name == name) return true;
+  return false;
+}
+
+bool Program::hasScalar(const std::string& name) const {
+  for (const auto& s : scalars)
+    if (s.name == name) return true;
+  return false;
+}
+
+const ArrayDecl& Program::array(const std::string& name) const {
+  for (const auto& a : arrays)
+    if (a.name == name) return a;
+  throw InternalError("unknown array " + name);
+}
+
+const ScalarDecl& Program::scalar(const std::string& name) const {
+  for (const auto& s : scalars)
+    if (s.name == name) return s;
+  throw InternalError("unknown scalar " + name);
+}
+
+void Program::declareArray(std::string name, std::vector<ExprPtr> extents) {
+  FIXFUSE_CHECK(!hasArray(name) && !hasScalar(name),
+                "redeclaration of " + name);
+  arrays.push_back(ArrayDecl{std::move(name), std::move(extents)});
+}
+
+void Program::declareScalar(std::string name, Type t) {
+  FIXFUSE_CHECK(!hasArray(name) && !hasScalar(name),
+                "redeclaration of " + name);
+  scalars.push_back(ScalarDecl{std::move(name), t});
+}
+
+namespace {
+void numberRec(Stmt* s, int& next) {
+  switch (s->kind()) {
+    case StmtKind::Assign:
+      s->setAssignId(next++);
+      return;
+    case StmtKind::If:
+      numberRec(s->thenBodyMutable(), next);
+      if (s->elseBodyMutable()) numberRec(s->elseBodyMutable(), next);
+      return;
+    case StmtKind::Loop:
+      numberRec(s->loopBodyMutable(), next);
+      return;
+    case StmtKind::Block:
+      for (auto& st : s->stmtsMutable()) numberRec(st.get(), next);
+      return;
+  }
+}
+}  // namespace
+
+int Program::numberAssignments() {
+  int next = 0;
+  if (body) numberRec(body.get(), next);
+  return next;
+}
+
+}  // namespace fixfuse::ir

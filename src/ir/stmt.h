@@ -1,0 +1,143 @@
+// Statements and programs of the loop-nest IR.
+//
+// Loops follow the paper's FORTRAN convention: `do v = lb, ub` iterates
+// v = lb .. ub inclusive with step +1 (a loop whose lb > ub runs zero
+// times). Assignments carry a stable id so dependence analysis can talk
+// about "the s-th assignment of nest k" (the alpha(R') component of
+// Eq. 6 in the paper).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace fixfuse::ir {
+
+enum class StmtKind { Assign, If, Loop, Block };
+
+/// Assignment target: a scalar (empty indices) or an array element.
+struct LValue {
+  std::string name;
+  std::vector<ExprPtr> indices;  // empty => scalar
+
+  bool isScalar() const { return indices.empty(); }
+  std::string str() const;
+};
+
+class Stmt;
+// shared_ptr rather than unique_ptr so statement lists can be written as
+// brace-enclosed initializer lists (which copy). Transformations treat
+// statement trees as owned values and deep-clone before mutating.
+using StmtPtr = std::shared_ptr<Stmt>;
+
+class Stmt {
+ public:
+  StmtKind kind() const { return kind_; }
+
+  // Assign
+  const LValue& lhs() const;
+  const ExprPtr& rhs() const;
+  int assignId() const;
+  void setAssignId(int id);
+
+  // If
+  const ExprPtr& cond() const;
+  const Stmt* thenBody() const;
+  const Stmt* elseBody() const;  // may be null
+  Stmt* thenBodyMutable();
+  Stmt* elseBodyMutable();
+
+  // Loop
+  const std::string& loopVar() const;
+  const ExprPtr& lowerBound() const;
+  const ExprPtr& upperBound() const;
+  const Stmt* loopBody() const;
+  Stmt* loopBodyMutable();
+
+  // Block
+  const std::vector<StmtPtr>& stmts() const;
+  std::vector<StmtPtr>& stmtsMutable();
+
+  StmtPtr clone() const;
+
+  // --- factories ------------------------------------------------------------
+  static StmtPtr assign(LValue lhs, ExprPtr rhs);
+  static StmtPtr ifThen(ExprPtr cond, StmtPtr thenBody);
+  static StmtPtr ifThenElse(ExprPtr cond, StmtPtr thenBody, StmtPtr elseBody);
+  static StmtPtr loop(std::string var, ExprPtr lb, ExprPtr ub, StmtPtr body);
+  static StmtPtr block(std::vector<StmtPtr> stmts);
+
+ private:
+  explicit Stmt(StmtKind k) : kind_(k) {}
+
+  StmtKind kind_;
+  // Assign
+  LValue lhs_;
+  ExprPtr rhs_;
+  int assignId_ = -1;
+  // If / Loop
+  ExprPtr cond_;
+  StmtPtr a_, b_;  // then/else or loop body (a_)
+  std::string loopVar_;
+  ExprPtr lb_, ub_;
+  // Block
+  std::vector<StmtPtr> blockStmts_;
+};
+
+// Terse statement builders.
+StmtPtr sassign(const std::string& scalar, ExprPtr rhs);
+StmtPtr aassign(const std::string& array, std::vector<ExprPtr> indices,
+                ExprPtr rhs);
+StmtPtr ifs(ExprPtr cond, std::vector<StmtPtr> thenStmts);
+StmtPtr ifelse(ExprPtr cond, std::vector<StmtPtr> thenStmts,
+               std::vector<StmtPtr> elseStmts);
+StmtPtr loopS(const std::string& var, ExprPtr lb, ExprPtr ub,
+              std::vector<StmtPtr> body);
+StmtPtr blockS(std::vector<StmtPtr> stmts);
+
+/// Array declaration: extents are Int expressions over the parameters.
+/// Subscripts are 0-based; declared extent e means indices 0 .. e-1.
+/// (Paper programs are 1-based; the kernel builders allocate extent N+1
+/// and simply never touch index 0, mirroring common C translations.)
+struct ArrayDecl {
+  std::string name;
+  std::vector<ExprPtr> extents;
+};
+
+struct ScalarDecl {
+  std::string name;
+  Type type = Type::Float;
+};
+
+/// A whole program: integer parameters, array and scalar declarations,
+/// and a body Block.
+class Program {
+ public:
+  std::vector<std::string> params;
+  std::vector<ArrayDecl> arrays;
+  std::vector<ScalarDecl> scalars;
+  StmtPtr body;
+
+  Program() = default;
+  Program(const Program& o);
+  Program& operator=(const Program& o);
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  bool hasArray(const std::string& name) const;
+  bool hasScalar(const std::string& name) const;
+  const ArrayDecl& array(const std::string& name) const;
+  const ScalarDecl& scalar(const std::string& name) const;
+  void declareArray(std::string name, std::vector<ExprPtr> extents);
+  void declareScalar(std::string name, Type t);
+
+  /// Number every Assign in textual order starting from 0; returns the
+  /// number of assignments.
+  int numberAssignments();
+
+  std::string str() const;
+};
+
+}  // namespace fixfuse::ir

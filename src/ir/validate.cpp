@@ -1,0 +1,129 @@
+#include "ir/validate.h"
+
+#include <set>
+
+#include "ir/rewrite.h"
+#include "support/error.h"
+
+namespace fixfuse::ir {
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Program& p) : p_(p) {
+    for (const auto& name : p.params) {
+      FIXFUSE_CHECK(symbols_.insert(name).second,
+                    "duplicate parameter " + name);
+    }
+    for (const auto& a : p.arrays)
+      FIXFUSE_CHECK(symbols_.insert(a.name).second,
+                    "array name collides: " + a.name);
+    for (const auto& s : p.scalars)
+      FIXFUSE_CHECK(symbols_.insert(s.name).second,
+                    "scalar name collides: " + s.name);
+    for (const auto& a : p.arrays) {
+      FIXFUSE_CHECK(!a.extents.empty(), "array " + a.name + " has rank 0");
+      for (const auto& e : a.extents) checkExpr(*e);
+    }
+  }
+
+  void run() {
+    if (p_.body) checkStmt(*p_.body);
+  }
+
+ private:
+  void checkIntSymbol(const std::string& name) const {
+    bool isParam = std::find(p_.params.begin(), p_.params.end(), name) !=
+                   p_.params.end();
+    bool isLoopVar = live_.count(name) != 0;
+    FIXFUSE_CHECK(isParam || isLoopVar,
+                  "reference to unbound variable " + name);
+  }
+
+  void checkExpr(const Expr& e) const {
+    forEachExprIn(e, [&](const Expr& x) {
+      switch (x.kind()) {
+        case ExprKind::VarRef:
+          checkIntSymbol(x.name());
+          break;
+        case ExprKind::ArrayLoad: {
+          FIXFUSE_CHECK(p_.hasArray(x.name()),
+                        "load from undeclared array " + x.name());
+          FIXFUSE_CHECK(
+              p_.array(x.name()).extents.size() == x.indices().size(),
+              "rank mismatch on array " + x.name());
+          break;
+        }
+        case ExprKind::ScalarLoad: {
+          FIXFUSE_CHECK(p_.hasScalar(x.name()),
+                        "load from undeclared scalar " + x.name());
+          FIXFUSE_CHECK(p_.scalar(x.name()).type == x.type(),
+                        "scalar type mismatch on " + x.name());
+          break;
+        }
+        default:
+          break;
+      }
+    });
+  }
+
+  void checkStmt(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Assign: {
+        const LValue& lhs = s.lhs();
+        if (lhs.isScalar()) {
+          FIXFUSE_CHECK(p_.hasScalar(lhs.name),
+                        "assignment to undeclared scalar " + lhs.name);
+          FIXFUSE_CHECK((p_.scalar(lhs.name).type == Type::Int) ==
+                            (s.rhs()->type() == Type::Int),
+                        "assignment type mismatch on " + lhs.name);
+        } else {
+          FIXFUSE_CHECK(p_.hasArray(lhs.name),
+                        "assignment to undeclared array " + lhs.name);
+          FIXFUSE_CHECK(p_.array(lhs.name).extents.size() ==
+                            lhs.indices.size(),
+                        "rank mismatch writing array " + lhs.name);
+          FIXFUSE_CHECK(s.rhs()->type() == Type::Float,
+                        "array element assigned non-Float");
+          for (const auto& i : lhs.indices) checkExpr(*i);
+        }
+        checkExpr(*s.rhs());
+        return;
+      }
+      case StmtKind::If:
+        checkExpr(*s.cond());
+        checkStmt(*s.thenBody());
+        if (s.elseBody()) checkStmt(*s.elseBody());
+        return;
+      case StmtKind::Loop: {
+        checkExpr(*s.lowerBound());
+        checkExpr(*s.upperBound());
+        const std::string& v = s.loopVar();
+        FIXFUSE_CHECK(!symbols_.count(v),
+                      "loop variable " + v + " shadows a declaration");
+        FIXFUSE_CHECK(live_.insert(v).second,
+                      "loop variable " + v + " shadows an enclosing loop");
+        checkStmt(*s.loopBody());
+        live_.erase(v);
+        return;
+      }
+      case StmtKind::Block:
+        for (const auto& st : s.stmts()) checkStmt(*st);
+        return;
+    }
+  }
+
+  const Program& p_;
+  std::set<std::string> symbols_;
+  std::set<std::string> live_;
+};
+
+}  // namespace
+
+void validate(const Program& p) {
+  Validator v(p);
+  v.run();
+}
+
+}  // namespace fixfuse::ir

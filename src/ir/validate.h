@@ -1,0 +1,15 @@
+// Structural validation of programs:
+//  * every array/scalar reference is declared, with the right rank,
+//  * every VarRef is a parameter or an enclosing loop variable,
+//  * loop variables do not shadow parameters or other live loop variables,
+//  * every assignment writes a declared scalar or array.
+// Throws InternalError with a description of the first violation.
+#pragma once
+
+#include "ir/stmt.h"
+
+namespace fixfuse::ir {
+
+void validate(const Program& p);
+
+}  // namespace fixfuse::ir

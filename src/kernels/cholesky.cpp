@@ -1,0 +1,72 @@
+// Cholesky factorisation (Fig. 1c): peel the last k iteration, sink into
+// the fused (k, j, i) space with i: j..N (Fig. 3c). The fused program is
+// already legal - FixDeps verifiably does nothing (the paper's "the fused
+// program for Cholesky is already legal"). Tiling: the outermost k loop.
+#include "core/fuse.h"
+#include "core/sink.h"
+#include "core/transforms.h"
+#include "kernels/common.h"
+
+namespace fixfuse::kernels {
+
+using namespace fixfuse::ir;
+
+namespace {
+
+Program cholSeq() {
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.body = blockS({loopS(
+      "k", ic(1), iv("N"),
+      {aassign("A", {iv("k"), iv("k")},
+               sqrtE(load("A", {iv("k"), iv("k")}))),
+       loopS("i", add(iv("k"), ic(1)), iv("N"),
+             {aassign("A", {iv("i"), iv("k")},
+                      fdiv(load("A", {iv("i"), iv("k")}),
+                           load("A", {iv("k"), iv("k")})))}),
+       loopS("j", add(iv("k"), ic(1)), iv("N"),
+             {loopS("i", iv("j"), iv("N"),
+                    {aassign("A", {iv("i"), iv("j")},
+                             sub(load("A", {iv("i"), iv("j")}),
+                                 mul(load("A", {iv("i"), iv("k")}),
+                                     load("A", {iv("j"), iv("k")}))))})})})});
+  p.numberAssignments();
+  return p;
+}
+
+}  // namespace
+
+KernelBundle buildCholesky(const KernelOptions& opts) {
+  KernelBundle b;
+  b.name = "cholesky";
+  b.seq = cholSeq();
+
+  poly::ParamContext ctx = kernelContext(/*withM=*/false);
+  Program peeled = core::peelLastIteration(b.seq, "k");
+  SplitProgram split = splitAroundTopLoop(peeled);
+
+  core::SinkOptions sink;
+  // Fused i runs j..N as in Fig. 3c (the scale nest's instances embed at
+  // the slice j = k+1, where i covers k+1..N).
+  sink.isBoundOverrides[2] = {poly::AffineExpr::var("j"),
+                              poly::AffineExpr::var("N")};
+  deps::NestSystem sys = core::codeSink(split.loopOnly, ctx, sink);
+
+  b.fused = reattachEpilogue(core::generateFusedProgram(sys), split);
+  b.fixLog = core::fixDeps(sys);
+  b.system = sys;
+  b.fixed = reattachEpilogue(core::generateFusedProgram(sys), split);
+  b.fixedOpt = b.fixed;
+  // "The outermost k loop is tiled": k-strips applied per column
+  // (blocked right-looking Cholesky), order (Tk, j, k, i) so the
+  // contiguous i loop stays innermost; see tileLoopInnermost.
+  b.tiled = opts.tile > 0
+                ? core::tileLoopInnermost(b.fixed, "k", opts.tile,
+                                          /*keepInner=*/1)
+                : b.fixed;
+  b.tiledBaseline = b.seq;
+  return b;
+}
+
+}  // namespace fixfuse::kernels

@@ -1,0 +1,51 @@
+#include "kernels/common.h"
+
+#include "ir/validate.h"
+#include "support/error.h"
+
+namespace fixfuse::kernels {
+
+SplitProgram splitAroundTopLoop(const ir::Program& p) {
+  SplitProgram s;
+  s.loopOnly = p;
+  s.loopOnly.body = ir::blockS({});
+  bool seenLoop = false;
+  for (const auto& st : p.body->stmts()) {
+    if (!seenLoop && st->kind() == ir::StmtKind::Loop) {
+      s.loopOnly.body->stmtsMutable().push_back(st->clone());
+      seenLoop = true;
+      continue;
+    }
+    FIXFUSE_CHECK(seenLoop, "statement before the top-level loop");
+    s.post.push_back(st->clone());
+  }
+  FIXFUSE_CHECK(seenLoop, "no top-level loop");
+  return s;
+}
+
+ir::Program reattachEpilogue(const ir::Program& fusedLoop,
+                             const SplitProgram& split) {
+  ir::Program out = fusedLoop;  // carries any new declarations (H arrays)
+  for (const auto& st : split.post)
+    out.body->stmtsMutable().push_back(st->clone());
+  out.numberAssignments();
+  ir::validate(out);
+  return out;
+}
+
+poly::ParamContext kernelContext(bool withM) {
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 1000000);
+  if (withM) ctx.addParam("M", 1, 1000000);
+  return ctx;
+}
+
+KernelBundle buildKernel(const std::string& name, const KernelOptions& opts) {
+  if (name == "lu") return buildLu(opts);
+  if (name == "cholesky") return buildCholesky(opts);
+  if (name == "qr") return buildQr(opts);
+  if (name == "jacobi") return buildJacobi(opts);
+  throw InternalError("unknown kernel " + name);
+}
+
+}  // namespace fixfuse::kernels

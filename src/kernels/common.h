@@ -1,0 +1,85 @@
+// Shared kernel-bundle types for the four paper kernels (Fig. 1):
+// LU with partial pivoting, QR (simplified, from Kodukula's thesis),
+// Cholesky, and Jacobi.
+//
+// Each builder returns every program version the paper discusses:
+//   seq   - the original imperfect nest (Fig. 1), the correctness
+//           reference and the baseline of every experiment;
+//   fused - the sunk + fused nest *before* FixDeps (Fig. 3). Generally
+//           incorrect to execute - kept for the ablation benchmarks that
+//           demonstrate why FixDeps is needed;
+//   fixed - the fused nest after FixDeps (Fig. 4), semantically equal to
+//           seq (verified by the interpreter in the test suite);
+//   tiled - the locality-tiled version of `fixed` per Section 4 (LU and
+//           Cholesky tile the outermost k loop; QR tiles i and j; Jacobi
+//           skews (t,i,j) -> (t+i, t+j, t), putting time innermost, and
+//           tiles all three loops).
+//
+// All kernels use 0-unused 1-based indexing into arrays of extent N+1
+// (Jacobi: N+1 x N+1 with the stencil interior 2..N-1), with A(i,j)
+// stored column-major (Fortran order; see EXPERIMENTS.md for the
+// storage discussion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/elim.h"
+#include "deps/nestsystem.h"
+#include "ir/stmt.h"
+#include "poly/set.h"
+
+namespace fixfuse::kernels {
+
+struct KernelBundle {
+  std::string name;
+  ir::Program seq;
+  ir::Program fused;
+  ir::Program fixed;
+  /// `fixed` after the paper's "line 6" simplification (insert more copy
+  /// operations to simplify the conditionals): Jacobi pre-copies the
+  /// boundary into H so the redirected reads become unconditional
+  /// (Fig. 4d). Equal to `fixed` for the other kernels.
+  ir::Program fixedOpt;
+  ir::Program tiled;
+  /// The sequential program `tiled` must match bit-for-bit. Usually
+  /// `seq`; LU's tiled version uses *full-row* pivot swaps (the Fig. 1
+  /// partial swap of columns k..N makes any k-interleaved tiling illegal
+  /// - Carr & Lehoucq's observation - while full-row swaps, as in
+  /// LAPACK, keep the pivot sequence and the U factor identical and make
+  /// blocked LU legal), so its baseline is the full-swap sequential LU.
+  ir::Program tiledBaseline;
+  deps::NestSystem system;  // the post-FixDeps nest system
+  core::FixLog fixLog;
+};
+
+/// Locality-tiling parameters. tile <= 0 means "do not build `tiled`"
+/// (the bundle's tiled program is a copy of fixed).
+struct KernelOptions {
+  std::int64_t tile = 32;
+};
+
+KernelBundle buildLu(const KernelOptions& opts = {});
+KernelBundle buildCholesky(const KernelOptions& opts = {});
+KernelBundle buildQr(const KernelOptions& opts = {});
+KernelBundle buildJacobi(const KernelOptions& opts = {});
+
+KernelBundle buildKernel(const std::string& name,
+                         const KernelOptions& opts = {});
+
+/// Parameter context used by all kernel pipelines (N >= 4; Jacobi also
+/// has M >= 1).
+poly::ParamContext kernelContext(bool withM);
+
+/// Split a program (typically after peeling) into its single top-level
+/// loop and the epilogue statements following it.
+struct SplitProgram {
+  ir::Program loopOnly;
+  std::vector<ir::StmtPtr> post;
+};
+SplitProgram splitAroundTopLoop(const ir::Program& p);
+/// Re-append the epilogue to a program generated from the sunk loop.
+ir::Program reattachEpilogue(const ir::Program& fusedLoop,
+                             const SplitProgram& split);
+
+}  // namespace fixfuse::kernels

@@ -1,0 +1,131 @@
+// Jacobi 2-D stencil (Fig. 1d): sink the two sweeps into the fused
+// (t, i, j) space; FixDeps finds the violated anti-dependences on A and
+// fixes them by array copying (introducing H, Fig. 4d). The temporary L
+// is then scalarised. Tiling: skew (t, i, j) -> (t+i, t+j, t) - putting
+// the time loop innermost so its temporal reuse is exploited - and tile
+// all three loops (Sec. 4).
+#include "core/fuse.h"
+#include "core/sink.h"
+#include "core/transforms.h"
+#include "ir/validate.h"
+#include "kernels/common.h"
+
+namespace fixfuse::kernels {
+
+using namespace fixfuse::ir;
+
+namespace {
+
+Program jacobiSeq() {
+  Program p;
+  p.params = {"M", "N"};
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.declareArray("L", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.body = blockS({loopS(
+      "t", ic(0), iv("M"),
+      {loopS("i", ic(2), sub(iv("N"), ic(1)),
+             {loopS("j", ic(2), sub(iv("N"), ic(1)),
+                    {aassign(
+                        "L", {iv("j"), iv("i")},
+                        // Left-to-right association, as Fig. 1d's Fortran
+                        // expression evaluates.
+                        mul(add(add(add(load("A", {iv("j"), sub(iv("i"), ic(1))}),
+                                        load("A", {sub(iv("j"), ic(1)), iv("i")})),
+                                    load("A", {add(iv("j"), ic(1)), iv("i")})),
+                                load("A", {iv("j"), add(iv("i"), ic(1))})),
+                            fc(0.25)))})}),
+       loopS("i", ic(2), sub(iv("N"), ic(1)),
+             {loopS("j", ic(2), sub(iv("N"), ic(1)),
+                    {aassign("A", {iv("j"), iv("i")},
+                             load("L", {iv("j"), iv("i")}))})})})});
+  p.numberAssignments();
+  return p;
+}
+
+/// Fig. 4d verbatim (with L already scalarised): boundary columns/rows of
+/// A pre-copied into H, so the two "early" reads use H unconditionally
+/// and the in-loop copy needs no guard. This is the paper's line-6
+/// optimisation of the FixDeps output; the test suite verifies it matches
+/// the sequential semantics bit for bit.
+Program jacobiFixedPaperIr() {
+  Program p;
+  p.params = {"M", "N"};
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.declareArray("H_A_1", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.declareScalar("l", Type::Float);
+  auto H = [](std::vector<ExprPtr> idx) { return load("H_A_1", std::move(idx)); };
+  p.body = blockS(
+      {loopS("q", ic(2), sub(iv("N"), ic(1)),
+             {aassign("H_A_1", {iv("q"), ic(1)}, load("A", {iv("q"), ic(1)})),
+              aassign("H_A_1", {ic(1), iv("q")}, load("A", {ic(1), iv("q")})),
+              aassign("H_A_1", {iv("q"), iv("N")},
+                      load("A", {iv("q"), iv("N")})),
+              aassign("H_A_1", {iv("N"), iv("q")},
+                      load("A", {iv("N"), iv("q")}))}),
+       loopS(
+           "t", ic(0), iv("M"),
+           {loopS(
+               "i", ic(2), sub(iv("N"), ic(1)),
+               {loopS(
+                   "j", ic(2), sub(iv("N"), ic(1)),
+                   {sassign("l",
+                            mul(add(add(add(H({iv("j"), sub(iv("i"), ic(1))}),
+                                            H({sub(iv("j"), ic(1)), iv("i")})),
+                                        load("A", {add(iv("j"), ic(1)), iv("i")})),
+                                    load("A", {iv("j"), add(iv("i"), ic(1))})),
+                                fc(0.25))),
+                    aassign("H_A_1", {iv("j"), iv("i")},
+                            load("A", {iv("j"), iv("i")})),
+                    aassign("A", {iv("j"), iv("i")}, sloadf("l"))})})})});
+  p.numberAssignments();
+  ir::validate(p);
+  return p;
+}
+
+}  // namespace
+
+KernelBundle buildJacobi(const KernelOptions& opts) {
+  KernelBundle b;
+  b.name = "jacobi";
+  b.seq = jacobiSeq();
+
+  poly::ParamContext ctx = kernelContext(/*withM=*/true);
+  deps::NestSystem sys = core::codeSink(b.seq, ctx, {});
+
+  b.fused = core::generateFusedProgram(sys);
+  b.fixLog = core::fixDeps(sys);
+  b.system = sys;
+  Program fixed = core::generateFusedProgram(sys);
+  // Replace the temporary L by a scalar (the paper's Fig. 4d note).
+  b.fixed = core::scalarizeArray(fixed, "L", "l");
+  // Line-6 simplification: pre-copy the boundary so reads of H are
+  // unconditional (hand-applied; Fig. 4d verbatim).
+  b.fixedOpt = jacobiFixedPaperIr();
+
+  if (opts.tile > 0) {
+    // Skew: (t, i, j) -> (u, v, w) = (t+i, t+j, t). All dependence
+    // distances become non-negative, so rectangular tiling of all three
+    // loops is legal, and the time loop w ends up innermost. Tiling is
+    // applied to the simplified form, as the paper does ("the tiled
+    // programs are obtained from the fused codes given in Figure 4");
+    // the boundary pre-copy prologue stays in front untouched.
+    StmtPtr prologue = b.fixedOpt.body->stmts().front()->clone();
+    Program sweepOnly = b.fixedOpt;
+    sweepOnly.body = blockS({b.fixedOpt.body->stmts().back()->clone()});
+    Program skewed = core::unimodularTransform(
+        sweepOnly, IntMatrix{{1, 1, 0}, {1, 0, 1}, {1, 0, 0}},
+        {"u", "v", "w"});
+    b.tiled =
+        core::tileRectangular(skewed, {opts.tile, opts.tile, opts.tile});
+    b.tiled.body->stmtsMutable().insert(b.tiled.body->stmtsMutable().begin(),
+                                        std::move(prologue));
+    b.tiled.numberAssignments();
+    ir::validate(b.tiled);
+  } else {
+    b.tiled = b.fixed;
+  }
+  b.tiledBaseline = b.seq;
+  return b;
+}
+
+}  // namespace fixfuse::kernels

@@ -1,0 +1,372 @@
+#include "kernels/native.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace fixfuse::kernels::native {
+
+namespace {
+inline std::int64_t imin64(std::int64_t a, std::int64_t b) {
+  return a < b ? a : b;
+}
+inline std::int64_t imax64(std::int64_t a, std::int64_t b) {
+  return a > b ? a : b;
+}
+}  // namespace
+
+Matrix randomMatrix(std::int64_t n, std::uint64_t seed, double lo, double hi) {
+  Matrix a(matrixSize(n), 0.0);
+  SplitMix64 rng(seed);
+  const std::int64_t lda = n + 1;
+  for (std::int64_t i = 1; i <= n; ++i)
+    for (std::int64_t j = 1; j <= n; ++j)
+      a[static_cast<std::size_t>(i * lda + j)] = rng.nextDouble(lo, hi);
+  return a;
+}
+
+Matrix spdMatrix(std::int64_t n, std::uint64_t seed) {
+  Matrix a(matrixSize(n), 0.0);
+  SplitMix64 rng(seed);
+  const std::int64_t lda = n + 1;
+  for (std::int64_t i = 1; i <= n; ++i)
+    for (std::int64_t j = 1; j <= i; ++j) {
+      double v = rng.nextDouble(-1.0, 1.0);
+      a[static_cast<std::size_t>(i * lda + j)] = v;
+      a[static_cast<std::size_t>(j * lda + i)] = v;
+    }
+  // Diagonal dominance makes the matrix positive definite.
+  for (std::int64_t i = 1; i <= n; ++i) {
+    double rowSum = 0.0;
+    for (std::int64_t j = 1; j <= n; ++j)
+      if (j != i) rowSum += std::fabs(a[static_cast<std::size_t>(i * lda + j)]);
+    a[static_cast<std::size_t>(i * lda + i)] = rowSum + 1.0;
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// LU
+// ---------------------------------------------------------------------------
+
+namespace {
+/// One LU step body shared by seq and the pivot-recording variant.
+inline void luStep(double* a, std::int64_t n, std::int64_t lda,
+                   std::int64_t k, std::int64_t* pivOut) {
+  double temp = 0.0;
+  std::int64_t m = k;
+  for (std::int64_t i = k; i <= n; ++i) {
+    double d = a[k * lda + i];
+    if (std::fabs(d) > temp) {
+      temp = std::fabs(d);
+      m = i;
+    }
+  }
+  if (pivOut) *pivOut = m;
+  if (m != k) {
+    for (std::int64_t j = k; j <= n; ++j) {
+      double t = a[j * lda + k];
+      a[j * lda + k] = a[j * lda + m];
+      a[j * lda + m] = t;
+    }
+  }
+  for (std::int64_t i = k + 1; i <= n; ++i) a[k * lda + i] /= a[k * lda + k];
+  for (std::int64_t j = k + 1; j <= n; ++j)
+    for (std::int64_t i = k + 1; i <= n; ++i)
+      a[j * lda + i] -= a[k * lda + i] * a[j * lda + k];
+}
+}  // namespace
+
+void luSeq(double* a, std::int64_t n) {
+  const std::int64_t lda = n + 1;
+  for (std::int64_t k = 1; k <= n; ++k) luStep(a, n, lda, k, nullptr);
+}
+
+void luSeqWithPivots(double* a, std::int64_t n, std::int64_t* piv) {
+  const std::int64_t lda = n + 1;
+  for (std::int64_t k = 1; k <= n; ++k) luStep(a, n, lda, k, &piv[k]);
+}
+
+void luSeqFull(double* a, std::int64_t n) {
+  const std::int64_t lda = n + 1;
+  for (std::int64_t k = 1; k <= n; ++k) {
+    double temp = 0.0;
+    std::int64_t m = k;
+    for (std::int64_t i = k; i <= n; ++i) {
+      double d = a[k * lda + i];
+      if (std::fabs(d) > temp) {
+        temp = std::fabs(d);
+        m = i;
+      }
+    }
+    if (m != k)
+      for (std::int64_t j = 1; j <= n; ++j) {  // full row, LAPACK style
+        double t = a[j * lda + k];
+        a[j * lda + k] = a[j * lda + m];
+        a[j * lda + m] = t;
+      }
+    for (std::int64_t i = k + 1; i <= n; ++i) a[k * lda + i] /= a[k * lda + k];
+    for (std::int64_t j = k + 1; j <= n; ++j)
+      for (std::int64_t i = k + 1; i <= n; ++i)
+        a[j * lda + i] -= a[k * lda + i] * a[j * lda + k];
+  }
+}
+
+void luTiled(double* a, std::int64_t n, std::int64_t tile) {
+  FIXFUSE_CHECK(tile >= 1, "tile must be positive");
+  const std::int64_t lda = n + 1;
+  for (std::int64_t kk = 0; kk * tile <= n; ++kk) {
+    std::int64_t klo = imax64(1, kk * tile);
+    std::int64_t khi = imin64(n, kk * tile + tile - 1);
+    // Panel factorisation: pivot + full-row swap + scale + intra-panel
+    // update, eagerly per step.
+    for (std::int64_t k = klo; k <= khi; ++k) {
+      double temp = 0.0;
+      std::int64_t m = k;
+      for (std::int64_t i = k; i <= n; ++i) {
+        double d = a[k * lda + i];
+        if (std::fabs(d) > temp) {
+          temp = std::fabs(d);
+          m = i;
+        }
+      }
+      if (m != k)
+        for (std::int64_t j = 1; j <= n; ++j) {
+          double t = a[j * lda + k];
+          a[j * lda + k] = a[j * lda + m];
+          a[j * lda + m] = t;
+        }
+      for (std::int64_t i = k + 1; i <= n; ++i)
+        a[k * lda + i] /= a[k * lda + k];
+      for (std::int64_t j = k + 1; j <= khi; ++j)
+        for (std::int64_t i = k + 1; i <= n; ++i)
+          a[j * lda + i] -= a[k * lda + i] * a[j * lda + k];
+    }
+    // Trailing update: the whole strip's updates applied back to back per
+    // column - the cache reuse the paper's k-tiling creates. The i loop
+    // stays innermost (contiguous).
+    for (std::int64_t j = khi + 1; j <= n; ++j)
+      for (std::int64_t k = klo; k <= khi; ++k) {
+        double akj = a[j * lda + k];
+        for (std::int64_t i = k + 1; i <= n; ++i)
+          a[j * lda + i] -= a[k * lda + i] * akj;
+      }
+  }
+}
+
+std::vector<double> luSolve(const double* lu, const std::int64_t* piv,
+                            std::vector<double> b, std::int64_t n) {
+  const std::int64_t lda = n + 1;
+  // Forward pass: replay the row exchanges and eliminations on b.
+  for (std::int64_t k = 1; k <= n; ++k) {
+    std::int64_t m = piv[k];
+    if (m != k) std::swap(b[static_cast<std::size_t>(k)],
+                          b[static_cast<std::size_t>(m)]);
+    for (std::int64_t i = k + 1; i <= n; ++i)
+      b[static_cast<std::size_t>(i)] -=
+          lu[k * lda + i] * b[static_cast<std::size_t>(k)];
+  }
+  // Back substitution with U (stored on and above the diagonal).
+  for (std::int64_t i = n; i >= 1; --i) {
+    double sum = b[static_cast<std::size_t>(i)];
+    for (std::int64_t j = i + 1; j <= n; ++j)
+      sum -= lu[j * lda + i] * b[static_cast<std::size_t>(j)];
+    b[static_cast<std::size_t>(i)] = sum / lu[i * lda + i];
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Cholesky
+// ---------------------------------------------------------------------------
+
+void cholSeq(double* a, std::int64_t n) {
+  const std::int64_t lda = n + 1;
+  for (std::int64_t k = 1; k <= n; ++k) {
+    a[k * lda + k] = std::sqrt(a[k * lda + k]);
+    for (std::int64_t i = k + 1; i <= n; ++i) a[k * lda + i] /= a[k * lda + k];
+    for (std::int64_t j = k + 1; j <= n; ++j)
+      for (std::int64_t i = j; i <= n; ++i)
+        a[j * lda + i] -= a[k * lda + i] * a[k * lda + j];
+  }
+}
+
+void cholTiled(double* a, std::int64_t n, std::int64_t tile) {
+  FIXFUSE_CHECK(tile >= 1, "tile must be positive");
+  const std::int64_t lda = n + 1;
+  // Fused (k, j, i) nest per Fig. 4c, k strip-mined with its point loop
+  // run per column j (blocked right-looking Cholesky): for each j the
+  // whole k-strip is applied while the column is cache-resident. The
+  // boundary step k = j-1 (sqrt + scale) is unswitched out of the pure
+  // update loop so the i loops stay branch-free and contiguous.
+  for (std::int64_t kk = 0; kk * tile <= n - 1; ++kk) {
+    std::int64_t klo = imax64(1, kk * tile);
+    std::int64_t khi = imin64(n - 1, kk * tile + tile - 1);
+    for (std::int64_t j = klo + 1; j <= n; ++j) {
+      std::int64_t kmax = imin64(khi, j - 1);
+      for (std::int64_t k = klo; k <= kmax; ++k) {
+        if (k == j - 1) {
+          // sqrt + column scale + first update column, fused over i.
+          a[k * lda + k] = std::sqrt(a[k * lda + k]);
+          double dkk = a[k * lda + k];
+          double ajk0 = a[k * lda + j] / dkk;  // A(j,k) scaled at i = j
+          a[k * lda + j] = ajk0;
+          a[j * lda + j] -= ajk0 * ajk0;
+          for (std::int64_t i = j + 1; i <= n; ++i) {
+            a[k * lda + i] /= dkk;
+            a[j * lda + i] -= a[k * lda + i] * ajk0;
+          }
+        } else {
+          double ajk = a[k * lda + j];
+          for (std::int64_t i = j; i <= n; ++i)
+            a[j * lda + i] -= a[k * lda + i] * ajk;
+        }
+      }
+    }
+  }
+  a[n * lda + n] = std::sqrt(a[n * lda + n]);  // peeled last iteration
+}
+
+double cholResidual(const double* a0, const double* l, std::int64_t n) {
+  const std::int64_t lda = n + 1;
+  double worst = 0.0;
+  for (std::int64_t i = 1; i <= n; ++i)
+    for (std::int64_t j = 1; j <= i; ++j) {
+      double sum = 0.0;
+      for (std::int64_t k = 1; k <= j; ++k)
+        sum += l[k * lda + i] * l[k * lda + j];
+      worst = std::max(worst, std::fabs(sum - a0[j * lda + i]));
+    }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// QR (simplified, Fig. 1b)
+// ---------------------------------------------------------------------------
+
+void qrSeq(double* a, double* x, std::int64_t n) {
+  const std::int64_t lda = n + 1;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    double norm = 0.0;
+    for (std::int64_t j = i; j <= n; ++j) norm += a[i * lda + j] * a[i * lda + j];
+    double norm2 = std::sqrt(norm);
+    double aii = a[i * lda + i];
+    double asqr = aii * aii;
+    a[i * lda + i] = std::sqrt(norm - asqr + (aii - norm2) * (aii - norm2));
+    for (std::int64_t j = i + 1; j <= n; ++j)
+      a[i * lda + j] /= a[i * lda + i];
+    for (std::int64_t j = i + 1; j <= n; ++j) {
+      x[i * lda + j] = 0.0;
+      for (std::int64_t k = i; k <= n; ++k)
+        x[i * lda + j] += a[i * lda + k] * a[j * lda + k];
+    }
+    for (std::int64_t j = i + 1; j <= n; ++j)
+      for (std::int64_t k = i + 1; k <= n; ++k)
+        a[j * lda + k] -= a[i * lda + k] * x[i * lda + j];
+  }
+}
+
+void qrTiled(double* a, double* x, std::int64_t n, std::int64_t tile) {
+  FIXFUSE_CHECK(tile >= 1, "tile must be positive");
+  const std::int64_t lda = n + 1;
+  // Fused (i, j, k) nest with i and j tiled (Sec. 4). Column-head work
+  // (norm, diagonal update, scale) runs in full at the (j = i, k = i)
+  // slot - the Full tiles FixDeps installs.
+  for (std::int64_t ii = 0; ii * tile <= n; ++ii) {
+    std::int64_t ilo = imax64(1, ii * tile);
+    std::int64_t ihi = imin64(n, ii * tile + tile - 1);
+    for (std::int64_t jj = 0; jj * tile <= n; ++jj)
+      for (std::int64_t i = ilo; i <= ihi; ++i) {
+        std::int64_t jlo = imax64(i, jj * tile);
+        std::int64_t jhi = imin64(n, jj * tile + tile - 1);
+        for (std::int64_t j = jlo; j <= jhi; ++j) {
+          if (j == i) {
+            // Whole column-head at the first fused (j, k) slot.
+            double norm = 0.0;
+            for (std::int64_t p = i; p <= n; ++p)
+              norm += a[i * lda + p] * a[i * lda + p];
+            double norm2 = std::sqrt(norm);
+            double aii = a[i * lda + i];
+            double asqr = aii * aii;
+            a[i * lda + i] =
+                std::sqrt(norm - asqr + (aii - norm2) * (aii - norm2));
+            for (std::int64_t p = i + 1; p <= n; ++p)
+              a[i * lda + p] /= a[i * lda + i];
+            continue;
+          }
+          // j >= i + 1: X column then the update over k.
+          x[i * lda + j] = 0.0;
+          for (std::int64_t p = i; p <= n; ++p)
+            x[i * lda + j] += a[i * lda + p] * a[j * lda + p];
+          for (std::int64_t k = i + 1; k <= n; ++k)
+            a[j * lda + k] -= a[i * lda + k] * x[i * lda + j];
+        }
+      }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Jacobi
+// ---------------------------------------------------------------------------
+
+void jacobiSeq(double* a, double* l, std::int64_t n, std::int64_t m) {
+  const std::int64_t lda = n + 1;
+  for (std::int64_t t = 0; t <= m; ++t) {
+    for (std::int64_t i = 2; i <= n - 1; ++i)
+      for (std::int64_t j = 2; j <= n - 1; ++j)
+        l[i * lda + j] = (a[(i - 1) * lda + j] + a[i * lda + (j - 1)] +
+                          a[i * lda + (j + 1)] + a[(i + 1) * lda + j]) *
+                         0.25;
+    for (std::int64_t i = 2; i <= n - 1; ++i)
+      for (std::int64_t j = 2; j <= n - 1; ++j)
+        a[i * lda + j] = l[i * lda + j];
+  }
+}
+
+void jacobiTiled(double* a, double* h, std::int64_t n, std::int64_t m,
+                 std::int64_t tile) {
+  FIXFUSE_CHECK(tile >= 1, "tile must be positive");
+  const std::int64_t lda = n + 1;
+  // Boundary pre-copies (Fig. 4d).
+  for (std::int64_t q = 2; q <= n - 1; ++q) {
+    h[1 * lda + q] = a[1 * lda + q];
+    h[q * lda + 1] = a[q * lda + 1];
+    h[n * lda + q] = a[n * lda + q];
+    h[q * lda + n] = a[q * lda + n];
+  }
+  // Skewed space (u, v, w) = (t+i, t+j, t), all three loops tiled. The
+  // tile-slot order keeps the time dimension w innermost (the temporal
+  // reuse the paper exploits); inside a tile the fully-permutable point
+  // loops run (w, v, u) so that i = u - w walks memory contiguously.
+  const std::int64_t uLo = 2, uHi = m + n - 1;
+  const std::int64_t vLo = 2, vHi = m + n - 1;
+  for (std::int64_t uu = uLo / tile; uu * tile <= uHi; ++uu)
+    for (std::int64_t vv = vLo / tile; vv * tile <= vHi; ++vv)
+      for (std::int64_t ww = 0; ww * tile <= m; ++ww) {
+        std::int64_t w0 = imax64(ww * tile, 0);
+        std::int64_t w1 = imin64(ww * tile + tile - 1, m);
+        for (std::int64_t w = w0; w <= w1; ++w) {
+          std::int64_t v0 = imax64(imax64(vLo, vv * tile), w + 2);
+          std::int64_t v1 =
+              imin64(imin64(vHi, vv * tile + tile - 1), w + n - 1);
+          for (std::int64_t v = v0; v <= v1; ++v) {
+            std::int64_t j = v - w;
+            std::int64_t u0 = imax64(imax64(uLo, uu * tile), w + 2);
+            std::int64_t u1 =
+                imin64(imin64(uHi, uu * tile + tile - 1), w + n - 1);
+            for (std::int64_t u = u0; u <= u1; ++u) {
+              std::int64_t i = u - w;
+              double lv = (h[(i - 1) * lda + j] + h[i * lda + (j - 1)] +
+                           a[i * lda + (j + 1)] + a[(i + 1) * lda + j]) *
+                          0.25;
+              h[i * lda + j] = a[i * lda + j];
+              a[i * lda + j] = lv;
+            }
+          }
+        }
+      }
+}
+
+}  // namespace fixfuse::kernels::native

@@ -1,0 +1,81 @@
+// Hand-written native C++ versions of the four kernels, used for the
+// wall-clock benchmarks (Fig. 5). `*Seq` transcribes Fig. 1; `*Tiled`
+// transcribes the structure of the fixed + tiled IR programs the
+// pipeline generates (LU/Cholesky: k-tiled fused nest; QR: i,j-tiled
+// fused nest; Jacobi: paper-style Fig. 4d copy code, skewed with time
+// innermost and tiled in all three dimensions).
+//
+// All matrices are column-major (Fortran order) with leading dimension
+// N+1 and 1-based logical indexing (row/col 0 unused): element (i, j)
+// lives at data[j*(N+1) + i], matching the IR machine layout, so the
+// Fig. 1 kernels' innermost i loops stride contiguously as they did on
+// the paper's SGI.
+// Every tiled version computes bitwise-identical results to its seq
+// counterpart (each statement instance sees identical operands because
+// the reordering preserves all dependences); the tests assert equality
+// with tolerance 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixfuse::kernels::native {
+
+using Matrix = std::vector<double>;  // (N+1) x (N+1), row-major
+
+inline std::size_t matrixSize(std::int64_t n) {
+  return static_cast<std::size_t>((n + 1) * (n + 1));
+}
+
+// --- initialisers (deterministic) -------------------------------------------
+
+/// Uniform random entries in [lo, hi) for rows/cols 1..N.
+Matrix randomMatrix(std::int64_t n, std::uint64_t seed, double lo = -1.0,
+                    double hi = 1.0);
+/// Symmetric diagonally-dominant (positive definite) matrix.
+Matrix spdMatrix(std::int64_t n, std::uint64_t seed);
+
+// --- LU with partial pivoting ------------------------------------------------
+
+void luSeq(double* a, std::int64_t n);
+/// Records the pivot row chosen at each step (piv[k] = m), used by the
+/// P*A = L*U residual check.
+void luSeqWithPivots(double* a, std::int64_t n, std::int64_t* piv);
+/// LU with *full-row* swaps (columns 1..N, LAPACK style). Same pivot
+/// sequence and U factor as luSeq; the L columns travel with their rows.
+/// This is the baseline of the tiled version: the Fig. 1 partial swap
+/// (columns k..N) admits no legal k-interleaved tiling (Carr & Lehoucq),
+/// while the full swap makes blocked LU legal.
+void luSeqFull(double* a, std::int64_t n);
+/// Blocked right-looking LU with full-row swaps: panel factorisation per
+/// k-strip, then the trailing update swept (j, i, k-in-strip) so each
+/// element accumulates the whole strip's updates while resident.
+/// Bit-identical to luSeqFull.
+void luTiled(double* a, std::int64_t n, std::int64_t tile);
+/// Solve A x = b with the factors from luSeqWithPivots by replaying the
+/// row exchanges on b. (Fig. 1's LU swaps only columns >= k, so PA = LU
+/// does not hold verbatim; replaying the elimination is the faithful
+/// correctness check.) b and the result are 1-based of length n+1.
+std::vector<double> luSolve(const double* lu, const std::int64_t* piv,
+                            std::vector<double> b, std::int64_t n);
+
+// --- Cholesky ----------------------------------------------------------------
+
+void cholSeq(double* a, std::int64_t n);
+void cholTiled(double* a, std::int64_t n, std::int64_t tile);
+/// max |(L*L^T - A0)[i][j]| over the lower triangle.
+double cholResidual(const double* a0, const double* l, std::int64_t n);
+
+// --- simplified QR (Fig. 1b) --------------------------------------------------
+
+void qrSeq(double* a, double* x, std::int64_t n);
+void qrTiled(double* a, double* x, std::int64_t n, std::int64_t tile);
+
+// --- Jacobi ------------------------------------------------------------------
+
+void jacobiSeq(double* a, double* l, std::int64_t n, std::int64_t m);
+/// Fixed + skewed + tiled form: h is the copy array (same shape as a).
+void jacobiTiled(double* a, double* h, std::int64_t n, std::int64_t m,
+                 std::int64_t tile);
+
+}  // namespace fixfuse::kernels::native

@@ -1,0 +1,98 @@
+// Simplified QR (Fig. 1b, after Kodukula's thesis): sink into the fused
+// (i, j, k) space with j widened to i..N (Fig. 3b) so the column-head
+// nests still run at i = N; the norm-accumulation loop maps onto the
+// fused k dimension (the paper's placement). FixDeps tiles the
+// scalar-norm accumulation with a Full k tile (the paper's "tile size N")
+// and additionally Full-tiles the other nests whose values are consumed
+// ahead of schedule (see EXPERIMENTS.md for the discussion of Fig. 4b).
+// Tiling: the outermost i and j loops (Sec. 4).
+#include "core/fuse.h"
+#include "core/sink.h"
+#include "core/transforms.h"
+#include "kernels/common.h"
+
+namespace fixfuse::kernels {
+
+using namespace fixfuse::ir;
+
+namespace {
+
+Program qrSeq() {
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.declareArray("X", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.declareScalar("norm", Type::Float);
+  p.declareScalar("norm2", Type::Float);
+  p.declareScalar("asqr", Type::Float);
+
+  auto Aii = [&] { return load("A", {iv("i"), iv("i")}); };
+  p.body = blockS({loopS(
+      "i", ic(1), iv("N"),
+      {sassign("norm", fc(0.0)),
+       loopS("j", iv("i"), iv("N"),
+             {sassign("norm", add(sloadf("norm"),
+                                  mul(load("A", {iv("j"), iv("i")}),
+                                      load("A", {iv("j"), iv("i")}))))}),
+       sassign("norm2", sqrtE(sloadf("norm"))),
+       sassign("asqr", mul(Aii(), Aii())),
+       aassign("A", {iv("i"), iv("i")},
+               sqrtE(add(sub(sloadf("norm"), sloadf("asqr")),
+                         mul(sub(Aii(), sloadf("norm2")),
+                             sub(Aii(), sloadf("norm2")))))),
+       loopS("j", add(iv("i"), ic(1)), iv("N"),
+             {aassign("A", {iv("j"), iv("i")},
+                      fdiv(load("A", {iv("j"), iv("i")}), Aii()))}),
+       loopS("j", add(iv("i"), ic(1)), iv("N"),
+             {aassign("X", {iv("j"), iv("i")}, fc(0.0)),
+              loopS("k", iv("i"), iv("N"),
+                    {aassign("X", {iv("j"), iv("i")},
+                             add(load("X", {iv("j"), iv("i")}),
+                                 mul(load("A", {iv("k"), iv("i")}),
+                                     load("A", {iv("k"), iv("j")}))))})}),
+       loopS("j", add(iv("i"), ic(1)), iv("N"),
+             {loopS("k", add(iv("i"), ic(1)), iv("N"),
+                    {aassign("A", {iv("k"), iv("j")},
+                             sub(load("A", {iv("k"), iv("j")}),
+                                 mul(load("A", {iv("k"), iv("i")}),
+                                     load("X", {iv("j"), iv("i")}))))})})})});
+  p.numberAssignments();
+  return p;
+}
+
+}  // namespace
+
+KernelBundle buildQr(const KernelOptions& opts) {
+  KernelBundle b;
+  b.name = "qr";
+  b.seq = qrSeq();
+
+  poly::ParamContext ctx = kernelContext(/*withM=*/false);
+  SplitProgram split = splitAroundTopLoop(b.seq);
+
+  core::SinkOptions sink;
+  // Subnests in discovery order: 0 = {norm=0}, 1 = norm accumulation,
+  // 2 = {norm2; asqr; A(i,i)}, 3 = column scale, 4 = {X=0},
+  // 5 = X accumulation, 6 = update (the * nest).
+  // The norm accumulation's j maps onto the fused k dimension (dim 2),
+  // as in Fig. 3b where it appears as "norm = norm + A(k,i)*A(k,i)".
+  sink.dimOverrides[1] = {{"j", 2}};
+  // Fused j runs i..N (Fig. 3b), so the column-head nests pinned at j = i
+  // execute even at i = N.
+  sink.isBoundOverrides[1] = {poly::AffineExpr::var("i"),
+                              poly::AffineExpr::var("N")};
+  deps::NestSystem sys = core::codeSink(split.loopOnly, ctx, sink);
+
+  b.fused = reattachEpilogue(core::generateFusedProgram(sys), split);
+  b.fixLog = core::fixDeps(sys);
+  b.system = sys;
+  b.fixed = reattachEpilogue(core::generateFusedProgram(sys), split);
+  b.fixedOpt = b.fixed;
+  b.tiled = opts.tile > 0
+                ? core::tileRectangular(b.fixed, {opts.tile, opts.tile})
+                : b.fixed;
+  b.tiledBaseline = b.seq;
+  return b;
+}
+
+}  // namespace fixfuse::kernels

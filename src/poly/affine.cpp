@@ -1,0 +1,144 @@
+#include "poly/affine.h"
+
+#include <sstream>
+
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace fixfuse::poly {
+
+AffineExpr AffineExpr::var(const std::string& name) {
+  return term(1, name, 0);
+}
+
+AffineExpr AffineExpr::term(std::int64_t coeff, const std::string& name,
+                            std::int64_t k) {
+  AffineExpr e;
+  e.constant_ = k;
+  if (coeff != 0) e.coeffs_[name] = coeff;
+  return e;
+}
+
+std::int64_t AffineExpr::coeff(const std::string& name) const {
+  auto it = coeffs_.find(name);
+  return it == coeffs_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> AffineExpr::variables() const {
+  std::vector<std::string> names;
+  names.reserve(coeffs_.size());
+  for (const auto& [name, c] : coeffs_) {
+    (void)c;
+    names.push_back(name);
+  }
+  return names;
+}
+
+void AffineExpr::prune(const std::string& name) {
+  auto it = coeffs_.find(name);
+  if (it != coeffs_.end() && it->second == 0) coeffs_.erase(it);
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& o) const {
+  AffineExpr r = *this;
+  r.constant_ = checkedAdd(r.constant_, o.constant_);
+  for (const auto& [name, c] : o.coeffs_) {
+    r.coeffs_[name] = checkedAdd(r.coeff(name), c);
+    r.prune(name);
+  }
+  return r;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& o) const {
+  return *this + (-o);
+}
+
+AffineExpr AffineExpr::operator-() const { return *this * -1; }
+
+AffineExpr AffineExpr::operator*(std::int64_t s) const {
+  AffineExpr r;
+  if (s == 0) return r;
+  r.constant_ = checkedMul(constant_, s);
+  for (const auto& [name, c] : coeffs_) r.coeffs_[name] = checkedMul(c, s);
+  return r;
+}
+
+AffineExpr AffineExpr::substituted(const std::string& name,
+                                   const AffineExpr& replacement) const {
+  std::int64_t c = coeff(name);
+  if (c == 0) return *this;
+  if (replacement == AffineExpr::var(name)) return *this;  // identity
+  FIXFUSE_CHECK(!replacement.uses(name),
+                "recursive substitution of " + name);
+  AffineExpr r = *this;
+  r.coeffs_.erase(name);
+  return r + replacement * c;
+}
+
+AffineExpr AffineExpr::renamed(const std::string& from,
+                               const std::string& to) const {
+  return substituted(from, AffineExpr::var(to));
+}
+
+std::int64_t AffineExpr::evaluate(
+    const std::map<std::string, std::int64_t>& binding) const {
+  std::int64_t r = constant_;
+  for (const auto& [name, c] : coeffs_) {
+    auto it = binding.find(name);
+    FIXFUSE_CHECK(it != binding.end(), "unbound variable " + name);
+    r = checkedAdd(r, checkedMul(c, it->second));
+  }
+  return r;
+}
+
+AffineExpr AffineExpr::partialEvaluate(
+    const std::map<std::string, std::int64_t>& binding) const {
+  AffineExpr r;
+  r.constant_ = constant_;
+  for (const auto& [name, c] : coeffs_) {
+    auto it = binding.find(name);
+    if (it == binding.end())
+      r.coeffs_[name] = c;
+    else
+      r.constant_ = checkedAdd(r.constant_, checkedMul(c, it->second));
+  }
+  return r;
+}
+
+std::int64_t AffineExpr::coeffGcd() const {
+  std::int64_t g = 0;
+  for (const auto& [name, c] : coeffs_) {
+    (void)name;
+    g = gcd64(g, c);
+  }
+  return g;
+}
+
+std::string AffineExpr::str() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, c] : coeffs_) {
+    if (c == 0) continue;
+    if (first) {
+      if (c == -1)
+        os << "-";
+      else if (c != 1)
+        os << c << "*";
+    } else {
+      os << (c > 0 ? " + " : " - ");
+      std::int64_t a = c > 0 ? c : -c;
+      if (a != 1) os << a << "*";
+    }
+    os << name;
+    first = false;
+  }
+  if (first) {
+    os << constant_;
+  } else if (constant_ != 0) {
+    os << (constant_ > 0 ? " + " : " - ")
+       << (constant_ > 0 ? constant_ : -constant_);
+  }
+  return os.str();
+}
+
+}  // namespace fixfuse::poly

@@ -1,0 +1,78 @@
+// Affine expressions over named integer variables.
+//
+// An AffineExpr is sum_i c_i * var_i + k with 64-bit integer coefficients.
+// Variables are identified by name; an expression does not distinguish
+// set dimensions from parameters - that distinction lives in IntegerSet
+// (a symbol used in constraints but not listed among the set's variables
+// is a parameter).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fixfuse::poly {
+
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+  /// The constant expression `k`.
+  explicit AffineExpr(std::int64_t k) : constant_(k) {}
+
+  /// The expression `1 * name`.
+  static AffineExpr var(const std::string& name);
+  /// The expression `coeff * name + k`.
+  static AffineExpr term(std::int64_t coeff, const std::string& name,
+                         std::int64_t k = 0);
+
+  std::int64_t constant() const { return constant_; }
+  /// Coefficient of `name` (0 when absent).
+  std::int64_t coeff(const std::string& name) const;
+  /// All variables with non-zero coefficient, in lexicographic name order.
+  std::vector<std::string> variables() const;
+  bool isConstant() const { return coeffs_.empty(); }
+  /// True iff the expression mentions `name`.
+  bool uses(const std::string& name) const { return coeff(name) != 0; }
+
+  AffineExpr operator+(const AffineExpr& o) const;
+  AffineExpr operator-(const AffineExpr& o) const;
+  AffineExpr operator-() const;
+  AffineExpr operator*(std::int64_t s) const;
+  AffineExpr& operator+=(const AffineExpr& o) { return *this = *this + o; }
+  AffineExpr& operator-=(const AffineExpr& o) { return *this = *this - o; }
+
+  bool operator==(const AffineExpr& o) const {
+    return constant_ == o.constant_ && coeffs_ == o.coeffs_;
+  }
+  bool operator!=(const AffineExpr& o) const { return !(*this == o); }
+
+  /// Replace `name` by `replacement` (must not recursively contain `name`).
+  AffineExpr substituted(const std::string& name,
+                         const AffineExpr& replacement) const;
+  /// Rename a variable.
+  AffineExpr renamed(const std::string& from, const std::string& to) const;
+
+  /// Evaluate with every variable bound; throws InternalError when a
+  /// variable is missing from `binding`.
+  std::int64_t evaluate(
+      const std::map<std::string, std::int64_t>& binding) const;
+  /// Evaluate with a partial binding: bound variables are folded into the
+  /// constant, unbound ones survive symbolically.
+  AffineExpr partialEvaluate(
+      const std::map<std::string, std::int64_t>& binding) const;
+
+  /// gcd of all variable coefficients (0 for a constant expression).
+  std::int64_t coeffGcd() const;
+
+  std::string str() const;
+
+ private:
+  std::map<std::string, std::int64_t> coeffs_;
+  std::int64_t constant_ = 0;
+
+  void prune(const std::string& name);
+};
+
+}  // namespace fixfuse::poly

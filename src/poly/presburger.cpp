@@ -1,0 +1,132 @@
+#include "poly/presburger.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace fixfuse::poly {
+
+PresburgerSet::PresburgerSet(IntegerSet piece) : vars_(piece.vars()) {
+  addPiece(std::move(piece));
+}
+
+void PresburgerSet::addPiece(IntegerSet piece) {
+  if (vars_.empty() && pieces_.empty()) vars_ = piece.vars();
+  FIXFUSE_CHECK(piece.vars() == vars_, "piece tuple mismatch");
+  if (piece.knownEmpty()) return;
+  pieces_.push_back(std::move(piece));
+}
+
+void PresburgerSet::unionWith(const PresburgerSet& o) {
+  if (o.pieces_.empty()) return;
+  if (pieces_.empty() && vars_.empty()) vars_ = o.vars_;
+  FIXFUSE_CHECK(o.vars_ == vars_, "union tuple mismatch");
+  for (const auto& p : o.pieces_) addPiece(p);
+}
+
+PresburgerSet PresburgerSet::intersectedWith(
+    const std::vector<Constraint>& cs) const {
+  PresburgerSet r(vars_);
+  for (const auto& p : pieces_) {
+    IntegerSet q = p;
+    for (const auto& c : cs) q.addConstraint(c);
+    r.addPiece(std::move(q));
+  }
+  return r;
+}
+
+PresburgerSet PresburgerSet::renamed(const std::string& from,
+                                     const std::string& to) const {
+  PresburgerSet r;
+  r.vars_ = vars_;
+  for (auto& v : r.vars_)
+    if (v == from) v = to;
+  for (const auto& p : pieces_) r.addPiece(p.renamed(from, to));
+  return r;
+}
+
+bool PresburgerSet::provablyEmpty(const ParamContext& ctx) const {
+  for (const auto& p : pieces_)
+    if (!p.provablyEmpty(ctx)) return false;
+  return true;
+}
+
+bool PresburgerSet::hasPointAt(
+    const std::map<std::string, std::int64_t>& params) const {
+  for (const auto& p : pieces_)
+    if (p.hasPointAt(params)) return true;
+  return false;
+}
+
+std::optional<std::vector<std::int64_t>> PresburgerSet::lexminAt(
+    const std::map<std::string, std::int64_t>& params) const {
+  std::optional<std::vector<std::int64_t>> best;
+  for (const auto& p : pieces_) {
+    auto m = p.lexminAt(params);
+    if (m && (!best || std::lexicographical_compare(m->begin(), m->end(),
+                                                    best->begin(),
+                                                    best->end())))
+      best = m;
+  }
+  return best;
+}
+
+std::optional<std::vector<std::int64_t>> PresburgerSet::lexmaxAt(
+    const std::map<std::string, std::int64_t>& params) const {
+  std::optional<std::vector<std::int64_t>> best;
+  for (const auto& p : pieces_) {
+    auto m = p.lexmaxAt(params);
+    if (m && (!best || std::lexicographical_compare(best->begin(), best->end(),
+                                                    m->begin(), m->end())))
+      best = m;
+  }
+  return best;
+}
+
+std::vector<std::vector<std::int64_t>> PresburgerSet::pointsAt(
+    const std::map<std::string, std::int64_t>& params,
+    std::size_t maxPoints) const {
+  std::set<std::vector<std::int64_t>> points;
+  for (const auto& p : pieces_)
+    p.forEachPointAt(
+        params,
+        [&](const std::vector<std::int64_t>& pt) { points.insert(pt); },
+        maxPoints);
+  return {points.begin(), points.end()};
+}
+
+std::optional<std::int64_t> PresburgerSet::maxValueAt(
+    const AffineExpr& objective,
+    const std::map<std::string, std::int64_t>& params) const {
+  std::optional<std::int64_t> best;
+  for (const auto& p : pieces_) {
+    auto m = p.maxValueAt(objective, params);
+    if (m) {
+      std::int64_t v = m->floor();
+      if (!best || v > *best) best = v;
+    }
+  }
+  return best;
+}
+
+bool PresburgerSet::provablyAtMost(const AffineExpr& objective,
+                                   std::int64_t bound,
+                                   const ParamContext& ctx) const {
+  for (const auto& p : pieces_)
+    if (!p.provablyAtMost(objective, bound, ctx)) return false;
+  return true;
+}
+
+std::string PresburgerSet::str() const {
+  if (pieces_.empty()) return "{ }";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    if (i) os << " union ";
+    os << pieces_[i].str();
+  }
+  return os.str();
+}
+
+}  // namespace fixfuse::poly

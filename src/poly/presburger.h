@@ -1,0 +1,67 @@
+// Finite unions of IntegerSets over a common variable tuple.
+//
+// Dependence relations are naturally unions (one piece per level of the
+// lexicographic order), so most deps-module answers are PresburgerSets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/set.h"
+
+namespace fixfuse::poly {
+
+class PresburgerSet {
+ public:
+  PresburgerSet() = default;
+  explicit PresburgerSet(std::vector<std::string> vars)
+      : vars_(std::move(vars)) {}
+  explicit PresburgerSet(IntegerSet piece);
+
+  const std::vector<std::string>& vars() const { return vars_; }
+  const std::vector<IntegerSet>& pieces() const { return pieces_; }
+  bool noPieces() const { return pieces_.empty(); }
+
+  /// Add one conjunction to the union (must share the variable tuple).
+  void addPiece(IntegerSet piece);
+  /// Union with another PresburgerSet over the same tuple.
+  void unionWith(const PresburgerSet& o);
+  /// Intersect every piece with the given constraints.
+  PresburgerSet intersectedWith(const std::vector<Constraint>& cs) const;
+  PresburgerSet renamed(const std::string& from, const std::string& to) const;
+
+  /// Sound union-wide emptiness proof (see IntegerSet::provablyEmpty).
+  bool provablyEmpty(const ParamContext& ctx) const;
+  bool provablyEmpty() const { return provablyEmpty(ParamContext{}); }
+
+  /// Exact operations at concrete parameters (union of exact piece results).
+  bool hasPointAt(const std::map<std::string, std::int64_t>& params) const;
+  std::optional<std::vector<std::int64_t>> lexminAt(
+      const std::map<std::string, std::int64_t>& params) const;
+  std::optional<std::vector<std::int64_t>> lexmaxAt(
+      const std::map<std::string, std::int64_t>& params) const;
+  /// Enumerate distinct points across all pieces (sorted ascending).
+  std::vector<std::vector<std::int64_t>> pointsAt(
+      const std::map<std::string, std::int64_t>& params,
+      std::size_t maxPoints = 2000000) const;
+
+  /// Exact integer maximum of an affine objective at concrete parameters.
+  std::optional<std::int64_t> maxValueAt(
+      const AffineExpr& objective,
+      const std::map<std::string, std::int64_t>& params) const;
+  /// Sound: objective <= bound over every piece and all ctx parameters.
+  bool provablyAtMost(const AffineExpr& objective, std::int64_t bound,
+                      const ParamContext& ctx) const;
+
+  std::string str() const;
+
+ private:
+  std::vector<std::string> vars_;
+  std::vector<IntegerSet> pieces_;
+};
+
+}  // namespace fixfuse::poly

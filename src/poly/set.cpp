@@ -1,0 +1,559 @@
+#include "poly/set.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace fixfuse::poly {
+
+namespace {
+constexpr std::size_t kMaxConstraints = 20000;
+constexpr std::int64_t kMaxSearchRange = 2000000;
+}  // namespace
+
+std::string Constraint::str() const {
+  return expr.str() + (kind == Kind::GE ? " >= 0" : " == 0");
+}
+
+// ---------------------------------------------------------------------------
+// ParamContext
+// ---------------------------------------------------------------------------
+
+void ParamContext::addParam(const std::string& name, std::int64_t lo,
+                            std::int64_t hi) {
+  std::vector<std::int64_t> samples;
+  for (std::int64_t s : {lo, lo + 1, lo + 3, lo + 7, lo + 12, hi}) {
+    std::int64_t c = std::min(std::max(s, lo), hi);
+    if (std::find(samples.begin(), samples.end(), c) == samples.end())
+      samples.push_back(c);
+  }
+  addParam(name, lo, hi, std::move(samples));
+}
+
+void ParamContext::addParam(const std::string& name, std::int64_t lo,
+                            std::int64_t hi,
+                            std::vector<std::int64_t> samples) {
+  FIXFUSE_CHECK(lo <= hi, "empty parameter range for " + name);
+  FIXFUSE_CHECK(!hasParam(name), "duplicate parameter " + name);
+  FIXFUSE_CHECK(!samples.empty(), "parameter " + name + " without samples");
+  names_.push_back(name);
+  ranges_[name] = {lo, hi};
+  samples_[name] = std::move(samples);
+}
+
+bool ParamContext::hasParam(const std::string& name) const {
+  return ranges_.count(name) != 0;
+}
+
+std::vector<Constraint> ParamContext::constraints() const {
+  std::vector<Constraint> cs;
+  for (const auto& name : names_) {
+    auto [lo, hi] = ranges_.at(name);
+    cs.push_back(Constraint::ge(AffineExpr::var(name) - AffineExpr(lo)));
+    cs.push_back(Constraint::ge(AffineExpr(hi) - AffineExpr::var(name)));
+  }
+  cs.insert(cs.end(), extra_.begin(), extra_.end());
+  return cs;
+}
+
+std::vector<std::map<std::string, std::int64_t>> ParamContext::sampleBindings()
+    const {
+  std::vector<std::map<std::string, std::int64_t>> out;
+  out.emplace_back();
+  for (const auto& name : names_) {
+    std::vector<std::map<std::string, std::int64_t>> next;
+    for (const auto& partial : out)
+      for (std::int64_t v : samples_.at(name)) {
+        auto b = partial;
+        b[name] = v;
+        next.push_back(std::move(b));
+      }
+    FIXFUSE_CHECK(next.size() <= 4096, "parameter sample product too large");
+    out = std::move(next);
+  }
+  // Drop bindings violating the extra constraints (e.g. M <= N).
+  std::vector<std::map<std::string, std::int64_t>> kept;
+  for (const auto& b : out) {
+    bool ok = true;
+    for (const auto& c : extra_) {
+      std::int64_t v = c.expr.evaluate(b);
+      if (c.kind == Constraint::Kind::GE ? v < 0 : v != 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) kept.push_back(b);
+  }
+  return kept;
+}
+
+// ---------------------------------------------------------------------------
+// IntegerSet basics
+// ---------------------------------------------------------------------------
+
+IntegerSet::IntegerSet(std::vector<std::string> vars)
+    : vars_(std::move(vars)) {
+  std::set<std::string> seen;
+  for (const auto& v : vars_)
+    FIXFUSE_CHECK(seen.insert(v).second, "duplicate set variable " + v);
+}
+
+std::vector<std::string> IntegerSet::parameters() const {
+  std::set<std::string> dims(vars_.begin(), vars_.end());
+  std::set<std::string> params;
+  for (const auto& c : cs_)
+    for (const auto& name : c.expr.variables())
+      if (!dims.count(name)) params.insert(name);
+  return {params.begin(), params.end()};
+}
+
+void IntegerSet::markEmpty() {
+  knownEmpty_ = true;
+  cs_.clear();  // canonical form: the empty set carries no constraints
+}
+
+void IntegerSet::addConstraint(Constraint c) {
+  if (knownEmpty_) return;
+  // Normalise: divide by the gcd of the coefficients, tightening the
+  // constant (valid over the integers: a.x + k >= 0 with g | a implies
+  // (a/g).x + floor(k/g) >= 0).
+  std::int64_t g = c.expr.coeffGcd();
+  if (g == 0) {
+    // Constant constraint: either trivially true or a contradiction.
+    std::int64_t k = c.expr.constant();
+    bool sat = c.kind == Constraint::Kind::GE ? (k >= 0) : (k == 0);
+    if (!sat) markEmpty();
+    return;
+  }
+  if (g > 1) {
+    if (c.kind == Constraint::Kind::EQ && floorMod(c.expr.constant(), g) != 0) {
+      markEmpty();  // gcd test: no integer solution.
+      return;
+    }
+    AffineExpr scaled;
+    for (const auto& name : c.expr.variables())
+      scaled += AffineExpr::term(c.expr.coeff(name) / g, name);
+    scaled += AffineExpr(floorDiv(c.expr.constant(), g));
+    c.expr = scaled;
+  }
+  for (const auto& existing : cs_)
+    if (existing == c) return;  // dedupe
+  cs_.push_back(std::move(c));
+  FIXFUSE_CHECK(cs_.size() <= kMaxConstraints, "constraint explosion");
+}
+
+void IntegerSet::addRange(const std::string& v, const AffineExpr& lo,
+                          const AffineExpr& hi) {
+  addGE(AffineExpr::var(v) - lo);
+  addGE(hi - AffineExpr::var(v));
+}
+
+IntegerSet IntegerSet::intersected(const IntegerSet& o) const {
+  FIXFUSE_CHECK(vars_ == o.vars_, "intersect over mismatched tuples");
+  IntegerSet r = *this;
+  r.exact_ = exact_ && o.exact_;
+  r.knownEmpty_ = knownEmpty_ || o.knownEmpty_;
+  for (const auto& c : o.cs_) r.addConstraint(c);
+  return r;
+}
+
+IntegerSet IntegerSet::renamed(const std::string& from,
+                               const std::string& to) const {
+  IntegerSet r;
+  r.exact_ = exact_;
+  r.knownEmpty_ = knownEmpty_;
+  r.vars_ = vars_;
+  for (auto& v : r.vars_)
+    if (v == from) v = to;
+  std::set<std::string> seen(r.vars_.begin(), r.vars_.end());
+  FIXFUSE_CHECK(seen.size() == r.vars_.size(),
+                "rename collides with existing variable");
+  for (const auto& c : cs_)
+    r.addConstraint({c.expr.renamed(from, to), c.kind});
+  return r;
+}
+
+IntegerSet IntegerSet::substituted(const std::string& name,
+                                   const AffineExpr& replacement) const {
+  IntegerSet r;
+  r.exact_ = exact_;
+  r.knownEmpty_ = knownEmpty_;
+  for (const auto& v : vars_)
+    if (v != name) r.vars_.push_back(v);
+  for (const auto& c : cs_)
+    r.addConstraint({c.expr.substituted(name, replacement), c.kind});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Fourier-Motzkin elimination
+// ---------------------------------------------------------------------------
+
+void IntegerSet::eliminateOne(const std::string& name) {
+  if (knownEmpty_) {
+    vars_.erase(std::remove(vars_.begin(), vars_.end(), name), vars_.end());
+    return;
+  }
+
+  std::vector<Constraint> old;
+  old.swap(cs_);
+
+  // Prefer an equality mentioning the variable: substitution keeps the
+  // constraint system small and is exact for unit coefficients.
+  int eqIdx = -1;
+  for (std::size_t i = 0; i < old.size(); ++i) {
+    if (old[i].kind != Constraint::Kind::EQ) continue;
+    std::int64_t a = old[i].expr.coeff(name);
+    if (a == 0) continue;
+    if (eqIdx < 0 || (a == 1 || a == -1)) eqIdx = static_cast<int>(i);
+    if (a == 1 || a == -1) break;
+  }
+
+  if (eqIdx >= 0) {
+    const Constraint eq = old[static_cast<std::size_t>(eqIdx)];
+    std::int64_t a = eq.expr.coeff(name);
+    std::int64_t t = a > 0 ? a : -a;
+    if (t != 1) exact_ = false;  // divisibility information is dropped
+    for (std::size_t i = 0; i < old.size(); ++i) {
+      if (static_cast<int>(i) == eqIdx) continue;
+      const Constraint& c = old[i];
+      std::int64_t d = c.expr.coeff(name);
+      if (d == 0) {
+        addConstraint(c);
+        continue;
+      }
+      // new = c*t - sign(a)*d*eq  eliminates `name`; scaling by t > 0
+      // preserves GE direction, and subtracting a multiple of zero is free.
+      std::int64_t factor = (a > 0 ? 1 : -1) * d;
+      AffineExpr combined = c.expr * t - eq.expr * factor;
+      FIXFUSE_CHECK(combined.coeff(name) == 0, "elimination failed");
+      addConstraint({combined, c.kind});
+      if (knownEmpty_) break;
+    }
+  } else {
+    std::vector<Constraint> lowers, uppers;
+    for (const auto& c : old) {
+      std::int64_t a = c.expr.coeff(name);
+      if (a == 0) {
+        addConstraint(c);
+      } else if (a > 0) {
+        lowers.push_back(c);  // a*v + e >= 0  =>  v >= -e/a
+      } else {
+        uppers.push_back(c);  // -b*v + f >= 0 =>  v <= f/b
+      }
+      if (knownEmpty_) break;
+    }
+    if (!knownEmpty_) {
+      for (const auto& lo : lowers)
+        for (const auto& up : uppers) {
+          std::int64_t a = lo.expr.coeff(name);
+          std::int64_t b = -up.expr.coeff(name);
+          if (a != 1 && b != 1) exact_ = false;
+          // b*(a*v + e) + a*(-b*v + f) = b*e + a*f >= 0
+          addConstraint(Constraint::ge(lo.expr * b + up.expr * a));
+          if (knownEmpty_) break;
+        }
+    }
+  }
+  vars_.erase(std::remove(vars_.begin(), vars_.end(), name), vars_.end());
+}
+
+IntegerSet IntegerSet::eliminated(const std::vector<std::string>& names) const {
+  IntegerSet r = *this;
+  std::vector<std::string> remaining = names;
+  while (!remaining.empty() && !r.knownEmpty_) {
+    // Pick the variable with the fewest lower x upper combinations to keep
+    // the constraint count down.
+    std::size_t bestIdx = 0;
+    long bestCost = -1;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      long nl = 0, nu = 0;
+      bool hasEq = false;
+      for (const auto& c : r.cs_) {
+        std::int64_t a = c.expr.coeff(remaining[i]);
+        if (a == 0) continue;
+        if (c.kind == Constraint::Kind::EQ) hasEq = true;
+        if (a > 0)
+          ++nl;
+        else
+          ++nu;
+      }
+      long cost = hasEq ? 0 : nl * nu;
+      if (bestCost < 0 || cost < bestCost) {
+        bestCost = cost;
+        bestIdx = i;
+      }
+    }
+    std::string name = remaining[bestIdx];
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(bestIdx));
+    r.eliminateOne(name);
+  }
+  if (r.knownEmpty_)
+    for (const auto& n : remaining)
+      r.vars_.erase(std::remove(r.vars_.begin(), r.vars_.end(), n),
+                    r.vars_.end());
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Emptiness
+// ---------------------------------------------------------------------------
+
+bool IntegerSet::provablyEmpty(const ParamContext& ctx) const {
+  if (knownEmpty_) return true;
+  IntegerSet work = *this;
+  for (const auto& c : ctx.constraints()) work.addConstraint(c);
+  if (work.knownEmpty_) return true;
+  // Project out the set dimensions, then every remaining parameter; the
+  // projection over-approximates, so a contradiction is a proof of
+  // integer emptiness.
+  work = work.eliminated(work.vars_);
+  if (work.knownEmpty_) return true;
+  work = work.eliminated(work.parameters());
+  return work.knownEmpty_;
+}
+
+// ---------------------------------------------------------------------------
+// Exact point operations at concrete parameter values
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Instantiate all parameters of `s`, leaving only vars.
+IntegerSet instantiate(const IntegerSet& s,
+                       const std::map<std::string, std::int64_t>& params) {
+  IntegerSet r = s;
+  for (const auto& p : s.parameters()) {
+    auto it = params.find(p);
+    FIXFUSE_CHECK(it != params.end(), "unbound parameter " + p);
+    r = r.substituted(p, AffineExpr(it->second));
+  }
+  return r;
+}
+
+/// Inclusive integer range of the single variable `v` implied by the
+/// constraints of `s` (all other symbols must already be gone).
+std::optional<std::pair<std::int64_t, std::int64_t>> rangeOfSingleVar(
+    const IntegerSet& s, const std::string& v) {
+  if (s.knownEmpty()) return std::nullopt;
+  bool hasLo = false, hasHi = false;
+  std::int64_t lo = 0, hi = 0;
+  for (const auto& c : s.constraints()) {
+    std::int64_t a = c.expr.coeff(v);
+    std::int64_t k = c.expr.constant();
+    FIXFUSE_CHECK(c.expr.variables().size() <= 1, "stray symbol in range");
+    if (a == 0) continue;
+    if (c.kind == Constraint::Kind::EQ) {
+      if (floorMod(-k, a) != 0) return std::nullopt;
+      std::int64_t val = -k / a;
+      if (!hasLo || val > lo) lo = val, hasLo = true;
+      if (!hasHi || val < hi) hi = val, hasHi = true;
+    } else if (a > 0) {
+      std::int64_t b = ceilDiv(-k, a);
+      if (!hasLo || b > lo) lo = b, hasLo = true;
+    } else {
+      std::int64_t b = floorDiv(k, -a);
+      if (!hasHi || b < hi) hi = b, hasHi = true;
+    }
+  }
+  if (!hasLo || !hasHi)
+    throw UnsupportedError("variable " + v + " is unbounded in point search");
+  if (lo > hi) return std::nullopt;
+  FIXFUSE_CHECK(hi - lo <= kMaxSearchRange, "search range too large for " + v);
+  return std::make_pair(lo, hi);
+}
+
+/// All constraints constant and satisfied?
+bool allSatisfied(const IntegerSet& s) {
+  if (s.knownEmpty()) return false;
+  for (const auto& c : s.constraints()) {
+    FIXFUSE_CHECK(c.expr.isConstant(), "non-constant leaf constraint");
+    std::int64_t k = c.expr.constant();
+    if (c.kind == Constraint::Kind::GE ? k < 0 : k != 0) return false;
+  }
+  return true;
+}
+
+/// Recursive exact search over the remaining vars of `s` (in order).
+/// wantMin: ascend (finds lexmin first); otherwise descend (lexmax).
+bool searchRec(const IntegerSet& s, bool wantMin,
+               std::vector<std::int64_t>& out) {
+  if (s.vars().empty()) return allSatisfied(s);
+  const std::string v = s.vars().front();
+  std::vector<std::string> rest(s.vars().begin() + 1, s.vars().end());
+  IntegerSet headOnly = s.eliminated(rest);
+  auto range = rangeOfSingleVar(headOnly, v);
+  if (!range) return false;
+  auto [lo, hi] = *range;
+  if (wantMin) {
+    for (std::int64_t x = lo; x <= hi; ++x) {
+      IntegerSet sub = s.substituted(v, AffineExpr(x));
+      if (sub.knownEmpty()) continue;
+      if (searchRec(sub, wantMin, out)) {
+        out.insert(out.begin(), x);
+        return true;
+      }
+    }
+  } else {
+    for (std::int64_t x = hi; x >= lo; --x) {
+      IntegerSet sub = s.substituted(v, AffineExpr(x));
+      if (sub.knownEmpty()) continue;
+      if (searchRec(sub, wantMin, out)) {
+        out.insert(out.begin(), x);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void enumerateRec(const IntegerSet& s, std::vector<std::int64_t>& prefix,
+                  const std::function<void(const std::vector<std::int64_t>&)>& fn,
+                  std::size_t maxPoints, std::size_t& count) {
+  if (s.vars().empty()) {
+    if (allSatisfied(s)) {
+      FIXFUSE_CHECK(++count <= maxPoints, "enumeration exceeds point budget");
+      fn(prefix);
+    }
+    return;
+  }
+  const std::string v = s.vars().front();
+  std::vector<std::string> rest(s.vars().begin() + 1, s.vars().end());
+  IntegerSet headOnly = s.eliminated(rest);
+  auto range = rangeOfSingleVar(headOnly, v);
+  if (!range) return;
+  auto [lo, hi] = *range;
+  for (std::int64_t x = lo; x <= hi; ++x) {
+    IntegerSet sub = s.substituted(v, AffineExpr(x));
+    if (sub.knownEmpty()) continue;
+    prefix.push_back(x);
+    enumerateRec(sub, prefix, fn, maxPoints, count);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+bool IntegerSet::hasPointAt(
+    const std::map<std::string, std::int64_t>& params) const {
+  return findPointAt(params).has_value();
+}
+
+std::optional<std::vector<std::int64_t>> IntegerSet::findPointAt(
+    const std::map<std::string, std::int64_t>& params) const {
+  return lexminAt(params);
+}
+
+std::optional<std::vector<std::int64_t>> IntegerSet::lexminAt(
+    const std::map<std::string, std::int64_t>& params) const {
+  IntegerSet inst = instantiate(*this, params);
+  if (inst.knownEmpty()) return std::nullopt;
+  std::vector<std::int64_t> out;
+  if (!searchRec(inst, /*wantMin=*/true, out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<std::int64_t>> IntegerSet::lexmaxAt(
+    const std::map<std::string, std::int64_t>& params) const {
+  IntegerSet inst = instantiate(*this, params);
+  if (inst.knownEmpty()) return std::nullopt;
+  std::vector<std::int64_t> out;
+  if (!searchRec(inst, /*wantMin=*/false, out)) return std::nullopt;
+  return out;
+}
+
+void IntegerSet::forEachPointAt(
+    const std::map<std::string, std::int64_t>& params,
+    const std::function<void(const std::vector<std::int64_t>&)>& fn,
+    std::size_t maxPoints) const {
+  IntegerSet inst = instantiate(*this, params);
+  if (inst.knownEmpty()) return;
+  std::vector<std::int64_t> prefix;
+  std::size_t count = 0;
+  enumerateRec(inst, prefix, fn, maxPoints, count);
+}
+
+std::optional<Rational> IntegerSet::maxValueAt(
+    const AffineExpr& objective,
+    const std::map<std::string, std::int64_t>& params) const {
+  // The objective is integral on integer points, so the max is an integer:
+  // prepend an objective variable and take the lexicographic maximum.
+  static const char* kObj = "__fixfuse_obj";
+  IntegerSet ext;
+  ext.vars_.push_back(kObj);
+  ext.vars_.insert(ext.vars_.end(), vars_.begin(), vars_.end());
+  ext.exact_ = exact_;
+  ext.knownEmpty_ = knownEmpty_;
+  for (const auto& c : cs_) ext.addConstraint(c);
+  ext.addEQ(AffineExpr::var(kObj) - objective);
+  auto best = ext.lexmaxAt(params);
+  if (!best) return std::nullopt;
+  return Rational(best->front());
+}
+
+bool IntegerSet::provablyAtMost(const AffineExpr& objective,
+                                std::int64_t bound,
+                                const ParamContext& ctx) const {
+  IntegerSet work = *this;
+  work.addGE(objective - AffineExpr(bound + 1));
+  return work.provablyEmpty(ctx);
+}
+
+std::vector<std::pair<AffineExpr, std::int64_t>>
+IntegerSet::symbolicUpperBounds(const AffineExpr& objective) const {
+  static const char* kObj = "__fixfuse_obj";
+  IntegerSet ext;
+  ext.vars_ = vars_;
+  ext.vars_.push_back(kObj);
+  ext.exact_ = exact_;
+  ext.knownEmpty_ = knownEmpty_;
+  for (const auto& c : cs_) ext.addConstraint(c);
+  ext.addEQ(AffineExpr::var(kObj) - objective);
+  IntegerSet proj = ext.eliminated(vars_);
+  std::vector<std::pair<AffineExpr, std::int64_t>> bounds;
+  for (const auto& c : proj.constraints()) {
+    std::int64_t a = c.expr.coeff(kObj);
+    if (a >= 0) continue;  // only upper bounds: a*obj + r >= 0, a < 0
+    AffineExpr r = c.expr - AffineExpr::term(a, kObj);
+    bounds.emplace_back(r, -a);  // obj <= r / (-a)
+  }
+  return bounds;
+}
+
+std::string IntegerSet::str() const {
+  std::ostringstream os;
+  os << "{ [";
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (i) os << ", ";
+    os << vars_[i];
+  }
+  os << "] : ";
+  if (knownEmpty_) os << "FALSE ";
+  for (std::size_t i = 0; i < cs_.size(); ++i) {
+    if (i) os << " and ";
+    os << cs_[i].str();
+  }
+  if (cs_.empty() && !knownEmpty_) os << "true";
+  os << " }";
+  if (!exact_) os << " (approx)";
+  return os.str();
+}
+
+std::vector<std::vector<Constraint>> lexLessPieces(
+    const std::vector<AffineExpr>& a, const std::vector<AffineExpr>& b) {
+  FIXFUSE_CHECK(a.size() == b.size(), "lexLess arity mismatch");
+  std::vector<std::vector<Constraint>> pieces;
+  for (std::size_t l = 0; l < a.size(); ++l) {
+    std::vector<Constraint> piece;
+    for (std::size_t j = 0; j < l; ++j)
+      piece.push_back(Constraint::eq(a[j] - b[j]));
+    piece.push_back(Constraint::ge(b[l] - a[l] - AffineExpr(1)));
+    pieces.push_back(std::move(piece));
+  }
+  return pieces;
+}
+
+}  // namespace fixfuse::poly

@@ -1,0 +1,189 @@
+// Integer sets defined by conjunctions of affine constraints.
+//
+// An IntegerSet is { (v_1, ..., v_n) in Z^n | constraints } where the
+// constraints may also mention *parameters*: symbols that appear in a
+// constraint but are not listed in vars(). Core operations:
+//
+//  * Fourier-Motzkin projection with integer tightening. Each elimination
+//    step records whether it was exact over the integers (it is whenever
+//    one of the combined bound coefficients is 1, and whenever equality
+//    substitution used a unit coefficient). The projection is always a
+//    *superset* of the true integer projection, so "projection empty"
+//    soundly implies "set empty".
+//  * provablyEmpty(ctx): sound emptiness ("true" is a proof, "false" means
+//    unknown/nonempty). Used as the safe direction by dependence analysis:
+//    a dependence set we cannot prove empty is treated as present.
+//  * Exact integer point search / enumeration / lexmin at concrete
+//    parameter values, by recursive bounded descent (exact regardless of
+//    FM inexactness, because leaves are fully substituted).
+//
+// This deliberately scoped machinery replaces the paper's use of PIP /
+// the Omega calculator (see DESIGN.md section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/affine.h"
+#include "support/rational.h"
+
+namespace fixfuse::poly {
+
+/// One affine constraint: expr >= 0 (GE) or expr == 0 (EQ).
+struct Constraint {
+  enum class Kind { GE, EQ };
+  AffineExpr expr;
+  Kind kind = Kind::GE;
+
+  static Constraint ge(AffineExpr e) { return {std::move(e), Kind::GE}; }
+  static Constraint eq(AffineExpr e) { return {std::move(e), Kind::EQ}; }
+
+  bool operator==(const Constraint& o) const {
+    return kind == o.kind && expr == o.expr;
+  }
+  std::string str() const;
+};
+
+/// Bounds and sample values for the parameters of a family of sets,
+/// e.g. { N >= 4, N <= 10^6 } with samples {4, 5, 7, 12}.
+/// The samples are used for witness search; the constraints participate in
+/// every symbolic emptiness proof.
+class ParamContext {
+ public:
+  ParamContext() = default;
+
+  /// Declare a parameter with an inclusive range and default samples
+  /// (lo, lo+1, lo+2, lo+5 and hi capped into range, deduplicated).
+  void addParam(const std::string& name, std::int64_t lo, std::int64_t hi);
+  void addParam(const std::string& name, std::int64_t lo, std::int64_t hi,
+                std::vector<std::int64_t> samples);
+  /// Extra affine constraint tying parameters together (e.g. M <= N).
+  void addConstraint(Constraint c) { extra_.push_back(std::move(c)); }
+
+  const std::vector<std::string>& params() const { return names_; }
+  bool hasParam(const std::string& name) const;
+  std::vector<Constraint> constraints() const;
+  /// Cartesian product of per-parameter samples (bounded; throws when the
+  /// product exceeds 4096 bindings).
+  std::vector<std::map<std::string, std::int64_t>> sampleBindings() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> ranges_;
+  std::map<std::string, std::vector<std::int64_t>> samples_;
+  std::vector<Constraint> extra_;
+};
+
+class IntegerSet {
+ public:
+  IntegerSet() = default;
+  explicit IntegerSet(std::vector<std::string> vars);
+
+  const std::vector<std::string>& vars() const { return vars_; }
+  const std::vector<Constraint>& constraints() const { return cs_; }
+  /// Symbols used by constraints but not listed as variables.
+  std::vector<std::string> parameters() const;
+
+  /// True when some elimination step was only an over-approximation of the
+  /// integer projection.
+  bool exact() const { return exact_; }
+  /// True when a constant contradiction has been observed; such a set is
+  /// definitely empty.
+  bool knownEmpty() const { return knownEmpty_; }
+
+  void addConstraint(Constraint c);
+  void addGE(const AffineExpr& e) { addConstraint(Constraint::ge(e)); }
+  void addEQ(const AffineExpr& e) { addConstraint(Constraint::eq(e)); }
+  /// a <= b
+  void addLE(const AffineExpr& a, const AffineExpr& b) { addGE(b - a); }
+  /// a < b  (a <= b - 1)
+  void addLT(const AffineExpr& a, const AffineExpr& b) {
+    addGE(b - a - AffineExpr(1));
+  }
+  /// lo <= v <= hi
+  void addRange(const std::string& v, const AffineExpr& lo,
+                const AffineExpr& hi);
+
+  /// Set with `names` projected out by Fourier-Motzkin (they are removed
+  /// from vars(); projecting a parameter is allowed and eliminates it).
+  IntegerSet eliminated(const std::vector<std::string>& names) const;
+
+  /// Intersection with another set over the same variable tuple.
+  IntegerSet intersected(const IntegerSet& o) const;
+
+  /// Rename a variable or parameter throughout.
+  IntegerSet renamed(const std::string& from, const std::string& to) const;
+  /// Substitute a variable/parameter by an affine expression everywhere
+  /// (the symbol is dropped from vars() if present).
+  IntegerSet substituted(const std::string& name,
+                         const AffineExpr& replacement) const;
+
+  /// Sound emptiness proof: true => the set has no integer point for ANY
+  /// parameter values satisfying `ctx`. false => unknown (treat nonempty).
+  bool provablyEmpty(const ParamContext& ctx) const;
+  /// Convenience for parameter-free sets.
+  bool provablyEmpty() const { return provablyEmpty(ParamContext{}); }
+
+  /// Exact: does the set contain an integer point once parameters are
+  /// bound to `params`? Throws UnsupportedError if a variable is unbounded.
+  bool hasPointAt(const std::map<std::string, std::int64_t>& params) const;
+  /// Exact: some integer point at `params`, in vars() order.
+  std::optional<std::vector<std::int64_t>> findPointAt(
+      const std::map<std::string, std::int64_t>& params) const;
+  /// Exact lexicographic minimum (w.r.t. vars() order) at `params`.
+  std::optional<std::vector<std::int64_t>> lexminAt(
+      const std::map<std::string, std::int64_t>& params) const;
+  /// Exact lexicographic maximum at `params`.
+  std::optional<std::vector<std::int64_t>> lexmaxAt(
+      const std::map<std::string, std::int64_t>& params) const;
+  /// Enumerate every integer point at `params` (ascending lexicographic
+  /// order). Throws UnsupportedError beyond `maxPoints`.
+  void forEachPointAt(const std::map<std::string, std::int64_t>& params,
+                      const std::function<void(const std::vector<std::int64_t>&)>& fn,
+                      std::size_t maxPoints = 2000000) const;
+
+  /// Exact rational maximum of `objective` over the set at `params`
+  /// (nullopt when empty; throws UnsupportedError when unbounded).
+  std::optional<Rational> maxValueAt(
+      const AffineExpr& objective,
+      const std::map<std::string, std::int64_t>& params) const;
+
+  /// Sound test: max(objective) <= bound over all parameter values in ctx.
+  /// Implemented as provablyEmpty(set && objective >= bound + 1).
+  bool provablyAtMost(const AffineExpr& objective, std::int64_t bound,
+                      const ParamContext& ctx) const;
+
+  /// Symbolic upper bounds on `objective` derived by projecting everything
+  /// else out: each entry (expr, divisor) means objective <= expr / divisor.
+  /// Sound (every entry is a valid bound); may be loose when inexact.
+  std::vector<std::pair<AffineExpr, std::int64_t>> symbolicUpperBounds(
+      const AffineExpr& objective) const;
+
+  std::string str() const;
+
+ private:
+  std::vector<std::string> vars_;
+  std::vector<Constraint> cs_;
+  bool exact_ = true;
+  bool knownEmpty_ = false;
+
+  void eliminateOne(const std::string& name);
+  /// Switch to the canonical empty form (no constraints).
+  void markEmpty();
+  /// Bounds of vars_[0] with everything else projected out, at bound params.
+  std::optional<std::pair<std::int64_t, std::int64_t>> headRangeAt() const;
+  bool searchPoint(std::vector<std::int64_t>& prefix, bool wantMin,
+                   std::optional<std::vector<std::int64_t>>& best) const;
+};
+
+/// Constraint pieces expressing lexicographic order a < b (strict) between
+/// two equal-length affine tuples: the result is a union; piece l states
+/// a_j == b_j for j < l and a_l <= b_l - 1.
+std::vector<std::vector<Constraint>> lexLessPieces(
+    const std::vector<AffineExpr>& a, const std::vector<AffineExpr>& b);
+
+}  // namespace fixfuse::poly

@@ -1,0 +1,30 @@
+#include "sim/branch.h"
+
+#include "support/error.h"
+
+namespace fixfuse::sim {
+
+bool BranchPredictor::resolve(int site, bool taken) {
+  FIXFUSE_CHECK(site >= 0, "negative branch site");
+  if (static_cast<std::size_t>(site) >= table_.size())
+    table_.resize(static_cast<std::size_t>(site) + 1, 2);  // weakly taken
+  std::uint8_t& ctr = table_[static_cast<std::size_t>(site)];
+  bool predictTaken = ctr >= 2;
+  bool correct = predictTaken == taken;
+  ++resolved_;
+  if (!correct) ++mispredicted_;
+  if (taken) {
+    if (ctr < 3) ++ctr;
+  } else {
+    if (ctr > 0) --ctr;
+  }
+  return correct;
+}
+
+void BranchPredictor::reset() {
+  table_.clear();
+  resolved_ = 0;
+  mispredicted_ = 0;
+}
+
+}  // namespace fixfuse::sim

@@ -1,0 +1,84 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace fixfuse::sim {
+
+namespace {
+bool isPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+std::uint32_t log2u(std::uint64_t v) {
+  std::uint32_t s = 0;
+  while ((1ULL << s) < v) ++s;
+  return s;
+}
+}  // namespace
+
+bool CacheConfig::valid() const {
+  return sizeBytes > 0 && lineBytes > 0 && ways > 0 &&
+         isPowerOfTwo(lineBytes) && sizeBytes % (lineBytes * ways) == 0 &&
+         isPowerOfTwo(numSets());
+}
+
+CacheConfig CacheConfig::octane2L1() { return {32 * 1024, 32, 2}; }
+CacheConfig CacheConfig::octane2L2() { return {2 * 1024 * 1024, 128, 2}; }
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  FIXFUSE_CHECK(cfg.valid(), "invalid cache configuration");
+  lineShift_ = log2u(cfg.lineBytes);
+  setMask_ = cfg.numSets() - 1;
+  setShift_ = log2u(cfg.numSets());
+  tags_.assign(cfg.numSets() * cfg.ways, 0);
+  stamps_.assign(cfg.numSets() * cfg.ways, 0);
+  valid_.assign(cfg.numSets() * cfg.ways, false);
+}
+
+bool Cache::access(std::uint64_t addr) {
+  std::uint64_t line = addr >> lineShift_;
+  std::uint64_t set = line & setMask_;
+  std::uint64_t tag = line >> setShift_;
+  std::size_t base = static_cast<std::size_t>(set) * cfg_.ways;
+  ++tick_;
+  std::size_t victim = base;
+  std::uint64_t oldest = UINT64_MAX;
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    std::size_t e = base + w;
+    if (valid_[e] && tags_[e] == tag) {
+      stamps_[e] = tick_;
+      ++hits_;
+      return true;
+    }
+    std::uint64_t stamp = valid_[e] ? stamps_[e] : 0;
+    if (!valid_[e]) stamp = 0;
+    if (stamp < oldest) {
+      oldest = stamp;
+      victim = e;
+    }
+  }
+  ++misses_;
+  tags_[victim] = tag;
+  stamps_[victim] = tick_;
+  valid_[victim] = true;
+  return false;
+}
+
+void Cache::reset() {
+  std::fill(valid_.begin(), valid_.end(), false);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  tick_ = hits_ = misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2)
+    : l1_(l1), l2_(l2) {}
+
+void CacheHierarchy::access(std::uint64_t addr) {
+  if (!l1_.access(addr)) l2_.access(addr);
+}
+
+void CacheHierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+}
+
+}  // namespace fixfuse::sim

@@ -1,0 +1,62 @@
+#include "sim/perf.h"
+
+#include <sstream>
+
+namespace fixfuse::sim {
+
+CycleBreakdown cyclesOf(const PerfCounts& c, const CostModel& m) {
+  CycleBreakdown b;
+  b.l1MissCycles = static_cast<double>(c.l1Misses) * m.l1MissCycles;
+  b.l2MissCycles = static_cast<double>(c.l2Misses) * m.l2MissCycles;
+  b.branchResolveCycles =
+      static_cast<double>(c.branchesResolved) * m.branchResolveCycles;
+  b.mispredictCycles =
+      static_cast<double>(c.branchesMispredicted) * m.mispredictCycles;
+  b.instructionCycles =
+      static_cast<double>(c.graduatedInstructions()) * m.instructionCycles;
+  return b;
+}
+
+PerfCounts SimObserver::counts() const {
+  PerfCounts c = counts_;
+  c.l1Misses = hierarchy_.l1().misses();
+  c.l1Accesses = hierarchy_.l1().accesses();
+  c.l2Misses = hierarchy_.l2().misses();
+  c.l2Accesses = hierarchy_.l2().accesses();
+  c.branchesResolved = predictor_.resolved();
+  c.branchesMispredicted = predictor_.mispredicted();
+  return c;
+}
+
+void SimObserver::reset() {
+  counts_ = PerfCounts{};
+  hierarchy_.reset();
+  predictor_.reset();
+}
+
+std::string formatReport(const std::string& label, const PerfCounts& c,
+                         const CostModel& m) {
+  CycleBreakdown b = cyclesOf(c, m);
+  std::ostringstream os;
+  os << "== " << label << " ==\n";
+  os << "  loads                 " << c.loads << "\n";
+  os << "  stores                " << c.stores << "\n";
+  os << "  int ops               " << c.intOps << "\n";
+  os << "  flops                 " << c.flops << "\n";
+  os << "  graduated instr       " << c.graduatedInstructions() << "\n";
+  os << "  branches resolved     " << c.branchesResolved << "\n";
+  os << "  branches mispredicted " << c.branchesMispredicted << "\n";
+  os << "  L1 misses             " << c.l1Misses << " / " << c.l1Accesses
+     << " accesses\n";
+  os << "  L2 misses             " << c.l2Misses << " / " << c.l2Accesses
+     << " accesses\n";
+  os << "  L1 miss cycles        " << b.l1MissCycles << "\n";
+  os << "  L2 miss cycles        " << b.l2MissCycles << "\n";
+  os << "  branch cycles         " << b.branchResolveCycles << "\n";
+  os << "  mispredict cycles     " << b.mispredictCycles << "\n";
+  os << "  instruction cycles    " << b.instructionCycles << "\n";
+  os << "  TOTAL modelled cycles " << b.total() << "\n";
+  return os.str();
+}
+
+}  // namespace fixfuse::sim

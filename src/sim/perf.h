@@ -1,0 +1,103 @@
+// perfex-style performance model for the simulated Octane2.
+//
+// SimObserver plugs into the interpreter and feeds the cache hierarchy,
+// the branch predictor and the instruction counters. CostModel converts
+// the resulting counts into "typical cycles" using the constants the
+// paper publishes in Section 4:
+//   L1 data-cache miss: 9.92 cycles (typical)
+//   L2 data-cache miss: 162.55 cycles (typical)
+//   resolved conditional branch: 1 cycle
+//   mispredicted branch: 5 cycles
+//   graduated integer op / load / store / flop: 1 cycle each
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "interp/observer.h"
+#include "sim/branch.h"
+#include "sim/cache.h"
+
+namespace fixfuse::sim {
+
+struct CostModel {
+  double l1MissCycles = 9.92;
+  double l2MissCycles = 162.55;
+  double branchResolveCycles = 1.0;
+  double mispredictCycles = 5.0;
+  double instructionCycles = 1.0;
+};
+
+/// Raw event counts, perfex style.
+struct PerfCounts {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t intOps = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t branchesResolved = 0;
+  std::uint64_t branchesMispredicted = 0;
+  std::uint64_t l1Misses = 0;
+  std::uint64_t l2Misses = 0;
+  std::uint64_t l1Accesses = 0;
+  std::uint64_t l2Accesses = 0;
+
+  std::uint64_t graduatedInstructions() const {
+    return loads + stores + intOps + flops + branchesResolved;
+  }
+};
+
+/// Per-component "typical cycles" derived from counts (the quantities in
+/// the paper's Figs. 6-8) plus their sum, the modelled execution time.
+struct CycleBreakdown {
+  double l1MissCycles = 0;
+  double l2MissCycles = 0;
+  double branchResolveCycles = 0;
+  double mispredictCycles = 0;
+  double instructionCycles = 0;
+
+  double total() const {
+    return l1MissCycles + l2MissCycles + branchResolveCycles +
+           mispredictCycles + instructionCycles;
+  }
+};
+
+CycleBreakdown cyclesOf(const PerfCounts& c, const CostModel& m = {});
+
+/// interp::Observer that drives the full model.
+class SimObserver : public interp::Observer {
+ public:
+  SimObserver()
+      : hierarchy_(CacheConfig::octane2L1(), CacheConfig::octane2L2()) {}
+  SimObserver(const CacheConfig& l1, const CacheConfig& l2)
+      : hierarchy_(l1, l2) {}
+
+  void onLoad(std::uint64_t addr) override {
+    ++counts_.loads;
+    hierarchy_.access(addr);
+  }
+  void onStore(std::uint64_t addr) override {
+    ++counts_.stores;
+    hierarchy_.access(addr);
+  }
+  void onBranch(int site, bool taken) override {
+    predictor_.resolve(site, taken);
+  }
+  void onIntOps(std::uint64_t n) override { counts_.intOps += n; }
+  void onFlops(std::uint64_t n) override { counts_.flops += n; }
+
+  /// Counts with cache/branch numbers filled in.
+  PerfCounts counts() const;
+  const CacheHierarchy& hierarchy() const { return hierarchy_; }
+  void reset();
+
+ private:
+  PerfCounts counts_;
+  CacheHierarchy hierarchy_;
+  BranchPredictor predictor_;
+};
+
+/// Formatted perfex-like report (one program version).
+std::string formatReport(const std::string& label, const PerfCounts& c,
+                         const CostModel& m = {});
+
+}  // namespace fixfuse::sim

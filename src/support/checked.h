@@ -1,0 +1,77 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// The polyhedral code multiplies constraint coefficients during
+// Fourier-Motzkin elimination; coefficients stay tiny for the kernels in
+// this repo, but silent wrap-around would corrupt dependence answers, so
+// every arithmetic step is checked.
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace fixfuse {
+
+inline std::int64_t checkedAdd(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_add_overflow(a, b, &r))
+    throw OverflowError("add(" + std::to_string(a) + ", " + std::to_string(b) +
+                        ")");
+  return r;
+}
+
+inline std::int64_t checkedSub(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_sub_overflow(a, b, &r))
+    throw OverflowError("sub(" + std::to_string(a) + ", " + std::to_string(b) +
+                        ")");
+  return r;
+}
+
+inline std::int64_t checkedMul(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_mul_overflow(a, b, &r))
+    throw OverflowError("mul(" + std::to_string(a) + ", " + std::to_string(b) +
+                        ")");
+  return r;
+}
+
+inline std::int64_t checkedNeg(std::int64_t a) { return checkedSub(0, a); }
+
+/// Floor division (rounds toward negative infinity), exact for all inputs.
+inline std::int64_t floorDiv(std::int64_t a, std::int64_t b) {
+  FIXFUSE_CHECK(b != 0, "floorDiv by zero");
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division (rounds toward positive infinity).
+inline std::int64_t ceilDiv(std::int64_t a, std::int64_t b) {
+  FIXFUSE_CHECK(b != 0, "ceilDiv by zero");
+  return -floorDiv(-a, b);
+}
+
+/// Mathematical modulus: result always in [0, |b|).
+inline std::int64_t floorMod(std::int64_t a, std::int64_t b) {
+  return checkedSub(a, checkedMul(floorDiv(a, b), b));
+}
+
+inline std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+inline std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return checkedMul(a / gcd64(a, b), b < 0 ? -b : b);
+}
+
+}  // namespace fixfuse

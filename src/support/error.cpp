@@ -1,0 +1,10 @@
+#include "support/error.h"
+
+namespace fixfuse {
+
+void throwInternal(const char* file, int line, const std::string& msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) + ": " +
+                      msg);
+}
+
+}  // namespace fixfuse

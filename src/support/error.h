@@ -1,0 +1,58 @@
+// Error types and checking macros shared by all fixfuse modules.
+//
+// Philosophy: programming errors (violated preconditions) throw
+// `InternalError`; inputs the library cannot handle (non-affine constructs
+// outside the supported escape hatches, polyhedral operations whose exact
+// answer cannot be certified) throw `UnsupportedError` with a diagnostic.
+// Callers that can degrade gracefully catch `UnsupportedError`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fixfuse {
+
+/// Base class of all exceptions thrown by fixfuse.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A violated invariant or precondition: a bug in the caller or in fixfuse.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+/// Input outside the supported fragment (e.g. a polyhedral operation whose
+/// exact result cannot be certified by the lightweight machinery).
+class UnsupportedError : public Error {
+ public:
+  explicit UnsupportedError(const std::string& what)
+      : Error("unsupported: " + what) {}
+};
+
+/// Integer overflow detected by checked arithmetic.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what)
+      : Error("integer overflow: " + what) {}
+};
+
+[[noreturn]] void throwInternal(const char* file, int line,
+                                const std::string& msg);
+
+}  // namespace fixfuse
+
+/// Always-on invariant check (also in release builds: the polyhedral and
+/// transformation code is correctness-critical and cheap relative to the
+/// simulations it drives).
+#define FIXFUSE_CHECK(cond, msg)                                   \
+  do {                                                             \
+    if (!(cond)) ::fixfuse::throwInternal(__FILE__, __LINE__,      \
+                                          std::string(msg));       \
+  } while (0)
+
+#define FIXFUSE_UNREACHABLE(msg) \
+  ::fixfuse::throwInternal(__FILE__, __LINE__, std::string("unreachable: ") + (msg))

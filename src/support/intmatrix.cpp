@@ -1,0 +1,202 @@
+#include "support/intmatrix.h"
+
+#include <sstream>
+
+#include "support/checked.h"
+#include "support/error.h"
+#include "support/rational.h"
+
+namespace fixfuse {
+
+IntMatrix::IntMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            0) {
+  FIXFUSE_CHECK(rows >= 0 && cols >= 0, "negative matrix dimension");
+}
+
+IntMatrix::IntMatrix(
+    std::initializer_list<std::initializer_list<std::int64_t>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int>(rows.begin()->size());
+  data_.reserve(static_cast<std::size_t>(rows_) *
+                static_cast<std::size_t>(cols_));
+  for (const auto& row : rows) {
+    FIXFUSE_CHECK(static_cast<int>(row.size()) == cols_,
+                  "ragged initializer for IntMatrix");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+IntMatrix IntMatrix::identity(int n) {
+  IntMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+IntMatrix IntMatrix::permutation(const std::vector<int>& perm) {
+  int n = static_cast<int>(perm.size());
+  IntMatrix m(n, n);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    FIXFUSE_CHECK(perm[static_cast<std::size_t>(i)] >= 0 &&
+                      perm[static_cast<std::size_t>(i)] < n,
+                  "permutation index out of range");
+    FIXFUSE_CHECK(!seen[static_cast<std::size_t>(
+                      perm[static_cast<std::size_t>(i)])],
+                  "duplicate permutation index");
+    seen[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = true;
+    m.at(i, perm[static_cast<std::size_t>(i)]) = 1;
+  }
+  return m;
+}
+
+std::int64_t& IntMatrix::at(int r, int c) {
+  FIXFUSE_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "matrix index out of range");
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+std::int64_t IntMatrix::at(int r, int c) const {
+  FIXFUSE_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "matrix index out of range");
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+IntMatrix IntMatrix::operator*(const IntMatrix& o) const {
+  FIXFUSE_CHECK(cols_ == o.rows_, "matrix shape mismatch in multiply");
+  IntMatrix r(rows_, o.cols_);
+  for (int i = 0; i < rows_; ++i)
+    for (int k = 0; k < cols_; ++k) {
+      std::int64_t aik = at(i, k);
+      if (aik == 0) continue;
+      for (int j = 0; j < o.cols_; ++j)
+        r.at(i, j) = checkedAdd(r.at(i, j), checkedMul(aik, o.at(k, j)));
+    }
+  return r;
+}
+
+std::vector<std::int64_t> IntMatrix::apply(
+    const std::vector<std::int64_t>& v) const {
+  FIXFUSE_CHECK(static_cast<int>(v.size()) == cols_,
+                "vector length mismatch in apply");
+  std::vector<std::int64_t> r(static_cast<std::size_t>(rows_), 0);
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j)
+      r[static_cast<std::size_t>(i)] =
+          checkedAdd(r[static_cast<std::size_t>(i)],
+                     checkedMul(at(i, j), v[static_cast<std::size_t>(j)]));
+  return r;
+}
+
+bool IntMatrix::operator==(const IntMatrix& o) const {
+  return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+}
+
+std::int64_t IntMatrix::determinant() const {
+  FIXFUSE_CHECK(rows_ == cols_, "determinant of non-square matrix");
+  int n = rows_;
+  if (n == 0) return 1;
+  // Fraction-free Bareiss elimination: all intermediate divisions are exact.
+  IntMatrix m = *this;
+  std::int64_t sign = 1;
+  std::int64_t prev = 1;
+  for (int k = 0; k < n - 1; ++k) {
+    if (m.at(k, k) == 0) {
+      int pivot = -1;
+      for (int i = k + 1; i < n; ++i)
+        if (m.at(i, k) != 0) {
+          pivot = i;
+          break;
+        }
+      if (pivot < 0) return 0;
+      for (int j = 0; j < n; ++j) std::swap(m.at(k, j), m.at(pivot, j));
+      sign = -sign;
+    }
+    for (int i = k + 1; i < n; ++i)
+      for (int j = k + 1; j < n; ++j) {
+        std::int64_t num = checkedSub(checkedMul(m.at(i, j), m.at(k, k)),
+                                      checkedMul(m.at(i, k), m.at(k, j)));
+        FIXFUSE_CHECK(num % prev == 0, "Bareiss division not exact");
+        m.at(i, j) = num / prev;
+      }
+    prev = m.at(k, k);
+  }
+  return checkedMul(sign, m.at(n - 1, n - 1));
+}
+
+bool IntMatrix::isUnimodular() const {
+  if (rows_ != cols_) return false;
+  std::int64_t d = determinant();
+  return d == 1 || d == -1;
+}
+
+IntMatrix IntMatrix::unimodularInverse() const {
+  FIXFUSE_CHECK(rows_ == cols_, "inverse of non-square matrix");
+  std::int64_t det = determinant();
+  FIXFUSE_CHECK(det == 1 || det == -1, "matrix is not unimodular");
+  int n = rows_;
+  // Gauss-Jordan over rationals; the result is integral because det = +-1.
+  std::vector<std::vector<Rational>> aug(
+      static_cast<std::size_t>(n),
+      std::vector<Rational>(static_cast<std::size_t>(2 * n), Rational(0)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j)
+      aug[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          Rational(at(i, j));
+    aug[static_cast<std::size_t>(i)][static_cast<std::size_t>(n + i)] =
+        Rational(1);
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = -1;
+    for (int r = col; r < n; ++r)
+      if (aug[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] !=
+          Rational(0)) {
+        pivot = r;
+        break;
+      }
+    FIXFUSE_CHECK(pivot >= 0, "singular matrix in unimodularInverse");
+    std::swap(aug[static_cast<std::size_t>(col)],
+              aug[static_cast<std::size_t>(pivot)]);
+    Rational p =
+        aug[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+    for (int j = 0; j < 2 * n; ++j)
+      aug[static_cast<std::size_t>(col)][static_cast<std::size_t>(j)] /= p;
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      Rational f =
+          aug[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)];
+      if (f == Rational(0)) continue;
+      for (int j = 0; j < 2 * n; ++j)
+        aug[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] -=
+            f * aug[static_cast<std::size_t>(col)][static_cast<std::size_t>(j)];
+    }
+  }
+  IntMatrix inv(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      Rational v =
+          aug[static_cast<std::size_t>(i)][static_cast<std::size_t>(n + j)];
+      FIXFUSE_CHECK(v.isInteger(), "non-integer inverse entry");
+      inv.at(i, j) = v.num();
+    }
+  return inv;
+}
+
+std::string IntMatrix::str() const {
+  std::ostringstream os;
+  os << "[";
+  for (int i = 0; i < rows_; ++i) {
+    if (i) os << "; ";
+    for (int j = 0; j < cols_; ++j) {
+      if (j) os << " ";
+      os << at(i, j);
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace fixfuse

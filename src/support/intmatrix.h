@@ -1,0 +1,51 @@
+// Small dense integer matrices.
+//
+// Used to represent loop-transformation matrices (skewing, permutation,
+// general unimodular transforms). Sizes are tiny (loop depth x loop depth),
+// so a simple row-major vector<int64> is the right representation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixfuse {
+
+class IntMatrix {
+ public:
+  IntMatrix() = default;
+  IntMatrix(int rows, int cols);
+  IntMatrix(std::initializer_list<std::initializer_list<std::int64_t>> rows);
+
+  static IntMatrix identity(int n);
+  /// Permutation matrix P such that (P x)_i = x_{perm[i]}.
+  static IntMatrix permutation(const std::vector<int>& perm);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  std::int64_t& at(int r, int c);
+  std::int64_t at(int r, int c) const;
+
+  IntMatrix operator*(const IntMatrix& o) const;
+  std::vector<std::int64_t> apply(const std::vector<std::int64_t>& v) const;
+
+  bool operator==(const IntMatrix& o) const;
+
+  /// Determinant via fraction-free Bareiss elimination. Square only.
+  std::int64_t determinant() const;
+  /// True iff square with determinant +-1.
+  bool isUnimodular() const;
+  /// Exact inverse of a unimodular matrix (integer entries). Throws
+  /// InternalError if the matrix is not unimodular.
+  IntMatrix unimodularInverse() const;
+
+  std::string str() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::int64_t> data_;
+};
+
+}  // namespace fixfuse

@@ -1,0 +1,73 @@
+#include "support/rational.h"
+
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace fixfuse {
+
+Rational::Rational(std::int64_t num) : num_(num), den_(1) {}
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  FIXFUSE_CHECK(den != 0, "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = checkedNeg(num_);
+    den_ = checkedNeg(den_);
+  }
+  std::int64_t g = gcd64(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+std::int64_t Rational::floor() const { return floorDiv(num_, den_); }
+
+std::int64_t Rational::ceil() const { return ceilDiv(num_, den_); }
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checkedNeg(num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  // Use the lcm of denominators to keep intermediates small.
+  std::int64_t g = gcd64(den_, o.den_);
+  std::int64_t l = checkedMul(den_ / g, o.den_);
+  std::int64_t a = checkedMul(num_, l / den_);
+  std::int64_t b = checkedMul(o.num_, l / o.den_);
+  return Rational(checkedAdd(a, b), l);
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-cancel before multiplying to delay overflow.
+  std::int64_t g1 = gcd64(num_, o.den_);
+  std::int64_t g2 = gcd64(o.num_, den_);
+  return Rational(checkedMul(num_ / g1, o.num_ / g2),
+                  checkedMul(den_ / g2, o.den_ / g1));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  FIXFUSE_CHECK(o.num_ != 0, "rational division by zero");
+  return *this * Rational(o.den_, o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // a/b < c/d  <=>  a*d < c*b   (b, d > 0 by canonical form)
+  return checkedMul(num_, o.den_) < checkedMul(o.num_, den_);
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace fixfuse

@@ -1,0 +1,61 @@
+// Exact rational arithmetic on 64-bit numerator/denominator.
+//
+// Used by the Fourier-Motzkin core when combining bound pairs and by the
+// LRW tile-size model. Always stored in canonical form: gcd(num, den) == 1
+// and den > 0. All operations overflow-check through checked.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fixfuse {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t num);  // NOLINT(google-explicit-constructor)
+  Rational(std::int64_t num, std::int64_t den);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool isInteger() const { return den_ == 1; }
+  /// Largest integer <= *this.
+  std::int64_t floor() const;
+  /// Smallest integer >= *this.
+  std::int64_t ceil() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return !(o < *this); }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return !(*this < o); }
+
+  double toDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  std::string str() const;
+
+ private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace fixfuse

@@ -1,0 +1,45 @@
+// Deterministic random number generation for tests, benchmarks and
+// workload initialisation. SplitMix64: tiny, fast, reproducible across
+// platforms (unlike std::mt19937 distributions, whose output is
+// implementation-defined for floating point).
+#pragma once
+
+#include <cstdint>
+
+namespace fixfuse {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double nextDouble(double lo, double hi) {
+    return lo + (hi - lo) * nextDouble();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t nextBounded(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t nextInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    nextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fixfuse

@@ -1,0 +1,17 @@
+#include "support/str.h"
+
+namespace fixfuse {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  return joinMap(parts, sep, [](const std::string& s) { return s; });
+}
+
+std::string repeat(const std::string& s, int n) {
+  std::string out;
+  out.reserve(s.size() * static_cast<std::size_t>(n > 0 ? n : 0));
+  for (int i = 0; i < n; ++i) out += s;
+  return out;
+}
+
+}  // namespace fixfuse

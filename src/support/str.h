@@ -1,0 +1,30 @@
+// Small string helpers used by printers and diagnostics.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fixfuse {
+
+/// Join the elements of `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Join arbitrary streamable items mapped through `fn`.
+template <typename Range, typename Fn>
+std::string joinMap(const Range& range, const std::string& sep, Fn fn) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) os << sep;
+    first = false;
+    os << fn(item);
+  }
+  return os.str();
+}
+
+/// Repeat a string `n` times (indentation helper).
+std::string repeat(const std::string& s, int n);
+
+}  // namespace fixfuse

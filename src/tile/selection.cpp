@@ -1,0 +1,45 @@
+#include "tile/selection.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace fixfuse::tile {
+
+std::int64_t pdatTileSize(const sim::CacheConfig& l1,
+                          std::uint32_t elementBytes) {
+  FIXFUSE_CHECK(l1.valid(), "invalid cache config");
+  double elements =
+      static_cast<double>(l1.sizeBytes) / static_cast<double>(elementBytes);
+  double k = static_cast<double>(l1.ways);
+  double t = std::sqrt((k - 1.0) / k * elements);
+  std::int64_t tile = static_cast<std::int64_t>(t);
+  return tile < 1 ? 1 : tile;
+}
+
+std::uint64_t selfInterferenceMisses(const sim::CacheConfig& l1,
+                                     std::int64_t ld, std::int64_t tileSize,
+                                     std::uint32_t elementBytes) {
+  FIXFUSE_CHECK(ld >= tileSize && tileSize >= 1, "bad tile/ld");
+  sim::Cache cache(l1);
+  auto sweep = [&] {
+    for (std::int64_t r = 0; r < tileSize; ++r)
+      for (std::int64_t c = 0; c < tileSize; ++c)
+        cache.access(static_cast<std::uint64_t>((r * ld + c)) * elementBytes);
+  };
+  sweep();  // warm
+  std::uint64_t before = cache.misses();
+  sweep();  // measure
+  return cache.misses() - before;
+}
+
+std::int64_t lrwTileSize(const sim::CacheConfig& l1, std::int64_t ld,
+                         std::uint32_t elementBytes, std::int64_t minTile) {
+  std::int64_t hi = pdatTileSize(l1, elementBytes);
+  if (hi > ld) hi = ld;
+  for (std::int64_t t = hi; t > minTile; --t)
+    if (selfInterferenceMisses(l1, ld, t, elementBytes) == 0) return t;
+  return minTile;
+}
+
+}  // namespace fixfuse::tile

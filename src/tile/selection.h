@@ -1,0 +1,41 @@
+// Tile-size selection algorithms used in the paper's Section 4:
+//
+//  * PDAT (Panda, Nakamura, Dutt, Nicolau 1999): the fixed tile size
+//    sqrt((K-1)/K * C) where C is the L1 capacity (in elements) and K its
+//    associativity - independent of the problem size.
+//
+//  * LRW (Wolf & Lam 1991): the largest square tile whose working set
+//    incurs (essentially) no self-interference misses for one N x N
+//    row-major array reference. Implemented by direct cache simulation of
+//    a T x T block: a candidate tile is accepted when a second sweep over
+//    the block hits for every line (no line of the block evicted another),
+//    which is exactly the self-interference criterion. Problem-size
+//    dependent: pathological leading dimensions (the paper's multiples of
+//    238) shrink the viable tile.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cache.h"
+
+namespace fixfuse::tile {
+
+/// PDAT tile size in elements per side.
+std::int64_t pdatTileSize(const sim::CacheConfig& l1,
+                          std::uint32_t elementBytes = 8);
+
+/// LRW tile size for an N x N array with leading dimension `ld` elements
+/// (pass ld = N + 1 for this repo's layout). Searches downward from the
+/// PDAT size; never returns less than `minTile`.
+std::int64_t lrwTileSize(const sim::CacheConfig& l1, std::int64_t ld,
+                         std::uint32_t elementBytes = 8,
+                         std::int64_t minTile = 4);
+
+/// Self-interference misses of one T x T block of an array with leading
+/// dimension `ld`, measured as the misses of a second full sweep after a
+/// first (warming) sweep.
+std::uint64_t selfInterferenceMisses(const sim::CacheConfig& l1,
+                                     std::int64_t ld, std::int64_t tileSize,
+                                     std::uint32_t elementBytes = 8);
+
+}  // namespace fixfuse::tile

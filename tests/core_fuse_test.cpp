@@ -1,0 +1,401 @@
+// Tests for fused-program generation and the FixDeps pipeline, validated
+// against the interpreter: the fixed fused program must reproduce the
+// sequential (pre-fusion) semantics bit-for-bit on random inputs, and an
+// unfixed illegal fusion must NOT (showing the tests can tell the
+// difference).
+#include <gtest/gtest.h>
+
+#include "core/elim.h"
+#include "core/fuse.h"
+#include "core/scan.h"
+#include "deps/analysis.h"
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "ir/rewrite.h"
+#include "support/rng.h"
+
+namespace fixfuse::core {
+namespace {
+
+using namespace fixfuse::ir;
+using deps::AffineMap;
+using deps::NestSystem;
+using deps::PerfectNest;
+using deps::TileSize;
+using interp::Machine;
+using poly::AffineExpr;
+using poly::IntegerSet;
+
+AffineExpr V(const std::string& n) { return AffineExpr::var(n); }
+AffineExpr C(std::int64_t k) { return AffineExpr(k); }
+
+void numberNests(NestSystem& sys) {
+  int id = 0;
+  for (auto& n : sys.nests)
+    ir::forEachStmt(*n.body, [&](const Stmt& s) {
+      if (s.kind() == StmtKind::Assign)
+        const_cast<Stmt&>(s).setAssignId(id++);
+    });
+}
+
+/// Fill every array of `m` with deterministic pseudo-random values.
+void randomInit(Machine& m, const ir::Program& p, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (const auto& decl : p.arrays) {
+    if (!m.hasArray(decl.name)) continue;
+    for (auto& v : m.array(decl.name).data()) v = rng.nextDouble(-2.0, 2.0);
+  }
+}
+
+/// Run `a` and `b` with identically initialised arrays; compare all
+/// arrays declared in `a` (ignoring copy arrays present only in `b`).
+::testing::AssertionResult equivalent(const ir::Program& a,
+                                      const ir::Program& b,
+                                      const std::map<std::string, std::int64_t>& params,
+                                      std::uint64_t seed = 42) {
+  Machine ma = interp::runProgram(
+      a, params, [&](Machine& m) { randomInit(m, a, seed); });
+  Machine mb = interp::runProgram(
+      b, params, [&](Machine& m) { randomInit(m, b, seed); });
+  for (const auto& decl : a.arrays) {
+    if (!b.hasArray(decl.name)) continue;
+    double d = interp::maxArrayDifference(ma, mb, decl.name);
+    if (d != 0.0)
+      return ::testing::AssertionFailure()
+             << "array " << decl.name << " differs by " << d << "\n--- a:\n"
+             << printProgram(a) << "--- b:\n" << printProgram(b);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// L1: A(i) = B(i) + 1 ; L2: C(i) = A(i + shift) * 2, both over 1..N.
+NestSystem shiftSystem(std::int64_t shift) {
+  NestSystem sys;
+  sys.ctx.addParam("N", 4, 100000);
+  sys.decls.params = {"N"};
+  sys.decls.declareArray("A", {add(iv("N"), ic(8))});
+  sys.decls.declareArray("B", {add(iv("N"), ic(8))});
+  sys.decls.declareArray("C", {add(iv("N"), ic(8))});
+  sys.decls.body = blockS({});
+  sys.isVars = {"i"};
+  sys.isBounds = {{C(1), V("N")}};
+  PerfectNest l1;
+  l1.vars = {"i"};
+  l1.domain = IntegerSet({"i"});
+  l1.domain.addRange("i", C(1), V("N"));
+  l1.body = blockS({aassign("A", {iv("i")},
+                            add(load("B", {iv("i")}), fc(1.0)))});
+  l1.embed = AffineMap{{V("i")}};
+  PerfectNest l2 = l1;
+  l2.body = blockS({aassign(
+      "C", {iv("i")},
+      mul(load("A", {add(iv("i"), ic(shift))}), fc(2.0)))});
+  l2.embed = AffineMap{{V("i")}};
+  sys.nests = {std::move(l1), std::move(l2)};
+  numberNests(sys);
+  return sys;
+}
+
+TEST(ScanLoops, BoundsFromTriangularSet) {
+  IntegerSet s({"i", "j"});
+  s.addRange("i", C(1), V("N"));
+  s.addRange("j", V("i"), V("N"));
+  ScanBounds bi = boundsFor(s, 0);
+  EXPECT_EQ(bi.lower->str(), "1");
+  EXPECT_EQ(bi.upper->str(), "N");
+  ScanBounds bj = boundsFor(s, 1);
+  EXPECT_EQ(bj.lower->str(), "i");
+  EXPECT_EQ(bj.upper->str(), "N");
+}
+
+TEST(ScanLoops, EnumeratesTrianglePoints) {
+  // Count points of { 1 <= i <= 4, i <= j <= 4 } by scanning.
+  IntegerSet s({"i", "j"});
+  s.addRange("i", C(1), C(4));
+  s.addRange("j", V("i"), C(4));
+  ir::Program p;
+  p.declareArray("count", {ic(1)});
+  StmtPtr body = aassign("count", {ic(0)},
+                         add(load("count", {ic(0)}), fc(1.0)));
+  p.body = blockS({scanLoops(s, std::move(body), /*guardBody=*/true)});
+  p.numberAssignments();
+  Machine m = interp::runProgram(p, {}, nullptr);
+  std::vector<std::int64_t> z{0};
+  EXPECT_DOUBLE_EQ(m.array("count").get(z), 10.0);
+}
+
+TEST(PruneImplied, DropsRedundantKeepsEssential) {
+  IntegerSet context({"i"});
+  context.addRange("i", C(1), V("N"));
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 1000);
+  std::vector<poly::Constraint> cs{
+      poly::Constraint::ge(V("i") - C(0)),   // implied by i >= 1
+      poly::Constraint::ge(V("i") - C(3)),   // essential
+      poly::Constraint::ge(V("N") - V("i"))  // implied
+  };
+  auto kept = pruneImplied(cs, context, ctx);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].expr, V("i") - C(3));
+}
+
+TEST(Fuse, SequentialProgramMatchesHandWritten) {
+  NestSystem sys = shiftSystem(1);
+  ir::Program seq = generateSequentialProgram(sys);
+  // Hand-built reference.
+  ir::Program ref = sys.decls;
+  ref.body = blockS(
+      {loopS("i", ic(1), iv("N"),
+             {aassign("A", {iv("i")}, add(load("B", {iv("i")}), fc(1.0)))}),
+       loopS("i", ic(1), iv("N"),
+             {aassign("C", {iv("i")},
+                      mul(load("A", {add(iv("i"), ic(1))}), fc(2.0)))})});
+  ref.numberAssignments();
+  EXPECT_TRUE(equivalent(seq, ref, {{"N", 17}}));
+}
+
+TEST(Fuse, LegalFusionPreservesSemantics) {
+  NestSystem sys = shiftSystem(-1);  // backward shift: legal fusion
+  ir::Program seq = generateSequentialProgram(sys);
+  ir::Program fused = generateFusedProgram(sys);
+  EXPECT_TRUE(equivalent(seq, fused, {{"N", 20}}));
+  EXPECT_TRUE(equivalent(seq, fused, {{"N", 4}}));
+}
+
+TEST(Fuse, IllegalFusionActuallyBreaks) {
+  NestSystem sys = shiftSystem(1);  // forward shift: illegal to fuse
+  ir::Program seq = generateSequentialProgram(sys);
+  ir::Program fused = generateFusedProgram(sys);
+  EXPECT_FALSE(equivalent(seq, fused, {{"N", 20}}));
+}
+
+TEST(Fuse, FullTileRepairsFusion) {
+  NestSystem sys = shiftSystem(1);
+  sys.nests[0].tileSizes = {TileSize::full()};
+  ir::Program seq = generateSequentialProgram(sys);
+  ir::Program fused = generateFusedProgram(sys);
+  EXPECT_TRUE(equivalent(seq, fused, {{"N", 20}}));
+}
+
+TEST(Fuse, ConcreteTileRepairsFusion) {
+  for (std::int64_t shift : {1, 2, 3}) {
+    NestSystem sys = shiftSystem(shift);
+    sys.nests[0].tileSizes = {TileSize::of(shift + 1)};
+    ir::Program seq = generateSequentialProgram(sys);
+    ir::Program fused = generateFusedProgram(sys);
+    EXPECT_TRUE(equivalent(seq, fused, {{"N", 23}})) << "shift " << shift;
+    EXPECT_TRUE(equivalent(seq, fused, {{"N", 4}})) << "shift " << shift;
+  }
+}
+
+TEST(Fuse, TooSmallTileStaysBroken) {
+  NestSystem sys = shiftSystem(3);
+  sys.nests[0].tileSizes = {TileSize::of(2)};
+  ir::Program seq = generateSequentialProgram(sys);
+  ir::Program fused = generateFusedProgram(sys);
+  EXPECT_FALSE(equivalent(seq, fused, {{"N", 23}}));
+}
+
+// --- FixDeps end-to-end on synthetic systems --------------------------------
+
+TEST(FixDeps, RepairsForwardShift) {
+  for (std::int64_t shift : {1, 2, 5}) {
+    NestSystem sys = shiftSystem(shift);
+    ir::Program seq = generateSequentialProgram(sys);
+    FixLog log = fixDeps(sys);
+    ASSERT_EQ(log.tiles.size(), 1u) << "shift " << shift;
+    ir::Program fixed = generateFusedProgram(sys);
+    EXPECT_TRUE(equivalent(seq, fixed, {{"N", 25}})) << "shift " << shift;
+    EXPECT_TRUE(equivalent(seq, fixed, {{"N", 5}})) << "shift " << shift;
+    EXPECT_TRUE(deps::flowOutputViolationsFixed(sys));
+  }
+}
+
+TEST(FixDeps, NoActionWhenFusionLegal) {
+  NestSystem sys = shiftSystem(-2);
+  FixLog log = fixDeps(sys);
+  EXPECT_TRUE(log.tiles.empty());
+  EXPECT_TRUE(log.copies.empty());
+  EXPECT_FALSE(sys.nests[0].isTiled());
+}
+
+TEST(FixDeps, RepairsOutputDependence) {
+  // L1 writes A(i-1); L2 writes A(i). Element x is written by L1 at fused
+  // iteration x+1 but already overwritten by L2 at iteration x - the
+  // fusion reverses the two writes, leaving B-values where the original
+  // program leaves C-values.
+  NestSystem sys = shiftSystem(0);
+  sys.nests[0].body = blockS({aassign("A", {sub(iv("i"), ic(1))},
+                                      load("B", {iv("i")}))});
+  sys.nests[1].body = blockS({aassign("A", {iv("i")}, load("C", {iv("i")}))});
+  numberNests(sys);
+  ir::Program seq = generateSequentialProgram(sys);
+  ir::Program broken = generateFusedProgram(sys);
+  EXPECT_FALSE(equivalent(seq, broken, {{"N", 16}}));
+  FixLog log = fixDeps(sys);
+  EXPECT_FALSE(log.tiles.empty());
+  ir::Program fixed = generateFusedProgram(sys);
+  EXPECT_TRUE(equivalent(seq, fixed, {{"N", 16}}));
+}
+
+TEST(FixDeps, RepairsAntiDependenceWithCopying) {
+  // 1-D Jacobi analogue:
+  //   L1: B(i) = A(i-1) + A(i+1), i in 2..N-1
+  //   L2: A(i) = B(i),            i in 2..N-1
+  NestSystem sys = shiftSystem(0);
+  for (auto& nest : sys.nests) {
+    nest.domain = IntegerSet({"i"});
+    nest.domain.addRange("i", C(2), V("N") - C(1));
+  }
+  sys.isBounds = {{C(2), V("N") - C(1)}};
+  sys.nests[0].body = blockS(
+      {aassign("B", {iv("i")}, add(load("A", {sub(iv("i"), ic(1))}),
+                                   load("A", {add(iv("i"), ic(1))})))});
+  sys.nests[1].body = blockS({aassign("A", {iv("i")}, load("B", {iv("i")}))});
+  numberNests(sys);
+
+  ir::Program seq = generateSequentialProgram(sys);
+  ir::Program broken = generateFusedProgram(sys);
+  EXPECT_FALSE(equivalent(seq, broken, {{"N", 16}}));
+
+  FixLog log = fixDeps(sys);
+  ASSERT_EQ(log.copies.size(), 1u);
+  EXPECT_EQ(log.copies[0].array, "A");
+  EXPECT_GE(log.copies[0].copiesInserted, 1u);
+  EXPECT_GE(log.copies[0].readsRedirected, 1u);
+  EXPECT_TRUE(sys.decls.hasArray(log.copies[0].copyArray));
+
+  ir::Program fixed = generateFusedProgram(sys);
+  EXPECT_TRUE(equivalent(seq, fixed, {{"N", 16}}));
+  EXPECT_TRUE(equivalent(seq, fixed, {{"N", 5}}));
+  EXPECT_TRUE(equivalent(seq, fixed, {{"N", 40}, }, 7));
+}
+
+TEST(FixDeps, CopyArraysMergeAcrossReaders) {
+  // Theorem 3/4: two reader nests (both read A(i-1)) followed by a
+  // writer nest A(i) = ... - one shared copy array must be introduced,
+  // not one per reader, and the copy before the shared clobber is
+  // inserted once.
+  NestSystem sys = shiftSystem(0);
+  sys.decls.declareArray("D", {add(iv("N"), ic(8))});
+  for (auto& nest : sys.nests) {
+    nest.domain = IntegerSet({"i"});
+    nest.domain.addRange("i", C(2), V("N"));
+  }
+  sys.isBounds = {{C(2), V("N")}};
+  PerfectNest third = sys.nests[1];
+  sys.nests[0].body = blockS(
+      {aassign("B", {iv("i")}, load("A", {sub(iv("i"), ic(1))}))});
+  sys.nests[1].body = blockS(
+      {aassign("D", {iv("i")}, mul(load("A", {sub(iv("i"), ic(1))}), fc(2.0)))});
+  third.body = blockS({aassign("A", {iv("i")}, load("C", {iv("i")}))});
+  sys.nests.push_back(std::move(third));
+  int id = 0;
+  for (auto& nest : sys.nests)
+    ir::forEachStmt(*nest.body, [&](const Stmt& s) {
+      if (s.kind() == StmtKind::Assign)
+        const_cast<Stmt&>(s).setAssignId(id++);
+    });
+
+  ir::Program seq = generateSequentialProgram(sys);
+  FixLog log = fixDeps(sys);
+  ASSERT_EQ(log.copies.size(), 2u);  // both readers were repaired ...
+  EXPECT_EQ(log.copies[0].copyArray, log.copies[1].copyArray);  // ... via ONE H
+  // Exactly one extra array (the merged H), despite two readers.
+  std::size_t hCount = 0;
+  for (const auto& a : sys.decls.arrays)
+    if (a.name.rfind("H_", 0) == 0) ++hCount;
+  EXPECT_EQ(hCount, 1u);
+
+  ir::Program fixed = generateFusedProgram(sys);
+  EXPECT_TRUE(equivalent(seq, fixed, {{"N", 16}}));
+  EXPECT_TRUE(equivalent(seq, fixed, {{"N", 5}}));
+}
+
+TEST(FixDeps, ScalarFlowRepairedByFullTile) {
+  // L1: s = B(i) (last write wins: s = B(N)); L2: C(i) = s * B(i)?? -
+  // rather: original semantics need s's final value from L1 before L2
+  // starts, so the fused version must run all of L1 first (Full tile).
+  NestSystem sys = shiftSystem(0);
+  sys.decls.declareScalar("s", Type::Float);
+  sys.nests[0].body = blockS(
+      {sassign("s", add(sloadf("s"), load("B", {iv("i")})))});
+  sys.nests[1].body = blockS({aassign("C", {iv("i")}, sloadf("s"))});
+  numberNests(sys);
+  ir::Program seq = generateSequentialProgram(sys);
+  ir::Program broken = generateFusedProgram(sys);
+  EXPECT_FALSE(equivalent(seq, broken, {{"N", 12}}));
+  FixLog log = fixDeps(sys);
+  ASSERT_EQ(log.tiles.size(), 1u);
+  EXPECT_TRUE(log.tiles[0].sizes[0].isFull());
+  ir::Program fixed = generateFusedProgram(sys);
+  EXPECT_TRUE(equivalent(seq, fixed, {{"N", 12}}));
+}
+
+// --- 2-D systems ------------------------------------------------------------
+
+/// L1 (depth 1, pinned at j = lb): row init; L2 (depth 2): uses row.
+/// A(i) accumulated into S(i,j) style kernel exercising pinned dims.
+NestSystem pinnedDimSystem() {
+  NestSystem sys;
+  sys.ctx.addParam("N", 4, 100000);
+  sys.decls.params = {"N"};
+  sys.decls.declareArray("R", {add(iv("N"), ic(2))});
+  sys.decls.declareArray("S", {add(iv("N"), ic(2)), add(iv("N"), ic(2))});
+  sys.decls.body = blockS({});
+  sys.isVars = {"i", "j"};
+  sys.isBounds = {{C(1), V("N")}, {C(1), V("N")}};
+  // L1: R(i) = i-th partial sum seed; embedded at j = 1.
+  PerfectNest l1;
+  l1.vars = {"i"};
+  l1.domain = IntegerSet({"i"});
+  l1.domain.addRange("i", C(1), V("N"));
+  l1.body = blockS({aassign("R", {iv("i")}, fc(0.5))});
+  l1.embed = AffineMap{{V("i"), C(1)}};
+  // L2: S(i,j) = R(i) * j-invariant.
+  PerfectNest l2;
+  l2.vars = {"i", "j"};
+  l2.domain = IntegerSet({"i", "j"});
+  l2.domain.addRange("i", C(1), V("N"));
+  l2.domain.addRange("j", C(1), V("N"));
+  l2.body = blockS({aassign("S", {iv("i"), iv("j")},
+                            mul(load("R", {iv("i")}), fc(2.0)))});
+  l2.embed = AffineMap{{V("i"), V("j")}};
+  sys.nests = {std::move(l1), std::move(l2)};
+  numberNests(sys);
+  return sys;
+}
+
+TEST(Fuse, PinnedDimensionFusionIsLegalAndCorrect) {
+  NestSystem sys = pinnedDimSystem();
+  EXPECT_TRUE(deps::computeW(sys, 0).empty());  // R(i) ready at (i, 1)
+  ir::Program seq = generateSequentialProgram(sys);
+  ir::Program fused = generateFusedProgram(sys);
+  EXPECT_TRUE(equivalent(seq, fused, {{"N", 9}}));
+}
+
+TEST(FixDeps, PinnedDimWithBackwardNeed) {
+  // Make L2 read R(i+1): needed before it is produced at (i+1, 1).
+  NestSystem sys = pinnedDimSystem();
+  sys.nests[1].body = blockS(
+      {aassign("S", {iv("i"), iv("j")},
+               mul(load("R", {imin(add(iv("i"), ic(1)), iv("N"))}), fc(2.0)))});
+  numberNests(sys);
+  // min() is non-affine: the read is treated as may-touch-anything, so
+  // FixDeps must still repair it (conservative path).
+  ir::Program seq = generateSequentialProgram(sys);
+  FixLog log = fixDeps(sys);
+  EXPECT_FALSE(log.tiles.empty());
+  ir::Program fixed = generateFusedProgram(sys);
+  EXPECT_TRUE(equivalent(seq, fixed, {{"N", 9}}));
+}
+
+TEST(FixLog, Format) {
+  NestSystem sys = shiftSystem(1);
+  FixLog log = fixDeps(sys);
+  std::string s = log.str();
+  EXPECT_NE(s.find("tile nest 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fixfuse::core

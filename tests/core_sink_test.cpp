@@ -1,0 +1,220 @@
+// Unit tests for code sinking: discovery of sub-nests, fused-space
+// construction, embeddings/pins, shared-prefix bookkeeping, overrides,
+// and error reporting.
+#include <gtest/gtest.h>
+
+#include "core/fuse.h"
+#include "core/sink.h"
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "ir/rewrite.h"
+#include "support/error.h"
+
+namespace fixfuse::core {
+namespace {
+
+using namespace fixfuse::ir;
+using poly::AffineExpr;
+
+AffineExpr V(const std::string& n) { return AffineExpr::var(n); }
+AffineExpr C(std::int64_t k) { return AffineExpr(k); }
+
+/// do k = 1, N { s-statement; do i = k, N { body } }
+Program simpleImperfect() {
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.declareArray("R", {add(iv("N"), ic(1))});
+  p.body = blockS({loopS(
+      "k", ic(1), iv("N"),
+      {aassign("R", {iv("k")}, fc(0.0)),
+       loopS("i", iv("k"), iv("N"),
+             {aassign("A", {iv("i"), iv("k")}, fc(1.0))})})});
+  p.numberAssignments();
+  return p;
+}
+
+TEST(Sink, DiscoversStatementGroupAndNest) {
+  Program p = simpleImperfect();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  deps::NestSystem sys = codeSink(p, ctx);
+  ASSERT_EQ(sys.nests.size(), 2u);
+  EXPECT_EQ(sys.isVars, (std::vector<std::string>{"k", "i"}));
+  // Nest 0: the statement group, pinned at i = lb = k.
+  EXPECT_EQ(sys.nests[0].vars, (std::vector<std::string>{"k"}));
+  EXPECT_EQ(sys.nests[0].sharedPrefix, 1u);
+  EXPECT_EQ(sys.nests[0].embed.outputs[1], V("k"));  // pin at lb(i) = k
+  // Nest 1: the main nest.
+  EXPECT_EQ(sys.nests[1].vars, (std::vector<std::string>{"k", "i"}));
+  EXPECT_EQ(sys.nests[1].embed.outputs[1], V("i"));
+}
+
+TEST(Sink, FusedBoundsDominanceSelection) {
+  // Two sub-nests with i ranges k..N and k+1..N: the fused lb must be k.
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.body = blockS({loopS(
+      "k", ic(1), iv("N"),
+      {loopS("i", iv("k"), iv("N"),
+             {aassign("A", {iv("i"), iv("k")}, fc(1.0))}),
+       loopS("i", add(iv("k"), ic(1)), iv("N"),
+             {aassign("A", {iv("k"), iv("i")}, fc(2.0))})})});
+  p.numberAssignments();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  deps::NestSystem sys = codeSink(p, ctx);
+  EXPECT_EQ(sys.isBounds[1].first, V("k"));
+  EXPECT_EQ(sys.isBounds[1].second, V("N"));
+}
+
+TEST(Sink, GuardedLoopKeepsGuardInBody) {
+  // if (cond) { do i ... }: the (data-dependent) guard must wrap the
+  // sunk body.
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.declareScalar("t", Type::Float);
+  p.body = blockS({loopS(
+      "k", ic(1), iv("N"),
+      {ifs(gtE(sloadf("t"), fc(0.0)),
+           {loopS("i", iv("k"), iv("N"),
+                  {aassign("A", {iv("i"), iv("k")}, fc(1.0))})}),
+       loopS("j", iv("k"), iv("N"),
+             {loopS("i", iv("k"), iv("N"),
+                    {aassign("A", {iv("i"), iv("j")}, fc(2.0))})})})});
+  p.numberAssignments();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  deps::NestSystem sys = codeSink(p, ctx);
+  ASSERT_EQ(sys.nests.size(), 2u);
+  EXPECT_EQ(sys.nests[0].body->kind(), StmtKind::If);
+}
+
+TEST(Sink, DimOverridesRemapLoopVars) {
+  // Map the first sub-nest's own var i onto fused dim 2 (named q below).
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.body = blockS({loopS(
+      "k", ic(1), iv("N"),
+      {loopS("i", iv("k"), iv("N"),
+             {aassign("A", {iv("i"), iv("k")}, fc(1.0))}),
+       loopS("j", iv("k"), iv("N"),
+             {loopS("q", iv("k"), iv("N"),
+                    {aassign("A", {iv("q"), iv("j")}, fc(2.0))})})})});
+  p.numberAssignments();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  SinkOptions opts;
+  opts.dimOverrides[0] = {{"i", 2}};
+  deps::NestSystem sys = codeSink(p, ctx, opts);
+  EXPECT_EQ(sys.isVars, (std::vector<std::string>{"k", "j", "q"}));
+  // Nest 0's i sits on dim 2; dim 1 is pinned at its lower bound (k).
+  EXPECT_EQ(sys.nests[0].embed.outputs[2], V("i"));
+  EXPECT_EQ(sys.nests[0].embed.outputs[1], V("k"));
+}
+
+TEST(Sink, IsBoundOverridesAreUsedVerbatim) {
+  Program p = simpleImperfect();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  SinkOptions opts;
+  opts.isBoundOverrides[1] = {C(1), V("N")};
+  deps::NestSystem sys = codeSink(p, ctx, opts);
+  EXPECT_EQ(sys.isBounds[1].first, C(1));
+}
+
+TEST(Sink, RecursionHandlesNestedImperfection) {
+  // do i { do j { X=0; do k {...} } }: the j loop is an inner container.
+  Program p;
+  p.params = {"N"};
+  p.declareArray("X", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.body = blockS({loopS(
+      "i", ic(1), iv("N"),
+      {loopS("j", ic(1), iv("N"),
+             {aassign("X", {iv("j"), iv("i")}, fc(0.0)),
+              loopS("k", ic(1), iv("N"),
+                    {aassign("X", {iv("j"), iv("i")},
+                             add(load("X", {iv("j"), iv("i")}),
+                                 load("A", {iv("k"), iv("j")})))})})})});
+  p.numberAssignments();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  deps::NestSystem sys = codeSink(p, ctx);
+  ASSERT_EQ(sys.nests.size(), 2u);
+  EXPECT_EQ(sys.isVars, (std::vector<std::string>{"i", "j", "k"}));
+  EXPECT_EQ(sys.nests[0].vars, (std::vector<std::string>{"i", "j"}));
+  EXPECT_EQ(sys.nests[0].sharedPrefix, 2u);
+  EXPECT_EQ(sys.nests[1].sharedPrefix, 2u);
+}
+
+TEST(Sink, SequencedGroupsSplitAroundLoops) {
+  // stmt; loop; stmt  => three nests in textual order.
+  Program p;
+  p.params = {"N"};
+  p.declareArray("R", {add(iv("N"), ic(1))});
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.body = blockS({loopS(
+      "k", ic(1), iv("N"),
+      {aassign("R", {iv("k")}, fc(0.0)),
+       loopS("i", iv("k"), iv("N"),
+             {aassign("A", {iv("i"), iv("k")}, fc(1.0))}),
+       aassign("R", {iv("k")}, fc(2.0))})});
+  p.numberAssignments();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  deps::NestSystem sys = codeSink(p, ctx);
+  ASSERT_EQ(sys.nests.size(), 3u);
+  EXPECT_TRUE(sys.nests[0].vars.size() == 1 && sys.nests[2].vars.size() == 1);
+}
+
+TEST(Sink, NonAffineBoundsRejected) {
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1))});
+  p.declareScalar("m", Type::Int);
+  p.body = blockS({loopS(
+      "k", ic(1), iv("N"),
+      {sassign("m", iv("k")),
+       loopS("i", sloadi("m"), iv("N"), {aassign("A", {iv("i")}, fc(1.0))})})});
+  p.numberAssignments();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  EXPECT_THROW(codeSink(p, ctx), UnsupportedError);
+}
+
+TEST(Sink, StatementBeforeTopLoopRejected) {
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1))});
+  p.body = blockS({aassign("A", {ic(0)}, fc(1.0)),
+                   loopS("k", ic(1), iv("N"),
+                         {aassign("A", {iv("k")}, fc(2.0))})});
+  p.numberAssignments();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  EXPECT_THROW(codeSink(p, ctx), InternalError);
+}
+
+TEST(Sink, SunkSystemRoundTripsThroughFusion) {
+  // Sinking then fusing a legal imperfect nest reproduces its semantics.
+  Program p = simpleImperfect();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  deps::NestSystem sys = codeSink(p, ctx);
+  ir::Program fused = generateFusedProgram(sys);
+  auto init = [](interp::Machine& m) {
+    for (auto& v : m.array("A").data()) v = -3.0;
+    for (auto& v : m.array("R").data()) v = -3.0;
+  };
+  interp::Machine a = interp::runProgram(p, {{"N", 9}}, init);
+  interp::Machine b = interp::runProgram(fused, {{"N", 9}}, init);
+  EXPECT_EQ(interp::maxArrayDifference(a, b, "A"), 0.0);
+  EXPECT_EQ(interp::maxArrayDifference(a, b, "R"), 0.0);
+}
+
+}  // namespace
+}  // namespace fixfuse::core

@@ -1,0 +1,155 @@
+// Tests for context-aware guard simplification and index-set splitting
+// (loop unswitching at a point).
+#include <gtest/gtest.h>
+
+#include "core/transforms.h"
+#include "interp/interp.h"
+#include "interp/observer.h"
+#include "ir/printer.h"
+#include "ir/rewrite.h"
+#include "kernels/common.h"
+#include "kernels/native.h"
+#include "support/error.h"
+
+namespace fixfuse::core {
+namespace {
+
+using namespace fixfuse::ir;
+using poly::AffineExpr;
+using poly::IntegerSet;
+
+poly::ParamContext ctxN() {
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  return ctx;
+}
+
+std::size_t countIfs(const Stmt& s) {
+  std::size_t n = 0;
+  forEachStmt(s, [&](const Stmt& st) {
+    if (st.kind() == StmtKind::If) ++n;
+  });
+  return n;
+}
+
+TEST(ContextSimplify, DropsProvablyTrueGuard) {
+  // Context i >= 5 makes "i >= 3" vacuous.
+  StmtPtr s = ifs(geE(iv("i"), ic(3)), {sassign("x", fc(1.0))});
+  IntegerSet c(std::vector<std::string>{});
+  c.addGE(AffineExpr::var("i") - AffineExpr(5));
+  StmtPtr r = contextSimplify(*s, c, ctxN());
+  ASSERT_TRUE(r);
+  EXPECT_EQ(countIfs(*r), 0u);
+}
+
+TEST(ContextSimplify, RemovesProvablyFalseBranch) {
+  StmtPtr s = ifelse(leE(iv("i"), ic(2)), {sassign("x", fc(1.0))},
+                     {sassign("y", fc(2.0))});
+  IntegerSet c(std::vector<std::string>{});
+  c.addGE(AffineExpr::var("i") - AffineExpr(5));
+  StmtPtr r = contextSimplify(*s, c, ctxN());
+  ASSERT_TRUE(r);
+  // Only the else branch survives, unguarded.
+  EXPECT_EQ(countIfs(*r), 0u);
+  bool sawY = false;
+  forEachStmt(*r, [&](const Stmt& st) {
+    if (st.kind() == StmtKind::Assign && st.lhs().name == "y") sawY = true;
+  });
+  EXPECT_TRUE(sawY);
+}
+
+TEST(ContextSimplify, KeepsUndecidableGuard) {
+  StmtPtr s = ifs(eqE(iv("i"), iv("j")), {sassign("x", fc(1.0))});
+  IntegerSet c(std::vector<std::string>{});
+  c.addGE(AffineExpr::var("i") - AffineExpr(1));
+  StmtPtr r = contextSimplify(*s, c, ctxN());
+  ASSERT_TRUE(r);
+  EXPECT_EQ(countIfs(*r), 1u);
+}
+
+TEST(ContextSimplify, LoopBoundsEnrichContext) {
+  // for i = 5..N: if (i >= 3) ... - the loop bound proves the guard.
+  StmtPtr s = loopS("i", ic(5), iv("N"),
+                    {ifs(geE(iv("i"), ic(3)), {sassign("x", fc(1.0))})});
+  IntegerSet c(std::vector<std::string>{});
+  StmtPtr r = contextSimplify(*s, c, ctxN());
+  ASSERT_TRUE(r);
+  EXPECT_EQ(countIfs(*r), 0u);
+}
+
+TEST(ContextSimplify, NonAffineGuardUntouched) {
+  StmtPtr s = ifs(gtE(sloadf("t"), fc(0.0)), {sassign("x", fc(1.0))});
+  IntegerSet c(std::vector<std::string>{});
+  StmtPtr r = contextSimplify(*s, c, ctxN());
+  EXPECT_EQ(countIfs(*r), 1u);
+}
+
+TEST(IndexSetSplit, UnswitchesPointGuard) {
+  // for k = 1..N { if (k == j) A[k] = 1 else A[k] = 2 } split at j.
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1))});
+  p.body = blockS({loopS(
+      "j", ic(1), iv("N"),
+      {loopS("k", ic(1), iv("N"),
+             {ifelse(eqE(iv("k"), iv("j")),
+                     {aassign("A", {iv("k")}, fc(1.0))},
+                     {aassign("A", {iv("k")},
+                              add(load("A", {iv("k")}), fc(2.0)))})})})});
+  p.numberAssignments();
+  Program q = indexSetSplit(p, "k", AffineExpr::var("j"), ctxN());
+  // The point guard disappears entirely (the range guard on j remains).
+  std::size_t eqGuards = 0;
+  forEachStmt(*q.body, [&](const Stmt& st) {
+    if (st.kind() == StmtKind::If &&
+        st.cond()->kind() == ExprKind::Compare &&
+        st.cond()->cmpOp() == CmpOp::EQ)
+      ++eqGuards;
+  });
+  EXPECT_EQ(eqGuards, 0u);
+  // Semantics preserved.
+  auto init = [](interp::Machine& m) {
+    for (auto& v : m.array("A").data()) v = 0.5;
+  };
+  interp::Machine a = interp::runProgram(p, {{"N", 9}}, init);
+  interp::Machine b = interp::runProgram(q, {{"N", 9}}, init);
+  EXPECT_EQ(interp::maxArrayDifference(a, b, "A"), 0.0);
+}
+
+TEST(IndexSetSplit, MissingLoopThrows) {
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1))});
+  p.body = blockS({loopS("i", ic(1), iv("N"),
+                         {aassign("A", {iv("i")}, fc(1.0))})});
+  p.numberAssignments();
+  EXPECT_THROW(indexSetSplit(p, "z", AffineExpr(3), ctxN()), InternalError);
+}
+
+TEST(IndexSetSplit, CholeskyTiledBoundaryStep) {
+  // The real use: unswitch the k == j-1 boundary step out of the tiled
+  // Cholesky's inner update loop. Result must be bit-equal and run
+  // fewer dynamic instructions (branch-free update loops).
+  kernels::KernelBundle b = kernels::buildCholesky({4});
+  Program split = indexSetSplit(
+      b.tiled, "k", AffineExpr::var("j") - AffineExpr(1), ctxN());
+
+  std::int64_t n = 13;
+  auto a0 = kernels::native::spdMatrix(n, 3);
+  auto runCount = [&](const ir::Program& p, interp::CountingObserver* obs) {
+    interp::Machine m(p, {{"N", n}});
+    m.array("A").data() = a0;
+    interp::Interpreter it(p, m, obs);
+    it.run();
+    return m.array("A").data();
+  };
+  interp::CountingObserver before, after;
+  auto r1 = runCount(b.tiled, &before);
+  auto r2 = runCount(split, &after);
+  EXPECT_EQ(r1, r2);
+  EXPECT_LT(after.totalInstructions(), before.totalInstructions());
+  EXPECT_LT(after.branches, before.branches);
+}
+
+}  // namespace
+}  // namespace fixfuse::core

@@ -1,0 +1,256 @@
+// Tests for the reference interpreter: arithmetic semantics, loop/guard
+// control flow, machine layout, observer event counts, and a hand-checked
+// mini-kernel (sum / triangular update).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interp/interp.h"
+#include "ir/stmt.h"
+#include "support/error.h"
+
+namespace fixfuse::interp {
+namespace {
+
+using namespace fixfuse::ir;
+
+Program sumProgram() {
+  // s[0] = 0; do i = 1, N: s[0] += B[i]
+  Program p;
+  p.params = {"N"};
+  p.declareArray("B", {add(iv("N"), ic(1))});
+  p.declareArray("S", {ic(1)});
+  p.body = blockS({aassign("S", {ic(0)}, fc(0.0)),
+                   loopS("i", ic(1), iv("N"),
+                         {aassign("S", {ic(0)},
+                                  add(load("S", {ic(0)}),
+                                      load("B", {iv("i")})))})});
+  return p;
+}
+
+TEST(Machine, AllocatesEvaluatedExtents) {
+  Program p = sumProgram();
+  Machine m(p, {{"N", 10}});
+  EXPECT_EQ(m.array("B").elementCount(), 11u);
+  EXPECT_EQ(m.array("S").elementCount(), 1u);
+}
+
+TEST(Machine, MissingParameterThrows) {
+  Program p = sumProgram();
+  EXPECT_THROW(Machine(p, {}), fixfuse::InternalError);
+}
+
+TEST(Machine, ArraysDoNotOverlapAndAreAligned) {
+  Program p = sumProgram();
+  Machine m(p, {{"N", 100}});
+  const auto& b = m.array("B");
+  const auto& s = m.array("S");
+  EXPECT_EQ(b.base() % 64, 0u);
+  EXPECT_EQ(s.base() % 64, 0u);
+  // No overlap in either order.
+  bool disjoint = (b.base() + b.byteSize() <= s.base()) ||
+                  (s.base() + s.byteSize() <= b.base());
+  EXPECT_TRUE(disjoint);
+}
+
+TEST(Machine, ColumnMajorAddressing) {
+  // Fortran order: the FIRST index is contiguous (see machine.cpp).
+  Program p;
+  p.params = {};
+  p.declareArray("A", {ic(3), ic(4)});
+  Machine m(p, {});
+  const auto& a = m.array("A");
+  std::vector<std::int64_t> i00{0, 0}, i01{0, 1}, i10{1, 0};
+  EXPECT_EQ(a.addrOf(i10) - a.addrOf(i00), 8u);
+  EXPECT_EQ(a.addrOf(i01) - a.addrOf(i00), 24u);  // 3 elements per column
+}
+
+TEST(Machine, OutOfBoundsThrows) {
+  Program p;
+  p.declareArray("A", {ic(3)});
+  Machine m(p, {});
+  std::vector<std::int64_t> bad{3};
+  EXPECT_THROW(m.array("A").get(bad), fixfuse::InternalError);
+  std::vector<std::int64_t> neg{-1};
+  EXPECT_THROW(m.array("A").get(neg), fixfuse::InternalError);
+}
+
+TEST(Interp, SumLoop) {
+  Program p = sumProgram();
+  Machine m = runProgram(p, {{"N", 5}}, [](Machine& mm) {
+    for (int i = 1; i <= 5; ++i) {
+      std::vector<std::int64_t> idx{i};
+      mm.array("B").set(idx, static_cast<double>(i));
+    }
+  });
+  std::vector<std::int64_t> z{0};
+  EXPECT_DOUBLE_EQ(m.array("S").get(z), 15.0);
+}
+
+TEST(Interp, ZeroTripLoopBody) {
+  Program p = sumProgram();
+  Machine m = runProgram(p, {{"N", 0}}, nullptr);
+  std::vector<std::int64_t> z{0};
+  EXPECT_DOUBLE_EQ(m.array("S").get(z), 0.0);
+}
+
+TEST(Interp, FloorDivModSemantics) {
+  // A[0] set via: m1 = fdiv(-7, 2) -> -4 ; m2 = mod(-7, 2) -> 1.
+  Program p;
+  p.declareArray("A", {ic(2)});
+  p.declareScalar("q", Type::Int);
+  p.declareScalar("r", Type::Int);
+  p.body = blockS({sassign("q", floordiv(ic(-7), ic(2))),
+                   sassign("r", mod(ic(-7), ic(2)))});
+  Machine m = runProgram(p, {}, nullptr);
+  EXPECT_EQ(m.intScalar("q"), -4);
+  EXPECT_EQ(m.intScalar("r"), 1);
+}
+
+TEST(Interp, MinMax) {
+  Program p;
+  p.declareScalar("a", Type::Int);
+  p.declareScalar("b", Type::Int);
+  p.body = blockS({sassign("a", imin(ic(3), ic(-2))),
+                   sassign("b", imax(ic(3), ic(-2)))});
+  Machine m = runProgram(p, {}, nullptr);
+  EXPECT_EQ(m.intScalar("a"), -2);
+  EXPECT_EQ(m.intScalar("b"), 3);
+}
+
+TEST(Interp, SqrtFabsCalls) {
+  Program p;
+  p.declareScalar("x", Type::Float);
+  p.declareScalar("y", Type::Float);
+  p.body = blockS({sassign("x", sqrtE(fc(9.0))), sassign("y", fabsE(fc(-2.5)))});
+  Machine m = runProgram(p, {}, nullptr);
+  EXPECT_DOUBLE_EQ(m.floatScalar("x"), 3.0);
+  EXPECT_DOUBLE_EQ(m.floatScalar("y"), 2.5);
+}
+
+TEST(Interp, GuardsAndElse) {
+  // do i=1,4 : if i == 2 then A[i] = 1 else A[i] = 2
+  Program p;
+  p.declareArray("A", {ic(5)});
+  p.body = blockS({loopS("i", ic(1), ic(4),
+                         {ifelse(eqE(iv("i"), ic(2)),
+                                 {aassign("A", {iv("i")}, fc(1.0))},
+                                 {aassign("A", {iv("i")}, fc(2.0))})})});
+  Machine m = runProgram(p, {}, nullptr);
+  std::vector<double> expect{0, 2, 1, 2, 2};
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::int64_t> idx{i};
+    EXPECT_DOUBLE_EQ(m.array("A").get(idx), expect[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Interp, DataDependentGuard) {
+  // LU-style pivot search: m = index of max |B[i]|.
+  Program p;
+  p.params = {"N"};
+  p.declareArray("B", {add(iv("N"), ic(1))});
+  p.declareScalar("temp", Type::Float);
+  p.declareScalar("m", Type::Int);
+  p.declareScalar("d", Type::Float);
+  p.body = blockS(
+      {sassign("temp", fc(0.0)), sassign("m", ic(1)),
+       loopS("i", ic(1), iv("N"),
+             {sassign("d", load("B", {iv("i")})),
+              ifs(gtE(fabsE(sloadf("d")), sloadf("temp")),
+                  {sassign("temp", fabsE(sloadf("d"))),
+                   sassign("m", iv("i"))})})});
+  Machine m = runProgram(p, {{"N", 5}}, [](Machine& mm) {
+    double vals[] = {0, 1.0, -7.0, 3.0, 6.9, 2.0};
+    for (int i = 1; i <= 5; ++i) {
+      std::vector<std::int64_t> idx{i};
+      mm.array("B").set(idx, vals[i]);
+    }
+  });
+  EXPECT_EQ(m.intScalar("m"), 2);
+  EXPECT_DOUBLE_EQ(m.floatScalar("temp"), 7.0);
+}
+
+TEST(Interp, NestedLoopsTriangular) {
+  // A[i][j] = i*10 + j over j <= i, 1..3
+  Program p;
+  p.declareArray("A", {ic(4), ic(4)});
+  p.body = blockS({loopS(
+      "i", ic(1), ic(3),
+      {loopS("j", ic(1), iv("i"),
+             {aassign("A", {iv("i"), iv("j")},
+                      // use float constant arithmetic via int-to-float trick:
+                      // store loop-dependent value by repeated adds is
+                      // overkill; just store 1.0 and count writes below.
+                      fc(1.0))})})});
+  CountingObserver obs;
+  Machine m(p, {});
+  Interpreter interp(p, m, &obs);
+  interp.run();
+  EXPECT_EQ(obs.stores, 6u);  // 1 + 2 + 3
+}
+
+TEST(Interp, ObserverCountsForSum) {
+  Program p = sumProgram();
+  CountingObserver obs;
+  Machine m(p, {{"N", 4}});
+  Interpreter interp(p, m, &obs);
+  interp.run();
+  // Stores: 1 init + 4 accumulate. Loads: per iteration S and B = 8.
+  EXPECT_EQ(obs.stores, 5u);
+  EXPECT_EQ(obs.loads, 8u);
+  EXPECT_EQ(obs.flops, 4u);  // one add per iteration
+  // Loop: 4 taken + 1 exit branch.
+  EXPECT_EQ(obs.branches, 5u);
+}
+
+TEST(Interp, BranchSitesAreStable) {
+  Program p;
+  p.declareArray("A", {ic(4)});
+  p.body = blockS({loopS("i", ic(1), ic(3),
+                         {ifs(eqE(iv("i"), ic(2)),
+                              {aassign("A", {iv("i")}, fc(1.0))})})});
+  struct SiteObserver : Observer {
+    std::map<int, int> counts;
+    void onBranch(int site, bool) override { ++counts[site]; }
+  } obs;
+  Machine m(p, {});
+  Interpreter interp(p, m, &obs);
+  interp.run();
+  // Two sites: the loop (3 taken + 1 exit = 4) and the if (3).
+  ASSERT_EQ(obs.counts.size(), 2u);
+  std::vector<int> v;
+  for (auto& [site, n] : obs.counts) v.push_back(n);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{3, 4}));
+}
+
+TEST(Interp, RunProgramComparesStates) {
+  Program p = sumProgram();
+  auto init = [](Machine& mm) {
+    for (int i = 1; i <= 5; ++i) {
+      std::vector<std::int64_t> idx{i};
+      mm.array("B").set(idx, 1.5 * i);
+    }
+  };
+  Machine a = runProgram(p, {{"N", 5}}, init);
+  Machine b = runProgram(p, {{"N", 5}}, init);
+  EXPECT_EQ(maxArrayDifference(a, b, "S"), 0.0);
+  std::string which;
+  EXPECT_TRUE(statesMatch(p, a, p, b, 0.0, &which));
+}
+
+TEST(Interp, StatesMatchDetectsDifference) {
+  Program p = sumProgram();
+  Machine a = runProgram(p, {{"N", 5}}, [](Machine& mm) {
+    std::vector<std::int64_t> idx{1};
+    mm.array("B").set(idx, 1.0);
+  });
+  Machine b = runProgram(p, {{"N", 5}}, nullptr);
+  std::string which;
+  EXPECT_FALSE(statesMatch(p, a, p, b, 1e-12, &which));
+  // S differs (B differs too; either may be reported first).
+  EXPECT_FALSE(which.empty());
+}
+
+}  // namespace
+}  // namespace fixfuse::interp

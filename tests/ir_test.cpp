@@ -1,0 +1,353 @@
+// Unit tests for the loop-nest IR: expression/statement construction and
+// typing rules, cloning, affine bridge, rewriting, simplification,
+// printing and validation.
+#include <gtest/gtest.h>
+
+#include "ir/affine_bridge.h"
+#include "ir/printer.h"
+#include "ir/rewrite.h"
+#include "ir/stmt.h"
+#include "ir/validate.h"
+#include "support/error.h"
+
+namespace fixfuse::ir {
+namespace {
+
+TEST(Expr, TypesAreInferred) {
+  EXPECT_EQ(ic(3)->type(), Type::Int);
+  EXPECT_EQ(fc(1.5)->type(), Type::Float);
+  EXPECT_EQ(iv("i")->type(), Type::Int);
+  EXPECT_EQ(load("A", {iv("i")})->type(), Type::Float);
+  EXPECT_EQ(eqE(iv("i"), ic(0))->type(), Type::Bool);
+  EXPECT_EQ(sqrtE(fc(2.0))->type(), Type::Float);
+}
+
+TEST(Expr, TypeMismatchThrows) {
+  EXPECT_THROW(add(ic(1), fc(1.0)), InternalError);
+  EXPECT_THROW(fdiv(ic(1), ic(2)), InternalError);   // Div is Float-only
+  EXPECT_THROW(mod(fc(1.0), fc(2.0)), InternalError);
+  EXPECT_THROW(sqrtE(ic(4)), InternalError);
+  EXPECT_THROW(andE(eqE(ic(0), ic(0)), ic(1)), InternalError);
+  EXPECT_THROW(load("A", {fc(1.0)}), InternalError);
+}
+
+TEST(Expr, AccessorsCheckKind) {
+  ExprPtr e = ic(5);
+  EXPECT_EQ(e->intValue(), 5);
+  EXPECT_THROW(e->floatValue(), InternalError);
+  EXPECT_THROW(e->lhs(), InternalError);
+  EXPECT_THROW(e->indices(), InternalError);
+}
+
+TEST(Expr, Str) {
+  ExprPtr e = sub(mul(ic(2), iv("i")), iv("j"));
+  EXPECT_EQ(e->str(), "((2 * i) - j)");
+  EXPECT_EQ(load("A", {iv("i"), add(iv("j"), ic(1))})->str(), "A[i][(j + 1)]");
+  EXPECT_EQ(mod(iv("i"), ic(4))->str(), "mod(i, 4)");
+  EXPECT_EQ(notE(eqE(iv("i"), ic(0)))->str(), "!((i == 0))");
+}
+
+TEST(Stmt, AssignAndAccessors) {
+  StmtPtr s = aassign("A", {iv("i")}, fc(0.0));
+  EXPECT_EQ(s->kind(), StmtKind::Assign);
+  EXPECT_EQ(s->lhs().name, "A");
+  EXPECT_FALSE(s->lhs().isScalar());
+  EXPECT_THROW(s->cond(), InternalError);
+  StmtPtr t = sassign("temp", fc(0.0));
+  EXPECT_TRUE(t->lhs().isScalar());
+}
+
+TEST(Stmt, LoopRejectsBadBounds) {
+  EXPECT_THROW(Stmt::loop("i", fc(0.0), ic(5), blockS({})), InternalError);
+  EXPECT_THROW(ifs(ic(1), {}), InternalError);  // non-Bool condition
+}
+
+TEST(Stmt, CloneIsDeepAndPreservesAssignIds) {
+  StmtPtr body = loopS("i", ic(1), iv("N"),
+                       {aassign("A", {iv("i")}, fc(1.0)),
+                        ifs(gtE(iv("i"), ic(2)),
+                            {aassign("A", {iv("i")}, fc(2.0))})});
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1))});
+  p.body = blockS({});
+  p.body->stmtsMutable().push_back(std::move(body));
+  p.numberAssignments();
+  Program q = p;  // copy = deep clone
+  // Mutating the copy must not affect the original.
+  int idsP = 0, idsQ = 0;
+  forEachStmt(*p.body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::Assign) idsP += s.assignId();
+  });
+  forEachStmt(*q.body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::Assign) idsQ += s.assignId();
+  });
+  EXPECT_EQ(idsP, idsQ);
+  EXPECT_EQ(idsP, 0 + 1);
+}
+
+TEST(Program, NumberAssignmentsIsTextualOrder) {
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1))});
+  p.body = blockS({aassign("A", {ic(0)}, fc(0.0)),
+                   loopS("i", ic(1), iv("N"),
+                         {aassign("A", {iv("i")}, fc(1.0)),
+                          aassign("A", {iv("i")}, fc(2.0))})});
+  EXPECT_EQ(p.numberAssignments(), 3);
+  std::vector<int> ids;
+  forEachStmt(*p.body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::Assign) ids.push_back(s.assignId());
+  });
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Program, DeclareRejectsDuplicates) {
+  Program p;
+  p.declareArray("A", {ic(4)});
+  EXPECT_THROW(p.declareArray("A", {ic(4)}), InternalError);
+  EXPECT_THROW(p.declareScalar("A", Type::Float), InternalError);
+}
+
+// --- affine bridge ----------------------------------------------------------
+
+TEST(AffineBridge, ToAffineHandlesAffine) {
+  ExprPtr e = add(sub(mul(ic(2), iv("i")), iv("j")), ic(7));
+  auto a = toAffine(*e);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->coeff("i"), 2);
+  EXPECT_EQ(a->coeff("j"), -1);
+  EXPECT_EQ(a->constant(), 7);
+}
+
+TEST(AffineBridge, ToAffineRejectsNonAffine) {
+  EXPECT_FALSE(toAffine(*mul(iv("i"), iv("j"))));
+  EXPECT_FALSE(toAffine(*mod(iv("i"), ic(4))));
+  EXPECT_FALSE(toAffine(*floordiv(iv("i"), ic(4))));
+  EXPECT_FALSE(toAffine(*sloadi("m")));  // data-dependent scalar
+}
+
+TEST(AffineBridge, FromAffineRoundTrips) {
+  poly::AffineExpr a = poly::AffineExpr::term(3, "i") -
+                       poly::AffineExpr::var("j") + poly::AffineExpr(5);
+  ExprPtr e = fromAffine(a);
+  auto back = toAffine(*e);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, a);
+  EXPECT_EQ(*toAffine(*fromAffine(poly::AffineExpr(0))), poly::AffineExpr(0));
+}
+
+TEST(AffineBridge, CondToPiecesConjunction) {
+  // (i == k) && (j >= k+1)
+  ExprPtr c = andE(eqE(iv("i"), iv("k")), geE(iv("j"), add(iv("k"), ic(1))));
+  auto ps = condToPieces(*c);
+  ASSERT_TRUE(ps);
+  ASSERT_EQ(ps->size(), 1u);
+  EXPECT_EQ((*ps)[0].size(), 2u);
+}
+
+TEST(AffineBridge, CondToPiecesNeSplits) {
+  auto ps = condToPieces(*neE(iv("i"), iv("j")));
+  ASSERT_TRUE(ps);
+  EXPECT_EQ(ps->size(), 2u);
+}
+
+TEST(AffineBridge, CondToPiecesDisjunctionAndNot) {
+  ExprPtr c = orE(ltE(iv("i"), ic(2)), notE(leE(iv("j"), ic(5))));
+  auto ps = condToPieces(*c);
+  ASSERT_TRUE(ps);
+  EXPECT_EQ(ps->size(), 2u);
+  // Piece 2 is j > 5, i.e. j - 6 >= 0.
+  EXPECT_EQ((*ps)[1][0].expr.coeff("j"), 1);
+  EXPECT_EQ((*ps)[1][0].expr.constant(), -6);
+}
+
+TEST(AffineBridge, CondToPiecesRejectsDataDependent) {
+  // abs(d) > temp is the LU pivot guard: not affine.
+  ExprPtr c = gtE(fabsE(sloadf("d")), sloadf("temp"));
+  EXPECT_FALSE(condToPieces(*c));
+}
+
+TEST(AffineBridge, PiecesToCondEvaluatesCorrectly) {
+  // i == j or i > j+2 over a grid, via DNF -> Expr -> brute check.
+  ExprPtr c = orE(eqE(iv("i"), iv("j")), gtE(iv("i"), add(iv("j"), ic(2))));
+  auto ps = condToPieces(*c);
+  ASSERT_TRUE(ps);
+  ExprPtr rebuilt = piecesToCond(*ps);
+  // The rebuilt condition must be semantically identical: check by
+  // substituting constants and folding.
+  for (std::int64_t i = -3; i <= 3; ++i)
+    for (std::int64_t j = -3; j <= 3; ++j) {
+      std::map<std::string, ExprPtr> bind{{"i", ic(i)}, {"j", ic(j)}};
+      bool vOrig = false, vNew = false;
+      ASSERT_TRUE(foldsToBool(simplify(substituteVars(c, bind)), vOrig));
+      ASSERT_TRUE(foldsToBool(simplify(substituteVars(rebuilt, bind)), vNew));
+      EXPECT_EQ(vOrig, vNew) << i << "," << j;
+    }
+}
+
+// --- rewrite / simplify -----------------------------------------------------
+
+TEST(Rewrite, SubstituteVarSharesUntouchedSubtrees) {
+  ExprPtr body = add(iv("i"), iv("j"));
+  ExprPtr other = load("A", {iv("k")});
+  ExprPtr whole = mul(body, ic(2));
+  ExprPtr r = substituteVar(whole, "z", ic(1));  // no-op
+  EXPECT_EQ(r, whole);
+  ExprPtr r2 = substituteVar(whole, "i", ic(1));
+  EXPECT_NE(r2, whole);
+  (void)other;
+}
+
+TEST(Rewrite, SubstituteIsSimultaneous) {
+  // {i -> j, j -> i} swaps, it must not chain.
+  ExprPtr e = sub(iv("i"), iv("j"));
+  ExprPtr r = substituteVars(e, {{"i", iv("j")}, {"j", iv("i")}});
+  auto a = toAffine(*r);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->coeff("j"), 1);
+  EXPECT_EQ(a->coeff("i"), -1);
+}
+
+TEST(Rewrite, LoopVarShadowsSubstitution) {
+  // substituting i must not touch the bound occurrence inside `do i`.
+  StmtPtr s = loopS("i", ic(1), iv("M"), {aassign("A", {iv("i")}, fc(1.0))});
+  StmtPtr r = substituteVarsStmt(*s, {{"i", ic(42)}, {"M", ic(3)}});
+  // Bounds substituted, body untouched w.r.t. i.
+  EXPECT_EQ(r->upperBound()->intValue(), 3);
+  const Stmt& inner = *r->loopBody()->stmts()[0];
+  EXPECT_EQ(inner.lhs().indices[0]->kind(), ExprKind::VarRef);
+  EXPECT_EQ(inner.lhs().indices[0]->name(), "i");
+}
+
+TEST(Rewrite, SimplifyFoldsAffine) {
+  ExprPtr e = add(sub(iv("i"), iv("i")), ic(3));
+  ExprPtr s = simplify(e);
+  EXPECT_EQ(s->kind(), ExprKind::IntConst);
+  EXPECT_EQ(s->intValue(), 3);
+}
+
+TEST(Rewrite, SimplifyFoldsDivMod) {
+  EXPECT_EQ(simplify(floordiv(ic(7), ic(2)))->intValue(), 3);
+  EXPECT_EQ(simplify(mod(ic(-7), ic(3)))->intValue(), 2);
+  EXPECT_EQ(simplify(mod(iv("i"), ic(1)))->intValue(), 0);
+  // fdiv by 1 is identity.
+  ExprPtr d = simplify(floordiv(iv("i"), ic(1)));
+  EXPECT_EQ(d->kind(), ExprKind::VarRef);
+}
+
+TEST(Rewrite, SimplifyFoldsBools) {
+  bool v = false;
+  EXPECT_TRUE(foldsToBool(simplify(ltE(ic(1), ic(2))), v));
+  EXPECT_TRUE(v);
+  ExprPtr e = andE(geE(ic(5), ic(5)), eqE(iv("i"), ic(0)));
+  ExprPtr s = simplify(e);
+  // true && X -> X
+  EXPECT_EQ(s->kind(), ExprKind::Compare);
+  EXPECT_EQ(s->lhs()->name(), "i");
+}
+
+TEST(Rewrite, SimplifyStmtPrunesDeadIf) {
+  StmtPtr s = blockS({ifs(ltE(ic(2), ic(1)), {sassign("x", fc(1.0))}),
+                      sassign("y", fc(2.0))});
+  StmtPtr r = simplifyStmt(*s);
+  ASSERT_TRUE(r);
+  ASSERT_EQ(r->kind(), StmtKind::Block);
+  EXPECT_EQ(r->stmts().size(), 1u);
+  EXPECT_EQ(r->stmts()[0]->lhs().name, "y");
+}
+
+TEST(Rewrite, SimplifyStmtKeepsElseWhenThenDies) {
+  StmtPtr s = Stmt::ifThenElse(eqE(iv("i"), ic(0)),
+                               blockS({}),  // empty then
+                               blockS({sassign("y", fc(1.0))}));
+  StmtPtr r = simplifyStmt(*s);
+  ASSERT_TRUE(r);
+  ASSERT_EQ(r->kind(), StmtKind::If);
+  // Condition must be negated, body is the old else branch.
+  EXPECT_EQ(r->thenBody()->stmts()[0]->lhs().name, "y");
+}
+
+TEST(Rewrite, ForEachExprVisitsEverything) {
+  StmtPtr s = loopS("i", ic(1), iv("N"),
+                    {aassign("A", {iv("i")}, load("B", {sub(iv("i"), ic(1))}))});
+  int varRefs = 0;
+  forEachExpr(*s, [&](const Expr& e) {
+    if (e.kind() == ExprKind::VarRef) ++varRefs;
+  });
+  EXPECT_EQ(varRefs, 3);  // N, i (lhs index), i (load index)
+}
+
+// --- printer / validate -----------------------------------------------------
+
+TEST(Printer, ProgramRendering) {
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1))});
+  p.declareScalar("temp", Type::Float);
+  p.body = blockS({loopS("i", ic(1), iv("N"),
+                         {aassign("A", {iv("i")}, fc(0.0))})});
+  std::string s = printProgram(p);
+  EXPECT_NE(s.find("program(N)"), std::string::npos);
+  EXPECT_NE(s.find("double A[(N + 1)]"), std::string::npos);
+  EXPECT_NE(s.find("for i = 1 .. N"), std::string::npos);
+  EXPECT_NE(s.find("A[i] = 0;"), std::string::npos);
+}
+
+Program validProgram() {
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(1)), add(iv("N"), ic(1))});
+  p.declareScalar("temp", Type::Float);
+  p.declareScalar("m", Type::Int);
+  p.body = blockS({loopS(
+      "i", ic(1), iv("N"),
+      {aassign("A", {iv("i"), iv("i")}, fc(1.0)), sassign("m", iv("i"))})});
+  return p;
+}
+
+TEST(Validate, AcceptsWellFormed) {
+  Program p = validProgram();
+  EXPECT_NO_THROW(validate(p));
+}
+
+TEST(Validate, RejectsUnboundVariable) {
+  Program p = validProgram();
+  p.body->stmtsMutable().push_back(aassign("A", {iv("q"), ic(0)}, fc(0.0)));
+  EXPECT_THROW(validate(p), InternalError);
+}
+
+TEST(Validate, RejectsUndeclaredArray) {
+  Program p = validProgram();
+  p.body->stmtsMutable().push_back(aassign("B", {ic(0), ic(0)}, fc(0.0)));
+  EXPECT_THROW(validate(p), InternalError);
+}
+
+TEST(Validate, RejectsRankMismatch) {
+  Program p = validProgram();
+  p.body->stmtsMutable().push_back(aassign("A", {ic(0)}, fc(0.0)));
+  EXPECT_THROW(validate(p), InternalError);
+}
+
+TEST(Validate, RejectsScalarTypeMismatch) {
+  Program p = validProgram();
+  p.body->stmtsMutable().push_back(sassign("m", fc(0.0)));
+  EXPECT_THROW(validate(p), InternalError);
+}
+
+TEST(Validate, RejectsLoopVarShadowingParam) {
+  Program p = validProgram();
+  p.body->stmtsMutable().push_back(
+      loopS("N", ic(1), ic(2), {sassign("temp", fc(0.0))}));
+  EXPECT_THROW(validate(p), InternalError);
+}
+
+TEST(Validate, RejectsNestedShadowing) {
+  Program p = validProgram();
+  p.body->stmtsMutable().push_back(loopS(
+      "k", ic(1), ic(2), {loopS("k", ic(1), ic(2), {sassign("temp", fc(0.0))})}));
+  EXPECT_THROW(validate(p), InternalError);
+}
+
+}  // namespace
+}  // namespace fixfuse::ir

@@ -1,0 +1,107 @@
+// Parameterised end-to-end sweeps: every kernel, several locality tile
+// sizes and problem sizes, all three program versions checked
+// bit-for-bit against their baselines, plus native/IR cross-checks at
+// each tile. This is the broad-coverage counterpart of kernels_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "interp/interp.h"
+#include "kernels/common.h"
+#include "kernels/native.h"
+
+namespace fixfuse::kernels {
+namespace {
+
+struct Case {
+  std::string kernel;
+  std::int64_t tile;
+};
+
+/// Bit-pattern equality: the simplified QR of Fig. 1b can produce NaN on
+/// unlucky inputs (it divides by a computed diagonal); identical programs
+/// then produce identical NaN bit patterns, which operator== rejects.
+::testing::AssertionResult bitEqual(const native::Matrix& a,
+                                    const native::Matrix& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0)
+    return ::testing::AssertionFailure() << "bit patterns differ";
+  return ::testing::AssertionSuccess();
+}
+
+class KernelSweep : public ::testing::TestWithParam<Case> {
+ protected:
+  static native::Matrix initFor(const std::string& kernel, std::int64_t n,
+                                std::uint64_t seed) {
+    return kernel == "cholesky" ? native::spdMatrix(n, seed)
+                                : native::randomMatrix(n, seed, 0.5, 1.5);
+  }
+
+  static native::Matrix runIr(const ir::Program& p,
+                              const std::map<std::string, std::int64_t>& params,
+                              const native::Matrix& a0) {
+    interp::Machine m(p, params);
+    m.array("A").data() = a0;
+    interp::Interpreter it(p, m, nullptr);
+    it.run();
+    return m.array("A").data();
+  }
+};
+
+TEST_P(KernelSweep, AllVersionsBitExact) {
+  const Case& c = GetParam();
+  KernelBundle b = buildKernel(c.kernel, {c.tile});
+  for (std::int64_t n : {5, 8, 13}) {
+    std::map<std::string, std::int64_t> params{{"N", n}};
+    if (c.kernel == "jacobi") params["M"] = 4;
+    native::Matrix a0 = initFor(c.kernel, n, 100 + static_cast<std::uint64_t>(n));
+    native::Matrix seq = runIr(b.seq, params, a0);
+    EXPECT_TRUE(bitEqual(runIr(b.fixed, params, a0), seq))
+        << c.kernel << " N=" << n;
+    EXPECT_TRUE(bitEqual(runIr(b.fixedOpt, params, a0), seq))
+        << c.kernel << " N=" << n;
+    native::Matrix base = runIr(b.tiledBaseline, params, a0);
+    EXPECT_TRUE(bitEqual(runIr(b.tiled, params, a0), base))
+        << c.kernel << " N=" << n << " tile=" << c.tile;
+  }
+}
+
+TEST_P(KernelSweep, NativeTiledMatchesIrTiled) {
+  const Case& c = GetParam();
+  KernelBundle b = buildKernel(c.kernel, {c.tile});
+  std::int64_t n = 12;
+  std::map<std::string, std::int64_t> params{{"N", n}};
+  std::int64_t m = 4;
+  if (c.kernel == "jacobi") params["M"] = m;
+  native::Matrix a0 = initFor(c.kernel, n, 9);
+  native::Matrix ir = runIr(b.tiled, params, a0);
+
+  native::Matrix nat = a0;
+  if (c.kernel == "lu") {
+    native::luTiled(nat.data(), n, c.tile);
+  } else if (c.kernel == "cholesky") {
+    native::cholTiled(nat.data(), n, c.tile);
+  } else if (c.kernel == "qr") {
+    native::Matrix x(native::matrixSize(n), 0.0);
+    native::qrTiled(nat.data(), x.data(), n, c.tile);
+  } else {
+    native::Matrix h(native::matrixSize(n), 0.0);
+    native::jacobiTiled(nat.data(), h.data(), n, m, c.tile);
+  }
+  EXPECT_TRUE(bitEqual(ir, nat)) << c.kernel << " tile=" << c.tile;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsTiles, KernelSweep,
+    ::testing::Values(Case{"lu", 2}, Case{"lu", 4}, Case{"lu", 7},
+                      Case{"cholesky", 2}, Case{"cholesky", 4},
+                      Case{"cholesky", 7}, Case{"qr", 2}, Case{"qr", 4},
+                      Case{"qr", 7}, Case{"jacobi", 2}, Case{"jacobi", 4},
+                      Case{"jacobi", 7}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.kernel + "_t" + std::to_string(info.param.tile);
+    });
+
+}  // namespace
+}  // namespace fixfuse::kernels

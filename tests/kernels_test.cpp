@@ -1,0 +1,422 @@
+// The centrepiece correctness validation: for each of the paper's four
+// kernels,
+//   * the FixDeps pipeline output (fixed) and the locality-tiled version
+//     reproduce the Fig. 1 sequential semantics bit-for-bit,
+//   * the unfixed fusion (Fig. 3) is demonstrably wrong where the paper
+//     says it is (LU, QR, Jacobi) and legal for Cholesky,
+//   * the native C++ implementations agree exactly with the IR versions,
+//   * mathematical residuals hold (P*A = L*U, L*L^T = A, Jacobi vs a
+//     reference stencil).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "kernels/common.h"
+#include "kernels/native.h"
+#include "support/rng.h"
+
+namespace fixfuse::kernels {
+namespace {
+
+using interp::Machine;
+
+native::Matrix getMatrix(const Machine& m, const std::string& name) {
+  return m.array(name).data();
+}
+
+double maxDiff(const native::Matrix& a, const native::Matrix& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    d = std::max(d, std::fabs(a[i] - b[i]));
+  return d;
+}
+
+/// Interpret `p` with array "A" (and optionally others) initialised from
+/// the given matrices; returns the final "A".
+native::Matrix runIr(const ir::Program& p,
+                     const std::map<std::string, std::int64_t>& params,
+                     const std::map<std::string, native::Matrix>& init) {
+  Machine m(p, params);
+  for (const auto& [name, mat] : init) {
+    if (!m.hasArray(name)) continue;
+    m.array(name).data() = mat;
+  }
+  interp::Interpreter interp(p, m, nullptr);
+  interp.run();
+  return getMatrix(m, "A");
+}
+
+// ---------------------------------------------------------------------------
+// LU
+// ---------------------------------------------------------------------------
+
+class LuTest : public ::testing::Test {
+ protected:
+  static KernelBundle& bundle() {
+    static KernelBundle b = buildLu({/*tile=*/3});
+    return b;
+  }
+};
+
+TEST_F(LuTest, FixLogMatchesPaper) {
+  // Only the pivot-search nest is tiled, with a Full tile on the fused i
+  // dimension ("tile size N").
+  const auto& log = bundle().fixLog;
+  ASSERT_EQ(log.tiles.size(), 1u);
+  EXPECT_EQ(log.tiles[0].nest, 1u);
+  EXPECT_TRUE(log.tiles[0].sizes[0].isUnit());
+  EXPECT_TRUE(log.tiles[0].sizes[1].isUnit());
+  EXPECT_TRUE(log.tiles[0].sizes[2].isFull());
+  EXPECT_TRUE(log.copies.empty());
+}
+
+TEST_F(LuTest, FixedMatchesSeqExactly) {
+  for (std::int64_t n : {4, 7, 11}) {
+    native::Matrix a0 = native::randomMatrix(n, 42 + static_cast<std::uint64_t>(n));
+    native::Matrix seq = runIr(bundle().seq, {{"N", n}}, {{"A", a0}});
+    native::Matrix fixed = runIr(bundle().fixed, {{"N", n}}, {{"A", a0}});
+    EXPECT_EQ(maxDiff(seq, fixed), 0.0) << "N=" << n;
+  }
+}
+
+TEST_F(LuTest, TiledMatchesFullSwapBaselineExactly) {
+  // The tiled (blocked, full-row-swap) LU matches its full-swap baseline
+  // bit for bit; it matches Fig. 1a in the U factor (row >= pivot parts
+  // travel identically) but not in the L columns, by design.
+  for (std::int64_t n : {4, 7, 11, 16}) {
+    native::Matrix a0 = native::randomMatrix(n, 43 + static_cast<std::uint64_t>(n));
+    native::Matrix base = runIr(bundle().tiledBaseline, {{"N", n}}, {{"A", a0}});
+    native::Matrix tiled = runIr(bundle().tiled, {{"N", n}}, {{"A", a0}});
+    EXPECT_EQ(maxDiff(base, tiled), 0.0) << "N=" << n;
+  }
+}
+
+TEST_F(LuTest, FullSwapSharesUFactorWithFig1) {
+  std::int64_t n = 9;
+  native::Matrix a0 = native::randomMatrix(n, 4);
+  native::Matrix partial = a0, full = a0;
+  native::luSeq(partial.data(), n);
+  native::luSeqFull(full.data(), n);
+  const std::int64_t lda = n + 1;
+  for (std::int64_t i = 1; i <= n; ++i)
+    for (std::int64_t j = i; j <= n; ++j)  // upper triangle = U
+      EXPECT_EQ(partial[static_cast<std::size_t>(j * lda + i)],
+                full[static_cast<std::size_t>(j * lda + i)])
+          << i << "," << j;
+}
+
+TEST_F(LuTest, UnfixedFusionIsWrong) {
+  std::int64_t n = 8;
+  native::Matrix a0 = native::randomMatrix(n, 5);
+  native::Matrix seq = runIr(bundle().seq, {{"N", n}}, {{"A", a0}});
+  native::Matrix fused = runIr(bundle().fused, {{"N", n}}, {{"A", a0}});
+  EXPECT_GT(maxDiff(seq, fused), 0.0);
+}
+
+TEST_F(LuTest, NativeSeqMatchesIr) {
+  std::int64_t n = 9;
+  native::Matrix a0 = native::randomMatrix(n, 77);
+  native::Matrix ir = runIr(bundle().seq, {{"N", n}}, {{"A", a0}});
+  native::Matrix nat = a0;
+  native::luSeq(nat.data(), n);
+  EXPECT_EQ(maxDiff(ir, nat), 0.0);
+}
+
+TEST_F(LuTest, NativeTiledMatchesFullSwapSeqForManyTiles) {
+  std::int64_t n = 13;
+  native::Matrix a0 = native::randomMatrix(n, 3);
+  native::Matrix ref = a0;
+  native::luSeqFull(ref.data(), n);
+  for (std::int64_t t : {1, 2, 3, 5, 8, 16}) {
+    native::Matrix m = a0;
+    native::luTiled(m.data(), n, t);
+    EXPECT_EQ(maxDiff(ref, m), 0.0) << "tile " << t;
+  }
+}
+
+TEST_F(LuTest, NativeFullSwapMatchesIrBaseline) {
+  std::int64_t n = 9;
+  native::Matrix a0 = native::randomMatrix(n, 87);
+  native::Matrix ir = runIr(bundle().tiledBaseline, {{"N", n}}, {{"A", a0}});
+  native::Matrix nat = a0;
+  native::luSeqFull(nat.data(), n);
+  EXPECT_EQ(maxDiff(ir, nat), 0.0);
+  native::Matrix tiledIr = runIr(bundle().tiled, {{"N", n}}, {{"A", a0}});
+  native::Matrix tiledNat = a0;
+  native::luTiled(tiledNat.data(), n, 3);  // the bundle's tile is 3
+  EXPECT_EQ(maxDiff(tiledIr, tiledNat), 0.0);
+}
+
+TEST_F(LuTest, FactorisationSolvesLinearSystems) {
+  for (std::int64_t n : {6, 12, 20}) {
+    native::Matrix a0 = native::randomMatrix(n, 11 + static_cast<std::uint64_t>(n));
+    const std::int64_t lda = n + 1;
+    // b = A0 * xhat with xhat[i] = i.
+    std::vector<double> b(static_cast<std::size_t>(n + 1), 0.0);
+    for (std::int64_t i = 1; i <= n; ++i)
+      for (std::int64_t j = 1; j <= n; ++j)
+        b[static_cast<std::size_t>(i)] +=
+            a0[static_cast<std::size_t>(j * lda + i)] * static_cast<double>(j);
+    native::Matrix lu = a0;
+    std::vector<std::int64_t> piv(static_cast<std::size_t>(n + 1), 0);
+    native::luSeqWithPivots(lu.data(), n, piv.data());
+    auto x = native::luSolve(lu.data(), piv.data(), b, n);
+    double worst = 0.0;
+    for (std::int64_t i = 1; i <= n; ++i)
+      worst = std::max(worst,
+                       std::fabs(x[static_cast<std::size_t>(i)] -
+                                 static_cast<double>(i)));
+    EXPECT_LT(worst, 1e-8) << "N=" << n;
+  }
+}
+
+TEST_F(LuTest, PivotingActuallyPivotsSomewhere) {
+  std::int64_t n = 12;
+  native::Matrix a0 = native::randomMatrix(n, 19);
+  native::Matrix lu = a0;
+  std::vector<std::int64_t> piv(static_cast<std::size_t>(n + 1), 0);
+  native::luSeqWithPivots(lu.data(), n, piv.data());
+  bool swapped = false;
+  for (std::int64_t k = 1; k <= n; ++k) swapped |= piv[static_cast<std::size_t>(k)] != k;
+  EXPECT_TRUE(swapped);
+}
+
+// ---------------------------------------------------------------------------
+// Cholesky
+// ---------------------------------------------------------------------------
+
+class CholeskyTest : public ::testing::Test {
+ protected:
+  static KernelBundle& bundle() {
+    static KernelBundle b = buildCholesky({/*tile=*/4});
+    return b;
+  }
+};
+
+TEST_F(CholeskyTest, FusionIsAlreadyLegal) {
+  // The paper: "The fused program for Cholesky is already legal."
+  EXPECT_TRUE(bundle().fixLog.tiles.empty());
+  EXPECT_TRUE(bundle().fixLog.copies.empty());
+}
+
+TEST_F(CholeskyTest, FusedFixedTiledAllMatchSeq) {
+  for (std::int64_t n : {4, 9, 14}) {
+    native::Matrix a0 = native::spdMatrix(n, 100 + static_cast<std::uint64_t>(n));
+    native::Matrix seq = runIr(bundle().seq, {{"N", n}}, {{"A", a0}});
+    native::Matrix fused = runIr(bundle().fused, {{"N", n}}, {{"A", a0}});
+    native::Matrix tiled = runIr(bundle().tiled, {{"N", n}}, {{"A", a0}});
+    EXPECT_EQ(maxDiff(seq, fused), 0.0) << "N=" << n;
+    EXPECT_EQ(maxDiff(seq, tiled), 0.0) << "N=" << n;
+  }
+}
+
+TEST_F(CholeskyTest, NativeMatchesIrAndTiles) {
+  std::int64_t n = 11;
+  native::Matrix a0 = native::spdMatrix(n, 9);
+  native::Matrix ir = runIr(bundle().seq, {{"N", n}}, {{"A", a0}});
+  native::Matrix nat = a0;
+  native::cholSeq(nat.data(), n);
+  EXPECT_EQ(maxDiff(ir, nat), 0.0);
+  for (std::int64_t t : {1, 2, 3, 7, 32}) {
+    native::Matrix m = a0;
+    native::cholTiled(m.data(), n, t);
+    EXPECT_EQ(maxDiff(nat, m), 0.0) << "tile " << t;
+  }
+}
+
+TEST_F(CholeskyTest, ResidualLLT) {
+  for (std::int64_t n : {5, 10, 24}) {
+    native::Matrix a0 = native::spdMatrix(n, 55 + static_cast<std::uint64_t>(n));
+    native::Matrix l = a0;
+    native::cholSeq(l.data(), n);
+    EXPECT_LT(native::cholResidual(a0.data(), l.data(), n), 1e-9) << "N=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QR
+// ---------------------------------------------------------------------------
+
+class QrTest : public ::testing::Test {
+ protected:
+  static KernelBundle& bundle() {
+    static KernelBundle b = buildQr({/*tile=*/3});
+    return b;
+  }
+};
+
+TEST_F(QrTest, FixLogTilesNormScaleAndXAccumulation) {
+  // The norm accumulation is Full-tiled on the fused k dimension (the
+  // paper's "tile size N"); the column scale and the X accumulation are
+  // Full-tiled too (values consumed ahead of schedule - see
+  // EXPERIMENTS.md on Fig. 4b).
+  const auto& log = bundle().fixLog;
+  ASSERT_EQ(log.tiles.size(), 3u);
+  EXPECT_TRUE(log.copies.empty());
+  // Bottom-up order: nest 5 (X accum), nest 3 (scale), nest 1 (norm).
+  EXPECT_EQ(log.tiles[0].nest, 5u);
+  EXPECT_TRUE(log.tiles[0].sizes[2].isFull());
+  EXPECT_EQ(log.tiles[1].nest, 3u);
+  EXPECT_TRUE(log.tiles[1].sizes[1].isFull());
+  EXPECT_EQ(log.tiles[2].nest, 1u);
+  EXPECT_TRUE(log.tiles[2].sizes[2].isFull());
+}
+
+TEST_F(QrTest, FixedAndTiledMatchSeqExactly) {
+  for (std::int64_t n : {4, 8, 12}) {
+    native::Matrix a0 =
+        native::randomMatrix(n, 7 + static_cast<std::uint64_t>(n), 0.5, 1.5);
+    native::Matrix x0(native::matrixSize(n), 0.0);
+    std::map<std::string, native::Matrix> init{{"A", a0}, {"X", x0}};
+    native::Matrix seq = runIr(bundle().seq, {{"N", n}}, init);
+    native::Matrix fixed = runIr(bundle().fixed, {{"N", n}}, init);
+    native::Matrix tiled = runIr(bundle().tiled, {{"N", n}}, init);
+    EXPECT_EQ(maxDiff(seq, fixed), 0.0) << "N=" << n;
+    EXPECT_EQ(maxDiff(seq, tiled), 0.0) << "N=" << n;
+  }
+}
+
+TEST_F(QrTest, UnfixedFusionIsWrong) {
+  std::int64_t n = 8;
+  native::Matrix a0 = native::randomMatrix(n, 21, 0.5, 1.5);
+  native::Matrix x0(native::matrixSize(n), 0.0);
+  std::map<std::string, native::Matrix> init{{"A", a0}, {"X", x0}};
+  native::Matrix seq = runIr(bundle().seq, {{"N", n}}, init);
+  native::Matrix fused = runIr(bundle().fused, {{"N", n}}, init);
+  EXPECT_GT(maxDiff(seq, fused), 0.0);
+}
+
+TEST_F(QrTest, NativeMatchesIrAndTiles) {
+  std::int64_t n = 10;
+  native::Matrix a0 = native::randomMatrix(n, 31, 0.5, 1.5);
+  native::Matrix x0(native::matrixSize(n), 0.0);
+  native::Matrix ir =
+      runIr(bundle().seq, {{"N", n}}, {{"A", a0}, {"X", x0}});
+  native::Matrix nat = a0, natX = x0;
+  native::qrSeq(nat.data(), natX.data(), n);
+  EXPECT_EQ(maxDiff(ir, nat), 0.0);
+  for (std::int64_t t : {1, 2, 4, 8, 32}) {
+    native::Matrix m = a0, mx = x0;
+    native::qrTiled(m.data(), mx.data(), n, t);
+    EXPECT_EQ(maxDiff(nat, m), 0.0) << "tile " << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Jacobi
+// ---------------------------------------------------------------------------
+
+class JacobiTest : public ::testing::Test {
+ protected:
+  static KernelBundle& bundle() {
+    static KernelBundle b = buildJacobi({/*tile=*/4});
+    return b;
+  }
+};
+
+TEST_F(JacobiTest, FixLogIntroducesOneCopyArray) {
+  const auto& log = bundle().fixLog;
+  EXPECT_TRUE(log.tiles.empty());  // anti-dependences only
+  ASSERT_EQ(log.copies.size(), 1u);
+  EXPECT_EQ(log.copies[0].array, "A");
+  EXPECT_EQ(log.copies[0].copiesInserted, 1u);
+  EXPECT_EQ(log.copies[0].readsRedirected, 2u);  // the two "early" reads
+}
+
+TEST_F(JacobiTest, ScalarisationRemovedL) {
+  EXPECT_FALSE(bundle().fixed.hasArray("L"));
+  EXPECT_TRUE(bundle().fixed.hasScalar("l"));
+  EXPECT_TRUE(bundle().fixed.hasArray("H_A_1"));
+}
+
+TEST_F(JacobiTest, FixedAndTiledMatchSeqExactly) {
+  for (auto [n, m] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {6, 3}, {9, 5}, {12, 2}}) {
+    native::Matrix a0 = native::randomMatrix(n, 60 + static_cast<std::uint64_t>(n));
+    native::Matrix l0(native::matrixSize(n), 0.0);
+    std::map<std::string, native::Matrix> init{{"A", a0}, {"L", l0}};
+    native::Matrix seq = runIr(bundle().seq, {{"N", n}, {"M", m}}, init);
+    native::Matrix fixed = runIr(bundle().fixed, {{"N", n}, {"M", m}}, init);
+    native::Matrix tiled = runIr(bundle().tiled, {{"N", n}, {"M", m}}, init);
+    EXPECT_EQ(maxDiff(seq, fixed), 0.0) << n << "x" << m;
+    EXPECT_EQ(maxDiff(seq, tiled), 0.0) << n << "x" << m;
+  }
+}
+
+TEST_F(JacobiTest, UnfixedFusionIsWrong) {
+  std::int64_t n = 8, m = 2;
+  native::Matrix a0 = native::randomMatrix(n, 8);
+  native::Matrix l0(native::matrixSize(n), 0.0);
+  std::map<std::string, native::Matrix> init{{"A", a0}, {"L", l0}};
+  native::Matrix seq = runIr(bundle().seq, {{"N", n}, {"M", m}}, init);
+  native::Matrix fused = runIr(bundle().fused, {{"N", n}, {"M", m}}, init);
+  EXPECT_GT(maxDiff(seq, fused), 0.0);
+}
+
+TEST_F(JacobiTest, NativeSeqMatchesIrAndReference) {
+  std::int64_t n = 10, m = 4;
+  native::Matrix a0 = native::randomMatrix(n, 91);
+  native::Matrix l0(native::matrixSize(n), 0.0);
+  native::Matrix ir =
+      runIr(bundle().seq, {{"N", n}, {"M", m}}, {{"A", a0}, {"L", l0}});
+  native::Matrix nat = a0, natL = l0;
+  native::jacobiSeq(nat.data(), natL.data(), n, m);
+  EXPECT_EQ(maxDiff(ir, nat), 0.0);
+  // Independent reference: double-buffered stencil.
+  native::Matrix cur = a0, next = a0;
+  const std::int64_t lda = n + 1;
+  for (std::int64_t t = 0; t <= m; ++t) {
+    for (std::int64_t i = 2; i <= n - 1; ++i)
+      for (std::int64_t j = 2; j <= n - 1; ++j)
+        next[static_cast<std::size_t>(i * lda + j)] =
+            (cur[static_cast<std::size_t>((i - 1) * lda + j)] +
+             cur[static_cast<std::size_t>(i * lda + (j - 1))] +
+             cur[static_cast<std::size_t>(i * lda + (j + 1))] +
+             cur[static_cast<std::size_t>((i + 1) * lda + j)]) *
+            0.25;
+    cur = next;
+  }
+  EXPECT_EQ(maxDiff(nat, cur), 0.0);
+}
+
+TEST_F(JacobiTest, NativeTiledMatchesSeqForManyTiles) {
+  std::int64_t n = 14, m = 6;
+  native::Matrix a0 = native::randomMatrix(n, 13);
+  native::Matrix ref = a0, refL(native::matrixSize(n), 0.0);
+  native::jacobiSeq(ref.data(), refL.data(), n, m);
+  for (std::int64_t t : {1, 2, 3, 5, 8, 64}) {
+    native::Matrix a = a0, h(native::matrixSize(n), 0.0);
+    native::jacobiTiled(a.data(), h.data(), n, m, t);
+    EXPECT_EQ(maxDiff(ref, a), 0.0) << "tile " << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-kernel checks
+// ---------------------------------------------------------------------------
+
+TEST(AllKernels, BuildKernelDispatch) {
+  for (const std::string name : {"lu", "cholesky", "qr", "jacobi"}) {
+    KernelBundle b = buildKernel(name, {/*tile=*/0});
+    EXPECT_EQ(b.name, name);
+    // tile = 0: the tiled program is the fixed one.
+    EXPECT_EQ(ir::printProgram(b.tiled), ir::printProgram(b.fixed));
+  }
+  EXPECT_THROW(buildKernel("nope", {}), InternalError);
+}
+
+TEST(AllKernels, NoExtraArraysExceptJacobiCopy) {
+  // "No extra memory space is introduced for these kernels": LU, QR and
+  // Cholesky introduce nothing; Jacobi trades L for H.
+  EXPECT_EQ(buildLu({0}).fixed.arrays.size(), 1u);        // A
+  EXPECT_EQ(buildCholesky({0}).fixed.arrays.size(), 1u);  // A
+  EXPECT_EQ(buildQr({0}).fixed.arrays.size(), 2u);        // A, X
+  const auto jac = buildJacobi({0});
+  EXPECT_EQ(jac.fixed.arrays.size(), 2u);  // A, H (L scalarised away)
+}
+
+}  // namespace
+}  // namespace fixfuse::kernels

@@ -1,0 +1,118 @@
+// Unit tests for poly::AffineExpr.
+#include <gtest/gtest.h>
+
+#include "poly/affine.h"
+#include "support/error.h"
+
+namespace fixfuse::poly {
+namespace {
+
+TEST(AffineExpr, ConstructionAndAccessors) {
+  AffineExpr e = AffineExpr::term(2, "i", 5);
+  EXPECT_EQ(e.coeff("i"), 2);
+  EXPECT_EQ(e.coeff("j"), 0);
+  EXPECT_EQ(e.constant(), 5);
+  EXPECT_FALSE(e.isConstant());
+  EXPECT_TRUE(AffineExpr(3).isConstant());
+  EXPECT_TRUE(e.uses("i"));
+  EXPECT_FALSE(e.uses("j"));
+}
+
+TEST(AffineExpr, ZeroCoefficientIsPruned) {
+  AffineExpr e = AffineExpr::term(0, "i", 1);
+  EXPECT_TRUE(e.isConstant());
+  AffineExpr f = AffineExpr::var("i") - AffineExpr::var("i");
+  EXPECT_TRUE(f.isConstant());
+  EXPECT_EQ(f.constant(), 0);
+}
+
+TEST(AffineExpr, Arithmetic) {
+  AffineExpr i = AffineExpr::var("i");
+  AffineExpr j = AffineExpr::var("j");
+  AffineExpr e = i * 2 + j - AffineExpr(3);
+  EXPECT_EQ(e.coeff("i"), 2);
+  EXPECT_EQ(e.coeff("j"), 1);
+  EXPECT_EQ(e.constant(), -3);
+  AffineExpr neg = -e;
+  EXPECT_EQ(neg.coeff("i"), -2);
+  EXPECT_EQ(neg.constant(), 3);
+}
+
+TEST(AffineExpr, MultiplyByZeroClears) {
+  AffineExpr e = AffineExpr::term(3, "i", 7) * 0;
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_EQ(e.constant(), 0);
+}
+
+TEST(AffineExpr, Evaluate) {
+  AffineExpr e = AffineExpr::term(2, "i") + AffineExpr::term(-1, "N", 4);
+  EXPECT_EQ(e.evaluate({{"i", 3}, {"N", 10}}), 0);
+  EXPECT_THROW(e.evaluate({{"i", 3}}), InternalError);
+}
+
+TEST(AffineExpr, PartialEvaluate) {
+  AffineExpr e = AffineExpr::term(2, "i") + AffineExpr::term(3, "N", 1);
+  AffineExpr p = e.partialEvaluate({{"N", 10}});
+  EXPECT_EQ(p.coeff("i"), 2);
+  EXPECT_EQ(p.coeff("N"), 0);
+  EXPECT_EQ(p.constant(), 31);
+}
+
+TEST(AffineExpr, Substitute) {
+  // e = 2i + j; substitute i := k + 1  =>  2k + j + 2
+  AffineExpr e = AffineExpr::term(2, "i") + AffineExpr::var("j");
+  AffineExpr r = e.substituted("i", AffineExpr::var("k") + AffineExpr(1));
+  EXPECT_EQ(r.coeff("k"), 2);
+  EXPECT_EQ(r.coeff("j"), 1);
+  EXPECT_EQ(r.coeff("i"), 0);
+  EXPECT_EQ(r.constant(), 2);
+}
+
+TEST(AffineExpr, SubstituteAbsentVarIsNoop) {
+  AffineExpr e = AffineExpr::var("j");
+  EXPECT_EQ(e.substituted("i", AffineExpr(5)), e);
+}
+
+TEST(AffineExpr, RecursiveSubstituteThrows) {
+  AffineExpr e = AffineExpr::var("i");
+  EXPECT_THROW(e.substituted("i", AffineExpr::var("i") + AffineExpr(1)),
+               InternalError);
+}
+
+TEST(AffineExpr, Rename) {
+  AffineExpr e = AffineExpr::term(2, "i", 1);
+  AffineExpr r = e.renamed("i", "i2");
+  EXPECT_EQ(r.coeff("i2"), 2);
+  EXPECT_EQ(r.coeff("i"), 0);
+}
+
+TEST(AffineExpr, CoeffGcd) {
+  EXPECT_EQ((AffineExpr::term(4, "i") + AffineExpr::term(6, "j")).coeffGcd(),
+            2);
+  EXPECT_EQ(AffineExpr(5).coeffGcd(), 0);
+}
+
+TEST(AffineExpr, Variables) {
+  AffineExpr e = AffineExpr::var("j") + AffineExpr::var("a");
+  EXPECT_EQ(e.variables(), (std::vector<std::string>{"a", "j"}));
+}
+
+TEST(AffineExpr, Str) {
+  EXPECT_EQ(AffineExpr(0).str(), "0");
+  EXPECT_EQ(AffineExpr::var("i").str(), "i");
+  EXPECT_EQ((-AffineExpr::var("i")).str(), "-i");
+  AffineExpr e = AffineExpr::term(2, "i") - AffineExpr::var("j") + AffineExpr(3);
+  EXPECT_EQ(e.str(), "2*i - j + 3");
+  AffineExpr f = AffineExpr::var("i") - AffineExpr(4);
+  EXPECT_EQ(f.str(), "i - 4");
+}
+
+TEST(AffineExpr, EqualityIsStructural) {
+  AffineExpr a = AffineExpr::var("i") + AffineExpr(1);
+  AffineExpr b = AffineExpr(1) + AffineExpr::var("i");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, AffineExpr::var("i"));
+}
+
+}  // namespace
+}  // namespace fixfuse::poly

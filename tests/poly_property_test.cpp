@@ -1,0 +1,167 @@
+// Parameterised property tests for the polyhedral layer: randomised
+// unit-coefficient systems (where Fourier-Motzkin is provably exact),
+// parametric objective bounds, symbolic upper bounds with divisors, and
+// PresburgerSet algebra against brute force.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "poly/presburger.h"
+#include "poly/set.h"
+#include "support/rng.h"
+
+namespace fixfuse::poly {
+namespace {
+
+AffineExpr V(const std::string& n) { return AffineExpr::var(n); }
+AffineExpr C(std::int64_t k) { return AffineExpr(k); }
+
+/// Random conjunction with all coefficients in {-1, 0, 1} over x,y,z in
+/// a [-5, 5] box - the fragment where FM projection is exact.
+IntegerSet randomUnitSystem(SplitMix64& rng) {
+  IntegerSet s({"x", "y", "z"});
+  s.addRange("x", C(-5), C(5));
+  s.addRange("y", C(-5), C(5));
+  s.addRange("z", C(-5), C(5));
+  for (int c = 0; c < 3; ++c) {
+    AffineExpr e = AffineExpr::term(rng.nextInt(-1, 1), "x") +
+                   AffineExpr::term(rng.nextInt(-1, 1), "y") +
+                   AffineExpr::term(rng.nextInt(-1, 1), "z") +
+                   C(rng.nextInt(-4, 4));
+    s.addGE(e);
+  }
+  return s;
+}
+
+class UnitSystemProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnitSystemProperty, ProjectionIsExactAndMembershipPreserving) {
+  SplitMix64 rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    IntegerSet s = randomUnitSystem(rng);
+    IntegerSet proj = s.eliminated({"z"});
+    EXPECT_TRUE(proj.exact());
+    // Brute-force the true projection and compare as point sets.
+    std::set<std::pair<std::int64_t, std::int64_t>> truth;
+    s.forEachPointAt({}, [&](const std::vector<std::int64_t>& p) {
+      truth.insert({p[0], p[1]});
+    });
+    std::set<std::pair<std::int64_t, std::int64_t>> got;
+    proj.forEachPointAt({}, [&](const std::vector<std::int64_t>& p) {
+      got.insert({p[0], p[1]});
+    });
+    EXPECT_EQ(got, truth);
+  }
+}
+
+TEST_P(UnitSystemProperty, MaxValueMatchesBruteForce) {
+  SplitMix64 rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 25; ++trial) {
+    IntegerSet s = randomUnitSystem(rng);
+    AffineExpr obj = AffineExpr::term(rng.nextInt(-2, 2), "x") +
+                     AffineExpr::term(rng.nextInt(-2, 2), "y") +
+                     AffineExpr::term(rng.nextInt(-2, 2), "z");
+    std::optional<std::int64_t> truth;
+    s.forEachPointAt({}, [&](const std::vector<std::int64_t>& p) {
+      std::int64_t v = obj.evaluate({{"x", p[0]}, {"y", p[1]}, {"z", p[2]}});
+      if (!truth || v > *truth) truth = v;
+    });
+    auto got = s.maxValueAt(obj, {});
+    if (!truth) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->num(), *truth);
+      EXPECT_EQ(got->den(), 1);
+    }
+  }
+}
+
+TEST_P(UnitSystemProperty, LexmaxIsMaximalMember) {
+  SplitMix64 rng(GetParam() * 97 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    IntegerSet s = randomUnitSystem(rng);
+    auto mx = s.lexmaxAt({});
+    std::vector<std::int64_t> best;
+    s.forEachPointAt({}, [&](const std::vector<std::int64_t>& p) {
+      if (best.empty() || std::lexicographical_compare(best.begin(),
+                                                       best.end(), p.begin(),
+                                                       p.end()))
+        best = p;
+    });
+    if (best.empty())
+      EXPECT_FALSE(mx.has_value());
+    else
+      EXPECT_EQ(*mx, best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnitSystemProperty,
+                         ::testing::Values(11u, 222u, 3333u, 44444u));
+
+// --- parametric bounds -------------------------------------------------------
+
+TEST(ParametricBounds, SymbolicUpperBoundWithDivisor) {
+  // { [x] : 0 <= 2x <= N } : max(x) = floor(N/2); the symbolic bound is
+  // (N, 2).
+  IntegerSet s({"x"});
+  s.addGE(AffineExpr::term(2, "x"));
+  s.addGE(V("N") - AffineExpr::term(2, "x"));
+  auto bounds = s.symbolicUpperBounds(V("x"));
+  ASSERT_FALSE(bounds.empty());
+  bool found = false;
+  for (const auto& [expr, div] : bounds)
+    if (expr == V("N") && div == 2) found = true;
+  EXPECT_TRUE(found);
+  // And the concrete max agrees with floor(N/2).
+  for (std::int64_t n : {4, 5, 9}) {
+    auto m = s.maxValueAt(V("x"), {{"N", n}});
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->num(), n / 2) << n;
+  }
+}
+
+TEST(ParametricBounds, ProvablyAtMostAcrossContext) {
+  // Triangular band: { [i, j] : 1 <= i <= N, i <= j <= i + 3 }.
+  IntegerSet s({"i", "j"});
+  s.addRange("i", C(1), V("N"));
+  s.addRange("j", V("i"), V("i") + C(3));
+  ParamContext ctx;
+  ctx.addParam("N", 4, 1000000);
+  EXPECT_TRUE(s.provablyAtMost(V("j") - V("i"), 3, ctx));
+  EXPECT_FALSE(s.provablyAtMost(V("j") - V("i"), 2, ctx));
+  // j itself is parameter-dependent: bounded by N + 3, not by any const.
+  EXPECT_TRUE(s.provablyAtMost(V("j") - V("N"), 3, ctx));
+  EXPECT_FALSE(s.provablyAtMost(V("j"), 100, ctx));
+}
+
+// --- PresburgerSet algebra ----------------------------------------------------
+
+TEST(PresburgerAlgebra, UnionIntersectionBruteForce) {
+  SplitMix64 rng(5150);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto randomInterval = [&] {
+      IntegerSet s({"x"});
+      std::int64_t lo = rng.nextInt(-6, 4);
+      s.addRange("x", C(lo), C(lo + rng.nextInt(0, 5)));
+      return s;
+    };
+    PresburgerSet u(randomInterval());
+    u.addPiece(randomInterval());
+    u.addPiece(randomInterval());
+    std::int64_t cut = rng.nextInt(-4, 4);
+    PresburgerSet v = u.intersectedWith({Constraint::ge(V("x") - C(cut))});
+    // Brute force over the full range.
+    std::set<std::int64_t> expectPts;
+    for (const auto& piece : u.pieces())
+      piece.forEachPointAt({}, [&](const std::vector<std::int64_t>& p) {
+        if (p[0] >= cut) expectPts.insert(p[0]);
+      });
+    std::set<std::int64_t> gotPts;
+    for (const auto& p : v.pointsAt({})) gotPts.insert(p[0]);
+    EXPECT_EQ(gotPts, expectPts);
+  }
+}
+
+}  // namespace
+}  // namespace fixfuse::poly

@@ -1,0 +1,471 @@
+// Unit + property tests for poly::IntegerSet and poly::PresburgerSet:
+// Fourier-Motzkin projection, emptiness proofs, exact point search,
+// lexmin/lexmax, objective bounds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "poly/presburger.h"
+#include "poly/set.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace fixfuse::poly {
+namespace {
+
+AffineExpr V(const std::string& n) { return AffineExpr::var(n); }
+AffineExpr C(std::int64_t k) { return AffineExpr(k); }
+
+// { [i, j] : 0 <= i <= 9, i <= j <= 9 } - a triangle with 55 points.
+IntegerSet triangle() {
+  IntegerSet s({"i", "j"});
+  s.addRange("i", C(0), C(9));
+  s.addGE(V("j") - V("i"));
+  s.addGE(C(9) - V("j"));
+  return s;
+}
+
+TEST(IntegerSet, DuplicateVarThrows) {
+  EXPECT_THROW(IntegerSet({"i", "i"}), InternalError);
+}
+
+TEST(IntegerSet, ConstantContradictionKnownEmpty) {
+  IntegerSet s({"i"});
+  s.addGE(C(-1));
+  EXPECT_TRUE(s.knownEmpty());
+  EXPECT_TRUE(s.provablyEmpty());
+}
+
+TEST(IntegerSet, GcdTestDetectsNoSolution) {
+  // 2i == 1 has no integer solution.
+  IntegerSet s({"i"});
+  s.addEQ(AffineExpr::term(2, "i") - C(1));
+  EXPECT_TRUE(s.knownEmpty());
+}
+
+TEST(IntegerSet, NormalisationTightensConstant) {
+  // 2i - 1 >= 0  =>  i >= 1 over the integers.
+  IntegerSet s({"i"});
+  s.addGE(AffineExpr::term(2, "i") - C(1));
+  s.addGE(C(100) - V("i"));
+  auto m = s.lexminAt({});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)[0], 1);
+}
+
+TEST(IntegerSet, ParametersAreSymbolsNotVars) {
+  IntegerSet s({"i"});
+  s.addRange("i", C(1), V("N"));
+  EXPECT_EQ(s.parameters(), (std::vector<std::string>{"N"}));
+}
+
+TEST(IntegerSet, PointSearchExact) {
+  IntegerSet s = triangle();
+  auto p = s.findPointAt({});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (std::vector<std::int64_t>{0, 0}));
+}
+
+TEST(IntegerSet, LexminLexmax) {
+  IntegerSet s = triangle();
+  auto mn = s.lexminAt({});
+  auto mx = s.lexmaxAt({});
+  ASSERT_TRUE(mn && mx);
+  EXPECT_EQ(*mn, (std::vector<std::int64_t>{0, 0}));
+  EXPECT_EQ(*mx, (std::vector<std::int64_t>{9, 9}));
+}
+
+TEST(IntegerSet, EnumerationCountsTrianglePoints) {
+  IntegerSet s = triangle();
+  int count = 0;
+  s.forEachPointAt({}, [&](const std::vector<std::int64_t>& pt) {
+    EXPECT_LE(pt[0], pt[1]);
+    ++count;
+  });
+  EXPECT_EQ(count, 55);
+}
+
+TEST(IntegerSet, EnumerationBudgetThrows) {
+  IntegerSet s = triangle();
+  EXPECT_THROW(
+      s.forEachPointAt({}, [](const std::vector<std::int64_t>&) {}, 10),
+      InternalError);
+}
+
+TEST(IntegerSet, UnboundedSearchThrows) {
+  IntegerSet s({"i"});
+  s.addGE(V("i"));  // i >= 0, no upper bound
+  EXPECT_THROW(s.findPointAt({}), UnsupportedError);
+}
+
+TEST(IntegerSet, ParametricInstantiation) {
+  IntegerSet s({"i"});
+  s.addRange("i", C(1), V("N"));
+  auto m = s.lexmaxAt({{"N", 5}});
+  ASSERT_TRUE(m);
+  EXPECT_EQ((*m)[0], 5);
+  EXPECT_FALSE(s.hasPointAt({{"N", 0}}));
+  EXPECT_THROW(s.lexmaxAt({}), InternalError);  // unbound parameter
+}
+
+TEST(IntegerSet, ProvablyEmptyParametric) {
+  // { i : 1 <= i <= N and i >= N + 1 } is empty for every N.
+  IntegerSet s({"i"});
+  s.addRange("i", C(1), V("N"));
+  s.addGE(V("i") - V("N") - C(1));
+  ParamContext ctx;
+  ctx.addParam("N", 1, 1000);
+  EXPECT_TRUE(s.provablyEmpty(ctx));
+}
+
+TEST(IntegerSet, NotProvablyEmptyWhenNonempty) {
+  IntegerSet s({"i"});
+  s.addRange("i", C(1), V("N"));
+  ParamContext ctx;
+  ctx.addParam("N", 4, 1000);
+  EXPECT_FALSE(s.provablyEmpty(ctx));
+  EXPECT_TRUE(s.hasPointAt({{"N", 4}}));
+}
+
+TEST(IntegerSet, EqualitySubstitutionIsUsed) {
+  // { [i,j] : i == j + 2, 0 <= j <= 5 } projected to [j] keeps 0<=j<=5;
+  // projected to [i] gives 2 <= i <= 7.
+  IntegerSet s({"i", "j"});
+  s.addEQ(V("i") - V("j") - C(2));
+  s.addRange("j", C(0), C(5));
+  IntegerSet pi = s.eliminated({"j"});
+  EXPECT_TRUE(pi.exact());
+  auto mn = pi.lexminAt({});
+  auto mx = pi.lexmaxAt({});
+  ASSERT_TRUE(mn && mx);
+  EXPECT_EQ((*mn)[0], 2);
+  EXPECT_EQ((*mx)[0], 7);
+}
+
+TEST(IntegerSet, NonUnitEliminationFlagsInexact) {
+  // { [i,j] : 2i == j, ... } eliminating i with coefficient 2 drops the
+  // divisibility constraint on j, so the projection must be flagged.
+  IntegerSet s({"i", "j"});
+  s.addEQ(AffineExpr::term(2, "i") - V("j"));
+  s.addRange("j", C(0), C(10));
+  IntegerSet pj = s.eliminated({"i"});
+  EXPECT_FALSE(pj.exact());
+  // Even the inexact projection remains a sound superset:
+  // every even j in [0,10] must be present.
+  for (std::int64_t j = 0; j <= 10; j += 2) {
+    IntegerSet q = pj;
+    q.addEQ(V("j") - C(j));
+    EXPECT_TRUE(q.hasPointAt({})) << j;
+  }
+}
+
+TEST(IntegerSet, FourierMotzkinPairExactness) {
+  // Unit-coefficient system: projection stays exact.
+  IntegerSet s = triangle();
+  IntegerSet pj = s.eliminated({"i"});
+  EXPECT_TRUE(pj.exact());
+  auto mn = pj.lexminAt({});
+  auto mx = pj.lexmaxAt({});
+  EXPECT_EQ((*mn)[0], 0);
+  EXPECT_EQ((*mx)[0], 9);
+}
+
+TEST(IntegerSet, MaxValueAtObjective) {
+  IntegerSet s = triangle();
+  // max(j - i) over the triangle is 9 (at i=0, j=9).
+  auto m = s.maxValueAt(V("j") - V("i"), {});
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m, Rational(9));
+}
+
+TEST(IntegerSet, MaxValueEmptySetIsNullopt) {
+  IntegerSet s({"i"});
+  s.addRange("i", C(1), C(0));
+  EXPECT_FALSE(s.maxValueAt(V("i"), {}).has_value());
+}
+
+TEST(IntegerSet, ProvablyAtMost) {
+  IntegerSet s = triangle();
+  ParamContext ctx;
+  EXPECT_TRUE(s.provablyAtMost(V("j") - V("i"), 9, ctx));
+  EXPECT_FALSE(s.provablyAtMost(V("j") - V("i"), 8, ctx));
+}
+
+TEST(IntegerSet, ProvablyAtMostParametric) {
+  // { [i,i'] : 1 <= i' <= i <= N } : i - i' <= N - 1 always; not <= N - 2.
+  IntegerSet s({"i", "ip"});
+  s.addRange("ip", C(1), V("i"));
+  s.addGE(V("N") - V("i"));
+  ParamContext ctx;
+  ctx.addParam("N", 2, 100000);
+  EXPECT_TRUE(s.provablyAtMost(V("i") - V("ip"),  // max is N-1 <= 10^5-1
+                               99999, ctx));
+  EXPECT_FALSE(s.provablyAtMost(V("i") - V("ip"), 0, ctx));
+}
+
+TEST(IntegerSet, SymbolicUpperBounds) {
+  IntegerSet s({"i", "ip"});
+  s.addRange("ip", C(1), V("i"));
+  s.addGE(V("N") - V("i"));
+  auto bounds = s.symbolicUpperBounds(V("i") - V("ip"));
+  ASSERT_FALSE(bounds.empty());
+  // Every reported bound must hold at concrete N; the tightest should be
+  // exactly N - 1.
+  std::int64_t best = INT64_MAX;
+  for (const auto& [expr, div] : bounds) {
+    std::int64_t v = expr.evaluate({{"N", 10}}) / div;
+    best = std::min(best, v);
+    EXPECT_GE(v, 9);
+  }
+  EXPECT_EQ(best, 9);
+}
+
+TEST(IntegerSet, SubstitutedDropsVar) {
+  IntegerSet s = triangle();
+  IntegerSet s0 = s.substituted("i", C(3));
+  EXPECT_EQ(s0.vars(), (std::vector<std::string>{"j"}));
+  auto mn = s0.lexminAt({});
+  ASSERT_TRUE(mn);
+  EXPECT_EQ((*mn)[0], 3);
+}
+
+TEST(IntegerSet, RenameRejectsCollision) {
+  IntegerSet s = triangle();
+  EXPECT_THROW(s.renamed("i", "j"), InternalError);
+  IntegerSet r = s.renamed("i", "i2");
+  EXPECT_EQ(r.vars(), (std::vector<std::string>{"i2", "j"}));
+  int count = 0;
+  r.forEachPointAt({}, [&](const std::vector<std::int64_t>&) { ++count; });
+  EXPECT_EQ(count, 55);
+}
+
+TEST(IntegerSet, IntersectionRequiresSameTuple) {
+  IntegerSet a({"i"});
+  IntegerSet b({"j"});
+  EXPECT_THROW(a.intersected(b), InternalError);
+}
+
+TEST(IntegerSet, IntersectionConjoins) {
+  IntegerSet a({"i"});
+  a.addRange("i", C(0), C(10));
+  IntegerSet b({"i"});
+  b.addRange("i", C(5), C(20));
+  IntegerSet c = a.intersected(b);
+  auto mn = c.lexminAt({});
+  auto mx = c.lexmaxAt({});
+  EXPECT_EQ((*mn)[0], 5);
+  EXPECT_EQ((*mx)[0], 10);
+}
+
+// --- property tests: FM emptiness vs brute force on random systems -------
+
+struct RandomSystem {
+  IntegerSet set{std::vector<std::string>{"x", "y", "z"}};
+  // All generated constraints, including any the set folded into its
+  // knownEmpty flag (constant contradictions never reach constraints()).
+  std::vector<Constraint> generated;
+  bool bruteNonempty = false;
+
+  bool bruteSatisfied(std::int64_t x, std::int64_t y, std::int64_t z) const {
+    for (const auto& c : generated) {
+      std::int64_t v = c.expr.evaluate({{"x", x}, {"y", y}, {"z", z}});
+      if (c.kind == Constraint::Kind::GE ? v < 0 : v != 0) return false;
+    }
+    return true;
+  }
+};
+
+RandomSystem randomSystem(SplitMix64& rng) {
+  RandomSystem r;
+  // Box [-4, 4]^3 plus 4 random constraints with coefficients in [-2, 2].
+  auto add = [&](Constraint c) {
+    r.generated.push_back(c);
+    r.set.addConstraint(std::move(c));
+  };
+  add(Constraint::ge(V("x") + C(4)));
+  add(Constraint::ge(C(4) - V("x")));
+  add(Constraint::ge(V("y") + C(4)));
+  add(Constraint::ge(C(4) - V("y")));
+  add(Constraint::ge(V("z") + C(4)));
+  add(Constraint::ge(C(4) - V("z")));
+  for (int c = 0; c < 4; ++c) {
+    AffineExpr e = AffineExpr::term(rng.nextInt(-2, 2), "x") +
+                   AffineExpr::term(rng.nextInt(-2, 2), "y") +
+                   AffineExpr::term(rng.nextInt(-2, 2), "z") +
+                   C(rng.nextInt(-5, 5));
+    if (rng.nextBounded(4) == 0)
+      add(Constraint::eq(e));
+    else
+      add(Constraint::ge(e));
+  }
+  for (std::int64_t x = -4; x <= 4 && !r.bruteNonempty; ++x)
+    for (std::int64_t y = -4; y <= 4 && !r.bruteNonempty; ++y)
+      for (std::int64_t z = -4; z <= 4 && !r.bruteNonempty; ++z)
+        if (r.bruteSatisfied(x, y, z)) r.bruteNonempty = true;
+  return r;
+}
+
+TEST(IntegerSetProperty, EmptinessProofIsSound) {
+  SplitMix64 rng(12345);
+  int proved = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    RandomSystem r = randomSystem(rng);
+    if (r.set.provablyEmpty()) {
+      EXPECT_FALSE(r.bruteNonempty) << "unsound emptiness proof: "
+                                    << r.set.str();
+      ++proved;
+    }
+  }
+  EXPECT_GT(proved, 20);  // the proof fires on a healthy share of cases
+}
+
+TEST(IntegerSetProperty, PointSearchMatchesBruteForce) {
+  SplitMix64 rng(999);
+  for (int trial = 0; trial < 120; ++trial) {
+    RandomSystem r = randomSystem(rng);
+    EXPECT_EQ(r.set.hasPointAt({}), r.bruteNonempty) << r.set.str();
+  }
+}
+
+TEST(IntegerSetProperty, LexminIsMinimalAndMember) {
+  SplitMix64 rng(31337);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomSystem r = randomSystem(rng);
+    auto mn = r.set.lexminAt({});
+    if (!r.bruteNonempty) {
+      EXPECT_FALSE(mn.has_value());
+      continue;
+    }
+    ASSERT_TRUE(mn.has_value());
+    // Brute-force the true lexmin and compare.
+    std::vector<std::int64_t> best;
+    for (std::int64_t x = -4; x <= 4; ++x)
+      for (std::int64_t y = -4; y <= 4; ++y)
+        for (std::int64_t z = -4; z <= 4; ++z) {
+          if (!r.bruteSatisfied(x, y, z)) continue;
+          std::vector<std::int64_t> pt{x, y, z};
+          if (best.empty() ||
+              std::lexicographical_compare(pt.begin(), pt.end(), best.begin(),
+                                           best.end()))
+            best = pt;
+        }
+    EXPECT_EQ(*mn, best);
+  }
+}
+
+// --- PresburgerSet ---------------------------------------------------------
+
+TEST(PresburgerSet, UnionOfPieces) {
+  IntegerSet a({"i"});
+  a.addRange("i", C(0), C(2));
+  IntegerSet b({"i"});
+  b.addRange("i", C(5), C(6));
+  PresburgerSet u(a);
+  u.addPiece(b);
+  auto pts = u.pointsAt({});
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_EQ(pts.front(), (std::vector<std::int64_t>{0}));
+  EXPECT_EQ(pts.back(), (std::vector<std::int64_t>{6}));
+}
+
+TEST(PresburgerSet, OverlappingPiecesDeduplicated) {
+  IntegerSet a({"i"});
+  a.addRange("i", C(0), C(4));
+  IntegerSet b({"i"});
+  b.addRange("i", C(3), C(6));
+  PresburgerSet u(a);
+  u.addPiece(b);
+  EXPECT_EQ(u.pointsAt({}).size(), 7u);
+}
+
+TEST(PresburgerSet, EmptyPieceIsDropped) {
+  IntegerSet a({"i"});
+  a.addGE(C(-1));  // contradiction
+  PresburgerSet u(std::vector<std::string>{"i"});
+  u.addPiece(a);
+  EXPECT_TRUE(u.noPieces());
+  EXPECT_TRUE(u.provablyEmpty());
+}
+
+TEST(PresburgerSet, LexminAcrossPieces) {
+  IntegerSet a({"i"});
+  a.addRange("i", C(5), C(6));
+  IntegerSet b({"i"});
+  b.addRange("i", C(2), C(3));
+  PresburgerSet u(a);
+  u.addPiece(b);
+  auto mn = u.lexminAt({});
+  auto mx = u.lexmaxAt({});
+  EXPECT_EQ((*mn)[0], 2);
+  EXPECT_EQ((*mx)[0], 6);
+}
+
+TEST(PresburgerSet, MaxValueAcrossPieces) {
+  IntegerSet a({"i"});
+  a.addRange("i", C(0), C(3));
+  IntegerSet b({"i"});
+  b.addRange("i", C(10), C(12));
+  PresburgerSet u(a);
+  u.addPiece(b);
+  auto m = u.maxValueAt(V("i"), {});
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m, 12);
+}
+
+TEST(PresburgerSet, IntersectedWithConstraints) {
+  IntegerSet a({"i"});
+  a.addRange("i", C(0), C(9));
+  PresburgerSet u(a);
+  auto v = u.intersectedWith({Constraint::ge(V("i") - C(7))});
+  EXPECT_EQ(v.pointsAt({}).size(), 3u);
+}
+
+TEST(LexLessPieces, EncodesStrictOrder) {
+  std::vector<AffineExpr> a{V("a1"), V("a2")};
+  std::vector<AffineExpr> b{V("b1"), V("b2")};
+  auto pieces = lexLessPieces(a, b);
+  ASSERT_EQ(pieces.size(), 2u);
+  // Evaluate all pieces over a small grid and compare against the
+  // definition of lexicographic <.
+  for (std::int64_t a1 = -2; a1 <= 2; ++a1)
+    for (std::int64_t a2 = -2; a2 <= 2; ++a2)
+      for (std::int64_t b1 = -2; b1 <= 2; ++b1)
+        for (std::int64_t b2 = -2; b2 <= 2; ++b2) {
+          bool expect = (a1 < b1) || (a1 == b1 && a2 < b2);
+          bool got = false;
+          std::map<std::string, std::int64_t> bind{
+              {"a1", a1}, {"a2", a2}, {"b1", b1}, {"b2", b2}};
+          for (const auto& piece : pieces) {
+            bool sat = true;
+            for (const auto& c : piece) {
+              std::int64_t v = c.expr.evaluate(bind);
+              if (c.kind == Constraint::Kind::GE ? v < 0 : v != 0) {
+                sat = false;
+                break;
+              }
+            }
+            got |= sat;
+          }
+          EXPECT_EQ(got, expect) << a1 << "," << a2 << " vs " << b1 << ","
+                                 << b2;
+        }
+}
+
+TEST(ParamContext, SampleBindingsRespectExtraConstraints) {
+  ParamContext ctx;
+  ctx.addParam("N", 2, 10, {2, 5, 10});
+  ctx.addParam("M", 2, 10, {2, 5, 10});
+  ctx.addConstraint(Constraint::ge(V("N") - V("M")));  // M <= N
+  auto bindings = ctx.sampleBindings();
+  ASSERT_FALSE(bindings.empty());
+  for (const auto& b : bindings) EXPECT_LE(b.at("M"), b.at("N"));
+}
+
+TEST(ParamContext, DuplicateParamThrows) {
+  ParamContext ctx;
+  ctx.addParam("N", 1, 5);
+  EXPECT_THROW(ctx.addParam("N", 1, 5), InternalError);
+}
+
+}  // namespace
+}  // namespace fixfuse::poly

@@ -1,0 +1,210 @@
+// Tests for the cache / branch / perf simulation substrate.
+#include <gtest/gtest.h>
+
+#include "sim/branch.h"
+#include "sim/cache.h"
+#include "sim/perf.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace fixfuse::sim {
+namespace {
+
+TEST(CacheConfig, Octane2Geometry) {
+  CacheConfig l1 = CacheConfig::octane2L1();
+  EXPECT_EQ(l1.numSets(), 512u);
+  EXPECT_TRUE(l1.valid());
+  CacheConfig l2 = CacheConfig::octane2L2();
+  EXPECT_EQ(l2.numSets(), 8192u);
+  EXPECT_TRUE(l2.valid());
+}
+
+TEST(CacheConfig, InvalidConfigsRejected) {
+  EXPECT_FALSE((CacheConfig{0, 32, 2}).valid());
+  EXPECT_FALSE((CacheConfig{1024, 48, 2}).valid());   // non-pow2 line
+  EXPECT_FALSE((CacheConfig{1000, 32, 2}).valid());   // non-divisible
+  EXPECT_THROW(Cache(CacheConfig{0, 32, 2}), InternalError);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c({1024, 32, 2});
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(8));    // same line
+  EXPECT_TRUE(c.access(31));   // still same line
+  EXPECT_FALSE(c.access(32));  // next line
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // 2-way, 16 sets of 32B lines (1024B). Lines 0, 16, 32 map to set 0.
+  Cache c({1024, 32, 2});
+  auto addrOfLine = [](std::uint64_t line) { return line * 32; };
+  EXPECT_FALSE(c.access(addrOfLine(0)));
+  EXPECT_FALSE(c.access(addrOfLine(16)));
+  EXPECT_TRUE(c.access(addrOfLine(0)));    // 0 is now MRU
+  EXPECT_FALSE(c.access(addrOfLine(32)));  // evicts 16 (LRU)
+  EXPECT_TRUE(c.access(addrOfLine(0)));
+  EXPECT_FALSE(c.access(addrOfLine(16)));  // 16 was evicted
+}
+
+TEST(Cache, DirectMappedConflict) {
+  // 1-way cache: alternating between two conflicting lines always misses.
+  Cache c({512, 32, 1});
+  for (int i = 0; i < 10; ++i) {
+    c.access(0);
+    c.access(512);  // same set, different tag
+  }
+  EXPECT_EQ(c.misses(), 20u);
+}
+
+TEST(Cache, FullyUsedWorkingSetFits) {
+  // Sequentially touching exactly the cache size twice: second pass all hits.
+  Cache c({1024, 32, 2});
+  for (std::uint64_t a = 0; a < 1024; a += 8) c.access(a);
+  std::uint64_t missesAfterFirst = c.misses();
+  EXPECT_EQ(missesAfterFirst, 32u);  // one per line
+  for (std::uint64_t a = 0; a < 1024; a += 8) c.access(a);
+  EXPECT_EQ(c.misses(), missesAfterFirst);
+}
+
+TEST(Cache, ResetClearsState) {
+  Cache c({1024, 32, 2});
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_FALSE(c.access(0));  // cold again
+}
+
+TEST(Cache, MatchesFullyAssociativeOracleWhenOneSet) {
+  // A 1-set cache is fully associative: compare against a simple LRU list.
+  CacheConfig cfg{256, 32, 8};  // 8 ways x 32B = 256 -> 1 set
+  ASSERT_EQ(cfg.numSets(), 1u);
+  Cache c(cfg);
+  std::vector<std::uint64_t> lru;  // front = LRU
+  SplitMix64 rng(5);
+  for (int i = 0; i < 4000; ++i) {
+    std::uint64_t line = rng.nextBounded(16);
+    bool expectHit = false;
+    for (auto it = lru.begin(); it != lru.end(); ++it)
+      if (*it == line) {
+        lru.erase(it);
+        expectHit = true;
+        break;
+      }
+    lru.push_back(line);
+    if (lru.size() > 8) lru.erase(lru.begin());
+    EXPECT_EQ(c.access(line * 32), expectHit) << "iteration " << i;
+  }
+}
+
+TEST(CacheHierarchy, L2SeesOnlyL1Misses) {
+  CacheHierarchy h({1024, 32, 2}, {4096, 64, 2});
+  for (int rep = 0; rep < 3; ++rep)
+    for (std::uint64_t a = 0; a < 2048; a += 32) h.access(a);
+  EXPECT_EQ(h.l2().accesses(), h.l1().misses());
+  EXPECT_GT(h.l1().misses(), 0u);
+  // L2 is big enough for the working set: after the cold pass it hits.
+  EXPECT_LT(h.l2().misses(), h.l2().accesses());
+}
+
+TEST(BranchPredictor, WellPredictedLoopPattern) {
+  BranchPredictor p;
+  // 100 taken then 1 not-taken (loop exit): exactly 1 mispredict expected
+  // from the weakly-taken start.
+  for (int i = 0; i < 100; ++i) p.resolve(0, true);
+  p.resolve(0, false);
+  EXPECT_EQ(p.resolved(), 101u);
+  EXPECT_EQ(p.mispredicted(), 1u);
+}
+
+TEST(BranchPredictor, AlternatingPatternMispredictsOften) {
+  BranchPredictor p;
+  for (int i = 0; i < 100; ++i) p.resolve(1, i % 2 == 0);
+  EXPECT_GT(p.mispredicted(), 40u);
+}
+
+TEST(BranchPredictor, SitesAreIndependent) {
+  BranchPredictor p;
+  for (int i = 0; i < 50; ++i) {
+    p.resolve(0, true);
+    p.resolve(7, false);
+  }
+  // Both sites converge to their bias: ~1 mispredict each at the start.
+  EXPECT_LE(p.mispredicted(), 4u);
+}
+
+TEST(BranchPredictor, NegativeSiteThrows) {
+  BranchPredictor p;
+  EXPECT_THROW(p.resolve(-1, true), InternalError);
+}
+
+TEST(CostModel, PaperConstants) {
+  CostModel m;
+  EXPECT_DOUBLE_EQ(m.l1MissCycles, 9.92);
+  EXPECT_DOUBLE_EQ(m.l2MissCycles, 162.55);
+  EXPECT_DOUBLE_EQ(m.mispredictCycles, 5.0);
+}
+
+TEST(CostModel, CycleBreakdown) {
+  PerfCounts c;
+  c.loads = 10;
+  c.stores = 5;
+  c.intOps = 20;
+  c.flops = 15;
+  c.branchesResolved = 8;
+  c.branchesMispredicted = 2;
+  c.l1Misses = 3;
+  c.l2Misses = 1;
+  CycleBreakdown b = cyclesOf(c);
+  EXPECT_DOUBLE_EQ(b.l1MissCycles, 3 * 9.92);
+  EXPECT_DOUBLE_EQ(b.l2MissCycles, 162.55);
+  EXPECT_DOUBLE_EQ(b.mispredictCycles, 10.0);
+  EXPECT_DOUBLE_EQ(b.branchResolveCycles, 8.0);
+  EXPECT_DOUBLE_EQ(b.instructionCycles, 58.0);
+  EXPECT_DOUBLE_EQ(b.total(), 3 * 9.92 + 162.55 + 10 + 8 + 58);
+  EXPECT_EQ(c.graduatedInstructions(), 58u);
+}
+
+TEST(SimObserver, EndToEndCounts) {
+  SimObserver obs;
+  obs.onLoad(0x10000);
+  obs.onLoad(0x10000);  // L1 hit
+  obs.onStore(0x90000);
+  obs.onBranch(0, true);
+  obs.onBranch(0, false);
+  obs.onIntOps(3);
+  obs.onFlops(2);
+  PerfCounts c = obs.counts();
+  EXPECT_EQ(c.loads, 2u);
+  EXPECT_EQ(c.stores, 1u);
+  EXPECT_EQ(c.l1Accesses, 3u);
+  EXPECT_EQ(c.l1Misses, 2u);
+  EXPECT_EQ(c.l2Accesses, 2u);
+  EXPECT_EQ(c.branchesResolved, 2u);
+  EXPECT_EQ(c.intOps, 3u);
+  EXPECT_EQ(c.flops, 2u);
+}
+
+TEST(SimObserver, ResetZeroesEverything) {
+  SimObserver obs;
+  obs.onLoad(0x10000);
+  obs.onBranch(0, true);
+  obs.reset();
+  PerfCounts c = obs.counts();
+  EXPECT_EQ(c.loads, 0u);
+  EXPECT_EQ(c.l1Accesses, 0u);
+  EXPECT_EQ(c.branchesResolved, 0u);
+}
+
+TEST(Report, ContainsKeyLines) {
+  PerfCounts c;
+  c.loads = 7;
+  std::string r = formatReport("chol seq N=100", c);
+  EXPECT_NE(r.find("chol seq N=100"), std::string::npos);
+  EXPECT_NE(r.find("loads                 7"), std::string::npos);
+  EXPECT_NE(r.find("TOTAL modelled cycles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fixfuse::sim

@@ -1,0 +1,220 @@
+// Unit tests for the support substrate: checked arithmetic, rationals,
+// integer matrices, RNG determinism, string helpers.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/checked.h"
+#include "support/error.h"
+#include "support/intmatrix.h"
+#include "support/rational.h"
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace fixfuse {
+namespace {
+
+TEST(Checked, AddSubMulBasics) {
+  EXPECT_EQ(checkedAdd(2, 3), 5);
+  EXPECT_EQ(checkedSub(2, 3), -1);
+  EXPECT_EQ(checkedMul(-4, 3), -12);
+}
+
+TEST(Checked, OverflowThrows) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(checkedAdd(big, 1), OverflowError);
+  EXPECT_THROW(checkedMul(big, 2), OverflowError);
+  EXPECT_THROW(checkedSub(std::numeric_limits<std::int64_t>::min(), 1),
+               OverflowError);
+  EXPECT_THROW(checkedNeg(std::numeric_limits<std::int64_t>::min()),
+               OverflowError);
+}
+
+TEST(Checked, FloorDivRoundsTowardNegativeInfinity) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+  EXPECT_EQ(floorDiv(-6, 3), -2);
+}
+
+TEST(Checked, CeilDivRoundsTowardPositiveInfinity) {
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(7, -2), -3);
+  EXPECT_EQ(ceilDiv(-7, -2), 4);
+}
+
+TEST(Checked, FloorModAlwaysNonNegativeForPositiveModulus) {
+  EXPECT_EQ(floorMod(7, 3), 1);
+  EXPECT_EQ(floorMod(-7, 3), 2);
+  EXPECT_EQ(floorMod(0, 3), 0);
+}
+
+TEST(Checked, FloorDivModIdentity) {
+  for (std::int64_t a = -20; a <= 20; ++a)
+    for (std::int64_t b : {-7, -3, -1, 1, 2, 5}) {
+      EXPECT_EQ(floorDiv(a, b) * b + floorMod(a, b), a)
+          << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(Checked, GcdLcm) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(0, 6), 0);
+}
+
+TEST(Rational, CanonicalForm) {
+  Rational r(6, -8);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), Error);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3, 6).str(), "1/2");
+  EXPECT_EQ(Rational(4, 2).str(), "2");
+}
+
+TEST(IntMatrix, IdentityAndMultiply) {
+  IntMatrix id = IntMatrix::identity(3);
+  IntMatrix m{{1, 2, 0}, {0, 1, 3}, {0, 0, 1}};
+  EXPECT_EQ(m * id, m);
+  EXPECT_EQ(id * m, m);
+}
+
+TEST(IntMatrix, ApplyVector) {
+  IntMatrix skew{{1, 0, 0}, {1, 1, 0}, {0, 0, 1}};
+  std::vector<std::int64_t> v{2, 3, 5};
+  auto r = skew.apply(v);
+  EXPECT_EQ(r, (std::vector<std::int64_t>{2, 5, 5}));
+}
+
+TEST(IntMatrix, Permutation) {
+  // perm = {2,0,1} maps (x0,x1,x2) to (x2,x0,x1).
+  IntMatrix p = IntMatrix::permutation({2, 0, 1});
+  auto r = p.apply({10, 20, 30});
+  EXPECT_EQ(r, (std::vector<std::int64_t>{30, 10, 20}));
+  EXPECT_TRUE(p.isUnimodular());
+}
+
+TEST(IntMatrix, DeterminantBareiss) {
+  IntMatrix m{{2, 1}, {7, 4}};
+  EXPECT_EQ(m.determinant(), 1);
+  IntMatrix s{{3, 1}, {6, 2}};
+  EXPECT_EQ(s.determinant(), 0);
+  IntMatrix t{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}};
+  EXPECT_EQ(t.determinant(), -3);
+}
+
+TEST(IntMatrix, DeterminantNeedsPivotSwap) {
+  IntMatrix m{{0, 1}, {1, 0}};
+  EXPECT_EQ(m.determinant(), -1);
+}
+
+TEST(IntMatrix, UnimodularInverse) {
+  IntMatrix skew{{1, 0}, {1, 1}};
+  IntMatrix inv = skew.unimodularInverse();
+  EXPECT_EQ(skew * inv, IntMatrix::identity(2));
+  EXPECT_EQ(inv * skew, IntMatrix::identity(2));
+
+  IntMatrix m{{2, 1}, {7, 4}};  // det = 1
+  IntMatrix minv = m.unimodularInverse();
+  EXPECT_EQ(m * minv, IntMatrix::identity(2));
+}
+
+TEST(IntMatrix, NonUnimodularInverseThrows) {
+  IntMatrix m{{2, 0}, {0, 2}};
+  EXPECT_FALSE(m.isUnimodular());
+  EXPECT_THROW(m.unimodularInverse(), Error);
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DoubleInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.nextDouble(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Rng, IntInRange) {
+  SplitMix64 rng(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.nextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"x"}, "+"), "x");
+}
+
+TEST(Str, Repeat) {
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_EQ(repeat("x", 0), "");
+  EXPECT_EQ(repeat("x", -1), "");
+}
+
+TEST(ErrorTypes, MessagesArePrefixed) {
+  try {
+    throw UnsupportedError("non-affine subscript");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported"), std::string::npos);
+  }
+  EXPECT_THROW(FIXFUSE_CHECK(false, "boom"), InternalError);
+}
+
+}  // namespace
+}  // namespace fixfuse

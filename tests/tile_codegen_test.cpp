@@ -1,0 +1,120 @@
+// Tests for tile-size selection (LRW / PDAT) and the C emitter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "codegen/emit_c.h"
+#include "kernels/common.h"
+#include "sim/cache.h"
+#include "tile/selection.h"
+
+namespace fixfuse {
+namespace {
+
+TEST(Pdat, Octane2GivesSixtyFour) {
+  // sqrt((K-1)/K * 32KiB / 8B) = sqrt(2048) = 45 for K=2.
+  std::int64_t t = tile::pdatTileSize(sim::CacheConfig::octane2L1());
+  EXPECT_EQ(t, 45);
+}
+
+TEST(Pdat, ScalesWithCacheSize) {
+  std::int64_t small = tile::pdatTileSize({8 * 1024, 32, 2});
+  std::int64_t large = tile::pdatTileSize({128 * 1024, 32, 2});
+  EXPECT_LT(small, large);
+  EXPECT_EQ(tile::pdatTileSize({32 * 1024, 32, 4}),
+            static_cast<std::int64_t>(
+                std::sqrt(0.75 * 32 * 1024 / 8)));
+}
+
+TEST(Lrw, NoInterferenceForCacheFriendlyLd) {
+  // ld = 512 doubles maps rows a full set apart but a small tile still
+  // fits without self-interference in a 2-way cache.
+  auto cfg = sim::CacheConfig::octane2L1();
+  std::int64_t t = tile::lrwTileSize(cfg, /*ld=*/512);
+  EXPECT_GE(t, 8);
+  EXPECT_EQ(tile::selfInterferenceMisses(cfg, 512, t), 0u);
+}
+
+TEST(Lrw, PathologicalLeadingDimensionShrinksTile) {
+  auto cfg = sim::CacheConfig::octane2L1();
+  // 2048 doubles per row: every row maps onto the same sets, so the
+  // 2-way cache cannot hold a block of more than a couple of rows; an
+  // odd leading dimension away from the power-of-two spreads the rows
+  // over distinct sets. This is the Wolf-Lam pathology the paper's
+  // multiples-of-238 problem sizes probe.
+  std::int64_t bad = tile::lrwTileSize(cfg, /*ld=*/2048);
+  std::int64_t good = tile::lrwTileSize(cfg, /*ld=*/2387);
+  EXPECT_LE(bad, 4);
+  EXPECT_GE(good, 20);
+}
+
+TEST(Lrw, NeverBelowMinTile) {
+  auto cfg = sim::CacheConfig::octane2L1();
+  EXPECT_GE(tile::lrwTileSize(cfg, 4096, 8, 6), 6);
+}
+
+TEST(SelfInterference, SecondSweepHitsWhenTileFits) {
+  sim::CacheConfig cfg{4096, 32, 2};  // 512 doubles capacity
+  // 16x16 doubles = 2KiB with ld=64 (16KB apart rows? 64*8=512B apart).
+  EXPECT_EQ(tile::selfInterferenceMisses(cfg, 64, 8), 0u);
+  // A tile larger than the cache must interfere.
+  EXPECT_GT(tile::selfInterferenceMisses(cfg, 64, 32), 0u);
+}
+
+// --- C emission ---------------------------------------------------------
+
+TEST(EmitC, ContainsSignatureAndMacros) {
+  auto b = kernels::buildCholesky({/*tile=*/0});
+  std::string c = codegen::emitC(b.fixed, {"chol_fixed", true});
+  EXPECT_NE(c.find("void chol_fixed(long N, double* A_)"), std::string::npos);
+  EXPECT_NE(c.find("#define A_AT(d0, d1)"), std::string::npos);
+  EXPECT_NE(c.find("sqrt("), std::string::npos);
+  EXPECT_NE(c.find("for (long k = 1"), std::string::npos);
+}
+
+TEST(EmitC, AllKernelVersionsSyntaxCheck) {
+  // Emit every program of every kernel and syntax-check the result with
+  // the host C++ compiler (-fsyntax-only): a strong structural test of
+  // the emitter across guards, selects, min/max bounds and floor-div.
+  std::string path = "/tmp/fixfuse_emit_all.c";
+  std::ofstream out(path);
+  int idx = 0;
+  for (const std::string name : {"lu", "cholesky", "qr", "jacobi"}) {
+    auto b = kernels::buildKernel(name, {/*tile=*/5});
+    for (const ir::Program* p : {&b.seq, &b.fixed, &b.tiled}) {
+      codegen::EmitOptions opts;
+      opts.functionName = name + "_v" + std::to_string(idx++);
+      opts.standalone = idx == 1;  // helpers once
+      out << codegen::emitC(*p, opts) << "\n";
+    }
+  }
+  out.close();
+  std::string cmd = "cc -std=c99 -fsyntax-only -Werror=implicit-function-declaration " +
+                    path + " 2>/tmp/fixfuse_emit_err.txt";
+  int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    std::ifstream err("/tmp/fixfuse_emit_err.txt");
+    std::string line, all;
+    while (std::getline(err, line)) all += line + "\n";
+    FAIL() << "emitted C does not compile:\n" << all;
+  }
+}
+
+TEST(EmitC, FloatConstantsKeepPrecision) {
+  ir::Program p;
+  p.declareScalar("x", ir::Type::Float);
+  p.body = ir::blockS({ir::sassign("x", ir::fc(0.25))});
+  std::string c = codegen::emitC(p, {"f", false});
+  EXPECT_NE(c.find("0.25"), std::string::npos);
+  ir::Program q;
+  q.declareScalar("x", ir::Type::Float);
+  q.body = ir::blockS({ir::sassign("x", ir::fc(3.0))});
+  std::string cq = codegen::emitC(q, {"g", false});
+  EXPECT_NE(cq.find("3.0"), std::string::npos);  // not bare "3"
+}
+
+}  // namespace
+}  // namespace fixfuse
