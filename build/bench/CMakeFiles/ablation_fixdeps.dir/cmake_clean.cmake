@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fixdeps.dir/ablation_fixdeps.cpp.o"
+  "CMakeFiles/ablation_fixdeps.dir/ablation_fixdeps.cpp.o.d"
+  "ablation_fixdeps"
+  "ablation_fixdeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fixdeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

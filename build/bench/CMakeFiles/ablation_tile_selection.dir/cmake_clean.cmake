@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tile_selection.dir/ablation_tile_selection.cpp.o"
+  "CMakeFiles/ablation_tile_selection.dir/ablation_tile_selection.cpp.o.d"
+  "ablation_tile_selection"
+  "ablation_tile_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tile_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

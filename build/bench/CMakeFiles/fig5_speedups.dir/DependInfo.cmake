@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_speedups.cpp" "bench/CMakeFiles/fig5_speedups.dir/fig5_speedups.cpp.o" "gcc" "bench/CMakeFiles/fig5_speedups.dir/fig5_speedups.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/fixfuse_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/fixfuse_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/fixfuse_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fixfuse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/fixfuse_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fixfuse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/fixfuse_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fixfuse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/fixfuse_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fixfuse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_chol_branches.dir/fig7_chol_branches.cpp.o"
+  "CMakeFiles/fig7_chol_branches.dir/fig7_chol_branches.cpp.o.d"
+  "fig7_chol_branches"
+  "fig7_chol_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_chol_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

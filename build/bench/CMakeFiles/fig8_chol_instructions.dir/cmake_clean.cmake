@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_chol_instructions.dir/fig8_chol_instructions.cpp.o"
+  "CMakeFiles/fig8_chol_instructions.dir/fig8_chol_instructions.cpp.o.d"
+  "fig8_chol_instructions"
+  "fig8_chol_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_chol_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

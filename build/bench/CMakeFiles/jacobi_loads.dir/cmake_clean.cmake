@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_loads.dir/jacobi_loads.cpp.o"
+  "CMakeFiles/jacobi_loads.dir/jacobi_loads.cpp.o.d"
+  "jacobi_loads"
+  "jacobi_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_cache_experiment.dir/cholesky_cache_experiment.cpp.o"
+  "CMakeFiles/cholesky_cache_experiment.dir/cholesky_cache_experiment.cpp.o.d"
+  "cholesky_cache_experiment"
+  "cholesky_cache_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_cache_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_stencil_pipeline.dir/jacobi_stencil_pipeline.cpp.o"
+  "CMakeFiles/jacobi_stencil_pipeline.dir/jacobi_stencil_pipeline.cpp.o.d"
+  "jacobi_stencil_pipeline"
+  "jacobi_stencil_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_stencil_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

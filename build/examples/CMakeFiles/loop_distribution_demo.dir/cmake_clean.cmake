@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_distribution_demo.dir/loop_distribution_demo.cpp.o"
+  "CMakeFiles/loop_distribution_demo.dir/loop_distribution_demo.cpp.o.d"
+  "loop_distribution_demo"
+  "loop_distribution_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_distribution_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

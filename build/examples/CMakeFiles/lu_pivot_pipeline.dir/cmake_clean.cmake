@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_pivot_pipeline.dir/lu_pivot_pipeline.cpp.o"
+  "CMakeFiles/lu_pivot_pipeline.dir/lu_pivot_pipeline.cpp.o.d"
+  "lu_pivot_pipeline"
+  "lu_pivot_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_pivot_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

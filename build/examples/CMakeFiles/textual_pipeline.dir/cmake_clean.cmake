@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textual_pipeline.dir/textual_pipeline.cpp.o"
+  "CMakeFiles/textual_pipeline.dir/textual_pipeline.cpp.o.d"
+  "textual_pipeline"
+  "textual_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textual_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

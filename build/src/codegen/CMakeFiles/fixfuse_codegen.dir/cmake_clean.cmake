@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixfuse_codegen.dir/emit_c.cpp.o"
+  "CMakeFiles/fixfuse_codegen.dir/emit_c.cpp.o.d"
+  "libfixfuse_codegen.a"
+  "libfixfuse_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixfuse_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/elim.cpp" "src/core/CMakeFiles/fixfuse_core.dir/elim.cpp.o" "gcc" "src/core/CMakeFiles/fixfuse_core.dir/elim.cpp.o.d"
+  "/root/repo/src/core/fuse.cpp" "src/core/CMakeFiles/fixfuse_core.dir/fuse.cpp.o" "gcc" "src/core/CMakeFiles/fixfuse_core.dir/fuse.cpp.o.d"
+  "/root/repo/src/core/scan.cpp" "src/core/CMakeFiles/fixfuse_core.dir/scan.cpp.o" "gcc" "src/core/CMakeFiles/fixfuse_core.dir/scan.cpp.o.d"
+  "/root/repo/src/core/sink.cpp" "src/core/CMakeFiles/fixfuse_core.dir/sink.cpp.o" "gcc" "src/core/CMakeFiles/fixfuse_core.dir/sink.cpp.o.d"
+  "/root/repo/src/core/transforms.cpp" "src/core/CMakeFiles/fixfuse_core.dir/transforms.cpp.o" "gcc" "src/core/CMakeFiles/fixfuse_core.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deps/CMakeFiles/fixfuse_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/fixfuse_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fixfuse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/fixfuse_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fixfuse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixfuse_core.dir/elim.cpp.o"
+  "CMakeFiles/fixfuse_core.dir/elim.cpp.o.d"
+  "CMakeFiles/fixfuse_core.dir/fuse.cpp.o"
+  "CMakeFiles/fixfuse_core.dir/fuse.cpp.o.d"
+  "CMakeFiles/fixfuse_core.dir/scan.cpp.o"
+  "CMakeFiles/fixfuse_core.dir/scan.cpp.o.d"
+  "CMakeFiles/fixfuse_core.dir/sink.cpp.o"
+  "CMakeFiles/fixfuse_core.dir/sink.cpp.o.d"
+  "CMakeFiles/fixfuse_core.dir/transforms.cpp.o"
+  "CMakeFiles/fixfuse_core.dir/transforms.cpp.o.d"
+  "libfixfuse_core.a"
+  "libfixfuse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixfuse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

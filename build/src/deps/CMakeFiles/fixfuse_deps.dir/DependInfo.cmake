@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deps/access.cpp" "src/deps/CMakeFiles/fixfuse_deps.dir/access.cpp.o" "gcc" "src/deps/CMakeFiles/fixfuse_deps.dir/access.cpp.o.d"
+  "/root/repo/src/deps/analysis.cpp" "src/deps/CMakeFiles/fixfuse_deps.dir/analysis.cpp.o" "gcc" "src/deps/CMakeFiles/fixfuse_deps.dir/analysis.cpp.o.d"
+  "/root/repo/src/deps/nestsystem.cpp" "src/deps/CMakeFiles/fixfuse_deps.dir/nestsystem.cpp.o" "gcc" "src/deps/CMakeFiles/fixfuse_deps.dir/nestsystem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/fixfuse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/fixfuse_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fixfuse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

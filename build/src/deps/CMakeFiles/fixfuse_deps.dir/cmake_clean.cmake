@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixfuse_deps.dir/access.cpp.o"
+  "CMakeFiles/fixfuse_deps.dir/access.cpp.o.d"
+  "CMakeFiles/fixfuse_deps.dir/analysis.cpp.o"
+  "CMakeFiles/fixfuse_deps.dir/analysis.cpp.o.d"
+  "CMakeFiles/fixfuse_deps.dir/nestsystem.cpp.o"
+  "CMakeFiles/fixfuse_deps.dir/nestsystem.cpp.o.d"
+  "libfixfuse_deps.a"
+  "libfixfuse_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixfuse_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

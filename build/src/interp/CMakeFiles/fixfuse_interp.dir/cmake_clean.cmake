@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixfuse_interp.dir/interp.cpp.o"
+  "CMakeFiles/fixfuse_interp.dir/interp.cpp.o.d"
+  "CMakeFiles/fixfuse_interp.dir/machine.cpp.o"
+  "CMakeFiles/fixfuse_interp.dir/machine.cpp.o.d"
+  "libfixfuse_interp.a"
+  "libfixfuse_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixfuse_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

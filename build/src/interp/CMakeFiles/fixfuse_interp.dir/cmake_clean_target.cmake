@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfixfuse_interp.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/affine_bridge.cpp" "src/ir/CMakeFiles/fixfuse_ir.dir/affine_bridge.cpp.o" "gcc" "src/ir/CMakeFiles/fixfuse_ir.dir/affine_bridge.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/fixfuse_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/fixfuse_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/parse.cpp" "src/ir/CMakeFiles/fixfuse_ir.dir/parse.cpp.o" "gcc" "src/ir/CMakeFiles/fixfuse_ir.dir/parse.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/fixfuse_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/fixfuse_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/rewrite.cpp" "src/ir/CMakeFiles/fixfuse_ir.dir/rewrite.cpp.o" "gcc" "src/ir/CMakeFiles/fixfuse_ir.dir/rewrite.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/ir/CMakeFiles/fixfuse_ir.dir/stmt.cpp.o" "gcc" "src/ir/CMakeFiles/fixfuse_ir.dir/stmt.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/ir/CMakeFiles/fixfuse_ir.dir/validate.cpp.o" "gcc" "src/ir/CMakeFiles/fixfuse_ir.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poly/CMakeFiles/fixfuse_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fixfuse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

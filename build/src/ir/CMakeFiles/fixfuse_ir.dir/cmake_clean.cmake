@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixfuse_ir.dir/affine_bridge.cpp.o"
+  "CMakeFiles/fixfuse_ir.dir/affine_bridge.cpp.o.d"
+  "CMakeFiles/fixfuse_ir.dir/expr.cpp.o"
+  "CMakeFiles/fixfuse_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/fixfuse_ir.dir/parse.cpp.o"
+  "CMakeFiles/fixfuse_ir.dir/parse.cpp.o.d"
+  "CMakeFiles/fixfuse_ir.dir/printer.cpp.o"
+  "CMakeFiles/fixfuse_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/fixfuse_ir.dir/rewrite.cpp.o"
+  "CMakeFiles/fixfuse_ir.dir/rewrite.cpp.o.d"
+  "CMakeFiles/fixfuse_ir.dir/stmt.cpp.o"
+  "CMakeFiles/fixfuse_ir.dir/stmt.cpp.o.d"
+  "CMakeFiles/fixfuse_ir.dir/validate.cpp.o"
+  "CMakeFiles/fixfuse_ir.dir/validate.cpp.o.d"
+  "libfixfuse_ir.a"
+  "libfixfuse_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixfuse_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cholesky.cpp" "src/kernels/CMakeFiles/fixfuse_kernels.dir/cholesky.cpp.o" "gcc" "src/kernels/CMakeFiles/fixfuse_kernels.dir/cholesky.cpp.o.d"
+  "/root/repo/src/kernels/common.cpp" "src/kernels/CMakeFiles/fixfuse_kernels.dir/common.cpp.o" "gcc" "src/kernels/CMakeFiles/fixfuse_kernels.dir/common.cpp.o.d"
+  "/root/repo/src/kernels/jacobi.cpp" "src/kernels/CMakeFiles/fixfuse_kernels.dir/jacobi.cpp.o" "gcc" "src/kernels/CMakeFiles/fixfuse_kernels.dir/jacobi.cpp.o.d"
+  "/root/repo/src/kernels/lu.cpp" "src/kernels/CMakeFiles/fixfuse_kernels.dir/lu.cpp.o" "gcc" "src/kernels/CMakeFiles/fixfuse_kernels.dir/lu.cpp.o.d"
+  "/root/repo/src/kernels/native.cpp" "src/kernels/CMakeFiles/fixfuse_kernels.dir/native.cpp.o" "gcc" "src/kernels/CMakeFiles/fixfuse_kernels.dir/native.cpp.o.d"
+  "/root/repo/src/kernels/qr.cpp" "src/kernels/CMakeFiles/fixfuse_kernels.dir/qr.cpp.o" "gcc" "src/kernels/CMakeFiles/fixfuse_kernels.dir/qr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fixfuse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/fixfuse_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/fixfuse_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fixfuse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/fixfuse_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fixfuse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixfuse_kernels.dir/cholesky.cpp.o"
+  "CMakeFiles/fixfuse_kernels.dir/cholesky.cpp.o.d"
+  "CMakeFiles/fixfuse_kernels.dir/common.cpp.o"
+  "CMakeFiles/fixfuse_kernels.dir/common.cpp.o.d"
+  "CMakeFiles/fixfuse_kernels.dir/jacobi.cpp.o"
+  "CMakeFiles/fixfuse_kernels.dir/jacobi.cpp.o.d"
+  "CMakeFiles/fixfuse_kernels.dir/lu.cpp.o"
+  "CMakeFiles/fixfuse_kernels.dir/lu.cpp.o.d"
+  "CMakeFiles/fixfuse_kernels.dir/native.cpp.o"
+  "CMakeFiles/fixfuse_kernels.dir/native.cpp.o.d"
+  "CMakeFiles/fixfuse_kernels.dir/qr.cpp.o"
+  "CMakeFiles/fixfuse_kernels.dir/qr.cpp.o.d"
+  "libfixfuse_kernels.a"
+  "libfixfuse_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixfuse_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

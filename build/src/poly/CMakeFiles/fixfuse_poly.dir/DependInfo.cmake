@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/affine.cpp" "src/poly/CMakeFiles/fixfuse_poly.dir/affine.cpp.o" "gcc" "src/poly/CMakeFiles/fixfuse_poly.dir/affine.cpp.o.d"
+  "/root/repo/src/poly/presburger.cpp" "src/poly/CMakeFiles/fixfuse_poly.dir/presburger.cpp.o" "gcc" "src/poly/CMakeFiles/fixfuse_poly.dir/presburger.cpp.o.d"
+  "/root/repo/src/poly/set.cpp" "src/poly/CMakeFiles/fixfuse_poly.dir/set.cpp.o" "gcc" "src/poly/CMakeFiles/fixfuse_poly.dir/set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fixfuse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

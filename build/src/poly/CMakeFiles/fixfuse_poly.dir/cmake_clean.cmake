@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixfuse_poly.dir/affine.cpp.o"
+  "CMakeFiles/fixfuse_poly.dir/affine.cpp.o.d"
+  "CMakeFiles/fixfuse_poly.dir/presburger.cpp.o"
+  "CMakeFiles/fixfuse_poly.dir/presburger.cpp.o.d"
+  "CMakeFiles/fixfuse_poly.dir/set.cpp.o"
+  "CMakeFiles/fixfuse_poly.dir/set.cpp.o.d"
+  "libfixfuse_poly.a"
+  "libfixfuse_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixfuse_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch.cpp" "src/sim/CMakeFiles/fixfuse_sim.dir/branch.cpp.o" "gcc" "src/sim/CMakeFiles/fixfuse_sim.dir/branch.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/fixfuse_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/fixfuse_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/perf.cpp" "src/sim/CMakeFiles/fixfuse_sim.dir/perf.cpp.o" "gcc" "src/sim/CMakeFiles/fixfuse_sim.dir/perf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/fixfuse_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fixfuse_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fixfuse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/fixfuse_poly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

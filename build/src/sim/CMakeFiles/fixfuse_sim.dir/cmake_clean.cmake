@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixfuse_sim.dir/branch.cpp.o"
+  "CMakeFiles/fixfuse_sim.dir/branch.cpp.o.d"
+  "CMakeFiles/fixfuse_sim.dir/cache.cpp.o"
+  "CMakeFiles/fixfuse_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/fixfuse_sim.dir/perf.cpp.o"
+  "CMakeFiles/fixfuse_sim.dir/perf.cpp.o.d"
+  "libfixfuse_sim.a"
+  "libfixfuse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixfuse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixfuse_support.dir/error.cpp.o"
+  "CMakeFiles/fixfuse_support.dir/error.cpp.o.d"
+  "CMakeFiles/fixfuse_support.dir/intmatrix.cpp.o"
+  "CMakeFiles/fixfuse_support.dir/intmatrix.cpp.o.d"
+  "CMakeFiles/fixfuse_support.dir/rational.cpp.o"
+  "CMakeFiles/fixfuse_support.dir/rational.cpp.o.d"
+  "CMakeFiles/fixfuse_support.dir/str.cpp.o"
+  "CMakeFiles/fixfuse_support.dir/str.cpp.o.d"
+  "libfixfuse_support.a"
+  "libfixfuse_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixfuse_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixfuse_tile.dir/selection.cpp.o"
+  "CMakeFiles/fixfuse_tile.dir/selection.cpp.o.d"
+  "libfixfuse_tile.a"
+  "libfixfuse_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixfuse_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_roundtrip_test.dir/codegen_roundtrip_test.cpp.o"
+  "CMakeFiles/codegen_roundtrip_test.dir/codegen_roundtrip_test.cpp.o.d"
+  "codegen_roundtrip_test"
+  "codegen_roundtrip_test.pdb"
+  "codegen_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

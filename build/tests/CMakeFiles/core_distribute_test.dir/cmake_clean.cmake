@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_distribute_test.dir/core_distribute_test.cpp.o"
+  "CMakeFiles/core_distribute_test.dir/core_distribute_test.cpp.o.d"
+  "core_distribute_test"
+  "core_distribute_test.pdb"
+  "core_distribute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_distribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fuse_test.dir/core_fuse_test.cpp.o"
+  "CMakeFiles/core_fuse_test.dir/core_fuse_test.cpp.o.d"
+  "core_fuse_test"
+  "core_fuse_test.pdb"
+  "core_fuse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sink_test.dir/core_sink_test.cpp.o"
+  "CMakeFiles/core_sink_test.dir/core_sink_test.cpp.o.d"
+  "core_sink_test"
+  "core_sink_test.pdb"
+  "core_sink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deps_bruteforce_test.dir/deps_bruteforce_test.cpp.o"
+  "CMakeFiles/deps_bruteforce_test.dir/deps_bruteforce_test.cpp.o.d"
+  "deps_bruteforce_test"
+  "deps_bruteforce_test.pdb"
+  "deps_bruteforce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deps_bruteforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

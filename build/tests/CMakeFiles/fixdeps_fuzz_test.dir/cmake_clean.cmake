@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixdeps_fuzz_test.dir/fixdeps_fuzz_test.cpp.o"
+  "CMakeFiles/fixdeps_fuzz_test.dir/fixdeps_fuzz_test.cpp.o.d"
+  "fixdeps_fuzz_test"
+  "fixdeps_fuzz_test.pdb"
+  "fixdeps_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixdeps_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

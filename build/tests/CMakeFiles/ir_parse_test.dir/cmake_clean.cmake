@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_parse_test.dir/ir_parse_test.cpp.o"
+  "CMakeFiles/ir_parse_test.dir/ir_parse_test.cpp.o.d"
+  "ir_parse_test"
+  "ir_parse_test.pdb"
+  "ir_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_param_test.dir/kernels_param_test.cpp.o"
+  "CMakeFiles/kernels_param_test.dir/kernels_param_test.cpp.o.d"
+  "kernels_param_test"
+  "kernels_param_test.pdb"
+  "kernels_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

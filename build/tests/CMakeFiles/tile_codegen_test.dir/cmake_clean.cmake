@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_codegen_test.dir/tile_codegen_test.cpp.o"
+  "CMakeFiles/tile_codegen_test.dir/tile_codegen_test.cpp.o.d"
+  "tile_codegen_test"
+  "tile_codegen_test.pdb"
+  "tile_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

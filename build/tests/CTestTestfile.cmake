@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/codegen_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/core_distribute_test[1]_include.cmake")
+include("/root/repo/build/tests/core_fuse_test[1]_include.cmake")
+include("/root/repo/build/tests/core_sink_test[1]_include.cmake")
+include("/root/repo/build/tests/core_split_test[1]_include.cmake")
+include("/root/repo/build/tests/core_transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/deps_bruteforce_test[1]_include.cmake")
+include("/root/repo/build/tests/deps_test[1]_include.cmake")
+include("/root/repo/build/tests/fixdeps_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_parse_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_param_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_affine_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_property_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_set_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/tile_codegen_test[1]_include.cmake")
