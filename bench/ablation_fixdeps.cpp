@@ -11,6 +11,8 @@
 // Part 3 (copy-array merging, Theorems 3/4): extra memory introduced by
 // ElimRW with the merged copy arrays, versus the worst case the paper
 // contrasts against (array expansion: one extra N x N x L array).
+//
+// The per-kernel measurements are independent and run on the worker pool.
 #include <cmath>
 
 #include "bench_util.h"
@@ -20,6 +22,12 @@ using namespace fixfuse;
 using namespace fixfuse::kernels;
 
 namespace {
+
+const std::vector<std::string>& kernelNames() {
+  static const std::vector<std::string> names{"lu", "cholesky", "qr",
+                                              "jacobi"};
+  return names;
+}
 
 native::Matrix runA(const ir::Program& p,
                     const std::map<std::string, std::int64_t>& params,
@@ -40,51 +48,89 @@ double maxAbsDiff(const native::Matrix& a, const native::Matrix& b) {
   return d;
 }
 
+std::map<std::string, native::Matrix> initFor(const std::string& name,
+                                              std::int64_t n) {
+  std::map<std::string, native::Matrix> init;
+  init["A"] = name == "cholesky" ? native::spdMatrix(n, 5)
+                                 : native::randomMatrix(n, 5, 0.5, 1.5);
+  return init;
+}
+
+std::map<std::string, std::int64_t> paramsFor(const std::string& name,
+                                              std::int64_t n,
+                                              std::int64_t m) {
+  std::map<std::string, std::int64_t> params{{"N", n}};
+  if (name == "jacobi") params["M"] = m;
+  return params;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("ablation_fixdeps", argc, argv);
   std::printf("Ablation: FixDeps necessity and overhead\n");
   std::printf("\n%-9s %18s %18s\n", "kernel", "|seq - fusedRaw|",
               "|seq - fixed|");
-  for (const std::string name : {"lu", "cholesky", "qr", "jacobi"}) {
-    KernelBundle b = buildKernel(name, {/*tile=*/0});
-    std::int64_t n = 10;
-    std::map<std::string, std::int64_t> params{{"N", n}};
-    if (name == "jacobi") params["M"] = 4;
-    std::map<std::string, native::Matrix> init;
-    init["A"] = name == "cholesky" ? native::spdMatrix(n, 5)
-                                   : native::randomMatrix(n, 5, 0.5, 1.5);
-    native::Matrix seq = runA(b.seq, params, init);
-    native::Matrix fusedRaw = runA(b.fused, params, init);
-    native::Matrix fixed = runA(b.fixed, params, init);
-    std::printf("%-9s %18.3e %18.3e\n", name.c_str(),
-                maxAbsDiff(seq, fusedRaw), maxAbsDiff(seq, fixed));
-  }
+  bench::parallelSweep(
+      kernelNames().size(),
+      [&](std::size_t i) {
+        const std::string& name = kernelNames()[i];
+        KernelBundle b = buildKernel(name, {/*tile=*/0});
+        std::int64_t n = 10;
+        auto params = paramsFor(name, n, 4);
+        auto init = initFor(name, n);
+        native::Matrix seq = runA(b.seq, params, init);
+        native::Matrix fusedRaw = runA(b.fused, params, init);
+        native::Matrix fixed = runA(b.fixed, params, init);
+        bench::SweepRow row;
+        row.text = bench::strprintf("%-9s %18.3e %18.3e\n", name.c_str(),
+                                    maxAbsDiff(seq, fusedRaw),
+                                    maxAbsDiff(seq, fixed));
+        row.json = support::Json::object();
+        row.json.set("part", "necessity")
+            .set("kernel", name)
+            .set("n", n)
+            .set("err_fused_raw", maxAbsDiff(seq, fusedRaw))
+            .set("err_fixed", maxAbsDiff(seq, fixed));
+        return row;
+      },
+      &report);
 
   std::printf("\nOverhead of the fixed (untiled) fused code, N = 128:\n");
   std::printf("%-9s %14s %14s %8s\n", "kernel", "instr seq", "instr fixed",
               "ratio");
-  for (const std::string name : {"lu", "cholesky", "qr", "jacobi"}) {
-    KernelBundle b = buildKernel(name, {/*tile=*/0});
-    std::int64_t n = 128;
-    std::map<std::string, std::int64_t> params{{"N", n}};
-    if (name == "jacobi") params["M"] = 4;
-    std::map<std::string, native::Matrix> init;
-    init["A"] = name == "cholesky" ? native::spdMatrix(n, 5)
-                                   : native::randomMatrix(n, 5, 0.5, 1.5);
-    interp::CountingObserver so, fo;
-    runA(b.seq, params, init, &so);
-    runA(b.fixed, params, init, &fo);
-    std::printf("%-9s %14llu %14llu %7.2fx\n", name.c_str(),
-                static_cast<unsigned long long>(so.totalInstructions()),
-                static_cast<unsigned long long>(fo.totalInstructions()),
-                static_cast<double>(fo.totalInstructions()) /
-                    static_cast<double>(so.totalInstructions()));
-  }
+  bench::parallelSweep(
+      kernelNames().size(),
+      [&](std::size_t i) {
+        const std::string& name = kernelNames()[i];
+        KernelBundle b = buildKernel(name, {/*tile=*/0});
+        std::int64_t n = 128;
+        auto params = paramsFor(name, n, 4);
+        auto init = initFor(name, n);
+        interp::CountingObserver so, fo;
+        runA(b.seq, params, init, &so);
+        runA(b.fixed, params, init, &fo);
+        bench::SweepRow row;
+        row.text = bench::strprintf(
+            "%-9s %14llu %14llu %7.2fx\n", name.c_str(),
+            static_cast<unsigned long long>(so.totalInstructions()),
+            static_cast<unsigned long long>(fo.totalInstructions()),
+            static_cast<double>(fo.totalInstructions()) /
+                static_cast<double>(so.totalInstructions()));
+        row.json = support::Json::object();
+        row.json.set("part", "overhead")
+            .set("kernel", name)
+            .set("n", n)
+            .set("instructions_seq", so.totalInstructions())
+            .set("instructions_fixed", fo.totalInstructions());
+        return row;
+      },
+      &report);
+
   std::printf("\nCopy arrays introduced by ElimRW (Theorems 3/4):\n");
   std::printf("%-9s %12s %22s\n", "kernel", "copy arrays",
               "extra doubles (N=128)");
-  for (const std::string name : {"lu", "cholesky", "qr", "jacobi"}) {
+  for (const std::string& name : kernelNames()) {
     KernelBundle b = buildKernel(name, {/*tile=*/0});
     std::size_t hCount = 0, extra = 0;
     for (const auto& a : b.fixed.arrays)
@@ -95,6 +141,12 @@ int main() {
     // Jacobi scalarises L away, so its net extra memory is ~zero.
     std::printf("%-9s %12zu %22zu%s\n", name.c_str(), hCount, extra,
                 name == "jacobi" ? "  (net ~0: L was scalarised away)" : "");
+    support::Json row = support::Json::object();
+    row.set("part", "copy_arrays")
+        .set("kernel", name)
+        .set("copy_arrays", static_cast<std::uint64_t>(hCount))
+        .set("extra_doubles_n128", static_cast<std::uint64_t>(extra));
+    report.addRow(std::move(row));
   }
   std::printf(
       "\nexpected shape: fusedRaw differs (nonzero error) for lu/qr/jacobi "
@@ -102,5 +154,6 @@ int main() {
       "the fixed code pays a modest instruction overhead; at most one copy "
       "array per original array (merged across readers), versus O(N^3) for "
       "array expansion.\n");
+  report.write();
   return 0;
 }

@@ -3,14 +3,16 @@
 //
 // Part 1: the selected tile sizes across the paper's problem sizes,
 // including the pathological leading dimensions where LRW shrinks.
-// Part 2: simulated Cholesky L1 misses tiled with each selection.
+// Part 2: simulated Cholesky L1 misses tiled with each selection
+// (sweep points run on the worker pool).
 #include "bench_util.h"
 #include "tile/selection.h"
 
 using namespace fixfuse;
 using namespace fixfuse::kernels;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("ablation_tile_selection", argc, argv);
   const bool full = bench::fullRuns();
   auto l1 = sim::CacheConfig::octane2L1();
   std::int64_t pdat = tile::pdatTileSize(l1);
@@ -23,6 +25,10 @@ int main() {
     std::int64_t lrw = tile::lrwTileSize(l1, n + 1);
     std::printf("%6lld %6lld %6lld\n", static_cast<long long>(n),
                 static_cast<long long>(lrw), static_cast<long long>(pdat));
+    support::Json row = support::Json::object();
+    row.set("part", "tile_sizes").set("n", n).set("lrw", lrw).set("pdat",
+                                                                  pdat);
+    report.addRow(std::move(row));
   }
 
   std::printf("\nCholesky simulated L1 misses with each selection:\n");
@@ -30,21 +36,37 @@ int main() {
               "L1miss pdat");
   std::vector<std::int64_t> sizes{100, 200};
   if (full) sizes.push_back(300);
-  for (std::int64_t n : sizes) {
-    std::int64_t lrw = tile::lrwTileSize(l1, n + 1);
-    std::map<std::string, native::Matrix> init{{"A", native::spdMatrix(n, 7)}};
-    KernelBundle bl = buildCholesky({lrw});
-    KernelBundle bp = buildCholesky({pdat});
-    sim::PerfCounts cl = bench::simulate(bl.tiled, {{"N", n}}, init);
-    sim::PerfCounts cp = bench::simulate(bp.tiled, {{"N", n}}, init);
-    std::printf("%6lld %6lld %6lld %14llu %14llu\n", static_cast<long long>(n),
-                static_cast<long long>(lrw), static_cast<long long>(pdat),
-                static_cast<unsigned long long>(cl.l1Misses),
-                static_cast<unsigned long long>(cp.l1Misses));
-  }
+  bench::parallelSweep(
+      sizes.size(),
+      [&](std::size_t i) {
+        std::int64_t n = sizes[i];
+        std::int64_t lrw = tile::lrwTileSize(l1, n + 1);
+        std::map<std::string, native::Matrix> init{
+            {"A", native::spdMatrix(n, 7)}};
+        KernelBundle bl = buildCholesky({lrw});
+        KernelBundle bp = buildCholesky({pdat});
+        sim::PerfCounts cl = bench::simulate(bl.tiled, {{"N", n}}, init);
+        sim::PerfCounts cp = bench::simulate(bp.tiled, {{"N", n}}, init);
+        bench::SweepRow row;
+        row.text = bench::strprintf(
+            "%6lld %6lld %6lld %14llu %14llu\n", static_cast<long long>(n),
+            static_cast<long long>(lrw), static_cast<long long>(pdat),
+            static_cast<unsigned long long>(cl.l1Misses),
+            static_cast<unsigned long long>(cp.l1Misses));
+        row.json = support::Json::object();
+        row.json.set("part", "simulated_misses")
+            .set("n", n)
+            .set("tile_lrw", lrw)
+            .set("tile_pdat", pdat)
+            .set("l1_misses_lrw", cl.l1Misses)
+            .set("l1_misses_pdat", cp.l1Misses);
+        return row;
+      },
+      &report);
   std::printf("\nexpected shape: similar miss counts wherever LRW and PDAT "
               "pick similar tiles (the paper: curves 'almost always "
               "coincide'); LRW collapses only at pathological leading "
               "dimensions.\n");
+  report.write();
   return 0;
 }

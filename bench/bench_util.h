@@ -4,11 +4,27 @@
 // sweeps are scaled down so the whole bench suite runs in minutes on a
 // laptop; set FIXFUSE_FULL=1 for paper-scale sweeps (N up to ~2342 at
 // multiples of 238, Jacobi M = 500).
+//
+// Independent (kernel, N) sweep points run on a worker-thread pool
+// (`parallelSweep`): each point owns its interpreter machine, arrays and
+// simulator state, and rows are printed in submission order, so the
+// table/JSON output is byte-identical across thread counts. Set
+// FIXFUSE_THREADS to pin the worker count (native wall-clock benches stay
+// serial - concurrent timing runs would disturb each other).
+//
+// Machine-readable results: pass `--json <path>` (file, or directory to
+// receive BENCH_<name>.json) or set FIXFUSE_JSON (a directory, or any
+// truthy value for the current directory) and each binary writes a
+// BENCH_<name>.json alongside its table; see DESIGN.md for the schema.
 #pragma once
 
-#include <chrono>
+#include <cctype>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <chrono>
+#include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,12 +32,49 @@
 #include "kernels/common.h"
 #include "kernels/native.h"
 #include "sim/perf.h"
+#include "support/json.h"
+#include "support/thread_pool.h"
 
 namespace fixfuse::bench {
 
+/// Case-insensitive conventional truthiness: 1/true/yes/on.
+/// Returns nullopt for anything else (including 0/false/no/off).
+inline std::optional<bool> parseTruthy(const char* v) {
+  if (!v) return std::nullopt;
+  std::string s;
+  for (const char* p = v; *p; ++p)
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s.empty() || s == "0" || s == "false" || s == "no" || s == "off")
+    return false;
+  return std::nullopt;
+}
+
 inline bool fullRuns() {
   const char* v = std::getenv("FIXFUSE_FULL");
-  return v && v[0] == '1';
+  if (!v) return false;
+  std::optional<bool> parsed = parseTruthy(v);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "warning: unrecognized FIXFUSE_FULL value '%s' "
+                 "(expected 1/true/yes/on or 0/false/no/off); "
+                 "running the reduced sweep\n",
+                 v);
+    return false;
+  }
+  return *parsed;
+}
+
+/// Worker count for parallelSweep: FIXFUSE_THREADS if set (>= 1),
+/// otherwise the hardware thread count.
+inline unsigned sweepThreads() {
+  if (const char* v = std::getenv("FIXFUSE_THREADS")) {
+    long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) return static_cast<unsigned>(n);
+    std::fprintf(stderr,
+                 "warning: ignoring invalid FIXFUSE_THREADS value '%s'\n", v);
+  }
+  return support::ThreadPool::hardwareThreads();
 }
 
 /// The paper's problem sizes: 200..2500 at multiples of 238 ("this
@@ -51,6 +104,20 @@ double timeBest(Fn&& fn, int reps = 1) {
   return best;
 }
 
+/// printf into a std::string (row formatting for the sweep runner).
+inline std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
 /// Run an IR program under the full Octane2 simulation; arrays initialised
 /// from `init` (by name; missing arrays left zero).
 inline sim::PerfCounts simulate(
@@ -73,6 +140,96 @@ inline void consume(const double* data, std::size_t n) {
   for (std::size_t i = 0; i < n; i += 97) s += data[i];
   volatile double sink = s;
   (void)sink;
+}
+
+/// One sweep-point result: the stdout row plus an optional JSON record.
+struct SweepRow {
+  std::string text;
+  support::Json json;  // null when the bench has no JSON for this row
+};
+
+/// Collects a bench binary's machine-readable results and writes
+/// BENCH_<name>.json when requested via --json <path> or FIXFUSE_JSON.
+class BenchReport {
+ public:
+  BenchReport(std::string name, int argc, char** argv)
+      : name_(std::move(name)), start_(now()) {
+    meta_ = support::Json::object();
+    rows_ = support::Json::array();
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--json") path_ = resolve(argv[i + 1]);
+    if (!path_) {
+      if (const char* v = std::getenv("FIXFUSE_JSON")) {
+        std::optional<bool> truthy = parseTruthy(v);
+        if (truthy && *truthy)
+          path_ = "BENCH_" + name_ + ".json";
+        else if (!truthy || std::filesystem::is_directory(v))
+          path_ = resolve(v);
+      }
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  bool enabled() const { return path_.has_value(); }
+
+  /// Top-level metadata (configuration of this run).
+  void setMeta(const std::string& key, support::Json v) {
+    meta_.set(key, std::move(v));
+  }
+  void addRow(support::Json row) { rows_.push(std::move(row)); }
+
+  /// Write the report when requested; returns the path written to.
+  std::optional<std::string> write() {
+    if (!path_) return std::nullopt;
+    support::Json doc = support::Json::object();
+    doc.set("bench", name_);
+    doc.set("schema_version", std::int64_t{1});
+    doc.set("full_sweep", fullRuns());
+    doc.set("threads", static_cast<std::int64_t>(sweepThreads()));
+    doc.set("config", std::move(meta_));
+    doc.set("rows", std::move(rows_));
+    doc.set("wall_seconds", now() - start_);
+    std::FILE* f = std::fopen(path_->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write JSON report to %s\n",
+                   path_->c_str());
+      return std::nullopt;
+    }
+    std::string text = doc.str(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path_->c_str());
+    return path_;
+  }
+
+ private:
+  std::string resolve(const std::string& p) const {
+    if (std::filesystem::is_directory(p))
+      return (std::filesystem::path(p) / ("BENCH_" + name_ + ".json"))
+          .string();
+    return p;
+  }
+
+  std::string name_;
+  double start_ = 0;
+  std::optional<std::string> path_;
+  support::Json meta_;
+  support::Json rows_;
+};
+
+/// Run fn(i) for each sweep point on the worker pool, then emit the rows
+/// in index order: text to stdout, JSON (when non-null) to `report`.
+/// Deterministic: output is byte-identical for any thread count.
+template <typename Fn>
+void parallelSweep(std::size_t n, Fn&& fn, BenchReport* report = nullptr,
+                   unsigned threads = sweepThreads()) {
+  std::vector<SweepRow> rows =
+      support::parallelMapOrdered<SweepRow>(n, threads, fn);
+  for (SweepRow& r : rows) {
+    std::fputs(r.text.c_str(), stdout);
+    if (report && !r.json.isNull()) report->addRow(std::move(r.json));
+  }
 }
 
 }  // namespace fixfuse::bench

@@ -13,6 +13,7 @@
 // overstates the tiled codes' overhead relative to compiled code (a real
 // compiler hoists the tile-boundary min/max out of the hot loops), so
 // `total` is a pessimistic bound; `mem` carries the paper's signal.
+// (kernel, N) sweep points run on the worker pool.
 #include "bench_util.h"
 #include "core/transforms.h"
 #include "tile/selection.h"
@@ -30,7 +31,8 @@ double memCycles(const sim::PerfCounts& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig5_simulated", argc, argv);
   const bool full = bench::fullRuns();
   std::vector<std::int64_t> sizes = full
                                         ? std::vector<std::int64_t>{96, 144,
@@ -47,7 +49,11 @@ int main() {
   std::printf("%-9s %6s %14s %14s %9s %9s\n", "kernel", "N", "memcyc seq",
               "memcyc tiled", "s.mem", "s.total");
 
-  for (const std::string name : {"lu", "cholesky", "qr", "jacobi"}) {
+  // Build each kernel's programs once (fast, compile-side); the simulated
+  // sweep points then share them read-only across workers.
+  const std::vector<std::string> names{"lu", "cholesky", "qr", "jacobi"};
+  std::map<std::string, KernelBundle> bundles;
+  for (const std::string& name : names) {
     KernelBundle b = buildKernel(name, {tile});
     if (name == "cholesky") {
       // Unswitch the k == j-1 boundary step (what a compiler does); see
@@ -56,25 +62,57 @@ int main() {
           b.tiled, "k", poly::AffineExpr::var("j") - poly::AffineExpr(1),
           kernelContext(false));
     }
-    for (std::int64_t n : sizes) {
-      std::map<std::string, std::int64_t> params{{"N", n}};
-      if (name == "jacobi") params["M"] = m;
-      std::map<std::string, native::Matrix> init;
-      init["A"] = name == "cholesky" ? native::spdMatrix(n, 3)
-                                     : native::randomMatrix(n, 3, 0.5, 1.5);
-      sim::PerfCounts seq = bench::simulate(b.tiledBaseline, params, init,
-                                            l1, l2);
-      sim::PerfCounts tiled = bench::simulate(b.tiled, params, init, l1, l2);
-      double sMem = memCycles(seq) / memCycles(tiled);
-      double sTot = sim::cyclesOf(seq).total() / sim::cyclesOf(tiled).total();
-      std::printf("%-9s %6lld %14.0f %14.0f %8.2fx %8.2fx\n", name.c_str(),
-                  static_cast<long long>(n), memCycles(seq), memCycles(tiled),
-                  sMem, sTot);
-    }
+    bundles.emplace(name, std::move(b));
   }
+  struct Point {
+    std::string kernel;
+    std::int64_t n;
+  };
+  std::vector<Point> points;
+  for (const std::string& name : names)
+    for (std::int64_t n : sizes) points.push_back({name, n});
+
+  bench::parallelSweep(
+      points.size(),
+      [&](std::size_t i) {
+        const Point& pt = points[i];
+        const KernelBundle& b = bundles.at(pt.kernel);
+        std::map<std::string, std::int64_t> params{{"N", pt.n}};
+        if (pt.kernel == "jacobi") params["M"] = m;
+        std::map<std::string, native::Matrix> init;
+        init["A"] = pt.kernel == "cholesky"
+                        ? native::spdMatrix(pt.n, 3)
+                        : native::randomMatrix(pt.n, 3, 0.5, 1.5);
+        sim::PerfCounts seq =
+            bench::simulate(b.tiledBaseline, params, init, l1, l2);
+        sim::PerfCounts tiled = bench::simulate(b.tiled, params, init, l1, l2);
+        double sMem = memCycles(seq) / memCycles(tiled);
+        double sTot =
+            sim::cyclesOf(seq).total() / sim::cyclesOf(tiled).total();
+        bench::SweepRow row;
+        row.text = bench::strprintf(
+            "%-9s %6lld %14.0f %14.0f %8.2fx %8.2fx\n", pt.kernel.c_str(),
+            static_cast<long long>(pt.n), memCycles(seq), memCycles(tiled),
+            sMem, sTot);
+        row.json = support::Json::object();
+        row.json.set("kernel", pt.kernel)
+            .set("n", pt.n)
+            .set("tile", tile)
+            .set("mem_cycles_seq", memCycles(seq))
+            .set("mem_cycles_tiled", memCycles(tiled))
+            .set("total_cycles_seq", sim::cyclesOf(seq).total())
+            .set("total_cycles_tiled", sim::cyclesOf(tiled).total())
+            .set("events_seq", seq.graduatedInstructions())
+            .set("events_tiled", tiled.graduatedInstructions())
+            .set("speedup_mem", sMem)
+            .set("speedup_total", sTot);
+        return row;
+      },
+      &report);
   std::printf(
       "\nexpected shape: s.mem > 1 and growing with N for all kernels "
       "(who wins and by roughly what factor); s.total trails it by the "
       "interpreter's uncompiled loop overhead.\n");
+  report.write();
   return 0;
 }

@@ -13,6 +13,10 @@
 // per kernel - the host has a 260 MiB L3, so every paper-scale matrix
 // stays in LLC and the Octane2-calibrated tile is not optimal here (the
 // skewed Jacobi tile in particular must fit ~2*(2T)^2 doubles in L1).
+//
+// Native timing runs stay SERIAL on purpose: concurrent wall-clock
+// measurements on shared cores/caches would disturb each other (the
+// parallel sweep runner is for the deterministic simulated benches).
 #include "bench_util.h"
 #include "sim/cache.h"
 #include "tile/selection.h"
@@ -20,7 +24,27 @@
 using namespace fixfuse;
 using namespace fixfuse::kernels;
 
-int main() {
+namespace {
+
+void emitRow(bench::BenchReport& report, const char* kernel, std::int64_t n,
+             double ts, double tp, double tt) {
+  std::printf("%-9s %6lld %11.4f %11.4f %11.4f %7.2fx %7.2fx\n", kernel,
+              static_cast<long long>(n), ts, tp, tt, ts / tp, ts / tt);
+  fixfuse::support::Json row = fixfuse::support::Json::object();
+  row.set("kernel", kernel)
+      .set("n", n)
+      .set("seconds_seq", ts)
+      .set("seconds_pdat", tp)
+      .set("seconds_tuned", tt)
+      .set("speedup_pdat", ts / tp)
+      .set("speedup_tuned", ts / tt);
+  report.addRow(std::move(row));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig5_speedups", argc, argv);
   const bool full = bench::fullRuns();
   std::vector<std::int64_t> sizes;
   for (std::int64_t n : bench::paperSizes())
@@ -47,8 +71,7 @@ int main() {
       double tt =
           bench::timeBest([&] { a = a0; native::luTiled(a.data(), n, tLu); });
       bench::consume(a.data(), a.size());
-      std::printf("%-9s %6lld %11.4f %11.4f %11.4f %7.2fx %7.2fx\n", "lu",
-                  static_cast<long long>(n), ts, tp, tt, ts / tp, ts / tt);
+      emitRow(report, "lu", n, ts, tp, tt);
     }
     {  // QR
       native::Matrix a0 = native::randomMatrix(n, 2, 0.5, 1.5);
@@ -62,8 +85,7 @@ int main() {
       double tt = bench::timeBest(
           [&] { a = a0; native::qrTiled(a.data(), x.data(), n, tQr); });
       bench::consume(a.data(), a.size());
-      std::printf("%-9s %6lld %11.4f %11.4f %11.4f %7.2fx %7.2fx\n", "qr",
-                  static_cast<long long>(n), ts, tp, tt, ts / tp, ts / tt);
+      emitRow(report, "qr", n, ts, tp, tt);
     }
     {  // Cholesky
       native::Matrix a0 = native::spdMatrix(n, 3);
@@ -75,8 +97,7 @@ int main() {
       double tt = bench::timeBest(
           [&] { a = a0; native::cholTiled(a.data(), n, tChol); });
       bench::consume(a.data(), a.size());
-      std::printf("%-9s %6lld %11.4f %11.4f %11.4f %7.2fx %7.2fx\n", "cholesky",
-                  static_cast<long long>(n), ts, tp, tt, ts / tp, ts / tt);
+      emitRow(report, "cholesky", n, ts, tp, tt);
     }
     {  // Jacobi
       native::Matrix a0 = native::randomMatrix(n, 4);
@@ -96,12 +117,12 @@ int main() {
         native::jacobiTiled(a.data(), scratch.data(), n, m, tJacobi);
       });
       bench::consume(a.data(), a.size());
-      std::printf("%-9s %6lld %11.4f %11.4f %11.4f %7.2fx %7.2fx\n", "jacobi",
-                  static_cast<long long>(n), ts, tp, tt, ts / tp, ts / tt);
+      emitRow(report, "jacobi", n, ts, tp, tt);
     }
   }
   std::printf(
       "\npaper reference ranges: lu 0.98-2.80, qr 0.57-2.28, "
       "cholesky 1.11-4.27, jacobi 2.16-7.51\n");
+  report.write();
   return 0;
 }

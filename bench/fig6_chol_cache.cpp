@@ -9,6 +9,7 @@
 //    effective in reducing L2 misses for LU and Cholesky").
 //  * 1/16-scaled geometry (L1 2KiB, L2 128KiB): same shape at 1/4 the
 //    problem size, so the L2 crossover is visible in seconds.
+// Sweep points are independent simulations and run on the worker pool.
 #include "bench_util.h"
 #include "tile/selection.h"
 
@@ -19,28 +20,46 @@ namespace {
 
 void sweep(const char* label, const std::vector<std::int64_t>& sizes,
            const sim::CacheConfig& l1, const sim::CacheConfig& l2,
-           std::int64_t tile) {
+           std::int64_t tile, bench::BenchReport* report) {
   std::printf("\n-- %s (tile=%lld) --\n", label, static_cast<long long>(tile));
   std::printf("%6s %14s %14s %14s %14s\n", "N", "L1cyc seq", "L1cyc tiled",
               "L2cyc seq", "L2cyc tiled");
-  KernelBundle b = buildCholesky({tile});
-  sim::CostModel cost;
-  for (std::int64_t n : sizes) {
-    std::map<std::string, native::Matrix> init{{"A", native::spdMatrix(n, 7)}};
-    sim::PerfCounts s = bench::simulate(b.seq, {{"N", n}}, init, l1, l2);
-    sim::PerfCounts t = bench::simulate(b.tiled, {{"N", n}}, init, l1, l2);
-    std::printf("%6lld %14.0f %14.0f %14.0f %14.0f\n",
-                static_cast<long long>(n),
-                static_cast<double>(s.l1Misses) * cost.l1MissCycles,
-                static_cast<double>(t.l1Misses) * cost.l1MissCycles,
-                static_cast<double>(s.l2Misses) * cost.l2MissCycles,
-                static_cast<double>(t.l2Misses) * cost.l2MissCycles);
-  }
+  const KernelBundle b = buildCholesky({tile});
+  const sim::CostModel cost;
+  bench::parallelSweep(
+      sizes.size(),
+      [&](std::size_t i) {
+        std::int64_t n = sizes[i];
+        std::map<std::string, native::Matrix> init{
+            {"A", native::spdMatrix(n, 7)}};
+        sim::PerfCounts s = bench::simulate(b.seq, {{"N", n}}, init, l1, l2);
+        sim::PerfCounts t = bench::simulate(b.tiled, {{"N", n}}, init, l1, l2);
+        bench::SweepRow row;
+        row.text = bench::strprintf(
+            "%6lld %14.0f %14.0f %14.0f %14.0f\n", static_cast<long long>(n),
+            static_cast<double>(s.l1Misses) * cost.l1MissCycles,
+            static_cast<double>(t.l1Misses) * cost.l1MissCycles,
+            static_cast<double>(s.l2Misses) * cost.l2MissCycles,
+            static_cast<double>(t.l2Misses) * cost.l2MissCycles);
+        row.json = support::Json::object();
+        row.json.set("geometry", label)
+            .set("n", n)
+            .set("tile", tile)
+            .set("l1_misses_seq", s.l1Misses)
+            .set("l1_misses_tiled", t.l1Misses)
+            .set("l2_misses_seq", s.l2Misses)
+            .set("l2_misses_tiled", t.l2Misses)
+            .set("events_seq", s.graduatedInstructions())
+            .set("events_tiled", t.graduatedInstructions());
+        return row;
+      },
+      report);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig6_chol_cache", argc, argv);
   const bool full = bench::fullRuns();
   std::printf("Figure 6: Cholesky L1/L2 data-cache miss cycles (typical)\n");
 
@@ -48,7 +67,7 @@ int main() {
   if (full) octaneSizes.insert(octaneSizes.end(), {420, 560, 700});
   std::int64_t tile = tile::pdatTileSize(sim::CacheConfig::octane2L1());
   sweep("Octane2 geometry", octaneSizes, sim::CacheConfig::octane2L1(),
-        sim::CacheConfig::octane2L2(), tile);
+        sim::CacheConfig::octane2L2(), tile, &report);
 
   // 1/16 scale: L1 2KiB/32B/2w, L2 128KiB/128B/2w. L2 holds a 128x128
   // double matrix, so the L2 crossover appears around N ~ 128.
@@ -56,10 +75,11 @@ int main() {
   sim::CacheConfig l2s{128 * 1024, 128, 2};
   std::vector<std::int64_t> scaledSizes{64, 96, 128, 160, 192};
   sweep("1/16-scaled geometry", scaledSizes, l1s, l2s,
-        tile::pdatTileSize(l1s));
+        tile::pdatTileSize(l1s), &report);
 
   std::printf(
       "\nexpected shape: tiled < seq in both levels; the L2 columns "
       "separate sharply once the matrix exceeds the L2 capacity.\n");
+  report.write();
   return 0;
 }

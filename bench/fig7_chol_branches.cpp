@@ -2,42 +2,55 @@
 // and mispredictions (5 cycles each) for Cholesky, seq vs tiled, on the
 // simulated Octane2. The paper's point: this overhead - introduced by
 // code sinking and tiling - is small relative to the saved miss cycles
-// of Figure 6.
+// of Figure 6. Sweep points run on the worker pool.
 #include "bench_util.h"
 #include "tile/selection.h"
 
 using namespace fixfuse;
 using namespace fixfuse::kernels;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig7_chol_branches", argc, argv);
   const bool full = bench::fullRuns();
   std::vector<std::int64_t> sizes{100, 200};
   if (full) sizes.insert(sizes.end(), {300, 420});
   std::int64_t tile = tile::pdatTileSize(sim::CacheConfig::octane2L1());
-  KernelBundle b = buildCholesky({tile});
-  sim::CostModel cost;
+  const KernelBundle b = buildCholesky({tile});
+  const sim::CostModel cost;
 
   std::printf("Figure 7: Cholesky branch cycles (typical)\n");
   std::printf("%6s %14s %14s %14s %14s\n", "N", "resolved seq",
               "resolved tiled", "mispred seq", "mispred tiled");
-  for (std::int64_t n : sizes) {
-    std::map<std::string, native::Matrix> init{{"A", native::spdMatrix(n, 7)}};
-    sim::PerfCounts s = bench::simulate(b.seq, {{"N", n}}, init);
-    sim::PerfCounts t = bench::simulate(b.tiled, {{"N", n}}, init);
-    std::printf("%6lld %14.0f %14.0f %14.0f %14.0f\n",
-                static_cast<long long>(n),
-                static_cast<double>(s.branchesResolved) *
-                    cost.branchResolveCycles,
-                static_cast<double>(t.branchesResolved) *
-                    cost.branchResolveCycles,
-                static_cast<double>(s.branchesMispredicted) *
-                    cost.mispredictCycles,
-                static_cast<double>(t.branchesMispredicted) *
-                    cost.mispredictCycles);
-  }
+  bench::parallelSweep(
+      sizes.size(),
+      [&](std::size_t i) {
+        std::int64_t n = sizes[i];
+        std::map<std::string, native::Matrix> init{
+            {"A", native::spdMatrix(n, 7)}};
+        sim::PerfCounts s = bench::simulate(b.seq, {{"N", n}}, init);
+        sim::PerfCounts t = bench::simulate(b.tiled, {{"N", n}}, init);
+        bench::SweepRow row;
+        row.text = bench::strprintf(
+            "%6lld %14.0f %14.0f %14.0f %14.0f\n", static_cast<long long>(n),
+            static_cast<double>(s.branchesResolved) * cost.branchResolveCycles,
+            static_cast<double>(t.branchesResolved) * cost.branchResolveCycles,
+            static_cast<double>(s.branchesMispredicted) * cost.mispredictCycles,
+            static_cast<double>(t.branchesMispredicted) *
+                cost.mispredictCycles);
+        row.json = support::Json::object();
+        row.json.set("n", n)
+            .set("tile", tile)
+            .set("branches_resolved_seq", s.branchesResolved)
+            .set("branches_resolved_tiled", t.branchesResolved)
+            .set("branches_mispredicted_seq", s.branchesMispredicted)
+            .set("branches_mispredicted_tiled", t.branchesMispredicted);
+        return row;
+      },
+      &report);
   std::printf(
       "\nexpected shape: the tiled code resolves more branches (sinking "
       "guards + strip loops) but the added cycles stay far below the "
       "miss-cycle savings of Figure 6.\n");
+  report.write();
   return 0;
 }

@@ -2,6 +2,7 @@
 // on the simulated Octane2. The paper observes "relatively large
 // increases in dynamic instruction counts ... at all problem sizes", all
 // cheap integer operations, outweighed by the miss savings.
+// Sweep points run on the worker pool.
 #include "bench_util.h"
 #include "core/transforms.h"
 #include "tile/selection.h"
@@ -9,40 +10,56 @@
 using namespace fixfuse;
 using namespace fixfuse::kernels;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig8_chol_instructions", argc, argv);
   const bool full = bench::fullRuns();
   std::vector<std::int64_t> sizes{100, 200};
   if (full) sizes.insert(sizes.end(), {300, 420});
   std::int64_t tile = tile::pdatTileSize(sim::CacheConfig::octane2L1());
-  KernelBundle b = buildCholesky({tile});
+  const KernelBundle b = buildCholesky({tile});
   // Ablation column: index-set splitting (loop unswitching of the
   // k == j-1 boundary step) recovers part of the guard overhead a real
   // compiler eliminates.
-  ir::Program split = core::indexSetSplit(
+  const ir::Program split = core::indexSetSplit(
       b.tiled, "k", poly::AffineExpr::var("j") - poly::AffineExpr(1),
       kernelContext(false));
 
   std::printf("Figure 8: Cholesky graduated instructions\n");
   std::printf("%6s %16s %16s %16s %9s %9s\n", "N", "seq", "tiled",
               "tiled+split", "ratio", "r.split");
-  for (std::int64_t n : sizes) {
-    std::map<std::string, native::Matrix> init{{"A", native::spdMatrix(n, 7)}};
-    sim::PerfCounts s = bench::simulate(b.seq, {{"N", n}}, init);
-    sim::PerfCounts t = bench::simulate(b.tiled, {{"N", n}}, init);
-    sim::PerfCounts u = bench::simulate(split, {{"N", n}}, init);
-    std::printf("%6lld %16llu %16llu %16llu %8.2fx %8.2fx\n",
-                static_cast<long long>(n),
-                static_cast<unsigned long long>(s.graduatedInstructions()),
-                static_cast<unsigned long long>(t.graduatedInstructions()),
-                static_cast<unsigned long long>(u.graduatedInstructions()),
-                static_cast<double>(t.graduatedInstructions()) /
-                    static_cast<double>(s.graduatedInstructions()),
-                static_cast<double>(u.graduatedInstructions()) /
-                    static_cast<double>(s.graduatedInstructions()));
-  }
+  bench::parallelSweep(
+      sizes.size(),
+      [&](std::size_t i) {
+        std::int64_t n = sizes[i];
+        std::map<std::string, native::Matrix> init{
+            {"A", native::spdMatrix(n, 7)}};
+        sim::PerfCounts s = bench::simulate(b.seq, {{"N", n}}, init);
+        sim::PerfCounts t = bench::simulate(b.tiled, {{"N", n}}, init);
+        sim::PerfCounts u = bench::simulate(split, {{"N", n}}, init);
+        bench::SweepRow row;
+        row.text = bench::strprintf(
+            "%6lld %16llu %16llu %16llu %8.2fx %8.2fx\n",
+            static_cast<long long>(n),
+            static_cast<unsigned long long>(s.graduatedInstructions()),
+            static_cast<unsigned long long>(t.graduatedInstructions()),
+            static_cast<unsigned long long>(u.graduatedInstructions()),
+            static_cast<double>(t.graduatedInstructions()) /
+                static_cast<double>(s.graduatedInstructions()),
+            static_cast<double>(u.graduatedInstructions()) /
+                static_cast<double>(s.graduatedInstructions()));
+        row.json = support::Json::object();
+        row.json.set("n", n)
+            .set("tile", tile)
+            .set("instructions_seq", s.graduatedInstructions())
+            .set("instructions_tiled", t.graduatedInstructions())
+            .set("instructions_tiled_split", u.graduatedInstructions());
+        return row;
+      },
+      &report);
   std::printf(
       "\nexpected shape: tiled executes noticeably more (integer) "
       "instructions at every size - the cost the cache savings must (and "
       "do) outweigh.\n");
+  report.write();
   return 0;
 }

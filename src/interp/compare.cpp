@@ -1,0 +1,42 @@
+#include "interp/compare.h"
+
+#include <cstring>
+
+#include "ir/stmt.h"
+#include "support/error.h"
+
+namespace fixfuse::interp {
+
+bool bitsEqual(const double* a, const double* b, std::size_t n) {
+  return std::memcmp(a, b, n * sizeof(double)) == 0;
+}
+
+bool bitsEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return bitsEqual(a.data(), b.data(), a.size());
+}
+
+bool arraysBitwiseEqual(const Machine& a, const Machine& b,
+                        const std::string& array) {
+  const ArrayStorage& sa = a.array(array);
+  const ArrayStorage& sb = b.array(array);
+  FIXFUSE_CHECK(sa.extents() == sb.extents(),
+                "array shape mismatch for " + array);
+  return bitsEqual(sa.data(), sb.data());
+}
+
+bool machinesBitwiseEqual(const ir::Program& pa, const Machine& a,
+                          const ir::Program& pb, const Machine& b,
+                          std::string* whichArray) {
+  for (const auto& decl : pa.arrays) {
+    if (!pb.hasArray(decl.name) || !b.hasArray(decl.name)) continue;
+    if (!arraysBitwiseEqual(a, b, decl.name)) {
+      if (whichArray) *whichArray = decl.name;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fixfuse::interp

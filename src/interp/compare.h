@@ -1,0 +1,36 @@
+// Bitwise (NaN-safe) array comparison.
+//
+// Transformations in this repo are verified *bit-for-bit*: a legal
+// reordering computes every statement instance from identical operands,
+// so outputs must be byte-identical - including NaN payloads. The
+// simplified QR of Fig. 1b can legitimately produce NaN (it divides by a
+// computed diagonal), and `NaN != NaN` makes tolerance-0 `==` loops
+// report spurious mismatches. Every exact-equality check should go
+// through these helpers instead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interp/machine.h"
+
+namespace fixfuse::interp {
+
+/// Byte equality of two double buffers (memcmp; identical NaN bit
+/// patterns compare equal, unlike operator==).
+bool bitsEqual(const double* a, const double* b, std::size_t n);
+bool bitsEqual(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Byte equality of the same-named array of two machines; throws
+/// InternalError if the shapes differ.
+bool arraysBitwiseEqual(const Machine& a, const Machine& b,
+                        const std::string& array);
+
+/// True when every array common to both programs is byte-identical
+/// (writes the first offending array name to `whichArray`). The NaN-safe
+/// tolerance-0 counterpart of statesMatch().
+bool machinesBitwiseEqual(const ir::Program& pa, const Machine& a,
+                          const ir::Program& pb, const Machine& b,
+                          std::string* whichArray = nullptr);
+
+}  // namespace fixfuse::interp

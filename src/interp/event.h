@@ -1,0 +1,66 @@
+// Batched event records for the interpreter -> simulator pipeline.
+//
+// The interpreter's per-event virtual Observer calls dominate trace-driven
+// simulation cost once the trace reaches paper scale (tens of millions of
+// dynamic events per sweep point). The batched fast path instead appends
+// fixed-size records to a flat ring and hands whole chunks to the observer
+// (`Observer::onBatch`), so consumers count/simulate in tight loops with
+// one virtual call per chunk instead of one per event.
+//
+// Invariant: a batched delivery is *bit-for-bit event-equivalent* to the
+// per-event path - same records, same order, only the call granularity
+// changes. tests/interp_batch_test.cpp enforces this differentially.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixfuse::interp {
+
+enum class EventKind : std::uint8_t {
+  Load,    // value = byte address
+  Store,   // value = byte address
+  Branch,  // value = static site id, flag = taken
+  IntOps,  // value = number of graduated integer ops
+  Flops,   // value = number of graduated floating-point ops
+};
+
+/// One dynamic event, 16 bytes. `value` is the address / site / count
+/// payload depending on `kind`; `flag` is the branch outcome.
+struct Event {
+  std::uint64_t value = 0;
+  EventKind kind = EventKind::IntOps;
+  std::uint8_t flag = 0;
+
+  static Event load(std::uint64_t addr) { return {addr, EventKind::Load, 0}; }
+  static Event store(std::uint64_t addr) {
+    return {addr, EventKind::Store, 0};
+  }
+  static Event branch(int site, bool taken) {
+    return {static_cast<std::uint64_t>(site), EventKind::Branch,
+            static_cast<std::uint8_t>(taken ? 1 : 0)};
+  }
+  static Event intOps(std::uint64_t n) { return {n, EventKind::IntOps, 0}; }
+  static Event flops(std::uint64_t n) { return {n, EventKind::Flops, 0}; }
+
+  bool operator==(const Event& o) const {
+    return kind == o.kind && value == o.value && flag == o.flag;
+  }
+};
+
+static_assert(sizeof(Event) == 16, "Event must stay a packed 16-byte record");
+
+class Observer;
+
+/// Deliver one event through the per-event virtual interface.
+void replayEvent(Observer& obs, const Event& e);
+
+/// Deliver a trace through onBatch in chunks of `chunkEvents` (the batched
+/// pipeline a consumer sees when the interpreter's ring flushes).
+void replayBatched(Observer& obs, const Event* events, std::size_t n,
+                   std::size_t chunkEvents = 4096);
+
+/// Deliver a trace one virtual call per event (the legacy pipeline).
+void replayPerEvent(Observer& obs, const Event* events, std::size_t n);
+
+}  // namespace fixfuse::interp

@@ -17,10 +17,21 @@ using ir::StmtKind;
 using ir::Type;
 
 Interpreter::Interpreter(const ir::Program& program, Machine& machine,
-                         Observer* observer)
-    : program_(program), machine_(machine), obs_(observer) {
+                         Observer* observer, Dispatch dispatch)
+    : program_(program),
+      machine_(machine),
+      obs_(observer),
+      batched_(dispatch == Dispatch::Batched) {
   env_.reserve(16);
   idxScratch_.reserve(8);
+  if (obs_ && batched_) ring_.reserve(kRingCapacity);
+}
+
+void Interpreter::flushRing() {
+  if (!ring_.empty()) {
+    obs_->onBatch(ring_.data(), ring_.size());
+    ring_.clear();
+  }
 }
 
 int Interpreter::siteOf(const Stmt& s) {
@@ -48,7 +59,7 @@ std::int64_t Interpreter::evalInt(const Expr& e) {
     case ExprKind::Binary: {
       std::int64_t l = evalInt(*e.lhs());
       std::int64_t r = evalInt(*e.rhs());
-      if (obs_) obs_->onIntOps(1);
+      if (obs_) emitIntOps(1);
       switch (e.binOp()) {
         case BinOp::Add: return l + r;
         case BinOp::Sub: return l - r;
@@ -78,15 +89,15 @@ double Interpreter::evalFloat(const Expr& e) {
       for (const auto& ie : idxExprs) idxScratch_.push_back(evalInt(*ie));
       const ArrayStorage& st = machine_.array(e.name());
       if (obs_) {
-        obs_->onIntOps(idxExprs.size());  // address computation
-        obs_->onLoad(st.addrOf(idxScratch_));
+        emitIntOps(idxExprs.size());  // address computation
+        emitLoad(st.addrOf(idxScratch_));
       }
       return st.get(idxScratch_);
     }
     case ExprKind::Binary: {
       double l = evalFloat(*e.lhs());
       double r = evalFloat(*e.rhs());
-      if (obs_) obs_->onFlops(1);
+      if (obs_) emitFlops(1);
       switch (e.binOp()) {
         case BinOp::Add: return l + r;
         case BinOp::Sub: return l - r;
@@ -98,13 +109,13 @@ double Interpreter::evalFloat(const Expr& e) {
     }
     case ExprKind::Call: {
       double a = evalFloat(*e.operand());
-      if (obs_) obs_->onFlops(1);
+      if (obs_) emitFlops(1);
       return e.callFn() == CallFn::Sqrt ? std::sqrt(a) : std::fabs(a);
     }
     case ExprKind::Select: {
       // Branchless conditional move: one integer op, no branch event.
       bool c = evalBool(*e.selectCond());
-      if (obs_) obs_->onIntOps(1);
+      if (obs_) emitIntOps(1);
       return c ? evalFloat(*e.lhs()) : evalFloat(*e.rhs());
     }
     default:
@@ -119,7 +130,7 @@ bool Interpreter::evalBool(const Expr& e) {
       if (e.lhs()->type() == Type::Int) {
         std::int64_t l = evalInt(*e.lhs());
         std::int64_t r = evalInt(*e.rhs());
-        if (obs_) obs_->onIntOps(1);
+        if (obs_) emitIntOps(1);
         switch (e.cmpOp()) {
           case CmpOp::EQ: result = l == r; break;
           case CmpOp::NE: result = l != r; break;
@@ -131,7 +142,7 @@ bool Interpreter::evalBool(const Expr& e) {
       } else {
         double l = evalFloat(*e.lhs());
         double r = evalFloat(*e.rhs());
-        if (obs_) obs_->onFlops(1);
+        if (obs_) emitFlops(1);
         switch (e.cmpOp()) {
           case CmpOp::EQ: result = l == r; break;
           case CmpOp::NE: result = l != r; break;
@@ -173,15 +184,15 @@ void Interpreter::exec(const Stmt& s) {
       for (const auto& ie : lhs.indices) idxScratch_.push_back(evalInt(*ie));
       ArrayStorage& st = machine_.array(lhs.name);
       if (obs_) {
-        obs_->onIntOps(lhs.indices.size());
-        obs_->onStore(st.addrOf(idxScratch_));
+        emitIntOps(lhs.indices.size());
+        emitStore(st.addrOf(idxScratch_));
       }
       st.set(idxScratch_, v);
       return;
     }
     case StmtKind::If: {
       bool taken = evalBool(*s.cond());
-      if (obs_) obs_->onBranch(siteOf(s), taken);
+      if (obs_) emitBranch(siteOf(s), taken);
       if (taken)
         exec(*s.thenBody());
       else if (s.elseBody())
@@ -196,12 +207,12 @@ void Interpreter::exec(const Stmt& s) {
       for (std::int64_t v = lb; v <= ub; ++v) {
         env_.back().second = v;
         if (obs_) {
-          obs_->onIntOps(1);          // induction increment / compare
-          obs_->onBranch(site, true);  // back-edge taken
+          emitIntOps(1);           // induction increment / compare
+          emitBranch(site, true);  // back-edge taken
         }
         exec(*s.loopBody());
       }
-      if (obs_) obs_->onBranch(site, false);  // loop exit
+      if (obs_) emitBranch(site, false);  // loop exit
       env_.pop_back();
       return;
     }
@@ -213,6 +224,7 @@ void Interpreter::exec(const Stmt& s) {
 
 void Interpreter::run() {
   if (program_.body) exec(*program_.body);
+  if (obs_ && batched_) flushRing();
 }
 
 Machine runProgram(const ir::Program& program,

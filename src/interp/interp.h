@@ -18,11 +18,19 @@ namespace fixfuse::interp {
 
 class Interpreter {
  public:
+  /// How observer events are delivered. Batched is the fast path: events
+  /// are appended to a flat ring and flushed to Observer::onBatch in
+  /// chunks; PerEvent is the legacy one-virtual-call-per-event pipeline.
+  /// Both produce the identical event sequence (bit-for-bit; the
+  /// differential test in tests/interp_batch_test.cpp enforces it).
+  enum class Dispatch { Batched, PerEvent };
+
   /// `program` and `machine` must outlive the interpreter.
   Interpreter(const ir::Program& program, Machine& machine,
-              Observer* observer = nullptr);
+              Observer* observer = nullptr,
+              Dispatch dispatch = Dispatch::Batched);
 
-  /// Execute the whole program body.
+  /// Execute the whole program body (flushes any buffered events).
   void run();
 
  private:
@@ -32,15 +40,45 @@ class Interpreter {
   void exec(const ir::Stmt& s);
   int siteOf(const ir::Stmt& s);
 
+  void flushRing();
+  void push(Event e) {
+    ring_.push_back(e);
+    if (ring_.size() >= kRingCapacity) flushRing();
+  }
+  void emitLoad(std::uint64_t addr) {
+    if (batched_) push(Event::load(addr));
+    else obs_->onLoad(addr);
+  }
+  void emitStore(std::uint64_t addr) {
+    if (batched_) push(Event::store(addr));
+    else obs_->onStore(addr);
+  }
+  void emitBranch(int site, bool taken) {
+    if (batched_) push(Event::branch(site, taken));
+    else obs_->onBranch(site, taken);
+  }
+  void emitIntOps(std::uint64_t n) {
+    if (batched_) push(Event::intOps(n));
+    else obs_->onIntOps(n);
+  }
+  void emitFlops(std::uint64_t n) {
+    if (batched_) push(Event::flops(n));
+    else obs_->onFlops(n);
+  }
+
+  static constexpr std::size_t kRingCapacity = 4096;  // 64 KiB of events
+
   const ir::Program& program_;
   Machine& machine_;
   Observer* obs_;
+  bool batched_ = true;
   // Loop variable environment. Loop depth is tiny, so a flat vector with
   // linear search beats a map.
   std::vector<std::pair<std::string, std::int64_t>> env_;
   std::unordered_map<const ir::Stmt*, int> sites_;
   int nextSite_ = 0;
   std::vector<std::int64_t> idxScratch_;
+  std::vector<Event> ring_;
 };
 
 /// Allocate a machine, run `program` on it, and return the final state.

@@ -1,0 +1,36 @@
+// Out-of-line on purpose: these take an Observer& of unknown dynamic
+// type, so every per-event hook is a real virtual dispatch - the same
+// cost the interpreter's legacy per-event mode pays through its opaque
+// Observer*. Defining them in the header lets the optimizer
+// devirtualize replay into locally-built observers, which would make
+// the per-event/batched comparison in bench/microbench.cpp meaningless.
+#include <algorithm>
+
+#include "interp/observer.h"
+
+namespace fixfuse::interp {
+
+void replayEvent(Observer& obs, const Event& e) {
+  switch (e.kind) {
+    case EventKind::Load: obs.onLoad(e.value); return;
+    case EventKind::Store: obs.onStore(e.value); return;
+    case EventKind::Branch:
+      obs.onBranch(static_cast<int>(e.value), e.flag != 0);
+      return;
+    case EventKind::IntOps: obs.onIntOps(e.value); return;
+    case EventKind::Flops: obs.onFlops(e.value); return;
+  }
+}
+
+void replayPerEvent(Observer& obs, const Event* events, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) replayEvent(obs, events[i]);
+}
+
+void replayBatched(Observer& obs, const Event* events, std::size_t n,
+                   std::size_t chunkEvents) {
+  if (chunkEvents == 0) chunkEvents = 1;
+  for (std::size_t i = 0; i < n; i += chunkEvents)
+    obs.onBatch(events + i, std::min(chunkEvents, n - i));
+}
+
+}  // namespace fixfuse::interp

@@ -9,9 +9,22 @@
 //     site id -> branch-prediction simulation (Fig. 7).
 //   * onIntOps / onFlops : graduated integer / floating-point instruction
 //     proxies (Fig. 8).
+//
+// Delivery has two granularities:
+//   * per-event virtuals (above) - the original interface, kept as the
+//     compatibility shim: the default onBatch replays a chunk through them,
+//     so observers that only override per-event hooks keep working under
+//     the batched interpreter unchanged;
+//   * onBatch(events, n) - the fast path. The interpreter appends records
+//     to a flat ring and flushes chunks, so a consumer that overrides
+//     onBatch processes the trace in a tight loop with one virtual call
+//     per chunk. Event order is identical in both modes (bit-for-bit;
+//     see tests/interp_batch_test.cpp).
 #pragma once
 
 #include <cstdint>
+
+#include "interp/event.h"
 
 namespace fixfuse::interp {
 
@@ -26,7 +39,19 @@ class Observer {
   }
   virtual void onIntOps(std::uint64_t n) { (void)n; }
   virtual void onFlops(std::uint64_t n) { (void)n; }
+
+  /// Batched delivery of `n` consecutive events. Default: replay through
+  /// the per-event virtuals (compatibility shim, same order).
+  virtual void onBatch(const Event* events, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) replayEvent(*this, events[i]);
+  }
 };
+
+// replayEvent / replayPerEvent / replayBatched are defined out of line
+// (observer.cpp) so the per-event path stays genuinely virtual: defined
+// here, the compiler devirtualizes calls on locally-constructed
+// observers and the legacy-pipeline cost being measured/compared would
+// silently vanish.
 
 /// Simple counting observer; useful on its own and as a base class.
 class CountingObserver : public Observer {
@@ -37,6 +62,26 @@ class CountingObserver : public Observer {
   void onIntOps(std::uint64_t n) override { intOps += n; }
   void onFlops(std::uint64_t n) override { flops += n; }
 
+  /// Batch consumption, data-oriented: tally into kind-indexed local
+  /// accumulators with no per-event branch. The event mix is irregular,
+  /// so any per-event jump (virtual dispatch or a switch) mispredicts
+  /// constantly; indexing by kind is what batching buys over the
+  /// per-event interface, which must branch to a handler per event.
+  void onBatch(const Event* events, std::size_t n) override {
+    std::uint64_t cnt[5] = {0, 0, 0, 0, 0};
+    std::uint64_t sum[5] = {0, 0, 0, 0, 0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto k = static_cast<std::size_t>(events[i].kind);
+      ++cnt[k];
+      sum[k] += events[i].value;
+    }
+    loads += cnt[static_cast<std::size_t>(EventKind::Load)];
+    stores += cnt[static_cast<std::size_t>(EventKind::Store)];
+    branches += cnt[static_cast<std::size_t>(EventKind::Branch)];
+    intOps += sum[static_cast<std::size_t>(EventKind::IntOps)];
+    flops += sum[static_cast<std::size_t>(EventKind::Flops)];
+  }
+
   std::uint64_t loads = 0;
   std::uint64_t stores = 0;
   std::uint64_t branches = 0;
@@ -46,6 +91,33 @@ class CountingObserver : public Observer {
   std::uint64_t totalInstructions() const {
     return loads + stores + branches + intOps + flops;
   }
+};
+
+/// Records the raw event stream, whichever way it arrives (per-event or
+/// batched). Used by the differential tests and the trace-replay
+/// microbenchmarks.
+class TraceRecorder : public Observer {
+ public:
+  void onLoad(std::uint64_t addr) override {
+    events.push_back(Event::load(addr));
+  }
+  void onStore(std::uint64_t addr) override {
+    events.push_back(Event::store(addr));
+  }
+  void onBranch(int site, bool taken) override {
+    events.push_back(Event::branch(site, taken));
+  }
+  void onIntOps(std::uint64_t n) override {
+    events.push_back(Event::intOps(n));
+  }
+  void onFlops(std::uint64_t n) override {
+    events.push_back(Event::flops(n));
+  }
+  void onBatch(const Event* evs, std::size_t n) override {
+    events.insert(events.end(), evs, evs + n);
+  }
+
+  std::vector<Event> events;
 };
 
 }  // namespace fixfuse::interp

@@ -22,8 +22,17 @@ class PresburgerSet {
       : vars_(std::move(vars)) {}
   explicit PresburgerSet(IntegerSet piece);
 
-  const std::vector<std::string>& vars() const { return vars_; }
-  const std::vector<IntegerSet>& pieces() const { return pieces_; }
+  // Ref-qualified like IntegerSet's accessors: range-for over a
+  // temporary's pieces()/vars() would dangle, so rvalue calls are
+  // deleted - bind the set to a local first.
+  [[nodiscard]] const std::vector<std::string>& vars() const& {
+    return vars_;
+  }
+  const std::vector<std::string>& vars() const&& = delete;
+  [[nodiscard]] const std::vector<IntegerSet>& pieces() const& {
+    return pieces_;
+  }
+  const std::vector<IntegerSet>& pieces() const&& = delete;
   bool noPieces() const { return pieces_.empty(); }
 
   /// Add one conjunction to the union (must share the variable tuple).

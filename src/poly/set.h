@@ -83,8 +83,19 @@ class IntegerSet {
   IntegerSet() = default;
   explicit IntegerSet(std::vector<std::string> vars);
 
-  const std::vector<std::string>& vars() const { return vars_; }
-  const std::vector<Constraint>& constraints() const { return cs_; }
+  // Ref-qualified: calling these on a temporary
+  // (`for (auto& c : f(x).constraints())`) leaves the reference dangling
+  // when the temporary dies at the end of the full-expression - bind the
+  // set to a local first. The deleted rvalue overloads turn that bug
+  // into a compile error (see tests/poly_set_test.cpp).
+  [[nodiscard]] const std::vector<std::string>& vars() const& {
+    return vars_;
+  }
+  const std::vector<std::string>& vars() const&& = delete;
+  [[nodiscard]] const std::vector<Constraint>& constraints() const& {
+    return cs_;
+  }
+  const std::vector<Constraint>& constraints() const&& = delete;
   /// Symbols used by constraints but not listed as variables.
   std::vector<std::string> parameters() const;
 

@@ -31,7 +31,7 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   setShift_ = log2u(cfg.numSets());
   tags_.assign(cfg.numSets() * cfg.ways, 0);
   stamps_.assign(cfg.numSets() * cfg.ways, 0);
-  valid_.assign(cfg.numSets() * cfg.ways, false);
+  valid_.assign(cfg.numSets() * cfg.ways, 0);
 }
 
 bool Cache::access(std::uint64_t addr) {
@@ -50,7 +50,6 @@ bool Cache::access(std::uint64_t addr) {
       return true;
     }
     std::uint64_t stamp = valid_[e] ? stamps_[e] : 0;
-    if (!valid_[e]) stamp = 0;
     if (stamp < oldest) {
       oldest = stamp;
       victim = e;
@@ -59,12 +58,12 @@ bool Cache::access(std::uint64_t addr) {
   ++misses_;
   tags_[victim] = tag;
   stamps_[victim] = tick_;
-  valid_[victim] = true;
+  valid_[victim] = 1;
   return false;
 }
 
 void Cache::reset() {
-  std::fill(valid_.begin(), valid_.end(), false);
+  std::fill(valid_.begin(), valid_.end(), 0);
   std::fill(stamps_.begin(), stamps_.end(), 0);
   tick_ = hits_ = misses_ = 0;
 }

@@ -51,7 +51,8 @@ class Cache {
   // tags_[set * ways + way]; lru_ holds per-entry stamps (higher = newer).
   std::vector<std::uint64_t> tags_;
   std::vector<std::uint64_t> stamps_;
-  std::vector<bool> valid_;
+  std::vector<std::uint8_t> valid_;  // not vector<bool>: byte loads keep
+                                     // the batched access loop tight
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

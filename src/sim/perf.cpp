@@ -17,6 +17,31 @@ CycleBreakdown cyclesOf(const PerfCounts& c, const CostModel& m) {
   return b;
 }
 
+void SimObserver::onBatch(const interp::Event* events, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const interp::Event& e = events[i];
+    switch (e.kind) {
+      case interp::EventKind::Load:
+        ++counts_.loads;
+        hierarchy_.access(e.value);
+        break;
+      case interp::EventKind::Store:
+        ++counts_.stores;
+        hierarchy_.access(e.value);
+        break;
+      case interp::EventKind::Branch:
+        predictor_.resolve(static_cast<int>(e.value), e.flag != 0);
+        break;
+      case interp::EventKind::IntOps:
+        counts_.intOps += e.value;
+        break;
+      case interp::EventKind::Flops:
+        counts_.flops += e.value;
+        break;
+    }
+  }
+}
+
 PerfCounts SimObserver::counts() const {
   PerfCounts c = counts_;
   c.l1Misses = hierarchy_.l1().misses();

@@ -84,6 +84,10 @@ class SimObserver : public interp::Observer {
   }
   void onIntOps(std::uint64_t n) override { counts_.intOps += n; }
   void onFlops(std::uint64_t n) override { counts_.flops += n; }
+  /// Batched fast path: consume a whole chunk of interpreter events in a
+  /// tight loop (no per-event virtual dispatch). Event-order identical to
+  /// the per-event hooks above, so all counts match bit-for-bit.
+  void onBatch(const interp::Event* events, std::size_t n) override;
 
   /// Counts with cache/branch numbers filled in.
   PerfCounts counts() const;

@@ -1,0 +1,126 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace fixfuse::support {
+
+Json& Json::set(const std::string& key, Json v) {
+  FIXFUSE_CHECK(kind_ == Kind::Object, "Json::set on a non-object");
+  for (auto& [k, old] : obj_) {
+    if (k == key) {
+      old = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+Json& Json::push(Json v) {
+  FIXFUSE_CHECK(kind_ == Kind::Array, "Json::push on a non-array");
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+
+void writeEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newlineIndent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  char buf[40];
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      return;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::Int:
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      return;
+    case Kind::Double:
+      if (!std::isfinite(double_)) {
+        out += "null";  // RFC 8259 has no NaN/Inf
+        return;
+      }
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      out += buf;
+      return;
+    case Kind::String:
+      writeEscaped(out, str_);
+      return;
+    case Kind::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newlineIndent(out, indent, depth + 1);
+        arr_[i].write(out, indent, depth + 1);
+      }
+      newlineIndent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        newlineIndent(out, indent, depth + 1);
+        writeEscaped(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.write(out, indent, depth + 1);
+      }
+      newlineIndent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::str(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace fixfuse::support

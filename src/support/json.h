@@ -1,0 +1,67 @@
+// Minimal JSON value builder with deterministic serialization.
+//
+// Used by the bench binaries' machine-readable output (BENCH_<name>.json):
+// objects preserve insertion order, doubles are printed with "%.17g"
+// (round-trippable and byte-stable across runs and thread counts), and
+// non-finite doubles serialize as null per RFC 8259. Writing only - there
+// is deliberately no parser here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fixfuse::support {
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(int v) : kind_(Kind::Int), int_(v) {}
+  Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+  Json(std::uint64_t v)
+      : kind_(Kind::Int), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : kind_(Kind::Double), double_(v) {}
+  Json(const char* s) : kind_(Kind::String), str_(s) {}
+  Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+
+  /// Object field (insertion order preserved; duplicate keys overwrite).
+  Json& set(const std::string& key, Json v);
+  /// Array element.
+  Json& push(Json v);
+
+  /// Compact serialization. `indent` > 0 pretty-prints with that many
+  /// spaces per level (stable output either way).
+  std::string str(int indent = 0) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace fixfuse::support

@@ -1,0 +1,86 @@
+// Fixed-size worker-thread pool and an ordered parallel map built on it.
+//
+// Used by the bench sweep runner: independent (kernel, N) sweep points are
+// legal to run concurrently because each point owns its interpreter
+// machine, arrays and simulator state; determinism is preserved by
+// collecting results into an index-addressed vector and emitting them in
+// submission order (tests/support_threadpool_test.cpp asserts byte-identical
+// output across thread counts).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fixfuse::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned threads = hardwareThreads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a job. Jobs must not throw out of the pool; wrap and capture
+  /// (parallelMapOrdered does this for you).
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished.
+  void wait();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareThreads();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable workCv_;   // signalled when work arrives / stop
+  std::condition_variable idleCv_;   // signalled when a job completes
+  std::size_t inFlight_ = 0;         // queued + running jobs
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) on up to `threads` workers and return the
+/// results in index order. The first exception thrown by any job is
+/// rethrown in the caller after all jobs finish. threads <= 1 runs inline.
+template <typename R, typename Fn>
+std::vector<R> parallelMapOrdered(std::size_t n, unsigned threads, Fn&& fn) {
+  std::vector<R> out(n);
+  if (n == 0) return out;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+    return out;
+  }
+  ThreadPool pool(static_cast<unsigned>(
+      std::min<std::size_t>(threads, n)));
+  std::mutex errMu;
+  std::exception_ptr err;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&, i] {
+      try {
+        out[i] = fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errMu);
+        if (!err) err = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+  if (err) std::rethrow_exception(err);
+  return out;
+}
+
+}  // namespace fixfuse::support

@@ -5,6 +5,7 @@
 
 #include "core/fuse.h"
 #include "core/sink.h"
+#include "interp/compare.h"
 #include "interp/interp.h"
 #include "ir/printer.h"
 #include "ir/rewrite.h"
@@ -212,8 +213,8 @@ TEST(Sink, SunkSystemRoundTripsThroughFusion) {
   };
   interp::Machine a = interp::runProgram(p, {{"N", 9}}, init);
   interp::Machine b = interp::runProgram(fused, {{"N", 9}}, init);
-  EXPECT_EQ(interp::maxArrayDifference(a, b, "A"), 0.0);
-  EXPECT_EQ(interp::maxArrayDifference(a, b, "R"), 0.0);
+  EXPECT_TRUE(interp::arraysBitwiseEqual(a, b, "A"));
+  EXPECT_TRUE(interp::arraysBitwiseEqual(a, b, "R"));
 }
 
 }  // namespace

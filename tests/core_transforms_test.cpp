@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/transforms.h"
+#include "interp/compare.h"
 #include "interp/interp.h"
 #include "ir/printer.h"
 #include "support/error.h"
@@ -33,10 +34,11 @@ void randomInit(Machine& m, const ir::Program& p, std::uint64_t seed) {
       interp::runProgram(b, params, [&](Machine& m) { randomInit(m, b, seed); });
   for (const auto& decl : a.arrays) {
     if (!b.hasArray(decl.name)) continue;
-    double d = interp::maxArrayDifference(ma, mb, decl.name);
-    if (d != 0.0)
+    // Bitwise: NaN-producing programs must still compare equal to
+    // themselves (NaN != NaN breaks a tolerance-0 check).
+    if (!interp::arraysBitwiseEqual(ma, mb, decl.name))
       return ::testing::AssertionFailure()
-             << "array " << decl.name << " differs by " << d << "\n--- b:\n"
+             << "array " << decl.name << " differs bitwise" << "\n--- b:\n"
              << printProgram(b);
   }
   return ::testing::AssertionSuccess();

@@ -13,6 +13,7 @@
 
 #include "core/elim.h"
 #include "core/fuse.h"
+#include "interp/compare.h"
 #include "interp/interp.h"
 #include "ir/printer.h"
 #include "ir/rewrite.h"
@@ -117,7 +118,7 @@ TEST(FixDepsFuzz, RandomSystemsFixedOrRejectedLoudly) {
       interp::Machine ma = interp::runProgram(seq, {{"N", n}}, init);
       interp::Machine mb = interp::runProgram(fused, {{"N", n}}, init);
       for (const auto& decl : seq.arrays) {
-        ASSERT_EQ(interp::maxArrayDifference(ma, mb, decl.name), 0.0)
+        ASSERT_TRUE(interp::arraysBitwiseEqual(ma, mb, decl.name))
             << "seed " << seed << " N=" << n << " array " << decl.name
             << "\n--- fixed program:\n" << printProgram(fused)
             << "\n--- log:\n" << log.str();
@@ -199,7 +200,7 @@ TEST(FixDepsFuzz, TwoDimensionalSystems) {
       interp::Machine ma = interp::runProgram(seq, {{"N", n}}, init);
       interp::Machine mb = interp::runProgram(fused, {{"N", n}}, init);
       for (const auto& decl : seq.arrays)
-        ASSERT_EQ(interp::maxArrayDifference(ma, mb, decl.name), 0.0)
+        ASSERT_TRUE(interp::arraysBitwiseEqual(ma, mb, decl.name))
             << "seed " << seed << " N=" << n << "\n"
             << printProgram(fused) << log.str();
     }
@@ -228,7 +229,7 @@ TEST(FixDepsFuzz, BrokenFusionsAreDetectable) {
     interp::Machine ma = interp::runProgram(seq, {{"N", 16}}, init);
     interp::Machine mb = interp::runProgram(fusedRaw, {{"N", 16}}, init);
     for (const auto& decl : seq.arrays)
-      if (interp::maxArrayDifference(ma, mb, decl.name) != 0.0) {
+      if (!interp::arraysBitwiseEqual(ma, mb, decl.name)) {
         ++broken;
         break;
       }

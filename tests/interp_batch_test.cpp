@@ -1,0 +1,192 @@
+// Differential tests for the batched observer fast path: the interpreter
+// must deliver the *same events in the same order* whether it calls the
+// per-event virtuals directly (Dispatch::PerEvent) or appends to the
+// ring and flushes chunks through onBatch (Dispatch::Batched, the
+// default). Bit-for-bit event equivalence is the contract that makes
+// every downstream simulator result (cache misses, branch outcomes,
+// instruction counts) independent of the delivery mode.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "interp/event.h"
+#include "interp/interp.h"
+#include "interp/observer.h"
+#include "kernels/common.h"
+#include "kernels/native.h"
+#include "sim/perf.h"
+
+namespace fixfuse {
+namespace {
+
+using Dispatch = interp::Interpreter::Dispatch;
+
+struct RunSetup {
+  std::map<std::string, std::int64_t> params;
+  std::map<std::string, kernels::native::Matrix> init;
+};
+
+RunSetup setupFor(const std::string& kernel, std::int64_t n) {
+  RunSetup s;
+  s.params["N"] = n;
+  if (kernel == "jacobi") s.params["M"] = 3;
+  s.init["A"] = kernel == "cholesky"
+                    ? kernels::native::spdMatrix(n, 7)
+                    : kernels::native::randomMatrix(n, 7, 0.5, 1.5);
+  return s;
+}
+
+void runWith(const ir::Program& p, const RunSetup& s, interp::Observer* obs,
+             Dispatch d) {
+  interp::Machine m(p, s.params);
+  for (const auto& [name, mat] : s.init)
+    if (m.hasArray(name)) m.array(name).data() = mat;
+  interp::Interpreter it(p, m, obs, d);
+  it.run();
+}
+
+std::vector<interp::Event> traceOf(const ir::Program& p, const RunSetup& s,
+                                   Dispatch d) {
+  interp::TraceRecorder rec;
+  runWith(p, s, &rec, d);
+  return std::move(rec.events);
+}
+
+const std::vector<std::string>& kernelNames() {
+  static const std::vector<std::string> names{"lu", "cholesky", "qr",
+                                              "jacobi"};
+  return names;
+}
+
+// The core contract: identical event sequence from both dispatch modes,
+// for every kernel and every program variant in the bundle.
+TEST(InterpBatch, EventSequencesIdenticalAcrossDispatchModes) {
+  for (const std::string& kernel : kernelNames()) {
+    kernels::KernelBundle b = kernels::buildKernel(kernel, {/*tile=*/4});
+    // N=16 keeps the run fast but pushes every variant's trace past the
+    // 4096-event ring capacity, so intermediate flushes are exercised.
+    RunSetup s = setupFor(kernel, 16);
+    for (const ir::Program* p :
+         {&b.seq, &b.fused, &b.fixed, &b.tiledBaseline, &b.tiled}) {
+      std::vector<interp::Event> perEvent = traceOf(*p, s, Dispatch::PerEvent);
+      std::vector<interp::Event> batched = traceOf(*p, s, Dispatch::Batched);
+      ASSERT_EQ(perEvent.size(), batched.size()) << kernel;
+      ASSERT_TRUE(perEvent == batched) << kernel;
+      // The ring flushes at 4096 events; make sure the trace actually
+      // exercises at least one intermediate flush plus the final partial
+      // one, or this test proves nothing about chunk boundaries.
+      EXPECT_GT(perEvent.size(), std::size_t{4096}) << kernel;
+    }
+  }
+}
+
+TEST(InterpBatch, CountingTotalsIdenticalAcrossDispatchModes) {
+  for (const std::string& kernel : kernelNames()) {
+    kernels::KernelBundle b = kernels::buildKernel(kernel, {/*tile=*/4});
+    RunSetup s = setupFor(kernel, 8);
+    interp::CountingObserver pe, ba;
+    runWith(b.fixed, s, &pe, Dispatch::PerEvent);
+    runWith(b.fixed, s, &ba, Dispatch::Batched);
+    EXPECT_EQ(pe.loads, ba.loads) << kernel;
+    EXPECT_EQ(pe.stores, ba.stores) << kernel;
+    EXPECT_EQ(pe.branches, ba.branches) << kernel;
+    EXPECT_EQ(pe.intOps, ba.intOps) << kernel;
+    EXPECT_EQ(pe.flops, ba.flops) << kernel;
+  }
+}
+
+TEST(InterpBatch, SimulatorCountsIdenticalAcrossDispatchModes) {
+  for (const std::string& kernel : kernelNames()) {
+    kernels::KernelBundle b = kernels::buildKernel(kernel, {/*tile=*/4});
+    RunSetup s = setupFor(kernel, 8);
+    sim::SimObserver pe, ba;
+    runWith(b.tiled, s, &pe, Dispatch::PerEvent);
+    runWith(b.tiled, s, &ba, Dispatch::Batched);
+    sim::PerfCounts a = pe.counts();
+    sim::PerfCounts c = ba.counts();
+    EXPECT_EQ(a.loads, c.loads) << kernel;
+    EXPECT_EQ(a.stores, c.stores) << kernel;
+    EXPECT_EQ(a.intOps, c.intOps) << kernel;
+    EXPECT_EQ(a.flops, c.flops) << kernel;
+    EXPECT_EQ(a.branchesResolved, c.branchesResolved) << kernel;
+    EXPECT_EQ(a.branchesMispredicted, c.branchesMispredicted) << kernel;
+    EXPECT_EQ(a.l1Misses, c.l1Misses) << kernel;
+    EXPECT_EQ(a.l2Misses, c.l2Misses) << kernel;
+    EXPECT_EQ(a.l1Accesses, c.l1Accesses) << kernel;
+    EXPECT_EQ(a.l2Accesses, c.l2Accesses) << kernel;
+  }
+}
+
+// An observer that overrides only the per-event hooks must keep working
+// under the batched interpreter via the default onBatch shim.
+struct LegacyOnlyObserver : interp::Observer {
+  std::uint64_t loads = 0, stores = 0, branches = 0, intOps = 0, flops = 0;
+  void onLoad(std::uint64_t) override { ++loads; }
+  void onStore(std::uint64_t) override { ++stores; }
+  void onBranch(int, bool) override { ++branches; }
+  void onIntOps(std::uint64_t n) override { intOps += n; }
+  void onFlops(std::uint64_t n) override { flops += n; }
+};
+
+TEST(InterpBatch, DefaultOnBatchShimReplaysPerEvent) {
+  kernels::KernelBundle b = kernels::buildKernel("cholesky", {/*tile=*/4});
+  RunSetup s = setupFor("cholesky", 8);
+  LegacyOnlyObserver pe, ba;
+  runWith(b.fixed, s, &pe, Dispatch::PerEvent);
+  runWith(b.fixed, s, &ba, Dispatch::Batched);
+  EXPECT_EQ(pe.loads, ba.loads);
+  EXPECT_EQ(pe.stores, ba.stores);
+  EXPECT_EQ(pe.branches, ba.branches);
+  EXPECT_EQ(pe.intOps, ba.intOps);
+  EXPECT_EQ(pe.flops, ba.flops);
+  EXPECT_GT(ba.loads, 0u);
+}
+
+// Replay helpers: any chunking of the same trace yields the same totals,
+// including degenerate chunk sizes.
+TEST(InterpBatch, ReplayChunkingInvariant) {
+  kernels::KernelBundle b = kernels::buildKernel("lu", {/*tile=*/0});
+  RunSetup s = setupFor("lu", 6);
+  std::vector<interp::Event> trace = traceOf(b.seq, s, Dispatch::Batched);
+  ASSERT_FALSE(trace.empty());
+
+  interp::CountingObserver ref;
+  interp::replayPerEvent(ref, trace.data(), trace.size());
+  for (std::size_t chunk : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                            std::size_t{4096}, trace.size() + 100}) {
+    interp::CountingObserver o;
+    interp::replayBatched(o, trace.data(), trace.size(), chunk);
+    EXPECT_EQ(ref.loads, o.loads) << chunk;
+    EXPECT_EQ(ref.stores, o.stores) << chunk;
+    EXPECT_EQ(ref.branches, o.branches) << chunk;
+    EXPECT_EQ(ref.intOps, o.intOps) << chunk;
+    EXPECT_EQ(ref.flops, o.flops) << chunk;
+  }
+}
+
+// TraceRecorder sees the same events regardless of how they arrive.
+TEST(InterpBatch, RecorderAgnosticToDeliveryMode) {
+  kernels::KernelBundle b = kernels::buildKernel("jacobi", {/*tile=*/4});
+  RunSetup s = setupFor("jacobi", 8);
+  std::vector<interp::Event> direct = traceOf(b.fixed, s, Dispatch::PerEvent);
+  interp::TraceRecorder viaBatch;
+  interp::replayBatched(viaBatch, direct.data(), direct.size(), 1000);
+  ASSERT_TRUE(viaBatch.events == direct);
+}
+
+TEST(InterpBatch, EventRecordLayout) {
+  static_assert(sizeof(interp::Event) == 16);
+  interp::Event e = interp::Event::branch(42, true);
+  EXPECT_EQ(e.kind, interp::EventKind::Branch);
+  EXPECT_EQ(e.value, 42u);
+  EXPECT_EQ(e.flag, 1);
+  EXPECT_TRUE(e == interp::Event::branch(42, true));
+  EXPECT_FALSE(e == interp::Event::branch(42, false));
+  EXPECT_FALSE(e == interp::Event::load(42));
+}
+
+}  // namespace
+}  // namespace fixfuse

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "interp/compare.h"
 #include "interp/interp.h"
 #include "ir/stmt.h"
 #include "support/error.h"
@@ -234,7 +235,7 @@ TEST(Interp, RunProgramComparesStates) {
   };
   Machine a = runProgram(p, {{"N", 5}}, init);
   Machine b = runProgram(p, {{"N", 5}}, init);
-  EXPECT_EQ(maxArrayDifference(a, b, "S"), 0.0);
+  EXPECT_TRUE(arraysBitwiseEqual(a, b, "S"));
   std::string which;
   EXPECT_TRUE(statesMatch(p, a, p, b, 0.0, &which));
 }

@@ -4,8 +4,7 @@
 // each tile. This is the broad-coverage counterpart of kernels_test.cpp.
 #include <gtest/gtest.h>
 
-#include <cstring>
-
+#include "interp/compare.h"
 #include "interp/interp.h"
 #include "kernels/common.h"
 #include "kernels/native.h"
@@ -18,14 +17,15 @@ struct Case {
   std::int64_t tile;
 };
 
-/// Bit-pattern equality: the simplified QR of Fig. 1b can produce NaN on
-/// unlucky inputs (it divides by a computed diagonal); identical programs
-/// then produce identical NaN bit patterns, which operator== rejects.
+/// Bit-pattern equality via the shared interp::bitsEqual helper: the
+/// simplified QR of Fig. 1b can produce NaN on unlucky inputs (it divides
+/// by a computed diagonal); identical programs then produce identical NaN
+/// bit patterns, which operator== rejects.
 ::testing::AssertionResult bitEqual(const native::Matrix& a,
                                     const native::Matrix& b) {
   if (a.size() != b.size())
     return ::testing::AssertionFailure() << "size mismatch";
-  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0)
+  if (!interp::bitsEqual(a, b))
     return ::testing::AssertionFailure() << "bit patterns differ";
   return ::testing::AssertionSuccess();
 }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
 #include "poly/presburger.h"
 #include "poly/set.h"
@@ -465,6 +466,47 @@ TEST(ParamContext, DuplicateParamThrows) {
   ParamContext ctx;
   ctx.addParam("N", 1, 5);
   EXPECT_THROW(ctx.addParam("N", 1, 5), InternalError);
+}
+
+// Regression for the dangling range-for pattern (CLAUDE.md): iterating a
+// temporary's constraints() - `for (auto& c : f(x).constraints())` -
+// left a dangling reference. The accessors are now ref-qualified with
+// deleted rvalue overloads, so that code no longer compiles. (The checks
+// go through dependent requires-expressions: non-dependent use of a
+// deleted function is a hard error rather than a SFINAE "false".)
+template <typename T>
+constexpr bool rvalueConstraintsCallable =
+    requires(T t) { std::move(t).constraints(); };
+template <typename T>
+constexpr bool rvalueVarsCallable = requires(T t) { std::move(t).vars(); };
+template <typename T>
+constexpr bool rvaluePiecesCallable =
+    requires(T t) { std::move(t).pieces(); };
+template <typename T>
+constexpr bool lvalueConstraintsCallable =
+    requires(const T& t) { t.constraints(); };
+template <typename T>
+constexpr bool lvaluePiecesCallable = requires(const T& t) { t.pieces(); };
+
+TEST(IntegerSet, AccessorsRejectRvalues) {
+  static_assert(!rvalueConstraintsCallable<IntegerSet>);
+  static_assert(!rvalueConstraintsCallable<const IntegerSet>);
+  static_assert(!rvalueVarsCallable<IntegerSet>);
+  static_assert(!rvaluePiecesCallable<PresburgerSet>);
+  static_assert(!rvalueVarsCallable<PresburgerSet>);
+  // Lvalue access is unchanged.
+  static_assert(lvalueConstraintsCallable<IntegerSet>);
+  static_assert(lvaluePiecesCallable<PresburgerSet>);
+
+  // The safe form: bind the set to a local, then iterate (ASan-clean).
+  IntegerSet projected = triangle().eliminated({"j"});
+  std::size_t seen = 0;
+  for (const auto& c : projected.constraints()) {
+    EXPECT_FALSE(c.str().empty());
+    ++seen;
+  }
+  EXPECT_EQ(seen, projected.constraints().size());
+  EXPECT_GT(seen, 0u);
 }
 
 }  // namespace

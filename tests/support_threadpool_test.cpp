@@ -1,0 +1,160 @@
+// Tests for the worker-thread pool, the ordered parallel map that the
+// bench sweep runner is built on, and the Json writer used for the
+// machine-readable bench reports. The key property is determinism: the
+// sweep output (row text and serialized JSON) must be byte-identical
+// for any worker count, because results are collected by index and
+// emitted in submission order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+#include "support/thread_pool.h"
+
+namespace fixfuse::support {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++done; });
+  pool.wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&] { ++done; });
+  pool.wait();
+  EXPECT_EQ(done.load(), 1);
+  pool.submit([&] { ++done; });
+  pool.submit([&] { ++done; });
+  pool.wait();
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ParallelMapOrdered, ResultsInIndexOrderForAnyThreadCount) {
+  auto square = [](std::size_t i) { return i * i; };
+  std::vector<std::size_t> expected(57);
+  for (std::size_t i = 0; i < expected.size(); ++i) expected[i] = square(i);
+  for (unsigned threads : {1u, 2u, 3u, 8u, ThreadPool::hardwareThreads()}) {
+    std::vector<std::size_t> got =
+        parallelMapOrdered<std::size_t>(expected.size(), threads, square);
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelMapOrdered, HandlesEmptyAndSingleItem) {
+  auto id = [](std::size_t i) { return i; };
+  EXPECT_TRUE(parallelMapOrdered<std::size_t>(0, 4, id).empty());
+  std::vector<std::size_t> one = parallelMapOrdered<std::size_t>(1, 4, id);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(ParallelMapOrdered, PropagatesWorkerExceptions) {
+  auto boom = [](std::size_t i) -> int {
+    if (i == 13) throw std::runtime_error("boom at 13");
+    return static_cast<int>(i);
+  };
+  EXPECT_THROW(parallelMapOrdered<int>(40, 4, boom), std::runtime_error);
+  // The inline (single-thread) path must propagate too.
+  EXPECT_THROW(parallelMapOrdered<int>(40, 1, boom), std::runtime_error);
+}
+
+// The property the bench sweep runner relies on: concatenated row text
+// and the serialized JSON document are byte-identical across thread
+// counts 1, 2 and the hardware count.
+TEST(ParallelMapOrdered, SweepOutputByteIdenticalAcrossThreadCounts) {
+  auto makeRow = [](std::size_t i) {
+    char buf[64];
+    double value = std::sqrt(static_cast<double>(i)) * 1.0e9 / 7.0;
+    std::snprintf(buf, sizeof buf, "row %zu value %.6f\n", i, value);
+    Json j = Json::object();
+    j.set("i", static_cast<std::int64_t>(i)).set("value", value);
+    return std::string(buf) + j.str();
+  };
+  const std::size_t n = 41;
+  std::vector<std::string> reference;
+  for (std::size_t i = 0; i < n; ++i) reference.push_back(makeRow(i));
+  std::string refDoc = std::accumulate(reference.begin(), reference.end(),
+                                       std::string());
+  for (unsigned threads : {1u, 2u, ThreadPool::hardwareThreads()}) {
+    std::vector<std::string> rows =
+        parallelMapOrdered<std::string>(n, threads, makeRow);
+    std::string doc =
+        std::accumulate(rows.begin(), rows.end(), std::string());
+    EXPECT_EQ(doc, refDoc) << "threads=" << threads;
+  }
+}
+
+TEST(Json, ScalarsAndOrderPreservingObjects) {
+  Json j = Json::object();
+  j.set("b", true)
+      .set("i", std::int64_t{-42})
+      .set("d", 1.5)
+      .set("s", "hi")
+      .set("nothing", Json());
+  EXPECT_EQ(j.str(),
+            "{\"b\":true,\"i\":-42,\"d\":1.5,\"s\":\"hi\",\"nothing\":null}");
+  // Duplicate keys overwrite in place (order kept).
+  j.set("i", std::int64_t{7});
+  EXPECT_EQ(j.str(),
+            "{\"b\":true,\"i\":7,\"d\":1.5,\"s\":\"hi\",\"nothing\":null}");
+}
+
+TEST(Json, ArraysAndNesting) {
+  Json arr = Json::array();
+  arr.push(1).push(2).push("x");
+  Json j = Json::object();
+  j.set("rows", std::move(arr));
+  EXPECT_EQ(j.str(), "{\"rows\":[1,2,\"x\"]}");
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  Json j = Json::array();
+  j.push(std::numeric_limits<double>::quiet_NaN())
+      .push(std::numeric_limits<double>::infinity())
+      .push(-std::numeric_limits<double>::infinity())
+      .push(0.5);
+  EXPECT_EQ(j.str(), "[null,null,null,0.5]");
+}
+
+TEST(Json, StringEscaping) {
+  Json j = Json::array();
+  j.push(std::string("a\"b\\c\n\t\x01"));
+  EXPECT_EQ(j.str(), "[\"a\\\"b\\\\c\\n\\t\\u0001\"]");
+}
+
+TEST(Json, DoubleRoundTripPrecision) {
+  // %.17g is enough to round-trip any double exactly.
+  double v = 0.1 + 0.2;
+  Json j = Json::array();
+  j.push(v);
+  std::string s = j.str();
+  double back = std::strtod(s.c_str() + 1, nullptr);
+  EXPECT_EQ(back, v);
+}
+
+TEST(Json, PrettyPrintIsStable) {
+  Json j = Json::object();
+  Json rows = Json::array();
+  rows.push(1);
+  j.set("name", "x").set("rows", std::move(rows));
+  EXPECT_EQ(j.str(2), "{\n  \"name\": \"x\",\n  \"rows\": [\n    1\n  ]\n}");
+}
+
+}  // namespace
+}  // namespace fixfuse::support
