@@ -130,8 +130,10 @@ int main(int argc, char** argv) {
   std::printf("\nCopy arrays introduced by ElimRW (Theorems 3/4):\n");
   std::printf("%-9s %12s %22s\n", "kernel", "copy arrays",
               "extra doubles (N=128)");
+  support::Json pipelines = support::Json::object();
   for (const std::string& name : kernelNames()) {
     KernelBundle b = buildKernel(name, {/*tile=*/0});
+    pipelines.set(name, b.stats.json());
     std::size_t hCount = 0, extra = 0;
     for (const auto& a : b.fixed.arrays)
       if (a.name.rfind("H_", 0) == 0) {
@@ -154,6 +156,7 @@ int main(int argc, char** argv) {
       "the fixed code pays a modest instruction overhead; at most one copy "
       "array per original array (merged across readers), versus O(N^3) for "
       "array expansion.\n");
+  report.setPipeline(std::move(pipelines));
   report.write();
   return 0;
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -65,14 +66,23 @@ inline bool fullRuns() {
   return *parsed;
 }
 
-/// Worker count for parallelSweep: FIXFUSE_THREADS if set (>= 1),
-/// otherwise the hardware thread count.
+/// Worker count for parallelSweep: FIXFUSE_THREADS if set, otherwise the
+/// hardware thread count. The value must be a complete positive decimal
+/// integer - zero, negatives, and partial parses like "12abc" are
+/// rejected with a warning (matching the strictness of FIXFUSE_FULL),
+/// falling back to hardware concurrency.
 inline unsigned sweepThreads() {
   if (const char* v = std::getenv("FIXFUSE_THREADS")) {
-    long n = std::strtol(v, nullptr, 10);
-    if (n >= 1) return static_cast<unsigned>(n);
+    char* end = nullptr;
+    errno = 0;
+    long n = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && errno == 0 && n >= 1 && n <= 65536)
+      return static_cast<unsigned>(n);
     std::fprintf(stderr,
-                 "warning: ignoring invalid FIXFUSE_THREADS value '%s'\n", v);
+                 "warning: unrecognized FIXFUSE_THREADS value '%s' "
+                 "(expected a positive integer <= 65536); "
+                 "using hardware concurrency\n",
+                 v);
   }
   return support::ThreadPool::hardwareThreads();
 }
@@ -177,17 +187,23 @@ class BenchReport {
     meta_.set(key, std::move(v));
   }
   void addRow(support::Json row) { rows_.push(std::move(row)); }
+  /// Per-pass pipeline instrumentation (pipeline::PipelineStats::json(),
+  /// or an object of them keyed by kernel). Written as the top-level
+  /// `pipeline` section - schema v2; timings inside vary run to run,
+  /// unlike `rows`.
+  void setPipeline(support::Json p) { pipeline_ = std::move(p); }
 
   /// Write the report when requested; returns the path written to.
   std::optional<std::string> write() {
     if (!path_) return std::nullopt;
     support::Json doc = support::Json::object();
     doc.set("bench", name_);
-    doc.set("schema_version", std::int64_t{1});
+    doc.set("schema_version", std::int64_t{2});
     doc.set("full_sweep", fullRuns());
     doc.set("threads", static_cast<std::int64_t>(sweepThreads()));
     doc.set("config", std::move(meta_));
     doc.set("rows", std::move(rows_));
+    if (!pipeline_.isNull()) doc.set("pipeline", std::move(pipeline_));
     doc.set("wall_seconds", now() - start_);
     std::FILE* f = std::fopen(path_->c_str(), "w");
     if (!f) {
@@ -216,6 +232,7 @@ class BenchReport {
   std::optional<std::string> path_;
   support::Json meta_;
   support::Json rows_;
+  support::Json pipeline_;  // null unless setPipeline was called
 };
 
 /// Run fn(i) for each sweep point on the worker pool, then emit the rows

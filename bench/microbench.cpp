@@ -23,6 +23,7 @@
 #include "core/fuse.h"
 #include "core/sink.h"
 #include "deps/analysis.h"
+#include "deps/cache.h"
 #include "interp/interp.h"
 #include "interp/observer.h"
 #include "kernels/common.h"
@@ -72,17 +73,34 @@ void BM_ProvablyEmpty(benchmark::State& state) {
 }
 BENCHMARK(BM_ProvablyEmpty);
 
-void BM_ComputeWCholesky(benchmark::State& state) {
+void BM_ComputeWCholeskyCold(benchmark::State& state) {
+  // Dependence-set queries with the memoizing cache dropped every
+  // iteration: the full Fourier-Motzkin + emptiness-proof cost.
+  auto bundle = kernels::buildCholesky({0});
+  for (auto _ : state) {
+    deps::depCacheClear();
+    auto w = deps::computeW(bundle.system, 0);
+    benchmark::DoNotOptimize(w.entries.size());
+  }
+}
+BENCHMARK(BM_ComputeWCholeskyCold);
+
+void BM_ComputeWCholeskyWarm(benchmark::State& state) {
+  // Same queries with the cache warm (every query hits after the first
+  // iteration) - the cold/warm gap is what the cache buys FixDeps'
+  // recompute-and-reverify loops.
   auto bundle = kernels::buildCholesky({0});
   for (auto _ : state) {
     auto w = deps::computeW(bundle.system, 0);
     benchmark::DoNotOptimize(w.entries.size());
   }
 }
-BENCHMARK(BM_ComputeWCholesky);
+BENCHMARK(BM_ComputeWCholeskyWarm);
 
 void BM_FullPipeline(benchmark::State& state) {
-  // The whole compile-side pipeline: build, sink, FixDeps, fuse, tile.
+  // The whole compile-side pipeline, run through the PassManager: sink,
+  // fuse, FixDeps, scalarise, skew + tile (pipeline::PassManager per
+  // kernels/jacobi.cpp).
   for (auto _ : state) {
     auto b = kernels::buildKernel("jacobi", {16});
     benchmark::DoNotOptimize(b.fixed.arrays.size());

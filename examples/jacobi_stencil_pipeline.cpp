@@ -16,6 +16,8 @@ using namespace fixfuse::kernels;
 int main() {
   KernelBundle b = buildJacobi({/*tile=*/16});
 
+  std::printf("== pipeline (PassManager record) ==\n%s\n",
+              b.stats.str().c_str());
   std::printf("== FixDeps log ==\n%s\n", b.fixLog.str().c_str());
   std::printf("== fixed (Fig. 4d analogue, automatic) ==\n%s\n",
               ir::printProgram(b.fixed).c_str());

@@ -16,6 +16,8 @@ using namespace fixfuse::kernels;
 int main() {
   KernelBundle b = buildLu({/*tile=*/32});
 
+  std::printf("== pipeline (PassManager record) ==\n%s\n",
+              b.stats.str().c_str());
   std::printf("== FixDeps log ==\n%s", b.fixLog.str().c_str());
   std::printf("(the pivot-search nest gets tile sizes [1, 1, Full] - the "
               "paper's \"tile size N\")\n\n");

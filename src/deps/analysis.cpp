@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "deps/cache.h"
 #include "support/error.h"
 
 namespace fixfuse::deps {
@@ -168,8 +169,8 @@ WSet computeW(const NestSystem& sys, std::size_t k) {
   for (std::size_t kp = k + 1; kp < sys.nests.size(); ++kp)
     for (const auto& name : names)
       for (DepKind kind : {DepKind::Flow, DepKind::Output})
-        for (auto& pair : violatedDepPairs(sys, k, kp, name, kind))
-          if (!pair.provablyEmpty(sys.ctx)) w.entries.push_back(std::move(pair));
+        for (auto& pair : cachedViolatedDeps(sys, k, kp, name, kind))
+          w.entries.push_back(std::move(pair));
   return w;
 }
 
@@ -178,8 +179,8 @@ std::vector<AccessPairDep> violatedAntiDeps(const NestSystem& sys,
                                             const std::string& name) {
   std::vector<AccessPairDep> out;
   for (std::size_t kp = k + 1; kp < sys.nests.size(); ++kp)
-    for (auto& pair : violatedDepPairs(sys, k, kp, name, DepKind::Anti))
-      if (!pair.provablyEmpty(sys.ctx)) out.push_back(std::move(pair));
+    for (auto& pair : cachedViolatedDeps(sys, k, kp, name, DepKind::Anti))
+      out.push_back(std::move(pair));
   return out;
 }
 

@@ -55,6 +55,9 @@ struct AccessPairDep {
 };
 
 /// All violated dependences of `kind` on `name` from nest k to nest kp.
+/// Uncached and unfiltered; FixDeps consumers go through
+/// deps::cachedViolatedDeps (deps/cache.h), which memoizes the
+/// emptiness-filtered result on a structural fingerprint of the query.
 std::vector<AccessPairDep> violatedDepPairs(const NestSystem& sys,
                                             std::size_t k, std::size_t kp,
                                             const std::string& name,

@@ -1,0 +1,109 @@
+#include "deps/cache.h"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "ir/printer.h"
+#include "ir/rewrite.h"
+
+namespace fixfuse::deps {
+
+namespace {
+
+// Entries are whole filtered query results; systems here are small (a
+// handful of nests), so even a long fuzz run stays far below this. The
+// cap only guards against a pathological generator producing unbounded
+// distinct systems - on overflow the cache is dropped wholesale, which
+// costs recomputation but never correctness.
+constexpr std::size_t kMaxEntries = 4096;
+
+std::mutex gMutex;
+std::unordered_map<std::string, std::vector<AccessPairDep>>& table() {
+  static auto* t = new std::unordered_map<std::string, std::vector<AccessPairDep>>();
+  return *t;
+}
+
+std::atomic<std::uint64_t> gQueries{0};
+std::atomic<std::uint64_t> gHits{0};
+thread_local DepCacheStats tlsStats;
+
+void fingerprintNest(std::ostream& os, const PerfectNest& nest) {
+  os << "vars[";
+  for (const auto& v : nest.vars) os << v << ",";
+  os << "]shared=" << nest.sharedPrefix;
+  os << "dom{" << nest.domain.str() << "}embed[";
+  for (const auto& e : nest.embed.outputs) os << e.str() << ";";
+  os << "]tiles[";
+  for (const auto& t : nest.tileSizes) os << t.str() << ",";
+  os << "]body{" << ir::printStmt(*nest.body) << "}ids[";
+  // printStmt does not show assignment ids, but the cached AccessPairDeps
+  // carry them (ElimRW inserts copies by id) - make them part of the key.
+  ir::forEachStmt(*nest.body, [&](const ir::Stmt& s) {
+    if (s.kind() == ir::StmtKind::Assign) os << s.assignId() << ",";
+  });
+  os << "]";
+}
+
+std::string fingerprint(const NestSystem& sys, std::size_t k, std::size_t kp,
+                        const std::string& name, DepKind kind) {
+  std::ostringstream os;
+  os << "ctx{" << sys.ctx.fingerprint() << "}is[";
+  for (const auto& v : sys.isVars) os << v << ",";
+  os << "]bounds[";
+  for (const auto& [lo, hi] : sys.isBounds)
+    os << lo.str() << ".." << hi.str() << ";";
+  os << "]k=" << k << "/" << kp << " " << depKindName(kind) << " " << name;
+  os << " src{";
+  fingerprintNest(os, sys.nests[k]);
+  os << "}tgt{";
+  fingerprintNest(os, sys.nests[kp]);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+DepCacheStats depCacheStats() {
+  DepCacheStats s;
+  s.queries = gQueries.load(std::memory_order_relaxed);
+  s.hits = gHits.load(std::memory_order_relaxed);
+  return s;
+}
+
+const DepCacheStats& depCacheThreadStats() { return tlsStats; }
+
+void depCacheClear() {
+  std::lock_guard<std::mutex> lock(gMutex);
+  table().clear();
+}
+
+std::vector<AccessPairDep> cachedViolatedDeps(const NestSystem& sys,
+                                              std::size_t k, std::size_t kp,
+                                              const std::string& name,
+                                              DepKind kind) {
+  const std::string key = fingerprint(sys, k, kp, name, kind);
+  gQueries.fetch_add(1, std::memory_order_relaxed);
+  ++tlsStats.queries;
+  {
+    std::lock_guard<std::mutex> lock(gMutex);
+    auto it = table().find(key);
+    if (it != table().end()) {
+      gHits.fetch_add(1, std::memory_order_relaxed);
+      ++tlsStats.hits;
+      return it->second;
+    }
+  }
+  std::vector<AccessPairDep> result;
+  for (auto& pair : violatedDepPairs(sys, k, kp, name, kind))
+    if (!pair.provablyEmpty(sys.ctx)) result.push_back(std::move(pair));
+  {
+    std::lock_guard<std::mutex> lock(gMutex);
+    if (table().size() >= kMaxEntries) table().clear();
+    table().emplace(key, result);
+  }
+  return result;
+}
+
+}  // namespace fixfuse::deps

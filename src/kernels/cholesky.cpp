@@ -42,29 +42,38 @@ KernelBundle buildCholesky(const KernelOptions& opts) {
   b.name = "cholesky";
   b.seq = cholSeq();
 
-  poly::ParamContext ctx = kernelContext(/*withM=*/false);
-  Program peeled = core::peelLastIteration(b.seq, "k");
-  SplitProgram split = splitAroundTopLoop(peeled);
-
   core::SinkOptions sink;
   // Fused i runs j..N as in Fig. 3c (the scale nest's instances embed at
   // the slice j = k+1, where i covers k+1..N).
   sink.isBoundOverrides[2] = {poly::AffineExpr::var("j"),
                               poly::AffineExpr::var("N")};
-  deps::NestSystem sys = core::codeSink(split.loopOnly, ctx, sink);
 
-  b.fused = reattachEpilogue(core::generateFusedProgram(sys), split);
-  b.fixLog = core::fixDeps(sys);
-  b.system = sys;
-  b.fixed = reattachEpilogue(core::generateFusedProgram(sys), split);
+  pipeline::PassManager pm(kernelContext(/*withM=*/false));
+  pm.verifyWith(opts.verify);
+  pm.add(pipeline::peelLastIterationPass("k"))
+      .add(pipeline::sinkPass(sink, /*splitEpilogue=*/true))
+      .add(pipeline::fusePass())
+      .add(pipeline::snapshotPass("fused", &b.fused))
+      .add(pipeline::fixDepsPass())
+      .add(pipeline::snapshotPass("fixed", &b.fixed));
+  pipeline::PipelineState st = pm.run(b.seq);
+  b.fixLog = std::move(st.fixLog);
+  b.system = std::move(*st.system);
+  b.stats = pm.stats();
   b.fixedOpt = b.fixed;
   // "The outermost k loop is tiled": k-strips applied per column
   // (blocked right-looking Cholesky), order (Tk, j, k, i) so the
   // contiguous i loop stays innermost; see tileLoopInnermost.
-  b.tiled = opts.tile > 0
-                ? core::tileLoopInnermost(b.fixed, "k", opts.tile,
-                                          /*keepInner=*/1)
-                : b.fixed;
+  if (opts.tile > 0) {
+    pipeline::PassManager tilePm(kernelContext(/*withM=*/false));
+    tilePm.verifyWith(opts.verify);
+    tilePm.add(pipeline::stripMineAndSinkPass("k", opts.tile,
+                                              /*keepInner=*/1));
+    b.tiled = tilePm.run(b.fixed).program;
+    b.stats.append(tilePm.stats());
+  } else {
+    b.tiled = b.fixed;
+  }
   b.tiledBaseline = b.seq;
   return b;
 }

@@ -27,6 +27,7 @@
 #include "core/elim.h"
 #include "deps/nestsystem.h"
 #include "ir/stmt.h"
+#include "pipeline/manager.h"
 #include "poly/set.h"
 
 namespace fixfuse::kernels {
@@ -51,12 +52,22 @@ struct KernelBundle {
   ir::Program tiledBaseline;
   deps::NestSystem system;  // the post-FixDeps nest system
   core::FixLog fixLog;
+  /// Per-pass instrumentation of the build (PassManager record; covers
+  /// the fuse/fix pipeline and, when tiling ran through the manager, the
+  /// tiling passes too).
+  pipeline::PipelineStats stats;
 };
 
 /// Locality-tiling parameters. tile <= 0 means "do not build `tiled`"
 /// (the bundle's tiled program is a copy of fixed).
 struct KernelOptions {
   std::int64_t tile = 32;
+  /// When enabled, the PassManager interprets the program after every
+  /// semantics-preserving pass and compares it bit-for-bit against the
+  /// pipeline input (throws pipeline::VerificationError naming the pass).
+  /// LU's hand-written blocked `tiled` program is outside the manager and
+  /// is not covered (its baseline differs - see KernelBundle::tiledBaseline).
+  pipeline::VerifyOptions verify = {};
 };
 
 KernelBundle buildLu(const KernelOptions& opts = {});

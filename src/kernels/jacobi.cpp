@@ -89,15 +89,19 @@ KernelBundle buildJacobi(const KernelOptions& opts) {
   b.name = "jacobi";
   b.seq = jacobiSeq();
 
-  poly::ParamContext ctx = kernelContext(/*withM=*/true);
-  deps::NestSystem sys = core::codeSink(b.seq, ctx, {});
-
-  b.fused = core::generateFusedProgram(sys);
-  b.fixLog = core::fixDeps(sys);
-  b.system = sys;
-  Program fixed = core::generateFusedProgram(sys);
-  // Replace the temporary L by a scalar (the paper's Fig. 4d note).
-  b.fixed = core::scalarizeArray(fixed, "L", "l");
+  pipeline::PassManager pm(kernelContext(/*withM=*/true));
+  pm.verifyWith(opts.verify);
+  pm.add(pipeline::sinkPass())
+      .add(pipeline::fusePass())
+      .add(pipeline::snapshotPass("fused", &b.fused))
+      .add(pipeline::fixDepsPass())
+      // Replace the temporary L by a scalar (the paper's Fig. 4d note).
+      .add(pipeline::scalarizeArrayPass("L", "l"))
+      .add(pipeline::snapshotPass("fixed", &b.fixed));
+  pipeline::PipelineState st = pm.run(b.seq);
+  b.fixLog = std::move(st.fixLog);
+  b.system = std::move(*st.system);
+  b.stats = pm.stats();
   // Line-6 simplification: pre-copy the boundary so reads of H are
   // unconditional (hand-applied; Fig. 4d verbatim).
   b.fixedOpt = jacobiFixedPaperIr();
@@ -112,15 +116,28 @@ KernelBundle buildJacobi(const KernelOptions& opts) {
     StmtPtr prologue = b.fixedOpt.body->stmts().front()->clone();
     Program sweepOnly = b.fixedOpt;
     sweepOnly.body = blockS({b.fixedOpt.body->stmts().back()->clone()});
-    Program skewed = core::unimodularTransform(
-        sweepOnly, IntMatrix{{1, 1, 0}, {1, 0, 1}, {1, 0, 0}},
-        {"u", "v", "w"});
-    b.tiled =
-        core::tileRectangular(skewed, {opts.tile, opts.tile, opts.tile});
-    b.tiled.body->stmtsMutable().insert(b.tiled.body->stmtsMutable().begin(),
-                                        std::move(prologue));
-    b.tiled.numberAssignments();
-    ir::validate(b.tiled);
+    pipeline::PassManager tilePm(kernelContext(/*withM=*/true));
+    tilePm.verifyWith(opts.verify);
+    tilePm
+        .add(pipeline::unimodularTransformPass(
+            IntMatrix{{1, 1, 0}, {1, 0, 1}, {1, 0, 0}}, {"u", "v", "w"}))
+        .add(pipeline::tileRectangularPass(
+            {opts.tile, opts.tile, opts.tile}))
+        // Re-inserting the boundary pre-copy changes the program's
+        // meaning relative to the sweep-only pipeline input, so this
+        // step is declared non-preserving (the full tiled program is
+        // checked against `seq` by the bundle tests instead).
+        .add(pipeline::customPass(
+            "reattach-prologue",
+            [prologue](pipeline::PipelineState& s) {
+              s.program.body->stmtsMutable().insert(
+                  s.program.body->stmtsMutable().begin(), prologue->clone());
+              s.program.numberAssignments();
+              ir::validate(s.program);
+            },
+            /*preservesSemantics=*/false));
+    b.tiled = tilePm.run(sweepOnly).program;
+    b.stats.append(tilePm.stats());
   } else {
     b.tiled = b.fixed;
   }

@@ -168,22 +168,25 @@ KernelBundle buildLu(const KernelOptions& opts) {
   b.name = "lu";
   b.seq = luSeq();
 
-  poly::ParamContext ctx = kernelContext(/*withM=*/false);
-  Program peeled = core::peelLastIteration(b.seq, "k");
-  SplitProgram split = splitAroundTopLoop(peeled);
-
   core::SinkOptions sink;
   // Subnests in discovery order: 0 = {temp=0; m=k}, 1 = pivot search,
   // 2 = row swap, 3 = column scale, 4 = update (the * nest).
   // The swap's column loop j maps onto the fused *i* dimension (dim 2),
   // pinning the fused j at k+1 - the paper's Fig. 3a placement.
   sink.dimOverrides[2] = {{"j", 2}};
-  deps::NestSystem sys = core::codeSink(split.loopOnly, ctx, sink);
 
-  b.fused = reattachEpilogue(core::generateFusedProgram(sys), split);
-  b.fixLog = core::fixDeps(sys);
-  b.system = sys;
-  b.fixed = reattachEpilogue(core::generateFusedProgram(sys), split);
+  pipeline::PassManager pm(kernelContext(/*withM=*/false));
+  pm.verifyWith(opts.verify);
+  pm.add(pipeline::peelLastIterationPass("k"))
+      .add(pipeline::sinkPass(sink, /*splitEpilogue=*/true))
+      .add(pipeline::fusePass())
+      .add(pipeline::snapshotPass("fused", &b.fused))
+      .add(pipeline::fixDepsPass())
+      .add(pipeline::snapshotPass("fixed", &b.fixed));
+  pipeline::PipelineState st = pm.run(b.seq);
+  b.fixLog = std::move(st.fixLog);
+  b.system = std::move(*st.system);
+  b.stats = pm.stats();
   b.fixedOpt = b.fixed;
   // "The outermost k loop is tiled": realised as the blocked full-swap
   // LU (see luTiledIr). Its semantic baseline is the full-swap

@@ -67,9 +67,6 @@ KernelBundle buildQr(const KernelOptions& opts) {
   b.name = "qr";
   b.seq = qrSeq();
 
-  poly::ParamContext ctx = kernelContext(/*withM=*/false);
-  SplitProgram split = splitAroundTopLoop(b.seq);
-
   core::SinkOptions sink;
   // Subnests in discovery order: 0 = {norm=0}, 1 = norm accumulation,
   // 2 = {norm2; asqr; A(i,i)}, 3 = column scale, 4 = {X=0},
@@ -81,16 +78,32 @@ KernelBundle buildQr(const KernelOptions& opts) {
   // execute even at i = N.
   sink.isBoundOverrides[1] = {poly::AffineExpr::var("i"),
                               poly::AffineExpr::var("N")};
-  deps::NestSystem sys = core::codeSink(split.loopOnly, ctx, sink);
 
-  b.fused = reattachEpilogue(core::generateFusedProgram(sys), split);
-  b.fixLog = core::fixDeps(sys);
-  b.system = sys;
-  b.fixed = reattachEpilogue(core::generateFusedProgram(sys), split);
+  // QR has no peel, but the historical pipeline still ran the program
+  // through the split/reattach path (with an empty epilogue), which
+  // renumbers the generated assignments - sinkPass(splitEpilogue) keeps
+  // that behaviour.
+  pipeline::PassManager pm(kernelContext(/*withM=*/false));
+  pm.verifyWith(opts.verify);
+  pm.add(pipeline::sinkPass(sink, /*splitEpilogue=*/true))
+      .add(pipeline::fusePass())
+      .add(pipeline::snapshotPass("fused", &b.fused))
+      .add(pipeline::fixDepsPass())
+      .add(pipeline::snapshotPass("fixed", &b.fixed));
+  pipeline::PipelineState st = pm.run(b.seq);
+  b.fixLog = std::move(st.fixLog);
+  b.system = std::move(*st.system);
+  b.stats = pm.stats();
   b.fixedOpt = b.fixed;
-  b.tiled = opts.tile > 0
-                ? core::tileRectangular(b.fixed, {opts.tile, opts.tile})
-                : b.fixed;
+  if (opts.tile > 0) {
+    pipeline::PassManager tilePm(kernelContext(/*withM=*/false));
+    tilePm.verifyWith(opts.verify);
+    tilePm.add(pipeline::tileRectangularPass({opts.tile, opts.tile}));
+    b.tiled = tilePm.run(b.fixed).program;
+    b.stats.append(tilePm.stats());
+  } else {
+    b.tiled = b.fixed;
+  }
   b.tiledBaseline = b.seq;
   return b;
 }

@@ -1,0 +1,280 @@
+#include "pipeline/manager.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "deps/cache.h"
+#include "interp/compare.h"
+#include "interp/interp.h"
+#include "ir/rewrite.h"
+
+namespace fixfuse::pipeline {
+
+namespace {
+
+struct IrCounts {
+  std::size_t stmts = 0;
+  std::size_t loops = 0;
+};
+
+IrCounts countIr(const ir::Program& p) {
+  IrCounts c;
+  ir::forEachStmt(*p.body, [&](const ir::Stmt& s) {
+    if (s.kind() == ir::StmtKind::Assign) ++c.stmts;
+    if (s.kind() == ir::StmtKind::Loop) ++c.loops;
+  });
+  return c;
+}
+
+std::string describeParams(const std::map<std::string, std::int64_t>& params) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : params) {
+    os << (first ? "" : ", ") << name << "=" << value;
+    first = false;
+  }
+  return os.str();
+}
+
+support::Json tileActionJson(const core::FixLog::TileAction& t) {
+  support::Json j = support::Json::object();
+  j.set("nest", static_cast<std::int64_t>(t.nest));
+  j.set("w_size", static_cast<std::int64_t>(t.wSize));
+  support::Json dists = support::Json::array();
+  for (const auto& d : t.dists) {
+    support::Json dj = support::Json::object();
+    dj.set("zero", d.zero);
+    dj.set("bounded", d.bounded);
+    if (d.bounded) dj.set("bound", d.bound);
+    dists.push(std::move(dj));
+  }
+  j.set("dists", std::move(dists));
+  support::Json sizes = support::Json::array();
+  for (const auto& s : t.sizes) sizes.push(s.str());
+  j.set("sizes", std::move(sizes));
+  j.set("escalated_to_full", t.escalatedToFull);
+  return j;
+}
+
+support::Json copyActionJson(const core::FixLog::CopyAction& c) {
+  support::Json j = support::Json::object();
+  j.set("array", c.array);
+  j.set("copy_array", c.copyArray);
+  j.set("reader_nest", static_cast<std::int64_t>(c.readerNest));
+  j.set("copies_inserted", static_cast<std::int64_t>(c.copiesInserted));
+  j.set("reads_redirected", static_cast<std::int64_t>(c.readsRedirected));
+  return j;
+}
+
+}  // namespace
+
+VerificationError::VerificationError(
+    const std::string& pass, const std::string& array,
+    const std::map<std::string, std::int64_t>& params,
+    const std::string& programText)
+    : Error("verification failed after pass '" + pass + "' on array '" +
+            array + "' with " + describeParams(params) +
+            "\n--- program after the offending pass ---\n" + programText),
+      pass_(pass),
+      array_(array) {}
+
+double PipelineStats::totalSeconds() const {
+  double s = 0;
+  for (const auto& p : passes) s += p.seconds;
+  return s;
+}
+
+std::uint64_t PipelineStats::totalDepQueries() const {
+  std::uint64_t n = 0;
+  for (const auto& p : passes) n += p.depQueries;
+  return n;
+}
+
+std::uint64_t PipelineStats::totalDepCacheHits() const {
+  std::uint64_t n = 0;
+  for (const auto& p : passes) n += p.depCacheHits;
+  return n;
+}
+
+void PipelineStats::append(const PipelineStats& other) {
+  passes.insert(passes.end(), other.passes.begin(), other.passes.end());
+  fixLog.tiles.insert(fixLog.tiles.end(), other.fixLog.tiles.begin(),
+                      other.fixLog.tiles.end());
+  fixLog.copies.insert(fixLog.copies.end(), other.fixLog.copies.begin(),
+                       other.fixLog.copies.end());
+}
+
+support::Json PipelineStats::json() const {
+  support::Json doc = support::Json::object();
+  support::Json passArr = support::Json::array();
+  for (const auto& p : passes) {
+    support::Json j = support::Json::object();
+    j.set("pass", p.pass);
+    j.set("seconds", p.seconds);
+    j.set("stmts_before", static_cast<std::int64_t>(p.stmtsBefore));
+    j.set("stmts_after", static_cast<std::int64_t>(p.stmtsAfter));
+    j.set("loops_before", static_cast<std::int64_t>(p.loopsBefore));
+    j.set("loops_after", static_cast<std::int64_t>(p.loopsAfter));
+    j.set("dep_queries", p.depQueries);
+    j.set("dep_cache_hits", p.depCacheHits);
+    j.set("fm_eliminations", p.fmEliminations);
+    j.set("emptiness_checks", p.emptinessChecks);
+    j.set("verified", p.verified);
+    passArr.push(std::move(j));
+  }
+  doc.set("passes", std::move(passArr));
+
+  support::Json totals = support::Json::object();
+  totals.set("seconds", totalSeconds());
+  const std::uint64_t q = totalDepQueries();
+  const std::uint64_t h = totalDepCacheHits();
+  totals.set("dep_queries", q);
+  totals.set("dep_cache_hits", h);
+  totals.set("dep_cache_hit_rate",
+             q == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(q));
+  doc.set("totals", std::move(totals));
+
+  support::Json fix = support::Json::object();
+  support::Json tiles = support::Json::array();
+  for (const auto& t : fixLog.tiles) tiles.push(tileActionJson(t));
+  fix.set("tiles", std::move(tiles));
+  support::Json copies = support::Json::array();
+  for (const auto& c : fixLog.copies) copies.push(copyActionJson(c));
+  fix.set("copies", std::move(copies));
+  doc.set("fix_log", std::move(fix));
+  return doc;
+}
+
+std::string PipelineStats::str() const {
+  std::ostringstream os;
+  os << "pass                    sec  stmts  loops  depQ  hits  verified\n";
+  for (const auto& p : passes) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%-20s %6.3f %2zu->%-2zu %2zu->%-2zu %5llu %5llu  %s\n",
+                  p.pass.c_str(), p.seconds, p.stmtsBefore, p.stmtsAfter,
+                  p.loopsBefore, p.loopsAfter,
+                  static_cast<unsigned long long>(p.depQueries),
+                  static_cast<unsigned long long>(p.depCacheHits),
+                  p.verified ? "yes" : "-");
+    os << line;
+  }
+  const std::uint64_t q = totalDepQueries();
+  char tail[120];
+  std::snprintf(tail, sizeof tail,
+                "total %.3fs, %llu dep queries, %llu cache hits (%.0f%%)\n",
+                totalSeconds(), static_cast<unsigned long long>(q),
+                static_cast<unsigned long long>(totalDepCacheHits()),
+                q == 0 ? 0.0
+                       : 100.0 * static_cast<double>(totalDepCacheHits()) /
+                             static_cast<double>(q));
+  os << tail;
+  return os.str();
+}
+
+PassManager::PassManager(poly::ParamContext ctx) : ctx_(std::move(ctx)) {}
+
+PassManager& PassManager::add(Pass p) {
+  FIXFUSE_CHECK(p.run != nullptr, "pass '" + p.name + "' has no body");
+  passes_.push_back(std::move(p));
+  return *this;
+}
+
+PassManager& PassManager::verifyWith(VerifyOptions v) {
+  verify_ = std::move(v);
+  return *this;
+}
+
+PipelineState PassManager::run(const ir::Program& input) {
+  PipelineState state;
+  state.ctx = ctx_;
+  state.program = input;
+  return runFrom(std::move(state), input);
+}
+
+PipelineState PassManager::runOnSystem(deps::NestSystem sys) {
+  PipelineState state;
+  state.ctx = ctx_;
+  state.program = core::generateSequentialProgram(sys);
+  state.system = std::move(sys);
+  const ir::Program reference = state.program;
+  return runFrom(std::move(state), reference);
+}
+
+PipelineState PassManager::runFrom(PipelineState state,
+                                   const ir::Program& reference) {
+  using Clock = std::chrono::steady_clock;
+  stats_ = PipelineStats{};
+
+  // Reference machines, one per parameter set, computed once per run.
+  std::vector<interp::Machine> refMachines;
+  if (verify_.enabled) {
+    FIXFUSE_CHECK(!verify_.paramSets.empty(),
+                  "verification enabled with no parameter sets");
+    for (const auto& params : verify_.paramSets)
+      refMachines.push_back(interp::runProgram(
+          reference, params, [&](interp::Machine& m) {
+            if (verify_.init) verify_.init(m, params);
+          }));
+  }
+
+  // Text of the current program, maintained only when verifying: passes
+  // that leave the program untouched (sink, snapshot) need no re-check.
+  std::string currentText;
+  if (verify_.enabled) currentText = state.program.str();
+
+  for (const auto& pass : passes_) {
+    PassStats ps;
+    ps.pass = pass.name;
+    const IrCounts before = countIr(state.program);
+    ps.stmtsBefore = before.stmts;
+    ps.loopsBefore = before.loops;
+    const deps::DepCacheStats depBefore = deps::depCacheThreadStats();
+    const poly::PolyOpCounts polyBefore = poly::polyOpCounts();
+    const auto t0 = Clock::now();
+
+    pass.run(state);
+
+    ps.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    const deps::DepCacheStats depAfter = deps::depCacheThreadStats();
+    const poly::PolyOpCounts polyAfter = poly::polyOpCounts();
+    ps.depQueries = depAfter.queries - depBefore.queries;
+    ps.depCacheHits = depAfter.hits - depBefore.hits;
+    ps.fmEliminations = polyAfter.fmEliminations - polyBefore.fmEliminations;
+    ps.emptinessChecks =
+        polyAfter.emptinessChecks - polyBefore.emptinessChecks;
+    const IrCounts after = countIr(state.program);
+    ps.stmtsAfter = after.stmts;
+    ps.loopsAfter = after.loops;
+
+    if (verify_.enabled && pass.preservesSemantics) {
+      std::string afterText = state.program.str();
+      if (afterText != currentText) {
+        currentText = std::move(afterText);
+        for (std::size_t i = 0; i < verify_.paramSets.size(); ++i) {
+          const auto& params = verify_.paramSets[i];
+          interp::Machine candidate = interp::runProgram(
+              state.program, params, [&](interp::Machine& m) {
+                if (verify_.init) verify_.init(m, params);
+              });
+          std::string which;
+          if (!interp::machinesBitwiseEqual(reference, refMachines[i],
+                                            state.program, candidate, &which))
+            throw VerificationError(pass.name, which, params,
+                                    state.program.str());
+        }
+        ps.verified = true;
+      }
+    } else if (verify_.enabled) {
+      currentText = state.program.str();
+    }
+    stats_.passes.push_back(std::move(ps));
+  }
+
+  stats_.fixLog = state.fixLog;
+  return state;
+}
+
+}  // namespace fixfuse::pipeline

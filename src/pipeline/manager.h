@@ -1,0 +1,130 @@
+// PassManager: runs a declared sequence of Passes over an ir::Program
+// (or directly over a deps::NestSystem), with
+//
+//  * opt-in verification - after every semantics-preserving pass the
+//    current program is interpreted against the pipeline input on the
+//    caller's parameter sets and compared *bit-for-bit*
+//    (interp::machinesBitwiseEqual); a mismatch throws VerificationError
+//    naming the offending pass, so a broken transformation is caught at
+//    the pass boundary instead of at the end of the pipeline;
+//
+//  * per-pass instrumentation - wall-clock seconds, IR statement/loop
+//    counts before/after, dependence-query and dep-cache-hit deltas
+//    (deps/cache.h) and polyhedral operation deltas (poly::polyOpCounts),
+//    collected from thread-local counters so concurrent bench workers do
+//    not perturb each other's numbers. PipelineStats::json() renders the
+//    whole record as the `pipeline` section of the bench JSON schema
+//    (DESIGN.md section 3, item 8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "interp/machine.h"
+#include "pipeline/pass.h"
+#include "support/error.h"
+#include "support/json.h"
+
+namespace fixfuse::pipeline {
+
+/// A semantics-preserving pass produced a program that is not bit-for-bit
+/// equivalent to the pipeline input.
+class VerificationError : public Error {
+ public:
+  VerificationError(const std::string& pass, const std::string& array,
+                    const std::map<std::string, std::int64_t>& params,
+                    const std::string& programText);
+
+  const std::string& pass() const { return pass_; }
+  const std::string& array() const { return array_; }
+
+ private:
+  std::string pass_;
+  std::string array_;
+};
+
+struct VerifyOptions {
+  bool enabled = false;
+  /// Parameter bindings to verify under (e.g. {{"N",8}}, {{"N",13}}).
+  std::vector<std::map<std::string, std::int64_t>> paramSets;
+  /// Initial machine state (same routine runs for reference and
+  /// candidate, so both start from identical bits).
+  std::function<void(interp::Machine&,
+                     const std::map<std::string, std::int64_t>&)>
+      init;
+};
+
+struct PassStats {
+  std::string pass;
+  double seconds = 0;
+  /// Assign / Loop statement counts of the whole program tree.
+  std::size_t stmtsBefore = 0;
+  std::size_t stmtsAfter = 0;
+  std::size_t loopsBefore = 0;
+  std::size_t loopsAfter = 0;
+  /// Dependence-set queries issued by this pass and how many hit the
+  /// memoizing cache (deps/cache.h). Exact: thread-local deltas.
+  std::uint64_t depQueries = 0;
+  std::uint64_t depCacheHits = 0;
+  /// Polyhedral work: Fourier-Motzkin eliminations and emptiness proofs.
+  std::uint64_t fmEliminations = 0;
+  std::uint64_t emptinessChecks = 0;
+  /// True when the verifier checked (and passed) this pass's output.
+  bool verified = false;
+};
+
+struct PipelineStats {
+  std::vector<PassStats> passes;
+  /// FixDeps actions accumulated over the run (tile escalations, copies).
+  core::FixLog fixLog;
+
+  double totalSeconds() const;
+  std::uint64_t totalDepQueries() const;
+  std::uint64_t totalDepCacheHits() const;
+
+  /// Append another run's record (kernels run fuse and tiling in two
+  /// manager invocations but report one pipeline).
+  void append(const PipelineStats& other);
+
+  /// The `pipeline` JSON section: { "passes": [...], "totals": {...},
+  /// "fix_log": {...} }. Timings vary run to run; counts are
+  /// deterministic.
+  support::Json json() const;
+
+  /// Human-readable per-pass table (examples print this).
+  std::string str() const;
+};
+
+class PassManager {
+ public:
+  explicit PassManager(poly::ParamContext ctx);
+
+  PassManager& add(Pass p);
+  PassManager& verifyWith(VerifyOptions v);
+
+  /// Run all passes over `input`. The returned state carries the final
+  /// program, the nest system (when a sinkPass built one), and the
+  /// accumulated FixLog.
+  PipelineState run(const ir::Program& input);
+
+  /// Run with a pre-built nest system (fuzz drivers build systems
+  /// directly, without a source program). The verification reference -
+  /// and initial state.program - is generateSequentialProgram(sys).
+  PipelineState runOnSystem(deps::NestSystem sys);
+
+  /// Stats of the most recent run.
+  const PipelineStats& stats() const { return stats_; }
+
+ private:
+  PipelineState runFrom(PipelineState state, const ir::Program& reference);
+
+  poly::ParamContext ctx_;
+  std::vector<Pass> passes_;
+  VerifyOptions verify_;
+  PipelineStats stats_;
+};
+
+}  // namespace fixfuse::pipeline

@@ -1,0 +1,159 @@
+#include "pipeline/pass.h"
+
+#include <utility>
+
+#include "core/transforms.h"
+#include "ir/validate.h"
+#include "support/error.h"
+
+namespace fixfuse::pipeline {
+
+namespace {
+
+void requireSystem(const PipelineState& state, const char* pass) {
+  FIXFUSE_CHECK(state.system.has_value(),
+                std::string(pass) + " needs a nest system - run sinkPass "
+                                    "(or PassManager::runOnSystem) first");
+}
+
+/// Regenerate state.program from state.system, re-appending and
+/// renumbering the split-off epilogue when one exists. This mirrors the
+/// historical kernels::reattachEpilogue exactly: renumber + validate only
+/// on the split path, so unsplit pipelines (Jacobi) keep the raw
+/// generator output, assignment ids and all.
+void regenerateProgram(PipelineState& state, const core::FuseOptions& opts) {
+  ir::Program fused = core::generateFusedProgram(*state.system, opts);
+  if (state.epilogue.has_value()) {
+    for (const auto& st : *state.epilogue)
+      fused.body->stmtsMutable().push_back(st->clone());
+    fused.numberAssignments();
+    ir::validate(fused);
+  }
+  state.program = std::move(fused);
+}
+
+}  // namespace
+
+Pass peelLastIterationPass(std::string loopVar) {
+  return Pass{"peel(" + loopVar + ")", true,
+              [loopVar = std::move(loopVar)](PipelineState& state) {
+                state.program =
+                    core::peelLastIteration(state.program, loopVar);
+              }};
+}
+
+Pass sinkPass(core::SinkOptions opts, bool splitEpilogue) {
+  return Pass{"sink", true,
+              [opts = std::move(opts), splitEpilogue](PipelineState& state) {
+                ir::Program toSink = state.program;
+                if (splitEpilogue) {
+                  toSink.body = ir::blockS({});
+                  std::vector<ir::StmtPtr> post;
+                  bool seenLoop = false;
+                  for (const auto& st : state.program.body->stmts()) {
+                    if (!seenLoop && st->kind() == ir::StmtKind::Loop) {
+                      toSink.body->stmtsMutable().push_back(st->clone());
+                      seenLoop = true;
+                      continue;
+                    }
+                    FIXFUSE_CHECK(seenLoop,
+                                  "statement before the top-level loop");
+                    post.push_back(st->clone());
+                  }
+                  FIXFUSE_CHECK(seenLoop, "no top-level loop");
+                  state.epilogue = std::move(post);
+                }
+                state.system = core::codeSink(toSink, state.ctx, opts);
+              }};
+}
+
+Pass fusePass(core::FuseOptions opts, bool preserves) {
+  return Pass{"fuse", preserves,
+              [opts = std::move(opts)](PipelineState& state) {
+                requireSystem(state, "fuse");
+                regenerateProgram(state, opts);
+              }};
+}
+
+Pass fixDepsPass(core::FuseOptions opts) {
+  return Pass{"fixdeps", true, [opts = std::move(opts)](PipelineState& state) {
+                requireSystem(state, "fixdeps");
+                core::FixLog log = core::fixDeps(*state.system);
+                for (auto& t : log.tiles)
+                  state.fixLog.tiles.push_back(std::move(t));
+                for (auto& c : log.copies)
+                  state.fixLog.copies.push_back(std::move(c));
+                regenerateProgram(state, opts);
+              }};
+}
+
+Pass unimodularTransformPass(IntMatrix u, std::vector<std::string> newVars) {
+  std::string name = "unimodular(";
+  for (std::size_t i = 0; i < newVars.size(); ++i)
+    name += (i ? "," : "") + newVars[i];
+  name += ")";
+  return Pass{std::move(name), true,
+              [u = std::move(u),
+               newVars = std::move(newVars)](PipelineState& state) {
+                state.program =
+                    core::unimodularTransform(state.program, u, newVars);
+              }};
+}
+
+Pass tileRectangularPass(std::vector<std::int64_t> tileSizes) {
+  std::string name = "tile(";
+  for (std::size_t i = 0; i < tileSizes.size(); ++i)
+    name += (i ? "," : "") + std::to_string(tileSizes[i]);
+  name += ")";
+  return Pass{std::move(name), true,
+              [tileSizes = std::move(tileSizes)](PipelineState& state) {
+                state.program =
+                    core::tileRectangular(state.program, tileSizes);
+              }};
+}
+
+Pass stripMineAndSinkPass(std::string var, std::int64_t tile,
+                          std::size_t keepInner) {
+  return Pass{"stripmine(" + var + "," + std::to_string(tile) + ")", true,
+              [var = std::move(var), tile, keepInner](PipelineState& state) {
+                state.program = core::tileLoopInnermost(state.program, var,
+                                                        tile, keepInner);
+              }};
+}
+
+Pass scalarizeArrayPass(std::string array, std::string scalarName) {
+  return Pass{"scalarize(" + array + ")", true,
+              [array = std::move(array),
+               scalarName = std::move(scalarName)](PipelineState& state) {
+                state.program =
+                    core::scalarizeArray(state.program, array, scalarName);
+              }};
+}
+
+Pass indexSetSplitPass(std::string var, poly::AffineExpr point) {
+  return Pass{"split(" + var + "@" + point.str() + ")", true,
+              [var = std::move(var),
+               point = std::move(point)](PipelineState& state) {
+                state.program = core::indexSetSplit(state.program, var, point,
+                                                    state.ctx);
+              }};
+}
+
+Pass distributeLoopsPass() {
+  return Pass{"distribute", true, [](PipelineState& state) {
+                state.program = core::distributeLoops(state.program, state.ctx);
+              }};
+}
+
+Pass snapshotPass(std::string label, ir::Program* out) {
+  FIXFUSE_CHECK(out != nullptr, "snapshotPass needs a destination");
+  return Pass{"snapshot(" + label + ")", true,
+              [out](PipelineState& state) { *out = state.program; }};
+}
+
+Pass customPass(std::string name, std::function<void(PipelineState&)> fn,
+                bool preservesSemantics) {
+  return Pass{std::move(name), preservesSemantics, std::move(fn)};
+}
+
+}  // namespace fixfuse::pipeline

@@ -1,0 +1,110 @@
+// The Pass abstraction: every transformation in the repo, wrapped as a
+// named unit over a shared PipelineState so whole optimisation pipelines
+// (the paper's sink -> FixDeps -> fuse -> tile composition) are declared
+// once and run by the PassManager instead of being hand-wired at every
+// call site (kernels, benches, fuzz tests, examples).
+//
+// A pass mutates the state's current program and/or its nest system.
+// Program-level passes (peel, tile, skew, scalarise, split) rewrite
+// `state.program`; system-level passes (sink, FixDeps, fuse) build or
+// mutate `state.system` and regenerate the program from it. The
+// `preservesSemantics` flag tells the manager's verifier which passes
+// must leave the program bit-for-bit equivalent to the pipeline input:
+// raw fusion before FixDeps deliberately is not (that is the paper's
+// point), everything else is.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/elim.h"
+#include "core/fuse.h"
+#include "core/sink.h"
+#include "deps/nestsystem.h"
+#include "ir/stmt.h"
+#include "poly/set.h"
+#include "support/intmatrix.h"
+
+namespace fixfuse::pipeline {
+
+/// Mutable state threaded through a PassManager run.
+struct PipelineState {
+  ir::Program program;
+  /// Built by sinkPass (or seeded by PassManager::runOnSystem); mutated
+  /// by fixDepsPass, regenerated into `program` by fusePass/fixDepsPass.
+  std::optional<deps::NestSystem> system;
+  /// Statements split off behind the top-level loop by
+  /// sinkPass(splitEpilogue): re-appended after every regeneration.
+  /// Engaged (possibly empty) once a split happened; regeneration then
+  /// also renumbers and re-validates, mirroring the historical
+  /// kernels::reattachEpilogue behaviour.
+  std::optional<std::vector<ir::StmtPtr>> epilogue;
+  /// Accumulated FixDeps actions (tile escalations, copy arrays).
+  core::FixLog fixLog;
+  poly::ParamContext ctx;
+};
+
+struct Pass {
+  std::string name;
+  /// False for passes after which the program intentionally does not yet
+  /// match the pipeline input (raw fusion before FixDeps); the verifier
+  /// skips the equivalence check after such a pass.
+  bool preservesSemantics = true;
+  std::function<void(PipelineState&)> run;
+};
+
+// --- factories wrapping every existing transform ---------------------------
+
+/// core::peelLastIteration on the current program.
+Pass peelLastIterationPass(std::string loopVar);
+
+/// core::codeSink: builds state.system from the current program (leaves
+/// the program untouched - follow with fusePass to materialise the fused
+/// code). With `splitEpilogue`, statements after the top-level loop are
+/// split off first and re-appended on every regeneration (LU's peeled
+/// last iteration).
+Pass sinkPass(core::SinkOptions opts = {}, bool splitEpilogue = false);
+
+/// core::generateFusedProgram from state.system into state.program. Not
+/// semantics-preserving in general: before FixDeps this is the paper's
+/// broken raw fusion. Pass preserves = true when fusing an already-fixed
+/// (or known-legal) system.
+Pass fusePass(core::FuseOptions opts = {}, bool preserves = false);
+
+/// core::fixDeps on state.system (appends to state.fixLog), then
+/// regenerates state.program - after this the program must match the
+/// pipeline input again (Theorems 1-4).
+Pass fixDepsPass(core::FuseOptions opts = {});
+
+/// core::unimodularTransform on the current program.
+Pass unimodularTransformPass(IntMatrix u, std::vector<std::string> newVars);
+
+/// core::tileRectangular on the current program.
+Pass tileRectangularPass(std::vector<std::int64_t> tileSizes);
+
+/// core::tileLoopInnermost: strip-mine `var` and sink its point loop
+/// inward (the paper's "tile the outermost k loop" for LU/Cholesky).
+Pass stripMineAndSinkPass(std::string var, std::int64_t tile,
+                          std::size_t keepInner = 0);
+
+/// core::scalarizeArray on the current program.
+Pass scalarizeArrayPass(std::string array, std::string scalarName);
+
+/// core::indexSetSplit on the current program (uses state.ctx).
+Pass indexSetSplitPass(std::string var, poly::AffineExpr point);
+
+/// core::distributeLoops on the current program (uses state.ctx).
+Pass distributeLoopsPass();
+
+/// Store a copy of the current program into *out (intermediate results:
+/// the raw fused program, the fixed program). `out` must outlive the run.
+Pass snapshotPass(std::string label, ir::Program* out);
+
+/// Escape hatch for call-site-specific steps.
+Pass customPass(std::string name, std::function<void(PipelineState&)> fn,
+                bool preservesSemantics = true);
+
+}  // namespace fixfuse::pipeline

@@ -12,7 +12,11 @@ namespace fixfuse::poly {
 namespace {
 constexpr std::size_t kMaxConstraints = 20000;
 constexpr std::int64_t kMaxSearchRange = 2000000;
+
+thread_local PolyOpCounts tlsPolyOps;
 }  // namespace
+
+const PolyOpCounts& polyOpCounts() { return tlsPolyOps; }
 
 std::string Constraint::str() const {
   return expr.str() + (kind == Kind::GE ? " >= 0" : " == 0");
@@ -57,6 +61,18 @@ std::vector<Constraint> ParamContext::constraints() const {
   }
   cs.insert(cs.end(), extra_.begin(), extra_.end());
   return cs;
+}
+
+std::string ParamContext::fingerprint() const {
+  std::ostringstream os;
+  for (const auto& name : names_) {
+    auto [lo, hi] = ranges_.at(name);
+    os << name << ":" << lo << ".." << hi << "{";
+    for (std::int64_t s : samples_.at(name)) os << s << ",";
+    os << "};";
+  }
+  for (const auto& c : extra_) os << c.str() << ";";
+  return os.str();
 }
 
 std::vector<std::map<std::string, std::int64_t>> ParamContext::sampleBindings()
@@ -262,6 +278,7 @@ void IntegerSet::eliminateOne(const std::string& name) {
 }
 
 IntegerSet IntegerSet::eliminated(const std::vector<std::string>& names) const {
+  ++tlsPolyOps.fmEliminations;
   IntegerSet r = *this;
   std::vector<std::string> remaining = names;
   while (!remaining.empty() && !r.knownEmpty_) {
@@ -303,6 +320,7 @@ IntegerSet IntegerSet::eliminated(const std::vector<std::string>& names) const {
 // ---------------------------------------------------------------------------
 
 bool IntegerSet::provablyEmpty(const ParamContext& ctx) const {
+  ++tlsPolyOps.emptinessChecks;
   if (knownEmpty_) return true;
   IntegerSet work = *this;
   for (const auto& c : ctx.constraints()) work.addConstraint(c);

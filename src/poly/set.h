@@ -33,6 +33,16 @@
 
 namespace fixfuse::poly {
 
+/// Monotonic per-thread counters of the expensive polyhedral operations,
+/// for pipeline instrumentation. Thread-local: a caller reads the counts
+/// before and after a region on one thread and reports the delta, without
+/// contention or cross-thread noise.
+struct PolyOpCounts {
+  std::uint64_t fmEliminations = 0;   // IntegerSet::eliminated calls
+  std::uint64_t emptinessChecks = 0;  // IntegerSet::provablyEmpty calls
+};
+const PolyOpCounts& polyOpCounts();
+
 /// One affine constraint: expr >= 0 (GE) or expr == 0 (EQ).
 struct Constraint {
   enum class Kind { GE, EQ };
@@ -67,6 +77,10 @@ class ParamContext {
   const std::vector<std::string>& params() const { return names_; }
   bool hasParam(const std::string& name) const;
   std::vector<Constraint> constraints() const;
+  /// Stable textual identity covering ranges, samples and extra
+  /// constraints - everything emptiness proofs can depend on. Used as a
+  /// memo-cache key component by the dependence layer.
+  std::string fingerprint() const;
   /// Cartesian product of per-parameter samples (bounded; throws when the
   /// product exceeds 4096 bindings).
   std::vector<std::map<std::string, std::int64_t>> sampleBindings() const;

@@ -1,0 +1,63 @@
+// Golden-file check on the C backend: the emitted C for each kernel's
+// *fixed* program (the post-FixDeps fused nest, the paper's Fig. 4
+// analogues) is compared verbatim against tests/golden/<kernel>_fixed.c.
+// Any change to the sink/fuse/FixDeps pipeline or to emit_c that alters
+// the generated code shows up as a readable diff against a reviewed
+// artifact instead of only as an interpreter mismatch.
+//
+// To refresh after an intentional change:
+//   FIXFUSE_REGEN_GOLDEN=1 ./build/tests/emitc_golden_test
+// then review the diff of tests/golden/ and commit it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "codegen/emit_c.h"
+#include "kernels/common.h"
+
+namespace fixfuse::kernels {
+namespace {
+
+std::string goldenPath(const std::string& kernel) {
+  return std::string(FIXFUSE_TEST_DIR) + "/golden/" + kernel + "_fixed.c";
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void checkGolden(const std::string& kernel) {
+  KernelBundle b = buildKernel(kernel, {/*tile=*/0});
+  const std::string got =
+      codegen::emitC(b.fixed, {kernel + "_fixed", /*standalone=*/true});
+
+  const std::string path = goldenPath(kernel);
+  if (std::getenv("FIXFUSE_REGEN_GOLDEN")) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  const std::string want = readFile(path);
+  ASSERT_FALSE(want.empty())
+      << "missing golden file " << path
+      << " (run with FIXFUSE_REGEN_GOLDEN=1 to create it)";
+  EXPECT_EQ(got, want) << "emitted C for the fixed " << kernel
+                       << " program drifted from " << path;
+}
+
+TEST(EmitCGoldenTest, LuFixed) { checkGolden("lu"); }
+TEST(EmitCGoldenTest, CholeskyFixed) { checkGolden("cholesky"); }
+TEST(EmitCGoldenTest, QrFixed) { checkGolden("qr"); }
+TEST(EmitCGoldenTest, JacobiFixed) { checkGolden("jacobi"); }
+
+}  // namespace
+}  // namespace fixfuse::kernels

@@ -1,22 +1,27 @@
 // Randomised end-to-end validation of FixDeps: generate random systems
 // of 2-3 perfect nests with random access offsets (flow, output and
-// anti dependences in random combinations), run the full pipeline and
-// require the fixed fused program to reproduce the sequential semantics
-// bit for bit at several problem sizes.
+// anti dependences in random combinations), run the pipeline through the
+// PassManager with verification enabled and require the fixed fused
+// program to reproduce the sequential semantics bit for bit at several
+// problem sizes (the manager interprets and bit-compares after the
+// fixdeps pass at every parameter set).
 //
 // Systems the pipeline cannot handle (e.g. multi-clobber anti-dependence
 // patterns outside the Theorem 3/4 precondition) must fail *loudly* with
-// UnsupportedError - never silently produce a wrong program. The test
-// tracks how many systems were fixed vs. rejected and requires a healthy
-// fixed ratio.
+// UnsupportedError - never silently produce a wrong program; a wrong
+// program would surface as pipeline::VerificationError and fail the
+// test. The test tracks how many systems were fixed vs. rejected and
+// requires a healthy fixed ratio.
 #include <gtest/gtest.h>
 
 #include "core/elim.h"
 #include "core/fuse.h"
+#include "deps/cache.h"
 #include "interp/compare.h"
 #include "interp/interp.h"
 #include "ir/printer.h"
 #include "ir/rewrite.h"
+#include "pipeline/manager.h"
 #include "support/error.h"
 #include "support/rng.h"
 
@@ -89,41 +94,48 @@ FuzzSystem randomSystem(std::uint64_t seed) {
   return out;
 }
 
+/// Verification options replaying the historical fuzz comparison: every
+/// array randomised per (seed, N), bit-compared at each problem size.
+pipeline::VerifyOptions fuzzVerify(std::uint64_t seed, std::uint64_t mult,
+                                   std::vector<std::int64_t> sizes) {
+  pipeline::VerifyOptions vo;
+  vo.enabled = true;
+  for (std::int64_t n : sizes) vo.paramSets.push_back({{"N", n}});
+  vo.init = [seed, mult](interp::Machine& m,
+                         const std::map<std::string, std::int64_t>& params) {
+    SplitMix64 rng(seed * mult +
+                   static_cast<std::uint64_t>(params.at("N")));
+    for (const char* name : {"A", "B", "Cc"})
+      if (m.hasArray(name))
+        for (auto& v : m.array(name).data()) v = rng.nextDouble(-2.0, 2.0);
+  };
+  return vo;
+}
+
 TEST(FixDepsFuzz, RandomSystemsFixedOrRejectedLoudly) {
   int fixed = 0, rejected = 0, alreadyLegal = 0;
   for (std::uint64_t seed = 1; seed <= 120; ++seed) {
     FuzzSystem fz = randomSystem(seed);
-    ir::Program seq = generateSequentialProgram(fz.sys);
 
-    NestSystem sys = fz.sys;
-    core::FixLog log;
+    pipeline::PassManager pm(fz.sys.ctx);
+    pm.verifyWith(
+        fuzzVerify(seed, 77, {static_cast<std::int64_t>(kPad + 1), 13, 20}));
+    pm.add(pipeline::fixDepsPass());
+    pipeline::PipelineState st;
     try {
-      log = fixDeps(sys);
+      // A wrong fixed program throws pipeline::VerificationError here
+      // (naming the pass, the array, and the parameters) and fails the
+      // test; only UnsupportedError counts as an acceptable rejection.
+      st = pm.runOnSystem(fz.sys);
     } catch (const UnsupportedError&) {
       ++rejected;  // loud rejection is acceptable; silence is not
       continue;
     }
-    if (log.tiles.empty() && log.copies.empty()) ++alreadyLegal;
+    if (st.fixLog.tiles.empty() && st.fixLog.copies.empty()) ++alreadyLegal;
     else ++fixed;
-
-    ir::Program fused = generateFusedProgram(sys);
-    for (std::int64_t n : {static_cast<std::int64_t>(kPad + 1), 13L, 20L}) {
-      auto init = [&](interp::Machine& m) {
-        SplitMix64 rng(seed * 77 + static_cast<std::uint64_t>(n));
-        for (const auto& decl : seq.arrays)
-          if (m.hasArray(decl.name))
-            for (auto& v : m.array(decl.name).data())
-              v = rng.nextDouble(-2.0, 2.0);
-      };
-      interp::Machine ma = interp::runProgram(seq, {{"N", n}}, init);
-      interp::Machine mb = interp::runProgram(fused, {{"N", n}}, init);
-      for (const auto& decl : seq.arrays) {
-        ASSERT_TRUE(interp::arraysBitwiseEqual(ma, mb, decl.name))
-            << "seed " << seed << " N=" << n << " array " << decl.name
-            << "\n--- fixed program:\n" << printProgram(fused)
-            << "\n--- log:\n" << log.str();
-      }
-    }
+    ASSERT_EQ(pm.stats().passes.size(), 1u);
+    EXPECT_TRUE(pm.stats().passes[0].verified) << "seed " << seed;
+    EXPECT_GT(pm.stats().passes[0].depQueries, 0u) << "seed " << seed;
   }
   // The pipeline must handle a solid majority of random systems.
   EXPECT_GE(fixed + alreadyLegal, 90) << "fixed=" << fixed
@@ -133,6 +145,9 @@ TEST(FixDepsFuzz, RandomSystemsFixedOrRejectedLoudly) {
   ::testing::Test::RecordProperty("fixed", fixed);
   ::testing::Test::RecordProperty("alreadyLegal", alreadyLegal);
   ::testing::Test::RecordProperty("rejected", rejected);
+  ::testing::Test::RecordProperty(
+      "depCacheHitRatePct",
+      static_cast<int>(deps::depCacheStats().hitRate() * 100));
 }
 
 TEST(FixDepsFuzz, TwoDimensionalSystems) {
@@ -178,32 +193,19 @@ TEST(FixDepsFuzz, TwoDimensionalSystems) {
           const_cast<Stmt&>(s).setAssignId(id++);
       });
 
-    ir::Program seq = generateSequentialProgram(sys);
-    core::FixLog log;
+    pipeline::PassManager pm(sys.ctx);
+    pm.verifyWith(
+        fuzzVerify(seed, 31, {static_cast<std::int64_t>(kPad + 2), 14}));
+    pm.add(pipeline::fixDepsPass());
+    pipeline::PipelineState st;
     try {
-      log = fixDeps(sys);
+      st = pm.runOnSystem(sys);
     } catch (const UnsupportedError&) {
       ++rejected;
       continue;
     }
-    if (log.tiles.empty() && log.copies.empty()) ++alreadyLegal;
+    if (st.fixLog.tiles.empty() && st.fixLog.copies.empty()) ++alreadyLegal;
     else ++fixed;
-    ir::Program fused = generateFusedProgram(sys);
-    for (std::int64_t n : {static_cast<std::int64_t>(kPad + 2), 14L}) {
-      auto init = [&](interp::Machine& m) {
-        SplitMix64 r2(seed * 31 + static_cast<std::uint64_t>(n));
-        for (const auto& decl : seq.arrays)
-          if (m.hasArray(decl.name))
-            for (auto& v : m.array(decl.name).data())
-              v = r2.nextDouble(-2.0, 2.0);
-      };
-      interp::Machine ma = interp::runProgram(seq, {{"N", n}}, init);
-      interp::Machine mb = interp::runProgram(fused, {{"N", n}}, init);
-      for (const auto& decl : seq.arrays)
-        ASSERT_TRUE(interp::arraysBitwiseEqual(ma, mb, decl.name))
-            << "seed " << seed << " N=" << n << "\n"
-            << printProgram(fused) << log.str();
-    }
   }
   EXPECT_GE(fixed, 10) << "fixed=" << fixed << " legal=" << alreadyLegal
                        << " rejected=" << rejected;

@@ -1,0 +1,130 @@
+// Exact FixDeps action logs for the paper kernels. The paper (Section 4,
+// Table 1) is specific about *what* FixDeps does per kernel: LU Full-tiles
+// the pivot-search nest ("tile size N"); Cholesky needs nothing; QR
+// Full-tiles three nests; Jacobi inserts one copy array H_{A,1}. These
+// tests pin the FixLog down field by field so a regression in ElimWW_WR
+// or ElimRW cannot silently change the chosen actions while the output
+// stays coincidentally correct.
+#include <gtest/gtest.h>
+
+#include "kernels/common.h"
+
+namespace fixfuse::kernels {
+namespace {
+
+using core::FixLog;
+using deps::DistanceBound;
+using deps::TileSize;
+
+void expectDist(const DistanceBound& d, bool zero, bool bounded,
+                std::int64_t bound, const char* where) {
+  EXPECT_EQ(d.zero, zero) << where;
+  EXPECT_EQ(d.bounded, bounded) << where;
+  if (bounded) EXPECT_EQ(d.bound, bound) << where;
+}
+
+void expectSizes(const std::vector<TileSize>& got,
+                 const std::vector<std::string>& want, const char* where) {
+  ASSERT_EQ(got.size(), want.size()) << where;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i].str(), want[i]) << where << " dim " << i;
+}
+
+TEST(FixLogTest, LuFullTilesThePivotSearchNest) {
+  KernelBundle b = buildLu({/*tile=*/0});
+  const FixLog& log = b.fixLog;
+
+  // Exactly one tile escalation, no copy arrays.
+  ASSERT_EQ(log.tiles.size(), 1u);
+  EXPECT_TRUE(log.copies.empty());
+
+  const FixLog::TileAction& t = log.tiles[0];
+  EXPECT_EQ(t.nest, 1u);
+  EXPECT_EQ(t.wSize, 4u);  // violated flow/output pairs against the search
+  EXPECT_FALSE(t.escalatedToFull);
+
+  // Distances: zero/zero in the outer two fused dims, unbounded in the
+  // third (the pivot row is data-dependent) -> sizes [1, 1, Full], the
+  // paper's "tile size N" for the pivot-search i loop.
+  ASSERT_EQ(t.dists.size(), 3u);
+  expectDist(t.dists[0], true, true, 0, "lu dist 0");
+  expectDist(t.dists[1], true, true, 0, "lu dist 1");
+  expectDist(t.dists[2], false, false, 0, "lu dist 2");
+  expectSizes(t.sizes, {"1", "1", "Full"}, "lu");
+}
+
+TEST(FixLogTest, CholeskyNeedsNoFixing) {
+  KernelBundle b = buildCholesky({/*tile=*/0});
+  // Paper Section 4.2: after sinking, Cholesky's fusion is already legal;
+  // FixDeps must be a no-op.
+  EXPECT_TRUE(b.fixLog.tiles.empty());
+  EXPECT_TRUE(b.fixLog.copies.empty());
+}
+
+TEST(FixLogTest, QrFullTilesThreeNests) {
+  KernelBundle b = buildQr({/*tile=*/0});
+  const FixLog& log = b.fixLog;
+
+  ASSERT_EQ(log.tiles.size(), 3u);
+  EXPECT_TRUE(log.copies.empty());
+
+  // ElimWW_WR visits nests from the last to the first; the norm /
+  // reflector nests each need a Full dimension.
+  const FixLog::TileAction& t0 = log.tiles[0];
+  EXPECT_EQ(t0.nest, 5u);
+  EXPECT_EQ(t0.wSize, 1u);
+  EXPECT_FALSE(t0.escalatedToFull);
+  ASSERT_EQ(t0.dists.size(), 3u);
+  expectDist(t0.dists[0], true, true, 0, "qr nest5 dist 0");
+  expectDist(t0.dists[1], true, true, 0, "qr nest5 dist 1");
+  expectDist(t0.dists[2], false, false, 0, "qr nest5 dist 2");
+  expectSizes(t0.sizes, {"1", "1", "Full"}, "qr nest5");
+
+  const FixLog::TileAction& t1 = log.tiles[1];
+  EXPECT_EQ(t1.nest, 3u);
+  EXPECT_EQ(t1.wSize, 2u);
+  EXPECT_FALSE(t1.escalatedToFull);
+  ASSERT_EQ(t1.dists.size(), 3u);
+  expectDist(t1.dists[0], true, true, 0, "qr nest3 dist 0");
+  expectDist(t1.dists[1], false, false, 0, "qr nest3 dist 1");
+  expectDist(t1.dists[2], true, true, 0, "qr nest3 dist 2");
+  expectSizes(t1.sizes, {"1", "Full", "1"}, "qr nest3");
+
+  const FixLog::TileAction& t2 = log.tiles[2];
+  EXPECT_EQ(t2.nest, 1u);
+  EXPECT_EQ(t2.wSize, 2u);
+  EXPECT_FALSE(t2.escalatedToFull);
+  ASSERT_EQ(t2.dists.size(), 3u);
+  expectDist(t2.dists[0], true, true, 0, "qr nest1 dist 0");
+  expectDist(t2.dists[1], true, true, 0, "qr nest1 dist 1");
+  expectDist(t2.dists[2], false, false, 0, "qr nest1 dist 2");
+  expectSizes(t2.sizes, {"1", "1", "Full"}, "qr nest1");
+}
+
+TEST(FixLogTest, JacobiInsertsOneCopyArray) {
+  KernelBundle b = buildJacobi({/*tile=*/0});
+  const FixLog& log = b.fixLog;
+
+  // ElimRW only: one H_{A,1} copy, no tile escalations (paper Fig. 4d).
+  EXPECT_TRUE(log.tiles.empty());
+  ASSERT_EQ(log.copies.size(), 1u);
+
+  const FixLog::CopyAction& c = log.copies[0];
+  EXPECT_EQ(c.array, "A");
+  EXPECT_EQ(c.copyArray, "H_A_1");
+  EXPECT_EQ(c.readerNest, 0u);
+  EXPECT_EQ(c.copiesInserted, 1u);
+  EXPECT_EQ(c.readsRedirected, 2u);
+}
+
+// The PassManager's stats record must carry the same FixLog the bundle
+// reports (the JSON `fix_log` section is rendered from it).
+TEST(FixLogTest, PipelineStatsCarryTheLog) {
+  KernelBundle b = buildLu({/*tile=*/0});
+  ASSERT_EQ(b.stats.fixLog.tiles.size(), b.fixLog.tiles.size());
+  EXPECT_EQ(b.stats.fixLog.tiles[0].nest, b.fixLog.tiles[0].nest);
+  EXPECT_EQ(b.stats.fixLog.copies.size(), b.fixLog.copies.size());
+}
+
+}  // namespace
+}  // namespace fixfuse::kernels

@@ -1,0 +1,41 @@
+#include <math.h>
+
+/* floor division and modulus (round toward -inf) */
+static long ff_fdiv(long a, long b) {
+  long q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+static long ff_mod(long a, long b) {
+  return a - ff_fdiv(a, b) * b;
+}
+static long ff_min(long a, long b) { return a < b ? a : b; }
+static long ff_max(long a, long b) { return a > b ? a : b; }
+
+#define A_AT(d0, d1) A_[((d0) + ((N + 1L)) * (d1))]
+
+void cholesky_fixed(long N, double* A_) {
+  for (long k = 1L; k <= (N + -1L); ++k) {
+    for (long j = (k + 1L); j <= N; ++j) {
+      for (long i = j; i <= N; ++i) {
+        if ((((j + (-1L * k)) + -1L) == 0L) && (((i + (-1L * k)) + -1L) == 0L)) {
+          A_AT(k, k) = sqrt(A_AT(k, k));
+        }
+        if (((j + (-1L * k)) + -1L) == 0L) {
+          A_AT(i, k) = (A_AT(i, k) / A_AT(k, k));
+        }
+        A_AT(i, j) = (A_AT(i, j) - (A_AT(i, k) * A_AT(j, k)));
+      }
+    }
+  }
+  A_AT(N, N) = sqrt(A_AT(N, N));
+  for (long i = (N + 1L); i <= N; ++i) {
+    A_AT(i, N) = (A_AT(i, N) / A_AT(N, N));
+  }
+  for (long j = (N + 1L); j <= N; ++j) {
+    for (long i = j; i <= N; ++i) {
+      A_AT(i, j) = (A_AT(i, j) - (A_AT(i, N) * A_AT(j, N)));
+    }
+  }
+}
+#undef A_AT

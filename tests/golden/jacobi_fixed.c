@@ -1,0 +1,33 @@
+#include <math.h>
+
+/* floor division and modulus (round toward -inf) */
+static long ff_fdiv(long a, long b) {
+  long q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+static long ff_mod(long a, long b) {
+  return a - ff_fdiv(a, b) * b;
+}
+static long ff_min(long a, long b) { return a < b ? a : b; }
+static long ff_max(long a, long b) { return a > b ? a : b; }
+
+#define A_AT(d0, d1) A_[((d0) + ((N + 1L)) * (d1))]
+#define H_A_1_AT(d0, d1) H_A_1_[((d0) + ((N + 1L)) * (d1))]
+
+void jacobi_fixed(long M, long N, double* A_, double* H_A_1_) {
+  double l = 0;
+  for (long t = 0L; t <= M; ++t) {
+    for (long i = 2L; i <= (N + -1L); ++i) {
+      for (long j = 2L; j <= (N + -1L); ++j) {
+        l = (((((((i + -3L) >= 0L) ? H_A_1_AT(j, (i + -1L)) : A_AT(j, (i + -1L))) + (((j + -3L) >= 0L) ? H_A_1_AT((j + -1L), i) : A_AT((j + -1L), i))) + A_AT((j + 1L), i)) + A_AT(j, (i + 1L))) * 0.25);
+        if ((((N + (-1L * i)) + -2L) >= 0L) || (((N + (-1L * j)) + -2L) >= 0L)) {
+          H_A_1_AT(j, i) = A_AT(j, i);
+        }
+        A_AT(j, i) = l;
+      }
+    }
+  }
+}
+#undef A_AT
+#undef H_A_1_AT

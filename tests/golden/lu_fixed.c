@@ -1,0 +1,78 @@
+#include <math.h>
+
+/* floor division and modulus (round toward -inf) */
+static long ff_fdiv(long a, long b) {
+  long q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+static long ff_mod(long a, long b) {
+  return a - ff_fdiv(a, b) * b;
+}
+static long ff_min(long a, long b) { return a < b ? a : b; }
+static long ff_max(long a, long b) { return a > b ? a : b; }
+
+#define A_AT(d0, d1) A_[((d0) + ((N + 1L)) * (d1))]
+
+void lu_fixed(long N, double* A_) {
+  double temp = 0;
+  double d = 0;
+  long m = 0;
+  for (long k = 1L; k <= (N + -1L); ++k) {
+    for (long j = (k + 1L); j <= N; ++j) {
+      for (long i = k; i <= N; ++i) {
+        if ((((j + (-1L * k)) + -1L) == 0L) && ((i + (-1L * k)) == 0L)) {
+          temp = 0.0;
+          m = k;
+        }
+        if (((i + (-1L * k)) == 0L) && (((j + (-1L * k)) + -1L) == 0L)) {
+          for (long Pi = k; Pi <= N; ++Pi) {
+            d = A_AT(Pi, k);
+            if (fabs(d) > temp) {
+              temp = fabs(d);
+              m = Pi;
+            }
+          }
+        }
+        if (((j + (-1L * k)) + -1L) == 0L) {
+          if (m != k) {
+            temp = A_AT(k, i);
+            A_AT(k, i) = A_AT(m, i);
+            A_AT(m, i) = temp;
+          }
+        }
+        if ((((i + (-1L * k)) + -1L) >= 0L) && (((j + (-1L * k)) + -1L) == 0L)) {
+          A_AT(i, k) = (A_AT(i, k) / A_AT(k, k));
+        }
+        if (((i + (-1L * k)) + -1L) >= 0L) {
+          A_AT(i, j) = (A_AT(i, j) - (A_AT(i, k) * A_AT(k, j)));
+        }
+      }
+    }
+  }
+  temp = 0.0;
+  m = N;
+  for (long i = N; i <= N; ++i) {
+    d = A_AT(i, N);
+    if (fabs(d) > temp) {
+      temp = fabs(d);
+      m = i;
+    }
+  }
+  if (m != N) {
+    for (long j = N; j <= N; ++j) {
+      temp = A_AT(N, j);
+      A_AT(N, j) = A_AT(m, j);
+      A_AT(m, j) = temp;
+    }
+  }
+  for (long i = (N + 1L); i <= N; ++i) {
+    A_AT(i, N) = (A_AT(i, N) / A_AT(N, N));
+  }
+  for (long j = (N + 1L); j <= N; ++j) {
+    for (long i = (N + 1L); i <= N; ++i) {
+      A_AT(i, j) = (A_AT(i, j) - (A_AT(i, N) * A_AT(N, j)));
+    }
+  }
+}
+#undef A_AT

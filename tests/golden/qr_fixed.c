@@ -1,0 +1,61 @@
+#include <math.h>
+
+/* floor division and modulus (round toward -inf) */
+static long ff_fdiv(long a, long b) {
+  long q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+static long ff_mod(long a, long b) {
+  return a - ff_fdiv(a, b) * b;
+}
+static long ff_min(long a, long b) { return a < b ? a : b; }
+static long ff_max(long a, long b) { return a > b ? a : b; }
+
+#define A_AT(d0, d1) A_[((d0) + ((N + 1L)) * (d1))]
+#define X_AT(d0, d1) X_[((d0) + ((N + 1L)) * (d1))]
+
+void qr_fixed(long N, double* A_, double* X_) {
+  double norm = 0;
+  double norm2 = 0;
+  double asqr = 0;
+  for (long i = 1L; i <= N; ++i) {
+    for (long j = i; j <= N; ++j) {
+      for (long k = i; k <= N; ++k) {
+        if ((((-1L * i) + j) == 0L) && (((-1L * i) + k) == 0L)) {
+          norm = 0.0;
+        }
+        if ((((-1L * i) + k) == 0L) && (((-1L * i) + j) == 0L)) {
+          for (long Pk = i; Pk <= N; ++Pk) {
+            norm = (norm + (A_AT(Pk, i) * A_AT(Pk, i)));
+          }
+        }
+        if ((((-1L * i) + j) == 0L) && (((-1L * i) + k) == 0L)) {
+          norm2 = sqrt(norm);
+          asqr = (A_AT(i, i) * A_AT(i, i));
+          A_AT(i, i) = sqrt(((norm - asqr) + ((A_AT(i, i) - norm2) * (A_AT(i, i) - norm2))));
+        }
+        if ((((-1L * i) + j) == 0L) && (((-1L * i) + k) == 0L)) {
+          for (long Pj = i; Pj <= N; ++Pj) {
+            if (((Pj + (-1L * i)) + -1L) >= 0L) {
+              A_AT(Pj, i) = (A_AT(Pj, i) / A_AT(i, i));
+            }
+          }
+        }
+        if (((((-1L * i) + j) + -1L) >= 0L) && (((-1L * i) + k) == 0L)) {
+          X_AT(j, i) = 0.0;
+        }
+        if ((((-1L * i) + k) == 0L) && ((((-1L * i) + j) + -1L) >= 0L)) {
+          for (long Pk = i; Pk <= N; ++Pk) {
+            X_AT(j, i) = (X_AT(j, i) + (A_AT(Pk, i) * A_AT(Pk, j)));
+          }
+        }
+        if (((((-1L * i) + j) + -1L) >= 0L) && ((((-1L * i) + k) + -1L) >= 0L)) {
+          A_AT(k, j) = (A_AT(k, j) - (A_AT(k, i) * X_AT(j, i)));
+        }
+      }
+    }
+  }
+}
+#undef A_AT
+#undef X_AT

@@ -1,0 +1,278 @@
+// PassManager behaviour: composition and snapshots, per-pass
+// verification (a corrupted "preserving" pass must throw
+// VerificationError naming the pass; a declared non-preserving pass must
+// not), instrumentation (pass names, IR counts, dependence-query deltas),
+// runOnSystem, and the memoizing dependence cache's hit behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "deps/analysis.h"
+#include "deps/cache.h"
+#include "interp/interp.h"
+#include "ir/parse.h"
+#include "ir/printer.h"
+#include "ir/rewrite.h"
+#include "pipeline/manager.h"
+
+namespace fixfuse::pipeline {
+namespace {
+
+// The textual_pipeline example's nest: a genuine fusion-preventing flow
+// dependence (the second inner loop consumes R(i+1), produced later in
+// the same k iteration), so FixDeps has real work and real dep queries.
+const char* kInput = R"(
+program(N) {
+  double R[(N + 4)];
+  double S[(N + 4)];
+  for k = 1 .. N {
+    for i = 1 .. N {
+      R[i] = (R[i] + (0.5 * S[i]));
+    }
+    for i = 1 .. N {
+      S[i] = (S[i] + R[min((i + 1), N)]);
+    }
+  }
+}
+)";
+
+// Same program with one constant changed - not bit-for-bit equivalent.
+const char* kCorrupted = R"(
+program(N) {
+  double R[(N + 4)];
+  double S[(N + 4)];
+  for k = 1 .. N {
+    for i = 1 .. N {
+      R[i] = (R[i] + (0.625 * S[i]));
+    }
+    for i = 1 .. N {
+      S[i] = (S[i] + R[min((i + 1), N)]);
+    }
+  }
+}
+)";
+
+poly::ParamContext makeCtx() {
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 1000000);
+  return ctx;
+}
+
+VerifyOptions makeVerify() {
+  VerifyOptions vo;
+  vo.enabled = true;
+  vo.paramSets = {{{"N", 10}}, {{"N", 13}}};
+  vo.init = [](interp::Machine& m,
+               const std::map<std::string, std::int64_t>&) {
+    double x = 0.05;
+    for (auto& v : m.array("R").data()) v = (x += 0.13);
+    for (auto& v : m.array("S").data()) v = (x -= 0.07);
+  };
+  return vo;
+}
+
+TEST(PassManagerTest, ComposesPassesAndTakesSnapshots) {
+  ir::Program input = ir::parseProgram(kInput);
+  ir::Program presink;
+
+  PassManager pm(makeCtx());
+  pm.verifyWith(makeVerify());
+  pm.add(sinkPass())
+      .add(snapshotPass("presink", &presink))
+      .add(fixDepsPass());
+  PipelineState st = pm.run(input);
+
+  // sink and snapshot leave the program untouched; fixdeps regenerates.
+  EXPECT_EQ(ir::printProgram(presink), ir::printProgram(input));
+  EXPECT_NE(ir::printProgram(st.program), ir::printProgram(input));
+  ASSERT_TRUE(st.system.has_value());
+  EXPECT_FALSE(st.fixLog.tiles.empty());
+
+  const PipelineStats& stats = pm.stats();
+  ASSERT_EQ(stats.passes.size(), 3u);
+  EXPECT_EQ(stats.passes[0].pass, "sink");
+  EXPECT_EQ(stats.passes[1].pass, "snapshot(presink)");
+  EXPECT_EQ(stats.passes[2].pass, "fixdeps");
+
+  // Verification ran only where the text changed: sink/snapshot are
+  // no-ops on the program, fixdeps is not.
+  EXPECT_FALSE(stats.passes[0].verified);
+  EXPECT_FALSE(stats.passes[1].verified);
+  EXPECT_TRUE(stats.passes[2].verified);
+
+  // Instrumentation: fixdeps issued dependence queries and polyhedral
+  // work; IR counts track the regenerated program.
+  EXPECT_GT(stats.passes[2].depQueries, 0u);
+  EXPECT_GT(stats.passes[2].emptinessChecks, 0u);
+  EXPECT_GT(stats.passes[2].stmtsAfter, 0u);
+  EXPECT_EQ(stats.passes[0].stmtsBefore, stats.passes[0].stmtsAfter);
+  EXPECT_EQ(stats.totalDepQueries(), stats.passes[2].depQueries);
+}
+
+TEST(PassManagerTest, VerificationErrorNamesTheOffendingPass) {
+  ir::Program input = ir::parseProgram(kInput);
+
+  PassManager pm(makeCtx());
+  pm.verifyWith(makeVerify());
+  // A pass that claims to preserve semantics but does not.
+  pm.add(customPass(
+      "corrupt",
+      [](PipelineState& st) { st.program = ir::parseProgram(kCorrupted); },
+      /*preservesSemantics=*/true));
+
+  try {
+    pm.run(input);
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& e) {
+    EXPECT_EQ(e.pass(), "corrupt");
+    EXPECT_EQ(e.array(), "R");
+    EXPECT_NE(std::string(e.what()).find("corrupt"), std::string::npos);
+  }
+}
+
+TEST(PassManagerTest, NonPreservingPassesAreNotChecked) {
+  ir::Program input = ir::parseProgram(kInput);
+
+  PassManager pm(makeCtx());
+  pm.verifyWith(makeVerify());
+  // The same corruption declared non-preserving: the verifier must skip
+  // it (this is how raw fusion before FixDeps runs under verification).
+  pm.add(customPass(
+      "corrupt",
+      [](PipelineState& st) { st.program = ir::parseProgram(kCorrupted); },
+      /*preservesSemantics=*/false));
+  EXPECT_NO_THROW(pm.run(input));
+  EXPECT_FALSE(pm.stats().passes[0].verified);
+}
+
+TEST(PassManagerTest, RawFusionFailsVerificationWhenClaimedPreserving) {
+  ir::Program input = ir::parseProgram(kInput);
+
+  PassManager pm(makeCtx());
+  pm.verifyWith(makeVerify());
+  // Fusing without FixDeps is the paper's broken program; claiming
+  // preservation must surface it as a VerificationError on `fuse`.
+  pm.add(sinkPass()).add(fusePass({}, /*preserves=*/true));
+  try {
+    pm.run(input);
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& e) {
+    EXPECT_EQ(e.pass(), "fuse");
+  }
+}
+
+// Two 1-D nests built directly (the fuzz drivers' route, no source
+// program): nest 1 reads A(i+1), which nest 0 writes on a later fused
+// iteration - a violated flow dependence FixDeps must tile away.
+deps::NestSystem makeHandBuiltSystem() {
+  using namespace fixfuse::ir;
+  constexpr std::int64_t kPad = 4;
+  deps::NestSystem sys;
+  sys.ctx.addParam("N", kPad, 100000);
+  sys.decls.params = {"N"};
+  for (const char* a : {"A", "B"})
+    sys.decls.declareArray(a, {add(iv("N"), ic(2 * kPad))});
+  sys.decls.body = blockS({});
+  sys.isVars = {"i"};
+  sys.isBounds = {{poly::AffineExpr(kPad), poly::AffineExpr::var("N")}};
+
+  auto makeNest = [&](StmtPtr stmt) {
+    deps::PerfectNest nest;
+    nest.vars = {"i"};
+    nest.domain = poly::IntegerSet({"i"});
+    nest.domain.addRange("i", poly::AffineExpr(kPad),
+                         poly::AffineExpr::var("N"));
+    nest.body = blockS({std::move(stmt)});
+    nest.embed = deps::AffineMap{{poly::AffineExpr::var("i")}};
+    sys.nests.push_back(std::move(nest));
+  };
+  makeNest(aassign("A", {iv("i")}, mul(load("A", {iv("i")}), fc(0.5))));
+  makeNest(aassign("B", {iv("i")},
+                   add(load("B", {iv("i")}),
+                       load("A", {add(iv("i"), ic(1))}))));
+  int id = 0;
+  for (auto& nest : sys.nests)
+    forEachStmt(*nest.body, [&](const Stmt& s) {
+      if (s.kind() == StmtKind::Assign)
+        const_cast<Stmt&>(s).setAssignId(id++);
+    });
+  return sys;
+}
+
+TEST(PassManagerTest, RunOnSystemUsesSequentialReference) {
+  deps::NestSystem sys = makeHandBuiltSystem();
+
+  VerifyOptions vo;
+  vo.enabled = true;
+  vo.paramSets = {{{"N", 10}}, {{"N", 13}}};
+  vo.init = [](interp::Machine& m,
+               const std::map<std::string, std::int64_t>&) {
+    double x = 0.2;
+    for (const char* name : {"A", "B"})
+      for (auto& v : m.array(name).data()) v = (x += 0.31);
+  };
+
+  PassManager pm(sys.ctx);
+  pm.verifyWith(vo);
+  pm.add(fixDepsPass());
+  PipelineState st = pm.runOnSystem(std::move(sys));
+
+  ASSERT_EQ(pm.stats().passes.size(), 1u);
+  EXPECT_EQ(pm.stats().passes[0].pass, "fixdeps");
+  EXPECT_TRUE(pm.stats().passes[0].verified);
+  EXPECT_FALSE(st.fixLog.tiles.empty());
+}
+
+TEST(PassManagerTest, StatsRenderJsonAndTable) {
+  ir::Program input = ir::parseProgram(kInput);
+  PassManager pm(makeCtx());
+  pm.add(sinkPass()).add(fixDepsPass());
+  pm.run(input);
+
+  const std::string json = pm.stats().json().str();
+  for (const char* key :
+       {"\"passes\"", "\"pass\"", "\"dep_queries\"", "\"dep_cache_hits\"",
+        "\"totals\"", "\"dep_cache_hit_rate\"", "\"fix_log\"", "\"tiles\"",
+        "\"copies\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+
+  const std::string table = pm.stats().str();
+  EXPECT_NE(table.find("fixdeps"), std::string::npos);
+  EXPECT_NE(table.find("cache hits"), std::string::npos);
+}
+
+TEST(DepCacheTest, RepeatedQueriesHitTheCache) {
+  // Build a real system, then issue the same W(k) computation twice: the
+  // second round must be answered entirely from the cache.
+  ir::Program input = ir::parseProgram(kInput);
+  PassManager sinkPm(makeCtx());
+  sinkPm.add(sinkPass());
+  PipelineState sunk = sinkPm.run(input);
+  ASSERT_TRUE(sunk.system.has_value());
+  const deps::NestSystem& sys = *sunk.system;
+
+  deps::depCacheClear();
+  const deps::DepCacheStats t0 = deps::depCacheThreadStats();
+  deps::WSet w1 = deps::computeW(sys, 0);
+  const deps::DepCacheStats t1 = deps::depCacheThreadStats();
+  deps::WSet w2 = deps::computeW(sys, 0);
+  const deps::DepCacheStats t2 = deps::depCacheThreadStats();
+
+  const std::uint64_t firstQueries = t1.queries - t0.queries;
+  const std::uint64_t secondQueries = t2.queries - t1.queries;
+  const std::uint64_t secondHits = t2.hits - t1.hits;
+  ASSERT_GT(firstQueries, 0u);
+  EXPECT_EQ(secondQueries, firstQueries);
+  EXPECT_EQ(secondHits, secondQueries);  // identical query -> pure hits
+  EXPECT_EQ(w1.entries.size(), w2.entries.size());
+
+  // Clearing drops the entries: the same query misses again.
+  deps::depCacheClear();
+  const deps::DepCacheStats t3 = deps::depCacheThreadStats();
+  deps::computeW(sys, 0);
+  const deps::DepCacheStats t4 = deps::depCacheThreadStats();
+  EXPECT_LT(t4.hits - t3.hits, t4.queries - t3.queries);
+}
+
+}  // namespace
+}  // namespace fixfuse::pipeline
