@@ -166,6 +166,7 @@ class BenchReport {
       : name_(std::move(name)), start_(now()) {
     meta_ = support::Json::object();
     rows_ = support::Json::array();
+    interp_ = support::Json::object();
     for (int i = 1; i + 1 < argc; ++i)
       if (std::string(argv[i]) == "--json") path_ = resolve(argv[i + 1]);
     if (!path_) {
@@ -193,14 +194,24 @@ class BenchReport {
   /// unlike `rows`.
   void setPipeline(support::Json p) { pipeline_ = std::move(p); }
 
+  /// Extra fields for the top-level `interp` section (schema v3). The
+  /// section always carries `backend` (the FIXFUSE_INTERP selection this
+  /// process runs with); benches add throughput measurements here.
+  void setInterp(const std::string& key, support::Json v) {
+    interp_.set(key, std::move(v));
+  }
+
   /// Write the report when requested; returns the path written to.
   std::optional<std::string> write() {
     if (!path_) return std::nullopt;
     support::Json doc = support::Json::object();
     doc.set("bench", name_);
-    doc.set("schema_version", std::int64_t{2});
+    doc.set("schema_version", std::int64_t{3});
     doc.set("full_sweep", fullRuns());
     doc.set("threads", static_cast<std::int64_t>(sweepThreads()));
+    interp_.set("backend",
+                std::string(interp::backendName(interp::backendFromEnv())));
+    doc.set("interp", std::move(interp_));
     doc.set("config", std::move(meta_));
     doc.set("rows", std::move(rows_));
     if (!pipeline_.isNull()) doc.set("pipeline", std::move(pipeline_));
@@ -232,6 +243,7 @@ class BenchReport {
   std::optional<std::string> path_;
   support::Json meta_;
   support::Json rows_;
+  support::Json interp_;    // `interp` section; always written (schema v3)
   support::Json pipeline_;  // null unless setPipeline was called
 };
 

@@ -14,6 +14,13 @@
 // cache-hot and the 250 MiB recorded trace never exists) and the
 // timed region is delivery + consumption from the hot ring. The
 // acceptance bar is >= 2x for the counting consumer.
+//
+// A second post-suite section compares the interpreter's execution
+// backends end to end (Cholesky N=96 with a CountingObserver attached):
+// the tree walker vs the bytecode engine, which must produce identical
+// event totals and clear a >= 3x throughput bar. Both sections feed the
+// process return code and the JSON report (`rows` and the `interp`
+// section respectively).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -260,6 +267,86 @@ int runTracePipeline(bench::BenchReport& report) {
   return pass ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// Execution-backend comparison: tree walker vs bytecode engine, end to
+// end (interpret + emit + count), the way PassManager verification and
+// the figure benches actually run the interpreter.
+
+int runBackendComparison(bench::BenchReport& report) {
+  const std::int64_t n = 96;
+  std::printf(
+      "\nInterpreter backend comparison (Cholesky N=%lld, "
+      "CountingObserver attached, batched dispatch)\n",
+      static_cast<long long>(n));
+  auto bundle = kernels::buildCholesky({0});
+  auto a0 = kernels::native::spdMatrix(n, 1);
+
+  // Event-record count, identical across backends (the differential
+  // tests prove the streams bit-for-bit equal).
+  std::size_t events = 0;
+  {
+    interp::Machine m(bundle.seq, {{"N", n}});
+    m.array("A").data() = a0;
+    interp::TraceRecorder rec;
+    interp::Interpreter it(bundle.seq, m, &rec);
+    it.run();
+    events = rec.events.size();
+  }
+
+  interp::CountingObserver totals[2];
+  double seconds[2] = {0, 0};
+  const interp::Backend backends[2] = {interp::Backend::Tree,
+                                       interp::Backend::Bytecode};
+  for (int i = 0; i < 2; ++i) {
+    seconds[i] = bench::timeBest(
+        [&] {
+          interp::Machine m(bundle.seq, {{"N", n}});
+          m.array("A").data() = a0;
+          interp::CountingObserver obs;
+          interp::Interpreter it(bundle.seq, m, &obs,
+                                 interp::Interpreter::Dispatch::Batched,
+                                 backends[i]);
+          it.run();
+          totals[i] = obs;
+        },
+        5);
+  }
+
+  const bool agree = totals[0].loads == totals[1].loads &&
+                     totals[0].stores == totals[1].stores &&
+                     totals[0].branches == totals[1].branches &&
+                     totals[0].intOps == totals[1].intOps &&
+                     totals[0].flops == totals[1].flops;
+  const double speedup = seconds[0] / seconds[1];
+
+  std::printf("trace: %zu events per run\n", events);
+  std::printf("%-12s %12s %16s\n", "backend", "seconds", "events/sec");
+  support::Json rows = support::Json::array();
+  for (int i = 0; i < 2; ++i) {
+    const double eps = static_cast<double>(events) / seconds[i];
+    std::printf("%-12s %10.4f s %13.1fM\n",
+                interp::backendName(backends[i]), seconds[i], eps / 1e6);
+    support::Json row = support::Json::object();
+    row.set("backend", interp::backendName(backends[i]))
+        .set("seconds", seconds[i])
+        .set("events_per_sec", eps);
+    rows.push(std::move(row));
+  }
+
+  const bool pass = agree && speedup >= 3.0;
+  std::printf("totals agree across backends: %s\n", agree ? "yes" : "NO - BUG");
+  std::printf("%s: bytecode speedup %.2fx (bar: >= 3x)\n",
+              pass ? "PASS" : "FAIL", speedup);
+
+  report.setInterp("comparison_kernel", "cholesky");
+  report.setInterp("comparison_n", n);
+  report.setInterp("events", static_cast<std::uint64_t>(events));
+  report.setInterp("throughput", std::move(rows));
+  report.setInterp("speedup", speedup);
+  report.setInterp("totals_agree", agree);
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,6 +368,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   int rc = runTracePipeline(report);
+  rc |= runBackendComparison(report);
   report.write();
   return rc;
 }

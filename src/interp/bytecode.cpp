@@ -1,0 +1,921 @@
+#include "interp/bytecode.h"
+
+#include <bit>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace fixfuse::interp::bytecode {
+
+using ir::BinOp;
+using ir::CallFn;
+using ir::CmpOp;
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::Type;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compiler
+
+/// Affine form of an int expression: constant + sum(coeff * reg), plus the
+/// number of Binary nodes (the tree walker emits one intOps(1) per Binary
+/// node it evaluates, so the event shape of an affine index is static).
+struct AffForm {
+  bool ok = true;
+  std::int64_t c = 0;
+  std::map<std::uint16_t, std::int64_t> terms;
+  std::uint32_t binNodes = 0;
+
+  bool isConst() const { return terms.empty(); }
+};
+
+class Compiler {
+ public:
+  Compiler(const ir::Program& p, Machine& m) : program_(p), machine_(m) {}
+
+  CompiledProgram compile() {
+    // Loop variables and upper bounds live in persistent registers
+    // assigned in traversal order; expression scratch sits above them.
+    scratchBase_ = 2 * countLoops(program_.body.get());
+    if (program_.body) compileStmt(*program_.body);
+    emit({Op::Halt});
+    cp_.numIntRegs = scratchBase_ + maxIntSp_;
+    cp_.numFloatRegs = maxFloatSp_;
+    return std::move(cp_);
+  }
+
+ private:
+  static std::uint32_t countLoops(const Stmt* s) {
+    if (!s) return 0;
+    std::uint32_t n = 0;
+    switch (s->kind()) {
+      case StmtKind::Assign:
+        return 0;
+      case StmtKind::If:
+        return countLoops(s->thenBody()) + countLoops(s->elseBody());
+      case StmtKind::Loop:
+        return 1 + countLoops(s->loopBody());
+      case StmtKind::Block:
+        for (const auto& st : s->stmts()) n += countLoops(st.get());
+        return n;
+    }
+    return n;
+  }
+
+  // --- emission helpers ----------------------------------------------------
+
+  std::size_t emit(Insn i) {
+    cp_.code.push_back(i);
+    return cp_.code.size() - 1;
+  }
+  std::size_t here() const { return cp_.code.size(); }
+  void patch(std::size_t insn, std::size_t target) {
+    cp_.code[insn].imm = static_cast<std::int64_t>(target);
+  }
+
+  // --- register allocation -------------------------------------------------
+
+  std::uint16_t allocInt(std::uint32_t n = 1) {
+    std::uint32_t r = scratchBase_ + intSp_;
+    intSp_ += n;
+    if (intSp_ > maxIntSp_) maxIntSp_ = intSp_;
+    FIXFUSE_CHECK(r + n <= 65535, "bytecode int register file overflow");
+    return static_cast<std::uint16_t>(r);
+  }
+  std::uint16_t allocFloat() {
+    std::uint32_t r = floatSp_++;
+    if (floatSp_ > maxFloatSp_) maxFloatSp_ = floatSp_;
+    FIXFUSE_CHECK(r < 65535, "bytecode float register file overflow");
+    return static_cast<std::uint16_t>(r);
+  }
+  struct SpSave {
+    std::uint32_t i, f;
+  };
+  SpSave saveSp() const { return {intSp_, floatSp_}; }
+  void restoreSp(SpSave s) {
+    intSp_ = s.i;
+    floatSp_ = s.f;
+  }
+
+  // --- name resolution -----------------------------------------------------
+
+  /// Innermost enclosing loop register for `name`, or nullopt.
+  std::optional<std::uint16_t> loopVarReg(const std::string& name) const {
+    for (auto it = loopStack_.rbegin(); it != loopStack_.rend(); ++it)
+      if (it->var == name) return it->reg;
+    return std::nullopt;
+  }
+
+  std::int64_t paramValue(const std::string& name) const {
+    auto it = machine_.params().find(name);
+    FIXFUSE_CHECK(it != machine_.params().end(), "unbound variable " + name);
+    return it->second;
+  }
+
+  std::int32_t floatSlot(const std::string& name) {
+    auto [it, inserted] =
+        floatSlotIndex_.emplace(name, cp_.floatSlots.size());
+    if (inserted) cp_.floatSlots.push_back(machine_.floatScalarSlot(name));
+    return static_cast<std::int32_t>(it->second);
+  }
+  std::int32_t intSlot(const std::string& name) {
+    auto [it, inserted] = intSlotIndex_.emplace(name, cp_.intSlots.size());
+    if (inserted) cp_.intSlots.push_back(machine_.intScalarSlot(name));
+    return static_cast<std::int32_t>(it->second);
+  }
+
+  // --- affine index analysis -----------------------------------------------
+
+  AffForm affInt(const Expr& e) const {
+    AffForm f;
+    switch (e.kind()) {
+      case ExprKind::IntConst:
+        f.c = e.intValue();
+        return f;
+      case ExprKind::VarRef: {
+        if (auto reg = loopVarReg(e.name())) {
+          f.terms[*reg] = 1;
+          return f;
+        }
+        auto it = machine_.params().find(e.name());
+        if (it == machine_.params().end()) {
+          f.ok = false;  // unbound: let the generic path report it
+          return f;
+        }
+        f.c = it->second;
+        return f;
+      }
+      case ExprKind::Binary: {
+        AffForm l = affInt(*e.lhs());
+        AffForm r = affInt(*e.rhs());
+        f.binNodes = l.binNodes + r.binNodes + 1;
+        if (!l.ok || !r.ok) {
+          f.ok = false;
+          return f;
+        }
+        switch (e.binOp()) {
+          case BinOp::Add:
+          case BinOp::Sub: {
+            const std::int64_t sgn = e.binOp() == BinOp::Add ? 1 : -1;
+            f.c = l.c + sgn * r.c;
+            f.terms = std::move(l.terms);
+            for (const auto& [reg, co] : r.terms) {
+              auto [it, ins] = f.terms.emplace(reg, sgn * co);
+              if (!ins) it->second += sgn * co;
+            }
+            return f;
+          }
+          case BinOp::Mul: {
+            const AffForm* lin = nullptr;
+            std::int64_t k = 0;
+            if (l.isConst()) {
+              k = l.c;
+              lin = &r;
+            } else if (r.isConst()) {
+              k = r.c;
+              lin = &l;
+            } else {
+              f.ok = false;
+              return f;
+            }
+            f.c = k * lin->c;
+            for (const auto& [reg, co] : lin->terms) f.terms[reg] = k * co;
+            return f;
+          }
+          default:  // FloorDiv/Mod/Min/Max: not linear
+            f.ok = false;
+            return f;
+        }
+      }
+      default:  // ScalarLoad etc.: value changes at run time
+        f.ok = false;
+        return f;
+    }
+  }
+
+  /// Lower `indices` of `array` to a strength-reduced affine site, or
+  /// return nullopt when any dimension is not affine in loop registers.
+  std::optional<std::uint32_t> tryAffineSite(
+      const std::string& array, const std::vector<ExprPtr>& indices) {
+    ArrayStorage& st = machine_.array(array);
+    FIXFUSE_CHECK(indices.size() == st.extents().size(),
+                  "array rank mismatch");
+    std::vector<AffForm> forms;
+    forms.reserve(indices.size());
+    std::uint32_t preIntOps = 0;
+    for (const auto& ie : indices) {
+      AffForm f = affInt(*ie);
+      if (!f.ok) return std::nullopt;
+      preIntOps += f.binNodes;
+      forms.push_back(std::move(f));
+    }
+
+    AffSite site;
+    site.array = &st;
+    site.preIntOps = preIntOps;
+    site.rank = static_cast<std::uint8_t>(indices.size());
+    site.dimBase = cp_.numDimVals;
+    cp_.numDimVals += static_cast<std::uint32_t>(indices.size());
+    for (std::size_t j = 0; j < forms.size(); ++j) {
+      site.dimConst.push_back(forms[j].c);
+      std::vector<AffTerm> terms;
+      for (const auto& [reg, co] : forms[j].terms) terms.push_back({reg, co});
+      site.dimTerms.push_back(std::move(terms));
+      cp_.dimExtents.push_back(st.extents()[j]);
+    }
+    const std::uint32_t id = static_cast<std::uint32_t>(cp_.affSites.size());
+    cp_.affSites.push_back(std::move(site));
+
+    // The innermost enclosing loop owns the site: it recomputes the
+    // accumulators at entry and steps them on each induction increment.
+    // Outer loops never need to touch them - the inner entry reset always
+    // runs again before the next access.
+    if (!loopStack_.empty()) {
+      LoopInfo& L = cp_.loops[loopStack_.back().loopId];
+      L.resetSites.push_back(id);
+      const AffSite& s = cp_.affSites[id];
+      const auto& strides = st.strides();
+      std::int64_t lin = 0;
+      for (std::size_t j = 0; j < s.dimTerms.size(); ++j) {
+        std::int64_t coeff = 0;
+        for (const AffTerm& t : s.dimTerms[j])
+          if (t.reg == loopStack_.back().reg) coeff = t.coeff;
+        if (coeff != 0)
+          L.dimSteps.emplace_back(s.dimBase + static_cast<std::uint32_t>(j),
+                                  coeff);
+        lin += coeff * strides[j];
+      }
+      if (lin != 0) L.linSteps.emplace_back(id, lin);
+    }
+    return id;
+  }
+
+  std::uint32_t genSite(const std::string& array) {
+    GenSite g;
+    g.array = &machine_.array(array);
+    cp_.genSites.push_back(g);
+    return static_cast<std::uint32_t>(cp_.genSites.size() - 1);
+  }
+
+  // --- expression compilation ----------------------------------------------
+  // Post-order linearization: operand instructions first, then the op that
+  // emits the tree walker's event for that node, so the runtime event
+  // order matches recursive evaluation exactly.
+
+  void compileIntInto(const Expr& e, std::uint16_t dst) {
+    switch (e.kind()) {
+      case ExprKind::IntConst:
+        emit({Op::LdImm, 0, dst, 0, 0, 0, e.intValue()});
+        return;
+      case ExprKind::VarRef: {
+        if (auto reg = loopVarReg(e.name())) {
+          emit({Op::Mov, 0, dst, *reg, 0, 0, 0});
+          return;
+        }
+        emit({Op::LdImm, 0, dst, 0, 0, 0, paramValue(e.name())});
+        return;
+      }
+      case ExprKind::ScalarLoad:
+        emit({Op::LdIntScalar, 0, dst, 0, 0, intSlot(e.name()), 0});
+        return;
+      case ExprKind::Binary: {
+        FIXFUSE_CHECK(e.binOp() != BinOp::Div, "int binop");
+        const std::uint16_t l = compileIntValue(*e.lhs());
+        const std::uint16_t r = compileIntValue(*e.rhs());
+        emit({Op::IntBin, static_cast<std::uint8_t>(e.binOp()), dst, l, r, 0,
+              0});
+        return;
+      }
+      default:
+        throw InternalError("expression is not Int-evaluable: " + e.str());
+    }
+  }
+
+  /// Value of an int expression: an existing loop register when possible,
+  /// otherwise a fresh scratch register.
+  std::uint16_t compileIntValue(const Expr& e) {
+    if (e.kind() == ExprKind::VarRef)
+      if (auto reg = loopVarReg(e.name())) return *reg;
+    const std::uint16_t r = allocInt();
+    compileIntInto(e, r);
+    return r;
+  }
+
+  void compileFloatInto(const Expr& e, std::uint16_t dst) {
+    switch (e.kind()) {
+      case ExprKind::FloatConst:
+        emit({Op::LdFImm, 0, dst, 0, 0, 0,
+              std::bit_cast<std::int64_t>(e.floatValue())});
+        return;
+      case ExprKind::ScalarLoad:
+        emit({Op::LdFScalar, 0, dst, 0, 0, floatSlot(e.name()), 0});
+        return;
+      case ExprKind::ArrayLoad: {
+        if (auto site = tryAffineSite(e.name(), e.indices())) {
+          emit({Op::AffLoad, 0, dst, 0, 0,
+                static_cast<std::int32_t>(*site), 0});
+          return;
+        }
+        const SpSave sp = saveSp();
+        const auto rank = static_cast<std::uint8_t>(e.indices().size());
+        const std::uint16_t base = allocInt(rank);
+        for (std::size_t j = 0; j < e.indices().size(); ++j)
+          compileIntInto(*e.indices()[j],
+                         static_cast<std::uint16_t>(base + j));
+        emit({Op::GenLoad, rank, dst, base, 0,
+              static_cast<std::int32_t>(genSite(e.name())), 0});
+        restoreSp(sp);
+        return;
+      }
+      case ExprKind::Binary: {
+        const std::uint16_t l = compileFloatValue(*e.lhs());
+        const std::uint16_t r = compileFloatValue(*e.rhs());
+        emit({Op::FBin, static_cast<std::uint8_t>(e.binOp()), dst, l, r, 0,
+              0});
+        return;
+      }
+      case ExprKind::Call: {
+        const std::uint16_t a = compileFloatValue(*e.operand());
+        emit({Op::FCall, static_cast<std::uint8_t>(e.callFn()), dst, a, 0, 0,
+              0});
+        return;
+      }
+      case ExprKind::Select: {
+        // Same shape as the tree walker: cond, one intOps(1) (the
+        // branchless conditional move), then only the taken arm's
+        // instructions - no branch event.
+        const SpSave sp = saveSp();
+        const std::uint16_t c = allocInt();
+        compileBoolInto(*e.selectCond(), c);
+        emit({Op::EvIntOps, 0, 0, 0, 0, 0, 1});
+        const std::size_t jElse = emit({Op::JmpIfFalse, 0, c, 0, 0, 0, 0});
+        restoreSp(sp);
+        compileFloatInto(*e.lhs(), dst);
+        const std::size_t jEnd = emit({Op::Jmp, 0, 0, 0, 0, 0, 0});
+        patch(jElse, here());
+        compileFloatInto(*e.rhs(), dst);
+        patch(jEnd, here());
+        return;
+      }
+      default:
+        throw InternalError("expression is not Float-evaluable: " + e.str());
+    }
+  }
+
+  std::uint16_t compileFloatValue(const Expr& e) {
+    const std::uint16_t r = allocFloat();
+    compileFloatInto(e, r);
+    return r;
+  }
+
+  void compileBoolInto(const Expr& e, std::uint16_t dst) {
+    switch (e.kind()) {
+      case ExprKind::Compare: {
+        if (e.lhs()->type() == Type::Int) {
+          const std::uint16_t l = compileIntValue(*e.lhs());
+          const std::uint16_t r = compileIntValue(*e.rhs());
+          emit({Op::ICmp, static_cast<std::uint8_t>(e.cmpOp()), dst, l, r, 0,
+                0});
+        } else {
+          const std::uint16_t l = compileFloatValue(*e.lhs());
+          const std::uint16_t r = compileFloatValue(*e.rhs());
+          emit({Op::FCmp, static_cast<std::uint8_t>(e.cmpOp()), dst, l, r, 0,
+                0});
+        }
+        return;
+      }
+      case ExprKind::BoolBinary: {
+        // Short-circuit, like the tree walker: the rhs instructions (and
+        // their events) are skipped when the lhs decides.
+        compileBoolInto(*e.lhs(), dst);
+        const Op skip =
+            e.boolOp() == ir::BoolOp::And ? Op::JmpIfFalse : Op::JmpIfTrue;
+        const std::size_t j = emit({skip, 0, dst, 0, 0, 0, 0});
+        compileBoolInto(*e.rhs(), dst);
+        patch(j, here());
+        return;
+      }
+      case ExprKind::BoolNot:
+        compileBoolInto(*e.operand(), dst);
+        emit({Op::BNot, 0, dst, dst, 0, 0, 0});
+        return;
+      default:
+        throw InternalError("expression is not Bool-evaluable: " + e.str());
+    }
+  }
+
+  // --- statement compilation -----------------------------------------------
+
+  void compileStmt(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Assign: {
+        const SpSave sp = saveSp();
+        const ir::LValue& lhs = s.lhs();
+        if (lhs.isScalar()) {
+          if (program_.scalar(lhs.name).type == Type::Int) {
+            const std::uint16_t r = compileIntValue(*s.rhs());
+            emit({Op::StIntScalar, 0, r, 0, 0, intSlot(lhs.name), 0});
+          } else {
+            const std::uint16_t f = compileFloatValue(*s.rhs());
+            emit({Op::StFScalar, 0, f, 0, 0, floatSlot(lhs.name), 0});
+          }
+          restoreSp(sp);
+          return;
+        }
+        // Array store: rhs value first, then the index events - the tree
+        // walker's order.
+        const std::uint16_t f = compileFloatValue(*s.rhs());
+        if (auto site = tryAffineSite(lhs.name, lhs.indices)) {
+          emit({Op::AffStore, 0, f, 0, 0, static_cast<std::int32_t>(*site),
+                0});
+        } else {
+          const auto rank = static_cast<std::uint8_t>(lhs.indices.size());
+          const std::uint16_t base = allocInt(rank);
+          for (std::size_t j = 0; j < lhs.indices.size(); ++j)
+            compileIntInto(*lhs.indices[j],
+                           static_cast<std::uint16_t>(base + j));
+          emit({Op::GenStore, rank, f, base, 0,
+                static_cast<std::int32_t>(genSite(lhs.name)), 0});
+        }
+        restoreSp(sp);
+        return;
+      }
+      case StmtKind::If: {
+        const SpSave sp = saveSp();
+        const std::uint16_t c = allocInt();
+        compileBoolInto(*s.cond(), c);
+        const std::int32_t slot = newSiteSlot();
+        const std::size_t br = emit({Op::IfBr, 0, c, 0, 0, slot, 0});
+        restoreSp(sp);
+        compileStmt(*s.thenBody());
+        if (s.elseBody()) {
+          const std::size_t jEnd = emit({Op::Jmp, 0, 0, 0, 0, 0, 0});
+          patch(br, here());
+          compileStmt(*s.elseBody());
+          patch(jEnd, here());
+        } else {
+          patch(br, here());
+        }
+        return;
+      }
+      case StmtKind::Loop: {
+        const auto loopId = static_cast<std::int32_t>(cp_.loops.size());
+        cp_.loops.emplace_back();
+        const std::uint16_t varReg = nextPersistent_++;
+        const std::uint16_t ubReg = nextPersistent_++;
+        {
+          LoopInfo& L = cp_.loops[loopId];
+          L.varReg = varReg;
+          L.ubReg = ubReg;
+          L.siteSlot = newSiteSlot();
+        }
+        const SpSave sp = saveSp();
+        compileIntInto(*s.lowerBound(), varReg);
+        compileIntInto(*s.upperBound(), ubReg);
+        restoreSp(sp);
+        const std::size_t enter = emit({Op::LoopEnter, 0, 0, 0, 0, loopId, 0});
+        loopStack_.push_back({s.loopVar(), varReg, loopId});
+        const std::size_t body = here();
+        compileStmt(*s.loopBody());
+        loopStack_.pop_back();
+        emit({Op::LoopNext, 0, 0, 0, 0, loopId,
+              static_cast<std::int64_t>(body)});
+        patch(enter, here());
+        emit({Op::BranchExit, 0, 0, 0, 0, cp_.loops[loopId].siteSlot, 0});
+        return;
+      }
+      case StmtKind::Block:
+        for (const auto& st : s.stmts()) compileStmt(*st);
+        return;
+    }
+  }
+
+  std::int32_t newSiteSlot() {
+    return static_cast<std::int32_t>(cp_.numSiteSlots++);
+  }
+
+  struct LoopScope {
+    std::string var;
+    std::uint16_t reg;
+    std::int32_t loopId;
+  };
+
+  const ir::Program& program_;
+  Machine& machine_;
+  CompiledProgram cp_;
+  std::vector<LoopScope> loopStack_;
+  std::map<std::string, std::size_t> floatSlotIndex_;
+  std::map<std::string, std::size_t> intSlotIndex_;
+  std::uint32_t scratchBase_ = 0;
+  std::uint16_t nextPersistent_ = 0;
+  std::uint32_t intSp_ = 0, maxIntSp_ = 0;
+  std::uint32_t floatSp_ = 0, maxFloatSp_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Executor
+
+/// Event-emission policies. The executor is instantiated once per policy;
+/// the no-observer instantiation compiles all emission away.
+struct NoEmit {
+  static constexpr bool kActive = false;
+  void intOps(std::uint64_t) {}
+  void intOps1Repeated(std::uint32_t) {}
+  void flops() {}
+  void load(std::uint64_t) {}
+  void store(std::uint64_t) {}
+  void branch(int, bool) {}
+  void flush() {}
+};
+
+struct PerEventEmit {
+  static constexpr bool kActive = true;
+  Observer* o;
+  void intOps(std::uint64_t n) { o->onIntOps(n); }
+  void intOps1Repeated(std::uint32_t n) {
+    for (std::uint32_t k = 0; k < n; ++k) o->onIntOps(1);
+  }
+  void flops() { o->onFlops(1); }
+  void load(std::uint64_t addr) { o->onLoad(addr); }
+  void store(std::uint64_t addr) { o->onStore(addr); }
+  void branch(int site, bool taken) { o->onBranch(site, taken); }
+  void flush() {}
+};
+
+struct BatchEmit {
+  static constexpr bool kActive = true;
+  Observer* o;
+  std::unique_ptr<Event[]> ring{new Event[kEventRingCapacity]};
+  std::size_t n = 0;
+  explicit BatchEmit(Observer* obs) : o(obs) {}
+  void push(Event e) {
+    ring[n++] = e;
+    if (n == kEventRingCapacity) flush();
+  }
+  void intOps(std::uint64_t c) { push(Event::intOps(c)); }
+  /// The tree walker emits one intOps(1) per Binary node in an index
+  /// expression; bulk-fill the ring with the repeated record.
+  void intOps1Repeated(std::uint32_t cnt) {
+    const Event e = Event::intOps(1);
+    while (cnt > 0) {
+      const std::size_t room = kEventRingCapacity - n;
+      const std::size_t take = cnt < room ? cnt : room;
+      for (std::size_t k = 0; k < take; ++k) ring[n + k] = e;
+      n += take;
+      cnt -= static_cast<std::uint32_t>(take);
+      if (n == kEventRingCapacity) flush();
+    }
+  }
+  void flops() { push(Event::flops(1)); }
+  void load(std::uint64_t addr) { push(Event::load(addr)); }
+  void store(std::uint64_t addr) { push(Event::store(addr)); }
+  void branch(int site, bool taken) { push(Event::branch(site, taken)); }
+  void flush() {
+    if (n > 0) {
+      o->onBatch(ring.get(), n);
+      n = 0;
+    }
+  }
+};
+
+/// Per-run hot view of an AffSite: the fields the access fast path
+/// touches, flattened into one contiguous record. Built at executor init
+/// (not at compile time) because the data pointer may move if array
+/// contents are re-assigned between compile and run.
+struct HotSite {
+  double* data = nullptr;
+  std::uint64_t base = 0;
+  std::uint32_t dimBase = 0;
+  std::uint32_t preIntOps = 0;
+  std::uint32_t rank = 0;
+};
+
+[[noreturn]] void throwOutOfBounds(std::size_t dim, std::int64_t idx,
+                                   std::int64_t extent) {
+  throw InternalError("array index out of bounds: dim " +
+                      std::to_string(dim) + " index " + std::to_string(idx) +
+                      " extent " + std::to_string(extent));
+}
+
+template <typename Em>
+void runImpl(const CompiledProgram& cp, Em& em, SiteState& sites) {
+  std::vector<std::int64_t> iregsV(cp.numIntRegs, 0);
+  std::vector<double> fregsV(cp.numFloatRegs, 0.0);
+  std::vector<std::int64_t> dimValsV(cp.numDimVals, 0);
+  std::vector<std::int64_t> linValsV(cp.affSites.size(), 0);
+  std::vector<std::int64_t> idxScratch;
+  idxScratch.reserve(8);
+
+  std::int64_t* const iregs = iregsV.data();
+  double* const fregs = fregsV.data();
+  std::int64_t* const dimVals = dimValsV.data();
+  std::int64_t* const linVals = linValsV.data();
+  const std::int64_t* const dimExtents = cp.dimExtents.data();
+
+  std::vector<HotSite> hotV;
+  hotV.reserve(cp.affSites.size());
+  for (const AffSite& s : cp.affSites)
+    hotV.push_back({s.array->data().data(), s.array->base(), s.dimBase,
+                    s.preIntOps, s.rank});
+  const HotSite* const hot = hotV.data();
+
+  const auto resetSite = [&](std::uint32_t si) {
+    const AffSite& s = cp.affSites[si];
+    const std::vector<std::int64_t>& strides = s.array->strides();
+    std::int64_t lin = 0;
+    for (std::size_t j = 0; j < s.dimConst.size(); ++j) {
+      std::int64_t v = s.dimConst[j];
+      for (const AffTerm& t : s.dimTerms[j]) v += t.coeff * iregs[t.reg];
+      dimVals[s.dimBase + j] = v;
+      lin += v * strides[j];
+    }
+    linVals[si] = lin;
+  };
+  for (std::uint32_t i = 0; i < cp.affSites.size(); ++i) resetSite(i);
+
+  // Branch-site ids are assigned lazily in first-emission order - the
+  // same numbering the tree walker's siteOf() produces - and only when an
+  // observer is attached, also like the tree walker.
+  const auto emitBranch = [&](std::int32_t slot, bool taken) {
+    if constexpr (Em::kActive) {
+      int& id = sites.ids[static_cast<std::size_t>(slot)];
+      if (id < 0) id = sites.next++;
+      em.branch(id, taken);
+    }
+  };
+
+  const Insn* const code = cp.code.data();
+  std::size_t pc = 0;
+  for (;;) {
+    const Insn& I = code[pc];
+    switch (I.op) {
+      case Op::LdImm:
+        iregs[I.a] = I.imm;
+        ++pc;
+        break;
+      case Op::Mov:
+        iregs[I.a] = iregs[I.b];
+        ++pc;
+        break;
+      case Op::LdIntScalar:
+        iregs[I.a] = *cp.intSlots[static_cast<std::size_t>(I.aux)];
+        ++pc;
+        break;
+      case Op::StIntScalar:
+        *cp.intSlots[static_cast<std::size_t>(I.aux)] = iregs[I.a];
+        ++pc;
+        break;
+      case Op::IntBin: {
+        const std::int64_t l = iregs[I.b];
+        const std::int64_t r = iregs[I.c];
+        em.intOps(1);
+        std::int64_t v = 0;
+        switch (static_cast<BinOp>(I.sub)) {
+          case BinOp::Add: v = l + r; break;
+          case BinOp::Sub: v = l - r; break;
+          case BinOp::Mul: v = l * r; break;
+          case BinOp::FloorDiv: v = floorDiv(l, r); break;
+          case BinOp::Mod: v = floorMod(l, r); break;
+          case BinOp::Min: v = l < r ? l : r; break;
+          case BinOp::Max: v = l > r ? l : r; break;
+          case BinOp::Div: FIXFUSE_UNREACHABLE("int binop");
+        }
+        iregs[I.a] = v;
+        ++pc;
+        break;
+      }
+      case Op::ICmp: {
+        const std::int64_t l = iregs[I.b];
+        const std::int64_t r = iregs[I.c];
+        em.intOps(1);
+        bool v = false;
+        switch (static_cast<CmpOp>(I.sub)) {
+          case CmpOp::EQ: v = l == r; break;
+          case CmpOp::NE: v = l != r; break;
+          case CmpOp::LT: v = l < r; break;
+          case CmpOp::LE: v = l <= r; break;
+          case CmpOp::GT: v = l > r; break;
+          case CmpOp::GE: v = l >= r; break;
+        }
+        iregs[I.a] = v ? 1 : 0;
+        ++pc;
+        break;
+      }
+      case Op::BNot:
+        iregs[I.a] = iregs[I.b] ? 0 : 1;
+        ++pc;
+        break;
+      case Op::LdFImm:
+        fregs[I.a] = std::bit_cast<double>(I.imm);
+        ++pc;
+        break;
+      case Op::FMov:
+        fregs[I.a] = fregs[I.b];
+        ++pc;
+        break;
+      case Op::LdFScalar:
+        fregs[I.a] = *cp.floatSlots[static_cast<std::size_t>(I.aux)];
+        ++pc;
+        break;
+      case Op::StFScalar:
+        *cp.floatSlots[static_cast<std::size_t>(I.aux)] = fregs[I.a];
+        ++pc;
+        break;
+      case Op::FBin: {
+        const double l = fregs[I.b];
+        const double r = fregs[I.c];
+        em.flops();
+        double v = 0;
+        switch (static_cast<BinOp>(I.sub)) {
+          case BinOp::Add: v = l + r; break;
+          case BinOp::Sub: v = l - r; break;
+          case BinOp::Mul: v = l * r; break;
+          case BinOp::Div: v = l / r; break;
+          default: FIXFUSE_UNREACHABLE("float binop");
+        }
+        fregs[I.a] = v;
+        ++pc;
+        break;
+      }
+      case Op::FCall: {
+        const double a = fregs[I.b];
+        em.flops();
+        fregs[I.a] = static_cast<CallFn>(I.sub) == CallFn::Sqrt
+                         ? std::sqrt(a)
+                         : std::fabs(a);
+        ++pc;
+        break;
+      }
+      case Op::FCmp: {
+        const double l = fregs[I.b];
+        const double r = fregs[I.c];
+        em.flops();
+        bool v = false;
+        switch (static_cast<CmpOp>(I.sub)) {
+          case CmpOp::EQ: v = l == r; break;
+          case CmpOp::NE: v = l != r; break;
+          case CmpOp::LT: v = l < r; break;
+          case CmpOp::LE: v = l <= r; break;
+          case CmpOp::GT: v = l > r; break;
+          case CmpOp::GE: v = l >= r; break;
+        }
+        iregs[I.a] = v ? 1 : 0;
+        ++pc;
+        break;
+      }
+      case Op::Jmp:
+        pc = static_cast<std::size_t>(I.imm);
+        break;
+      case Op::JmpIfFalse:
+        pc = iregs[I.a] ? pc + 1 : static_cast<std::size_t>(I.imm);
+        break;
+      case Op::JmpIfTrue:
+        pc = iregs[I.a] ? static_cast<std::size_t>(I.imm) : pc + 1;
+        break;
+      case Op::EvIntOps:
+        em.intOps(static_cast<std::uint64_t>(I.imm));
+        ++pc;
+        break;
+      case Op::AffLoad: {
+        const std::size_t si = static_cast<std::size_t>(I.aux);
+        const HotSite& s = hot[si];
+        if constexpr (Em::kActive) {
+          em.intOps1Repeated(s.preIntOps);
+          em.intOps(s.rank);
+        }
+        const std::int64_t* dv = dimVals + s.dimBase;
+        const std::int64_t* ext = dimExtents + s.dimBase;
+        for (std::uint32_t j = 0; j < s.rank; ++j)
+          if (dv[j] < 0 || dv[j] >= ext[j])
+            throwOutOfBounds(j, dv[j], ext[j]);
+        const std::int64_t lin = linVals[si];
+        if constexpr (Em::kActive)
+          em.load(s.base + static_cast<std::uint64_t>(lin) * sizeof(double));
+        fregs[I.a] = s.data[static_cast<std::size_t>(lin)];
+        ++pc;
+        break;
+      }
+      case Op::AffStore: {
+        const std::size_t si = static_cast<std::size_t>(I.aux);
+        const HotSite& s = hot[si];
+        if constexpr (Em::kActive) {
+          em.intOps1Repeated(s.preIntOps);
+          em.intOps(s.rank);
+        }
+        const std::int64_t* dv = dimVals + s.dimBase;
+        const std::int64_t* ext = dimExtents + s.dimBase;
+        for (std::uint32_t j = 0; j < s.rank; ++j)
+          if (dv[j] < 0 || dv[j] >= ext[j])
+            throwOutOfBounds(j, dv[j], ext[j]);
+        const std::int64_t lin = linVals[si];
+        if constexpr (Em::kActive)
+          em.store(s.base + static_cast<std::uint64_t>(lin) * sizeof(double));
+        s.data[static_cast<std::size_t>(lin)] = fregs[I.a];
+        ++pc;
+        break;
+      }
+      case Op::GenLoad: {
+        const GenSite& g = cp.genSites[static_cast<std::size_t>(I.aux)];
+        idxScratch.clear();
+        for (std::size_t j = 0; j < I.sub; ++j)
+          idxScratch.push_back(iregs[I.b + j]);
+        em.intOps(I.sub);
+        const std::size_t lin = g.array->linearIndex(idxScratch);
+        if constexpr (Em::kActive)
+          em.load(g.array->base() +
+                  static_cast<std::uint64_t>(lin) * sizeof(double));
+        fregs[I.a] = g.array->data()[lin];
+        ++pc;
+        break;
+      }
+      case Op::GenStore: {
+        const GenSite& g = cp.genSites[static_cast<std::size_t>(I.aux)];
+        idxScratch.clear();
+        for (std::size_t j = 0; j < I.sub; ++j)
+          idxScratch.push_back(iregs[I.b + j]);
+        em.intOps(I.sub);
+        const std::size_t lin = g.array->linearIndex(idxScratch);
+        if constexpr (Em::kActive)
+          em.store(g.array->base() +
+                   static_cast<std::uint64_t>(lin) * sizeof(double));
+        g.array->data()[lin] = fregs[I.a];
+        ++pc;
+        break;
+      }
+      case Op::LoopEnter: {
+        const LoopInfo& L = cp.loops[static_cast<std::size_t>(I.aux)];
+        for (std::uint32_t si : L.resetSites) resetSite(si);
+        if (iregs[L.varReg] > iregs[L.ubReg]) {
+          pc = static_cast<std::size_t>(I.imm);  // to BranchExit
+          break;
+        }
+        em.intOps(1);
+        emitBranch(L.siteSlot, true);
+        ++pc;
+        break;
+      }
+      case Op::LoopNext: {
+        const LoopInfo& L = cp.loops[static_cast<std::size_t>(I.aux)];
+        ++iregs[L.varReg];
+        for (const auto& [idx, d] : L.dimSteps) dimVals[idx] += d;
+        for (const auto& [site, d] : L.linSteps) linVals[site] += d;
+        if (iregs[L.varReg] <= iregs[L.ubReg]) {
+          em.intOps(1);
+          emitBranch(L.siteSlot, true);
+          pc = static_cast<std::size_t>(I.imm);  // back to body
+          break;
+        }
+        ++pc;  // falls through to BranchExit
+        break;
+      }
+      case Op::BranchExit:
+        emitBranch(I.aux, false);
+        ++pc;
+        break;
+      case Op::IfBr: {
+        const bool taken = iregs[I.a] != 0;
+        emitBranch(I.aux, taken);
+        pc = taken ? pc + 1 : static_cast<std::size_t>(I.imm);
+        break;
+      }
+      case Op::Halt:
+        em.flush();
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+CompiledProgram compile(const ir::Program& p, Machine& m) {
+  return Compiler(p, m).compile();
+}
+
+void execute(const CompiledProgram& cp, Observer* obs, bool batched,
+             SiteState& sites) {
+  FIXFUSE_CHECK(sites.ids.size() >= cp.numSiteSlots,
+                "site state too small for compiled program");
+  if (!obs) {
+    NoEmit em;
+    runImpl(cp, em, sites);
+  } else if (batched) {
+    BatchEmit em(obs);
+    runImpl(cp, em, sites);
+  } else {
+    PerEventEmit em{obs};
+    runImpl(cp, em, sites);
+  }
+}
+
+}  // namespace fixfuse::interp::bytecode

@@ -1,0 +1,178 @@
+// Bytecode execution backend for the reference interpreter.
+//
+// The tree walker (interp.cpp) re-resolves every name per access - a
+// linear scan of the loop-variable environment per VarRef, map lookups
+// for params, scalars and arrays - and recursively re-evaluates each
+// affine index expression on every iteration. Since every paper figure,
+// every PassManager per-pass verification and every FixDeps fuzz
+// iteration runs through the interpreter, that interpretive overhead
+// bounds the whole experimental loop. This backend removes it with a
+// one-time compile step, the plan-then-execute structure runtime-fusion
+// systems use (Bohrium's fused-kernel plans; sparse-fusion inspectors):
+//
+//   * compile(program, machine) lowers the statement tree to a flat,
+//     contiguous instruction buffer with every name resolved to an
+//     integer slot: scalars to machine storage pointers, arrays to
+//     storage handles with precomputed column-major strides, loop
+//     variables to registers, parameters folded to immediates, branch
+//     sites to stable slot indices;
+//   * affine index expressions are lowered to `base + sum(coeff * reg)`
+//     form and strength-reduced: each affine access site keeps per-dim
+//     and linear-address accumulators that are updated incrementally
+//     when an induction variable increments (one add per site per
+//     iteration) instead of being re-evaluated from the expression tree;
+//   * execution is a direct switch dispatch over the opcode array.
+//
+// The compiled program is specific to one (program, machine) pair: it
+// bakes in the machine's parameter bindings and array layout. Compile
+// once, then execute; Interpreter does exactly that per run.
+//
+// Contract: execution is bit-for-bit *state*-identical and *event*-
+// identical to the tree walker - same machine state after the run, and
+// with an observer attached, the same Event records in the same order
+// (including lazily numbered branch-site ids and per-Binary-node intOps
+// events), through both per-event and batched dispatch.
+// tests/interp_bytecode_test.cpp enforces this differentially.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/machine.h"
+#include "interp/observer.h"
+#include "ir/stmt.h"
+
+namespace fixfuse::interp::bytecode {
+
+enum class Op : std::uint8_t {
+  // Integer register file (loop variables, scratch, booleans as 0/1).
+  LdImm,        // ireg[a] = imm
+  Mov,          // ireg[a] = ireg[b]
+  LdIntScalar,  // ireg[a] = *intSlots[aux]
+  StIntScalar,  // *intSlots[aux] = ireg[a]
+  IntBin,       // ireg[a] = ireg[b] <sub:BinOp> ireg[c]; event intOps(1)
+  ICmp,         // ireg[a] = ireg[b] <sub:CmpOp> ireg[c]; event intOps(1)
+  BNot,         // ireg[a] = !ireg[b]
+  // Float register file.
+  LdFImm,       // freg[a] = bit_cast<double>(imm)
+  FMov,         // freg[a] = freg[b]
+  LdFScalar,    // freg[a] = *floatSlots[aux]
+  StFScalar,    // *floatSlots[aux] = freg[a]
+  FBin,         // freg[a] = freg[b] <sub:BinOp> freg[c]; event flops(1)
+  FCall,        // freg[a] = sqrt|fabs(freg[b]); event flops(1)
+  FCmp,         // ireg[a] = freg[b] <sub:CmpOp> freg[c]; event flops(1)
+  // Control flow. Jump targets are absolute instruction indices in imm.
+  Jmp,          // pc = imm
+  JmpIfFalse,   // if (!ireg[a]) pc = imm
+  JmpIfTrue,    // if (ireg[a]) pc = imm
+  EvIntOps,     // event intOps(imm) (Select's branchless-cmov op count)
+  // Array access. aux indexes affSites/genSites.
+  AffLoad,      // freg[a] = strength-reduced affine load of site aux
+  AffStore,     // affine store of freg[a] to site aux
+  GenLoad,      // freg[a] = load, indices in iregs[b .. b+sub)
+  GenStore,     // store freg[a], indices in iregs[b .. b+sub)
+  // Loops (aux = loop id, imm = jump target).
+  LoopEnter,    // reset site accumulators; if var > ub jump to exit
+  LoopNext,     // ++var, apply site deltas; if var <= ub jump to body
+  BranchExit,   // event branch(site slot aux, taken=false)
+  IfBr,         // event branch(slot aux, ireg[a]); if !ireg[a] pc = imm
+  Halt,
+};
+
+/// One instruction. 24 bytes, stored contiguously; `sub` carries the
+/// BinOp/CmpOp/CallFn ordinal (or the rank for GenLoad/GenStore), `aux`
+/// a side-table index or branch-site slot, `imm` an immediate payload or
+/// jump target.
+struct Insn {
+  Op op = Op::Halt;
+  std::uint8_t sub = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint16_t c = 0;
+  std::int32_t aux = 0;
+  std::int64_t imm = 0;
+};
+
+/// One `coeff * reg` term of an affine index dimension.
+struct AffTerm {
+  std::uint16_t reg = 0;
+  std::int64_t coeff = 0;
+};
+
+/// A static array-access site with affine indices: the full affine form
+/// (for accumulator resets at loop entry) plus the event shape the tree
+/// walker produces when evaluating the same index expressions.
+struct AffSite {
+  ArrayStorage* array = nullptr;
+  std::uint32_t preIntOps = 0;  // Binary nodes in the index exprs: the
+                                // tree walker emits one intOps(1) each
+  std::uint8_t rank = 0;
+  std::uint32_t dimBase = 0;  // offset into the executor's dim-value pool
+  std::vector<std::int64_t> dimConst;          // per-dim constant part
+  std::vector<std::vector<AffTerm>> dimTerms;  // per-dim register terms
+};
+
+/// A non-affine site (e.g. LU's pivot-row accesses indexed by the int
+/// scalar m): indices are computed by ordinary instructions into
+/// consecutive registers and resolved through ArrayStorage per access.
+struct GenSite {
+  ArrayStorage* array = nullptr;
+};
+
+struct LoopInfo {
+  std::uint16_t varReg = 0;
+  std::uint16_t ubReg = 0;
+  std::int32_t siteSlot = 0;
+  /// Affine sites whose innermost enclosing loop is this one: fully
+  /// recomputed from the affine form at loop entry, then stepped
+  /// incrementally on each induction increment. The steps are flat
+  /// (index, delta) lists - (dim-pool index, coeff) and (site,
+  /// coeff-dot-strides) - so the per-iteration update is two tight loops
+  /// over contiguous pairs with no nested indirection.
+  std::vector<std::uint32_t> resetSites;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> dimSteps;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> linSteps;
+};
+
+struct CompiledProgram {
+  std::vector<Insn> code;
+  std::vector<AffSite> affSites;
+  std::vector<GenSite> genSites;
+  std::vector<LoopInfo> loops;
+  /// Per-dim extents of every affine site, parallel to the executor's
+  /// dim-value pool (indexed by AffSite::dimBase + d): the bounds checks
+  /// read a flat array instead of chasing into ArrayStorage. Extents are
+  /// fixed at machine construction, so baking them in is safe.
+  std::vector<std::int64_t> dimExtents;
+  std::vector<double*> floatSlots;
+  std::vector<std::int64_t*> intSlots;
+  std::uint32_t numIntRegs = 0;
+  std::uint32_t numFloatRegs = 0;
+  std::uint32_t numSiteSlots = 0;  // branch sites; ids assigned lazily
+                                   // at run time in first-emission order,
+                                   // exactly like the tree walker
+  std::uint32_t numDimVals = 0;    // size of the dim-accumulator pool
+};
+
+/// One-time lowering of `p` against the parameter bindings and array
+/// layout of `m`. The compiled program holds raw pointers into `m`'s
+/// storage, so it must not outlive the machine and is only valid for it.
+CompiledProgram compile(const ir::Program& p, Machine& m);
+
+/// Runtime branch-site numbering. Ids are handed out lazily in
+/// first-emission order and persist across executions of the same
+/// compiled program, mirroring the tree walker's siteOf() cache.
+struct SiteState {
+  std::vector<int> ids;  // site slot -> id, -1 = not yet emitted
+  int next = 0;
+
+  explicit SiteState(std::uint32_t numSlots = 0) : ids(numSlots, -1) {}
+};
+
+/// Execute a compiled program. Event delivery matches the tree walker:
+/// `batched` appends to a ring flushed through Observer::onBatch,
+/// otherwise one per-event virtual call per record.
+void execute(const CompiledProgram& cp, Observer* obs, bool batched,
+             SiteState& sites);
+
+}  // namespace fixfuse::interp::bytecode

@@ -50,6 +50,10 @@ struct Event {
 
 static_assert(sizeof(Event) == 16, "Event must stay a packed 16-byte record");
 
+/// Capacity of the interpreter's batched event ring (shared by the tree
+/// walker and the bytecode backend so flush granularity is identical).
+inline constexpr std::size_t kEventRingCapacity = 4096;  // 64 KiB of events
+
 class Observer;
 
 /// Deliver one event through the per-event virtual interface.

@@ -1,6 +1,11 @@
 #include "interp/interp.h"
 
+#include <bit>
 #include <cmath>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 #include "support/checked.h"
 #include "support/error.h"
@@ -16,12 +21,48 @@ using ir::Stmt;
 using ir::StmtKind;
 using ir::Type;
 
+std::optional<Backend> parseBackendName(std::string_view name) {
+  std::string s;
+  s.reserve(name.size());
+  for (char c : name)
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (s == "tree") return Backend::Tree;
+  if (s == "bytecode") return Backend::Bytecode;
+  return std::nullopt;
+}
+
+Backend backendFromEnv() {
+  const char* v = std::getenv("FIXFUSE_INTERP");
+  if (!v || !*v) return Backend::Bytecode;
+  if (std::optional<Backend> b = parseBackendName(v)) return *b;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "warning: unrecognized FIXFUSE_INTERP value '%s' "
+                 "(expected tree or bytecode); using bytecode\n",
+                 v);
+  }
+  return Backend::Bytecode;
+}
+
+const char* backendName(Backend b) {
+  return b == Backend::Tree ? "tree" : "bytecode";
+}
+
 Interpreter::Interpreter(const ir::Program& program, Machine& machine,
-                         Observer* observer, Dispatch dispatch)
+                         Observer* observer, Dispatch dispatch,
+                         Backend backend)
     : program_(program),
       machine_(machine),
       obs_(observer),
-      batched_(dispatch == Dispatch::Batched) {
+      batched_(dispatch == Dispatch::Batched),
+      backend_(backend) {
+  if (backend_ == Backend::Bytecode) {
+    compiled_ = bytecode::compile(program_, machine_);
+    bcSites_ = bytecode::SiteState(compiled_->numSiteSlots);
+    return;
+  }
   env_.reserve(16);
   idxScratch_.reserve(8);
   if (obs_ && batched_) ring_.reserve(kRingCapacity);
@@ -223,6 +264,10 @@ void Interpreter::exec(const Stmt& s) {
 }
 
 void Interpreter::run() {
+  if (backend_ == Backend::Bytecode) {
+    bytecode::execute(*compiled_, obs_, batched_, bcSites_);
+    return;
+  }
   if (program_.body) exec(*program_.body);
   if (obs_ && batched_) flushRing();
 }
@@ -245,8 +290,20 @@ double maxArrayDifference(const Machine& a, const Machine& b,
   FIXFUSE_CHECK(sa.extents() == sb.extents(),
                 "array shape mismatch for " + array);
   double maxDiff = 0.0;
-  for (std::size_t i = 0; i < sa.data().size(); ++i)
-    maxDiff = std::max(maxDiff, std::fabs(sa.data()[i] - sb.data()[i]));
+  for (std::size_t i = 0; i < sa.data().size(); ++i) {
+    const double va = sa.data()[i];
+    const double vb = sb.data()[i];
+    if (std::isnan(va) || std::isnan(vb)) {
+      // fabs(NaN - x) is NaN and std::max(maxDiff, NaN) keeps maxDiff,
+      // which would silently treat a NaN mismatch as a perfect match.
+      // Bitwise-identical NaNs are the same value (QR legitimately
+      // produces them); anything else is an unbounded difference.
+      if (std::bit_cast<std::uint64_t>(va) != std::bit_cast<std::uint64_t>(vb))
+        return std::numeric_limits<double>::infinity();
+      continue;
+    }
+    maxDiff = std::max(maxDiff, std::fabs(va - vb));
+  }
   return maxDiff;
 }
 

@@ -8,13 +8,40 @@
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
 
+#include "interp/bytecode.h"
 #include "interp/machine.h"
 #include "interp/observer.h"
 #include "ir/stmt.h"
 
 namespace fixfuse::interp {
+
+/// Which execution engine runs the program. Both are bit-for-bit
+/// state-identical and event-stream identical (same Event records, same
+/// order, through both dispatch modes); tests/interp_bytecode_test.cpp
+/// enforces this differentially over the fuzz-generator programs and all
+/// kernel variants.
+enum class Backend {
+  Tree,      // recursive walker over the statement tree (the reference)
+  Bytecode,  // slot-resolved compiled form, the fast default
+};
+
+/// Parse a backend name ("tree" | "bytecode", case-insensitive);
+/// nullopt for anything else.
+std::optional<Backend> parseBackendName(std::string_view name);
+
+/// Backend selected by FIXFUSE_INTERP: "tree" or "bytecode" (the
+/// default). An unrecognized value warns on stderr once per process and
+/// falls back to the bytecode default, matching the tolerant handling of
+/// FIXFUSE_FULL / FIXFUSE_THREADS.
+Backend backendFromEnv();
+
+/// Stable lowercase name of a backend ("tree" / "bytecode"), for bench
+/// reports and diagnostics.
+const char* backendName(Backend b);
 
 class Interpreter {
  public:
@@ -25,10 +52,15 @@ class Interpreter {
   /// differential test in tests/interp_batch_test.cpp enforces it).
   enum class Dispatch { Batched, PerEvent };
 
-  /// `program` and `machine` must outlive the interpreter.
+  /// `program` and `machine` must outlive the interpreter. The bytecode
+  /// backend compiles the program against `machine` here, once; run()
+  /// only executes.
   Interpreter(const ir::Program& program, Machine& machine,
               Observer* observer = nullptr,
-              Dispatch dispatch = Dispatch::Batched);
+              Dispatch dispatch = Dispatch::Batched,
+              Backend backend = backendFromEnv());
+
+  Backend backend() const { return backend_; }
 
   /// Execute the whole program body (flushes any buffered events).
   void run();
@@ -66,12 +98,15 @@ class Interpreter {
     else obs_->onFlops(n);
   }
 
-  static constexpr std::size_t kRingCapacity = 4096;  // 64 KiB of events
+  static constexpr std::size_t kRingCapacity = kEventRingCapacity;
 
   const ir::Program& program_;
   Machine& machine_;
   Observer* obs_;
   bool batched_ = true;
+  Backend backend_ = Backend::Bytecode;
+  std::optional<bytecode::CompiledProgram> compiled_;
+  bytecode::SiteState bcSites_;
   // Loop variable environment. Loop depth is tiny, so a flat vector with
   // linear search beats a map.
   std::vector<std::pair<std::string, std::int64_t>> env_;
@@ -88,7 +123,10 @@ Machine runProgram(const ir::Program& program,
                    Observer* observer = nullptr);
 
 /// Max absolute element difference between same-named arrays of two
-/// machines; throws if the shapes differ.
+/// machines; throws if the shapes differ. NaN-sound: a position where
+/// exactly one side is NaN, or both are NaN with different bit patterns,
+/// yields +infinity (never silently dropped); a bitwise-identical NaN
+/// pair counts as difference 0.
 double maxArrayDifference(const Machine& a, const Machine& b,
                           const std::string& array);
 

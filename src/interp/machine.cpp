@@ -106,4 +106,16 @@ void Machine::setIntScalar(const std::string& name, std::int64_t v) {
   it->second = v;
 }
 
+double* Machine::floatScalarSlot(const std::string& name) {
+  auto it = floatScalars_.find(name);
+  FIXFUSE_CHECK(it != floatScalars_.end(), "unknown float scalar " + name);
+  return &it->second;
+}
+
+std::int64_t* Machine::intScalarSlot(const std::string& name) {
+  auto it = intScalars_.find(name);
+  FIXFUSE_CHECK(it != intScalars_.end(), "unknown int scalar " + name);
+  return &it->second;
+}
+
 }  // namespace fixfuse::interp

@@ -27,6 +27,10 @@ class ArrayStorage {
   std::size_t elementCount() const { return data_.size(); }
   std::uint64_t byteSize() const { return data_.size() * sizeof(double); }
 
+  /// Column-major element strides (first dimension stride 1). Exposed so
+  /// the bytecode backend can precompute slot-resolved address arithmetic.
+  const std::vector<std::int64_t>& strides() const { return strides_; }
+
   /// column-major linear index; throws InternalError on out-of-bounds.
   std::size_t linearIndex(std::span<const std::int64_t> idx) const;
   std::uint64_t addrOf(std::span<const std::int64_t> idx) const {
@@ -69,6 +73,13 @@ class Machine {
   std::int64_t intScalar(const std::string& name) const;
   void setFloatScalar(const std::string& name, double v);
   void setIntScalar(const std::string& name, std::int64_t v);
+
+  /// Slot API: stable pointers to scalar storage (std::map nodes never
+  /// move), resolved once by the bytecode compiler so execution reads and
+  /// writes machine state without any name lookup. Valid for the lifetime
+  /// of the machine; throws InternalError for undeclared scalars.
+  double* floatScalarSlot(const std::string& name);
+  std::int64_t* intScalarSlot(const std::string& name);
 
   const std::map<std::string, double>& floatScalars() const {
     return floatScalars_;

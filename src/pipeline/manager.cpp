@@ -108,6 +108,8 @@ void PipelineStats::append(const PipelineStats& other) {
 
 support::Json PipelineStats::json() const {
   support::Json doc = support::Json::object();
+  doc.set("interp_backend",
+          std::string(interp::backendName(interp::backendFromEnv())));
   support::Json passArr = support::Json::array();
   for (const auto& p : passes) {
     support::Json j = support::Json::object();

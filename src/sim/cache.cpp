@@ -1,24 +1,17 @@
 #include "sim/cache.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/error.h"
 
 namespace fixfuse::sim {
 
-namespace {
-bool isPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
-std::uint32_t log2u(std::uint64_t v) {
-  std::uint32_t s = 0;
-  while ((1ULL << s) < v) ++s;
-  return s;
-}
-}  // namespace
-
 bool CacheConfig::valid() const {
   return sizeBytes > 0 && lineBytes > 0 && ways > 0 &&
-         isPowerOfTwo(lineBytes) && sizeBytes % (lineBytes * ways) == 0 &&
-         isPowerOfTwo(numSets());
+         std::has_single_bit(lineBytes) &&
+         sizeBytes % (lineBytes * ways) == 0 &&
+         std::has_single_bit(numSets());
 }
 
 CacheConfig CacheConfig::octane2L1() { return {32 * 1024, 32, 2}; }
@@ -26,9 +19,9 @@ CacheConfig CacheConfig::octane2L2() { return {2 * 1024 * 1024, 128, 2}; }
 
 Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   FIXFUSE_CHECK(cfg.valid(), "invalid cache configuration");
-  lineShift_ = log2u(cfg.lineBytes);
+  lineShift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.lineBytes));
   setMask_ = cfg.numSets() - 1;
-  setShift_ = log2u(cfg.numSets());
+  setShift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.numSets()));
   tags_.assign(cfg.numSets() * cfg.ways, 0);
   stamps_.assign(cfg.numSets() * cfg.ways, 0);
   valid_.assign(cfg.numSets() * cfg.ways, 0);

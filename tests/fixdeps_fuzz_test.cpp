@@ -17,6 +17,7 @@
 #include "core/elim.h"
 #include "core/fuse.h"
 #include "deps/cache.h"
+#include "fuzz_systems.h"
 #include "interp/compare.h"
 #include "interp/interp.h"
 #include "ir/printer.h"
@@ -34,83 +35,12 @@ using deps::NestSystem;
 using deps::PerfectNest;
 using poly::AffineExpr;
 using poly::IntegerSet;
-
-constexpr std::int64_t kPad = 8;  // array slack for shifted subscripts
-
-/// One random 1-D statement: ArrayDst(i + wOff) = f(ArraySrc(i + rOff)).
-StmtPtr randomStmt(SplitMix64& rng, const std::vector<std::string>& arrays,
-                   std::string* dstOut) {
-  const std::string dst = arrays[rng.nextBounded(arrays.size())];
-  const std::string src = arrays[rng.nextBounded(arrays.size())];
-  std::int64_t wOff = rng.nextInt(-2, 2);
-  std::int64_t rOff = rng.nextInt(-2, 2);
-  *dstOut = dst;
-  ExprPtr rd = load(src, {add(iv("i"), ic(rOff))});
-  ExprPtr rhs = rng.nextBounded(2) ? add(rd, fc(1.0)) : mul(rd, fc(0.5));
-  return aassign(dst, {add(iv("i"), ic(wOff))}, rhs);
-}
-
-struct FuzzSystem {
-  NestSystem sys;
-  bool ok = false;
-};
-
-FuzzSystem randomSystem(std::uint64_t seed) {
-  SplitMix64 rng(seed);
-  FuzzSystem out;
-  NestSystem& sys = out.sys;
-  sys.ctx.addParam("N", 4, 100000);
-  sys.decls.params = {"N"};
-  std::vector<std::string> arrays{"A", "B", "Cc"};
-  for (const auto& a : arrays)
-    sys.decls.declareArray(a, {add(iv("N"), ic(2 * kPad))});
-  sys.decls.body = blockS({});
-  sys.isVars = {"i"};
-  sys.isBounds = {{AffineExpr(kPad), AffineExpr::var("N")}};
-
-  std::size_t nests = 2 + rng.nextBounded(2);
-  for (std::size_t k = 0; k < nests; ++k) {
-    PerfectNest nest;
-    nest.vars = {"i"};
-    nest.domain = IntegerSet({"i"});
-    nest.domain.addRange("i", AffineExpr(kPad), AffineExpr::var("N"));
-    std::vector<StmtPtr> body;
-    std::size_t stmts = 1 + rng.nextBounded(2);
-    for (std::size_t s = 0; s < stmts; ++s) {
-      std::string dst;
-      body.push_back(randomStmt(rng, arrays, &dst));
-    }
-    nest.body = blockS(std::move(body));
-    nest.embed = AffineMap{{AffineExpr::var("i")}};
-    sys.nests.push_back(std::move(nest));
-  }
-  int id = 0;
-  for (auto& nest : sys.nests)
-    forEachStmt(*nest.body, [&](const Stmt& s) {
-      if (s.kind() == StmtKind::Assign)
-        const_cast<Stmt&>(s).setAssignId(id++);
-    });
-  out.ok = true;
-  return out;
-}
-
-/// Verification options replaying the historical fuzz comparison: every
-/// array randomised per (seed, N), bit-compared at each problem size.
-pipeline::VerifyOptions fuzzVerify(std::uint64_t seed, std::uint64_t mult,
-                                   std::vector<std::int64_t> sizes) {
-  pipeline::VerifyOptions vo;
-  vo.enabled = true;
-  for (std::int64_t n : sizes) vo.paramSets.push_back({{"N", n}});
-  vo.init = [seed, mult](interp::Machine& m,
-                         const std::map<std::string, std::int64_t>& params) {
-    SplitMix64 rng(seed * mult +
-                   static_cast<std::uint64_t>(params.at("N")));
-    for (const char* name : {"A", "B", "Cc"})
-      if (m.hasArray(name))
-        for (auto& v : m.array(name).data()) v = rng.nextDouble(-2.0, 2.0);
-  };
-  return vo;
-}
+// The generator lives in tests/fuzz_systems.h, shared with the
+// interpreter-backend differential tests.
+using tests::FuzzSystem;
+using tests::fuzzVerify;
+using tests::kPad;
+using tests::randomSystem;
 
 TEST(FixDepsFuzz, RandomSystemsFixedOrRejectedLoudly) {
   int fixed = 0, rejected = 0, alreadyLegal = 0;

@@ -1,0 +1,120 @@
+// Shared random-system generator for the fuzz-style tests.
+//
+// Originally private to fixdeps_fuzz_test.cpp; extracted so the
+// interpreter-backend differential tests can reuse the exact same
+// program distribution (2-3 perfect 1-D nests over A/B/Cc with random
+// access offsets) that exercises FixDeps. Keep the generation
+// deterministic in `seed` - both test files rely on reproducible
+// programs per seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "deps/nestsystem.h"
+#include "interp/machine.h"
+#include "ir/rewrite.h"
+#include "ir/stmt.h"
+#include "pipeline/manager.h"
+#include "poly/set.h"
+#include "support/rng.h"
+
+namespace fixfuse::tests {
+
+inline constexpr std::int64_t kPad = 8;  // array slack for shifted subscripts
+
+/// One random 1-D statement: ArrayDst(i + wOff) = f(ArraySrc(i + rOff)).
+inline ir::StmtPtr randomStmt(SplitMix64& rng,
+                              const std::vector<std::string>& arrays,
+                              std::string* dstOut) {
+  using namespace fixfuse::ir;
+  const std::string dst = arrays[rng.nextBounded(arrays.size())];
+  const std::string src = arrays[rng.nextBounded(arrays.size())];
+  std::int64_t wOff = rng.nextInt(-2, 2);
+  std::int64_t rOff = rng.nextInt(-2, 2);
+  *dstOut = dst;
+  ExprPtr rd = load(src, {add(iv("i"), ic(rOff))});
+  ExprPtr rhs = rng.nextBounded(2) ? add(rd, fc(1.0)) : mul(rd, fc(0.5));
+  return aassign(dst, {add(iv("i"), ic(wOff))}, rhs);
+}
+
+struct FuzzSystem {
+  deps::NestSystem sys;
+  bool ok = false;
+};
+
+/// A random system of 2-3 perfect 1-D nests over arrays A/B/Cc with
+/// random +-2 access offsets (flow, output and anti dependences in
+/// random combinations). Deterministic per seed.
+inline FuzzSystem randomSystem(std::uint64_t seed) {
+  using namespace fixfuse::ir;
+  using deps::AffineMap;
+  using deps::PerfectNest;
+  using poly::AffineExpr;
+  using poly::IntegerSet;
+
+  SplitMix64 rng(seed);
+  FuzzSystem out;
+  deps::NestSystem& sys = out.sys;
+  sys.ctx.addParam("N", 4, 100000);
+  sys.decls.params = {"N"};
+  std::vector<std::string> arrays{"A", "B", "Cc"};
+  for (const auto& a : arrays)
+    sys.decls.declareArray(a, {add(iv("N"), ic(2 * kPad))});
+  sys.decls.body = blockS({});
+  sys.isVars = {"i"};
+  sys.isBounds = {{AffineExpr(kPad), AffineExpr::var("N")}};
+
+  std::size_t nests = 2 + rng.nextBounded(2);
+  for (std::size_t k = 0; k < nests; ++k) {
+    PerfectNest nest;
+    nest.vars = {"i"};
+    nest.domain = IntegerSet({"i"});
+    nest.domain.addRange("i", AffineExpr(kPad), AffineExpr::var("N"));
+    std::vector<StmtPtr> body;
+    std::size_t stmts = 1 + rng.nextBounded(2);
+    for (std::size_t s = 0; s < stmts; ++s) {
+      std::string dst;
+      body.push_back(randomStmt(rng, arrays, &dst));
+    }
+    nest.body = blockS(std::move(body));
+    nest.embed = AffineMap{{AffineExpr::var("i")}};
+    sys.nests.push_back(std::move(nest));
+  }
+  int id = 0;
+  for (auto& nest : sys.nests)
+    ir::forEachStmt(*nest.body, [&](const ir::Stmt& s) {
+      if (s.kind() == ir::StmtKind::Assign)
+        const_cast<ir::Stmt&>(s).setAssignId(id++);
+    });
+  out.ok = true;
+  return out;
+}
+
+/// Deterministic random initialisation of the fuzz arrays for (seed, N).
+inline void initFuzzArrays(interp::Machine& m, std::uint64_t seed,
+                           std::uint64_t mult, std::int64_t n) {
+  SplitMix64 rng(seed * mult + static_cast<std::uint64_t>(n));
+  for (const char* name : {"A", "B", "Cc"})
+    if (m.hasArray(name))
+      for (auto& v : m.array(name).data()) v = rng.nextDouble(-2.0, 2.0);
+}
+
+/// Verification options replaying the historical fuzz comparison: every
+/// array randomised per (seed, N), bit-compared at each problem size.
+inline pipeline::VerifyOptions fuzzVerify(std::uint64_t seed,
+                                          std::uint64_t mult,
+                                          std::vector<std::int64_t> sizes) {
+  pipeline::VerifyOptions vo;
+  vo.enabled = true;
+  for (std::int64_t n : sizes) vo.paramSets.push_back({{"N", n}});
+  vo.init = [seed, mult](interp::Machine& m,
+                         const std::map<std::string, std::int64_t>& params) {
+    initFuzzArrays(m, seed, mult, params.at("N"));
+  };
+  return vo;
+}
+
+}  // namespace fixfuse::tests

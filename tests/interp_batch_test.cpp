@@ -40,18 +40,20 @@ RunSetup setupFor(const std::string& kernel, std::int64_t n) {
 }
 
 void runWith(const ir::Program& p, const RunSetup& s, interp::Observer* obs,
-             Dispatch d) {
+             Dispatch d,
+             interp::Backend backend = interp::backendFromEnv()) {
   interp::Machine m(p, s.params);
   for (const auto& [name, mat] : s.init)
     if (m.hasArray(name)) m.array(name).data() = mat;
-  interp::Interpreter it(p, m, obs, d);
+  interp::Interpreter it(p, m, obs, d, backend);
   it.run();
 }
 
-std::vector<interp::Event> traceOf(const ir::Program& p, const RunSetup& s,
-                                   Dispatch d) {
+std::vector<interp::Event> traceOf(
+    const ir::Program& p, const RunSetup& s, Dispatch d,
+    interp::Backend backend = interp::backendFromEnv()) {
   interp::TraceRecorder rec;
-  runWith(p, s, &rec, d);
+  runWith(p, s, &rec, d, backend);
   return std::move(rec.events);
 }
 
@@ -62,7 +64,9 @@ const std::vector<std::string>& kernelNames() {
 }
 
 // The core contract: identical event sequence from both dispatch modes,
-// for every kernel and every program variant in the bundle.
+// for every kernel, every program variant in the bundle, and *both*
+// execution backends (the bytecode engine keeps the same batched/
+// per-event equivalence the tree walker guarantees).
 TEST(InterpBatch, EventSequencesIdenticalAcrossDispatchModes) {
   for (const std::string& kernel : kernelNames()) {
     kernels::KernelBundle b = kernels::buildKernel(kernel, {/*tile=*/4});
@@ -71,14 +75,22 @@ TEST(InterpBatch, EventSequencesIdenticalAcrossDispatchModes) {
     RunSetup s = setupFor(kernel, 16);
     for (const ir::Program* p :
          {&b.seq, &b.fused, &b.fixed, &b.tiledBaseline, &b.tiled}) {
-      std::vector<interp::Event> perEvent = traceOf(*p, s, Dispatch::PerEvent);
-      std::vector<interp::Event> batched = traceOf(*p, s, Dispatch::Batched);
-      ASSERT_EQ(perEvent.size(), batched.size()) << kernel;
-      ASSERT_TRUE(perEvent == batched) << kernel;
-      // The ring flushes at 4096 events; make sure the trace actually
-      // exercises at least one intermediate flush plus the final partial
-      // one, or this test proves nothing about chunk boundaries.
-      EXPECT_GT(perEvent.size(), std::size_t{4096}) << kernel;
+      for (interp::Backend be :
+           {interp::Backend::Tree, interp::Backend::Bytecode}) {
+        std::vector<interp::Event> perEvent =
+            traceOf(*p, s, Dispatch::PerEvent, be);
+        std::vector<interp::Event> batched =
+            traceOf(*p, s, Dispatch::Batched, be);
+        ASSERT_EQ(perEvent.size(), batched.size())
+            << kernel << " " << interp::backendName(be);
+        ASSERT_TRUE(perEvent == batched)
+            << kernel << " " << interp::backendName(be);
+        // The ring flushes at 4096 events; make sure the trace actually
+        // exercises at least one intermediate flush plus the final
+        // partial one, or this test proves nothing about chunk
+        // boundaries.
+        EXPECT_GT(perEvent.size(), std::size_t{4096}) << kernel;
+      }
     }
   }
 }

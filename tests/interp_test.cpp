@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "interp/compare.h"
 #include "interp/interp.h"
@@ -238,6 +240,43 @@ TEST(Interp, RunProgramComparesStates) {
   EXPECT_TRUE(arraysBitwiseEqual(a, b, "S"));
   std::string which;
   EXPECT_TRUE(statesMatch(p, a, p, b, 0.0, &which));
+}
+
+TEST(Interp, MaxArrayDifferenceIsNaNSound) {
+  // Regression: fabs(NaN - x) is NaN and std::max(acc, NaN) returns acc,
+  // so a NaN on one side used to vanish from the maximum and a genuinely
+  // divergent pair of states compared "equal within tolerance".
+  Program p;
+  p.declareArray("A", {ic(3)});
+  Machine a(p, {}), b(p, {});
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+
+  // One-sided NaN: unbounded difference, not zero.
+  a.array("A").data() = {qnan, 1.0, 2.0};
+  b.array("A").data() = {0.0, 1.0, 2.0};
+  EXPECT_EQ(maxArrayDifference(a, b, "A"),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(maxArrayDifference(b, a, "A"),
+            std::numeric_limits<double>::infinity());
+  std::string which;
+  EXPECT_FALSE(statesMatch(p, a, p, b, 1e10, &which));
+  EXPECT_EQ(which, "A");
+
+  // Bitwise-identical NaNs are the same value (QR produces them
+  // legitimately): they must not poison the difference.
+  b.array("A").data() = {qnan, 1.0, 2.5};
+  EXPECT_DOUBLE_EQ(maxArrayDifference(a, b, "A"), 0.5);
+  EXPECT_TRUE(statesMatch(p, a, p, b, 0.5, nullptr));
+
+  // NaNs with different payloads are a real mismatch.
+  double otherNan = qnan;
+  std::uint64_t bits;
+  std::memcpy(&bits, &otherNan, sizeof bits);
+  bits ^= 1;  // flip a payload bit, still NaN
+  std::memcpy(&otherNan, &bits, sizeof bits);
+  b.array("A").data() = {otherNan, 1.0, 2.0};
+  EXPECT_EQ(maxArrayDifference(a, b, "A"),
+            std::numeric_limits<double>::infinity());
 }
 
 TEST(Interp, StatesMatchDetectsDifference) {

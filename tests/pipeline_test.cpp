@@ -233,7 +233,7 @@ TEST(PassManagerTest, StatsRenderJsonAndTable) {
   for (const char* key :
        {"\"passes\"", "\"pass\"", "\"dep_queries\"", "\"dep_cache_hits\"",
         "\"totals\"", "\"dep_cache_hit_rate\"", "\"fix_log\"", "\"tiles\"",
-        "\"copies\""})
+        "\"copies\"", "\"interp_backend\""})
     EXPECT_NE(json.find(key), std::string::npos) << key;
 
   const std::string table = pm.stats().str();
