@@ -33,6 +33,7 @@
 #include "kernels/common.h"
 #include "kernels/native.h"
 #include "sim/perf.h"
+#include "support/env.h"
 #include "support/json.h"
 #include "support/thread_pool.h"
 
@@ -40,30 +41,15 @@ namespace fixfuse::bench {
 
 /// Case-insensitive conventional truthiness: 1/true/yes/on.
 /// Returns nullopt for anything else (including 0/false/no/off).
+/// Thin alias over support::env::parseTruthy, kept for bench binaries.
 inline std::optional<bool> parseTruthy(const char* v) {
   if (!v) return std::nullopt;
-  std::string s;
-  for (const char* p = v; *p; ++p)
-    s += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
-  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
-  if (s.empty() || s == "0" || s == "false" || s == "no" || s == "off")
-    return false;
-  return std::nullopt;
+  return support::env::parseTruthy(v);
 }
 
 inline bool fullRuns() {
-  const char* v = std::getenv("FIXFUSE_FULL");
-  if (!v) return false;
-  std::optional<bool> parsed = parseTruthy(v);
-  if (!parsed) {
-    std::fprintf(stderr,
-                 "warning: unrecognized FIXFUSE_FULL value '%s' "
-                 "(expected 1/true/yes/on or 0/false/no/off); "
-                 "running the reduced sweep\n",
-                 v);
-    return false;
-  }
-  return *parsed;
+  return support::env::truthy("FIXFUSE_FULL", /*fallback=*/false,
+                              "running the reduced sweep");
 }
 
 /// Worker count for parallelSweep: FIXFUSE_THREADS if set, otherwise the
@@ -72,19 +58,10 @@ inline bool fullRuns() {
 /// rejected with a warning (matching the strictness of FIXFUSE_FULL),
 /// falling back to hardware concurrency.
 inline unsigned sweepThreads() {
-  if (const char* v = std::getenv("FIXFUSE_THREADS")) {
-    char* end = nullptr;
-    errno = 0;
-    long n = std::strtol(v, &end, 10);
-    if (end != v && *end == '\0' && errno == 0 && n >= 1 && n <= 65536)
-      return static_cast<unsigned>(n);
-    std::fprintf(stderr,
-                 "warning: unrecognized FIXFUSE_THREADS value '%s' "
-                 "(expected a positive integer <= 65536); "
-                 "using hardware concurrency\n",
-                 v);
-  }
-  return support::ThreadPool::hardwareThreads();
+  return support::env::positiveInt(
+      "FIXFUSE_THREADS", /*max=*/65536,
+      /*fallback=*/support::ThreadPool::hardwareThreads(),
+      "a positive integer <= 65536", "using hardware concurrency");
 }
 
 /// The paper's problem sizes: 200..2500 at multiples of 238 ("this
@@ -201,12 +178,21 @@ class BenchReport {
     interp_.set(key, std::move(v));
   }
 
+  /// Fields for the top-level `analysis` section (schema v4): throughput
+  /// of the analysis core itself - symbol-keyed substitution and
+  /// dep-cache query speedups over their string-keyed baselines. Written
+  /// only when a bench sets at least one field (microbench does).
+  void setAnalysis(const std::string& key, support::Json v) {
+    if (analysis_.isNull()) analysis_ = support::Json::object();
+    analysis_.set(key, std::move(v));
+  }
+
   /// Write the report when requested; returns the path written to.
   std::optional<std::string> write() {
     if (!path_) return std::nullopt;
     support::Json doc = support::Json::object();
     doc.set("bench", name_);
-    doc.set("schema_version", std::int64_t{3});
+    doc.set("schema_version", std::int64_t{4});
     doc.set("full_sweep", fullRuns());
     doc.set("threads", static_cast<std::int64_t>(sweepThreads()));
     interp_.set("backend",
@@ -215,6 +201,7 @@ class BenchReport {
     doc.set("config", std::move(meta_));
     doc.set("rows", std::move(rows_));
     if (!pipeline_.isNull()) doc.set("pipeline", std::move(pipeline_));
+    if (!analysis_.isNull()) doc.set("analysis", std::move(analysis_));
     doc.set("wall_seconds", now() - start_);
     std::FILE* f = std::fopen(path_->c_str(), "w");
     if (!f) {
@@ -245,6 +232,7 @@ class BenchReport {
   support::Json rows_;
   support::Json interp_;    // `interp` section; always written (schema v3)
   support::Json pipeline_;  // null unless setPipeline was called
+  support::Json analysis_;  // null unless setAnalysis was called (schema v4)
 };
 
 /// Run fn(i) for each sweep point on the worker pool, then emit the rows

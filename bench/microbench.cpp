@@ -18,12 +18,18 @@
 // A second post-suite section compares the interpreter's execution
 // backends end to end (Cholesky N=96 with a CountingObserver attached):
 // the tree walker vs the bytecode engine, which must produce identical
-// event totals and clear a >= 3x throughput bar. Both sections feed the
-// process return code and the JSON report (`rows` and the `interp`
-// section respectively).
+// event totals and clear a >= 3x throughput bar.
+//
+// A third section compares the analysis core's string-keyed baselines
+// against the interned-symbol implementations (substitution and warm
+// dep-cache queries, bar >= 1.5x each). All sections feed the process
+// return code and the JSON report (`rows`, the `interp` section and the
+// `analysis` section respectively).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <sstream>
+#include <unordered_map>
 
 #include "bench_util.h"
 #include "core/elim.h"
@@ -33,6 +39,8 @@
 #include "deps/cache.h"
 #include "interp/interp.h"
 #include "interp/observer.h"
+#include "ir/printer.h"
+#include "ir/rewrite.h"
 #include "kernels/common.h"
 #include "kernels/native.h"
 #include "poly/set.h"
@@ -347,6 +355,238 @@ int runBackendComparison(bench::BenchReport& report) {
   return pass ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// Analysis-core comparison: string-keyed name resolution vs the interned
+// Symbol core (the `analysis` section, schema v4). Two measurements:
+//
+//  * substitution - the pre-interning algorithm (a map<string,ExprPtr>
+//    probed with the rendered name at every VarRef, which is exactly
+//    what string keying costs against interned exprs) vs the
+//    symbol-keyed ir::SymSubst walk, each timed with the per-call
+//    mapping construction its call sites perform;
+//
+//  * dependence queries - constructing the legacy textual cache key
+//    (rendered parameter context, set strs, printed bodies) plus a
+//    string-keyed map probe vs the complete warm
+//    deps::cachedViolatedDeps query on the integer-tuple fingerprint.
+//
+// Acceptance bar: >= 1.5x each (the CI release job asserts both).
+
+/// The pre-interning substitution walk, verbatim from the old
+/// ir::substituteVars: name-keyed map, a rendered-string probe per
+/// VarRef, pointer short-circuit on unchanged children.
+ir::ExprPtr stringSubstitute(const ir::ExprPtr& e,
+                             const std::map<std::string, ir::ExprPtr>& subst) {
+  using ir::Expr;
+  using ir::ExprKind;
+  using ir::ExprPtr;
+  switch (e->kind()) {
+    case ExprKind::IntConst:
+    case ExprKind::FloatConst:
+    case ExprKind::ScalarLoad:
+      return e;
+    case ExprKind::VarRef: {
+      auto it = subst.find(e->name());
+      return it == subst.end() ? e : it->second;
+    }
+    case ExprKind::Binary: {
+      auto l = stringSubstitute(e->lhs(), subst);
+      auto r = stringSubstitute(e->rhs(), subst);
+      if (l == e->lhs() && r == e->rhs()) return e;
+      return Expr::binary(e->binOp(), std::move(l), std::move(r));
+    }
+    case ExprKind::ArrayLoad: {
+      std::vector<ExprPtr> idx;
+      bool changed = false;
+      idx.reserve(e->indices().size());
+      for (const auto& i : e->indices()) {
+        idx.push_back(stringSubstitute(i, subst));
+        changed |= idx.back() != i;
+      }
+      if (!changed) return e;
+      return Expr::arrayLoad(e->name(), std::move(idx));
+    }
+    default:
+      return e;  // the benchmark expression has no other kinds
+  }
+}
+
+/// The legacy textual dep-cache key, verbatim from the old deps/cache.cpp.
+void stringFingerprintNest(std::ostream& os, const deps::PerfectNest& nest) {
+  os << "vars[";
+  for (const auto& v : nest.vars) os << v << ",";
+  os << "]shared=" << nest.sharedPrefix;
+  os << "dom{" << nest.domain.str() << "}embed[";
+  for (const auto& e : nest.embed.outputs) os << e.str() << ";";
+  os << "]tiles[";
+  for (const auto& t : nest.tileSizes) os << t.str() << ",";
+  os << "]body{" << ir::printStmt(*nest.body) << "}ids[";
+  ir::forEachStmt(*nest.body, [&](const ir::Stmt& s) {
+    if (s.kind() == ir::StmtKind::Assign) os << s.assignId() << ",";
+  });
+  os << "]";
+}
+
+std::string stringFingerprint(const deps::NestSystem& sys, std::size_t k,
+                              std::size_t kp, const std::string& name,
+                              deps::DepKind kind) {
+  std::ostringstream os;
+  os << "ctx{" << sys.ctx.fingerprint() << "}is[";
+  for (const auto& v : sys.isVars) os << v << ",";
+  os << "]bounds[";
+  for (const auto& [lo, hi] : sys.isBounds)
+    os << lo.str() << ".." << hi.str() << ";";
+  os << "]k=" << k << "/" << kp << " " << deps::depKindName(kind) << " "
+     << name;
+  os << " src{";
+  stringFingerprintNest(os, sys.nests[k]);
+  os << "}tgt{";
+  stringFingerprintNest(os, sys.nests[kp]);
+  os << "}";
+  return os.str();
+}
+
+int runAnalysisComparison(bench::BenchReport& report) {
+  std::printf(
+      "\nAnalysis core: string-keyed baselines vs interned symbols\n");
+
+  // --- substitution ----------------------------------------------------
+  // A fused-body-sized integer expression: ~40 binary spine nodes over
+  // six loop variables, the shape instantiateBody feeds substituteVars.
+  const char* vars[] = {"i", "j", "k", "ii", "jj", "kk"};
+  ir::ExprPtr expr = ir::iv("i");
+  for (int r = 0; r < 40; ++r)
+    expr = ir::add(ir::mul(expr, ir::iv(vars[r % 6])),
+                   ir::add(ir::iv(vars[(r + 1) % 6]), ir::ic(r)));
+
+  // Two substitution shapes. "Remap" is a unimodular transform's
+  // mapping - every loop variable remapped, the whole tree rebuilt; the
+  // rebuild goes through the (shared) consing arena in both paths, so it
+  // mostly measures the arena, and is reported for context. "Probe" is
+  // the walk-dominated common case - substituteVarsStmt probes every
+  // expression node of every statement, and the overwhelming majority of
+  // probes miss (the statement does not use the substituted variable);
+  // here the keying itself is what is measured, and it carries the
+  // acceptance bar.
+  const char* points[] = {"p_i", "p_j", "p_k", "p_ii", "p_jj", "p_kk"};
+  std::vector<ir::ExprPtr> repl;
+  for (int v = 0; v < 6; ++v)
+    repl.push_back(ir::add(ir::iv(points[v]), ir::ic(v)));
+  const ir::ExprPtr peelBound = ir::sub(ir::iv("n"), ir::ic(1));
+
+  constexpr int kSubstIters = 2000;
+  const double remapString = bench::timeBest(
+      [&] {
+        for (int it = 0; it < kSubstIters; ++it) {
+          std::map<std::string, ir::ExprPtr> m;
+          for (int v = 0; v < 6; ++v) m[vars[v]] = repl[v];
+          auto r = stringSubstitute(expr, m);
+          benchmark::DoNotOptimize(r.get());
+        }
+      },
+      5);
+  const double remapSymbol = bench::timeBest(
+      [&] {
+        for (int it = 0; it < kSubstIters; ++it) {
+          ir::SymSubst s;
+          for (int v = 0; v < 6; ++v)
+            s.set(ir::Context::intern(vars[v]), repl[v]);
+          auto r = ir::substituteVars(expr, s);
+          benchmark::DoNotOptimize(r.get());
+        }
+      },
+      5);
+  const double remapSpeedup = remapString / remapSymbol;
+
+  // Probe shape: peelLastIteration's single-entry mapping over an
+  // expression that does not use the peeled variable - no rebuild, every
+  // probe misses.
+  const double probeString = bench::timeBest(
+      [&] {
+        for (int it = 0; it < kSubstIters; ++it) {
+          std::map<std::string, ir::ExprPtr> m;
+          m["m"] = peelBound;
+          auto r = stringSubstitute(expr, m);
+          benchmark::DoNotOptimize(r.get());
+        }
+      },
+      5);
+  const double probeSymbol = bench::timeBest(
+      [&] {
+        for (int it = 0; it < kSubstIters; ++it) {
+          ir::SymSubst s;
+          s.set(ir::Context::intern("m"), peelBound);
+          auto r = ir::substituteVars(expr, s);
+          benchmark::DoNotOptimize(r.get());
+        }
+      },
+      5);
+  const double substSpeedup = probeString / probeSymbol;
+
+  // --- dependence queries ----------------------------------------------
+  // Warm the real cache, then compare the per-query cost of the legacy
+  // textual keying (key construction + string-map probe + result copy)
+  // against the complete integer-tuple warm query.
+  auto bundle = kernels::buildCholesky({0});
+  const deps::NestSystem& sys = bundle.system;
+  const std::size_t kp = sys.nests.size() - 1;
+  const deps::DepKind kind = deps::DepKind::Flow;
+  auto warm = deps::cachedViolatedDeps(sys, 0, kp, std::string("A"), kind);
+  std::unordered_map<std::string, std::vector<deps::AccessPairDep>> legacy;
+  legacy.emplace(stringFingerprint(sys, 0, kp, "A", kind), warm);
+
+  constexpr int kQueryIters = 500;
+  const double queryString = bench::timeBest(
+      [&] {
+        for (int it = 0; it < kQueryIters; ++it) {
+          const std::string key = stringFingerprint(sys, 0, kp, "A", kind);
+          auto found = legacy.find(key);
+          benchmark::DoNotOptimize(found != legacy.end());
+          auto r = found->second;
+          benchmark::DoNotOptimize(r.size());
+        }
+      },
+      5);
+  const double queryTuple = bench::timeBest(
+      [&] {
+        for (int it = 0; it < kQueryIters; ++it) {
+          auto r = deps::cachedViolatedDeps(sys, 0, kp, std::string("A"),
+                                            kind);
+          benchmark::DoNotOptimize(r.size());
+        }
+      },
+      5);
+  const double querySpeedup = queryString / queryTuple;
+
+  std::printf("%-28s %12s %12s %9s\n", "workload", "string-keyed",
+              "symbol-keyed", "speedup");
+  std::printf("%-28s %9.3f us %9.3f us %8.2fx\n", "subst remap (rebuilds)",
+              remapString / kSubstIters * 1e6,
+              remapSymbol / kSubstIters * 1e6, remapSpeedup);
+  std::printf("%-28s %9.3f us %9.3f us %8.2fx\n", "subst probe (per call)",
+              probeString / kSubstIters * 1e6,
+              probeSymbol / kSubstIters * 1e6, substSpeedup);
+  std::printf("%-28s %9.3f us %9.3f us %8.2fx\n", "dep query (warm, per q)",
+              queryString / kQueryIters * 1e6,
+              queryTuple / kQueryIters * 1e6, querySpeedup);
+
+  const bool pass = substSpeedup >= 1.5 && querySpeedup >= 1.5;
+  std::printf("%s: substitution %.2fx, dep query %.2fx (bar: >= 1.5x each)\n",
+              pass ? "PASS" : "FAIL", substSpeedup, querySpeedup);
+
+  report.setAnalysis("subst_remap_seconds_string", remapString / kSubstIters);
+  report.setAnalysis("subst_remap_seconds_symbol", remapSymbol / kSubstIters);
+  report.setAnalysis("subst_remap_speedup", remapSpeedup);
+  report.setAnalysis("subst_seconds_string", probeString / kSubstIters);
+  report.setAnalysis("subst_seconds_symbol", probeSymbol / kSubstIters);
+  report.setAnalysis("subst_speedup", substSpeedup);
+  report.setAnalysis("depquery_seconds_string", queryString / kQueryIters);
+  report.setAnalysis("depquery_seconds_tuple", queryTuple / kQueryIters);
+  report.setAnalysis("depquery_speedup", querySpeedup);
+  report.setAnalysis("pass", pass);
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -369,6 +609,7 @@ int main(int argc, char** argv) {
 
   int rc = runTracePipeline(report);
   rc |= runBackendComparison(report);
+  rc |= runAnalysisComparison(report);
   report.write();
   return rc;
 }

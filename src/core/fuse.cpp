@@ -66,12 +66,12 @@ StmtPtr instantiateBody(const NestSystem& sys, std::size_t k,
                         const std::vector<AffineExpr>& coords,
                         const std::map<std::string, AffineExpr>& inv) {
   const PerfectNest& nest = sys.nests[k];
-  std::map<std::string, ExprPtr> subst;
+  ir::SymSubst subst;
   for (const auto& v : nest.vars) {
     AffineExpr e = inv.at(v);
     for (std::size_t j = 0; j < sys.dims(); ++j)
       e = e.substituted(sys.isVars[j], coords[j]);
-    subst[v] = ir::fromAffine(e);
+    subst.set(ir::Context::intern(v), ir::fromAffine(e));
   }
   return ir::substituteVarsStmt(*nest.body, subst);
 }

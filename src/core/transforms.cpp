@@ -91,8 +91,9 @@ ir::Program peelLastIteration(const ir::Program& p,
       loopVar, loop.lowerBound(),
       ir::simplify(ir::sub(loop.upperBound(), ir::ic(1))),
       loop.loopBody()->clone()));
-  StmtPtr last = ir::substituteVarsStmt(*loop.loopBody(),
-                                        {{loopVar, loop.upperBound()}});
+  ir::SymSubst lastSubst;
+  lastSubst.set(ir::Context::intern(loopVar), loop.upperBound());
+  StmtPtr last = ir::substituteVarsStmt(*loop.loopBody(), lastSubst);
   replacement.push_back(ir::simplifyStmt(*last));
   if (!replacement.back()) replacement.pop_back();
   ir::Program out = withTopLevelLoopReplaced(p, std::move(replacement));
@@ -141,8 +142,9 @@ ir::Program unimodularTransform(const ir::Program& p, const IntMatrix& U,
   }
 
   // Body with the substitution applied.
-  std::map<std::string, ExprPtr> subst;
-  for (const auto& [v, repl] : oldFromNew) subst[v] = ir::fromAffine(repl);
+  ir::SymSubst subst;
+  for (const auto& [v, repl] : oldFromNew)
+    subst.set(ir::Context::intern(v), ir::fromAffine(repl));
   StmtPtr body = ir::substituteVarsStmt(*chain.back()->loopBody(), subst);
 
   // Guard the body with the exact membership test only when the FM scan
@@ -594,7 +596,11 @@ ir::Program indexSetSplit(const ir::Program& p, const std::string& var,
     IntegerSet c2(std::vector<std::string>{});
     c2.addEQ(v - point);
     StmtPtr b2 = contextSimplify(*loop.loopBody(), c2, ctx);
-    if (b2) b2 = ir::substituteVarsStmt(*b2, {{var, pt}});
+    if (b2) {
+      ir::SymSubst atPoint;
+      atPoint.set(ir::Context::intern(var), pt);
+      b2 = ir::substituteVarsStmt(*b2, atPoint);
+    }
     // Segment 3: v in [point+1, ub].
     IntegerSet c3(std::vector<std::string>{});
     c3.addGE(v - point - AffineExpr(1));

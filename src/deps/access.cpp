@@ -90,6 +90,7 @@ class Collector {
     // The write.
     Access w;
     w.name = s.lhs().name;
+    w.sym = s.lhs().symbol();
     w.isWrite = true;
     w.isScalar = s.lhs().isScalar();
     w.assignId = s.assignId();
@@ -106,6 +107,7 @@ class Collector {
         if (e.kind() == ExprKind::ArrayLoad) {
           Access r;
           r.name = e.name();
+          r.sym = e.symbol();
           r.isWrite = false;
           r.isScalar = false;
           r.assignId = s.assignId();
@@ -117,6 +119,7 @@ class Collector {
         } else if (e.kind() == ExprKind::ScalarLoad) {
           Access r;
           r.name = e.name();
+          r.sym = e.symbol();
           r.isWrite = false;
           r.isScalar = true;
           r.assignId = s.assignId();
@@ -163,19 +166,29 @@ std::vector<Access> collectAccesses(const PerfectNest& nest) {
 }
 
 std::vector<Access> writesOf(const std::vector<Access>& all,
-                             const std::string& name) {
+                             support::Symbol sym) {
   std::vector<Access> out;
   for (const auto& a : all)
-    if (a.isWrite && a.name == name) out.push_back(a);
+    if (a.isWrite && a.sym == sym) out.push_back(a);
   return out;
 }
 
 std::vector<Access> readsOf(const std::vector<Access>& all,
-                            const std::string& name) {
+                            support::Symbol sym) {
   std::vector<Access> out;
   for (const auto& a : all)
-    if (!a.isWrite && a.name == name) out.push_back(a);
+    if (!a.isWrite && a.sym == sym) out.push_back(a);
   return out;
+}
+
+std::vector<Access> writesOf(const std::vector<Access>& all,
+                             const std::string& name) {
+  return writesOf(all, support::internSymbol(name));
+}
+
+std::vector<Access> readsOf(const std::vector<Access>& all,
+                            const std::string& name) {
+  return readsOf(all, support::internSymbol(name));
 }
 
 std::vector<std::string> accessedNames(const std::vector<Access>& all) {

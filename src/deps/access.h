@@ -18,6 +18,7 @@
 #include "deps/nestsystem.h"
 #include "ir/stmt.h"
 #include "poly/set.h"
+#include "support/symbol.h"
 
 namespace fixfuse::deps {
 
@@ -40,6 +41,9 @@ struct Subscript {
 
 struct Access {
   std::string name;
+  /// Interned id of `name` - the identity dependence analysis compares;
+  /// the string stays for rendering.
+  support::Symbol sym;
   bool isWrite = false;
   bool isScalar = false;
   /// Per-dimension subscripts (empty for scalars). Over nest vars+params.
@@ -65,7 +69,11 @@ struct Access {
 /// NestSystem construction does this).
 std::vector<Access> collectAccesses(const PerfectNest& nest);
 
-/// Convenience filters.
+/// Convenience filters (Symbol compares; string overloads intern).
+std::vector<Access> writesOf(const std::vector<Access>& all,
+                             support::Symbol sym);
+std::vector<Access> readsOf(const std::vector<Access>& all,
+                            support::Symbol sym);
 std::vector<Access> writesOf(const std::vector<Access>& all,
                              const std::string& name);
 std::vector<Access> readsOf(const std::vector<Access>& all,

@@ -135,7 +135,7 @@ AccessPairDep buildPair(const NestSystem& sys, std::size_t k, std::size_t kp,
 }
 
 bool namesMatch(const Access& a, const Access& b) {
-  return a.name == b.name && a.isScalar == b.isScalar;
+  return a.sym == b.sym && a.isScalar == b.isScalar;
 }
 
 }  // namespace
@@ -147,10 +147,11 @@ std::vector<AccessPairDep> violatedDepPairs(const NestSystem& sys,
   FIXFUSE_CHECK(k < kp && kp < sys.nests.size(), "bad nest pair");
   auto srcAll = collectAccesses(sys.nests[k]);
   auto tgtAll = collectAccesses(sys.nests[kp]);
-  std::vector<Access> srcs = kind == DepKind::Anti ? readsOf(srcAll, name)
-                                                   : writesOf(srcAll, name);
-  std::vector<Access> tgts = kind == DepKind::Flow ? readsOf(tgtAll, name)
-                                                   : writesOf(tgtAll, name);
+  const support::Symbol sym = support::internSymbol(name);
+  std::vector<Access> srcs = kind == DepKind::Anti ? readsOf(srcAll, sym)
+                                                   : writesOf(srcAll, sym);
+  std::vector<Access> tgts = kind == DepKind::Flow ? readsOf(tgtAll, sym)
+                                                   : writesOf(tgtAll, sym);
   std::vector<AccessPairDep> out;
   for (const auto& s : srcs)
     for (const auto& t : tgts) {

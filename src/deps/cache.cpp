@@ -1,16 +1,18 @@
 #include "deps/cache.h"
 
+#include <algorithm>
 #include <atomic>
+#include <map>
 #include <mutex>
-#include <sstream>
 #include <unordered_map>
 
-#include "ir/printer.h"
 #include "ir/rewrite.h"
 
 namespace fixfuse::deps {
 
 namespace {
+
+using support::Symbol;
 
 // Entries are whole filtered query results; systems here are small (a
 // handful of nests), so even a long fuzz run stays far below this. The
@@ -19,9 +21,122 @@ namespace {
 // costs recomputation but never correctness.
 constexpr std::size_t kMaxEntries = 4096;
 
+// --- integer-tuple fingerprints --------------------------------------------
+//
+// Each component is length-prefixed, so the flat word sequence is an
+// unambiguous encoding: two keys are equal iff every fingerprinted
+// component is structurally identical. Expression trees contribute their
+// canonical consed node address - pointer equality is structural
+// equality, so one word replaces the old printed body text.
+
+using Key = std::vector<std::uint64_t>;
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ k.size();
+    for (std::uint64_t w : k)
+      h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+std::uint64_t exprWord(const ir::ExprPtr& e) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(e.get()));
+}
+
+void encodeAffine(Key& k, const poly::AffineExpr& e) {
+  k.push_back(static_cast<std::uint64_t>(e.constant()));
+  const auto& ts = e.terms();
+  k.push_back(ts.size());
+  for (const auto& [s, c] : ts) {
+    k.push_back(s.id());
+    k.push_back(static_cast<std::uint64_t>(c));
+  }
+}
+
+void encodeSet(Key& k, const poly::IntegerSet& s) {
+  k.push_back(s.vars().size());
+  for (const auto& v : s.vars()) k.push_back(support::internSymbol(v).id());
+  k.push_back((s.knownEmpty() ? 2u : 0u) | (s.exact() ? 1u : 0u));
+  const auto& cs = s.constraints();
+  k.push_back(cs.size());
+  for (const auto& c : cs) {
+    k.push_back(c.kind == poly::Constraint::Kind::EQ ? 1 : 0);
+    encodeAffine(k, c.expr);
+  }
+}
+
+void encodeStmt(Key& k, const ir::Stmt& s) {
+  k.push_back(static_cast<std::uint64_t>(s.kind()));
+  switch (s.kind()) {
+    case ir::StmtKind::Assign: {
+      k.push_back(s.lhs().symbol().id());
+      k.push_back(s.lhs().indices.size());
+      for (const auto& i : s.lhs().indices) k.push_back(exprWord(i));
+      k.push_back(exprWord(s.rhs()));
+      // The cached AccessPairDeps carry assignment ids (ElimRW inserts
+      // copies by id) - make them part of the key.
+      k.push_back(static_cast<std::uint64_t>(s.assignId()));
+      return;
+    }
+    case ir::StmtKind::If:
+      k.push_back(exprWord(s.cond()));
+      encodeStmt(k, *s.thenBody());
+      k.push_back(s.elseBody() ? 1 : 0);
+      if (s.elseBody()) encodeStmt(k, *s.elseBody());
+      return;
+    case ir::StmtKind::Loop:
+      k.push_back(s.loopVarSym().id());
+      k.push_back(exprWord(s.lowerBound()));
+      k.push_back(exprWord(s.upperBound()));
+      encodeStmt(k, *s.loopBody());
+      return;
+    case ir::StmtKind::Block:
+      k.push_back(s.stmts().size());
+      for (const auto& st : s.stmts()) encodeStmt(k, *st);
+      return;
+  }
+}
+
+void encodeNest(Key& k, const PerfectNest& nest) {
+  k.push_back(nest.vars.size());
+  for (const auto& v : nest.vars) k.push_back(support::internSymbol(v).id());
+  k.push_back(nest.sharedPrefix);
+  encodeSet(k, nest.domain);
+  k.push_back(nest.embed.outputs.size());
+  for (const auto& e : nest.embed.outputs) encodeAffine(k, e);
+  k.push_back(nest.tileSizes.size());
+  for (const auto& t : nest.tileSizes)
+    k.push_back(static_cast<std::uint64_t>(t.value));
+  encodeStmt(k, *nest.body);
+}
+
+Key fingerprint(const NestSystem& sys, std::size_t k, std::size_t kp,
+                Symbol array, DepKind kind) {
+  Key key;
+  key.reserve(64);
+  key.push_back(support::internSymbol(sys.ctx.fingerprintRef()).id());
+  key.push_back(sys.isVars.size());
+  for (const auto& v : sys.isVars)
+    key.push_back(support::internSymbol(v).id());
+  key.push_back(sys.isBounds.size());
+  for (const auto& [lo, hi] : sys.isBounds) {
+    encodeAffine(key, lo);
+    encodeAffine(key, hi);
+  }
+  key.push_back(k);
+  key.push_back(kp);
+  key.push_back(static_cast<std::uint64_t>(kind));
+  key.push_back(array.id());
+  encodeNest(key, sys.nests[k]);
+  encodeNest(key, sys.nests[kp]);
+  return key;
+}
+
 std::mutex gMutex;
-std::unordered_map<std::string, std::vector<AccessPairDep>>& table() {
-  static auto* t = new std::unordered_map<std::string, std::vector<AccessPairDep>>();
+std::unordered_map<Key, std::vector<AccessPairDep>, KeyHash>& table() {
+  static auto* t =
+      new std::unordered_map<Key, std::vector<AccessPairDep>, KeyHash>();
   return *t;
 }
 
@@ -29,38 +144,17 @@ std::atomic<std::uint64_t> gQueries{0};
 std::atomic<std::uint64_t> gHits{0};
 thread_local DepCacheStats tlsStats;
 
-void fingerprintNest(std::ostream& os, const PerfectNest& nest) {
-  os << "vars[";
-  for (const auto& v : nest.vars) os << v << ",";
-  os << "]shared=" << nest.sharedPrefix;
-  os << "dom{" << nest.domain.str() << "}embed[";
-  for (const auto& e : nest.embed.outputs) os << e.str() << ";";
-  os << "]tiles[";
-  for (const auto& t : nest.tileSizes) os << t.str() << ",";
-  os << "]body{" << ir::printStmt(*nest.body) << "}ids[";
-  // printStmt does not show assignment ids, but the cached AccessPairDeps
-  // carry them (ElimRW inserts copies by id) - make them part of the key.
-  ir::forEachStmt(*nest.body, [&](const ir::Stmt& s) {
-    if (s.kind() == ir::StmtKind::Assign) os << s.assignId() << ",";
-  });
-  os << "]";
+std::mutex gArrayMutex;
+std::unordered_map<Symbol, DepCacheStats>& arrayStats() {
+  static auto* t = new std::unordered_map<Symbol, DepCacheStats>();
+  return *t;
 }
 
-std::string fingerprint(const NestSystem& sys, std::size_t k, std::size_t kp,
-                        const std::string& name, DepKind kind) {
-  std::ostringstream os;
-  os << "ctx{" << sys.ctx.fingerprint() << "}is[";
-  for (const auto& v : sys.isVars) os << v << ",";
-  os << "]bounds[";
-  for (const auto& [lo, hi] : sys.isBounds)
-    os << lo.str() << ".." << hi.str() << ";";
-  os << "]k=" << k << "/" << kp << " " << depKindName(kind) << " " << name;
-  os << " src{";
-  fingerprintNest(os, sys.nests[k]);
-  os << "}tgt{";
-  fingerprintNest(os, sys.nests[kp]);
-  os << "}";
-  return os.str();
+void countArrayQuery(Symbol array, bool hit) {
+  std::lock_guard<std::mutex> lock(gArrayMutex);
+  DepCacheStats& s = arrayStats()[array];
+  ++s.queries;
+  if (hit) ++s.hits;
 }
 
 }  // namespace
@@ -74,6 +168,21 @@ DepCacheStats depCacheStats() {
 
 const DepCacheStats& depCacheThreadStats() { return tlsStats; }
 
+std::vector<std::pair<std::string, DepCacheStats>> depCachePerArrayStats() {
+  std::vector<std::pair<std::string, DepCacheStats>> out;
+  {
+    std::lock_guard<std::mutex> lock(gArrayMutex);
+    out.reserve(arrayStats().size());
+    for (const auto& [sym, stats] : arrayStats())
+      out.emplace_back(support::symbolName(sym), stats);
+  }
+  // Name order, not symbol-id order: ids depend on interleaving of the
+  // worker threads, names do not.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 void depCacheClear() {
   std::lock_guard<std::mutex> lock(gMutex);
   table().clear();
@@ -81,9 +190,8 @@ void depCacheClear() {
 
 std::vector<AccessPairDep> cachedViolatedDeps(const NestSystem& sys,
                                               std::size_t k, std::size_t kp,
-                                              const std::string& name,
-                                              DepKind kind) {
-  const std::string key = fingerprint(sys, k, kp, name, kind);
+                                              Symbol array, DepKind kind) {
+  const Key key = fingerprint(sys, k, kp, array, kind);
   gQueries.fetch_add(1, std::memory_order_relaxed);
   ++tlsStats.queries;
   {
@@ -92,11 +200,14 @@ std::vector<AccessPairDep> cachedViolatedDeps(const NestSystem& sys,
     if (it != table().end()) {
       gHits.fetch_add(1, std::memory_order_relaxed);
       ++tlsStats.hits;
+      countArrayQuery(array, /*hit=*/true);
       return it->second;
     }
   }
+  countArrayQuery(array, /*hit=*/false);
   std::vector<AccessPairDep> result;
-  for (auto& pair : violatedDepPairs(sys, k, kp, name, kind))
+  for (auto& pair :
+       violatedDepPairs(sys, k, kp, support::symbolName(array), kind))
     if (!pair.provablyEmpty(sys.ctx)) result.push_back(std::move(pair));
   {
     std::lock_guard<std::mutex> lock(gMutex);
@@ -104,6 +215,13 @@ std::vector<AccessPairDep> cachedViolatedDeps(const NestSystem& sys,
     table().emplace(key, result);
   }
   return result;
+}
+
+std::vector<AccessPairDep> cachedViolatedDeps(const NestSystem& sys,
+                                              std::size_t k, std::size_t kp,
+                                              const std::string& name,
+                                              DepKind kind) {
+  return cachedViolatedDeps(sys, k, kp, support::internSymbol(name), kind);
 }
 
 }  // namespace fixfuse::deps

@@ -8,22 +8,30 @@
 // a query on a structural fingerprint of *everything the answer depends
 // on*: the parameter context, the fused-space variables and bounds, and
 // both nests' variables, shared prefix, domain, embedding, tile sizes,
-// body text and assignment ids - plus the array name and dependence
-// kind. Identical fingerprints therefore denote identical computations,
-// so a hit returns exactly what recomputation would, and cached answers
-// keep every bench byte-identical.
+// body and assignment ids - plus the array symbol and dependence kind.
+// The fingerprint is a flat integer tuple: interned Symbols for names,
+// structural encodings for affine expressions and sets, and canonical
+// hash-consed Expr node addresses for statement bodies (two bodies
+// encode equally iff they are structurally identical, because consed
+// structural equality is pointer equality). Identical fingerprints
+// therefore denote identical computations, so a hit returns exactly what
+// recomputation would, and cached answers keep every bench
+// byte-identical.
 //
 // The cache is process-wide and mutex-protected (bench sweeps query it
 // from worker threads). Per-thread hit/miss counters provide exact
 // per-pass deltas for pipeline instrumentation; process-wide atomics
-// feed the overall hit-rate report.
+// feed the overall hit-rate report, and per-array totals (keyed by
+// Symbol, rendered to names only when reported) feed the pipeline JSON.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "deps/analysis.h"
+#include "support/symbol.h"
 
 namespace fixfuse::deps {
 
@@ -42,12 +50,19 @@ DepCacheStats depCacheStats();
 /// This thread's monotonic counters (read before/after a region for an
 /// exact per-pass delta, untouched by other threads).
 const DepCacheStats& depCacheThreadStats();
+/// Process-wide per-array totals, rendered to names and sorted by name
+/// (symbol ids are not deterministic across thread counts; names are).
+std::vector<std::pair<std::string, DepCacheStats>> depCachePerArrayStats();
 /// Drop all cached entries (totals and counters are left running).
 void depCacheClear();
 
 /// Cached equivalent of violatedDepPairs filtered to entries that are not
 /// provably empty - the form every FixDeps consumer wants. A miss
 /// computes, filters and stores; a hit copies the memoized result.
+std::vector<AccessPairDep> cachedViolatedDeps(const NestSystem& sys,
+                                              std::size_t k, std::size_t kp,
+                                              support::Symbol array,
+                                              DepKind kind);
 std::vector<AccessPairDep> cachedViolatedDeps(const NestSystem& sys,
                                               std::size_t k, std::size_t kp,
                                               const std::string& name,

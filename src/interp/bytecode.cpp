@@ -10,6 +10,7 @@
 
 #include "support/checked.h"
 #include "support/error.h"
+#include "support/symbol.h"
 
 namespace fixfuse::interp::bytecode {
 
@@ -110,10 +111,12 @@ class Compiler {
 
   // --- name resolution -----------------------------------------------------
 
-  /// Innermost enclosing loop register for `name`, or nullopt.
-  std::optional<std::uint16_t> loopVarReg(const std::string& name) const {
+  /// Innermost enclosing loop register for the variable, or nullopt.
+  /// Symbol compare: one integer test per frame instead of a string
+  /// compare on the hottest name-resolution path of the compiler.
+  std::optional<std::uint16_t> loopVarReg(support::Symbol sym) const {
     for (auto it = loopStack_.rbegin(); it != loopStack_.rend(); ++it)
-      if (it->var == name) return it->reg;
+      if (it->var == sym) return it->reg;
     return std::nullopt;
   }
 
@@ -123,15 +126,18 @@ class Compiler {
     return it->second;
   }
 
-  std::int32_t floatSlot(const std::string& name) {
+  std::int32_t floatSlot(support::Symbol sym) {
     auto [it, inserted] =
-        floatSlotIndex_.emplace(name, cp_.floatSlots.size());
-    if (inserted) cp_.floatSlots.push_back(machine_.floatScalarSlot(name));
+        floatSlotIndex_.emplace(sym, cp_.floatSlots.size());
+    if (inserted)
+      cp_.floatSlots.push_back(
+          machine_.floatScalarSlot(support::symbolName(sym)));
     return static_cast<std::int32_t>(it->second);
   }
-  std::int32_t intSlot(const std::string& name) {
-    auto [it, inserted] = intSlotIndex_.emplace(name, cp_.intSlots.size());
-    if (inserted) cp_.intSlots.push_back(machine_.intScalarSlot(name));
+  std::int32_t intSlot(support::Symbol sym) {
+    auto [it, inserted] = intSlotIndex_.emplace(sym, cp_.intSlots.size());
+    if (inserted)
+      cp_.intSlots.push_back(machine_.intScalarSlot(support::symbolName(sym)));
     return static_cast<std::int32_t>(it->second);
   }
 
@@ -144,7 +150,7 @@ class Compiler {
         f.c = e.intValue();
         return f;
       case ExprKind::VarRef: {
-        if (auto reg = loopVarReg(e.name())) {
+        if (auto reg = loopVarReg(e.symbol())) {
           f.terms[*reg] = 1;
           return f;
         }
@@ -279,7 +285,7 @@ class Compiler {
         emit({Op::LdImm, 0, dst, 0, 0, 0, e.intValue()});
         return;
       case ExprKind::VarRef: {
-        if (auto reg = loopVarReg(e.name())) {
+        if (auto reg = loopVarReg(e.symbol())) {
           emit({Op::Mov, 0, dst, *reg, 0, 0, 0});
           return;
         }
@@ -287,7 +293,7 @@ class Compiler {
         return;
       }
       case ExprKind::ScalarLoad:
-        emit({Op::LdIntScalar, 0, dst, 0, 0, intSlot(e.name()), 0});
+        emit({Op::LdIntScalar, 0, dst, 0, 0, intSlot(e.symbol()), 0});
         return;
       case ExprKind::Binary: {
         FIXFUSE_CHECK(e.binOp() != BinOp::Div, "int binop");
@@ -306,7 +312,7 @@ class Compiler {
   /// otherwise a fresh scratch register.
   std::uint16_t compileIntValue(const Expr& e) {
     if (e.kind() == ExprKind::VarRef)
-      if (auto reg = loopVarReg(e.name())) return *reg;
+      if (auto reg = loopVarReg(e.symbol())) return *reg;
     const std::uint16_t r = allocInt();
     compileIntInto(e, r);
     return r;
@@ -319,7 +325,7 @@ class Compiler {
               std::bit_cast<std::int64_t>(e.floatValue())});
         return;
       case ExprKind::ScalarLoad:
-        emit({Op::LdFScalar, 0, dst, 0, 0, floatSlot(e.name()), 0});
+        emit({Op::LdFScalar, 0, dst, 0, 0, floatSlot(e.symbol()), 0});
         return;
       case ExprKind::ArrayLoad: {
         if (auto site = tryAffineSite(e.name(), e.indices())) {
@@ -425,10 +431,10 @@ class Compiler {
         if (lhs.isScalar()) {
           if (program_.scalar(lhs.name).type == Type::Int) {
             const std::uint16_t r = compileIntValue(*s.rhs());
-            emit({Op::StIntScalar, 0, r, 0, 0, intSlot(lhs.name), 0});
+            emit({Op::StIntScalar, 0, r, 0, 0, intSlot(lhs.symbol()), 0});
           } else {
             const std::uint16_t f = compileFloatValue(*s.rhs());
-            emit({Op::StFScalar, 0, f, 0, 0, floatSlot(lhs.name), 0});
+            emit({Op::StFScalar, 0, f, 0, 0, floatSlot(lhs.symbol()), 0});
           }
           restoreSp(sp);
           return;
@@ -485,7 +491,7 @@ class Compiler {
         compileIntInto(*s.upperBound(), ubReg);
         restoreSp(sp);
         const std::size_t enter = emit({Op::LoopEnter, 0, 0, 0, 0, loopId, 0});
-        loopStack_.push_back({s.loopVar(), varReg, loopId});
+        loopStack_.push_back({s.loopVarSym(), varReg, loopId});
         const std::size_t body = here();
         compileStmt(*s.loopBody());
         loopStack_.pop_back();
@@ -506,7 +512,7 @@ class Compiler {
   }
 
   struct LoopScope {
-    std::string var;
+    support::Symbol var;
     std::uint16_t reg;
     std::int32_t loopId;
   };
@@ -515,8 +521,8 @@ class Compiler {
   Machine& machine_;
   CompiledProgram cp_;
   std::vector<LoopScope> loopStack_;
-  std::map<std::string, std::size_t> floatSlotIndex_;
-  std::map<std::string, std::size_t> intSlotIndex_;
+  std::map<support::Symbol, std::size_t> floatSlotIndex_;
+  std::map<support::Symbol, std::size_t> intSlotIndex_;
   std::uint32_t scratchBase_ = 0;
   std::uint16_t nextPersistent_ = 0;
   std::uint32_t intSp_ = 0, maxIntSp_ = 0;

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "support/checked.h"
+#include "support/env.h"
 #include "support/error.h"
 
 namespace fixfuse::interp {
@@ -35,14 +36,8 @@ Backend backendFromEnv() {
   const char* v = std::getenv("FIXFUSE_INTERP");
   if (!v || !*v) return Backend::Bytecode;
   if (std::optional<Backend> b = parseBackendName(v)) return *b;
-  static bool warned = false;
-  if (!warned) {
-    warned = true;
-    std::fprintf(stderr,
-                 "warning: unrecognized FIXFUSE_INTERP value '%s' "
-                 "(expected tree or bytecode); using bytecode\n",
-                 v);
-  }
+  support::env::warnInvalid("FIXFUSE_INTERP", v, "tree or bytecode",
+                            "using bytecode", /*oncePerVar=*/true);
   return Backend::Bytecode;
 }
 
@@ -89,7 +84,7 @@ std::int64_t Interpreter::evalInt(const Expr& e) {
       // Innermost binding wins (there is no shadowing post-validate, but
       // search from the back anyway: the hot variables are the inner ones).
       for (auto it = env_.rbegin(); it != env_.rend(); ++it)
-        if (it->first == e.name()) return it->second;
+        if (it->first == e.symbol()) return it->second;
       auto pit = machine_.params().find(e.name());
       FIXFUSE_CHECK(pit != machine_.params().end(),
                     "unbound variable " + e.name());
@@ -244,7 +239,7 @@ void Interpreter::exec(const Stmt& s) {
       std::int64_t lb = evalInt(*s.lowerBound());
       std::int64_t ub = evalInt(*s.upperBound());
       int site = obs_ ? siteOf(s) : 0;
-      env_.emplace_back(s.loopVar(), lb);
+      env_.emplace_back(s.loopVarSym(), lb);
       for (std::int64_t v = lb; v <= ub; ++v) {
         env_.back().second = v;
         if (obs_) {

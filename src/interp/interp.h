@@ -16,6 +16,7 @@
 #include "interp/machine.h"
 #include "interp/observer.h"
 #include "ir/stmt.h"
+#include "support/symbol.h"
 
 namespace fixfuse::interp {
 
@@ -108,8 +109,9 @@ class Interpreter {
   std::optional<bytecode::CompiledProgram> compiled_;
   bytecode::SiteState bcSites_;
   // Loop variable environment. Loop depth is tiny, so a flat vector with
-  // linear search beats a map.
-  std::vector<std::pair<std::string, std::int64_t>> env_;
+  // linear search beats a map; Symbol keys make each probe one integer
+  // compare instead of a string compare.
+  std::vector<std::pair<support::Symbol, std::int64_t>> env_;
   std::unordered_map<const ir::Stmt*, int> sites_;
   int nextSite_ = 0;
   std::vector<std::int64_t> idxScratch_;

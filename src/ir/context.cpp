@@ -1,0 +1,29 @@
+#include "ir/context.h"
+
+namespace fixfuse::ir {
+
+namespace detail {
+std::size_t exprArenaSize();  // defined in expr.cpp
+}
+
+SymbolTable& Context::symbols() & { return support::globalSymbols(); }
+const SymbolTable& Context::symbols() const& {
+  return support::globalSymbols();
+}
+
+std::size_t Context::exprCount() const { return detail::exprArenaSize(); }
+
+Symbol Context::intern(std::string_view name) {
+  return support::globalSymbols().intern(name);
+}
+
+const std::string& Context::name(Symbol s) {
+  return support::globalSymbols().name(s);
+}
+
+Context& globalContext() {
+  static auto* ctx = new Context();
+  return *ctx;
+}
+
+}  // namespace fixfuse::ir

@@ -1,0 +1,67 @@
+// The interning core of the IR: one Context owning the symbol side
+// (name <-> dense Symbol ids, physically the support::SymbolTable so the
+// poly layer below ir can share the same ids) and the hash-consing arena
+// for Expr (ir/expr.cpp): structurally equal expression trees share one
+// canonical immutable node, so structural equality IS pointer equality
+// and hashing is O(1).
+//
+// The context is process-wide (like LLVM's global string pools): factory
+// functions on Expr intern through it implicitly, so the whole
+// ir -> poly -> deps -> core -> pipeline stack keys on Symbols / node
+// pointers without threading a context parameter everywhere. Names are
+// rendered only at the edges (printer, emit_c, diagnostics, stats) via
+// Context::name().
+//
+// Thread-safety: both sides are internally locked (sharded mutexes for
+// the arena, a shared_mutex for the table) - the bench worker pool
+// interns and conses from many threads. Symbol ids and node addresses
+// are therefore only deterministic on a single thread; deterministic
+// output must sort by name at the edge, never by id.
+//
+// Ownership: the arena keeps one strong reference per canonical node for
+// the process lifetime (a leaky singleton, so Exprs held by static
+// objects stay valid during shutdown). Nodes are never collected; the
+// working sets of this repo (kernels, fuzz systems, bench sweeps) stay
+// far below the point where that matters.
+#pragma once
+
+#include <cstddef>
+
+#include "support/symbol.h"
+
+namespace fixfuse::ir {
+
+using support::Symbol;
+using support::SymbolTable;
+
+class Context {
+ public:
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// The symbol table shared with poly (support::globalSymbols()).
+  /// Ref-qualified per the repo convention for accessors returning
+  /// references to members (CLAUDE.md; compile-fail-tested).
+  [[nodiscard]] SymbolTable& symbols() &;
+  SymbolTable& symbols() && = delete;
+  [[nodiscard]] const SymbolTable& symbols() const&;
+  const SymbolTable& symbols() const&& = delete;
+
+  /// Number of canonical Expr nodes the consing arena holds.
+  std::size_t exprCount() const;
+
+  // --- static conveniences over the global context ------------------------
+  static Symbol intern(std::string_view name);
+  /// The interned name of `s`; the reference is stable for the process
+  /// lifetime.
+  static const std::string& name(Symbol s);
+
+ private:
+  Context() = default;
+  friend Context& globalContext();
+};
+
+/// The process-wide interning context (leaky singleton).
+Context& globalContext();
+
+}  // namespace fixfuse::ir

@@ -1,10 +1,14 @@
 #include "ir/expr.h"
 
+#include <bit>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 namespace fixfuse::ir {
 
 namespace {
+
 const char* binOpName(BinOp op) {
   switch (op) {
     case BinOp::Add: return "+";
@@ -29,7 +33,99 @@ const char* cmpOpName(CmpOp op) {
   }
   FIXFUSE_UNREACHABLE("cmpOpName");
 }
+
+// ---------------------------------------------------------------------------
+// Hash-consing arena.
+//
+// A node's identity is one *level* of structure: its kind/type/op tag
+// plus payload words, where child references are the (canonical) child
+// pointers - children are consed before their parents, so one level of
+// pointer comparison is full structural equality. The tables are sharded
+// by hash and mutex-protected per shard; worker threads building
+// programs concurrently serialize only on colliding shards.
+// ---------------------------------------------------------------------------
+
+struct ConsKey {
+  // tag + payload + up to 12 children (an ArrayLoad of rank 12 is the
+  // practical ceiling; everything in this repo is rank <= 3).
+  static constexpr std::uint32_t kCap = 14;
+  std::uint64_t w[kCap];
+  std::uint32_t n = 0;
+
+  void push(std::uint64_t x) {
+    FIXFUSE_CHECK(n < kCap, "expression arity exceeds consing key capacity");
+    w[n++] = x;
+  }
+  bool operator==(const ConsKey& o) const {
+    if (n != o.n) return false;
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (w[i] != o.w[i]) return false;
+    return true;
+  }
+};
+
+struct ConsKeyHash {
+  std::size_t operator()(const ConsKey& k) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ k.n;
+    for (std::uint32_t i = 0; i < k.n; ++i) {
+      h ^= k.w[i] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+std::uint64_t tagOf(ExprKind k, Type t, unsigned op = 0) {
+  return (static_cast<std::uint64_t>(k) << 16) |
+         (static_cast<std::uint64_t>(t) << 8) | op;
+}
+
+std::uint64_t childWord(const ExprPtr& e) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(e.get()));
+}
+
+class Arena {
+ public:
+  /// The canonical node for `key`, building it with `make` on first
+  /// sight. `make` runs under the shard lock (it only allocates).
+  template <typename Make>
+  ExprPtr getOrMake(const ConsKey& key, const Make& make) {
+    Shard& sh = shards_[ConsKeyHash{}(key) % kShards];
+    std::lock_guard<std::mutex> lock(sh.m);
+    auto it = sh.map.find(key);
+    if (it != sh.map.end()) return it->second;
+    ExprPtr e = make();
+    sh.map.emplace(key, e);
+    return e;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.m);
+      total += sh.map.size();
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex m;
+    std::unordered_map<ConsKey, ExprPtr, ConsKeyHash> map;
+  };
+  Shard shards_[kShards];
+};
+
+Arena& arena() {
+  static auto* a = new Arena();  // leaky: nodes stay valid during shutdown
+  return *a;
+}
+
 }  // namespace
+
+namespace detail {
+std::size_t exprArenaSize() { return arena().size(); }
+}  // namespace detail
 
 std::int64_t Expr::intValue() const {
   FIXFUSE_CHECK(kind_ == ExprKind::IntConst, "not an IntConst");
@@ -39,12 +135,13 @@ double Expr::floatValue() const {
   FIXFUSE_CHECK(kind_ == ExprKind::FloatConst, "not a FloatConst");
   return floatValue_;
 }
-const std::string& Expr::name() const {
+Symbol Expr::symbol() const {
   FIXFUSE_CHECK(kind_ == ExprKind::VarRef || kind_ == ExprKind::ScalarLoad ||
                     kind_ == ExprKind::ArrayLoad,
                 "node has no name");
-  return name_;
+  return sym_;
 }
+const std::string& Expr::name() const { return Context::name(symbol()); }
 BinOp Expr::binOp() const {
   FIXFUSE_CHECK(kind_ == ExprKind::Binary, "not a Binary");
   return binOp_;
@@ -90,22 +187,42 @@ const std::vector<ExprPtr>& Expr::indices() const {
 }
 
 ExprPtr Expr::intConst(std::int64_t v) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::IntConst, Type::Int));
-  e->intValue_ = v;
-  return e;
+  ConsKey k;
+  k.push(tagOf(ExprKind::IntConst, Type::Int));
+  k.push(static_cast<std::uint64_t>(v));
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::IntConst, Type::Int));
+    e->intValue_ = v;
+    return e;
+  });
 }
 
 ExprPtr Expr::floatConst(double v) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::FloatConst, Type::Float));
-  e->floatValue_ = v;
-  return e;
+  ConsKey k;
+  k.push(tagOf(ExprKind::FloatConst, Type::Float));
+  // Bit-exact identity: distinct NaN payloads and -0.0/0.0 stay distinct
+  // nodes, preserving bit-for-bit interpretation.
+  k.push(std::bit_cast<std::uint64_t>(v));
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::FloatConst, Type::Float));
+    e->floatValue_ = v;
+    return e;
+  });
 }
 
-ExprPtr Expr::varRef(std::string name) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::VarRef, Type::Int));
-  e->name_ = std::move(name);
-  return e;
+ExprPtr Expr::varRef(Symbol s) {
+  FIXFUSE_CHECK(s.valid(), "VarRef of invalid symbol");
+  ConsKey k;
+  k.push(tagOf(ExprKind::VarRef, Type::Int));
+  k.push(s.id());
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::VarRef, Type::Int));
+    e->sym_ = s;
+    return e;
+  });
 }
+
+ExprPtr Expr::varRef(std::string name) { return varRef(Context::intern(name)); }
 
 ExprPtr Expr::binary(BinOp op, ExprPtr l, ExprPtr r) {
   FIXFUSE_CHECK(l && r, "null Binary operand");
@@ -116,75 +233,131 @@ ExprPtr Expr::binary(BinOp op, ExprPtr l, ExprPtr r) {
   if (op == BinOp::FloorDiv || op == BinOp::Mod || op == BinOp::Min ||
       op == BinOp::Max)
     FIXFUSE_CHECK(l->type() == Type::Int, "int-only BinOp on Float");
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Binary, l->type()));
-  e->binOp_ = op;
-  e->lhs_ = std::move(l);
-  e->rhs_ = std::move(r);
-  return e;
+  ConsKey k;
+  k.push(tagOf(ExprKind::Binary, l->type(), static_cast<unsigned>(op)));
+  k.push(childWord(l));
+  k.push(childWord(r));
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Binary, l->type()));
+    e->binOp_ = op;
+    e->lhs_ = std::move(l);
+    e->rhs_ = std::move(r);
+    return e;
+  });
 }
 
-ExprPtr Expr::arrayLoad(std::string array, std::vector<ExprPtr> indices) {
+ExprPtr Expr::arrayLoad(Symbol array, std::vector<ExprPtr> indices) {
+  FIXFUSE_CHECK(array.valid(), "ArrayLoad of invalid symbol");
   FIXFUSE_CHECK(!indices.empty(), "ArrayLoad without indices");
   for (const auto& i : indices)
     FIXFUSE_CHECK(i && i->type() == Type::Int, "non-Int array index");
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::ArrayLoad, Type::Float));
-  e->name_ = std::move(array);
-  e->indices_ = std::move(indices);
-  return e;
+  ConsKey k;
+  k.push(tagOf(ExprKind::ArrayLoad, Type::Float));
+  k.push(array.id());
+  for (const auto& i : indices) k.push(childWord(i));
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::ArrayLoad, Type::Float));
+    e->sym_ = array;
+    e->indices_ = std::move(indices);
+    return e;
+  });
+}
+
+ExprPtr Expr::arrayLoad(std::string array, std::vector<ExprPtr> indices) {
+  return arrayLoad(Context::intern(array), std::move(indices));
+}
+
+ExprPtr Expr::scalarLoad(Symbol name, Type t) {
+  FIXFUSE_CHECK(name.valid(), "ScalarLoad of invalid symbol");
+  FIXFUSE_CHECK(t == Type::Int || t == Type::Float, "Bool scalar");
+  ConsKey k;
+  k.push(tagOf(ExprKind::ScalarLoad, t));
+  k.push(name.id());
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::ScalarLoad, t));
+    e->sym_ = name;
+    return e;
+  });
 }
 
 ExprPtr Expr::scalarLoad(std::string name, Type t) {
-  FIXFUSE_CHECK(t == Type::Int || t == Type::Float, "Bool scalar");
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::ScalarLoad, t));
-  e->name_ = std::move(name);
-  return e;
+  return scalarLoad(Context::intern(name), t);
 }
 
 ExprPtr Expr::call(CallFn fn, ExprPtr arg) {
   FIXFUSE_CHECK(arg && arg->type() == Type::Float, "Call takes Float");
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Call, Type::Float));
-  e->callFn_ = fn;
-  e->operand_ = std::move(arg);
-  return e;
+  ConsKey k;
+  k.push(tagOf(ExprKind::Call, Type::Float, static_cast<unsigned>(fn)));
+  k.push(childWord(arg));
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Call, Type::Float));
+    e->callFn_ = fn;
+    e->operand_ = std::move(arg);
+    return e;
+  });
 }
 
 ExprPtr Expr::compare(CmpOp op, ExprPtr l, ExprPtr r) {
   FIXFUSE_CHECK(l && r, "null Compare operand");
   FIXFUSE_CHECK(l->type() == r->type() && l->type() != Type::Bool,
                 "Compare operand type mismatch");
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Compare, Type::Bool));
-  e->cmpOp_ = op;
-  e->lhs_ = std::move(l);
-  e->rhs_ = std::move(r);
-  return e;
+  ConsKey k;
+  k.push(tagOf(ExprKind::Compare, l->type(), static_cast<unsigned>(op)));
+  k.push(childWord(l));
+  k.push(childWord(r));
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Compare, Type::Bool));
+    e->cmpOp_ = op;
+    e->lhs_ = std::move(l);
+    e->rhs_ = std::move(r);
+    return e;
+  });
 }
 
 ExprPtr Expr::boolBinary(BoolOp op, ExprPtr l, ExprPtr r) {
   FIXFUSE_CHECK(l && r && l->type() == Type::Bool && r->type() == Type::Bool,
                 "BoolBinary takes Bool operands");
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::BoolBinary, Type::Bool));
-  e->boolOp_ = op;
-  e->lhs_ = std::move(l);
-  e->rhs_ = std::move(r);
-  return e;
+  ConsKey k;
+  k.push(tagOf(ExprKind::BoolBinary, Type::Bool, static_cast<unsigned>(op)));
+  k.push(childWord(l));
+  k.push(childWord(r));
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::BoolBinary, Type::Bool));
+    e->boolOp_ = op;
+    e->lhs_ = std::move(l);
+    e->rhs_ = std::move(r);
+    return e;
+  });
 }
 
 ExprPtr Expr::select(ExprPtr cond, ExprPtr a, ExprPtr b) {
   FIXFUSE_CHECK(cond && cond->type() == Type::Bool, "Select cond not Bool");
   FIXFUSE_CHECK(a && b && a->type() == Type::Float && b->type() == Type::Float,
                 "Select arms must be Float");
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Select, Type::Float));
-  e->operand_ = std::move(cond);
-  e->lhs_ = std::move(a);
-  e->rhs_ = std::move(b);
-  return e;
+  ConsKey k;
+  k.push(tagOf(ExprKind::Select, Type::Float));
+  k.push(childWord(cond));
+  k.push(childWord(a));
+  k.push(childWord(b));
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Select, Type::Float));
+    e->operand_ = std::move(cond);
+    e->lhs_ = std::move(a);
+    e->rhs_ = std::move(b);
+    return e;
+  });
 }
 
 ExprPtr Expr::boolNot(ExprPtr x) {
   FIXFUSE_CHECK(x && x->type() == Type::Bool, "BoolNot takes Bool");
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::BoolNot, Type::Bool));
-  e->operand_ = std::move(x);
-  return e;
+  ConsKey k;
+  k.push(tagOf(ExprKind::BoolNot, Type::Bool));
+  k.push(childWord(x));
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::BoolNot, Type::Bool));
+    e->operand_ = std::move(x);
+    return e;
+  });
 }
 
 std::string Expr::str() const {
@@ -198,7 +371,7 @@ std::string Expr::str() const {
       break;
     case ExprKind::VarRef:
     case ExprKind::ScalarLoad:
-      os << name_;
+      os << name();
       break;
     case ExprKind::Binary:
       if (binOp_ == BinOp::Min || binOp_ == BinOp::Max ||
@@ -210,7 +383,7 @@ std::string Expr::str() const {
            << rhs_->str() << ")";
       break;
     case ExprKind::ArrayLoad: {
-      os << name_;
+      os << name();
       for (const auto& i : indices_) os << "[" << i->str() << "]";
       break;
     }
@@ -242,6 +415,7 @@ std::string Expr::str() const {
 ExprPtr ic(std::int64_t v) { return Expr::intConst(v); }
 ExprPtr fc(double v) { return Expr::floatConst(v); }
 ExprPtr iv(const std::string& name) { return Expr::varRef(name); }
+ExprPtr iv(Symbol s) { return Expr::varRef(s); }
 
 ExprPtr add(ExprPtr a, ExprPtr b) {
   return Expr::binary(BinOp::Add, std::move(a), std::move(b));

@@ -7,8 +7,12 @@
 // boolean connectives for loop guards - including the *non-affine*,
 // data-dependent guards that LU's pivot search needs.
 //
-// Expressions are immutable once built and shared via shared_ptr: a
-// rewrite produces new nodes and re-uses untouched subtrees.
+// Expressions are immutable and *hash-consed* through the global
+// ir::Context: every factory returns the canonical node for its
+// structure, so structurally equal subtrees share one node, structural
+// equality is pointer equality, and a rewrite that reproduces its input
+// returns the identical pointer. Names (VarRef / ScalarLoad / ArrayLoad)
+// are interned Symbols; name() renders through the Context at the edges.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/context.h"
 #include "support/error.h"
 
 namespace fixfuse::ir {
@@ -62,7 +67,8 @@ class Expr {
   // Payload accessors; each checks the kind.
   std::int64_t intValue() const;
   double floatValue() const;
-  const std::string& name() const;       // VarRef / ScalarLoad / ArrayLoad
+  Symbol symbol() const;                 // VarRef / ScalarLoad / ArrayLoad
+  const std::string& name() const;       // rendered via Context (edge use)
   BinOp binOp() const;
   CmpOp cmpOp() const;
   BoolOp boolOp() const;
@@ -75,13 +81,16 @@ class Expr {
 
   std::string str() const;
 
-  // --- factories -----------------------------------------------------------
+  // --- factories (all return the canonical consed node) --------------------
   static ExprPtr intConst(std::int64_t v);
   static ExprPtr floatConst(double v);
   static ExprPtr varRef(std::string name);
+  static ExprPtr varRef(Symbol s);
   static ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r);
   static ExprPtr arrayLoad(std::string array, std::vector<ExprPtr> indices);
+  static ExprPtr arrayLoad(Symbol array, std::vector<ExprPtr> indices);
   static ExprPtr scalarLoad(std::string name, Type t);
+  static ExprPtr scalarLoad(Symbol name, Type t);
   static ExprPtr call(CallFn fn, ExprPtr arg);
   static ExprPtr compare(CmpOp op, ExprPtr l, ExprPtr r);
   static ExprPtr boolBinary(BoolOp op, ExprPtr l, ExprPtr r);
@@ -95,7 +104,7 @@ class Expr {
   Type type_;
   std::int64_t intValue_ = 0;
   double floatValue_ = 0.0;
-  std::string name_;
+  Symbol sym_;
   BinOp binOp_ = BinOp::Add;
   CmpOp cmpOp_ = CmpOp::EQ;
   BoolOp boolOp_ = BoolOp::And;
@@ -109,6 +118,7 @@ class Expr {
 ExprPtr ic(std::int64_t v);
 ExprPtr fc(double v);
 ExprPtr iv(const std::string& name);
+ExprPtr iv(Symbol s);
 
 ExprPtr add(ExprPtr a, ExprPtr b);
 ExprPtr sub(ExprPtr a, ExprPtr b);

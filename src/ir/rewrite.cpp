@@ -1,18 +1,70 @@
 #include "ir/rewrite.h"
 
+#include <algorithm>
+
 #include "ir/affine_bridge.h"
 #include "support/checked.h"
 #include "support/error.h"
 
 namespace fixfuse::ir {
 
+namespace {
+
+// lower_bound position of `v` in a Symbol-sorted entry vector.
+auto entryPos(std::vector<std::pair<Symbol, ExprPtr>>& es, Symbol v) {
+  return std::lower_bound(
+      es.begin(), es.end(), v,
+      [](const std::pair<Symbol, ExprPtr>& a, Symbol b) { return a.first < b; });
+}
+
+}  // namespace
+
+SymSubst::SymSubst(const std::map<std::string, ExprPtr>& m) {
+  entries_.reserve(m.size());
+  for (const auto& [name, repl] : m)
+    entries_.emplace_back(Context::intern(name), repl);
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+void SymSubst::set(Symbol v, ExprPtr replacement) {
+  auto it = entryPos(entries_, v);
+  if (it != entries_.end() && it->first == v)
+    it->second = std::move(replacement);
+  else
+    entries_.emplace(it, v, std::move(replacement));
+}
+
+void SymSubst::erase(Symbol v) {
+  auto it = entryPos(entries_, v);
+  if (it != entries_.end() && it->first == v) entries_.erase(it);
+}
+
+const ExprPtr* SymSubst::find(Symbol v) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), v,
+      [](const std::pair<Symbol, ExprPtr>& a, Symbol b) { return a.first < b; });
+  return it != entries_.end() && it->first == v ? &it->second : nullptr;
+}
+
 ExprPtr substituteVar(const ExprPtr& e, const std::string& name,
                       const ExprPtr& replacement) {
-  return substituteVars(e, {{name, replacement}});
+  SymSubst s;
+  s.set(Context::intern(name), replacement);
+  return substituteVars(e, s);
 }
 
 ExprPtr substituteVars(const ExprPtr& e,
                        const std::map<std::string, ExprPtr>& subst) {
+  return substituteVars(e, SymSubst(subst));
+}
+
+StmtPtr substituteVarsStmt(const Stmt& s,
+                           const std::map<std::string, ExprPtr>& subst) {
+  return substituteVarsStmt(s, SymSubst(subst));
+}
+
+ExprPtr substituteVars(const ExprPtr& e, const SymSubst& subst) {
   FIXFUSE_CHECK(e != nullptr, "null expr in substitution");
   switch (e->kind()) {
     case ExprKind::IntConst:
@@ -20,8 +72,8 @@ ExprPtr substituteVars(const ExprPtr& e,
     case ExprKind::ScalarLoad:
       return e;
     case ExprKind::VarRef: {
-      auto it = subst.find(e->name());
-      return it == subst.end() ? e : it->second;
+      const ExprPtr* r = subst.find(e->symbol());
+      return r ? *r : e;
     }
     case ExprKind::Binary: {
       auto l = substituteVars(e->lhs(), subst);
@@ -38,7 +90,7 @@ ExprPtr substituteVars(const ExprPtr& e,
         changed |= idx.back() != i;
       }
       if (!changed) return e;
-      return Expr::arrayLoad(e->name(), std::move(idx));
+      return Expr::arrayLoad(e->symbol(), std::move(idx));
     }
     case ExprKind::Call: {
       auto a = substituteVars(e->operand(), subst);
@@ -73,8 +125,7 @@ ExprPtr substituteVars(const ExprPtr& e,
   FIXFUSE_UNREACHABLE("substituteVars");
 }
 
-StmtPtr substituteVarsStmt(const Stmt& s,
-                           const std::map<std::string, ExprPtr>& subst) {
+StmtPtr substituteVarsStmt(const Stmt& s, const SymSubst& subst) {
   switch (s.kind()) {
     case StmtKind::Assign: {
       LValue lhs = s.lhs();
@@ -90,9 +141,9 @@ StmtPtr substituteVarsStmt(const Stmt& s,
           s.elseBody() ? substituteVarsStmt(*s.elseBody(), subst) : nullptr);
     case StmtKind::Loop: {
       // The loop variable shadows any outer binding of the same name.
-      auto inner = subst;
-      inner.erase(s.loopVar());
-      return Stmt::loop(s.loopVar(), substituteVars(s.lowerBound(), subst),
+      SymSubst inner = subst;
+      inner.erase(s.loopVarSym());
+      return Stmt::loop(s.loopVarSym(), substituteVars(s.lowerBound(), subst),
                         substituteVars(s.upperBound(), subst),
                         inner.empty() ? s.loopBody()->clone()
                                       : substituteVarsStmt(*s.loopBody(),
@@ -239,7 +290,7 @@ ExprPtr simplify(const ExprPtr& e) {
             idx.push_back(simplify(i));
             changed |= idx.back() != i;
           }
-          if (changed) return Expr::arrayLoad(e->name(), std::move(idx));
+          if (changed) return Expr::arrayLoad(e->symbol(), std::move(idx));
           return e;
         }
         case ExprKind::Select: {
@@ -361,7 +412,7 @@ StmtPtr simplifyStmt(const Stmt& s) {
     case StmtKind::Loop: {
       StmtPtr body = simplifyStmt(*s.loopBody());
       if (!body) return nullptr;
-      return Stmt::loop(s.loopVar(), simplify(s.lowerBound()),
+      return Stmt::loop(s.loopVarSym(), simplify(s.lowerBound()),
                         simplify(s.upperBound()), std::move(body));
     }
     case StmtKind::Block: {

@@ -6,22 +6,53 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ir/stmt.h"
 
 namespace fixfuse::ir {
+
+/// Symbol-keyed simultaneous substitution: (variable, replacement) pairs
+/// kept sorted by Symbol id (binary-searched during the walk). This is
+/// the primitive the transformation passes use on hot paths; the
+/// string-map overloads below convert into it.
+class SymSubst {
+ public:
+  SymSubst() = default;
+  explicit SymSubst(const std::map<std::string, ExprPtr>& m);
+
+  void set(Symbol v, ExprPtr replacement);  // insert or overwrite
+  void erase(Symbol v);
+  const ExprPtr* find(Symbol v) const;      // null when unmapped
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] const std::vector<std::pair<Symbol, ExprPtr>>& entries()
+      const& {
+    return entries_;
+  }
+  const std::vector<std::pair<Symbol, ExprPtr>>& entries() const&& = delete;
+
+ private:
+  std::vector<std::pair<Symbol, ExprPtr>> entries_;  // sorted by Symbol id
+};
 
 /// Replace every VarRef named `name` in `e` by `replacement`.
 ExprPtr substituteVar(const ExprPtr& e, const std::string& name,
                       const ExprPtr& replacement);
 
 /// Replace several variables at once (simultaneous substitution).
+/// A rewrite that changes nothing returns `e` itself (consed nodes make
+/// the no-change check pointer comparisons).
+ExprPtr substituteVars(const ExprPtr& e, const SymSubst& subst);
 ExprPtr substituteVars(const ExprPtr& e,
                        const std::map<std::string, ExprPtr>& subst);
 
 /// Deep-copy `s` with a simultaneous variable substitution applied to all
 /// expressions (bounds, conditions, subscripts, right-hand sides). Loop
 /// variables bound inside `s` shadow the substitution.
+StmtPtr substituteVarsStmt(const Stmt& s, const SymSubst& subst);
 StmtPtr substituteVarsStmt(const Stmt& s,
                            const std::map<std::string, ExprPtr>& subst);
 

@@ -52,6 +52,10 @@ Stmt* Stmt::elseBodyMutable() {
 }
 const std::string& Stmt::loopVar() const {
   FIXFUSE_CHECK(kind_ == StmtKind::Loop, "not a Loop");
+  return Context::name(loopVar_);
+}
+Symbol Stmt::loopVarSym() const {
+  FIXFUSE_CHECK(kind_ == StmtKind::Loop, "not a Loop");
   return loopVar_;
 }
 const ExprPtr& Stmt::lowerBound() const {
@@ -105,12 +109,19 @@ StmtPtr Stmt::ifThenElse(ExprPtr cond, StmtPtr thenBody, StmtPtr elseBody) {
   return s;
 }
 
-StmtPtr Stmt::loop(std::string var, ExprPtr lb, ExprPtr ub, StmtPtr body) {
+StmtPtr Stmt::loop(const std::string& var, ExprPtr lb, ExprPtr ub,
+                   StmtPtr body) {
+  return loop(Context::intern(var), std::move(lb), std::move(ub),
+              std::move(body));
+}
+
+StmtPtr Stmt::loop(Symbol var, ExprPtr lb, ExprPtr ub, StmtPtr body) {
+  FIXFUSE_CHECK(var.valid(), "loop variable is an invalid symbol");
   FIXFUSE_CHECK(lb && lb->type() == Type::Int, "loop lower bound not Int");
   FIXFUSE_CHECK(ub && ub->type() == Type::Int, "loop upper bound not Int");
   FIXFUSE_CHECK(body != nullptr, "null loop body");
   auto s = StmtPtr(new Stmt(StmtKind::Loop));
-  s->loopVar_ = std::move(var);
+  s->loopVar_ = var;
   s->lb_ = std::move(lb);
   s->ub_ = std::move(ub);
   s->a_ = std::move(body);

@@ -23,6 +23,9 @@ struct LValue {
   std::vector<ExprPtr> indices;  // empty => scalar
 
   bool isScalar() const { return indices.empty(); }
+  /// Interned symbol for `name` (interns on demand; LValue keeps the
+  /// string field public so builders can still brace-initialise it).
+  Symbol symbol() const { return Context::intern(name); }
   std::string str() const;
 };
 
@@ -50,7 +53,8 @@ class Stmt {
   Stmt* elseBodyMutable();
 
   // Loop
-  const std::string& loopVar() const;
+  const std::string& loopVar() const;  // rendered via Context (stable ref)
+  Symbol loopVarSym() const;
   const ExprPtr& lowerBound() const;
   const ExprPtr& upperBound() const;
   const Stmt* loopBody() const;
@@ -66,7 +70,9 @@ class Stmt {
   static StmtPtr assign(LValue lhs, ExprPtr rhs);
   static StmtPtr ifThen(ExprPtr cond, StmtPtr thenBody);
   static StmtPtr ifThenElse(ExprPtr cond, StmtPtr thenBody, StmtPtr elseBody);
-  static StmtPtr loop(std::string var, ExprPtr lb, ExprPtr ub, StmtPtr body);
+  static StmtPtr loop(const std::string& var, ExprPtr lb, ExprPtr ub,
+                      StmtPtr body);
+  static StmtPtr loop(Symbol var, ExprPtr lb, ExprPtr ub, StmtPtr body);
   static StmtPtr block(std::vector<StmtPtr> stmts);
 
  private:
@@ -80,7 +86,7 @@ class Stmt {
   // If / Loop
   ExprPtr cond_;
   StmtPtr a_, b_;  // then/else or loop body (a_)
-  std::string loopVar_;
+  Symbol loopVar_;
   ExprPtr lb_, ub_;
   // Block
   std::vector<StmtPtr> blockStmts_;

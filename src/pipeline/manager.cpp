@@ -138,6 +138,19 @@ support::Json PipelineStats::json() const {
              q == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(q));
   doc.set("totals", std::move(totals));
 
+  // Process-wide per-array dep-cache totals, snapshotted at render time
+  // (JSON-only; keys sorted by array name - symbol ids are not stable
+  // across thread counts, names are).
+  support::Json perArray = support::Json::object();
+  const auto arrayStats = deps::depCachePerArrayStats();
+  for (const auto& [name, st] : arrayStats) {
+    support::Json a = support::Json::object();
+    a.set("queries", st.queries);
+    a.set("hits", st.hits);
+    perArray.set(name, std::move(a));
+  }
+  doc.set("dep_cache_per_array", std::move(perArray));
+
   support::Json fix = support::Json::object();
   support::Json tiles = support::Json::array();
   for (const auto& t : fixLog.tiles) tiles.push(tileActionJson(t));

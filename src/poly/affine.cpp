@@ -1,5 +1,6 @@
 #include "poly/affine.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/checked.h"
@@ -7,44 +8,88 @@
 
 namespace fixfuse::poly {
 
-AffineExpr AffineExpr::var(const std::string& name) {
-  return term(1, name, 0);
+namespace {
+
+using support::symbolName;
+
+// lower_bound position of `s` in a symbol-sorted term vector.
+std::size_t termPos(const std::vector<std::pair<Symbol, std::int64_t>>& ts,
+                    Symbol s) {
+  auto it = std::lower_bound(
+      ts.begin(), ts.end(), s,
+      [](const std::pair<Symbol, std::int64_t>& a, Symbol b) {
+        return a.first < b;
+      });
+  return static_cast<std::size_t>(it - ts.begin());
 }
+
+}  // namespace
+
+AffineExpr AffineExpr::var(const std::string& name) {
+  return term(1, support::internSymbol(name), 0);
+}
+
+AffineExpr AffineExpr::var(Symbol s) { return term(1, s, 0); }
 
 AffineExpr AffineExpr::term(std::int64_t coeff, const std::string& name,
                             std::int64_t k) {
+  return term(coeff, support::internSymbol(name), k);
+}
+
+AffineExpr AffineExpr::term(std::int64_t coeff, Symbol s, std::int64_t k) {
+  FIXFUSE_CHECK(s.valid(), "affine term over invalid symbol");
   AffineExpr e;
   e.constant_ = k;
-  if (coeff != 0) e.coeffs_[name] = coeff;
+  if (coeff != 0) e.terms_.emplace_back(s, coeff);
   return e;
 }
 
 std::int64_t AffineExpr::coeff(const std::string& name) const {
-  auto it = coeffs_.find(name);
-  return it == coeffs_.end() ? 0 : it->second;
+  if (terms_.empty()) return 0;
+  Symbol s = support::globalSymbols().lookup(name);
+  return s.valid() ? coeff(s) : 0;
+}
+
+std::int64_t AffineExpr::coeff(Symbol s) const {
+  std::size_t i = termPos(terms_, s);
+  return i < terms_.size() && terms_[i].first == s ? terms_[i].second : 0;
 }
 
 std::vector<std::string> AffineExpr::variables() const {
   std::vector<std::string> names;
-  names.reserve(coeffs_.size());
-  for (const auto& [name, c] : coeffs_) {
+  names.reserve(terms_.size());
+  for (const auto& [s, c] : terms_) {
     (void)c;
-    names.push_back(name);
+    names.push_back(symbolName(s));
   }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
-void AffineExpr::prune(const std::string& name) {
-  auto it = coeffs_.find(name);
-  if (it != coeffs_.end() && it->second == 0) coeffs_.erase(it);
+std::vector<std::pair<Symbol, std::int64_t>> AffineExpr::termsByName() const {
+  auto out = terms_;
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return symbolName(a.first) < symbolName(b.first);
+  });
+  return out;
 }
 
 AffineExpr AffineExpr::operator+(const AffineExpr& o) const {
-  AffineExpr r = *this;
-  r.constant_ = checkedAdd(r.constant_, o.constant_);
-  for (const auto& [name, c] : o.coeffs_) {
-    r.coeffs_[name] = checkedAdd(r.coeff(name), c);
-    r.prune(name);
+  AffineExpr r;
+  r.constant_ = checkedAdd(constant_, o.constant_);
+  r.terms_.reserve(terms_.size() + o.terms_.size());
+  std::size_t i = 0, j = 0;
+  while (i < terms_.size() || j < o.terms_.size()) {
+    if (j == o.terms_.size() ||
+        (i < terms_.size() && terms_[i].first < o.terms_[j].first)) {
+      r.terms_.push_back(terms_[i++]);
+    } else if (i == terms_.size() || o.terms_[j].first < terms_[i].first) {
+      r.terms_.push_back(o.terms_[j++]);
+    } else {
+      std::int64_t c = checkedAdd(terms_[i].second, o.terms_[j].second);
+      if (c != 0) r.terms_.emplace_back(terms_[i].first, c);
+      ++i, ++j;
+    }
   }
   return r;
 }
@@ -59,33 +104,45 @@ AffineExpr AffineExpr::operator*(std::int64_t s) const {
   AffineExpr r;
   if (s == 0) return r;
   r.constant_ = checkedMul(constant_, s);
-  for (const auto& [name, c] : coeffs_) r.coeffs_[name] = checkedMul(c, s);
+  r.terms_.reserve(terms_.size());
+  for (const auto& [sym, c] : terms_) r.terms_.emplace_back(sym, checkedMul(c, s));
   return r;
 }
 
 AffineExpr AffineExpr::substituted(const std::string& name,
                                    const AffineExpr& replacement) const {
-  std::int64_t c = coeff(name);
+  return substituted(support::internSymbol(name), replacement);
+}
+
+AffineExpr AffineExpr::substituted(Symbol s,
+                                   const AffineExpr& replacement) const {
+  std::int64_t c = coeff(s);
   if (c == 0) return *this;
-  if (replacement == AffineExpr::var(name)) return *this;  // identity
-  FIXFUSE_CHECK(!replacement.uses(name),
-                "recursive substitution of " + name);
+  if (replacement == AffineExpr::var(s)) return *this;  // identity
+  FIXFUSE_CHECK(!replacement.uses(s),
+                "recursive substitution of " + symbolName(s));
   AffineExpr r = *this;
-  r.coeffs_.erase(name);
+  r.terms_.erase(r.terms_.begin() +
+                 static_cast<std::ptrdiff_t>(termPos(r.terms_, s)));
   return r + replacement * c;
 }
 
 AffineExpr AffineExpr::renamed(const std::string& from,
                                const std::string& to) const {
+  return substituted(support::internSymbol(from),
+                     AffineExpr::var(support::internSymbol(to)));
+}
+
+AffineExpr AffineExpr::renamed(Symbol from, Symbol to) const {
   return substituted(from, AffineExpr::var(to));
 }
 
 std::int64_t AffineExpr::evaluate(
     const std::map<std::string, std::int64_t>& binding) const {
   std::int64_t r = constant_;
-  for (const auto& [name, c] : coeffs_) {
-    auto it = binding.find(name);
-    FIXFUSE_CHECK(it != binding.end(), "unbound variable " + name);
+  for (const auto& [s, c] : terms_) {
+    auto it = binding.find(symbolName(s));
+    FIXFUSE_CHECK(it != binding.end(), "unbound variable " + symbolName(s));
     r = checkedAdd(r, checkedMul(c, it->second));
   }
   return r;
@@ -95,10 +152,10 @@ AffineExpr AffineExpr::partialEvaluate(
     const std::map<std::string, std::int64_t>& binding) const {
   AffineExpr r;
   r.constant_ = constant_;
-  for (const auto& [name, c] : coeffs_) {
-    auto it = binding.find(name);
+  for (const auto& [s, c] : terms_) {
+    auto it = binding.find(symbolName(s));
     if (it == binding.end())
-      r.coeffs_[name] = c;
+      r.terms_.emplace_back(s, c);
     else
       r.constant_ = checkedAdd(r.constant_, checkedMul(c, it->second));
   }
@@ -107,8 +164,8 @@ AffineExpr AffineExpr::partialEvaluate(
 
 std::int64_t AffineExpr::coeffGcd() const {
   std::int64_t g = 0;
-  for (const auto& [name, c] : coeffs_) {
-    (void)name;
+  for (const auto& [s, c] : terms_) {
+    (void)s;
     g = gcd64(g, c);
   }
   return g;
@@ -117,7 +174,7 @@ std::int64_t AffineExpr::coeffGcd() const {
 std::string AffineExpr::str() const {
   std::ostringstream os;
   bool first = true;
-  for (const auto& [name, c] : coeffs_) {
+  for (const auto& [s, c] : termsByName()) {
     if (c == 0) continue;
     if (first) {
       if (c == -1)
@@ -129,7 +186,7 @@ std::string AffineExpr::str() const {
       std::int64_t a = c > 0 ? c : -c;
       if (a != 1) os << a << "*";
     }
-    os << name;
+    os << symbolName(s);
     first = false;
   }
   if (first) {

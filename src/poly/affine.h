@@ -1,19 +1,31 @@
 // Affine expressions over named integer variables.
 //
 // An AffineExpr is sum_i c_i * var_i + k with 64-bit integer coefficients.
-// Variables are identified by name; an expression does not distinguish
-// set dimensions from parameters - that distinction lives in IntegerSet
-// (a symbol used in constraints but not listed among the set's variables
-// is a parameter).
+// Variables are identified by interned support::Symbol (the same ids the
+// IR layer above uses), stored as a vector of (symbol, coeff) terms
+// sorted by symbol id, so arithmetic is a linear merge and coefficient
+// lookup a binary search. The string overloads intern on entry; anything
+// order-observable (variables(), str()) renders and sorts by *name*,
+// because symbol ids are assigned in first-intern order and are not
+// deterministic across threads (see support/symbol.h).
+//
+// An expression does not distinguish set dimensions from parameters -
+// that distinction lives in IntegerSet (a symbol used in constraints but
+// not listed among the set's variables is a parameter).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "support/symbol.h"
+
 namespace fixfuse::poly {
+
+using support::Symbol;
 
 class AffineExpr {
  public:
@@ -23,18 +35,32 @@ class AffineExpr {
 
   /// The expression `1 * name`.
   static AffineExpr var(const std::string& name);
+  static AffineExpr var(Symbol s);
   /// The expression `coeff * name + k`.
   static AffineExpr term(std::int64_t coeff, const std::string& name,
                          std::int64_t k = 0);
+  static AffineExpr term(std::int64_t coeff, Symbol s, std::int64_t k = 0);
 
   std::int64_t constant() const { return constant_; }
   /// Coefficient of `name` (0 when absent).
   std::int64_t coeff(const std::string& name) const;
+  std::int64_t coeff(Symbol s) const;
   /// All variables with non-zero coefficient, in lexicographic name order.
   std::vector<std::string> variables() const;
-  bool isConstant() const { return coeffs_.empty(); }
+  /// (symbol, coeff) terms in lexicographic *name* order (the order
+  /// variables() and str() present; deterministic across processes).
+  std::vector<std::pair<Symbol, std::int64_t>> termsByName() const;
+  /// Raw terms in symbol-id order (canonical storage; only deterministic
+  /// within one process - never drive output ordering off this).
+  [[nodiscard]] const std::vector<std::pair<Symbol, std::int64_t>>& terms()
+      const& {
+    return terms_;
+  }
+  const std::vector<std::pair<Symbol, std::int64_t>>& terms() const&& = delete;
+  bool isConstant() const { return terms_.empty(); }
   /// True iff the expression mentions `name`.
   bool uses(const std::string& name) const { return coeff(name) != 0; }
+  bool uses(Symbol s) const { return coeff(s) != 0; }
 
   AffineExpr operator+(const AffineExpr& o) const;
   AffineExpr operator-(const AffineExpr& o) const;
@@ -44,15 +70,17 @@ class AffineExpr {
   AffineExpr& operator-=(const AffineExpr& o) { return *this = *this - o; }
 
   bool operator==(const AffineExpr& o) const {
-    return constant_ == o.constant_ && coeffs_ == o.coeffs_;
+    return constant_ == o.constant_ && terms_ == o.terms_;
   }
   bool operator!=(const AffineExpr& o) const { return !(*this == o); }
 
   /// Replace `name` by `replacement` (must not recursively contain `name`).
   AffineExpr substituted(const std::string& name,
                          const AffineExpr& replacement) const;
+  AffineExpr substituted(Symbol s, const AffineExpr& replacement) const;
   /// Rename a variable.
   AffineExpr renamed(const std::string& from, const std::string& to) const;
+  AffineExpr renamed(Symbol from, Symbol to) const;
 
   /// Evaluate with every variable bound; throws InternalError when a
   /// variable is missing from `binding`.
@@ -69,10 +97,8 @@ class AffineExpr {
   std::string str() const;
 
  private:
-  std::map<std::string, std::int64_t> coeffs_;
+  std::vector<std::pair<Symbol, std::int64_t>> terms_;  // sorted by symbol id
   std::int64_t constant_ = 0;
-
-  void prune(const std::string& name);
 };
 
 }  // namespace fixfuse::poly

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "support/checked.h"
 #include "support/error.h"
+#include "support/symbol.h"
 
 namespace fixfuse::poly {
 
@@ -46,6 +48,7 @@ void ParamContext::addParam(const std::string& name, std::int64_t lo,
   names_.push_back(name);
   ranges_[name] = {lo, hi};
   samples_[name] = std::move(samples);
+  fpCache_.clear();
 }
 
 bool ParamContext::hasParam(const std::string& name) const {
@@ -63,7 +66,8 @@ std::vector<Constraint> ParamContext::constraints() const {
   return cs;
 }
 
-std::string ParamContext::fingerprint() const {
+const std::string& ParamContext::fingerprintRef() const& {
+  if (!fpCache_.empty()) return fpCache_;
   std::ostringstream os;
   for (const auto& name : names_) {
     auto [lo, hi] = ranges_.at(name);
@@ -72,7 +76,8 @@ std::string ParamContext::fingerprint() const {
     os << "};";
   }
   for (const auto& c : extra_) os << c.str() << ";";
-  return os.str();
+  fpCache_ = os.str();
+  return fpCache_;
 }
 
 std::vector<std::map<std::string, std::int64_t>> ParamContext::sampleBindings()
@@ -213,6 +218,7 @@ void IntegerSet::eliminateOne(const std::string& name) {
     vars_.erase(std::remove(vars_.begin(), vars_.end(), name), vars_.end());
     return;
   }
+  const Symbol sym = support::internSymbol(name);
 
   std::vector<Constraint> old;
   old.swap(cs_);
@@ -222,7 +228,7 @@ void IntegerSet::eliminateOne(const std::string& name) {
   int eqIdx = -1;
   for (std::size_t i = 0; i < old.size(); ++i) {
     if (old[i].kind != Constraint::Kind::EQ) continue;
-    std::int64_t a = old[i].expr.coeff(name);
+    std::int64_t a = old[i].expr.coeff(sym);
     if (a == 0) continue;
     if (eqIdx < 0 || (a == 1 || a == -1)) eqIdx = static_cast<int>(i);
     if (a == 1 || a == -1) break;
@@ -230,13 +236,13 @@ void IntegerSet::eliminateOne(const std::string& name) {
 
   if (eqIdx >= 0) {
     const Constraint eq = old[static_cast<std::size_t>(eqIdx)];
-    std::int64_t a = eq.expr.coeff(name);
+    std::int64_t a = eq.expr.coeff(sym);
     std::int64_t t = a > 0 ? a : -a;
     if (t != 1) exact_ = false;  // divisibility information is dropped
     for (std::size_t i = 0; i < old.size(); ++i) {
       if (static_cast<int>(i) == eqIdx) continue;
       const Constraint& c = old[i];
-      std::int64_t d = c.expr.coeff(name);
+      std::int64_t d = c.expr.coeff(sym);
       if (d == 0) {
         addConstraint(c);
         continue;
@@ -245,14 +251,14 @@ void IntegerSet::eliminateOne(const std::string& name) {
       // preserves GE direction, and subtracting a multiple of zero is free.
       std::int64_t factor = (a > 0 ? 1 : -1) * d;
       AffineExpr combined = c.expr * t - eq.expr * factor;
-      FIXFUSE_CHECK(combined.coeff(name) == 0, "elimination failed");
+      FIXFUSE_CHECK(combined.coeff(sym) == 0, "elimination failed");
       addConstraint({combined, c.kind});
       if (knownEmpty_) break;
     }
   } else {
     std::vector<Constraint> lowers, uppers;
     for (const auto& c : old) {
-      std::int64_t a = c.expr.coeff(name);
+      std::int64_t a = c.expr.coeff(sym);
       if (a == 0) {
         addConstraint(c);
       } else if (a > 0) {
@@ -265,8 +271,8 @@ void IntegerSet::eliminateOne(const std::string& name) {
     if (!knownEmpty_) {
       for (const auto& lo : lowers)
         for (const auto& up : uppers) {
-          std::int64_t a = lo.expr.coeff(name);
-          std::int64_t b = -up.expr.coeff(name);
+          std::int64_t a = lo.expr.coeff(sym);
+          std::int64_t b = -up.expr.coeff(sym);
           if (a != 1 && b != 1) exact_ = false;
           // b*(a*v + e) + a*(-b*v + f) = b*e + a*f >= 0
           addConstraint(Constraint::ge(lo.expr * b + up.expr * a));
@@ -281,6 +287,10 @@ IntegerSet IntegerSet::eliminated(const std::vector<std::string>& names) const {
   ++tlsPolyOps.fmEliminations;
   IntegerSet r = *this;
   std::vector<std::string> remaining = names;
+  std::vector<Symbol> remainingSyms;
+  remainingSyms.reserve(remaining.size());
+  for (const auto& n : remaining)
+    remainingSyms.push_back(support::internSymbol(n));
   while (!remaining.empty() && !r.knownEmpty_) {
     // Pick the variable with the fewest lower x upper combinations to keep
     // the constraint count down.
@@ -290,7 +300,7 @@ IntegerSet IntegerSet::eliminated(const std::vector<std::string>& names) const {
       long nl = 0, nu = 0;
       bool hasEq = false;
       for (const auto& c : r.cs_) {
-        std::int64_t a = c.expr.coeff(remaining[i]);
+        std::int64_t a = c.expr.coeff(remainingSyms[i]);
         if (a == 0) continue;
         if (c.kind == Constraint::Kind::EQ) hasEq = true;
         if (a > 0)
@@ -306,6 +316,8 @@ IntegerSet IntegerSet::eliminated(const std::vector<std::string>& names) const {
     }
     std::string name = remaining[bestIdx];
     remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(bestIdx));
+    remainingSyms.erase(remainingSyms.begin() +
+                        static_cast<std::ptrdiff_t>(bestIdx));
     r.eliminateOne(name);
   }
   if (r.knownEmpty_)
@@ -319,19 +331,82 @@ IntegerSet IntegerSet::eliminated(const std::vector<std::string>& names) const {
 // Emptiness
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Memo key for provablyEmpty: the EXACT structure of the set (variable
+// tuple + every constraint term-for-term) plus the context fingerprint.
+// Exact structural identity - never a bare hash - because a collision
+// would turn "provably empty" into a false proof and mis-compile.
+// The encoding is length-prefixed and therefore unambiguous.
+using EmptinessKey = std::vector<std::uint64_t>;
+
+struct EmptinessKeyHash {
+  std::size_t operator()(const EmptinessKey& k) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ k.size();
+    for (std::uint64_t w : k)
+      h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+EmptinessKey emptinessKey(const std::vector<std::string>& vars,
+                          const std::vector<Constraint>& cs,
+                          const ParamContext& ctx) {
+  EmptinessKey k;
+  k.reserve(2 + vars.size() + cs.size() * 6);
+  k.push_back(vars.size());
+  for (const auto& v : vars) k.push_back(support::internSymbol(v).id());
+  k.push_back(cs.size());
+  for (const auto& c : cs) {
+    k.push_back(c.kind == Constraint::Kind::EQ ? 1 : 0);
+    k.push_back(static_cast<std::uint64_t>(c.expr.constant()));
+    const auto& ts = c.expr.terms();
+    k.push_back(ts.size());
+    for (const auto& [s, coeff] : ts) {
+      k.push_back(s.id());
+      k.push_back(static_cast<std::uint64_t>(coeff));
+    }
+  }
+  // The fingerprint string is interned so the key stays fixed-width; the
+  // handful of distinct contexts per run cannot bloat the symbol table.
+  k.push_back(support::internSymbol(ctx.fingerprintRef()).id());
+  return k;
+}
+
+}  // namespace
+
 bool IntegerSet::provablyEmpty(const ParamContext& ctx) const {
-  ++tlsPolyOps.emptinessChecks;
+  ++tlsPolyOps.emptinessChecks;  // before the memo: counts stay stable
   if (knownEmpty_) return true;
+
+  // Thread-local memo on the exact structure: no locks, and the bench
+  // worker pool's threads each warm their own table.
+  constexpr std::size_t kMaxMemoEntries = 1 << 15;
+  thread_local std::unordered_map<EmptinessKey, bool, EmptinessKeyHash> memo;
+  EmptinessKey key = emptinessKey(vars_, cs_, ctx);
+  auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+
   IntegerSet work = *this;
+  bool result;
   for (const auto& c : ctx.constraints()) work.addConstraint(c);
-  if (work.knownEmpty_) return true;
-  // Project out the set dimensions, then every remaining parameter; the
-  // projection over-approximates, so a contradiction is a proof of
-  // integer emptiness.
-  work = work.eliminated(work.vars_);
-  if (work.knownEmpty_) return true;
-  work = work.eliminated(work.parameters());
-  return work.knownEmpty_;
+  if (work.knownEmpty_) {
+    result = true;
+  } else {
+    // Project out the set dimensions, then every remaining parameter; the
+    // projection over-approximates, so a contradiction is a proof of
+    // integer emptiness.
+    work = work.eliminated(work.vars_);
+    if (work.knownEmpty_) {
+      result = true;
+    } else {
+      work = work.eliminated(work.parameters());
+      result = work.knownEmpty_;
+    }
+  }
+  if (memo.size() >= kMaxMemoEntries) memo.clear();
+  memo.emplace(std::move(key), result);
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -357,10 +432,11 @@ IntegerSet instantiate(const IntegerSet& s,
 std::optional<std::pair<std::int64_t, std::int64_t>> rangeOfSingleVar(
     const IntegerSet& s, const std::string& v) {
   if (s.knownEmpty()) return std::nullopt;
+  const Symbol vSym = support::internSymbol(v);
   bool hasLo = false, hasHi = false;
   std::int64_t lo = 0, hi = 0;
   for (const auto& c : s.constraints()) {
-    std::int64_t a = c.expr.coeff(v);
+    std::int64_t a = c.expr.coeff(vSym);
     std::int64_t k = c.expr.constant();
     FIXFUSE_CHECK(c.expr.variables().size() <= 1, "stray symbol in range");
     if (a == 0) continue;

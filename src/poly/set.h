@@ -72,7 +72,10 @@ class ParamContext {
   void addParam(const std::string& name, std::int64_t lo, std::int64_t hi,
                 std::vector<std::int64_t> samples);
   /// Extra affine constraint tying parameters together (e.g. M <= N).
-  void addConstraint(Constraint c) { extra_.push_back(std::move(c)); }
+  void addConstraint(Constraint c) {
+    extra_.push_back(std::move(c));
+    fpCache_.clear();
+  }
 
   const std::vector<std::string>& params() const { return names_; }
   bool hasParam(const std::string& name) const;
@@ -80,7 +83,11 @@ class ParamContext {
   /// Stable textual identity covering ranges, samples and extra
   /// constraints - everything emptiness proofs can depend on. Used as a
   /// memo-cache key component by the dependence layer.
-  std::string fingerprint() const;
+  std::string fingerprint() const { return fingerprintRef(); }
+  /// Same identity without the copy; computed once and cached until the
+  /// context is next mutated. Ref-qualified (dangles on a temporary).
+  [[nodiscard]] const std::string& fingerprintRef() const&;
+  const std::string& fingerprintRef() const&& = delete;
   /// Cartesian product of per-parameter samples (bounded; throws when the
   /// product exceeds 4096 bindings).
   std::vector<std::map<std::string, std::int64_t>> sampleBindings() const;
@@ -90,6 +97,7 @@ class ParamContext {
   std::map<std::string, std::pair<std::int64_t, std::int64_t>> ranges_;
   std::map<std::string, std::vector<std::int64_t>> samples_;
   std::vector<Constraint> extra_;
+  mutable std::string fpCache_;  // empty = not yet computed / invalidated
 };
 
 class IntegerSet {

@@ -1,0 +1,63 @@
+#include "support/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace fixfuse::support::env {
+
+std::optional<bool> parseTruthy(std::string_view v) {
+  std::string s;
+  s.reserve(v.size());
+  for (char c : v)
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s.empty() || s == "0" || s == "false" || s == "no" || s == "off")
+    return false;
+  return std::nullopt;
+}
+
+void warnInvalid(const char* var, const char* value, const char* expected,
+                 const char* fallbackAction, bool oncePerVar) {
+  if (oncePerVar) {
+    static std::mutex m;
+    static std::set<std::string>* warned = new std::set<std::string>();
+    std::lock_guard<std::mutex> lock(m);
+    if (!warned->insert(var).second) return;
+  }
+  std::fprintf(stderr,
+               "warning: unrecognized %s value '%s' (expected %s); %s\n", var,
+               value, expected, fallbackAction);
+}
+
+bool truthy(const char* var, bool fallback, const char* fallbackAction) {
+  const char* v = std::getenv(var);
+  if (!v) return fallback;
+  std::optional<bool> parsed = parseTruthy(v);
+  if (!parsed) {
+    warnInvalid(var, v, "1/true/yes/on or 0/false/no/off", fallbackAction);
+    return fallback;
+  }
+  return *parsed;
+}
+
+std::uint32_t positiveInt(const char* var, std::uint32_t max,
+                          std::uint32_t fallback, const char* expected,
+                          const char* fallbackAction) {
+  const char* v = std::getenv(var);
+  if (!v) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  long n = std::strtol(v, &end, 10);
+  if (end != v && *end == '\0' && errno == 0 && n >= 1 &&
+      n <= static_cast<long>(max))
+    return static_cast<std::uint32_t>(n);
+  warnInvalid(var, v, expected, fallbackAction);
+  return fallback;
+}
+
+}  // namespace fixfuse::support::env

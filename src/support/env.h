@@ -1,0 +1,37 @@
+// Validated environment-variable parsing with warn-and-fall-back
+// semantics, shared by every FIXFUSE_* knob (FIXFUSE_FULL,
+// FIXFUSE_THREADS, FIXFUSE_INTERP, FIXFUSE_JSON). One implementation so
+// the tolerance rules stay uniform: an unset variable silently uses the
+// fallback, a malformed value warns on stderr (in one common format) and
+// uses the fallback - a bad knob must never abort a bench run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace fixfuse::support::env {
+
+/// Case-insensitive conventional truthiness: 1/true/yes/on => true;
+/// empty/0/false/no/off => false; anything else nullopt.
+std::optional<bool> parseTruthy(std::string_view v);
+
+/// Warn on stderr in the uniform format:
+///   warning: unrecognized <var> value '<value>' (expected <expected>);
+///   <fallbackAction>
+/// With oncePerVar, at most one warning per variable name per process.
+void warnInvalid(const char* var, const char* value, const char* expected,
+                 const char* fallbackAction, bool oncePerVar = false);
+
+/// Truthy env var: unset => fallback; malformed => warn + fallback.
+/// `fallbackAction` names what the fallback does in the warning (e.g.
+/// "running the reduced sweep").
+bool truthy(const char* var, bool fallback, const char* fallbackAction);
+
+/// Complete positive decimal integer in [1, max]: unset => fallback;
+/// zero/negative/partial parses like "12abc" => warn + fallback.
+std::uint32_t positiveInt(const char* var, std::uint32_t max,
+                          std::uint32_t fallback, const char* expected,
+                          const char* fallbackAction);
+
+}  // namespace fixfuse::support::env

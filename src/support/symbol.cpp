@@ -1,0 +1,48 @@
+#include "support/symbol.h"
+
+#include <mutex>
+
+#include "support/error.h"
+
+namespace fixfuse::support {
+
+Symbol SymbolTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;  // raced with another interner
+  FIXFUSE_CHECK(names_.size() < 0xffffffffu, "symbol table overflow");
+  names_.emplace_back(name);
+  Symbol s(static_cast<std::uint32_t>(names_.size() - 1));
+  ids_.emplace(std::string_view(names_.back()), s);
+  return s;
+}
+
+Symbol SymbolTable::lookup(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  auto it = ids_.find(name);
+  return it == ids_.end() ? Symbol() : it->second;
+}
+
+const std::string& SymbolTable::name(Symbol s) const& {
+  std::shared_lock lock(mutex_);
+  FIXFUSE_CHECK(s.valid() && s.id() < names_.size(),
+                "name() of unknown symbol");
+  return names_[s.id()];
+}
+
+std::size_t SymbolTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+SymbolTable& globalSymbols() {
+  static auto* table = new SymbolTable();  // leaky: outlives static Exprs
+  return *table;
+}
+
+}  // namespace fixfuse::support

@@ -1,0 +1,103 @@
+// Interned identifiers: a process-wide name <-> dense 32-bit id bijection.
+//
+// Every layer that used to traffic in std::string names (ir variable
+// references, poly affine terms, deps array identities) keys on Symbol
+// instead: equality is an integer compare, hashing is O(1), and maps
+// shrink to flat vectors of (Symbol, payload) pairs. Names are rendered
+// only at the edges (printer, emit_c, diagnostics) via name().
+//
+// The table lives in `support` so that poly (which must not depend on
+// ir) can share the same ids as the IR layer; ir::Context re-exports it
+// as the symbol side of the interning core (see ir/context.h).
+//
+// Thread-safety: intern() takes a unique lock, name() a shared lock.
+// Returned name references are stable for the process lifetime (storage
+// is never freed - the table is a leaky singleton, like the dep cache).
+// Ids are dense and assigned in first-intern order; that order is only
+// deterministic on a single thread, so ids must never leak into
+// deterministic output - anything printed sorts by *name* at the edge.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace fixfuse::support {
+
+/// Strong 32-bit typedef for an interned name. Default-constructed
+/// symbols are invalid; valid ones only come from SymbolTable::intern.
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(std::uint32_t id) : id_(id) {}
+
+  constexpr std::uint32_t id() const { return id_; }
+  constexpr bool valid() const { return id_ != kInvalid; }
+  constexpr explicit operator bool() const { return valid(); }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) {
+    return a.id_ == b.id_;
+  }
+  friend constexpr bool operator!=(Symbol a, Symbol b) {
+    return a.id_ != b.id_;
+  }
+  /// Orders by id (first-intern order), NOT by name: fine for container
+  /// canonicalisation, wrong for deterministic output (sort by name
+  /// there).
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t id_ = kInvalid;
+};
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Id of `name`, interning it on first sight.
+  Symbol intern(std::string_view name);
+  /// Id of `name` if already interned; invalid Symbol otherwise.
+  Symbol lookup(std::string_view name) const;
+
+  // Ref-qualified like the poly accessors (CLAUDE.md): the returned
+  // reference points into the table, so calling on a temporary is
+  // deleted. (The reference itself is stable forever - the storage
+  // is append-only - but the convention keeps the pattern greppable.)
+  [[nodiscard]] const std::string& name(Symbol s) const&;
+  const std::string& name(Symbol s) const&& = delete;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> names_;  // deque: element addresses are stable
+  std::unordered_map<std::string_view, Symbol> ids_;  // views into names_
+};
+
+/// The process-wide table every layer shares (leaky singleton).
+SymbolTable& globalSymbols();
+
+/// Convenience shorthands over the global table.
+inline Symbol internSymbol(std::string_view name) {
+  return globalSymbols().intern(name);
+}
+inline const std::string& symbolName(Symbol s) {
+  return globalSymbols().name(s);
+}
+
+}  // namespace fixfuse::support
+
+template <>
+struct std::hash<fixfuse::support::Symbol> {
+  std::size_t operator()(fixfuse::support::Symbol s) const noexcept {
+    // Fibonacci hashing spreads the dense ids across buckets.
+    return static_cast<std::size_t>(s.id()) * 0x9e3779b97f4a7c15ull;
+  }
+};

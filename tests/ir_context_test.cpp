@@ -1,0 +1,160 @@
+// Unit tests for the interning core: ir::Context symbol round-trips,
+// hash-consed Expr canonicalization (structural equality == pointer
+// equality), float-bit fidelity of consing (NaN payloads, signed zero),
+// a many-thread interning/consing smoke test, and the ref-qualified
+// accessor convention (compile-fail via dependent requires-expressions,
+// per tests/poly_set_test.cpp).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "ir/context.h"
+#include "ir/expr.h"
+#include "ir/rewrite.h"
+#include "support/symbol.h"
+
+namespace fixfuse {
+namespace {
+
+using ir::Context;
+using ir::Expr;
+using ir::ExprPtr;
+using ir::Symbol;
+using ir::globalContext;
+
+TEST(Context, InternNameRoundTrip) {
+  Symbol s = Context::intern("ctx_rt_alpha");
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(Context::name(s), "ctx_rt_alpha");
+  // Interning again returns the same id.
+  EXPECT_EQ(Context::intern("ctx_rt_alpha"), s);
+  // Distinct names get distinct ids.
+  EXPECT_NE(Context::intern("ctx_rt_beta"), s);
+}
+
+TEST(Context, SymbolsTableIsShared) {
+  Symbol s = Context::intern("ctx_shared_name");
+  // The context's table is the process-wide support table poly uses.
+  EXPECT_EQ(globalContext().symbols().name(s), "ctx_shared_name");
+  EXPECT_EQ(support::internSymbol("ctx_shared_name"), s);
+}
+
+TEST(Context, StructurallyEqualExprsArePointerIdentical) {
+  ExprPtr a = ir::add(ir::mul(ir::iv("ci"), ir::ic(3)), ir::iv("cj"));
+  ExprPtr b = ir::add(ir::mul(ir::iv("ci"), ir::ic(3)), ir::iv("cj"));
+  EXPECT_EQ(a.get(), b.get());
+  // Subtrees are canonical too.
+  EXPECT_EQ(a->lhs().get(), ir::mul(ir::iv("ci"), ir::ic(3)).get());
+  // A structurally different tree is a different node.
+  ExprPtr c = ir::add(ir::mul(ir::iv("ci"), ir::ic(4)), ir::iv("cj"));
+  EXPECT_NE(a.get(), c.get());
+  // Operand order matters (no implicit commutation).
+  ExprPtr d = ir::add(ir::iv("cj"), ir::mul(ir::iv("ci"), ir::ic(3)));
+  EXPECT_NE(a.get(), d.get());
+}
+
+TEST(Context, ArrayAndScalarLoadsConsOnSymbolAndIndices) {
+  ExprPtr a = ir::load("Ac", {ir::iv("ci"), ir::iv("cj")});
+  ExprPtr b = ir::load("Ac", {ir::iv("ci"), ir::iv("cj")});
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), ir::load("Bc", {ir::iv("ci"), ir::iv("cj")}).get());
+  EXPECT_NE(a.get(), ir::load("Ac", {ir::iv("cj"), ir::iv("ci")}).get());
+  EXPECT_EQ(ir::sloadf("cx").get(), ir::sloadf("cx").get());
+  EXPECT_NE(ir::sloadf("cx").get(), ir::sloadi("cx").get());
+}
+
+TEST(Context, ExprCountGrowsOnlyForNewStructure) {
+  // Force the operands to exist first so the deltas below are exact.
+  ExprPtr operand = ir::iv("cc_unique_var");
+  std::size_t before = globalContext().exprCount();
+  ExprPtr fresh = ir::add(operand, ir::ic(123456789));
+  std::size_t after = globalContext().exprCount();
+  EXPECT_GE(after, before + 1);
+  // Rebuilding the same structure allocates nothing.
+  ExprPtr again = ir::add(operand, ir::ic(123456789));
+  EXPECT_EQ(again.get(), fresh.get());
+  EXPECT_EQ(globalContext().exprCount(), after);
+}
+
+TEST(Context, FloatConsingIsBitExact) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  // Same bit pattern -> same node, even though NaN != NaN as doubles.
+  EXPECT_EQ(ir::fc(qnan).get(), ir::fc(qnan).get());
+  // A different NaN payload is a different constant.
+  const double nan2 = std::bit_cast<double>(
+      std::bit_cast<std::uint64_t>(qnan) | 0x1u);
+  ASSERT_TRUE(std::isnan(nan2));
+  EXPECT_NE(ir::fc(qnan).get(), ir::fc(nan2).get());
+  // Signed zero: 0.0 and -0.0 compare equal as doubles but are distinct
+  // bit patterns, hence distinct constants.
+  EXPECT_NE(ir::fc(0.0).get(), ir::fc(-0.0).get());
+  EXPECT_EQ(ir::fc(-0.0).get(), ir::fc(-0.0).get());
+}
+
+TEST(Context, ConcurrentInterningAndConsingAgree) {
+  constexpr int kThreads = 8;
+  std::vector<std::vector<Symbol>> syms(kThreads);
+  std::vector<const Expr*> roots(kThreads, nullptr);
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+      workers.emplace_back([t, &syms, &roots] {
+        for (int i = 0; i < 100; ++i)
+          syms[static_cast<std::size_t>(t)].push_back(
+              Context::intern("ctx_mt_" + std::to_string(i)));
+        roots[static_cast<std::size_t>(t)] =
+            ir::add(ir::mul(ir::iv("ctx_mt_7"), ir::ic(2)),
+                    ir::iv("ctx_mt_13"))
+                .get();
+      });
+    for (auto& w : workers) w.join();
+  }
+  // Every thread resolved each name to the same symbol...
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(syms[0], syms[t]);
+  // ...and consed the same expression to the same canonical node.
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(roots[0], roots[t]);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(Context::name(syms[0][static_cast<std::size_t>(i)]),
+              "ctx_mt_" + std::to_string(i));
+}
+
+// Ref-qualification regression (CLAUDE.md): accessors returning
+// references to members must not be callable on rvalues. Dependent
+// requires-expressions turn the deleted overloads into testable falses.
+template <typename T>
+constexpr bool rvalueSymbolsCallable =
+    requires(T t) { std::move(t).symbols(); };
+template <typename T>
+constexpr bool rvalueNameCallable =
+    requires(T t, Symbol s) { std::move(t).name(s); };
+template <typename T>
+constexpr bool rvalueEntriesCallable =
+    requires(T t) { std::move(t).entries(); };
+template <typename T>
+constexpr bool lvalueEntriesCallable =
+    requires(const T& t) { t.entries(); };
+
+TEST(Context, AccessorsRejectRvalues) {
+  static_assert(!rvalueSymbolsCallable<Context>);
+  static_assert(!rvalueSymbolsCallable<const Context>);
+  static_assert(!rvalueNameCallable<support::SymbolTable>);
+  static_assert(!rvalueEntriesCallable<ir::SymSubst>);
+  // Lvalue access is unchanged.
+  static_assert(lvalueEntriesCallable<ir::SymSubst>);
+  ir::SymSubst s;
+  s.set(Context::intern("ctx_refq"), ir::ic(1));
+  std::size_t seen = 0;
+  for (const auto& e : s.entries()) {
+    (void)e;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 1u);
+}
+
+}  // namespace
+}  // namespace fixfuse

@@ -1,0 +1,113 @@
+// Unit tests for support::env - the shared warn-and-fall-back parsing of
+// the FIXFUSE_* knobs (truthiness, validated positive integers, the
+// uniform warning format, once-per-var suppression). Each test uses its
+// own variable name: the once-per-var set and the process environment
+// both persist across tests.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "support/env.h"
+
+namespace fixfuse::support {
+namespace {
+
+TEST(Env, ParseTruthy) {
+  using env::parseTruthy;
+  for (const char* v : {"1", "true", "TRUE", "Yes", "on", "ON"})
+    EXPECT_EQ(parseTruthy(v), true) << v;
+  for (const char* v : {"", "0", "false", "No", "off", "OFF"})
+    EXPECT_EQ(parseTruthy(v), false) << v;
+  for (const char* v : {"2", "yep", "enable", "tru", " 1"})
+    EXPECT_EQ(parseTruthy(v), std::nullopt) << v;
+}
+
+TEST(Env, TruthyUnsetUsesFallback) {
+  ::unsetenv("FIXFUSE_ENVTEST_UNSET");
+  EXPECT_FALSE(env::truthy("FIXFUSE_ENVTEST_UNSET", false, "noop"));
+  EXPECT_TRUE(env::truthy("FIXFUSE_ENVTEST_UNSET", true, "noop"));
+}
+
+TEST(Env, TruthyValidValuesParse) {
+  ::setenv("FIXFUSE_ENVTEST_T1", "yes", 1);
+  EXPECT_TRUE(env::truthy("FIXFUSE_ENVTEST_T1", false, "noop"));
+  ::setenv("FIXFUSE_ENVTEST_T1", "off", 1);
+  EXPECT_FALSE(env::truthy("FIXFUSE_ENVTEST_T1", true, "noop"));
+  ::unsetenv("FIXFUSE_ENVTEST_T1");
+}
+
+TEST(Env, TruthyMalformedWarnsAndFallsBack) {
+  ::setenv("FIXFUSE_ENVTEST_T2", "maybe", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_TRUE(env::truthy("FIXFUSE_ENVTEST_T2", true, "running anyway"));
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err,
+            "warning: unrecognized FIXFUSE_ENVTEST_T2 value 'maybe' "
+            "(expected 1/true/yes/on or 0/false/no/off); running anyway\n");
+  ::unsetenv("FIXFUSE_ENVTEST_T2");
+}
+
+TEST(Env, PositiveIntParsesCompleteValues) {
+  ::setenv("FIXFUSE_ENVTEST_P1", "12", 1);
+  EXPECT_EQ(env::positiveInt("FIXFUSE_ENVTEST_P1", 100, 7, "an int", "noop"),
+            12u);
+  ::setenv("FIXFUSE_ENVTEST_P1", "100", 1);
+  EXPECT_EQ(env::positiveInt("FIXFUSE_ENVTEST_P1", 100, 7, "an int", "noop"),
+            100u);
+  ::unsetenv("FIXFUSE_ENVTEST_P1");
+  EXPECT_EQ(env::positiveInt("FIXFUSE_ENVTEST_P1", 100, 7, "an int", "noop"),
+            7u);
+}
+
+TEST(Env, PositiveIntRejectsMalformedWithWarning) {
+  // Partial parse, zero, negative, and above-max all warn and fall back.
+  // (Leading whitespace is NOT here: strtol skips it, so " 12" parses -
+  // the same tolerance the pre-extraction bench parser had.)
+  const char* bad[] = {"12abc", "0", "-3", "101", "abc"};
+  for (const char* v : bad) {
+    ::setenv("FIXFUSE_ENVTEST_P2", v, 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(
+        env::positiveInt("FIXFUSE_ENVTEST_P2", 100, 7, "an int <= 100",
+                         "using the default"),
+        7u)
+        << v;
+    std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err, std::string("warning: unrecognized FIXFUSE_ENVTEST_P2 "
+                               "value '") +
+                       v + "' (expected an int <= 100); using the default\n")
+        << v;
+  }
+  ::unsetenv("FIXFUSE_ENVTEST_P2");
+}
+
+TEST(Env, WarnInvalidOncePerVarSuppressesRepeats) {
+  ::testing::internal::CaptureStderr();
+  env::warnInvalid("FIXFUSE_ENVTEST_ONCE", "x", "y", "z",
+                   /*oncePerVar=*/true);
+  env::warnInvalid("FIXFUSE_ENVTEST_ONCE", "x2", "y", "z",
+                   /*oncePerVar=*/true);
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err,
+            "warning: unrecognized FIXFUSE_ENVTEST_ONCE value 'x' "
+            "(expected y); z\n");
+  // A different variable still warns.
+  ::testing::internal::CaptureStderr();
+  env::warnInvalid("FIXFUSE_ENVTEST_ONCE2", "x", "y", "z",
+                   /*oncePerVar=*/true);
+  EXPECT_FALSE(::testing::internal::GetCapturedStderr().empty());
+  // Without oncePerVar every call warns.
+  ::testing::internal::CaptureStderr();
+  env::warnInvalid("FIXFUSE_ENVTEST_EACH", "a", "b", "c");
+  env::warnInvalid("FIXFUSE_ENVTEST_EACH", "a", "b", "c");
+  err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err,
+            "warning: unrecognized FIXFUSE_ENVTEST_EACH value 'a' "
+            "(expected b); c\n"
+            "warning: unrecognized FIXFUSE_ENVTEST_EACH value 'a' "
+            "(expected b); c\n");
+}
+
+}  // namespace
+}  // namespace fixfuse::support
