@@ -174,6 +174,9 @@ class BenchReport {
   /// Extra fields for the top-level `interp` section (schema v3). The
   /// section always carries `backend` (the FIXFUSE_INTERP selection this
   /// process runs with); benches add throughput measurements here.
+  /// Schema v5 adds the `native` sub-object (pipeline::NativeRunReport
+  /// fragments: compile time, native-vs-bytecode speedup, verification
+  /// verdict) written by benches that exercise the native backend.
   void setInterp(const std::string& key, support::Json v) {
     interp_.set(key, std::move(v));
   }
@@ -192,7 +195,7 @@ class BenchReport {
     if (!path_) return std::nullopt;
     support::Json doc = support::Json::object();
     doc.set("bench", name_);
-    doc.set("schema_version", std::int64_t{4});
+    doc.set("schema_version", std::int64_t{5});
     doc.set("full_sweep", fullRuns());
     doc.set("threads", static_cast<std::int64_t>(sweepThreads()));
     interp_.set("backend",

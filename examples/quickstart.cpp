@@ -18,6 +18,7 @@
 #include "interp/interp.h"
 #include "ir/printer.h"
 #include "ir/rewrite.h"
+#include "pipeline/native_exec.h"
 
 using namespace fixfuse;
 using namespace fixfuse::ir;
@@ -82,5 +83,27 @@ int main() {
   // --- export as C -----------------------------------------------------------
   std::printf("== emitted C ==\n%s\n",
               codegen::emitC(fixed, {"fused_fixed", true}).c_str());
+
+  // --- run it natively -------------------------------------------------------
+  // The same emitted C, compiled with the host compiler and executed
+  // directly on the machine's storage (emitC -> cc -> dlopen), with the
+  // final state bit-compared against a bytecode reference run. Falls
+  // back to the bytecode engine when no host compiler is available.
+  pipeline::NativeRunReport nr;
+  pipeline::NativeExecutor exec(/*verify=*/true);
+  interp::Machine mn = exec.execute(fixed, {{"N", 20}}, init, &nr);
+  if (nr.available)
+    std::printf(
+        "== native execution ==\nbackend %s: compiled in %.3f s with '%s', "
+        "state verified bit-for-bit against bytecode: %s\n",
+        nr.backend.c_str(), nr.compileSeconds, nr.compiler.c_str(),
+        nr.verified ? "yes" : "no");
+  else
+    std::printf(
+        "== native execution ==\nunavailable (%s); the bytecode engine ran "
+        "instead\n",
+        nr.reason.c_str());
+  std::printf("max |seq - native fixed| on C : %g\n",
+              interp::maxArrayDifference(ms, mn, "C"));
   return 0;
 }

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_*.json reports against the committed baselines.
+
+Usage:
+    check_bench_json.py <fresh_dir> [--baselines <dir>] [--update]
+                        [--allow-no-native]
+
+For every baseline in bench/baselines/, the same-named report must exist
+in <fresh_dir> and match it exactly after *pruning volatile fields*
+(wall-clock timings, per-second rates, timing-derived speedups, thread
+counts, and cache-warmth-dependent pass counters). The deterministic
+remainder - simulated event/miss counts, capability verdicts,
+interpreter-computed error norms, pipeline statement/loop counts,
+schema/config fields - is the regression surface: any drift fails CI and
+is either a real behaviour change (fix it) or an intended one (rerun
+with --update and commit the new baselines).
+
+On top of the structural diff, a small set of minimum-bar gates re-checks
+the performance contracts the benches themselves enforce (the benches
+already return nonzero on failure; the gates also catch a stale baseline
+that was generated from a failing run):
+
+  microbench: interp.speedup >= 3, analysis speedups >= 1.5,
+              interp.native.speedup_vs_bytecode >= 20 (when a host
+              compiler is available; pass --allow-no-native on runners
+              without one), all totals_agree/verified/pass flags true.
+  table1_capability: every kernel handled.
+  ablation_fixdeps:  every post-FixDeps error norm exactly 0.
+
+Exit status: 0 clean, 1 on any mismatch, missing report or failed gate.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Dict keys dropped (at any depth) before comparison: machine-speed
+# dependent, or dependent on dependence-cache warmth (which can vary
+# with worker interleaving across `parallelSweep` threads).
+VOLATILE_SUBSTRINGS = ("second", "per_sec", "speedup", "wall", "time")
+VOLATILE_KEYS = {
+    "threads",
+    "dep_cache_hits",
+    "fm_eliminations",
+    "emptiness_checks",
+}
+
+
+def is_volatile(key):
+    return key in VOLATILE_KEYS or any(
+        s in key for s in VOLATILE_SUBSTRINGS
+    )
+
+
+def prune(node):
+    if isinstance(node, dict):
+        return {
+            k: prune(v) for k, v in node.items() if not is_volatile(k)
+        }
+    if isinstance(node, list):
+        return [prune(v) for v in node]
+    return node
+
+
+def diff(base, fresh, path, out):
+    """Collect human-readable differences between pruned trees."""
+    if type(base) is not type(fresh):
+        out.append(f"{path}: type {type(base).__name__} -> "
+                   f"{type(fresh).__name__}")
+        return
+    if isinstance(base, dict):
+        for k in sorted(base.keys() | fresh.keys()):
+            p = f"{path}.{k}" if path else k
+            if k not in fresh:
+                out.append(f"{p}: missing from fresh report")
+            elif k not in base:
+                out.append(f"{p}: not in baseline (new field; --update?)")
+            else:
+                diff(base[k], fresh[k], p, out)
+    elif isinstance(base, list):
+        if len(base) != len(fresh):
+            out.append(f"{path}: {len(base)} entries -> {len(fresh)}")
+            return
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            diff(b, f, f"{path}[{i}]", out)
+    elif base != fresh:
+        out.append(f"{path}: {base!r} -> {fresh!r}")
+
+
+def fail(errors, msg):
+    errors.append(msg)
+
+
+def gate_microbench(doc, errors, allow_no_native):
+    interp = doc.get("interp", {})
+    if interp.get("speedup", 0) < 3.0:
+        fail(errors, f"interp.speedup {interp.get('speedup')} < 3")
+    if interp.get("totals_agree") is not True:
+        fail(errors, "interp.totals_agree is not true")
+    analysis = doc.get("analysis", {})
+    for key in ("subst_speedup", "depquery_speedup"):
+        if analysis.get(key, 0) < 1.5:
+            fail(errors, f"analysis.{key} {analysis.get(key)} < 1.5")
+    if analysis.get("pass") is not True:
+        fail(errors, "analysis.pass is not true")
+    for i, row in enumerate(doc.get("rows", [])):
+        if row.get("totals_agree") is not True:
+            fail(errors, f"rows[{i}].totals_agree is not true")
+    native = interp.get("native", {})
+    if native.get("available"):
+        if native.get("speedup_vs_bytecode", 0) < 20.0:
+            fail(errors, "interp.native.speedup_vs_bytecode "
+                         f"{native.get('speedup_vs_bytecode')} < 20")
+        for key in ("verified", "pass"):
+            if native.get(key) is not True:
+                fail(errors, f"interp.native.{key} is not true")
+    elif not allow_no_native:
+        fail(errors, "interp.native.available is false "
+                     f"({native.get('reason', 'no reason reported')}); "
+                     "pass --allow-no-native on compiler-less runners")
+
+
+def gate_table1(doc, errors):
+    for row in doc.get("rows", []):
+        if row.get("handled") is not True:
+            fail(errors, f"kernel {row.get('kernel')!r} not handled")
+
+
+def gate_ablation(doc, errors):
+    for row in doc.get("rows", []):
+        err = row.get("err_fixed")
+        if row.get("part") == "necessity" and err != 0:
+            fail(errors, f"kernel {row.get('kernel')!r}: "
+                         f"post-FixDeps error {err!r} != 0")
+
+
+GATES = {
+    "microbench": gate_microbench,
+    "table1_capability": gate_table1,
+    "ablation_fixdeps": gate_ablation,
+}
+
+
+def check_one(baseline_path, fresh_dir, allow_no_native):
+    errors = []
+    fresh_path = fresh_dir / baseline_path.name
+    if not fresh_path.is_file():
+        return [f"missing fresh report {fresh_path}"]
+    base = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    if fresh.get("schema_version") != base.get("schema_version"):
+        errors.append(f"schema_version {base.get('schema_version')} -> "
+                      f"{fresh.get('schema_version')}")
+    pruned_base, pruned_fresh = prune(base), prune(fresh)
+    if (allow_no_native
+            and not fresh.get("interp", {}).get("native", {})
+            .get("available", False)):
+        # Runner has no host compiler: the native section legitimately
+        # differs from a baseline generated where one was present.
+        for doc in (pruned_base, pruned_fresh):
+            doc.get("interp", {}).pop("native", None)
+    diff(pruned_base, pruned_fresh, "", errors)
+    bench = fresh.get("bench", "")
+    if bench in GATES:
+        if bench == "microbench":
+            GATES[bench](fresh, errors, allow_no_native)
+        else:
+            GATES[bench](fresh, errors)
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("fresh_dir", type=Path,
+                    help="directory holding freshly produced BENCH_*.json")
+    ap.add_argument("--baselines", type=Path,
+                    default=Path(__file__).resolve().parent.parent
+                    / "bench" / "baselines",
+                    help="baseline directory (default: bench/baselines)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baselines from the fresh reports "
+                         "(pruned to their deterministic fields)")
+    ap.add_argument("--allow-no-native", action="store_true",
+                    help="do not require the native-backend section "
+                         "(runners without a host C compiler)")
+    args = ap.parse_args()
+
+    if args.update:
+        args.baselines.mkdir(parents=True, exist_ok=True)
+        names = sorted(p.name for p in args.fresh_dir.glob("BENCH_*.json"))
+        if not names:
+            print(f"error: no BENCH_*.json in {args.fresh_dir}",
+                  file=sys.stderr)
+            return 1
+        for name in names:
+            doc = prune(json.loads((args.fresh_dir / name).read_text()))
+            out = args.baselines / name
+            out.write_text(json.dumps(doc, indent=2, sort_keys=False)
+                           + "\n")
+            print(f"updated {out}")
+        return 0
+
+    baselines = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no baselines in {args.baselines}", file=sys.stderr)
+        return 1
+    rc = 0
+    for baseline in baselines:
+        errors = check_one(baseline, args.fresh_dir, args.allow_no_native)
+        status = "ok" if not errors else "FAIL"
+        print(f"{baseline.name}: {status}")
+        for e in errors:
+            print(f"  {e}")
+        rc |= bool(errors)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

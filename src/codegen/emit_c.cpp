@@ -72,14 +72,61 @@ class Emitter {
       os_ << (first ? "" : ", ") << "double* " << a.name << "_";
       first = false;
     }
+    if (opts_.nativeEntry) {
+      for (const auto& s : p_.scalars) {
+        os_ << (first ? "" : ", ") << (s.type == ir::Type::Int ? "long" : "double")
+            << "* ff_sc_" << s.name;
+        first = false;
+      }
+    }
     os_ << ") {\n";
-    for (const auto& s : p_.scalars)
+    for (const auto& s : p_.scalars) {
       os_ << "  " << (s.type == ir::Type::Int ? "long" : "double") << " "
-          << s.name << " = 0;\n";
+          << s.name << " = ";
+      // Copy-in (native mode): the scalar starts from the machine slot's
+      // current value, exactly like the interpreter reading its storage.
+      if (opts_.nativeEntry)
+        os_ << "*ff_sc_" << s.name << ";\n";
+      else
+        os_ << "0;\n";
+    }
     if (p_.body) emitStmt(*p_.body, 1);
+    if (opts_.nativeEntry)
+      for (const auto& s : p_.scalars)
+        os_ << "  *ff_sc_" << s.name << " = " << s.name << ";\n";
     os_ << "}\n";
     for (const auto& a : p_.arrays) os_ << "#undef " << a.name << "_AT\n";
+    if (opts_.nativeEntry) emitEntry();
     return os_.str();
+  }
+
+  /// The uniform dlsym-able trampoline (see EmitOptions::nativeEntry).
+  void emitEntry() {
+    os_ << "\nvoid " << opts_.functionName
+        << "_entry(const long* ff_params, double** ff_arrays, "
+           "double** ff_fscalars, long** ff_iscalars) {\n";
+    os_ << "  (void)ff_params; (void)ff_arrays; (void)ff_fscalars; "
+           "(void)ff_iscalars;\n";
+    os_ << "  " << opts_.functionName << "(";
+    bool first = true;
+    for (std::size_t i = 0; i < p_.params.size(); ++i) {
+      os_ << (first ? "" : ", ") << "ff_params[" << i << "]";
+      first = false;
+    }
+    for (std::size_t i = 0; i < p_.arrays.size(); ++i) {
+      os_ << (first ? "" : ", ") << "ff_arrays[" << i << "]";
+      first = false;
+    }
+    std::size_t nf = 0, ni = 0;
+    for (const auto& s : p_.scalars) {
+      os_ << (first ? "" : ", ");
+      if (s.type == ir::Type::Int)
+        os_ << "ff_iscalars[" << ni++ << "]";
+      else
+        os_ << "ff_fscalars[" << nf++ << "]";
+      first = false;
+    }
+    os_ << ");\n}\n";
   }
 
  private:

@@ -19,6 +19,17 @@ struct EmitOptions {
   /// Emit `#include <math.h>` and helper macros (off when embedding into
   /// a larger translation unit that already has them).
   bool standalone = true;
+  /// Native-backend mode (codegen::NativeModule): scalars become
+  /// copy-in/copy-out pointer parameters `ff_sc_<name>` (so their final
+  /// values are observable from outside, matching the interpreter
+  /// machine's scalar storage), and a uniform trampoline
+  ///   void <functionName>_entry(const long* params, double** arrays,
+  ///                             double** fscalars, long** iscalars)
+  /// is appended that forwards params (program order), column-major
+  /// array base pointers (declaration order) and scalar slots
+  /// (declaration order, split by type) to the kernel. Compiled as C, so
+  /// the entry symbol is unmangled and dlsym-able.
+  bool nativeEntry = false;
 };
 
 std::string emitC(const ir::Program& p, const EmitOptions& opts = {});

@@ -1,0 +1,332 @@
+#include "codegen/native_module.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#if defined(__has_include)
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define FIXFUSE_HAVE_UNISTD 1
+#endif
+#endif
+
+#include "codegen/emit_c.h"
+#include "ir/context.h"
+#include "support/dylib.h"
+#include "support/env.h"
+
+namespace fixfuse::codegen {
+
+// The entry ABI marshals machine integers through C `long`; the IR and
+// the Machine use int64_t. They coincide on every LP64 target this
+// backend supports (the dylib wrapper already limits us to POSIX).
+static_assert(sizeof(long) == sizeof(std::int64_t),
+              "native backend requires an LP64 target (long == int64)");
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- program fingerprint ----------------------------------------------------
+// Hash-consed identity: expressions are canonical per structure (ir
+// arena), so a flat tuple of expression addresses + interned symbol ids
+// + structure tags identifies a program exactly within this process.
+// Statements are not consed, hence the recursive walk; equality of two
+// fingerprints is full vector equality (a hash collision can never
+// alias two different programs to one module).
+
+using Fingerprint = std::vector<std::uint64_t>;
+
+void fpExpr(Fingerprint& fp, const ir::ExprPtr& e) {
+  fp.push_back(static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(e.get())));
+}
+
+void fpStmt(Fingerprint& fp, const ir::Stmt& s) {
+  using ir::StmtKind;
+  fp.push_back(static_cast<std::uint64_t>(s.kind()) + 0x100);
+  switch (s.kind()) {
+    case StmtKind::Assign: {
+      fp.push_back(s.lhs().symbol().id());
+      fp.push_back(s.lhs().indices.size());
+      for (const auto& i : s.lhs().indices) fpExpr(fp, i);
+      fpExpr(fp, s.rhs());
+      return;
+    }
+    case StmtKind::If:
+      fpExpr(fp, s.cond());
+      fpStmt(fp, *s.thenBody());
+      fp.push_back(s.elseBody() ? 1 : 0);
+      if (s.elseBody()) fpStmt(fp, *s.elseBody());
+      return;
+    case StmtKind::Loop:
+      fp.push_back(s.loopVarSym().id());
+      fpExpr(fp, s.lowerBound());
+      fpExpr(fp, s.upperBound());
+      fpStmt(fp, *s.loopBody());
+      return;
+    case StmtKind::Block:
+      fp.push_back(s.stmts().size());
+      for (const auto& c : s.stmts()) fpStmt(fp, *c);
+      return;
+  }
+}
+
+Fingerprint fingerprint(const ir::Program& p) {
+  Fingerprint fp;
+  fp.reserve(64);
+  fp.push_back(p.params.size());
+  for (const auto& prm : p.params)
+    fp.push_back(ir::Context::intern(prm).id());
+  fp.push_back(p.arrays.size());
+  for (const auto& a : p.arrays) {
+    fp.push_back(ir::Context::intern(a.name).id());
+    fp.push_back(a.extents.size());
+    for (const auto& e : a.extents) fpExpr(fp, e);
+  }
+  fp.push_back(p.scalars.size());
+  for (const auto& s : p.scalars) {
+    fp.push_back(ir::Context::intern(s.name).id());
+    fp.push_back(static_cast<std::uint64_t>(s.type));
+  }
+  fp.push_back(p.body ? 1 : 0);
+  if (p.body) fpStmt(fp, *p.body);
+  return fp;
+}
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (std::uint64_t v : fp) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// --- compiler invocation ----------------------------------------------------
+
+std::string compilerBase() {
+  return support::env::stringOr("FIXFUSE_CC", "cc");
+}
+
+std::string compilerFlags() {
+  std::string base = "-O2 -shared -fPIC";
+  std::string extra = support::env::stringOr("FIXFUSE_CFLAGS", "");
+  return extra.empty() ? base : base + " " + extra;
+}
+
+/// Process-unique scratch directory for emitted sources / objects.
+const fs::path& scratchDir() {
+  static const fs::path* dir = [] {
+#ifdef FIXFUSE_HAVE_UNISTD
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    auto* p = new fs::path(fs::temp_directory_path() /
+                           ("fixfuse-native-" + std::to_string(pid)));
+    std::error_code ec;
+    fs::create_directories(*p, ec);
+    return p;
+  }();
+  return *dir;
+}
+
+std::string readFileTruncated(const fs::path& p, std::size_t maxBytes) {
+  std::ifstream in(p);
+  if (!in) return {};
+  std::string s((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  if (s.size() > maxBytes) s = s.substr(0, maxBytes) + "... [truncated]";
+  return s;
+}
+
+/// Write `source` to <stem>.c, compile it into <stem>.so, load it.
+/// Returns the loaded library and fills *soPath. Throws NativeError.
+support::Dylib compileAndLoad(const std::string& source,
+                              const std::string& stem, std::string* soPath) {
+  if (!support::Dylib::supported())
+    throw NativeError("dynamic loading unsupported on this platform");
+  const fs::path cPath = scratchDir() / (stem + ".c");
+  const fs::path so = scratchDir() / (stem + ".so");
+  const fs::path errPath = scratchDir() / (stem + ".err");
+  {
+    std::ofstream out(cPath);
+    if (!out) throw NativeError("cannot write " + cPath.string());
+    out << source;
+  }
+  const std::string cmd = compilerBase() + " " + compilerFlags() + " -o " +
+                          so.string() + " " + cPath.string() + " -lm 2> " +
+                          errPath.string();
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    throw NativeError("compile failed (exit " + std::to_string(rc) + "): " +
+                      cmd + "\n" + readFileTruncated(errPath, 2000));
+  }
+  try {
+    support::Dylib lib = support::Dylib::open(so.string());
+    *soPath = so.string();
+    return lib;
+  } catch (const support::DylibError& e) {
+    throw NativeError(e.what());
+  }
+}
+
+// --- module registry --------------------------------------------------------
+
+struct RegistryEntry {
+  std::shared_ptr<const NativeModule> module;  // null when compile failed
+  std::string error;                           // reason when null
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<Fingerprint, RegistryEntry, FingerprintHash> modules;
+  std::uint64_t nextId = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaky singleton, like the caches
+  return *r;
+}
+
+}  // namespace
+
+// Private-constructor access: the only place modules are built.
+struct NativeModuleAccess {
+  /// Compile `p` into a fresh module (no cache involvement).
+  static std::shared_ptr<const NativeModule> compile(const ir::Program& p,
+                                                     std::uint64_t id) {
+    EmitOptions opts;
+    opts.functionName = "ff_kernel";
+    opts.standalone = true;
+    opts.nativeEntry = true;
+    const std::string source = emitC(p, opts);
+
+    std::shared_ptr<NativeModule> mod(new NativeModule());
+    mod->source_ = source;
+    const double t0 = nowSeconds();
+    std::string soPath;
+    support::Dylib lib =
+        compileAndLoad(source, "mod_" + std::to_string(id), &soPath);
+    void* entry = lib.symbol("ff_kernel_entry");
+    mod->compileSeconds_ = nowSeconds() - t0;
+    mod->soPath_ = soPath;
+    mod->entry_ = reinterpret_cast<NativeModule::EntryFn>(entry);
+    mod->nParams_ = p.params.size();
+    mod->nArrays_ = p.arrays.size();
+    for (const auto& s : p.scalars)
+      (s.type == ir::Type::Int ? mod->nIntScalars_ : mod->nFloatScalars_) +=
+          1;
+    mod->lib_ = std::shared_ptr<void>(
+        new support::Dylib(std::move(lib)),
+        [](void* d) { delete static_cast<support::Dylib*>(d); });
+    return mod;
+  }
+};
+
+std::shared_ptr<const NativeModule> NativeModule::getOrCompile(
+    const ir::Program& p, bool* cached) {
+  const Fingerprint fp = fingerprint(p);
+  Registry& reg = registry();
+  // Held across the compile on purpose: concurrent sweep workers asking
+  // for the same program must not race the compiler; losers wait and
+  // take the cache hit.
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.modules.find(fp);
+  if (it != reg.modules.end()) {
+    if (cached) *cached = true;
+    if (!it->second.module) throw NativeError(it->second.error);
+    return it->second.module;
+  }
+  if (cached) *cached = false;
+  RegistryEntry entry;
+  try {
+    entry.module = NativeModuleAccess::compile(p, reg.nextId++);
+  } catch (const Error& e) {
+    entry.error = e.what();
+    reg.modules.emplace(fp, entry);
+    throw NativeError(entry.error);
+  }
+  reg.modules.emplace(fp, entry);
+  return entry.module;
+}
+
+std::shared_ptr<const NativeModule> NativeModule::tryGetOrCompile(
+    const ir::Program& p, std::string* error, bool* cached) {
+  try {
+    std::shared_ptr<const NativeModule> m = getOrCompile(p, cached);
+    if (error) error->clear();
+    return m;
+  } catch (const Error& e) {
+    if (error) *error = e.what();
+    return nullptr;
+  }
+}
+
+void NativeModule::run(const Binding& b) const {
+  FIXFUSE_CHECK(entry_ != nullptr, "NativeModule::run without entry point");
+  FIXFUSE_CHECK(b.params.size() == nParams_ && b.arrays.size() == nArrays_ &&
+                    b.floatScalars.size() == nFloatScalars_ &&
+                    b.intScalars.size() == nIntScalars_,
+                "NativeModule::run binding shape mismatch");
+  entry_(b.params.data(), const_cast<double**>(b.arrays.data()),
+         const_cast<double**>(b.floatScalars.data()),
+         const_cast<std::int64_t**>(b.intScalars.data()));
+}
+
+// --- host-compiler probe ----------------------------------------------------
+
+namespace {
+
+struct Probe {
+  bool available = false;
+  std::string reason;
+};
+
+const Probe& probe() {
+  static const Probe* p = [] {
+    auto* out = new Probe();
+    try {
+      std::string soPath;
+      support::Dylib lib = compileAndLoad(
+          "int ff_probe(void) { return 42; }\n", "probe", &soPath);
+      auto fn = reinterpret_cast<int (*)(void)>(lib.symbol("ff_probe"));
+      if (fn() == 42) {
+        out->available = true;
+      } else {
+        out->reason = "probe module returned wrong value";
+      }
+    } catch (const Error& e) {
+      out->reason = e.what();
+    }
+    return out;
+  }();
+  return *p;
+}
+
+}  // namespace
+
+bool hostCompilerAvailable() { return probe().available; }
+
+const std::string& hostCompilerUnavailableReason() { return probe().reason; }
+
+std::string hostCompilerCommand() {
+  return compilerBase() + " " + compilerFlags();
+}
+
+}  // namespace fixfuse::codegen

@@ -1,0 +1,126 @@
+// Native execution backend: emitC -> host C compiler -> dlopen.
+//
+// A NativeModule takes a (fixed/tiled, interpreter-verified) ir::Program,
+// emits it as C with a uniform entry point (EmitOptions::nativeEntry),
+// shells out to the host compiler (`cc -O2 -shared -fPIC`, overridable
+// via FIXFUSE_CC / FIXFUSE_CFLAGS), dlopens the result and executes it
+// directly on caller-provided storage - the interpreter Machine's
+// column-major arrays and scalar slots. This turns every pipeline into an
+// end-to-end compiler: the same programs the interpreter verifies run at
+// hardware speed.
+//
+// Contract and caveats:
+//  * State, not events: a native run produces the interpreter's final
+//    machine state (bit-for-bit, enforced by tests/native_backend_test
+//    and the FIXFUSE_NATIVE_VERIFY reference runs in interp) but emits
+//    NO observer events - trace-driven simulation stays on the
+//    tree/bytecode backends by design.
+//  * Trusted input: like the hand-written natives, compiled code has no
+//    bounds or division checks; only run programs the interpreter
+//    accepts (the test suite and pipeline verification guarantee this
+//    for every program the repo executes natively).
+//  * Process-wide cache: modules are memoized by the hash-consed program
+//    identity (expression pointers are canonical per structure, so the
+//    fingerprint is a flat integer tuple - no text rendering), so
+//    repeated bench sweeps compile once. Compile failures are cached
+//    too: a program that will not compile is reported once, not retried
+//    per sweep point.
+//  * Graceful degradation: no compiler / compile error / dlopen error
+//    surface as NativeError from getOrCompile, or nullptr + reason from
+//    tryGetOrCompile; callers (interp's native backend, the pipeline
+//    NativeExecutor) fall back to bytecode with a once-per-process
+//    warning, never crash.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "support/error.h"
+
+namespace fixfuse::codegen {
+
+/// Native compilation or loading failed (missing compiler, compiler
+/// diagnostics, dlopen/dlsym failure). Message carries the reason.
+class NativeError : public Error {
+ public:
+  explicit NativeError(const std::string& what)
+      : Error("native backend: " + what) {}
+};
+
+class NativeModule {
+ public:
+  /// Storage the entry point runs on, in *program declaration order*:
+  /// params by p.params, column-major array bases by p.arrays, scalar
+  /// slots by p.scalars split by type (Float -> floatScalars, Int ->
+  /// intScalars). The interp layer builds this from a Machine.
+  struct Binding {
+    std::vector<std::int64_t> params;
+    std::vector<double*> arrays;
+    std::vector<double*> floatScalars;
+    std::vector<std::int64_t*> intScalars;
+  };
+
+  /// Compile `p` (or return the process-wide cached module for its
+  /// hash-consed identity). Thread-safe. Throws NativeError on failure
+  /// (failures are cached: the same program throws the same reason
+  /// without re-running the compiler). `cached`, when given, reports
+  /// whether this call reused an existing module.
+  static std::shared_ptr<const NativeModule> getOrCompile(
+      const ir::Program& p, bool* cached = nullptr);
+
+  /// getOrCompile that reports failure as nullptr + `*error` instead of
+  /// throwing (the graceful-fallback path). `*error` is cleared on
+  /// success.
+  static std::shared_ptr<const NativeModule> tryGetOrCompile(
+      const ir::Program& p, std::string* error, bool* cached = nullptr);
+
+  /// Execute the compiled entry point on `b`. The binding's vector sizes
+  /// must match the program the module was compiled from (checked).
+  void run(const Binding& b) const;
+
+  /// Wall-clock seconds the host compiler took (0 when this module was
+  /// a cache hit at getOrCompile time - see the `cached` out-param).
+  double compileSeconds() const { return compileSeconds_; }
+  /// Path of the compiled shared object (diagnostics).
+  const std::string& soPath() const { return soPath_; }
+  /// The emitted C source (diagnostics, tests).
+  const std::string& source() const { return source_; }
+
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+
+ private:
+  NativeModule() = default;
+  friend struct NativeModuleAccess;
+
+  using EntryFn = void (*)(const std::int64_t* params, double** arrays,
+                           double** fscalars, std::int64_t** iscalars);
+
+  EntryFn entry_ = nullptr;
+  double compileSeconds_ = 0;
+  std::string soPath_;
+  std::string source_;
+  std::size_t nParams_ = 0, nArrays_ = 0, nFloatScalars_ = 0,
+              nIntScalars_ = 0;
+  // The dylib handle is held via an opaque deleter so this header does
+  // not pull in support/dylib.h.
+  std::shared_ptr<void> lib_;
+};
+
+/// One-time probe of the host compiler: compiles and loads a trivial
+/// module. False when `cc` (or FIXFUSE_CC) is missing or broken - the
+/// native backend then degrades to bytecode everywhere. Thread-safe,
+/// result cached for the process.
+bool hostCompilerAvailable();
+
+/// Why hostCompilerAvailable() is false (empty when it is true).
+const std::string& hostCompilerUnavailableReason();
+
+/// The compiler command prefix in use, e.g. "cc -O2 -shared -fPIC"
+/// (FIXFUSE_CC / FIXFUSE_CFLAGS applied) - for bench reports.
+std::string hostCompilerCommand();
+
+}  // namespace fixfuse::codegen

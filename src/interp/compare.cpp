@@ -39,4 +39,29 @@ bool machinesBitwiseEqual(const ir::Program& pa, const Machine& a,
   return true;
 }
 
+bool machineStateBitwiseEqual(const ir::Program& p, const Machine& a,
+                              const Machine& b, std::string* where) {
+  for (const auto& decl : p.arrays) {
+    if (!arraysBitwiseEqual(a, b, decl.name)) {
+      if (where) *where = decl.name;
+      return false;
+    }
+  }
+  for (const auto& s : p.scalars) {
+    bool same;
+    if (s.type == ir::Type::Int) {
+      same = a.intScalar(s.name) == b.intScalar(s.name);
+    } else {
+      const double va = a.floatScalar(s.name);
+      const double vb = b.floatScalar(s.name);
+      same = bitsEqual(&va, &vb, 1);
+    }
+    if (!same) {
+      if (where) *where = s.name;
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace fixfuse::interp

@@ -33,4 +33,12 @@ bool machinesBitwiseEqual(const ir::Program& pa, const Machine& a,
                           const ir::Program& pb, const Machine& b,
                           std::string* whichArray = nullptr);
 
+/// Full final-state bit equality for two machines of the *same* program:
+/// every declared array byte-identical AND every declared scalar
+/// bit-identical (float scalars by bit pattern, so NaN payloads count).
+/// The native backend's state-verification predicate; writes the first
+/// offending array/scalar name to `where`.
+bool machineStateBitwiseEqual(const ir::Program& p, const Machine& a,
+                              const Machine& b, std::string* where = nullptr);
+
 }  // namespace fixfuse::interp

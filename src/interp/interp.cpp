@@ -7,6 +7,12 @@
 #include <cstdlib>
 #include <limits>
 
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "codegen/native_module.h"
+#include "interp/compare.h"
 #include "support/checked.h"
 #include "support/env.h"
 #include "support/error.h"
@@ -29,6 +35,7 @@ std::optional<Backend> parseBackendName(std::string_view name) {
     s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   if (s == "tree") return Backend::Tree;
   if (s == "bytecode") return Backend::Bytecode;
+  if (s == "native") return Backend::Native;
   return std::nullopt;
 }
 
@@ -36,14 +43,41 @@ Backend backendFromEnv() {
   const char* v = std::getenv("FIXFUSE_INTERP");
   if (!v || !*v) return Backend::Bytecode;
   if (std::optional<Backend> b = parseBackendName(v)) return *b;
-  support::env::warnInvalid("FIXFUSE_INTERP", v, "tree or bytecode",
+  support::env::warnInvalid("FIXFUSE_INTERP", v, "tree, bytecode or native",
                             "using bytecode", /*oncePerVar=*/true);
   return Backend::Bytecode;
 }
 
 const char* backendName(Backend b) {
-  return b == Backend::Tree ? "tree" : "bytecode";
+  switch (b) {
+    case Backend::Tree: return "tree";
+    case Backend::Bytecode: return "bytecode";
+    case Backend::Native: return "native";
+  }
+  FIXFUSE_UNREACHABLE("backendName");
 }
+
+namespace {
+
+/// Once-per-process stderr warning per distinct message key (the native
+/// backend's graceful-degradation reports; a sweep must not repeat them
+/// per point).
+void warnOncePerProcess(const std::string& key, const std::string& msg) {
+  static std::mutex m;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  {
+    std::lock_guard<std::mutex> lock(m);
+    if (!warned->insert(key).second) return;
+  }
+  std::fprintf(stderr, "warning: %s\n", msg.c_str());
+}
+
+bool nativeVerifyFromEnv() {
+  return support::env::truthy("FIXFUSE_NATIVE_VERIFY", /*fallback=*/true,
+                              "verifying native runs against bytecode");
+}
+
+}  // namespace
 
 Interpreter::Interpreter(const ir::Program& program, Machine& machine,
                          Observer* observer, Dispatch dispatch,
@@ -53,6 +87,26 @@ Interpreter::Interpreter(const ir::Program& program, Machine& machine,
       obs_(observer),
       batched_(dispatch == Dispatch::Batched),
       backend_(backend) {
+  if (backend_ == Backend::Native) {
+    if (obs_) {
+      // Native code emits no observer events; observed runs silently use
+      // the bytecode engine (the streams there are the verified ground
+      // truth). Documented on Backend.
+      backend_ = Backend::Bytecode;
+    } else {
+      std::string error;
+      native_ = codegen::NativeModule::tryGetOrCompile(program_, &error);
+      if (native_) {
+        nativeVerify_ = nativeVerifyFromEnv();
+      } else {
+        warnOncePerProcess(error, "native backend unavailable, " +
+                                      std::string("falling back to "
+                                                  "bytecode: ") +
+                                      error);
+        backend_ = Backend::Bytecode;
+      }
+    }
+  }
   if (backend_ == Backend::Bytecode) {
     compiled_ = bytecode::compile(program_, machine_);
     bcSites_ = bytecode::SiteState(compiled_->numSiteSlots);
@@ -258,7 +312,57 @@ void Interpreter::exec(const Stmt& s) {
   }
 }
 
+namespace {
+
+/// Bind a machine's storage to a native module's entry ABI, in program
+/// declaration order (the order the emitted trampoline expects).
+codegen::NativeModule::Binding bindMachine(const ir::Program& p, Machine& m) {
+  codegen::NativeModule::Binding b;
+  b.params.reserve(p.params.size());
+  for (const auto& prm : p.params) b.params.push_back(m.params().at(prm));
+  b.arrays.reserve(p.arrays.size());
+  for (const auto& a : p.arrays)
+    b.arrays.push_back(m.array(a.name).data().data());
+  for (const auto& s : p.scalars) {
+    if (s.type == ir::Type::Int)
+      b.intScalars.push_back(m.intScalarSlot(s.name));
+    else
+      b.floatScalars.push_back(m.floatScalarSlot(s.name));
+  }
+  return b;
+}
+
+/// Bit-compare every array and scalar of `native` against the bytecode
+/// reference machine; throws NativeVerificationError on the first
+/// mismatch.
+void checkNativeState(const ir::Program& p, const Machine& native,
+                      const Machine& reference) {
+  std::string where;
+  if (!machineStateBitwiseEqual(p, native, reference, &where))
+    throw NativeVerificationError(
+        "'" + where +
+            "' differs from the bytecode reference run on program:\n" +
+            p.str(),
+        where);
+}
+
+}  // namespace
+
 void Interpreter::run() {
+  if (backend_ == Backend::Native) {
+    // Reference first, on a copy of the pre-run state, so the native run
+    // and the bytecode run start from identical bits.
+    std::optional<Machine> reference;
+    if (nativeVerify_) {
+      reference.emplace(machine_);
+      Interpreter ref(program_, *reference, nullptr, Dispatch::Batched,
+                      Backend::Bytecode);
+      ref.run();
+    }
+    native_->run(bindMachine(program_, machine_));
+    if (reference) checkNativeState(program_, machine_, *reference);
+    return;
+  }
   if (backend_ == Backend::Bytecode) {
     bytecode::execute(*compiled_, obs_, batched_, bcSites_);
     return;

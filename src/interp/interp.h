@@ -16,33 +16,63 @@
 #include "interp/machine.h"
 #include "interp/observer.h"
 #include "ir/stmt.h"
+#include "support/error.h"
 #include "support/symbol.h"
+
+namespace fixfuse::codegen {
+class NativeModule;  // codegen/native_module.h (interp links codegen)
+}
 
 namespace fixfuse::interp {
 
-/// Which execution engine runs the program. Both are bit-for-bit
-/// state-identical and event-stream identical (same Event records, same
-/// order, through both dispatch modes); tests/interp_bytecode_test.cpp
-/// enforces this differentially over the fuzz-generator programs and all
-/// kernel variants.
+/// Which execution engine runs the program. Tree and Bytecode are
+/// bit-for-bit state-identical AND event-stream identical (same Event
+/// records, same order, through both dispatch modes);
+/// tests/interp_bytecode_test.cpp enforces this differentially over the
+/// fuzz-generator programs and all kernel variants. Native (emitC ->
+/// host cc -> dlopen, codegen::NativeModule) is *state*-identical only:
+/// it emits no observer events (event equivalence is explicitly out of
+/// scope - trace simulation stays on Tree/Bytecode), so an Interpreter
+/// constructed with an Observer silently runs Bytecode instead. Native
+/// runs are verified against a Bytecode reference run (bitsEqual on
+/// every array, bitwise on scalars) unless FIXFUSE_NATIVE_VERIFY is
+/// falsy; a mismatch throws NativeVerificationError. When the host
+/// compiler is missing or a program fails to compile, Native degrades to
+/// Bytecode with a once-per-process stderr warning - never an abort.
 enum class Backend {
   Tree,      // recursive walker over the statement tree (the reference)
   Bytecode,  // slot-resolved compiled form, the fast default
+  Native,    // compiled C via codegen::NativeModule (state-only)
 };
 
-/// Parse a backend name ("tree" | "bytecode", case-insensitive);
-/// nullopt for anything else.
+/// Parse a backend name ("tree" | "bytecode" | "native",
+/// case-insensitive); nullopt for anything else.
 std::optional<Backend> parseBackendName(std::string_view name);
 
-/// Backend selected by FIXFUSE_INTERP: "tree" or "bytecode" (the
-/// default). An unrecognized value warns on stderr once per process and
-/// falls back to the bytecode default, matching the tolerant handling of
-/// FIXFUSE_FULL / FIXFUSE_THREADS.
+/// Backend selected by FIXFUSE_INTERP: "tree", "bytecode" (the default)
+/// or "native". An unrecognized value warns on stderr once per process
+/// and falls back to the bytecode default, matching the tolerant
+/// handling of FIXFUSE_FULL / FIXFUSE_THREADS.
 Backend backendFromEnv();
 
-/// Stable lowercase name of a backend ("tree" / "bytecode"), for bench
-/// reports and diagnostics.
+/// Stable lowercase name of a backend ("tree" / "bytecode" / "native"),
+/// for bench reports and diagnostics.
 const char* backendName(Backend b);
+
+/// A native execution produced final machine state that is not
+/// bit-for-bit equal to the bytecode reference run (the native
+/// counterpart of pipeline::VerificationError). Names the first
+/// offending array or scalar.
+class NativeVerificationError : public Error {
+ public:
+  NativeVerificationError(const std::string& what, const std::string& where)
+      : Error("native verification: " + what), where_(where) {}
+  /// Array or scalar name that mismatched.
+  const std::string& where() const { return where_; }
+
+ private:
+  std::string where_;
+};
 
 class Interpreter {
  public:
@@ -55,7 +85,10 @@ class Interpreter {
 
   /// `program` and `machine` must outlive the interpreter. The bytecode
   /// backend compiles the program against `machine` here, once; run()
-  /// only executes.
+  /// only executes. A Native request compiles through the process-wide
+  /// NativeModule registry here; if that fails (or an observer is
+  /// attached - native emits no events), the interpreter falls back to
+  /// Bytecode, so backend() reports the backend that will actually run.
   Interpreter(const ir::Program& program, Machine& machine,
               Observer* observer = nullptr,
               Dispatch dispatch = Dispatch::Batched,
@@ -64,6 +97,10 @@ class Interpreter {
   Backend backend() const { return backend_; }
 
   /// Execute the whole program body (flushes any buffered events).
+  /// Native backend: runs the compiled module on the machine's storage
+  /// and, unless FIXFUSE_NATIVE_VERIFY is falsy, replays the program on
+  /// a copy of the pre-run machine through bytecode and bit-compares all
+  /// final state (throws NativeVerificationError on mismatch).
   void run();
 
  private:
@@ -106,6 +143,8 @@ class Interpreter {
   Observer* obs_;
   bool batched_ = true;
   Backend backend_ = Backend::Bytecode;
+  std::shared_ptr<const codegen::NativeModule> native_;
+  bool nativeVerify_ = true;
   std::optional<bytecode::CompiledProgram> compiled_;
   bytecode::SiteState bcSites_;
   // Loop variable environment. Loop depth is tiny, so a flat vector with

@@ -1,0 +1,116 @@
+#include "pipeline/native_exec.h"
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "codegen/native_module.h"
+#include "interp/compare.h"
+
+namespace fixfuse::pipeline {
+
+namespace {
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+support::Json NativeRunReport::json() const {
+  support::Json j = support::Json::object();
+  j.set("available", available);
+  if (!available) {
+    j.set("reason", reason);
+    return j;
+  }
+  j.set("backend", backend)
+      .set("compiler", compiler)
+      .set("compile_cached", compileCached)
+      .set("compile_seconds", compileSeconds)
+      .set("native_seconds", nativeSeconds)
+      .set("bytecode_seconds", bytecodeSeconds)
+      .set("speedup_vs_bytecode", speedupVsBytecode)
+      .set("verified", verified);
+  return j;
+}
+
+interp::Machine NativeExecutor::execute(
+    const ir::Program& p, const std::map<std::string, std::int64_t>& params,
+    const std::function<void(interp::Machine&)>& init,
+    NativeRunReport* report) const {
+  NativeRunReport r;
+  r.compiler = codegen::hostCompilerCommand();
+
+  interp::Machine machine(p, params);
+  if (init) init(machine);
+
+  std::string error;
+  std::shared_ptr<const codegen::NativeModule> module =
+      codegen::NativeModule::tryGetOrCompile(p, &error, &r.compileCached);
+  if (!module) {
+    // Graceful fallback: the bytecode engine runs the program instead.
+    r.available = false;
+    r.reason = error;
+    r.backend = "bytecode";
+    const double t0 = nowSeconds();
+    interp::Interpreter it(p, machine, nullptr,
+                           interp::Interpreter::Dispatch::Batched,
+                           interp::Backend::Bytecode);
+    it.run();
+    r.bytecodeSeconds = nowSeconds() - t0;
+    if (report) *report = r;
+    return machine;
+  }
+
+  r.available = true;
+  r.backend = "native";
+  r.compileSeconds = r.compileCached ? 0 : module->compileSeconds();
+
+  std::optional<interp::Machine> reference;
+  if (verify_) reference.emplace(machine);  // identical pre-run bits
+
+  // Native leg, timed alone (the module is compiled already).
+  {
+    codegen::NativeModule::Binding b;
+    for (const auto& prm : p.params)
+      b.params.push_back(machine.params().at(prm));
+    for (const auto& a : p.arrays)
+      b.arrays.push_back(machine.array(a.name).data().data());
+    for (const auto& s : p.scalars) {
+      if (s.type == ir::Type::Int)
+        b.intScalars.push_back(machine.intScalarSlot(s.name));
+      else
+        b.floatScalars.push_back(machine.floatScalarSlot(s.name));
+    }
+    const double t0 = nowSeconds();
+    module->run(b);
+    r.nativeSeconds = nowSeconds() - t0;
+  }
+
+  if (reference) {
+    const double t0 = nowSeconds();
+    interp::Interpreter it(p, *reference, nullptr,
+                           interp::Interpreter::Dispatch::Batched,
+                           interp::Backend::Bytecode);
+    it.run();
+    r.bytecodeSeconds = nowSeconds() - t0;
+    std::string where;
+    if (!interp::machineStateBitwiseEqual(p, machine, *reference, &where))
+      throw interp::NativeVerificationError(
+          "'" + where +
+              "' differs from the bytecode reference run on program:\n" +
+              p.str(),
+          where);
+    r.verified = true;
+    if (r.nativeSeconds > 0)
+      r.speedupVsBytecode = r.bytecodeSeconds / r.nativeSeconds;
+  }
+
+  if (report) *report = r;
+  return machine;
+}
+
+}  // namespace fixfuse::pipeline

@@ -1,0 +1,75 @@
+// PassManager-level native execution: run a pipeline's output program
+// (fixed/tiled, already interpreter-verified pass by pass) at hardware
+// speed through codegen::NativeModule, with bitwise state verification
+// against a bytecode reference run and graceful fallback when the host
+// compiler is unavailable.
+//
+// This is the execution-side counterpart of PassManager::run: the
+// manager proves the transformation chain correct, the executor runs the
+// result end to end (emitC -> cc -> dlopen) and reports what happened -
+// backend used, compile time (cached after the first sweep point, via
+// the process-wide module registry), native-vs-bytecode speedup and the
+// verification verdict - as the `interp.native` JSON fragment of the
+// bench schema (v5, DESIGN.md section 3, item 8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "interp/interp.h"
+#include "interp/machine.h"
+#include "support/json.h"
+
+namespace fixfuse::pipeline {
+
+/// What one NativeExecutor::execute call did.
+struct NativeRunReport {
+  /// Backend that actually executed ("native", or "bytecode" on
+  /// fallback).
+  std::string backend;
+  /// Host compiler usable and the program compiled.
+  bool available = false;
+  /// Why not, when available is false.
+  std::string reason;
+  /// Compiler command prefix (cc + flags) for provenance.
+  std::string compiler;
+  bool compileCached = false;
+  double compileSeconds = 0;
+  double nativeSeconds = 0;
+  /// Reference run cost (also the verification cost), when verified.
+  double bytecodeSeconds = 0;
+  /// nativeSeconds vs bytecodeSeconds (0 when either leg did not run).
+  double speedupVsBytecode = 0;
+  /// Bitwise state check against the bytecode reference ran and passed.
+  /// A failed check never reports false here - it throws
+  /// interp::NativeVerificationError.
+  bool verified = false;
+
+  /// The `interp.native` JSON fragment (schema v5).
+  support::Json json() const;
+};
+
+class NativeExecutor {
+ public:
+  /// With `verify` (the default), every native execution is re-run
+  /// through bytecode on identical initial state and the final machine
+  /// states bit-compared (throws interp::NativeVerificationError on any
+  /// difference). Without it, only the native leg runs - for timed
+  /// paper-scale sweeps after the program has been verified once.
+  explicit NativeExecutor(bool verify = true) : verify_(verify) {}
+
+  /// Run `p` on a fresh machine: bind `params`, apply `init` (may be
+  /// null), execute natively when possible (else bytecode), and return
+  /// the final machine state. Fills *report when given.
+  interp::Machine execute(const ir::Program& p,
+                          const std::map<std::string, std::int64_t>& params,
+                          const std::function<void(interp::Machine&)>& init,
+                          NativeRunReport* report = nullptr) const;
+
+ private:
+  bool verify_ = true;
+};
+
+}  // namespace fixfuse::pipeline

@@ -1,0 +1,76 @@
+#include "support/dylib.h"
+
+#include <utility>
+
+#if defined(__has_include)
+#if __has_include(<dlfcn.h>)
+#define FIXFUSE_HAVE_DLFCN 1
+#include <dlfcn.h>
+#endif
+#endif
+
+namespace fixfuse::support {
+
+#ifdef FIXFUSE_HAVE_DLFCN
+
+namespace {
+std::string lastDlError() {
+  const char* e = ::dlerror();
+  return e ? std::string(e) : std::string("unknown dlerror");
+}
+}  // namespace
+
+Dylib Dylib::open(const std::string& path) {
+  ::dlerror();  // clear any stale diagnostic
+  void* h = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!h) throw DylibError("dlopen(" + path + "): " + lastDlError());
+  Dylib d;
+  d.handle_ = h;
+  d.path_ = path;
+  return d;
+}
+
+bool Dylib::supported() { return true; }
+
+void* Dylib::symbol(const std::string& name) const {
+  if (!handle_) throw DylibError("symbol(" + name + ") on unloaded handle");
+  ::dlerror();
+  void* s = ::dlsym(handle_, name.c_str());
+  if (!s) throw DylibError("dlsym(" + name + ") in " + path_ + ": " +
+                           lastDlError());
+  return s;
+}
+
+Dylib::~Dylib() {
+  if (handle_) ::dlclose(handle_);
+}
+
+#else  // !FIXFUSE_HAVE_DLFCN
+
+Dylib Dylib::open(const std::string& path) {
+  throw DylibError("dynamic loading unsupported on this platform (" + path +
+                   ")");
+}
+
+bool Dylib::supported() { return false; }
+
+void* Dylib::symbol(const std::string& name) const {
+  throw DylibError("symbol(" + name + ") on unloaded handle");
+}
+
+Dylib::~Dylib() = default;
+
+#endif
+
+Dylib::Dylib(Dylib&& o) noexcept : handle_(o.handle_), path_(std::move(o.path_)) {
+  o.handle_ = nullptr;
+}
+
+Dylib& Dylib::operator=(Dylib&& o) noexcept {
+  // Swap: the incoming object's destructor closes our old handle.
+  std::swap(handle_, o.handle_);
+  std::swap(path_, o.path_);
+  return *this;
+}
+
+}  // namespace fixfuse::support

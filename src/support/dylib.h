@@ -1,0 +1,52 @@
+// Minimal RAII wrapper over the platform dynamic loader (POSIX
+// dlopen/dlsym/dlclose), used by codegen::NativeModule to load the
+// shared objects it compiles at runtime.
+//
+// Failure philosophy: open()/symbol() throw support-level Error with the
+// loader's diagnostic (dlerror); callers that can degrade gracefully
+// (the native execution backend) catch and fall back. The handle is
+// move-only and closes on destruction.
+#pragma once
+
+#include <string>
+
+#include "support/error.h"
+
+namespace fixfuse::support {
+
+/// The dynamic loader rejected an open or symbol lookup.
+class DylibError : public Error {
+ public:
+  explicit DylibError(const std::string& what) : Error("dylib: " + what) {}
+};
+
+class Dylib {
+ public:
+  Dylib() = default;
+  ~Dylib();
+
+  Dylib(Dylib&& o) noexcept;
+  Dylib& operator=(Dylib&& o) noexcept;
+  Dylib(const Dylib&) = delete;
+  Dylib& operator=(const Dylib&) = delete;
+
+  /// dlopen(path, RTLD_NOW | RTLD_LOCAL); throws DylibError with the
+  /// loader diagnostic on failure.
+  static Dylib open(const std::string& path);
+
+  /// True when the loader is usable on this platform at all (false on
+  /// builds without <dlfcn.h>; open() then always throws).
+  static bool supported();
+
+  bool loaded() const { return handle_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Resolved address of `name`; throws DylibError when missing.
+  void* symbol(const std::string& name) const;
+
+ private:
+  void* handle_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace fixfuse::support

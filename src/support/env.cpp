@@ -60,4 +60,9 @@ std::uint32_t positiveInt(const char* var, std::uint32_t max,
   return fallback;
 }
 
+std::string stringOr(const char* var, const char* fallback) {
+  const char* v = std::getenv(var);
+  return (v && *v) ? std::string(v) : std::string(fallback);
+}
+
 }  // namespace fixfuse::support::env

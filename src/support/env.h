@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace fixfuse::support::env {
@@ -33,5 +34,10 @@ bool truthy(const char* var, bool fallback, const char* fallbackAction);
 std::uint32_t positiveInt(const char* var, std::uint32_t max,
                           std::uint32_t fallback, const char* expected,
                           const char* fallbackAction);
+
+/// Free-form string env var (no validation to apply): unset or empty =>
+/// fallback. Used by FIXFUSE_CC / FIXFUSE_CFLAGS, where any non-empty
+/// value is a legitimate compiler invocation.
+std::string stringOr(const char* var, const char* fallback);
 
 }  // namespace fixfuse::support::env

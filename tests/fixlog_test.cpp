@@ -20,7 +20,9 @@ void expectDist(const DistanceBound& d, bool zero, bool bounded,
                 std::int64_t bound, const char* where) {
   EXPECT_EQ(d.zero, zero) << where;
   EXPECT_EQ(d.bounded, bounded) << where;
-  if (bounded) EXPECT_EQ(d.bound, bound) << where;
+  if (bounded) {
+    EXPECT_EQ(d.bound, bound) << where;
+  }
 }
 
 void expectSizes(const std::vector<TileSize>& got,

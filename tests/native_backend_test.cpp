@@ -1,0 +1,245 @@
+// Differential tests for the native execution backend (emitC -> host cc
+// -> dlopen, codegen::NativeModule): every native run must land in a
+// machine state bit-for-bit identical to the bytecode engine's - every
+// array byte-identical, every scalar bit-identical (QR legitimately
+// produces NaN, so comparisons are memcmp-based). The programs come
+// from every variant of the four paper kernel pipelines (seq / fixed /
+// fixedOpt / tiled: guards, min/max and floor-div/mod tile bounds,
+// data-dependent int-scalar subscripts, Select reads) and from the
+// FixDeps fuzz generator (random dependence patterns, shifted
+// subscripts).
+//
+// Natives emit no observer Events, so the equivalence contract is
+// state-only; requesting Backend::Native with an observer attached must
+// silently run the bytecode engine instead (tested below). Everything
+// here skips cleanly when the host has no usable C compiler - the
+// native backend is an accelerator, and graceful degradation is part of
+// its contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "codegen/native_module.h"
+#include "core/fuse.h"
+#include "fuzz_systems.h"
+#include "interp/compare.h"
+#include "interp/interp.h"
+#include "kernels/common.h"
+#include "kernels/native.h"
+#include "pipeline/native_exec.h"
+
+namespace fixfuse::interp {
+namespace {
+
+using Dispatch = Interpreter::Dispatch;
+
+#define SKIP_WITHOUT_HOST_CC()                                       \
+  if (!codegen::hostCompilerAvailable())                             \
+  GTEST_SKIP() << "no usable host compiler ("                        \
+               << codegen::hostCompilerUnavailableReason()           \
+               << "); the native backend degrades to bytecode here"
+
+/// Run `p` once per backend on identical initial state and require the
+/// final machines bit-for-bit equal (arrays and scalars). The native
+/// interpreter also self-verifies (FIXFUSE_NATIVE_VERIFY defaults on),
+/// so a divergence would already throw NativeVerificationError; the
+/// explicit comparison keeps this test meaningful with verification
+/// disabled in the environment.
+void expectNativeMatchesBytecode(
+    const ir::Program& p, const std::map<std::string, std::int64_t>& params,
+    const std::function<void(Machine&)>& init, const std::string& label) {
+  Machine ref(p, params);
+  if (init) init(ref);
+  Interpreter bc(p, ref, nullptr, Dispatch::Batched, Backend::Bytecode);
+  bc.run();
+
+  Machine m(p, params);
+  if (init) init(m);
+  Interpreter nat(p, m, nullptr, Dispatch::Batched, Backend::Native);
+  nat.run();
+
+  std::string where;
+  EXPECT_TRUE(machineStateBitwiseEqual(p, m, ref, &where))
+      << label << ": '" << where << "' differs from the bytecode reference";
+}
+
+TEST(NativeBackend, AllKernelPipelineVariantsStateEquivalent) {
+  SKIP_WITHOUT_HOST_CC();
+  for (const char* kernel : {"lu", "cholesky", "qr", "jacobi"}) {
+    kernels::KernelBundle b = kernels::buildKernel(kernel, {/*tile=*/4});
+    std::map<std::string, std::int64_t> params{{"N", 12}};
+    if (std::string(kernel) == "jacobi") params["M"] = 3;
+    kernels::native::Matrix a0 =
+        std::string(kernel) == "cholesky"
+            ? kernels::native::spdMatrix(12, 7)
+            : kernels::native::randomMatrix(12, 7, 0.5, 1.5);
+    auto init = [&a0](Machine& m) {
+      if (m.hasArray("A")) m.array("A").data() = a0;
+    };
+    const char* names[] = {"seq", "fixed", "fixedOpt", "tiled"};
+    const ir::Program* variants[] = {&b.seq, &b.fixed, &b.fixedOpt, &b.tiled};
+    for (int i = 0; i < 4; ++i)
+      expectNativeMatchesBytecode(*variants[i], params, init,
+                                  std::string(kernel) + "/" + names[i]);
+  }
+}
+
+TEST(NativeBackend, FuzzProgramsStateEquivalent) {
+  SKIP_WITHOUT_HOST_CC();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    tests::FuzzSystem fz = tests::randomSystem(seed);
+    ir::Program seq = core::generateSequentialProgram(fz.sys);
+    ir::Program fused = core::generateFusedProgram(fz.sys);
+    auto init = [seed](Machine& m) { tests::initFuzzArrays(m, seed, 91, 16); };
+    std::map<std::string, std::int64_t> params{{"N", 16}};
+    expectNativeMatchesBytecode(seq, params, init,
+                                "fuzz seq seed=" + std::to_string(seed));
+    // `fused` may be semantically wrong vs `seq` (that is FixDeps' whole
+    // point), but native-vs-bytecode on the *same* program must still
+    // agree bit for bit.
+    expectNativeMatchesBytecode(fused, params, init,
+                                "fuzz fused seed=" + std::to_string(seed));
+  }
+}
+
+TEST(NativeBackend, ScalarsAreWrittenBack) {
+  // Final scalar values must round-trip out of the native function (the
+  // emitted C keeps them as locals; the entry trampoline copies them in
+  // and out through pointer parameters).
+  SKIP_WITHOUT_HOST_CC();
+  using namespace fixfuse::ir;
+  Program p;
+  p.declareArray("A", {ic(8)});
+  p.declareScalar("s", Type::Float);
+  p.declareScalar("k", Type::Int);
+  p.body = blockS(
+      {sassign("s", fc(0.0)),
+       loopS("i", ic(1), ic(5),
+             {sassign("s", add(sloadf("s"), load("A", {iv("i")}))),
+              sassign("k", iv("i"))}),
+       aassign("A", {ic(0)}, sloadf("s"))});
+  auto init = [](Machine& m) {
+    double x = 0.5;
+    for (auto& v : m.array("A").data()) v = (x += 0.25);
+  };
+
+  Machine m(p, {});
+  init(m);
+  Interpreter it(p, m, nullptr, Dispatch::Batched, Backend::Native);
+  it.run();
+
+  Machine ref(p, {});
+  init(ref);
+  Interpreter bc(p, ref, nullptr, Dispatch::Batched, Backend::Bytecode);
+  bc.run();
+
+  EXPECT_EQ(m.intScalars().at("k"), 5);
+  EXPECT_TRUE(bitsEqual(&m.floatScalars().at("s"),
+                        &ref.floatScalars().at("s"), 1));
+  std::string where;
+  EXPECT_TRUE(machineStateBitwiseEqual(p, m, ref, &where)) << where;
+}
+
+TEST(NativeBackend, ObserverForcesBytecodeAndEmitsTheFullTrace) {
+  // Natives emit no Events; an observer-attached Backend::Native request
+  // must silently run the bytecode engine, producing the exact bytecode
+  // event stream and final state.
+  kernels::KernelBundle b = kernels::buildKernel("cholesky", {/*tile=*/0});
+  std::map<std::string, std::int64_t> params{{"N", 10}};
+  kernels::native::Matrix a0 = kernels::native::spdMatrix(10, 3);
+  auto init = [&a0](Machine& m) { m.array("A").data() = a0; };
+
+  Machine mBc(b.seq, params);
+  init(mBc);
+  TraceRecorder recBc;
+  Interpreter bc(b.seq, mBc, &recBc, Dispatch::Batched, Backend::Bytecode);
+  bc.run();
+
+  Machine mNat(b.seq, params);
+  init(mNat);
+  TraceRecorder recNat;
+  Interpreter nat(b.seq, mNat, &recNat, Dispatch::Batched, Backend::Native);
+  nat.run();
+
+  ASSERT_FALSE(recNat.events.empty());
+  EXPECT_TRUE(recNat.events == recBc.events);
+  std::string where;
+  EXPECT_TRUE(machineStateBitwiseEqual(b.seq, mNat, mBc, &where)) << where;
+}
+
+TEST(NativeBackend, ModuleCacheHitsOnSecondRequest) {
+  SKIP_WITHOUT_HOST_CC();
+  kernels::KernelBundle b = kernels::buildKernel("cholesky", {/*tile=*/0});
+  bool cached1 = true, cached2 = false;
+  auto m1 = codegen::NativeModule::getOrCompile(b.fixed, &cached1);
+  auto m2 = codegen::NativeModule::getOrCompile(b.fixed, &cached2);
+  // First call may or may not hit (another test can have compiled the
+  // same hash-consed program already); the second must.
+  EXPECT_TRUE(cached2);
+  EXPECT_EQ(m1.get(), m2.get());
+  std::string error = "preset";
+  bool cached3 = false;
+  auto m3 = codegen::NativeModule::tryGetOrCompile(b.fixed, &error, &cached3);
+  EXPECT_EQ(m3.get(), m1.get());
+  EXPECT_TRUE(cached3);
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(NativeBackend, NativeExecutorReportsAndVerifies) {
+  SKIP_WITHOUT_HOST_CC();
+  kernels::KernelBundle b = kernels::buildKernel("cholesky", {/*tile=*/4});
+  kernels::native::Matrix a0 = kernels::native::spdMatrix(16, 9);
+  pipeline::NativeRunReport r;
+  pipeline::NativeExecutor exec(/*verify=*/true);
+  Machine m = exec.execute(
+      b.tiled, {{"N", 16}},
+      [&a0](Machine& mm) { mm.array("A").data() = a0; }, &r);
+
+  EXPECT_TRUE(r.available);
+  EXPECT_EQ(r.backend, "native");
+  EXPECT_TRUE(r.verified);
+  EXPECT_FALSE(r.compiler.empty());
+  EXPECT_GE(r.compileSeconds, 0.0);
+  EXPECT_GT(r.nativeSeconds, 0.0);
+  EXPECT_GT(r.bytecodeSeconds, 0.0);
+  EXPECT_GT(r.speedupVsBytecode, 0.0);
+  const std::string j = r.json().str();
+  for (const char* key :
+       {"available", "backend", "compiler", "compile_cached",
+        "compile_seconds", "native_seconds", "bytecode_seconds",
+        "speedup_vs_bytecode", "verified"})
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+
+  // The executor's returned machine is the native result - equal to a
+  // plain bytecode run.
+  Machine ref(b.tiled, {{"N", 16}});
+  ref.array("A").data() = a0;
+  Interpreter bc(b.tiled, ref, nullptr, Dispatch::Batched, Backend::Bytecode);
+  bc.run();
+  std::string where;
+  EXPECT_TRUE(machineStateBitwiseEqual(b.tiled, m, ref, &where)) << where;
+}
+
+TEST(NativeBackend, ParseBackendNameAndBackendName) {
+  EXPECT_EQ(parseBackendName("native"), Backend::Native);
+  EXPECT_EQ(parseBackendName("Native"), Backend::Native);
+  EXPECT_EQ(parseBackendName("NATIVE"), Backend::Native);
+  EXPECT_EQ(parseBackendName("native "), std::nullopt);
+  EXPECT_STREQ(backendName(Backend::Native), "native");
+}
+
+TEST(NativeBackend, HostCompilerProbeIsConsistent) {
+  // Whatever the probe decided, it must be stable within the process and
+  // the unavailability reason must be non-empty exactly when the
+  // compiler is unusable.
+  const bool avail = codegen::hostCompilerAvailable();
+  EXPECT_EQ(codegen::hostCompilerAvailable(), avail);
+  if (!avail) {
+    EXPECT_FALSE(codegen::hostCompilerUnavailableReason().empty());
+  }
+  EXPECT_FALSE(codegen::hostCompilerCommand().empty());
+}
+
+}  // namespace
+}  // namespace fixfuse::interp
