@@ -190,12 +190,22 @@ class BenchReport {
     analysis_.set(key, std::move(v));
   }
 
+  /// Fields for the top-level `planner` section (schema v6): the
+  /// deterministic decision counts of planner::planProgram per kernel
+  /// (strategy, fallback-chain steps, overrides, repairs). Written only
+  /// when a bench sets at least one field (microbench does); the counts
+  /// are part of the baseline regression surface.
+  void setPlanner(const std::string& key, support::Json v) {
+    if (planner_.isNull()) planner_ = support::Json::object();
+    planner_.set(key, std::move(v));
+  }
+
   /// Write the report when requested; returns the path written to.
   std::optional<std::string> write() {
     if (!path_) return std::nullopt;
     support::Json doc = support::Json::object();
     doc.set("bench", name_);
-    doc.set("schema_version", std::int64_t{5});
+    doc.set("schema_version", std::int64_t{6});
     doc.set("full_sweep", fullRuns());
     doc.set("threads", static_cast<std::int64_t>(sweepThreads()));
     interp_.set("backend",
@@ -205,6 +215,7 @@ class BenchReport {
     doc.set("rows", std::move(rows_));
     if (!pipeline_.isNull()) doc.set("pipeline", std::move(pipeline_));
     if (!analysis_.isNull()) doc.set("analysis", std::move(analysis_));
+    if (!planner_.isNull()) doc.set("planner", std::move(planner_));
     doc.set("wall_seconds", now() - start_);
     std::FILE* f = std::fopen(path_->c_str(), "w");
     if (!f) {
@@ -236,6 +247,7 @@ class BenchReport {
   support::Json interp_;    // `interp` section; always written (schema v3)
   support::Json pipeline_;  // null unless setPipeline was called
   support::Json analysis_;  // null unless setAnalysis was called (schema v4)
+  support::Json planner_;   // null unless setPlanner was called (schema v6)
 };
 
 /// Run fn(i) for each sweep point on the worker pool, then emit the rows

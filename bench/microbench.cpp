@@ -659,6 +659,54 @@ int runNativeComparison(bench::BenchReport& report) {
   return pass ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// Fusion planner decisions: derive each kernel's pipeline configuration
+// from its program (planner::planProgram) and report the deterministic
+// decision counts. The exact plan contents are pinned differentially by
+// tests/planner_test.cpp; the counts here feed the JSON baseline so any
+// planning drift also fails the bench regression gate.
+
+int runPlannerSection(bench::BenchReport& report) {
+  std::printf("\nFusion planner decisions (planner::planProgram)\n");
+  std::printf("%-10s %-13s %6s %9s %10s %7s %6s %7s  %s\n", "kernel",
+              "strategy", "tried", "rejected", "overrides", "relaxed",
+              "tiles", "copies", "tiling");
+  bool pass = true;
+  for (const char* name : {"cholesky", "jacobi", "lu", "qr"}) {
+    kernels::KernelBundle b = kernels::buildKernel(name, {/*tile=*/0});
+    const planner::Plan& p = b.plan;
+    pass = pass && !p.strategy.empty();
+    std::printf("%-10s %-13s %6zu %9zu %10zu %7zu %6zu %7zu  %s\n", name,
+                p.strategy.c_str(), p.strategiesTried, p.strategiesRejected,
+                p.placementOverrides + p.boundOverrides, p.boundRelaxations,
+                b.fixLog.tiles.size(), b.fixLog.copies.size(),
+                p.tile.kindName());
+    support::Json j = support::Json::object();
+    j.set("strategy", p.strategy)
+        .set("peel", p.peelVar ? support::Json(*p.peelVar) : support::Json())
+        .set("split_epilogue", p.splitEpilogue)
+        .set("candidate_nests", static_cast<std::int64_t>(p.candidateNests))
+        .set("strategies_tried",
+             static_cast<std::int64_t>(p.strategiesTried))
+        .set("strategies_rejected",
+             static_cast<std::int64_t>(p.strategiesRejected))
+        .set("bound_relaxations",
+             static_cast<std::int64_t>(p.boundRelaxations))
+        .set("placement_overrides",
+             static_cast<std::int64_t>(p.placementOverrides))
+        .set("bound_overrides", static_cast<std::int64_t>(p.boundOverrides))
+        .set("scalarized", static_cast<std::int64_t>(p.scalarize.size()))
+        .set("fix_tiles", static_cast<std::int64_t>(b.fixLog.tiles.size()))
+        .set("fix_copies", static_cast<std::int64_t>(b.fixLog.copies.size()))
+        .set("tile_kind", std::string(p.tile.kindName()))
+        .set("suggested_tile", p.tile.suggestedTile);
+    report.setPlanner(name, std::move(j));
+  }
+  std::printf("%s: all four kernels planned\n", pass ? "PASS" : "FAIL");
+  report.setPlanner("pass", pass);
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -683,6 +731,7 @@ int main(int argc, char** argv) {
   rc |= runBackendComparison(report);
   rc |= runAnalysisComparison(report);
   rc |= runNativeComparison(report);
+  rc |= runPlannerSection(report);
   report.write();
   return rc;
 }

@@ -1,8 +1,11 @@
 // End-user workflow entirely from text: write an imperfect loop nest in
-// the textual syntax, parse it, run it through the PassManager
-// (sink -> fuse -> FixDeps, with per-pass bit-for-bit verification
-// against the input), and emit compilable C. Pass a file path to process
-// your own program instead of the built-in one.
+// the textual syntax, parse it, let the fusion planner derive the
+// pipeline (planner::planProgram - peel/placement/bounds/scalarisation
+// decided from the program itself), run the planned passes through the
+// PassManager (with per-pass bit-for-bit verification against the
+// input), and emit compilable C. Pass a file path to process your own
+// program instead of the built-in one; unfusable programs are rejected
+// loudly with UnsupportedError, never mis-compiled.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -12,6 +15,7 @@
 #include "ir/parse.h"
 #include "ir/printer.h"
 #include "pipeline/manager.h"
+#include "planner/planner.h"
 
 using namespace fixfuse;
 
@@ -70,9 +74,19 @@ int main(int argc, char** argv) {
   vo.init = [&init](interp::Machine& m,
                     const std::map<std::string, std::int64_t>&) { init(m); };
 
+  // The planner inspects the parsed program and decides the pipeline:
+  // whether to peel, how to place sunk dimensions, the fused bounds,
+  // scalarisation, and a tiling recommendation. Unfusable input throws
+  // UnsupportedError here instead of mis-compiling.
+  planner::Plan plan = planner::planProgram(original, ctx);
+  std::printf("== plan ==\nstrategy: %s\n", plan.strategy.c_str());
+  for (const std::string& line : plan.log)
+    std::printf("  %s\n", line.c_str());
+  std::printf("\n");
+
   pipeline::PassManager pm(ctx);
   pm.verifyWith(vo);
-  pm.add(pipeline::sinkPass()).add(pipeline::fixDepsPass());
+  planner::addPlannedPasses(pm, plan);
   pipeline::PipelineState st = pm.run(original);
   ir::Program fixed = st.program;
 

@@ -23,7 +23,8 @@ that was generated from a failing run):
   microbench: interp.speedup >= 3, analysis speedups >= 1.5,
               interp.native.speedup_vs_bytecode >= 20 (when a host
               compiler is available; pass --allow-no-native on runners
-              without one), all totals_agree/verified/pass flags true.
+              without one), all totals_agree/verified/pass flags true,
+              planner.pass true (all four kernels planned).
   table1_capability: every kernel handled.
   ablation_fixdeps:  every post-FixDeps error norm exactly 0.
 
@@ -119,6 +120,9 @@ def gate_microbench(doc, errors, allow_no_native):
         fail(errors, "interp.native.available is false "
                      f"({native.get('reason', 'no reason reported')}); "
                      "pass --allow-no-native on compiler-less runners")
+    planner = doc.get("planner", {})
+    if planner.get("pass") is not True:
+        fail(errors, "planner.pass is not true")
 
 
 def gate_table1(doc, errors):

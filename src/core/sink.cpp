@@ -392,4 +392,33 @@ deps::NestSystem codeSink(const ir::Program& p, const poly::ParamContext& ctx,
   return sys;
 }
 
+SinkAnalysis analyzeSink(const ir::Program& p) {
+  ir::Program numbered = p;
+  numbered.numberAssignments();
+  Sinker sinker(numbered);
+  Discovery d = sinker.run();
+  FIXFUSE_CHECK(!d.nests.empty(), "nothing to sink");
+  SinkAnalysis a;
+  for (const auto& [var, b] : d.prefixBounds)
+    a.prefixBounds[var] = {b.lb, b.ub};
+  for (const auto& sn : d.nests) {
+    SinkAnalysis::Nest n;
+    n.prefixVars = sn.prefixVars;
+    n.ownVars = sn.ownVars;
+    for (const auto& b : sn.ownBounds) n.ownBounds.push_back({b.lb, b.ub});
+    a.nests.push_back(std::move(n));
+  }
+  // Same election as codeSink: deepest, ties toward the last.
+  std::size_t bestDepth = 0;
+  for (std::size_t i = 0; i < a.nests.size(); ++i)
+    if (a.nests[i].depth() >= bestDepth) {
+      bestDepth = a.nests[i].depth();
+      a.mainNest = i;
+    }
+  for (std::size_t i = 0; i < a.nests.size(); ++i)
+    if (i != a.mainNest && a.nests[i].depth() == bestDepth)
+      a.mainNestUnique = false;
+  return a;
+}
+
 }  // namespace fixfuse::core

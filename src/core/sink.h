@@ -41,4 +41,29 @@ struct SinkOptions {
 deps::NestSystem codeSink(const ir::Program& p, const poly::ParamContext& ctx,
                           const SinkOptions& opts = {});
 
+/// Read-only view of the sinker's sub-nest discovery, exposed for the
+/// planner: which perfect sub-nests exist (discovery order - the same
+/// indices SinkOptions::dimOverrides uses), their container prefix and
+/// private loop variables/bounds, and which nest codeSink would elect as
+/// the main nest (deepest; ties toward the last).
+struct SinkAnalysis {
+  using Bound = std::pair<poly::AffineExpr, poly::AffineExpr>;
+  struct Nest {
+    std::vector<std::string> prefixVars;  // container loop vars, outer first
+    std::vector<std::string> ownVars;     // this nest's private loop vars
+    std::vector<Bound> ownBounds;         // parallel to ownVars
+    /// Straight-line (pin) sub-nest: no loops of its own.
+    bool straightLine() const { return ownVars.empty(); }
+    std::size_t depth() const { return prefixVars.size() + ownVars.size(); }
+  };
+  std::map<std::string, Bound> prefixBounds;
+  std::vector<Nest> nests;     // discovery order
+  std::size_t mainNest = 0;    // codeSink's main-nest election
+  bool mainNestUnique = true;  // no depth tie with another nest
+};
+
+/// Analyze `p` without building a NestSystem. Throws the same
+/// UnsupportedError / FIXFUSE_CHECK failures codeSink's discovery would.
+SinkAnalysis analyzeSink(const ir::Program& p);
+
 }  // namespace fixfuse::core

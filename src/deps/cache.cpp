@@ -98,6 +98,27 @@ void encodeStmt(Key& k, const ir::Stmt& s) {
   }
 }
 
+// The declaration program: parameters, arrays (names and extents) and
+// scalars (names and types). Its body is ignored by the analyses, but
+// the declarations are part of what a system *is* - two systems with
+// identical nests and different decls (say, an extent changed, or a
+// FixDeps copy array added) must not share cache entries.
+void encodeDecls(Key& k, const ir::Program& p) {
+  k.push_back(p.params.size());
+  for (const auto& prm : p.params) k.push_back(support::internSymbol(prm).id());
+  k.push_back(p.arrays.size());
+  for (const auto& a : p.arrays) {
+    k.push_back(support::internSymbol(a.name).id());
+    k.push_back(a.extents.size());
+    for (const auto& e : a.extents) k.push_back(exprWord(e));
+  }
+  k.push_back(p.scalars.size());
+  for (const auto& s : p.scalars) {
+    k.push_back(support::internSymbol(s.name).id());
+    k.push_back(static_cast<std::uint64_t>(s.type));
+  }
+}
+
 void encodeNest(Key& k, const PerfectNest& nest) {
   k.push_back(nest.vars.size());
   for (const auto& v : nest.vars) k.push_back(support::internSymbol(v).id());
@@ -116,6 +137,7 @@ Key fingerprint(const NestSystem& sys, std::size_t k, std::size_t kp,
   Key key;
   key.reserve(64);
   key.push_back(support::internSymbol(sys.ctx.fingerprintRef()).id());
+  encodeDecls(key, sys.decls);
   key.push_back(sys.isVars.size());
   for (const auto& v : sys.isVars)
     key.push_back(support::internSymbol(v).id());

@@ -6,9 +6,11 @@
 // pipeline over and over on identical systems - each time redoing the
 // same Fourier-Motzkin projections and emptiness proofs. The cache keys
 // a query on a structural fingerprint of *everything the answer depends
-// on*: the parameter context, the fused-space variables and bounds, and
-// both nests' variables, shared prefix, domain, embedding, tile sizes,
-// body and assignment ids - plus the array symbol and dependence kind.
+// on*: the parameter context, the system's declarations (parameters,
+// array extents, scalar types), the fused-space variables and bounds,
+// and both nests' variables, shared prefix, domain, embedding, tile
+// sizes, body and assignment ids - plus the array symbol and dependence
+// kind.
 // The fingerprint is a flat integer tuple: interned Symbols for names,
 // structural encodings for affine expressions and sets, and canonical
 // hash-consed Expr node addresses for statement bodies (two bodies

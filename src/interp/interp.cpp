@@ -7,8 +7,6 @@
 #include <cstdlib>
 #include <limits>
 
-#include <mutex>
-#include <set>
 #include <string>
 
 #include "codegen/native_module.h"
@@ -59,19 +57,6 @@ const char* backendName(Backend b) {
 
 namespace {
 
-/// Once-per-process stderr warning per distinct message key (the native
-/// backend's graceful-degradation reports; a sweep must not repeat them
-/// per point).
-void warnOncePerProcess(const std::string& key, const std::string& msg) {
-  static std::mutex m;
-  static std::set<std::string>* warned = new std::set<std::string>();
-  {
-    std::lock_guard<std::mutex> lock(m);
-    if (!warned->insert(key).second) return;
-  }
-  std::fprintf(stderr, "warning: %s\n", msg.c_str());
-}
-
 bool nativeVerifyFromEnv() {
   return support::env::truthy("FIXFUSE_NATIVE_VERIFY", /*fallback=*/true,
                               "verifying native runs against bytecode");
@@ -99,10 +84,14 @@ Interpreter::Interpreter(const ir::Program& program, Machine& machine,
       if (native_) {
         nativeVerify_ = nativeVerifyFromEnv();
       } else {
-        warnOncePerProcess(error, "native backend unavailable, " +
-                                      std::string("falling back to "
-                                                  "bytecode: ") +
-                                      error);
+        // Once-per-process per distinct failure (a sweep must not repeat
+        // the warning per point); shared dedup with the pipeline
+        // executor's fallback path.
+        support::env::warnOncePerProcess(
+            error, "native backend unavailable, " +
+                       std::string("falling back to "
+                                   "bytecode: ") +
+                       error);
         backend_ = Backend::Bytecode;
       }
     }

@@ -1,11 +1,16 @@
-// Cholesky factorisation (Fig. 1c): peel the last k iteration, sink into
-// the fused (k, j, i) space with i: j..N (Fig. 3c). The fused program is
-// already legal - FixDeps verifiably does nothing (the paper's "the fused
-// program for Cholesky is already legal"). Tiling: the outermost k loop.
+// Cholesky factorisation (Fig. 1c). The pipeline configuration - peel
+// the last k iteration, sink into the fused (k, j, i) space with
+// i: j..N (Fig. 3c) - is derived by planner::planProgram (the straight-
+// line sqrt statement vanishes at k = N under tight bounds, so the
+// planner peels; the tightest covering i bound is the update nest's
+// j..N). The fused program is already legal - FixDeps verifiably does
+// nothing (the paper's "the fused program for Cholesky is already
+// legal"). Tiling: the outermost k loop, as the plan recommends.
 #include "core/fuse.h"
 #include "core/sink.h"
 #include "core/transforms.h"
 #include "kernels/common.h"
+#include "planner/planner.h"
 
 namespace fixfuse::kernels {
 
@@ -42,20 +47,11 @@ KernelBundle buildCholesky(const KernelOptions& opts) {
   b.name = "cholesky";
   b.seq = cholSeq();
 
-  core::SinkOptions sink;
-  // Fused i runs j..N as in Fig. 3c (the scale nest's instances embed at
-  // the slice j = k+1, where i covers k+1..N).
-  sink.isBoundOverrides[2] = {poly::AffineExpr::var("j"),
-                              poly::AffineExpr::var("N")};
+  b.plan = planner::planProgram(b.seq, kernelContext(/*withM=*/false));
 
   pipeline::PassManager pm(kernelContext(/*withM=*/false));
   pm.verifyWith(opts.verify);
-  pm.add(pipeline::peelLastIterationPass("k"))
-      .add(pipeline::sinkPass(sink, /*splitEpilogue=*/true))
-      .add(pipeline::fusePass())
-      .add(pipeline::snapshotPass("fused", &b.fused))
-      .add(pipeline::fixDepsPass())
-      .add(pipeline::snapshotPass("fixed", &b.fixed));
+  planner::addPlannedPasses(pm, b.plan, {&b.fused, &b.fixed});
   pipeline::PipelineState st = pm.run(b.seq);
   b.fixLog = std::move(st.fixLog);
   b.system = std::move(*st.system);
@@ -63,11 +59,13 @@ KernelBundle buildCholesky(const KernelOptions& opts) {
   b.fixedOpt = b.fixed;
   // "The outermost k loop is tiled": k-strips applied per column
   // (blocked right-looking Cholesky), order (Tk, j, k, i) so the
-  // contiguous i loop stays innermost; see tileLoopInnermost.
+  // contiguous i loop stays innermost; see tileLoopInnermost. The plan
+  // recommends exactly this shape (clean fix => strip-mine the outer
+  // loop); the tile size stays the caller's measured choice.
   if (opts.tile > 0) {
     pipeline::PassManager tilePm(kernelContext(/*withM=*/false));
     tilePm.verifyWith(opts.verify);
-    tilePm.add(pipeline::stripMineAndSinkPass("k", opts.tile,
+    tilePm.add(pipeline::stripMineAndSinkPass(b.plan.tile.stripVar, opts.tile,
                                               /*keepInner=*/1));
     b.tiled = tilePm.run(b.fixed).program;
     b.stats.append(tilePm.stats());

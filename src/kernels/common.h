@@ -28,6 +28,7 @@
 #include "deps/nestsystem.h"
 #include "ir/stmt.h"
 #include "pipeline/manager.h"
+#include "planner/planner.h"
 #include "poly/set.h"
 
 namespace fixfuse::kernels {
@@ -52,6 +53,11 @@ struct KernelBundle {
   ir::Program tiledBaseline;
   deps::NestSystem system;  // the post-FixDeps nest system
   core::FixLog fixLog;
+  /// The automatically derived pipeline configuration (planner::planProgram
+  /// on `seq`): every driver assembles its passes from this plan instead of
+  /// hand-wiring them. The differential tests pin the plan to the historical
+  /// hand-written configuration for all four kernels.
+  planner::Plan plan;
   /// Per-pass instrumentation of the build (PassManager record; covers
   /// the fuse/fix pipeline and, when tiling ran through the manager, the
   /// tiling passes too).

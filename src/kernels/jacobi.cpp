@@ -4,11 +4,16 @@
 // is then scalarised. Tiling: skew (t, i, j) -> (t+i, t+j, t) - putting
 // the time loop innermost so its temporal reuse is exploited - and tile
 // all three loops (Sec. 4).
+// The configuration is derived by planner::planProgram: both sweeps map
+// cleanly (no pins, no peel), FixDeps' copy repair marks the stencil as
+// skewable, and L is detected as a block-local temporary (single
+// subscript vector at every site, not in a tiled nest) and scalarised.
 #include "core/fuse.h"
 #include "core/sink.h"
 #include "core/transforms.h"
 #include "ir/validate.h"
 #include "kernels/common.h"
+#include "planner/planner.h"
 
 namespace fixfuse::kernels {
 
@@ -89,15 +94,12 @@ KernelBundle buildJacobi(const KernelOptions& opts) {
   b.name = "jacobi";
   b.seq = jacobiSeq();
 
+  // The plan scalarises the temporary L (the paper's Fig. 4d note).
+  b.plan = planner::planProgram(b.seq, kernelContext(/*withM=*/true));
+
   pipeline::PassManager pm(kernelContext(/*withM=*/true));
   pm.verifyWith(opts.verify);
-  pm.add(pipeline::sinkPass())
-      .add(pipeline::fusePass())
-      .add(pipeline::snapshotPass("fused", &b.fused))
-      .add(pipeline::fixDepsPass())
-      // Replace the temporary L by a scalar (the paper's Fig. 4d note).
-      .add(pipeline::scalarizeArrayPass("L", "l"))
-      .add(pipeline::snapshotPass("fixed", &b.fixed));
+  planner::addPlannedPasses(pm, b.plan, {&b.fused, &b.fixed});
   pipeline::PipelineState st = pm.run(b.seq);
   b.fixLog = std::move(st.fixLog);
   b.system = std::move(*st.system);
@@ -119,8 +121,8 @@ KernelBundle buildJacobi(const KernelOptions& opts) {
     pipeline::PassManager tilePm(kernelContext(/*withM=*/true));
     tilePm.verifyWith(opts.verify);
     tilePm
-        .add(pipeline::unimodularTransformPass(
-            IntMatrix{{1, 1, 0}, {1, 0, 1}, {1, 0, 0}}, {"u", "v", "w"}))
+        .add(pipeline::unimodularTransformPass(b.plan.tile.skew,
+                                               b.plan.tile.skewVars))
         .add(pipeline::tileRectangularPass(
             {opts.tile, opts.tile, opts.tile}))
         // Re-inserting the boundary pre-copy changes the program's

@@ -3,12 +3,18 @@
 // the fused i dimension, reproducing the paper's placement), FixDeps
 // (tiles the pivot-search nest with a Full tile - the paper's "tile size
 // N"), and finally tile the outermost k loop for locality (Sec. 4).
+// The peel/placement/bounds configuration is derived by
+// planner::planProgram: the pin statements vanish at k = N under tight
+// bounds (so it peels), and the swap's j scores onto the innermost
+// fused dim (violations there are cheaper to repair than on the fused
+// j), reproducing Fig. 3a.
 #include "core/fuse.h"
 #include "core/sink.h"
 #include "core/transforms.h"
 #include "ir/rewrite.h"
 #include "ir/validate.h"
 #include "kernels/common.h"
+#include "planner/planner.h"
 #include "support/error.h"
 
 namespace fixfuse::kernels {
@@ -168,21 +174,15 @@ KernelBundle buildLu(const KernelOptions& opts) {
   b.name = "lu";
   b.seq = luSeq();
 
-  core::SinkOptions sink;
   // Subnests in discovery order: 0 = {temp=0; m=k}, 1 = pivot search,
-  // 2 = row swap, 3 = column scale, 4 = update (the * nest).
-  // The swap's column loop j maps onto the fused *i* dimension (dim 2),
+  // 2 = row swap, 3 = column scale, 4 = update (the * nest). The plan
+  // maps the swap's column loop j onto the fused *i* dimension (dim 2),
   // pinning the fused j at k+1 - the paper's Fig. 3a placement.
-  sink.dimOverrides[2] = {{"j", 2}};
+  b.plan = planner::planProgram(b.seq, kernelContext(/*withM=*/false));
 
   pipeline::PassManager pm(kernelContext(/*withM=*/false));
   pm.verifyWith(opts.verify);
-  pm.add(pipeline::peelLastIterationPass("k"))
-      .add(pipeline::sinkPass(sink, /*splitEpilogue=*/true))
-      .add(pipeline::fusePass())
-      .add(pipeline::snapshotPass("fused", &b.fused))
-      .add(pipeline::fixDepsPass())
-      .add(pipeline::snapshotPass("fixed", &b.fixed));
+  planner::addPlannedPasses(pm, b.plan, {&b.fused, &b.fixed});
   pipeline::PipelineState st = pm.run(b.seq);
   b.fixLog = std::move(st.fixLog);
   b.system = std::move(*st.system);

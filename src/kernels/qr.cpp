@@ -6,10 +6,16 @@
 // and additionally Full-tiles the other nests whose values are consumed
 // ahead of schedule (see EXPERIMENTS.md for the discussion of Fig. 4b).
 // Tiling: the outermost i and j loops (Sec. 4).
+// The configuration is derived by planner::planProgram: QR's two
+// deepest nests tie (no unique main nest), so instead of peeling the
+// planner relaxes the failing fused j lower bound i+1 -> i - the
+// paper's widening - and the norm accumulation's j scores onto the
+// fused k dimension.
 #include "core/fuse.h"
 #include "core/sink.h"
 #include "core/transforms.h"
 #include "kernels/common.h"
+#include "planner/planner.h"
 
 namespace fixfuse::kernels {
 
@@ -67,38 +73,33 @@ KernelBundle buildQr(const KernelOptions& opts) {
   b.name = "qr";
   b.seq = qrSeq();
 
-  core::SinkOptions sink;
   // Subnests in discovery order: 0 = {norm=0}, 1 = norm accumulation,
   // 2 = {norm2; asqr; A(i,i)}, 3 = column scale, 4 = {X=0},
-  // 5 = X accumulation, 6 = update (the * nest).
-  // The norm accumulation's j maps onto the fused k dimension (dim 2),
-  // as in Fig. 3b where it appears as "norm = norm + A(k,i)*A(k,i)".
-  sink.dimOverrides[1] = {{"j", 2}};
-  // Fused j runs i..N (Fig. 3b), so the column-head nests pinned at j = i
-  // execute even at i = N.
-  sink.isBoundOverrides[1] = {poly::AffineExpr::var("i"),
-                              poly::AffineExpr::var("N")};
+  // 5 = X accumulation, 6 = update (the * nest). The plan maps the norm
+  // accumulation's j onto the fused k dimension (dim 2), as in Fig. 3b
+  // where it appears as "norm = norm + A(k,i)*A(k,i)", and widens the
+  // fused j to i..N so the column-head nests pinned at j = i execute
+  // even at i = N. QR has no peel, but the pin nests make the plan run
+  // the program through the split/reattach path (with an empty
+  // epilogue), which renumbers the generated assignments - the
+  // historical pipeline's behaviour.
+  b.plan = planner::planProgram(b.seq, kernelContext(/*withM=*/false));
 
-  // QR has no peel, but the historical pipeline still ran the program
-  // through the split/reattach path (with an empty epilogue), which
-  // renumbers the generated assignments - sinkPass(splitEpilogue) keeps
-  // that behaviour.
   pipeline::PassManager pm(kernelContext(/*withM=*/false));
   pm.verifyWith(opts.verify);
-  pm.add(pipeline::sinkPass(sink, /*splitEpilogue=*/true))
-      .add(pipeline::fusePass())
-      .add(pipeline::snapshotPass("fused", &b.fused))
-      .add(pipeline::fixDepsPass())
-      .add(pipeline::snapshotPass("fixed", &b.fixed));
+  planner::addPlannedPasses(pm, b.plan, {&b.fused, &b.fixed});
   pipeline::PipelineState st = pm.run(b.seq);
   b.fixLog = std::move(st.fixLog);
   b.system = std::move(*st.system);
   b.stats = pm.stats();
   b.fixedOpt = b.fixed;
   if (opts.tile > 0) {
+    // The plan recommends rectangular tiling of the two outer dims
+    // (FixDeps tiled nests => values cross fused iterations).
     pipeline::PassManager tilePm(kernelContext(/*withM=*/false));
     tilePm.verifyWith(opts.verify);
-    tilePm.add(pipeline::tileRectangularPass({opts.tile, opts.tile}));
+    tilePm.add(pipeline::tileRectangularPass(std::vector<std::int64_t>(
+        b.plan.tile.rectDims, opts.tile)));
     b.tiled = tilePm.run(b.fixed).program;
     b.stats.append(tilePm.stats());
   } else {

@@ -6,6 +6,7 @@
 
 #include "codegen/native_module.h"
 #include "interp/compare.h"
+#include "support/env.h"
 
 namespace fixfuse::pipeline {
 
@@ -52,6 +53,10 @@ interp::Machine NativeExecutor::execute(
       codegen::NativeModule::tryGetOrCompile(p, &error, &r.compileCached);
   if (!module) {
     // Graceful fallback: the bytecode engine runs the program instead.
+    // Same dedup key as the interpreter's fallback, so one failure warns
+    // once per process no matter which site hits it first.
+    support::env::warnOncePerProcess(
+        error, "native backend unavailable, falling back to bytecode: " + error);
     r.available = false;
     r.reason = error;
     r.backend = "bytecode";

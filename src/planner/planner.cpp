@@ -1,0 +1,774 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "core/transforms.h"
+#include "deps/analysis.h"
+#include "ir/rewrite.h"
+#include "pipeline/pass.h"
+#include "sim/cache.h"
+#include "support/error.h"
+#include "tile/selection.h"
+
+namespace fixfuse::planner {
+
+namespace {
+
+using core::SinkAnalysis;
+using poly::AffineExpr;
+using poly::IntegerSet;
+using Bound = SinkAnalysis::Bound;
+using DimMap = std::map<std::string, std::size_t>;
+
+// ---------------------------------------------------------------------------
+// Analysis model: the sinker's discovery plus a resolved dim mapping.
+
+struct Model {
+  SinkAnalysis a;
+  std::vector<std::string> isVars;
+  std::vector<DimMap> dims;  // per nest: var -> fused dim
+  std::size_t n() const { return isVars.size(); }
+};
+
+/// The nest's iteration domain as an IntegerSet over its own variables.
+IntegerSet nestDomain(const Model& m, std::size_t nestIdx) {
+  const auto& sn = m.a.nests[nestIdx];
+  std::vector<std::string> vars = sn.prefixVars;
+  vars.insert(vars.end(), sn.ownVars.begin(), sn.ownVars.end());
+  IntegerSet dom(vars);
+  for (const auto& v : sn.prefixVars) {
+    auto it = m.a.prefixBounds.find(v);
+    FIXFUSE_CHECK(it != m.a.prefixBounds.end(), "prefix bound missing");
+    dom.addRange(v, it->second.first, it->second.second);
+  }
+  for (std::size_t v = 0; v < sn.ownVars.size(); ++v)
+    dom.addRange(sn.ownVars[v], sn.ownBounds[v].first, sn.ownBounds[v].second);
+  return dom;
+}
+
+/// Rename a bound expressed in nest-local variables into fused names
+/// under `dims` (mirrors codeSink's candidate renaming).
+AffineExpr renameToFused(AffineExpr e, const DimMap& dims,
+                         const std::vector<std::string>& isVars) {
+  for (const auto& [var, dim] : dims) {
+    if (var == isVars[dim]) continue;
+    e = e.renamed(var, isVars[dim]);
+  }
+  return e;
+}
+
+/// The embedding outputs of a nest under `bounds`: mapped dims get the
+/// variable, missing dims are pinned at the fused lower bound with outer
+/// fused vars substituted in dimension order (mirrors codeSink).
+std::vector<AffineExpr> embedOutputs(const Model& m, std::size_t nestIdx,
+                                     const std::vector<Bound>& bounds) {
+  const std::size_t n = m.n();
+  std::vector<AffineExpr> out(n);
+  std::vector<bool> have(n, false);
+  for (const auto& [var, dim] : m.dims[nestIdx]) {
+    out[dim] = AffineExpr::var(var);
+    have[dim] = true;
+  }
+  for (std::size_t d = 0; d < n; ++d) {
+    if (have[d]) continue;
+    AffineExpr pin = bounds[d].first;
+    for (std::size_t t = 0; t < d; ++t)
+      pin = pin.substituted(m.isVars[t], out[t]);
+    out[d] = pin;
+    have[d] = true;
+  }
+  return out;
+}
+
+/// One coverage violation: nest `nest`'s embedded image leaves the fused
+/// space at dim `dim` (below the lower bound or above the upper bound).
+struct Violation {
+  std::size_t nest = 0;
+  std::size_t dim = 0;
+  bool belowLb = false;  // false => above ub
+  bool mapped = false;   // the nest maps a variable onto `dim`
+};
+
+/// First not-provably-in-bounds image point, or nullopt when every
+/// nest's image is provably inside `bounds` (the sound direction:
+/// an inconclusive emptiness check counts as a violation).
+std::optional<Violation> firstViolation(const Model& m,
+                                        const std::vector<Bound>& bounds,
+                                        const poly::ParamContext& ctx) {
+  const std::size_t n = m.n();
+  for (std::size_t i = 0; i < m.a.nests.size(); ++i) {
+    IntegerSet dom = nestDomain(m, i);
+    std::vector<AffineExpr> out = embedOutputs(m, i, bounds);
+    for (std::size_t d = 0; d < n; ++d) {
+      AffineExpr lb = bounds[d].first;
+      AffineExpr ub = bounds[d].second;
+      for (std::size_t t = 0; t < n; ++t) {
+        if (t == d) continue;
+        lb = lb.substituted(m.isVars[t], out[t]);
+        ub = ub.substituted(m.isVars[t], out[t]);
+      }
+      bool mapped = false;
+      for (const auto& [var, dim] : m.dims[i])
+        if (dim == d) mapped = true;
+      IntegerSet below = dom;
+      below.addGE(lb - out[d] - AffineExpr(1));  // out < lb somewhere?
+      if (!below.provablyEmpty(ctx))
+        return Violation{i, d, /*belowLb=*/true, mapped};
+      IntegerSet above = dom;
+      above.addGE(out[d] - ub - AffineExpr(1));  // out > ub somewhere?
+      if (!above.provablyEmpty(ctx))
+        return Violation{i, d, /*belowLb=*/false, mapped};
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Dimension placement.
+
+/// codeSink's default mapping for one nest (by override, by name, then by
+/// depth) - kept in lockstep with core/sink.cpp mapDims so the planner
+/// can emit overrides only where its choice diverges.
+DimMap mapDimsLikeCodeSink(const SinkAnalysis::Nest& sn,
+                           const std::vector<std::string>& isVars,
+                           const DimMap* overrides) {
+  const std::size_t n = isVars.size();
+  DimMap dims;
+  std::set<std::size_t> taken;
+  for (const auto& v : sn.prefixVars) {
+    auto it = std::find(isVars.begin(), isVars.end(), v);
+    FIXFUSE_CHECK(it != isVars.end(), "prefix var missing from IS");
+    dims[v] = static_cast<std::size_t>(it - isVars.begin());
+    taken.insert(dims[v]);
+  }
+  for (const auto& v : sn.ownVars) {
+    std::size_t dim = n;
+    if (overrides && overrides->count(v)) {
+      dim = overrides->at(v);
+    } else {
+      auto it = std::find(isVars.begin(), isVars.end(), v);
+      if (it != isVars.end())
+        dim = static_cast<std::size_t>(it - isVars.begin());
+    }
+    if (dim >= n || taken.count(dim)) {
+      for (std::size_t c = sn.prefixVars.size(); c < n; ++c)
+        if (!taken.count(c)) {
+          dim = c;
+          break;
+        }
+    }
+    FIXFUSE_CHECK(dim < n && !taken.count(dim),
+                  "cannot map loop var " + v + " to a fused dim");
+    dims[v] = dim;
+    taken.insert(dim);
+  }
+  return dims;
+}
+
+/// Greedy placement of one nest's own variables onto free fused dims,
+/// scored against the main nest's ranges as reference bounds: fewest
+/// bound violations of the variable's own range, preferring violations
+/// that land on inner dims (FixDeps repairs inner-dim skew far more
+/// cheaply than outer-dim skew), then by-name matches, then the lowest
+/// dim. Reproduces the paper's Fig. 3 placements for all four kernels
+/// (LU's swap j and QR's norm j land on the innermost dim).
+DimMap placeNest(const Model& m, std::size_t nestIdx,
+                 const std::vector<Bound>& refBounds,
+                 const poly::ParamContext& ctx) {
+  const auto& sn = m.a.nests[nestIdx];
+  const std::size_t n = m.n();
+  DimMap dims;
+  std::set<std::size_t> taken;
+  for (const auto& v : sn.prefixVars) {
+    auto it = std::find(m.isVars.begin(), m.isVars.end(), v);
+    FIXFUSE_CHECK(it != m.isVars.end(), "prefix var missing from IS");
+    dims[v] = static_cast<std::size_t>(it - m.isVars.begin());
+    taken.insert(dims[v]);
+  }
+  IntegerSet dom = nestDomain(m, nestIdx);
+  for (std::size_t vi = 0; vi < sn.ownVars.size(); ++vi) {
+    const std::string& v = sn.ownVars[vi];
+    // Score = (violations, inner-violation preference, !byName, dim).
+    using Score = std::tuple<int, int, int, std::size_t>;
+    std::optional<Score> best;
+    std::size_t bestDim = n;
+    for (std::size_t d = sn.prefixVars.size(); d < n; ++d) {
+      if (taken.count(d)) continue;
+      // Tentative mapping: placed vars so far plus v -> d; later own
+      // vars stay pinned for the violation probe.
+      Model probe = m;
+      probe.dims[nestIdx] = dims;
+      probe.dims[nestIdx][v] = d;
+      std::vector<AffineExpr> out = embedOutputs(probe, nestIdx, refBounds);
+      AffineExpr lb = refBounds[d].first, ub = refBounds[d].second;
+      for (std::size_t t = 0; t < n; ++t) {
+        if (t == d) continue;
+        lb = lb.substituted(m.isVars[t], out[t]);
+        ub = ub.substituted(m.isVars[t], out[t]);
+      }
+      int viol = 0;
+      IntegerSet below = dom;
+      below.addGE(lb - AffineExpr::var(v) - AffineExpr(1));
+      if (!below.provablyEmpty(ctx)) ++viol;
+      IntegerSet above = dom;
+      above.addGE(AffineExpr::var(v) - ub - AffineExpr(1));
+      if (!above.provablyEmpty(ctx)) ++viol;
+      int byName = (m.isVars[d] == v) ? 0 : 1;
+      Score s{viol, viol > 0 ? -static_cast<int>(d) : 0, byName, d};
+      if (!best || s < *best) {
+        best = s;
+        bestDim = d;
+      }
+    }
+    FIXFUSE_CHECK(bestDim < n, "cannot place loop var " + v);
+    dims[v] = bestDim;
+    taken.insert(bestDim);
+  }
+  return dims;
+}
+
+// ---------------------------------------------------------------------------
+// Fused-bound selection.
+
+/// Candidate bounds for one fused dim, in codeSink's collection order.
+struct DimCandidates {
+  std::vector<AffineExpr> lbs, ubs;
+};
+
+std::vector<DimCandidates> collectCandidates(const Model& m) {
+  const std::size_t n = m.n();
+  std::vector<DimCandidates> cands(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m.a.nests.size(); ++i) {
+      const auto& sn = m.a.nests[i];
+      for (std::size_t v = 0; v < sn.ownVars.size(); ++v) {
+        if (m.dims[i].at(sn.ownVars[v]) != j) continue;
+        cands[j].lbs.push_back(
+            renameToFused(sn.ownBounds[v].first, m.dims[i], m.isVars));
+        cands[j].ubs.push_back(
+            renameToFused(sn.ownBounds[v].second, m.dims[i], m.isVars));
+      }
+      if (j < sn.prefixVars.size() && sn.prefixVars[j] == m.isVars[j]) {
+        auto it = m.a.prefixBounds.find(m.isVars[j]);
+        if (it != m.a.prefixBounds.end()) {
+          cands[j].lbs.push_back(it->second.first);
+          cands[j].ubs.push_back(it->second.second);
+        }
+      }
+    }
+  }
+  return cands;
+}
+
+/// Dominance context for dim `j`: outer dims within the bounds chosen so
+/// far (mirrors codeSink).
+IntegerSet outerContext(const Model& m, const std::vector<Bound>& bounds,
+                        std::size_t j) {
+  IntegerSet context(std::vector<std::string>(
+      m.isVars.begin(), m.isVars.begin() + static_cast<std::ptrdiff_t>(j)));
+  for (std::size_t t = 0; t < j; ++t) {
+    context.addGE(AffineExpr::var(m.isVars[t]) - bounds[t].first);
+    context.addGE(bounds[t].second - AffineExpr::var(m.isVars[t]));
+  }
+  return context;
+}
+
+/// c >= o everywhere in `context`? (provable; inconclusive => false)
+bool provablyGE(const AffineExpr& c, const AffineExpr& o,
+                const IntegerSet& context, const poly::ParamContext& ctx) {
+  IntegerSet bad = context;
+  bad.addGE(o - c - AffineExpr(1));  // c < o somewhere?
+  return bad.provablyEmpty(ctx);
+}
+
+/// Deduplicated candidates ordered tightest-first: lower bounds from
+/// provably-greatest downward, upper bounds from provably-least upward.
+/// Incomparable leftovers keep collection order (logged by the caller
+/// through the coverage loop's failure path if they ever matter).
+std::vector<AffineExpr> orderTightestFirst(std::vector<AffineExpr> cands,
+                                           bool lower,
+                                           const IntegerSet& context,
+                                           const poly::ParamContext& ctx) {
+  std::vector<AffineExpr> uniq;
+  for (const auto& c : cands) {
+    bool dup = false;
+    for (const auto& u : uniq) dup = dup || (u == c);
+    if (!dup) uniq.push_back(c);
+  }
+  std::vector<AffineExpr> out;
+  while (!uniq.empty()) {
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < uniq.size(); ++i) {
+      bool extremal = true;
+      for (std::size_t k = 0; k < uniq.size(); ++k) {
+        if (k == i) continue;
+        bool ok = lower ? provablyGE(uniq[i], uniq[k], context, ctx)
+                        : provablyGE(uniq[k], uniq[i], context, ctx);
+        extremal = extremal && ok;
+      }
+      if (extremal) {
+        pick = i;
+        break;
+      }
+    }
+    out.push_back(uniq[pick]);
+    uniq.erase(uniq.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return out;
+}
+
+/// codeSink's default bound for dim j: the first candidate (collection
+/// order) that provably dominates every other (widest). nullopt when the
+/// search would throw UnsupportedError.
+std::optional<Bound> defaultBound(const DimCandidates& c,
+                                  const IntegerSet& context,
+                                  const poly::ParamContext& ctx) {
+  std::optional<AffineExpr> lb, ub;
+  for (const auto& cand : c.lbs) {
+    bool dom = true;
+    for (const auto& o : c.lbs) dom = dom && provablyGE(o, cand, context, ctx);
+    if (dom) {
+      lb = cand;
+      break;
+    }
+  }
+  for (const auto& cand : c.ubs) {
+    bool dom = true;
+    for (const auto& o : c.ubs) dom = dom && provablyGE(cand, o, context, ctx);
+    if (dom) {
+      ub = cand;
+      break;
+    }
+  }
+  if (!lb || !ub) return std::nullopt;
+  return Bound{*lb, *ub};
+}
+
+/// Outcome of the bound search for one strategy attempt.
+struct BoundSearch {
+  bool covered = false;
+  std::vector<Bound> bounds;
+  std::size_t relaxations = 0;
+  std::string failure;  // rejection-taxonomy detail when !covered
+};
+
+/// Pick fused bounds: start from the tightest covering candidates and
+/// loosen (next candidate; with `allowRelax`, integer lb decrements as a
+/// last resort) until every nest's image is provably inside the space.
+BoundSearch searchBounds(const Model& m, const poly::ParamContext& ctx,
+                         bool allowRelax, std::vector<std::string>& log) {
+  const std::size_t n = m.n();
+  std::vector<DimCandidates> cands = collectCandidates(m);
+  BoundSearch r;
+  std::vector<std::vector<AffineExpr>> lbSeq(n), ubSeq(n);
+  std::vector<std::size_t> lbIdx(n, 0), ubIdx(n, 0), relaxed(n, 0);
+  r.bounds.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (cands[j].lbs.empty()) {
+      r.failure = "no bound candidates for fused dim " + m.isVars[j];
+      return r;
+    }
+    IntegerSet context = outerContext(m, r.bounds, j);
+    lbSeq[j] = orderTightestFirst(cands[j].lbs, /*lower=*/true, context, ctx);
+    ubSeq[j] = orderTightestFirst(cands[j].ubs, /*lower=*/false, context, ctx);
+    r.bounds[j] = {lbSeq[j][0], ubSeq[j][0]};
+  }
+  constexpr std::size_t kMaxRelax = 8;
+  constexpr std::size_t kMaxIters = 64;
+  for (std::size_t iter = 0; iter < kMaxIters; ++iter) {
+    std::optional<Violation> v = firstViolation(m, r.bounds, ctx);
+    if (!v) {
+      r.covered = true;
+      return r;
+    }
+    const std::size_t d = v->dim;
+    // An image below the lb, or a pinned statement pushed past the ub by
+    // a too-tight lb (the pin *is* the lb), both loosen the lb; only a
+    // mapped variable exceeding the ub loosens the ub.
+    bool loosenUb = !v->belowLb && v->mapped;
+    std::vector<std::size_t>& idx = loosenUb ? ubIdx : lbIdx;
+    std::vector<std::vector<AffineExpr>>& seq = loosenUb ? ubSeq : lbSeq;
+    if (idx[d] + 1 < seq[d].size()) {
+      ++idx[d];
+      (loosenUb ? r.bounds[d].second : r.bounds[d].first) = seq[d][idx[d]];
+      continue;
+    }
+    if (!loosenUb && allowRelax && relaxed[d] < kMaxRelax) {
+      ++relaxed[d];
+      ++r.relaxations;
+      r.bounds[d].first = r.bounds[d].first - AffineExpr(1);
+      log.push_back("relaxed lb of fused dim " + m.isVars[d] + " to " +
+                    r.bounds[d].first.str());
+      continue;
+    }
+    r.failure = "nest " + std::to_string(v->nest) + " image escapes fused dim " +
+                m.isVars[d] + (v->belowLb ? " below " : " above ") +
+                (v->belowLb ? r.bounds[d].first.str()
+                            : r.bounds[d].second.str());
+    return r;
+  }
+  r.failure = "bound search did not converge";
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Strategy assembly.
+
+/// Build the model for one strategy: analysis (optionally with the top
+/// loop's last iteration peeled off), main-nest identity mapping, and
+/// scored placement for the other nests against the main nest's ranges.
+Model buildModel(SinkAnalysis a, const poly::ParamContext& ctx) {
+  Model m;
+  m.a = std::move(a);
+  const auto& main = m.a.nests[m.a.mainNest];
+  m.isVars = main.prefixVars;
+  m.isVars.insert(m.isVars.end(), main.ownVars.begin(), main.ownVars.end());
+  {
+    std::set<std::string> uniq(m.isVars.begin(), m.isVars.end());
+    FIXFUSE_CHECK(uniq.size() == m.isVars.size(),
+                  "fused variable name collision");
+  }
+  // Reference bounds: the main nest's own ranges (prefix dims keep the
+  // container bounds).
+  std::vector<Bound> ref(m.n());
+  for (std::size_t d = 0; d < main.prefixVars.size(); ++d)
+    ref[d] = m.a.prefixBounds.at(main.prefixVars[d]);
+  for (std::size_t v = 0; v < main.ownVars.size(); ++v)
+    ref[main.prefixVars.size() + v] = main.ownBounds[v];
+  m.dims.resize(m.a.nests.size());
+  // Main nest: identity (isVars are its own vars; codeSink's by-name
+  // mapping resolves to the same thing).
+  for (std::size_t d = 0; d < m.isVars.size(); ++d) {
+    if (d < main.prefixVars.size())
+      m.dims[m.a.mainNest][main.prefixVars[d]] = d;
+    else
+      m.dims[m.a.mainNest][main.ownVars[d - main.prefixVars.size()]] = d;
+  }
+  for (std::size_t i = 0; i < m.a.nests.size(); ++i) {
+    if (i == m.a.mainNest) continue;
+    m.dims[i] = placeNest(m, i, ref, ctx);
+  }
+  return m;
+}
+
+/// Emit SinkOptions that reproduce the model's placement and bounds
+/// through the real codeSink: overrides only where the planner's choice
+/// diverges from codeSink's defaults.
+core::SinkOptions emitOverrides(const Model& m, const std::vector<Bound>& bounds,
+                                const poly::ParamContext& ctx, Plan& plan) {
+  core::SinkOptions sink;
+  for (std::size_t i = 0; i < m.a.nests.size(); ++i) {
+    const auto& sn = m.a.nests[i];
+    DimMap def = mapDimsLikeCodeSink(sn, m.isVars, nullptr);
+    DimMap ov;
+    for (const auto& v : sn.ownVars)
+      if (def.at(v) != m.dims[i].at(v)) ov[v] = m.dims[i].at(v);
+    if (ov.empty()) continue;
+    // codeSink re-derives the non-overridden vars; make sure the partial
+    // override reproduces the full planned mapping, else override all.
+    DimMap check = mapDimsLikeCodeSink(sn, m.isVars, &ov);
+    if (check != m.dims[i])
+      for (const auto& v : sn.ownVars) ov[v] = m.dims[i].at(v);
+    plan.placementOverrides += ov.size();
+    plan.log.push_back("nest " + std::to_string(i) + ": placed " +
+                       std::to_string(ov.size()) + " var(s) off-default");
+    sink.dimOverrides[i] = std::move(ov);
+  }
+  std::vector<DimCandidates> cands = collectCandidates(m);
+  for (std::size_t j = 0; j < m.n(); ++j) {
+    IntegerSet context = outerContext(m, bounds, j);
+    std::optional<Bound> def = defaultBound(cands[j], context, ctx);
+    if (def && def->first == bounds[j].first && def->second == bounds[j].second)
+      continue;
+    ++plan.boundOverrides;
+    plan.log.push_back("fused dim " + m.isVars[j] + ": bounds [" +
+                       bounds[j].first.str() + ".." + bounds[j].second.str() +
+                       "] replace the dominating default");
+    sink.isBoundOverrides[j] = bounds[j];
+  }
+  return sink;
+}
+
+// ---------------------------------------------------------------------------
+// Post-fix decisions: scalarisation and tiling shape.
+
+std::string lowercased(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool nameInUse(const ir::Program& p, const std::string& name) {
+  if (p.hasArray(name) || p.hasScalar(name)) return true;
+  for (const auto& prm : p.params)
+    if (prm == name) return true;
+  bool used = false;
+  ir::forEachStmt(*p.body, [&](const ir::Stmt& s) {
+    if (s.kind() == ir::StmtKind::Loop && s.loopVar() == name) used = true;
+  });
+  return used;
+}
+
+/// Decide which arrays of the fixed program are provably block-local
+/// temporaries worth scalarising (the paper's Fig. 4d note on L):
+/// every access site uses one identical subscript vector, the array is
+/// both written and read, no access sits inside a FixDeps-tiled nest
+/// (tiling spreads producer and consumer across fused iterations, so
+/// the value must stay in the array - QR's X), and the scalarisation
+/// transform itself accepts it (it re-checks write-before-read within
+/// each block and throws otherwise).
+void decideScalarization(const pipeline::PipelineState& st, Plan& plan) {
+  const ir::Program& fixed = st.program;
+  std::set<std::string> excluded;
+  for (const auto& c : plan.fixLog.copies) excluded.insert(c.copyArray);
+  if (st.system)
+    for (const auto& t : plan.fixLog.tiles) {
+      const auto& body = *st.system->nests[t.nest].body;
+      ir::forEachExpr(body, [&](const ir::Expr& e) {
+        if (e.kind() == ir::ExprKind::ArrayLoad) excluded.insert(e.name());
+      });
+      ir::forEachStmt(body, [&](const ir::Stmt& s) {
+        if (s.kind() == ir::StmtKind::Assign && !s.lhs().isScalar())
+          excluded.insert(s.lhs().name);
+      });
+    }
+  // Hash-consed subscripts: structurally equal index vectors are
+  // pointer-identical, so site comparison is pointer comparison.
+  struct Sites {
+    std::vector<std::vector<const ir::Expr*>> subs;
+    std::size_t writes = 0, reads = 0;
+  };
+  std::map<std::string, Sites> sites;
+  auto record = [&](const std::string& name,
+                    const std::vector<ir::ExprPtr>& idx, bool write) {
+    Sites& s = sites[name];
+    std::vector<const ir::Expr*> key;
+    for (const auto& e : idx) key.push_back(e.get());
+    s.subs.push_back(std::move(key));
+    ++(write ? s.writes : s.reads);
+  };
+  ir::forEachStmt(*fixed.body, [&](const ir::Stmt& s) {
+    if (s.kind() != ir::StmtKind::Assign) return;
+    if (!s.lhs().isScalar()) record(s.lhs().name, s.lhs().indices, true);
+  });
+  ir::forEachExpr(*fixed.body, [&](const ir::Expr& e) {
+    if (e.kind() == ir::ExprKind::ArrayLoad)
+      record(e.name(), e.indices(), false);
+  });
+  ir::Program trial = fixed;
+  for (const auto& decl : fixed.arrays) {
+    if (excluded.count(decl.name)) continue;
+    auto it = sites.find(decl.name);
+    if (it == sites.end() || it->second.writes == 0 || it->second.reads == 0)
+      continue;
+    bool uniform = true;
+    for (const auto& sub : it->second.subs)
+      uniform = uniform && (sub == it->second.subs.front());
+    if (!uniform) continue;
+    std::string scalar = lowercased(decl.name);
+    if (scalar == decl.name || nameInUse(trial, scalar)) {
+      plan.log.push_back("array " + decl.name +
+                         ": scalarisable shape but no fresh scalar name");
+      continue;
+    }
+    try {
+      trial = core::scalarizeArray(trial, decl.name, scalar);
+    } catch (const UnsupportedError&) {
+      continue;  // a read is not write-covered in its block
+    }
+    plan.scalarize.push_back({decl.name, scalar});
+    plan.log.push_back("scalarize temporary " + decl.name + " -> " + scalar);
+  }
+}
+
+/// Sec.-4 tiling shape from the FixDeps outcome: copy repairs mark a
+/// skewable stencil (time loop carried innermost), tile repairs mark a
+/// rectangular outer-dim tiling, and a clean fix tiles the outer loop.
+TilePlan decideTiling(const Plan& plan, const Model& m, std::int64_t l1Bytes) {
+  TilePlan t;
+  const std::size_t n = m.n();
+  sim::CacheConfig l1 = sim::CacheConfig::octane2L1();
+  l1.sizeBytes = static_cast<std::uint64_t>(l1Bytes);
+  t.suggestedTile = tile::pdatTileSize(l1);
+  if (n < 2) return t;
+  if (!plan.fixLog.copies.empty()) {
+    t.kind = TilePlan::Kind::SkewAndTile;
+    // Skew every inner dim by the outer (time) dim and carry the time
+    // dim innermost: rows e0+ej for j = 1..n-1, then e0.
+    const int ni = static_cast<int>(n);
+    t.skew = IntMatrix(ni, ni);
+    static const char* kNames[] = {"u", "v", "w", "p", "q", "r"};
+    for (int row = 0; row + 1 < ni; ++row) {
+      t.skew.at(row, 0) = 1;
+      t.skew.at(row, row + 1) = 1;
+    }
+    t.skew.at(ni - 1, 0) = 1;
+    for (std::size_t d = 0; d < n && d < 6; ++d)
+      t.skewVars.push_back(kNames[d]);
+    return t;
+  }
+  if (!plan.fixLog.tiles.empty()) {
+    t.kind = TilePlan::Kind::Rectangular;
+    t.rectDims = std::min<std::size_t>(2, n);
+    return t;
+  }
+  t.kind = TilePlan::Kind::StripMineOuter;
+  t.stripVar = m.isVars[0];
+  return t;
+}
+
+}  // namespace
+
+const char* TilePlan::kindName() const {
+  switch (kind) {
+    case Kind::None: return "none";
+    case Kind::StripMineOuter: return "strip-mine-outer";
+    case Kind::Rectangular: return "rectangular";
+    case Kind::SkewAndTile: return "skew-and-tile";
+  }
+  return "none";
+}
+
+Plan planProgram(const ir::Program& p, const poly::ParamContext& ctx,
+                 const PlannerOptions& opts) {
+  // Candidate discovery needs a single top-level loop whose body holds
+  // the fusable sub-nests (the shape codeSink consumes). Anything else
+  // is a rejection, not an internal error: arbitrary programs may
+  // legitimately have no fusion candidate.
+  if (!p.body || p.body->stmts().size() != 1 ||
+      p.body->stmts()[0]->kind() != ir::StmtKind::Loop)
+    throw UnsupportedError(
+        "planner: no fusion candidate - the program is not a single "
+        "top-level loop nest (peel/split prologues before planning)");
+  SinkAnalysis base = core::analyzeSink(p);
+  Plan plan;
+  plan.candidateNests = base.nests.size();
+  bool anyPins = false;
+  for (const auto& sn : base.nests) anyPins = anyPins || sn.straightLine();
+
+  struct Attempt {
+    const char* strategy;
+    bool peel;
+    bool relax;
+  };
+  std::vector<Attempt> chain;
+  chain.push_back({"fuse", false, false});
+  if (base.mainNestUnique) {
+    chain.push_back({"peel", true, false});
+    chain.push_back({"relax-bounds", false, true});
+  } else {
+    chain.push_back({"relax-bounds", false, true});
+    chain.push_back({"peel", true, false});
+  }
+
+  const std::string topVar = base.nests.front().prefixVars.empty()
+                                 ? std::string()
+                                 : base.nests.front().prefixVars.front();
+  std::string lastFailure = "no sub-nests discovered";
+  for (const Attempt& at : chain) {
+    ++plan.strategiesTried;
+    if (at.peel && topVar.empty()) {
+      ++plan.strategiesRejected;
+      plan.log.push_back("peel: no outer container loop to peel");
+      continue;
+    }
+    SinkAnalysis a = base;
+    if (at.peel)
+      a.prefixBounds[topVar].second =
+          a.prefixBounds[topVar].second - AffineExpr(1);
+    Model m;
+    try {
+      m = buildModel(a, ctx);
+    } catch (const Error& e) {
+      ++plan.strategiesRejected;
+      lastFailure = e.what();
+      plan.log.push_back(std::string(at.strategy) + ": " + e.what());
+      continue;
+    }
+    BoundSearch bs = searchBounds(m, ctx, at.relax, plan.log);
+    if (!bs.covered) {
+      ++plan.strategiesRejected;
+      lastFailure = bs.failure;
+      plan.log.push_back(std::string(at.strategy) +
+                         ": coverage failed: " + bs.failure);
+      continue;
+    }
+    Plan cand = plan;  // keep counters accumulated so far
+    cand.strategy = at.strategy;
+    cand.boundRelaxations += bs.relaxations;
+    if (at.peel) cand.peelVar = topVar;
+    cand.sink = emitOverrides(m, bs.bounds, ctx, cand);
+    cand.splitEpilogue = at.peel || anyPins;
+    // Trial run through the real pipeline: sink/fuse must succeed and
+    // FixDeps must either discharge every violated dependence (Theorems
+    // 1-4, single-clobber checked inside ElimRW) or throw.
+    pipeline::PassManager pm(ctx);
+    if (!opts.trialParams.empty()) {
+      pipeline::VerifyOptions vo;
+      vo.enabled = true;
+      vo.paramSets = opts.trialParams;
+      pm.verifyWith(vo);
+    }
+    if (cand.peelVar) pm.add(pipeline::peelLastIterationPass(*cand.peelVar));
+    pm.add(pipeline::sinkPass(cand.sink, cand.splitEpilogue))
+        .add(pipeline::fusePass())
+        .add(pipeline::fixDepsPass());
+    pipeline::PipelineState st;
+    try {
+      st = pm.run(p);
+    } catch (const Error& e) {
+      plan.strategiesRejected = cand.strategiesRejected + 1;
+      plan.strategiesTried = cand.strategiesTried;
+      lastFailure = e.what();
+      plan.log.push_back(std::string(at.strategy) +
+                         ": trial pipeline rejected: " + e.what());
+      continue;
+    }
+    cand.fixLog = st.fixLog;
+    cand.log.push_back(std::string("strategy ") + at.strategy + ": " +
+                       std::to_string(st.fixLog.tiles.size()) + " tile fix(es), " +
+                       std::to_string(st.fixLog.copies.size()) +
+                       " copy fix(es)");
+    if (opts.scalarizeTemps) decideScalarization(st, cand);
+    cand.tile = decideTiling(cand, m, opts.l1Bytes);
+    return cand;
+  }
+  throw UnsupportedError("planner: no strategy produced a covered, fixable "
+                         "fusion (last: " + lastFailure + ")");
+}
+
+pipeline::PassManager& addPlannedPasses(pipeline::PassManager& pm,
+                                        const Plan& plan,
+                                        const SnapshotTargets& snaps) {
+  if (plan.peelVar) pm.add(pipeline::peelLastIterationPass(*plan.peelVar));
+  pm.add(pipeline::sinkPass(plan.sink, plan.splitEpilogue))
+      .add(pipeline::fusePass());
+  if (snaps.fused) pm.add(pipeline::snapshotPass("fused", snaps.fused));
+  pm.add(pipeline::fixDepsPass());
+  for (const auto& [array, scalar] : plan.scalarize)
+    pm.add(pipeline::scalarizeArrayPass(array, scalar));
+  if (snaps.fixed) pm.add(pipeline::snapshotPass("fixed", snaps.fixed));
+  return pm;
+}
+
+SystemPlan planSystem(const deps::NestSystem& sys) {
+  SystemPlan sp;
+  for (std::size_t k = 0; k < sys.nests.size(); ++k)
+    if (!deps::computeW(sys, k).empty()) ++sp.violatedFlowOutput;
+  std::vector<std::string> names;
+  for (const auto& a : sys.decls.arrays) names.push_back(a.name);
+  for (const auto& s : sys.decls.scalars) names.push_back(s.name);
+  for (const auto& name : names) {
+    bool violated = false;
+    for (std::size_t k = 0; k < sys.nests.size() && !violated; ++k)
+      violated = !deps::violatedAntiDeps(sys, k, name).empty();
+    if (violated) ++sp.violatedAnti;
+  }
+  return sp;
+}
+
+}  // namespace fixfuse::planner

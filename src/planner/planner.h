@@ -1,0 +1,133 @@
+// Automatic fusion planner (ROADMAP item 1): derive the per-kernel
+// pipeline configuration - peel decision, sub-nest dimension placement,
+// fused-space bounds, epilogue split, temporary scalarisation, tiling
+// shape - from the program itself instead of hand-wiring it per kernel.
+//
+// The planner mirrors LLVM's loop-fusion candidate collection (discover
+// adjacent perfect sub-nests, reject unsupported shapes loudly) but
+// answers every legality question with the repo's exact polyhedral
+// machinery (src/deps, src/poly) under the established
+// sound-in-the-safe-direction discipline: "provably empty" is a proof,
+// anything else is treated as a real dependence or a real coverage
+// violation. The search strategy is deliberately cheap (Acharya &
+// Bondhugula-style): a fixed fallback chain of three strategies, each
+// checked by polyhedral coverage proofs, with the per-pass bit-for-bit
+// verifier as the runtime backstop.
+//
+// Strategy chain (first that covers wins):
+//   1. fuse as-is with the tightest covering bounds        (Jacobi)
+//   2. if coverage fails and the main nest is the unique deepest:
+//      peel the last outer iteration, then tight bounds    (LU, Cholesky)
+//   3. otherwise relax the failing lower bounds by minimal integer
+//      constants, no peel                                  (QR)
+//
+// ElimRW repairs are delegated to core::fixDeps, which enforces the
+// Theorem 3/4 single-clobber precondition and throws UnsupportedError
+// outside it - the planner never bypasses that check, so a plan can
+// never mis-compile: it is either fixed (and interpreter-verified) or
+// rejected loudly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/elim.h"
+#include "core/sink.h"
+#include "deps/nestsystem.h"
+#include "ir/stmt.h"
+#include "pipeline/manager.h"
+#include "support/intmatrix.h"
+
+namespace fixfuse::planner {
+
+/// Locality-tiling recommendation derived from the FixDeps outcome
+/// (Sec. 4 of the paper): copy repairs imply a skewable stencil, tile
+/// repairs imply rectangular tiling of the outer dims, and a clean fix
+/// tiles the outermost loop only.
+struct TilePlan {
+  enum class Kind {
+    None,            // nothing to tile (single-dim space)
+    StripMineOuter,  // tileLoopInnermost(stripVar, T, keepInner=1)
+    Rectangular,     // tileRectangular over the rectDims outer dims
+    SkewAndTile,     // unimodular skew, then tileRectangular over all dims
+  };
+  Kind kind = Kind::None;
+  std::string stripVar;          // StripMineOuter
+  std::size_t rectDims = 0;      // Rectangular
+  IntMatrix skew;                // SkewAndTile
+  std::vector<std::string> skewVars;
+  /// PDAT-based tile-size suggestion for an unknown problem size
+  /// (tile::pdatTileSize); drivers may override with a measured size.
+  std::int64_t suggestedTile = 0;
+
+  const char* kindName() const;
+};
+
+/// A complete plan for one ir::Program: everything a driver needs to
+/// assemble the pipeline the hand-written kernels used to hard-code.
+struct Plan {
+  std::optional<std::string> peelVar;  // engaged => peelLastIterationPass
+  core::SinkOptions sink;              // only divergences from defaults
+  bool splitEpilogue = false;
+  /// Arrays proven to be block-local temporaries, to be replaced by
+  /// scalars after FixDeps (array name -> scalar name).
+  std::vector<std::pair<std::string, std::string>> scalarize;
+  TilePlan tile;
+
+  // --- planning report (deterministic; surfaced in bench JSON) ---
+  core::FixLog fixLog;        // from the planner's trial run
+  std::string strategy;       // "fuse" | "peel" | "relax-bounds"
+  std::size_t candidateNests = 0;        // discovered sub-nests
+  std::size_t strategiesTried = 0;       // fallback-chain steps taken
+  std::size_t strategiesRejected = 0;    // steps that failed coverage/fix
+  std::size_t boundRelaxations = 0;      // strategy-3 lb decrements
+  std::size_t placementOverrides = 0;    // dims placed off-default
+  std::size_t boundOverrides = 0;        // bounds chosen off-default
+  std::vector<std::string> log;          // human-readable decisions
+};
+
+struct PlannerOptions {
+  /// Run the trial pipeline under interpreter verification with these
+  /// parameter bindings (empty: symbolic trial only - FixDeps still
+  /// re-proves Theorem 1 symbolically and checks single-clobber).
+  std::vector<std::map<std::string, std::int64_t>> trialParams;
+  /// Consider scalarising proven block-local temporaries (Fig. 4d).
+  bool scalarizeTemps = true;
+  /// L1 size driving the PDAT tile-size suggestion.
+  std::int64_t l1Bytes = 32 * 1024;
+};
+
+/// Plan the fusion pipeline for `p`. Throws support::UnsupportedError
+/// (with a rejection-taxonomy message) when no strategy in the chain
+/// produces a covered, fixable system - never returns a plan that could
+/// mis-compile.
+Plan planProgram(const ir::Program& p, const poly::ParamContext& ctx,
+                 const PlannerOptions& opts = {});
+
+/// Append the planned passes to `pm` in canonical order:
+///   [peel] -> sink -> fuse -> [snapshot "fused"] -> fixdeps
+///   -> scalarize* -> [snapshot "fixed"]
+/// This is exactly the sequence the hand-written kernel drivers used, so
+/// their stdout and golden files stay byte-identical.
+struct SnapshotTargets {
+  ir::Program* fused = nullptr;
+  ir::Program* fixed = nullptr;
+};
+pipeline::PassManager& addPlannedPasses(pipeline::PassManager& pm,
+                                        const Plan& plan,
+                                        const SnapshotTargets& snaps = {});
+
+/// Thin NestSystem entry for corpora that build systems directly (the
+/// fuzz corpus): report the violated-dependence profile and the repair
+/// pass to run. The returned pipeline is fixDepsPass-only; running it
+/// either fixes the system (Theorems 1-4 re-proved) or throws.
+struct SystemPlan {
+  std::size_t violatedFlowOutput = 0;  // nests with a nonempty W(k)
+  std::size_t violatedAnti = 0;        // arrays with violated RW deps
+  bool needsRepair() const { return violatedFlowOutput + violatedAnti > 0; }
+};
+SystemPlan planSystem(const deps::NestSystem& sys);
+
+}  // namespace fixfuse::planner

@@ -21,17 +21,39 @@ std::optional<bool> parseTruthy(std::string_view v) {
   return std::nullopt;
 }
 
+namespace {
+
+// One mutex for all warning emission: the dedup-set insert and the
+// fprintf stay inside the same critical section, so two threads racing
+// on the same key emit exactly one line and distinct warnings never
+// interleave mid-line. (Leaky singletons: warnings may fire during
+// static destruction.)
+std::mutex& warnMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::set<std::string>& warnedKeys() {
+  static std::set<std::string>* s = new std::set<std::string>();
+  return *s;
+}
+
+}  // namespace
+
 void warnInvalid(const char* var, const char* value, const char* expected,
                  const char* fallbackAction, bool oncePerVar) {
-  if (oncePerVar) {
-    static std::mutex m;
-    static std::set<std::string>* warned = new std::set<std::string>();
-    std::lock_guard<std::mutex> lock(m);
-    if (!warned->insert(var).second) return;
-  }
+  std::lock_guard<std::mutex> lock(warnMutex());
+  if (oncePerVar && !warnedKeys().insert(std::string("env:") + var).second)
+    return;
   std::fprintf(stderr,
                "warning: unrecognized %s value '%s' (expected %s); %s\n", var,
                value, expected, fallbackAction);
+}
+
+void warnOncePerProcess(const std::string& key, const std::string& message) {
+  std::lock_guard<std::mutex> lock(warnMutex());
+  if (!warnedKeys().insert("once:" + key).second) return;
+  std::fprintf(stderr, "warning: %s\n", message.c_str());
 }
 
 bool truthy(const char* var, bool fallback, const char* fallbackAction) {
@@ -50,13 +72,25 @@ std::uint32_t positiveInt(const char* var, std::uint32_t max,
                           const char* fallbackAction) {
   const char* v = std::getenv(var);
   if (!v) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  long n = std::strtol(v, &end, 10);
-  if (end != v && *end == '\0' && errno == 0 && n >= 1 &&
-      n <= static_cast<long>(max))
-    return static_cast<std::uint32_t>(n);
-  warnInvalid(var, v, expected, fallbackAction);
+  // Digits only: strtol would silently accept leading whitespace and a
+  // sign ("+12", " 12"), which are not complete positive decimal
+  // integers. Checking every character also rejects partial parses and
+  // trailing whitespace without a second pass.
+  bool digitsOnly = *v != '\0';
+  for (const char* c = v; *c != '\0'; ++c)
+    digitsOnly = digitsOnly && *c >= '0' && *c <= '9';
+  if (digitsOnly) {
+    // strtoull + explicit range check: out-of-range values (e.g.
+    // FIXFUSE_THREADS=99999999999) must fall back, never wrap. ERANGE
+    // catches values beyond even unsigned long long.
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(v, &end, 10);
+    if (*end == '\0' && errno == 0 && n >= 1 &&
+        n <= static_cast<unsigned long long>(max))
+      return static_cast<std::uint32_t>(n);
+  }
+  warnInvalid(var, v, expected, fallbackAction, /*oncePerVar=*/true);
   return fallback;
 }
 

@@ -21,8 +21,18 @@ std::optional<bool> parseTruthy(std::string_view v);
 ///   warning: unrecognized <var> value '<value>' (expected <expected>);
 ///   <fallbackAction>
 /// With oncePerVar, at most one warning per variable name per process.
+/// Thread-safe: the dedup check and the write happen under one lock, so
+/// concurrent callers (e.g. the bench worker pool) can neither tear nor
+/// duplicate a warning.
 void warnInvalid(const char* var, const char* value, const char* expected,
                  const char* fallbackAction, bool oncePerVar = false);
+
+/// Print "warning: <message>" on stderr at most once per `key` per
+/// process. The dedup set and the write share one lock (same discipline
+/// as warnInvalid), so racing threads emit exactly one intact line.
+/// Shared by the interpreter's native-backend fallback and the pipeline
+/// native executor so the same failure warns once across both sites.
+void warnOncePerProcess(const std::string& key, const std::string& message);
 
 /// Truthy env var: unset => fallback; malformed => warn + fallback.
 /// `fallbackAction` names what the fallback does in the warning (e.g.
@@ -30,7 +40,9 @@ void warnInvalid(const char* var, const char* value, const char* expected,
 bool truthy(const char* var, bool fallback, const char* fallbackAction);
 
 /// Complete positive decimal integer in [1, max]: unset => fallback;
-/// zero/negative/partial parses like "12abc" => warn + fallback.
+/// anything else - zero/negative, partial parses like "12abc", leading
+/// or trailing whitespace, a "+" sign, or out-of-range values like
+/// "99999999999" - warns once per variable and uses the fallback.
 std::uint32_t positiveInt(const char* var, std::uint32_t max,
                           std::uint32_t fallback, const char* expected,
                           const char* fallbackAction);

@@ -274,5 +274,43 @@ TEST(DepCacheTest, RepeatedQueriesHitTheCache) {
   EXPECT_LT(t4.hits - t3.hits, t4.queries - t3.queries);
 }
 
+TEST(DepCacheTest, DeclsChangeMissesInsteadOfStaleHit) {
+  // Two systems with identical nests but different declarations (here:
+  // one array extent changed, as if the caller retargeted the program)
+  // must not share cache entries - the fingerprint covers sys.decls.
+  // Before the decls were fingerprinted, the second round below was
+  // answered with the first system's (stale) entries.
+  ir::Program input = ir::parseProgram(kInput);
+  PassManager sinkPm(makeCtx());
+  sinkPm.add(sinkPass());
+  PipelineState sunk = sinkPm.run(input);
+  ASSERT_TRUE(sunk.system.has_value());
+  const deps::NestSystem& sys = *sunk.system;
+
+  deps::NestSystem other = sys;
+  ASSERT_FALSE(other.decls.arrays.empty());
+  ASSERT_FALSE(other.decls.arrays[0].extents.empty());
+  other.decls.arrays[0].extents[0] = ir::add(
+      other.decls.arrays[0].extents[0], ir::ic(1));
+
+  deps::depCacheClear();
+  const deps::DepCacheStats t0 = deps::depCacheThreadStats();
+  deps::computeW(sys, 0);
+  const deps::DepCacheStats t1 = deps::depCacheThreadStats();
+  deps::computeW(other, 0);
+  const deps::DepCacheStats t2 = deps::depCacheThreadStats();
+
+  const std::uint64_t firstQueries = t1.queries - t0.queries;
+  ASSERT_GT(firstQueries, 0u);
+  EXPECT_EQ(t2.queries - t1.queries, firstQueries);
+  EXPECT_EQ(t2.hits - t1.hits, 0u);  // different decls -> no stale hits
+
+  // The unmodified system still hits its own entries.
+  const deps::DepCacheStats t3 = deps::depCacheThreadStats();
+  deps::computeW(sys, 0);
+  const deps::DepCacheStats t4 = deps::depCacheThreadStats();
+  EXPECT_EQ(t4.hits - t3.hits, t4.queries - t3.queries);
+}
+
 }  // namespace
 }  // namespace fixfuse::pipeline

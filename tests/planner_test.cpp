@@ -1,0 +1,226 @@
+// Differential suite for planner::planProgram: the plan derived from
+// each paper kernel must equal the historical hand-written pipeline
+// configuration *exactly* - strategy, peel, placement and bound
+// overrides, scalarisation, FixDeps outcome, pass sequence, and the
+// emitted C of the fixed program (checked against the same goldens the
+// hand-written drivers produced). The hand-written sequences are the
+// oracle: any planner drift shows up as a readable field diff here
+// before it shows up as a golden or stdout diff elsewhere.
+//
+// The fuzz sweep reuses the FixDeps corpus as a planner corpus: every
+// random system is planned (planSystem) and repaired, and must end
+// fixed-and-verified or rejected loudly with UnsupportedError - never
+// silently mis-compiled (that would surface as VerificationError and
+// fail the test). Runs under whichever FIXFUSE_INTERP backend the
+// environment selects; CI exercises tree, bytecode and native.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "codegen/emit_c.h"
+#include "fuzz_systems.h"
+#include "kernels/common.h"
+#include "pipeline/manager.h"
+#include "planner/planner.h"
+#include "support/error.h"
+
+namespace fixfuse::planner {
+namespace {
+
+using kernels::KernelBundle;
+using kernels::buildKernel;
+using poly::AffineExpr;
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> passNames(const pipeline::PipelineStats& stats) {
+  std::vector<std::string> names;
+  for (const auto& p : stats.passes) names.push_back(p.pass);
+  return names;
+}
+
+void checkFixedGolden(const KernelBundle& b) {
+  const std::string want =
+      readFile(std::string(FIXFUSE_TEST_DIR) + "/golden/" + b.name +
+               "_fixed.c");
+  ASSERT_FALSE(want.empty()) << "missing golden for " << b.name;
+  EXPECT_EQ(codegen::emitC(b.fixed, {b.name + "_fixed", /*standalone=*/true}),
+            want)
+      << "planner-driven fixed " << b.name << " drifted from the golden";
+}
+
+TEST(PlannerDifferential, CholeskyMatchesHandWrittenConfig) {
+  KernelBundle b = buildKernel("cholesky", {/*tile=*/0});
+  const Plan& p = b.plan;
+  EXPECT_EQ(p.strategy, "peel");
+  ASSERT_TRUE(p.peelVar.has_value());
+  EXPECT_EQ(*p.peelVar, "k");
+  EXPECT_TRUE(p.splitEpilogue);
+  // Placement is all-default; the only divergence is the fused i bound
+  // j..N (the update nest's own range, tighter than the dominating k+1).
+  EXPECT_TRUE(p.sink.dimOverrides.empty());
+  ASSERT_EQ(p.sink.isBoundOverrides.size(), 1u);
+  ASSERT_TRUE(p.sink.isBoundOverrides.count(2));
+  EXPECT_TRUE(p.sink.isBoundOverrides.at(2).first == AffineExpr::var("j"));
+  EXPECT_TRUE(p.sink.isBoundOverrides.at(2).second == AffineExpr::var("N"));
+  EXPECT_TRUE(p.scalarize.empty());
+  // "The fused program for Cholesky is already legal": FixDeps must
+  // verifiably do nothing.
+  EXPECT_TRUE(b.fixLog.tiles.empty());
+  EXPECT_TRUE(b.fixLog.copies.empty());
+  EXPECT_EQ(p.tile.kind, TilePlan::Kind::StripMineOuter);
+  EXPECT_EQ(p.tile.stripVar, "k");
+  EXPECT_GT(p.tile.suggestedTile, 0);
+  EXPECT_EQ(passNames(b.stats),
+            (std::vector<std::string>{"peel(k)", "sink", "fuse",
+                                      "snapshot(fused)", "fixdeps",
+                                      "snapshot(fixed)"}));
+  checkFixedGolden(b);
+}
+
+TEST(PlannerDifferential, LuMatchesHandWrittenConfig) {
+  KernelBundle b = buildKernel("lu", {/*tile=*/0});
+  const Plan& p = b.plan;
+  EXPECT_EQ(p.strategy, "peel");
+  ASSERT_TRUE(p.peelVar.has_value());
+  EXPECT_EQ(*p.peelVar, "k");
+  EXPECT_TRUE(p.splitEpilogue);
+  // The swap nest's j maps onto the fused *i* dimension (dim 2) - the
+  // paper's Fig. 3a placement; bounds are the tight defaults.
+  ASSERT_EQ(p.sink.dimOverrides.size(), 1u);
+  ASSERT_TRUE(p.sink.dimOverrides.count(2));
+  EXPECT_EQ(p.sink.dimOverrides.at(2),
+            (std::map<std::string, std::size_t>{{"j", 2}}));
+  EXPECT_TRUE(p.sink.isBoundOverrides.empty());
+  EXPECT_TRUE(p.scalarize.empty());
+  // One Full tile on the pivot-search nest (the paper's "tile size N").
+  ASSERT_EQ(b.fixLog.tiles.size(), 1u);
+  EXPECT_TRUE(b.fixLog.copies.empty());
+  EXPECT_EQ(p.tile.kind, TilePlan::Kind::Rectangular);
+  EXPECT_EQ(p.tile.rectDims, 2u);
+  EXPECT_EQ(passNames(b.stats),
+            (std::vector<std::string>{"peel(k)", "sink", "fuse",
+                                      "snapshot(fused)", "fixdeps",
+                                      "snapshot(fixed)"}));
+  checkFixedGolden(b);
+}
+
+TEST(PlannerDifferential, QrMatchesHandWrittenConfig) {
+  KernelBundle b = buildKernel("qr", {/*tile=*/0});
+  const Plan& p = b.plan;
+  // QR's two deepest nests tie, so the chain skips peel and relaxes the
+  // failing fused j lower bound i+1 -> i (the paper's Fig. 3b widening).
+  EXPECT_EQ(p.strategy, "relax-bounds");
+  EXPECT_FALSE(p.peelVar.has_value());
+  EXPECT_TRUE(p.splitEpilogue);
+  EXPECT_GE(p.boundRelaxations, 1u);
+  // The norm accumulation's j maps onto the fused k dimension (dim 2).
+  ASSERT_EQ(p.sink.dimOverrides.size(), 1u);
+  ASSERT_TRUE(p.sink.dimOverrides.count(1));
+  EXPECT_EQ(p.sink.dimOverrides.at(1),
+            (std::map<std::string, std::size_t>{{"j", 2}}));
+  ASSERT_EQ(p.sink.isBoundOverrides.size(), 1u);
+  ASSERT_TRUE(p.sink.isBoundOverrides.count(1));
+  EXPECT_TRUE(p.sink.isBoundOverrides.at(1).first == AffineExpr::var("i"));
+  EXPECT_TRUE(p.sink.isBoundOverrides.at(1).second == AffineExpr::var("N"));
+  EXPECT_TRUE(p.scalarize.empty());
+  // Full-tiled norm accumulation plus the two consumed-ahead nests.
+  EXPECT_EQ(b.fixLog.tiles.size(), 3u);
+  EXPECT_TRUE(b.fixLog.copies.empty());
+  EXPECT_EQ(p.tile.kind, TilePlan::Kind::Rectangular);
+  EXPECT_EQ(p.tile.rectDims, 2u);
+  EXPECT_EQ(passNames(b.stats),
+            (std::vector<std::string>{"sink", "fuse", "snapshot(fused)",
+                                      "fixdeps", "snapshot(fixed)"}));
+  checkFixedGolden(b);
+}
+
+TEST(PlannerDifferential, JacobiMatchesHandWrittenConfig) {
+  KernelBundle b = buildKernel("jacobi", {/*tile=*/0});
+  const Plan& p = b.plan;
+  // Both sweeps map cleanly: no peel, no overrides, no epilogue split.
+  EXPECT_EQ(p.strategy, "fuse");
+  EXPECT_FALSE(p.peelVar.has_value());
+  EXPECT_FALSE(p.splitEpilogue);
+  EXPECT_TRUE(p.sink.dimOverrides.empty());
+  EXPECT_TRUE(p.sink.isBoundOverrides.empty());
+  // The temporary L is proven block-local and scalarised (Fig. 4d).
+  EXPECT_EQ(p.scalarize,
+            (std::vector<std::pair<std::string, std::string>>{{"L", "l"}}));
+  // One copy repair on A, introducing H_A_1 (Fig. 4d's H).
+  EXPECT_TRUE(b.fixLog.tiles.empty());
+  ASSERT_EQ(b.fixLog.copies.size(), 1u);
+  EXPECT_EQ(b.fixLog.copies[0].array, "A");
+  EXPECT_EQ(b.fixLog.copies[0].copyArray, "H_A_1");
+  // Copy repair => skewable stencil: skew all three dims, time innermost.
+  EXPECT_EQ(p.tile.kind, TilePlan::Kind::SkewAndTile);
+  EXPECT_EQ(p.tile.skewVars.size(), 3u);
+  EXPECT_EQ(passNames(b.stats),
+            (std::vector<std::string>{"sink", "fuse", "snapshot(fused)",
+                                      "fixdeps", "scalarize(L)",
+                                      "snapshot(fixed)"}));
+  checkFixedGolden(b);
+}
+
+TEST(PlannerFuzz, RandomSystemsPlannedFixedOrRejectedLoudly) {
+  // The FixDeps fuzz corpus, planned first: planSystem's violation
+  // profile must agree with what the repair pass then actually does,
+  // and every system ends fixed-and-verified or rejected loudly.
+  int fixed = 0, rejected = 0, alreadyLegal = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    tests::FuzzSystem fz = tests::randomSystem(seed);
+    const SystemPlan sp = planSystem(fz.sys);
+
+    pipeline::PassManager pm(fz.sys.ctx);
+    pm.verifyWith(tests::fuzzVerify(
+        seed, 77, {static_cast<std::int64_t>(tests::kPad + 1), 13, 20}));
+    pm.add(pipeline::fixDepsPass());
+    pipeline::PipelineState st;
+    try {
+      st = pm.runOnSystem(fz.sys);
+    } catch (const UnsupportedError&) {
+      // Loud rejection is acceptable - but only for systems the plan
+      // said need repair; a clean plan must never be rejected.
+      EXPECT_TRUE(sp.needsRepair()) << "seed " << seed;
+      ++rejected;
+      continue;
+    }
+    const bool acted =
+        !st.fixLog.tiles.empty() || !st.fixLog.copies.empty();
+    if (acted) {
+      ++fixed;
+      // FixDeps only acts on violations the plan saw.
+      EXPECT_TRUE(sp.needsRepair()) << "seed " << seed;
+    } else {
+      ++alreadyLegal;
+    }
+    EXPECT_TRUE(pm.stats().passes[0].verified) << "seed " << seed;
+  }
+  EXPECT_GE(fixed + alreadyLegal, 90) << "fixed=" << fixed
+                                      << " legal=" << alreadyLegal
+                                      << " rejected=" << rejected;
+  EXPECT_GE(fixed, 20);
+}
+
+TEST(PlannerRejection, UnfusableProgramThrowsUnsupported) {
+  // A program with no top-level loop has nothing to fuse: the planner
+  // must reject loudly, never emit a partial plan.
+  ir::Program p;
+  p.params = {"N"};
+  p.declareArray("A", {ir::add(ir::iv("N"), ir::ic(1))});
+  p.body = ir::blockS({ir::aassign("A", {ir::ic(1)}, ir::fc(0.0))});
+  p.numberAssignments();
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  EXPECT_THROW(planProgram(p, ctx), UnsupportedError);
+}
+
+}  // namespace
+}  // namespace fixfuse::planner

@@ -7,6 +7,8 @@
 
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "support/env.h"
 
@@ -61,25 +63,35 @@ TEST(Env, PositiveIntParsesCompleteValues) {
 }
 
 TEST(Env, PositiveIntRejectsMalformedWithWarning) {
-  // Partial parse, zero, negative, and above-max all warn and fall back.
-  // (Leading whitespace is NOT here: strtol skips it, so " 12" parses -
-  // the same tolerance the pre-extraction bench parser had.)
-  const char* bad[] = {"12abc", "0", "-3", "101", "abc"};
+  // Partial parse, zero, negative, above-max, out-of-range (would wrap a
+  // 32-bit parse), whitespace, and a "+" sign all warn once per variable
+  // and fall back. Each value gets its own variable: positiveInt warns
+  // once per var per process, so re-using one name would suppress every
+  // warning after the first.
+  const char* bad[] = {"12abc", "0",   "-3",  "101", "abc",
+                       "99999999999",  " 12", "12 ", "+12"};
+  int i = 0;
   for (const char* v : bad) {
-    ::setenv("FIXFUSE_ENVTEST_P2", v, 1);
+    std::string var = "FIXFUSE_ENVTEST_P2_" + std::to_string(i++);
+    ::setenv(var.c_str(), v, 1);
     ::testing::internal::CaptureStderr();
-    EXPECT_EQ(
-        env::positiveInt("FIXFUSE_ENVTEST_P2", 100, 7, "an int <= 100",
-                         "using the default"),
-        7u)
+    EXPECT_EQ(env::positiveInt(var.c_str(), 100, 7, "an int <= 100",
+                               "using the default"),
+              7u)
         << v;
     std::string err = ::testing::internal::GetCapturedStderr();
-    EXPECT_EQ(err, std::string("warning: unrecognized FIXFUSE_ENVTEST_P2 "
-                               "value '") +
-                       v + "' (expected an int <= 100); using the default\n")
+    EXPECT_EQ(err, "warning: unrecognized " + var + " value '" + v +
+                       "' (expected an int <= 100); using the default\n")
         << v;
+    // The second rejection of the same variable is silent (once per var).
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(env::positiveInt(var.c_str(), 100, 7, "an int <= 100",
+                               "using the default"),
+              7u)
+        << v;
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "") << v;
+    ::unsetenv(var.c_str());
   }
-  ::unsetenv("FIXFUSE_ENVTEST_P2");
 }
 
 TEST(Env, WarnInvalidOncePerVarSuppressesRepeats) {
@@ -107,6 +119,33 @@ TEST(Env, WarnInvalidOncePerVarSuppressesRepeats) {
             "(expected b); c\n"
             "warning: unrecognized FIXFUSE_ENVTEST_EACH value 'a' "
             "(expected b); c\n");
+}
+
+TEST(Env, WarnOncePerProcessDedupesByKey) {
+  ::testing::internal::CaptureStderr();
+  env::warnOncePerProcess("envtest-key-1", "first message");
+  env::warnOncePerProcess("envtest-key-1", "first message again");
+  env::warnOncePerProcess("envtest-key-2", "second key");
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err,
+            "warning: first message\n"
+            "warning: second key\n");
+}
+
+TEST(Env, WarnOncePerProcessThreadSafe) {
+  // Many threads racing on the same key must produce exactly one intact
+  // warning line (the dedup insert and the write share one lock).
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 100; ++i)
+        env::warnOncePerProcess("envtest-race-key",
+                                "raced warning, printed once");
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(),
+            "warning: raced warning, printed once\n");
 }
 
 }  // namespace
