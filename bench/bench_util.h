@@ -200,12 +200,23 @@ class BenchReport {
     planner_.set(key, std::move(v));
   }
 
+  /// Fields for the top-level `engine` section (schema v7): plan-cache
+  /// behavior of engine::Engine - warm hit/miss/eviction counters over
+  /// a deterministic request sequence, plus the per-kernel plan
+  /// signatures. Written only when a bench sets at least one field
+  /// (microbench does); the counters and signatures are deterministic
+  /// and gated by scripts/check_bench_json.py.
+  void setEngine(const std::string& key, support::Json v) {
+    if (engine_.isNull()) engine_ = support::Json::object();
+    engine_.set(key, std::move(v));
+  }
+
   /// Write the report when requested; returns the path written to.
   std::optional<std::string> write() {
     if (!path_) return std::nullopt;
     support::Json doc = support::Json::object();
     doc.set("bench", name_);
-    doc.set("schema_version", std::int64_t{6});
+    doc.set("schema_version", std::int64_t{7});
     doc.set("full_sweep", fullRuns());
     doc.set("threads", static_cast<std::int64_t>(sweepThreads()));
     interp_.set("backend",
@@ -216,6 +227,7 @@ class BenchReport {
     if (!pipeline_.isNull()) doc.set("pipeline", std::move(pipeline_));
     if (!analysis_.isNull()) doc.set("analysis", std::move(analysis_));
     if (!planner_.isNull()) doc.set("planner", std::move(planner_));
+    if (!engine_.isNull()) doc.set("engine", std::move(engine_));
     doc.set("wall_seconds", now() - start_);
     std::FILE* f = std::fopen(path_->c_str(), "w");
     if (!f) {
@@ -248,6 +260,7 @@ class BenchReport {
   support::Json pipeline_;  // null unless setPipeline was called
   support::Json analysis_;  // null unless setAnalysis was called (schema v4)
   support::Json planner_;   // null unless setPlanner was called (schema v6)
+  support::Json engine_;    // null unless setEngine was called (schema v7)
 };
 
 /// Run fn(i) for each sweep point on the worker pool, then emit the rows

@@ -41,7 +41,9 @@
 #include <unordered_map>
 
 #include "bench_util.h"
+#include "codegen/module_cache.h"
 #include "core/elim.h"
+#include "engine/engine.h"
 #include "core/fuse.h"
 #include "core/sink.h"
 #include "deps/analysis.h"
@@ -707,6 +709,117 @@ int runPlannerSection(bench::BenchReport& report) {
   return pass ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// Engine plan cache: the unified front door's memoization behavior (the
+// `engine` section, schema v7). Deterministic counter checks on local
+// engines (the process-wide engine's counters depend on what ran
+// before), a timing of the warm hit path, and the per-kernel plan
+// signatures - the signatures and counters feed the JSON baseline, so
+// planning or cache-discipline drift fails the bench regression gate.
+
+int runEngineSection(bench::BenchReport& report) {
+  std::printf("\nEngine plan cache (engine::Engine)\n");
+
+  // Four structurally distinct single-top-loop programs, each compiled
+  // twice on a fresh engine: every program must miss once and hit once,
+  // with no evictions at this bound.
+  auto programText = [](double c) {
+    return bench::strprintf(R"(
+program(N) {
+  double R[(N + 4)];
+  double S[(N + 4)];
+  for k = 1 .. N {
+    for i = 1 .. N {
+      R[i] = (R[i] + (%g * S[i]));
+    }
+    for i = 1 .. N {
+      S[i] = (S[i] + R[min((i + 1), N)]);
+    }
+  }
+}
+)",
+                            c);
+  };
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 1000000);
+
+  engine::Engine warm(/*cacheBound=*/64);
+  for (int round = 0; round < 2; ++round)
+    for (double c : {0.5, 0.25, 0.125, 0.75})
+      warm.compileText(programText(c), ctx);
+  const support::CacheStats ws = warm.cacheStats();
+  const bool warmOk = ws.misses == 4 && ws.hits == 4 && ws.evictions == 0 &&
+                      warm.cacheSize() == 4;
+  std::printf(
+      "warm: 4 programs x 2 compiles -> %llu misses, %llu hits, %llu "
+      "evictions (%s)\n",
+      static_cast<unsigned long long>(ws.misses),
+      static_cast<unsigned long long>(ws.hits),
+      static_cast<unsigned long long>(ws.evictions),
+      warmOk ? "ok" : "UNEXPECTED");
+
+  // Hit-path cost: repeat compiles of a cached program are hash lookups.
+  const std::string hot = programText(0.5);
+  constexpr int kLookups = 1000;
+  const double lookupSeconds = bench::timeBest(
+      [&] {
+        for (int i = 0; i < kLookups; ++i) {
+          auto cp = warm.compileText(hot, ctx);
+          benchmark::DoNotOptimize(cp.cacheHit());
+        }
+      },
+      3);
+  std::printf("warm hit path: %.3f us per compileText\n",
+              lookupSeconds / kLookups * 1e6);
+
+  // Bound 1 = one shard, capacity one entry: alternating two programs
+  // must evict on every switch.
+  engine::Engine evict(/*cacheBound=*/1);
+  evict.compileText(programText(0.5), ctx);
+  evict.compileText(programText(0.25), ctx);
+  evict.compileText(programText(0.5), ctx);
+  const support::CacheStats es = evict.cacheStats();
+  const bool evictOk = es.misses == 3 && es.hits == 0 && es.evictions == 2 &&
+                       evict.cacheSize() == 1;
+  std::printf(
+      "bound 1: A,B,A -> %llu misses, %llu hits, %llu evictions (%s)\n",
+      static_cast<unsigned long long>(es.misses),
+      static_cast<unsigned long long>(es.hits),
+      static_cast<unsigned long long>(es.evictions),
+      evictOk ? "ok" : "UNEXPECTED");
+
+  // The four kernels' plan signatures (deterministic digests of every
+  // decision in the plan; the full plans are pinned by planner_test).
+  support::Json sigs = support::Json::object();
+  bool sigsOk = true;
+  for (const char* name : {"cholesky", "jacobi", "lu", "qr"}) {
+    kernels::KernelBundle b = kernels::buildKernel(name, {/*tile=*/0});
+    const std::string sig = planner::planSignature(b.plan);
+    sigsOk = sigsOk && !sig.empty();
+    std::printf("%-10s %s\n", name, sig.c_str());
+    sigs.set(name, sig);
+  }
+
+  const bool pass = warmOk && evictOk && sigsOk;
+  std::printf("%s: warm counters, eviction counters, plan signatures\n",
+              pass ? "PASS" : "FAIL");
+
+  report.setEngine("warm_misses", static_cast<std::int64_t>(ws.misses));
+  report.setEngine("warm_hits", static_cast<std::int64_t>(ws.hits));
+  report.setEngine("warm_evictions", static_cast<std::int64_t>(ws.evictions));
+  report.setEngine("evict_misses", static_cast<std::int64_t>(es.misses));
+  report.setEngine("evict_hits", static_cast<std::int64_t>(es.hits));
+  report.setEngine("evict_evictions",
+                   static_cast<std::int64_t>(es.evictions));
+  report.setEngine("cache_bound_default",
+                   static_cast<std::int64_t>(codegen::engineCacheBoundFromEnv()));
+  report.setEngine("hit_lookup_seconds", lookupSeconds / kLookups);
+  report.setEngine("build_seconds_total", ws.buildSeconds);
+  report.setEngine("signatures", std::move(sigs));
+  report.setEngine("pass", pass);
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -732,6 +845,7 @@ int main(int argc, char** argv) {
   rc |= runAnalysisComparison(report);
   rc |= runNativeComparison(report);
   rc |= runPlannerSection(report);
+  rc |= runEngineSection(report);
   report.write();
   return rc;
 }

@@ -6,19 +6,21 @@
 // Fusing the two loops at the same iteration makes L2 read A(i+2) before
 // L1 has written it. fixfuse computes the violated dependence, tiles L1
 // with T = d+1 = 3 so it runs "compressed" ahead of schedule, and the
-// fused loop becomes legal. The interpreter verifies the repair.
+// fused loop becomes legal. The repair runs through the engine front
+// door (engine::Engine::compileSystem - plan, fix, verify, one cached
+// entry per system) and the handle executes on any interpreter backend,
+// including natively (emitC -> cc -> dlopen, bit-verified).
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 #include <cstdio>
 
 #include "codegen/emit_c.h"
-#include "core/elim.h"
 #include "core/fuse.h"
+#include "engine/engine.h"
 #include "interp/interp.h"
 #include "ir/printer.h"
 #include "ir/rewrite.h"
-#include "pipeline/native_exec.h"
 
 using namespace fixfuse;
 using namespace fixfuse::ir;
@@ -54,14 +56,20 @@ int main() {
         const_cast<Stmt&>(s).setAssignId(id++);
     });
 
-  ir::Program seq = core::generateSequentialProgram(sys);
+  // The naive fusion, kept for the demonstration below (the engine never
+  // hands out a broken program - it repairs or throws).
   ir::Program broken = core::generateFusedProgram(sys);
 
-  // --- FixDeps -------------------------------------------------------------
-  core::FixLog log = core::fixDeps(sys);
-  ir::Program fixed = core::generateFusedProgram(sys);
+  // --- compile through the engine front door -------------------------------
+  // One call: FixDeps repairs the system (or throws UnsupportedError -
+  // fixed-or-rejected-loudly), and the handle carries the sequential
+  // reference, the repaired program and the FixDeps log.
+  engine::Engine& eng = engine::processEngine();
+  engine::CompiledProgram cp = eng.compileSystem(sys);
+  ir::Program seq = cp.seq();
+  ir::Program fixed = cp.fixed();
 
-  std::printf("== what FixDeps did ==\n%s\n", log.str().c_str());
+  std::printf("== what FixDeps did ==\n%s\n", cp.fixLog().str().c_str());
   std::printf("== fixed fused program ==\n%s\n", printProgram(fixed).c_str());
 
   // --- verify with the interpreter ------------------------------------------
@@ -72,7 +80,7 @@ int main() {
   };
   interp::Machine ms = interp::runProgram(seq, {{"N", 20}}, init);
   interp::Machine mb = interp::runProgram(broken, {{"N", 20}}, init);
-  interp::Machine mf = interp::runProgram(fixed, {{"N", 20}}, init);
+  interp::Machine mf = cp.run({{"N", 20}}, init);
   std::printf("max |seq - naive fused| on C : %g (nonzero: the fusion was "
               "illegal)\n",
               interp::maxArrayDifference(ms, mb, "C"));
@@ -90,8 +98,7 @@ int main() {
   // final state bit-compared against a bytecode reference run. Falls
   // back to the bytecode engine when no host compiler is available.
   pipeline::NativeRunReport nr;
-  pipeline::NativeExecutor exec(/*verify=*/true);
-  interp::Machine mn = exec.execute(fixed, {{"N", 20}}, init, &nr);
+  interp::Machine mn = cp.runNative({{"N", 20}}, init, &nr);
   if (nr.available)
     std::printf(
         "== native execution ==\nbackend %s: compiled in %.3f s with '%s', "
@@ -105,5 +112,13 @@ int main() {
         nr.reason.c_str());
   std::printf("max |seq - native fixed| on C : %g\n",
               interp::maxArrayDifference(ms, mn, "C"));
-  return 0;
+
+  // --- the cache -------------------------------------------------------------
+  // Resubmitting the same system is a hash lookup, not a replan: the
+  // second compile must hit the engine's plan cache.
+  engine::CompiledProgram again = eng.compileSystem(sys);
+  std::printf("\n== engine cache ==\nsecond compileSystem of the same "
+              "system: %s\n",
+              again.cacheHit() ? "cache hit" : "MISS (unexpected)");
+  return again.cacheHit() ? 0 : 1;
 }

@@ -1,21 +1,24 @@
 // End-user workflow entirely from text: write an imperfect loop nest in
-// the textual syntax, parse it, let the fusion planner derive the
-// pipeline (planner::planProgram - peel/placement/bounds/scalarisation
-// decided from the program itself), run the planned passes through the
-// PassManager (with per-pass bit-for-bit verification against the
-// input), and emit compilable C. Pass a file path to process your own
-// program instead of the built-in one; unfusable programs are rejected
-// loudly with UnsupportedError, never mis-compiled.
+// the textual syntax and hand it to the engine front door
+// (engine::Engine::compileText) - it parses, lets the fusion planner
+// derive the pipeline (planner::planProgram - peel/placement/bounds/
+// scalarisation decided from the program itself), runs the planned
+// passes through the PassManager (with per-pass bit-for-bit
+// verification against the input), and returns a handle carrying every
+// program version, the plan and the stats, ready to execute or emit as
+// compilable C. Pass a file path to process your own program instead of
+// the built-in one; unfusable programs are rejected loudly with
+// UnsupportedError, never mis-compiled. Structurally equal programs are
+// compiled once: the engine memoizes by hash-consed fingerprint.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "codegen/emit_c.h"
+#include "engine/engine.h"
 #include "interp/interp.h"
 #include "ir/parse.h"
 #include "ir/printer.h"
-#include "pipeline/manager.h"
-#include "planner/planner.h"
 
 using namespace fixfuse;
 
@@ -54,13 +57,10 @@ int main(int argc, char** argv) {
     text = ss.str();
   }
 
-  ir::Program original = ir::parseProgram(text);
-  std::printf("== input ==\n%s\n", ir::printProgram(original).c_str());
-
   poly::ParamContext ctx;
   ctx.addParam("N", 4, 1000000);
 
-  // The manager interprets the program after the fixdeps pass and
+  // The engine interprets the program after the fixdeps pass and
   // bit-compares it against the parsed input (a mismatch would throw
   // pipeline::VerificationError naming the pass).
   auto init = [](interp::Machine& m) {
@@ -68,40 +68,43 @@ int main(int argc, char** argv) {
     for (auto& v : m.array("R").data()) v = (x += 0.13);
     for (auto& v : m.array("S").data()) v = (x -= 0.07);
   };
-  pipeline::VerifyOptions vo;
-  vo.enabled = true;
-  vo.paramSets = {{{"N", 12}}};
-  vo.init = [&init](interp::Machine& m,
-                    const std::map<std::string, std::int64_t>&) { init(m); };
+  engine::CompileOptions opts;
+  opts.verify.enabled = true;
+  opts.verify.paramSets = {{{"N", 12}}};
+  opts.verify.init = [&init](interp::Machine& m,
+                             const std::map<std::string, std::int64_t>&) {
+    init(m);
+  };
 
-  // The planner inspects the parsed program and decides the pipeline:
-  // whether to peel, how to place sunk dimensions, the fused bounds,
-  // scalarisation, and a tiling recommendation. Unfusable input throws
-  // UnsupportedError here instead of mis-compiling.
-  planner::Plan plan = planner::planProgram(original, ctx);
-  std::printf("== plan ==\nstrategy: %s\n", plan.strategy.c_str());
-  for (const std::string& line : plan.log)
+  // One front-door call: parse, plan (whether to peel, how to place
+  // sunk dimensions, the fused bounds, scalarisation, a tiling
+  // recommendation), run the planned passes, verify. Unfusable input
+  // throws UnsupportedError here instead of mis-compiling.
+  engine::CompiledProgram cp =
+      engine::processEngine().compileText(text, ctx, opts);
+  ir::Program original = cp.seq();
+  ir::Program fixed = cp.fixed();
+
+  std::printf("== input ==\n%s\n", ir::printProgram(original).c_str());
+
+  std::printf("== plan ==\nstrategy: %s\nsignature: %s\n",
+              cp.plan().strategy.c_str(), cp.planSignature().c_str());
+  for (const std::string& line : cp.plan().log)
     std::printf("  %s\n", line.c_str());
   std::printf("\n");
 
-  pipeline::PassManager pm(ctx);
-  pm.verifyWith(vo);
-  planner::addPlannedPasses(pm, plan);
-  pipeline::PipelineState st = pm.run(original);
-  ir::Program fixed = st.program;
-
-  std::printf("== FixDeps ==\n%s", st.fixLog.str().c_str());
-  if (st.fixLog.tiles.empty() && st.fixLog.copies.empty())
+  std::printf("== FixDeps ==\n%s", cp.fixLog().str().c_str());
+  if (cp.fixLog().tiles.empty() && cp.fixLog().copies.empty())
     std::printf("(fusion was already legal)\n");
   std::printf("\n== fused + fixed ==\n%s\n",
               ir::printProgram(fixed).c_str());
 
-  std::printf("== pipeline stats ==\n%s\n", pm.stats().str().c_str());
+  std::printf("== pipeline stats ==\n%s\n", cp.stats().str().c_str());
 
-  // Independent re-check on the same data (the manager already verified
+  // Independent re-check on the same data (the engine already verified
   // bit-for-bit; this prints the end-to-end number for the reader).
   interp::Machine a = interp::runProgram(original, {{"N", 12}}, init);
-  interp::Machine b = interp::runProgram(fixed, {{"N", 12}}, init);
+  interp::Machine b = cp.run({{"N", 12}}, init);
   double worst = std::max(interp::maxArrayDifference(a, b, "R"),
                           interp::maxArrayDifference(a, b, "S"));
   std::printf("max |original - fixed| over R,S at N=12: %g\n\n", worst);

@@ -24,7 +24,8 @@ that was generated from a failing run):
               interp.native.speedup_vs_bytecode >= 20 (when a host
               compiler is available; pass --allow-no-native on runners
               without one), all totals_agree/verified/pass flags true,
-              planner.pass true (all four kernels planned).
+              planner.pass true (all four kernels planned), engine.pass
+              true with exact warm/eviction plan-cache counters.
   table1_capability: every kernel handled.
   ablation_fixdeps:  every post-FixDeps error norm exactly 0.
 
@@ -123,6 +124,17 @@ def gate_microbench(doc, errors, allow_no_native):
     planner = doc.get("planner", {})
     if planner.get("pass") is not True:
         fail(errors, "planner.pass is not true")
+    engine = doc.get("engine", {})
+    if engine.get("pass") is not True:
+        fail(errors, "engine.pass is not true")
+    for key, want in (("warm_misses", 4), ("warm_hits", 4),
+                      ("warm_evictions", 0), ("evict_misses", 3),
+                      ("evict_hits", 0), ("evict_evictions", 2)):
+        if engine.get(key) != want:
+            fail(errors, f"engine.{key} {engine.get(key)!r} != {want}")
+    for kernel in ("cholesky", "jacobi", "lu", "qr"):
+        if not engine.get("signatures", {}).get(kernel):
+            fail(errors, f"engine.signatures.{kernel} missing or empty")
 
 
 def gate_table1(doc, errors):

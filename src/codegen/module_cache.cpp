@@ -1,0 +1,50 @@
+#include "codegen/module_cache.h"
+
+#include "support/env.h"
+
+namespace fixfuse::codegen {
+
+std::size_t engineCacheBoundFromEnv() {
+  return support::env::positiveInt(
+      "FIXFUSE_ENGINE_CACHE", /*max=*/1u << 20, /*fallback=*/256,
+      "a positive entry count <= 2^20", "using default bound 256");
+}
+
+ModuleCache::ModuleCache(std::size_t bound) : cache_(bound) {}
+
+std::shared_ptr<const NativeModule> ModuleCache::getOrCompile(
+    const ir::Program& p, bool* cached) {
+  std::shared_ptr<const Entry> entry = cache_.getOrBuild(
+      ir::fingerprint(p),
+      [&]() -> std::shared_ptr<const Entry> {
+        auto e = std::make_shared<Entry>();
+        try {
+          e->module = NativeModule::compile(p);
+        } catch (const Error& err) {
+          e->error = err.what();
+        }
+        return e;
+      },
+      cached);
+  if (!entry->module) throw NativeError(entry->error);
+  return entry->module;
+}
+
+std::shared_ptr<const NativeModule> ModuleCache::tryGetOrCompile(
+    const ir::Program& p, std::string* error, bool* cached) {
+  try {
+    std::shared_ptr<const NativeModule> m = getOrCompile(p, cached);
+    if (error) error->clear();
+    return m;
+  } catch (const Error& e) {
+    if (error) *error = e.what();
+    return nullptr;
+  }
+}
+
+ModuleCache& processModuleCache() {
+  static ModuleCache* cache = new ModuleCache();  // leaky, like the arenas
+  return *cache;
+}
+
+}  // namespace fixfuse::codegen

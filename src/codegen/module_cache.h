@@ -1,0 +1,77 @@
+// Bounded, sharded memoization of compiled NativeModules.
+//
+// Replaces the old unbounded process-wide map that lived inside
+// NativeModule: modules are keyed by the hash-consed program
+// fingerprint (ir/fingerprint.h) in a support::ShardedLruCache, so
+// repeat traffic of structurally equal programs costs one hash lookup,
+// not one host-compiler run. The shard lock is held across the compile
+// (one compile per fingerprint; concurrent losers wait and take the
+// hit), compile *failures* are cached too (a program that will not
+// compile is reported once, not retried per sweep point), and the cache
+// is bounded with LRU eviction - FIXFUSE_ENGINE_CACHE entries, shared
+// with engine::PlanCache via engineCacheBoundFromEnv().
+//
+// `processModuleCache()` is the process-wide instance every backend
+// consumer (interp's native backend, pipeline::NativeExecutor,
+// engine::Engine handles) routes through; independent instances with
+// explicit bounds exist for tests and bench isolation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "codegen/native_module.h"
+#include "ir/fingerprint.h"
+#include "support/sharded_lru.h"
+
+namespace fixfuse::codegen {
+
+/// Entry bound for the engine-level caches, from FIXFUSE_ENGINE_CACHE
+/// via strict support::env::positiveInt (default 256, max 2^20;
+/// invalid or out-of-range values warn once per process and fall back
+/// to the default).
+std::size_t engineCacheBoundFromEnv();
+
+class ModuleCache {
+ public:
+  /// Bound defaults to FIXFUSE_ENGINE_CACHE (engineCacheBoundFromEnv).
+  explicit ModuleCache(std::size_t bound = engineCacheBoundFromEnv());
+
+  /// Compile `p` or return the cached module for its hash-consed
+  /// identity. Thread-safe; exactly one compile per fingerprint.
+  /// Throws NativeError on failure (failures are cached: the same
+  /// program throws the same reason without re-running the compiler).
+  /// `cached`, when given, reports whether this call reused an entry.
+  std::shared_ptr<const NativeModule> getOrCompile(const ir::Program& p,
+                                                   bool* cached = nullptr);
+
+  /// getOrCompile that reports failure as nullptr + `*error` instead of
+  /// throwing (the graceful-fallback path). `*error` is cleared on
+  /// success.
+  std::shared_ptr<const NativeModule> tryGetOrCompile(
+      const ir::Program& p, std::string* error, bool* cached = nullptr);
+
+  /// hits / misses / evictions / compile wall-clock, summed over shards.
+  support::CacheStats stats() const { return cache_.stats(); }
+
+  std::size_t bound() const { return cache_.bound(); }
+  std::size_t shardCount() const { return cache_.shardCount(); }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const NativeModule> module;  // null when compile failed
+    std::string error;                           // reason when null
+  };
+
+  support::ShardedLruCache<ir::Fingerprint, std::shared_ptr<const Entry>,
+                           ir::FingerprintHash>
+      cache_;
+};
+
+/// The process-wide module cache (leaky singleton, like the consing
+/// arena). Every production consumer of the native backend shares it.
+ModuleCache& processModuleCache();
+
+}  // namespace fixfuse::codegen

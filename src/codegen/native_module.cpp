@@ -1,14 +1,13 @@
 #include "codegen/native_module.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
-#include <mutex>
 #include <sstream>
-#include <unordered_map>
 
 #if defined(__has_include)
 #if __has_include(<unistd.h>)
@@ -18,7 +17,6 @@
 #endif
 
 #include "codegen/emit_c.h"
-#include "ir/context.h"
 #include "support/dylib.h"
 #include "support/env.h"
 
@@ -39,83 +37,6 @@ double nowSeconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
-
-// --- program fingerprint ----------------------------------------------------
-// Hash-consed identity: expressions are canonical per structure (ir
-// arena), so a flat tuple of expression addresses + interned symbol ids
-// + structure tags identifies a program exactly within this process.
-// Statements are not consed, hence the recursive walk; equality of two
-// fingerprints is full vector equality (a hash collision can never
-// alias two different programs to one module).
-
-using Fingerprint = std::vector<std::uint64_t>;
-
-void fpExpr(Fingerprint& fp, const ir::ExprPtr& e) {
-  fp.push_back(static_cast<std::uint64_t>(
-      reinterpret_cast<std::uintptr_t>(e.get())));
-}
-
-void fpStmt(Fingerprint& fp, const ir::Stmt& s) {
-  using ir::StmtKind;
-  fp.push_back(static_cast<std::uint64_t>(s.kind()) + 0x100);
-  switch (s.kind()) {
-    case StmtKind::Assign: {
-      fp.push_back(s.lhs().symbol().id());
-      fp.push_back(s.lhs().indices.size());
-      for (const auto& i : s.lhs().indices) fpExpr(fp, i);
-      fpExpr(fp, s.rhs());
-      return;
-    }
-    case StmtKind::If:
-      fpExpr(fp, s.cond());
-      fpStmt(fp, *s.thenBody());
-      fp.push_back(s.elseBody() ? 1 : 0);
-      if (s.elseBody()) fpStmt(fp, *s.elseBody());
-      return;
-    case StmtKind::Loop:
-      fp.push_back(s.loopVarSym().id());
-      fpExpr(fp, s.lowerBound());
-      fpExpr(fp, s.upperBound());
-      fpStmt(fp, *s.loopBody());
-      return;
-    case StmtKind::Block:
-      fp.push_back(s.stmts().size());
-      for (const auto& c : s.stmts()) fpStmt(fp, *c);
-      return;
-  }
-}
-
-Fingerprint fingerprint(const ir::Program& p) {
-  Fingerprint fp;
-  fp.reserve(64);
-  fp.push_back(p.params.size());
-  for (const auto& prm : p.params)
-    fp.push_back(ir::Context::intern(prm).id());
-  fp.push_back(p.arrays.size());
-  for (const auto& a : p.arrays) {
-    fp.push_back(ir::Context::intern(a.name).id());
-    fp.push_back(a.extents.size());
-    for (const auto& e : a.extents) fpExpr(fp, e);
-  }
-  fp.push_back(p.scalars.size());
-  for (const auto& s : p.scalars) {
-    fp.push_back(ir::Context::intern(s.name).id());
-    fp.push_back(static_cast<std::uint64_t>(s.type));
-  }
-  fp.push_back(p.body ? 1 : 0);
-  if (p.body) fpStmt(fp, *p.body);
-  return fp;
-}
-
-struct FingerprintHash {
-  std::size_t operator()(const Fingerprint& fp) const {
-    std::uint64_t h = 0x9e3779b97f4a7c15ull;
-    for (std::uint64_t v : fp) {
-      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-    }
-    return static_cast<std::size_t>(h);
-  }
-};
 
 // --- compiler invocation ----------------------------------------------------
 
@@ -186,96 +107,40 @@ support::Dylib compileAndLoad(const std::string& source,
   }
 }
 
-// --- module registry --------------------------------------------------------
-
-struct RegistryEntry {
-  std::shared_ptr<const NativeModule> module;  // null when compile failed
-  std::string error;                           // reason when null
-};
-
-struct Registry {
-  std::mutex mu;
-  std::unordered_map<Fingerprint, RegistryEntry, FingerprintHash> modules;
-  std::uint64_t nextId = 0;
-};
-
-Registry& registry() {
-  static Registry* r = new Registry();  // leaky singleton, like the caches
-  return *r;
-}
-
 }  // namespace
 
-// Private-constructor access: the only place modules are built.
-struct NativeModuleAccess {
-  /// Compile `p` into a fresh module (no cache involvement).
-  static std::shared_ptr<const NativeModule> compile(const ir::Program& p,
-                                                     std::uint64_t id) {
-    EmitOptions opts;
-    opts.functionName = "ff_kernel";
-    opts.standalone = true;
-    opts.nativeEntry = true;
-    const std::string source = emitC(p, opts);
+std::shared_ptr<const NativeModule> NativeModule::compile(
+    const ir::Program& p) {
+  EmitOptions opts;
+  opts.functionName = "ff_kernel";
+  opts.standalone = true;
+  opts.nativeEntry = true;
+  const std::string source = emitC(p, opts);
 
-    std::shared_ptr<NativeModule> mod(new NativeModule());
-    mod->source_ = source;
-    const double t0 = nowSeconds();
-    std::string soPath;
-    support::Dylib lib =
-        compileAndLoad(source, "mod_" + std::to_string(id), &soPath);
-    void* entry = lib.symbol("ff_kernel_entry");
-    mod->compileSeconds_ = nowSeconds() - t0;
-    mod->soPath_ = soPath;
-    mod->entry_ = reinterpret_cast<NativeModule::EntryFn>(entry);
-    mod->nParams_ = p.params.size();
-    mod->nArrays_ = p.arrays.size();
-    for (const auto& s : p.scalars)
-      (s.type == ir::Type::Int ? mod->nIntScalars_ : mod->nFloatScalars_) +=
-          1;
-    mod->lib_ = std::shared_ptr<void>(
-        new support::Dylib(std::move(lib)),
-        [](void* d) { delete static_cast<support::Dylib*>(d); });
-    return mod;
-  }
-};
+  // Process-unique scratch stem: concurrent compiles (distinct shards of
+  // the module cache, or independent caches) must not clobber each
+  // other's .c/.so files.
+  static std::atomic<std::uint64_t> nextId{0};
+  const std::uint64_t id = nextId.fetch_add(1, std::memory_order_relaxed);
 
-std::shared_ptr<const NativeModule> NativeModule::getOrCompile(
-    const ir::Program& p, bool* cached) {
-  const Fingerprint fp = fingerprint(p);
-  Registry& reg = registry();
-  // Held across the compile on purpose: concurrent sweep workers asking
-  // for the same program must not race the compiler; losers wait and
-  // take the cache hit.
-  std::lock_guard<std::mutex> lock(reg.mu);
-  auto it = reg.modules.find(fp);
-  if (it != reg.modules.end()) {
-    if (cached) *cached = true;
-    if (!it->second.module) throw NativeError(it->second.error);
-    return it->second.module;
-  }
-  if (cached) *cached = false;
-  RegistryEntry entry;
-  try {
-    entry.module = NativeModuleAccess::compile(p, reg.nextId++);
-  } catch (const Error& e) {
-    entry.error = e.what();
-    reg.modules.emplace(fp, entry);
-    throw NativeError(entry.error);
-  }
-  reg.modules.emplace(fp, entry);
-  return entry.module;
-}
-
-std::shared_ptr<const NativeModule> NativeModule::tryGetOrCompile(
-    const ir::Program& p, std::string* error, bool* cached) {
-  try {
-    std::shared_ptr<const NativeModule> m = getOrCompile(p, cached);
-    if (error) error->clear();
-    return m;
-  } catch (const Error& e) {
-    if (error) *error = e.what();
-    return nullptr;
-  }
+  std::shared_ptr<NativeModule> mod(new NativeModule());
+  mod->source_ = source;
+  const double t0 = nowSeconds();
+  std::string soPath;
+  support::Dylib lib =
+      compileAndLoad(source, "mod_" + std::to_string(id), &soPath);
+  void* entry = lib.symbol("ff_kernel_entry");
+  mod->compileSeconds_ = nowSeconds() - t0;
+  mod->soPath_ = soPath;
+  mod->entry_ = reinterpret_cast<NativeModule::EntryFn>(entry);
+  mod->nParams_ = p.params.size();
+  mod->nArrays_ = p.arrays.size();
+  for (const auto& s : p.scalars)
+    (s.type == ir::Type::Int ? mod->nIntScalars_ : mod->nFloatScalars_) += 1;
+  mod->lib_ = std::shared_ptr<void>(
+      new support::Dylib(std::move(lib)),
+      [](void* d) { delete static_cast<support::Dylib*>(d); });
+  return mod;
 }
 
 void NativeModule::run(const Binding& b) const {

@@ -19,17 +19,15 @@
 //    bounds or division checks; only run programs the interpreter
 //    accepts (the test suite and pipeline verification guarantee this
 //    for every program the repo executes natively).
-//  * Process-wide cache: modules are memoized by the hash-consed program
-//    identity (expression pointers are canonical per structure, so the
-//    fingerprint is a flat integer tuple - no text rendering), so
-//    repeated bench sweeps compile once. Compile failures are cached
-//    too: a program that will not compile is reported once, not retried
-//    per sweep point.
+//  * No caching here: NativeModule::compile always runs the host
+//    compiler. Memoization lives one layer up in codegen::ModuleCache
+//    (module_cache.h) - bounded, sharded, LRU-evicting, keyed by the
+//    hash-consed program fingerprint - and every production consumer
+//    (interp's native backend, the pipeline NativeExecutor, the engine)
+//    goes through processModuleCache().
 //  * Graceful degradation: no compiler / compile error / dlopen error
-//    surface as NativeError from getOrCompile, or nullptr + reason from
-//    tryGetOrCompile; callers (interp's native backend, the pipeline
-//    NativeExecutor) fall back to bytecode with a once-per-process
-//    warning, never crash.
+//    surface as NativeError; cache-level callers fall back to bytecode
+//    with a once-per-process warning, never crash.
 #pragma once
 
 #include <cstdint>
@@ -63,26 +61,16 @@ class NativeModule {
     std::vector<std::int64_t*> intScalars;
   };
 
-  /// Compile `p` (or return the process-wide cached module for its
-  /// hash-consed identity). Thread-safe. Throws NativeError on failure
-  /// (failures are cached: the same program throws the same reason
-  /// without re-running the compiler). `cached`, when given, reports
-  /// whether this call reused an existing module.
-  static std::shared_ptr<const NativeModule> getOrCompile(
-      const ir::Program& p, bool* cached = nullptr);
-
-  /// getOrCompile that reports failure as nullptr + `*error` instead of
-  /// throwing (the graceful-fallback path). `*error` is cleared on
-  /// success.
-  static std::shared_ptr<const NativeModule> tryGetOrCompile(
-      const ir::Program& p, std::string* error, bool* cached = nullptr);
+  /// Compile `p` into a fresh module - emitC, host compiler, dlopen.
+  /// Always runs the compiler; throws NativeError on failure. Cached
+  /// access goes through codegen::ModuleCache, not here.
+  static std::shared_ptr<const NativeModule> compile(const ir::Program& p);
 
   /// Execute the compiled entry point on `b`. The binding's vector sizes
   /// must match the program the module was compiled from (checked).
   void run(const Binding& b) const;
 
-  /// Wall-clock seconds the host compiler took (0 when this module was
-  /// a cache hit at getOrCompile time - see the `cached` out-param).
+  /// Wall-clock seconds the host compiler took for this module.
   double compileSeconds() const { return compileSeconds_; }
   /// Path of the compiled shared object (diagnostics).
   const std::string& soPath() const { return soPath_; }
@@ -94,7 +82,6 @@ class NativeModule {
 
  private:
   NativeModule() = default;
-  friend struct NativeModuleAccess;
 
   using EntryFn = void (*)(const std::int64_t* params, double** arrays,
                            double** fscalars, std::int64_t** iscalars);

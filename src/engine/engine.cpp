@@ -1,0 +1,210 @@
+#include "engine/engine.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/fuse.h"
+#include "ir/context.h"
+#include "ir/parse.h"
+#include "pipeline/pass.h"
+
+namespace fixfuse::engine {
+
+namespace {
+
+// Key-space discriminators: a program compiled through the planner and
+// a system repaired through fixDepsPass must never alias, whatever
+// their fingerprints look like.
+constexpr std::uint64_t kModeProgram = 0xE1611001ull;
+constexpr std::uint64_t kModeSystem = 0xE1611002ull;
+
+/// Append a string to the key exactly (length + packed bytes) - cache
+/// keys follow the fingerprint discipline: full equality, never a
+/// trusted hash.
+void appendString(ir::Fingerprint& fp, const std::string& s) {
+  fp.push_back(s.size());
+  std::uint64_t word = 0;
+  int n = 0;
+  for (unsigned char c : s) {
+    word = (word << 8) | c;
+    if (++n == 8) {
+      fp.push_back(word);
+      word = 0;
+      n = 0;
+    }
+  }
+  if (n) fp.push_back(word);
+}
+
+void appendParamSets(
+    ir::Fingerprint& fp,
+    const std::vector<std::map<std::string, std::int64_t>>& sets) {
+  fp.push_back(sets.size());
+  for (const auto& set : sets) {
+    fp.push_back(set.size());
+    for (const auto& [name, value] : set) {
+      fp.push_back(ir::Context::intern(name).id());
+      fp.push_back(static_cast<std::uint64_t>(value));
+    }
+  }
+}
+
+/// Everything in CompileOptions the cached products depend on (or that
+/// changes what was verified). The verify init closure is deliberately
+/// excluded - see the header.
+void appendOptions(ir::Fingerprint& fp, const CompileOptions& opts) {
+  fp.push_back(static_cast<std::uint64_t>(opts.tile));
+  fp.push_back(opts.verify.enabled ? 1 : 0);
+  appendParamSets(fp, opts.verify.paramSets);
+  fp.push_back(opts.planner.scalarizeTemps ? 1 : 0);
+  fp.push_back(static_cast<std::uint64_t>(opts.planner.l1Bytes));
+  appendParamSets(fp, opts.planner.trialParams);
+}
+
+/// The planned tiling as passes, exactly as the kernel drivers used to
+/// hand-wire them per TilePlan kind.
+void addTilingPasses(pipeline::PassManager& pm, const planner::TilePlan& tp,
+                     std::int64_t tile) {
+  using Kind = planner::TilePlan::Kind;
+  switch (tp.kind) {
+    case Kind::StripMineOuter:
+      pm.add(pipeline::stripMineAndSinkPass(tp.stripVar, tile,
+                                            /*keepInner=*/1));
+      return;
+    case Kind::Rectangular:
+      pm.add(pipeline::tileRectangularPass(
+          std::vector<std::int64_t>(tp.rectDims, tile)));
+      return;
+    case Kind::SkewAndTile:
+      pm.add(pipeline::unimodularTransformPass(tp.skew, tp.skewVars))
+          .add(pipeline::tileRectangularPass(
+              std::vector<std::int64_t>(tp.skewVars.size(), tile)));
+      return;
+    case Kind::None:
+      return;
+  }
+}
+
+}  // namespace
+
+interp::Machine CompiledProgram::run(
+    const std::map<std::string, std::int64_t>& params,
+    const std::function<void(interp::Machine&)>& init,
+    interp::Backend backend, interp::Observer* observer) const {
+  interp::Machine m(e_->tiled, params);
+  if (init) init(m);
+  interp::Interpreter it(e_->tiled, m, observer,
+                         interp::Interpreter::Dispatch::Batched, backend);
+  it.run();
+  return m;
+}
+
+interp::Machine CompiledProgram::runNative(
+    const std::map<std::string, std::int64_t>& params,
+    const std::function<void(interp::Machine&)>& init,
+    pipeline::NativeRunReport* report, bool verify) const {
+  pipeline::NativeExecutor exec(verify);
+  return exec.execute(e_->tiled, params, init, report);
+}
+
+Engine::Engine(std::size_t cacheBound) : cache_(cacheBound) {}
+
+CompiledProgram Engine::compile(const ir::Program& p,
+                                const poly::ParamContext& ctx,
+                                const CompileOptions& opts) {
+  ir::Fingerprint key;
+  key.reserve(96);
+  key.push_back(kModeProgram);
+  ir::appendFingerprint(key, p);
+  appendString(key, ctx.fingerprint());
+  appendOptions(key, opts);
+
+  bool hit = false;
+  PlanCache::EntryPtr entry = cache_.getOrBuild(
+      key,
+      [&]() -> PlanCache::EntryPtr {
+        auto e = std::make_shared<CompiledEntry>();
+        e->seq = p;
+        e->plan = planner::planProgram(p, ctx, opts.planner);
+        pipeline::PassManager pm(ctx);
+        pm.verifyWith(opts.verify);
+        planner::addPlannedPasses(pm, e->plan, {&e->fused, &e->fixed});
+        pipeline::PipelineState st = pm.run(p);
+        e->fixLog = std::move(st.fixLog);
+        e->system = std::move(*st.system);
+        e->stats = pm.stats();
+        if (opts.tile > 0 &&
+            e->plan.tile.kind != planner::TilePlan::Kind::None) {
+          pipeline::PassManager tilePm(ctx);
+          tilePm.verifyWith(opts.verify);
+          addTilingPasses(tilePm, e->plan.tile, opts.tile);
+          e->tiled = tilePm.run(e->fixed).program;
+          e->stats.append(tilePm.stats());
+        } else {
+          e->tiled = e->fixed;
+        }
+        e->planSignature = planner::planSignature(e->plan);
+        return e;
+      },
+      &hit);
+  return CompiledProgram(std::move(entry), hit);
+}
+
+CompiledProgram Engine::compileText(const std::string& text,
+                                    const poly::ParamContext& ctx,
+                                    const CompileOptions& opts) {
+  return compile(ir::parseProgram(text), ctx, opts);
+}
+
+CompiledProgram Engine::compileSystem(const deps::NestSystem& sys,
+                                      const CompileOptions& opts) {
+  // The sequential program alone does not identify the system (the
+  // fused-space choice and embeddings are invisible in it), so the key
+  // carries the broken fused program too - both are deterministic
+  // renderings of the system with hash-consed expressions.
+  ir::Fingerprint key;
+  key.reserve(160);
+  key.push_back(kModeSystem);
+  ir::Program seq = core::generateSequentialProgram(sys);
+  ir::appendFingerprint(key, seq);
+  ir::appendFingerprint(key, core::generateFusedProgram(sys));
+  appendString(key, sys.ctx.fingerprint());
+  appendOptions(key, opts);
+
+  bool hit = false;
+  PlanCache::EntryPtr entry = cache_.getOrBuild(
+      key,
+      [&]() -> PlanCache::EntryPtr {
+        auto e = std::make_shared<CompiledEntry>();
+        e->seq = std::move(seq);
+        const planner::SystemPlan sp = planner::planSystem(sys);
+        pipeline::PassManager pm(sys.ctx);
+        pm.verifyWith(opts.verify);
+        pm.add(pipeline::fixDepsPass());
+        pipeline::PipelineState st = pm.runOnSystem(sys);
+        e->fused = st.program;
+        e->fixed = st.program;
+        e->tiled = std::move(st.program);
+        e->fixLog = std::move(st.fixLog);
+        e->system = std::move(*st.system);
+        e->stats = pm.stats();
+        e->plan.strategy = "system";
+        e->plan.fixLog = e->fixLog;
+        e->plan.log.push_back(
+            "system entry: " + std::to_string(sp.violatedFlowOutput) +
+            " nest(s) with violated flow/output deps, " +
+            std::to_string(sp.violatedAnti) +
+            " array(s) with violated anti deps");
+        e->planSignature = planner::planSignature(e->plan);
+        return e;
+      },
+      &hit);
+  return CompiledProgram(std::move(entry), hit);
+}
+
+Engine& processEngine() {
+  static Engine* engine = new Engine();  // leaky, like the arenas
+  return *engine;
+}
+
+}  // namespace fixfuse::engine

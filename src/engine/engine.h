@@ -1,0 +1,149 @@
+// Unified compile engine (ROADMAP item 2): one front door for
+// plan -> pipeline -> verify -> execute.
+//
+// Every call site that used to hand-assemble the sequence - run
+// planner::planProgram, build a PassManager, append the planned passes,
+// apply the recommended tiling, then execute on some backend - goes
+// through Engine::compile instead and gets back a CompiledProgram: an
+// immutable, shareable handle over every pipeline product plus run()
+// entry points for all three interpreter backends. The engine changes
+// *where* the sequence is assembled, not *what* it does: the passes,
+// their order, and the per-pass bit-for-bit verification discipline are
+// exactly the kernel drivers' historical pipelines (planner_test pins
+// them), so stdout, goldens and plan pins stay byte-identical.
+//
+// Three entries:
+//   compile(program, ctx)   - any single-top-loop ir::Program; the
+//                             planner derives the whole pipeline or
+//                             throws UnsupportedError (never
+//                             mis-compiles).
+//   compileText(text, ctx)  - the same through ir::parseProgram.
+//   compileSystem(sys)      - a hand-built deps::NestSystem (fuzz
+//                             corpus, quickstart): fixDepsPass-only
+//                             pipeline, fixed-or-rejected-loudly.
+//
+// Compiles are memoized in a PlanCache keyed by the hash-consed program
+// fingerprint extended with the parameter context and the compile
+// options (tile size, verification parameter sets, planner options).
+// The verify `init` closure is deliberately NOT part of the key: the
+// cached products do not depend on it (verification only checks), so
+// two callers differing only in init share one verified entry. Repeat
+// traffic of structurally equal programs costs one hash lookup, not one
+// replan - and the native modules behind run() are memoized the same
+// way in codegen::processModuleCache().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/plan_cache.h"
+#include "interp/interp.h"
+#include "pipeline/native_exec.h"
+#include "poly/set.h"
+
+namespace fixfuse::engine {
+
+struct CompileOptions {
+  /// Tile size for the plan's recommended tiling shape. <= 0 means "do
+  /// not tile": the handle's tiled() program is its fixed() program.
+  /// Ignored in system mode (compileSystem repairs, it never tiles).
+  std::int64_t tile = 0;
+  /// Per-pass bit-for-bit verification (pipeline::VerifyOptions). The
+  /// paramSets are part of the cache key; the init closure is not.
+  pipeline::VerifyOptions verify;
+  planner::PlannerOptions planner;
+};
+
+/// Executable handle over one cached compile. Cheap to copy (a
+/// shared_ptr); the underlying entry is immutable. Program accessors
+/// return references into the cache - take a value copy before
+/// mutating (ir::Program's copy constructor deep-clones).
+class CompiledProgram {
+ public:
+  const ir::Program& seq() const { return e_->seq; }
+  const ir::Program& fused() const { return e_->fused; }
+  const ir::Program& fixed() const { return e_->fixed; }
+  const ir::Program& tiled() const { return e_->tiled; }
+  const planner::Plan& plan() const { return e_->plan; }
+  const std::string& planSignature() const { return e_->planSignature; }
+  const deps::NestSystem& system() const { return e_->system; }
+  const core::FixLog& fixLog() const { return e_->fixLog; }
+  const pipeline::PipelineStats& stats() const { return e_->stats; }
+  /// Whether this handle came from the cache (true) or was built by
+  /// this call (false).
+  bool cacheHit() const { return cacheHit_; }
+
+  /// Execute tiled() on `backend` (default: FIXFUSE_INTERP) and return
+  /// the final machine state. The native backend self-verifies against
+  /// bytecode and degrades gracefully, exactly as interp documents.
+  interp::Machine run(
+      const std::map<std::string, std::int64_t>& params,
+      const std::function<void(interp::Machine&)>& init = nullptr,
+      interp::Backend backend = interp::backendFromEnv(),
+      interp::Observer* observer = nullptr) const;
+
+  /// Execute tiled() through pipeline::NativeExecutor: compile via the
+  /// process module cache, run natively, verify bit-for-bit against
+  /// bytecode (when `verify`), fall back to bytecode when no host
+  /// compiler is available. `report`, when given, receives the timing /
+  /// verification record.
+  interp::Machine runNative(
+      const std::map<std::string, std::int64_t>& params,
+      const std::function<void(interp::Machine&)>& init = nullptr,
+      pipeline::NativeRunReport* report = nullptr,
+      bool verify = true) const;
+
+ private:
+  friend class Engine;
+  CompiledProgram(PlanCache::EntryPtr e, bool cacheHit)
+      : e_(std::move(e)), cacheHit_(cacheHit) {}
+
+  PlanCache::EntryPtr e_;
+  bool cacheHit_;
+};
+
+class Engine {
+ public:
+  /// Cache bound defaults to FIXFUSE_ENGINE_CACHE (see
+  /// codegen::engineCacheBoundFromEnv). Tests and benches pass explicit
+  /// bounds for isolation.
+  explicit Engine(std::size_t cacheBound = codegen::engineCacheBoundFromEnv());
+
+  /// Plan, run the planned pipeline, apply the recommended tiling.
+  /// Throws support::UnsupportedError when the planner rejects `p`
+  /// (fixed-or-rejected-loudly) and pipeline::VerificationError when a
+  /// preserving pass breaks bit-for-bit equality.
+  CompiledProgram compile(const ir::Program& p,
+                          const poly::ParamContext& ctx,
+                          const CompileOptions& opts = {});
+
+  /// compile() over ir::parseProgram(text).
+  CompiledProgram compileText(const std::string& text,
+                              const poly::ParamContext& ctx,
+                              const CompileOptions& opts = {});
+
+  /// Repair a hand-built nest system (fixDepsPass-only pipeline over
+  /// PassManager::runOnSystem). seq() is the sequential reference;
+  /// fused()/fixed()/tiled() are the repaired fused program.
+  CompiledProgram compileSystem(const deps::NestSystem& sys,
+                                const CompileOptions& opts = {});
+
+  /// Plan-cache counters (hits/misses/evictions/build wall-clock).
+  support::CacheStats cacheStats() const { return cache_.stats(); }
+  std::size_t cacheBound() const { return cache_.bound(); }
+  std::size_t cacheShards() const { return cache_.shardCount(); }
+  std::size_t cacheSize() const { return cache_.size(); }
+
+ private:
+  PlanCache cache_;
+};
+
+/// The process-wide engine every production call site (kernel drivers,
+/// benches, examples) routes through. Leaky singleton, bound from
+/// FIXFUSE_ENGINE_CACHE.
+Engine& processEngine();
+
+}  // namespace fixfuse::engine

@@ -1,0 +1,13 @@
+#include "engine/plan_cache.h"
+
+namespace fixfuse::engine {
+
+PlanCache::PlanCache(std::size_t bound) : cache_(bound) {}
+
+PlanCache::EntryPtr PlanCache::getOrBuild(
+    const ir::Fingerprint& key, const std::function<EntryPtr()>& build,
+    bool* cached) {
+  return cache_.getOrBuild(key, build, cached);
+}
+
+}  // namespace fixfuse::engine

@@ -1,0 +1,78 @@
+// The engine's plan/pipeline product cache.
+//
+// A CompiledEntry is everything one front-door compile produces: the
+// planner's Plan, every program version the pipeline yields (seq,
+// fused, fixed, tiled), the post-fix nest system, the FixDeps log and
+// the per-pass stats. Entries are immutable once built and handed out
+// via shared_ptr<const>, so concurrent callers (and the LRU evictor)
+// never race a mutation; callers that need to mutate a program take a
+// value copy (ir::Program's copy deep-clones the statement tree while
+// keeping hash-consed expression identity, so a copy still fingerprints
+// equal to the cached original).
+//
+// Keys are ir::Fingerprints: the hash-consed program tuple extended
+// with discriminator words for the entry mode, the parameter context
+// and the compile options (engine.cpp builds them). The cache itself is
+// a support::ShardedLruCache - bounded (FIXFUSE_ENGINE_CACHE entries,
+// shared bound with codegen::ModuleCache), sharded, one build per key
+// under concurrency, hits/misses/evictions/build-time observable for
+// the schema-v7 `engine` bench section.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "codegen/module_cache.h"
+#include "core/elim.h"
+#include "deps/nestsystem.h"
+#include "ir/fingerprint.h"
+#include "ir/stmt.h"
+#include "pipeline/manager.h"
+#include "planner/planner.h"
+#include "support/sharded_lru.h"
+
+namespace fixfuse::engine {
+
+/// Immutable product of one plan -> pipeline -> verify run.
+struct CompiledEntry {
+  ir::Program seq;    // the compile input (correctness reference)
+  ir::Program fused;  // after sink+fuse, before FixDeps (program mode;
+                      // == fixed in system mode, where the broken fused
+                      // program is never materialised standalone)
+  ir::Program fixed;  // after FixDeps (+ scalarisation)
+  ir::Program tiled;  // fixed + planned tiling (== fixed when tile <= 0)
+  planner::Plan plan;
+  std::string planSignature;  // planner::planSignature(plan)
+  deps::NestSystem system;    // the post-FixDeps nest system
+  core::FixLog fixLog;
+  pipeline::PipelineStats stats;
+};
+
+class PlanCache {
+ public:
+  using EntryPtr = std::shared_ptr<const CompiledEntry>;
+
+  /// Bound defaults to FIXFUSE_ENGINE_CACHE (engineCacheBoundFromEnv).
+  explicit PlanCache(std::size_t bound = codegen::engineCacheBoundFromEnv());
+
+  /// Return the cached entry for `key` or build it. Exactly one build
+  /// per key under concurrent access (losers wait on the shard lock).
+  /// A build that throws (UnsupportedError, VerificationError) caches
+  /// nothing and propagates to every caller that reaches the build.
+  EntryPtr getOrBuild(const ir::Fingerprint& key,
+                      const std::function<EntryPtr()>& build,
+                      bool* cached = nullptr);
+
+  support::CacheStats stats() const { return cache_.stats(); }
+  std::size_t bound() const { return cache_.bound(); }
+  std::size_t shardCount() const { return cache_.shardCount(); }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  support::ShardedLruCache<ir::Fingerprint, EntryPtr, ir::FingerprintHash>
+      cache_;
+};
+
+}  // namespace fixfuse::engine

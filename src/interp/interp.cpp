@@ -9,7 +9,7 @@
 
 #include <string>
 
-#include "codegen/native_module.h"
+#include "codegen/module_cache.h"
 #include "interp/compare.h"
 #include "support/checked.h"
 #include "support/env.h"
@@ -80,7 +80,8 @@ Interpreter::Interpreter(const ir::Program& program, Machine& machine,
       backend_ = Backend::Bytecode;
     } else {
       std::string error;
-      native_ = codegen::NativeModule::tryGetOrCompile(program_, &error);
+      native_ =
+          codegen::processModuleCache().tryGetOrCompile(program_, &error);
       if (native_) {
         nativeVerify_ = nativeVerifyFromEnv();
       } else {

@@ -1,0 +1,71 @@
+#include "ir/fingerprint.h"
+
+#include "ir/context.h"
+
+namespace fixfuse::ir {
+
+namespace {
+
+void fpExpr(Fingerprint& fp, const ExprPtr& e) {
+  fp.push_back(static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(e.get())));
+}
+
+void fpStmt(Fingerprint& fp, const Stmt& s) {
+  fp.push_back(static_cast<std::uint64_t>(s.kind()) + 0x100);
+  switch (s.kind()) {
+    case StmtKind::Assign: {
+      fp.push_back(s.lhs().symbol().id());
+      fp.push_back(s.lhs().indices.size());
+      for (const auto& i : s.lhs().indices) fpExpr(fp, i);
+      fpExpr(fp, s.rhs());
+      return;
+    }
+    case StmtKind::If:
+      fpExpr(fp, s.cond());
+      fpStmt(fp, *s.thenBody());
+      fp.push_back(s.elseBody() ? 1 : 0);
+      if (s.elseBody()) fpStmt(fp, *s.elseBody());
+      return;
+    case StmtKind::Loop:
+      fp.push_back(s.loopVarSym().id());
+      fpExpr(fp, s.lowerBound());
+      fpExpr(fp, s.upperBound());
+      fpStmt(fp, *s.loopBody());
+      return;
+    case StmtKind::Block:
+      fp.push_back(s.stmts().size());
+      for (const auto& c : s.stmts()) fpStmt(fp, *c);
+      return;
+  }
+}
+
+}  // namespace
+
+void appendFingerprint(Fingerprint& fp, const Program& p) {
+  fp.push_back(p.params.size());
+  for (const auto& prm : p.params)
+    fp.push_back(Context::intern(prm).id());
+  fp.push_back(p.arrays.size());
+  for (const auto& a : p.arrays) {
+    fp.push_back(Context::intern(a.name).id());
+    fp.push_back(a.extents.size());
+    for (const auto& e : a.extents) fpExpr(fp, e);
+  }
+  fp.push_back(p.scalars.size());
+  for (const auto& s : p.scalars) {
+    fp.push_back(Context::intern(s.name).id());
+    fp.push_back(static_cast<std::uint64_t>(s.type));
+  }
+  fp.push_back(p.body ? 1 : 0);
+  if (p.body) fpStmt(fp, *p.body);
+}
+
+Fingerprint fingerprint(const Program& p) {
+  Fingerprint fp;
+  fp.reserve(64);
+  appendFingerprint(fp, p);
+  return fp;
+}
+
+}  // namespace fixfuse::ir

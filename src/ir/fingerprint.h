@@ -1,0 +1,46 @@
+// Hash-consed program identity.
+//
+// Expressions are canonical per structure (one ir::Context arena per
+// process), so a flat tuple of expression addresses + interned symbol
+// ids + structure tags identifies a program exactly within this
+// process - no text rendering. Statements are not consed, hence the
+// recursive walk. Equality of two fingerprints is full vector equality;
+// the hash is only a bucket selector (a collision can never alias two
+// different programs to one cache entry).
+//
+// This is the key type for every engine-level cache: compiled
+// NativeModules (codegen::ModuleCache) and plan/pipeline products
+// (engine::PlanCache). Cache keys that need extra discriminators
+// (options, parameter context) append them to the vector after the
+// program tuple.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace fixfuse::ir {
+
+using Fingerprint = std::vector<std::uint64_t>;
+
+/// Append `p`'s identity tuple to `fp` (params, arrays, scalars, body).
+void appendFingerprint(Fingerprint& fp, const Program& p);
+
+/// The identity tuple of `p` alone.
+Fingerprint fingerprint(const Program& p);
+
+/// Bucket-selector hash over the tuple (Fibonacci mixing). Containers
+/// keyed by Fingerprint must still compare full vectors for equality.
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (std::uint64_t v : fp) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace fixfuse::ir

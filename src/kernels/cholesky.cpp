@@ -9,6 +9,7 @@
 #include "core/fuse.h"
 #include "core/sink.h"
 #include "core/transforms.h"
+#include "engine/engine.h"
 #include "kernels/common.h"
 #include "planner/planner.h"
 
@@ -45,34 +46,28 @@ Program cholSeq() {
 KernelBundle buildCholesky(const KernelOptions& opts) {
   KernelBundle b;
   b.name = "cholesky";
-  b.seq = cholSeq();
 
-  b.plan = planner::planProgram(b.seq, kernelContext(/*withM=*/false));
-
-  pipeline::PassManager pm(kernelContext(/*withM=*/false));
-  pm.verifyWith(opts.verify);
-  planner::addPlannedPasses(pm, b.plan, {&b.fused, &b.fixed});
-  pipeline::PipelineState st = pm.run(b.seq);
-  b.fixLog = std::move(st.fixLog);
-  b.system = std::move(*st.system);
-  b.stats = pm.stats();
+  // One front-door compile: plan, planned passes, then the plan's
+  // recommended tiling - "the outermost k loop is tiled", realised as
+  // k-strips applied per column (blocked right-looking Cholesky), order
+  // (Tk, j, k, i) so the contiguous i loop stays innermost. The engine
+  // assembles exactly the historical pass sequence; the tile size stays
+  // the caller's measured choice.
+  engine::CompileOptions copts;
+  copts.tile = opts.tile;
+  copts.verify = opts.verify;
+  engine::CompiledProgram cp = engine::processEngine().compile(
+      cholSeq(), kernelContext(/*withM=*/false), copts);
+  b.seq = cp.seq();
+  b.fused = cp.fused();
+  b.fixed = cp.fixed();
   b.fixedOpt = b.fixed;
-  // "The outermost k loop is tiled": k-strips applied per column
-  // (blocked right-looking Cholesky), order (Tk, j, k, i) so the
-  // contiguous i loop stays innermost; see tileLoopInnermost. The plan
-  // recommends exactly this shape (clean fix => strip-mine the outer
-  // loop); the tile size stays the caller's measured choice.
-  if (opts.tile > 0) {
-    pipeline::PassManager tilePm(kernelContext(/*withM=*/false));
-    tilePm.verifyWith(opts.verify);
-    tilePm.add(pipeline::stripMineAndSinkPass(b.plan.tile.stripVar, opts.tile,
-                                              /*keepInner=*/1));
-    b.tiled = tilePm.run(b.fixed).program;
-    b.stats.append(tilePm.stats());
-  } else {
-    b.tiled = b.fixed;
-  }
+  b.tiled = cp.tiled();
   b.tiledBaseline = b.seq;
+  b.system = cp.system();
+  b.fixLog = cp.fixLog();
+  b.plan = cp.plan();
+  b.stats = cp.stats();
   return b;
 }
 

@@ -11,6 +11,7 @@
 #include "core/fuse.h"
 #include "core/sink.h"
 #include "core/transforms.h"
+#include "engine/engine.h"
 #include "ir/validate.h"
 #include "kernels/common.h"
 #include "planner/planner.h"
@@ -94,16 +95,21 @@ KernelBundle buildJacobi(const KernelOptions& opts) {
   b.name = "jacobi";
   b.seq = jacobiSeq();
 
-  // The plan scalarises the temporary L (the paper's Fig. 4d note).
-  b.plan = planner::planProgram(b.seq, kernelContext(/*withM=*/true));
-
-  pipeline::PassManager pm(kernelContext(/*withM=*/true));
-  pm.verifyWith(opts.verify);
-  planner::addPlannedPasses(pm, b.plan, {&b.fused, &b.fixed});
-  pipeline::PipelineState st = pm.run(b.seq);
-  b.fixLog = std::move(st.fixLog);
-  b.system = std::move(*st.system);
-  b.stats = pm.stats();
+  // The fuse/fix phase runs through the engine front door (the plan
+  // scalarises the temporary L, the paper's Fig. 4d note). tile = 0:
+  // Jacobi's tiling below operates on the hand-simplified fixedOpt, not
+  // on the engine's fixed program.
+  engine::CompileOptions copts;
+  copts.verify = opts.verify;
+  engine::CompiledProgram cp = engine::processEngine().compile(
+      b.seq, kernelContext(/*withM=*/true), copts);
+  b.seq = cp.seq();
+  b.fused = cp.fused();
+  b.fixed = cp.fixed();
+  b.system = cp.system();
+  b.fixLog = cp.fixLog();
+  b.plan = cp.plan();
+  b.stats = cp.stats();
   // Line-6 simplification: pre-copy the boundary so reads of H are
   // unconditional (hand-applied; Fig. 4d verbatim).
   b.fixedOpt = jacobiFixedPaperIr();

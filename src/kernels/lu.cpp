@@ -11,6 +11,7 @@
 #include "core/fuse.h"
 #include "core/sink.h"
 #include "core/transforms.h"
+#include "engine/engine.h"
 #include "ir/rewrite.h"
 #include "ir/validate.h"
 #include "kernels/common.h"
@@ -178,15 +179,20 @@ KernelBundle buildLu(const KernelOptions& opts) {
   // 2 = row swap, 3 = column scale, 4 = update (the * nest). The plan
   // maps the swap's column loop j onto the fused *i* dimension (dim 2),
   // pinning the fused j at k+1 - the paper's Fig. 3a placement.
-  b.plan = planner::planProgram(b.seq, kernelContext(/*withM=*/false));
-
-  pipeline::PassManager pm(kernelContext(/*withM=*/false));
-  pm.verifyWith(opts.verify);
-  planner::addPlannedPasses(pm, b.plan, {&b.fused, &b.fixed});
-  pipeline::PipelineState st = pm.run(b.seq);
-  b.fixLog = std::move(st.fixLog);
-  b.system = std::move(*st.system);
-  b.stats = pm.stats();
+  // The fuse/fix phase runs through the engine front door (tile = 0:
+  // LU's locality tiling is the hand-derived blocked program below, not
+  // the plan's generic shape, so the engine never tiles here).
+  engine::CompileOptions copts;
+  copts.verify = opts.verify;
+  engine::CompiledProgram cp = engine::processEngine().compile(
+      b.seq, kernelContext(/*withM=*/false), copts);
+  b.seq = cp.seq();
+  b.fused = cp.fused();
+  b.fixed = cp.fixed();
+  b.system = cp.system();
+  b.fixLog = cp.fixLog();
+  b.plan = cp.plan();
+  b.stats = cp.stats();
   b.fixedOpt = b.fixed;
   // "The outermost k loop is tiled": realised as the blocked full-swap
   // LU (see luTiledIr). Its semantic baseline is the full-swap

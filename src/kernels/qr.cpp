@@ -14,6 +14,7 @@
 #include "core/fuse.h"
 #include "core/sink.h"
 #include "core/transforms.h"
+#include "engine/engine.h"
 #include "kernels/common.h"
 #include "planner/planner.h"
 
@@ -83,29 +84,25 @@ KernelBundle buildQr(const KernelOptions& opts) {
   // the program through the split/reattach path (with an empty
   // epilogue), which renumbers the generated assignments - the
   // historical pipeline's behaviour.
-  b.plan = planner::planProgram(b.seq, kernelContext(/*withM=*/false));
-
-  pipeline::PassManager pm(kernelContext(/*withM=*/false));
-  pm.verifyWith(opts.verify);
-  planner::addPlannedPasses(pm, b.plan, {&b.fused, &b.fixed});
-  pipeline::PipelineState st = pm.run(b.seq);
-  b.fixLog = std::move(st.fixLog);
-  b.system = std::move(*st.system);
-  b.stats = pm.stats();
+  // One front-door compile: plan, planned passes, then the plan's
+  // recommended rectangular tiling of the two outer dims (FixDeps tiled
+  // nests => values cross fused iterations).
+  engine::CompileOptions copts;
+  copts.tile = opts.tile;
+  copts.verify = opts.verify;
+  engine::CompiledProgram cp =
+      engine::processEngine().compile(b.seq, kernelContext(/*withM=*/false),
+                                      copts);
+  b.seq = cp.seq();
+  b.fused = cp.fused();
+  b.fixed = cp.fixed();
   b.fixedOpt = b.fixed;
-  if (opts.tile > 0) {
-    // The plan recommends rectangular tiling of the two outer dims
-    // (FixDeps tiled nests => values cross fused iterations).
-    pipeline::PassManager tilePm(kernelContext(/*withM=*/false));
-    tilePm.verifyWith(opts.verify);
-    tilePm.add(pipeline::tileRectangularPass(std::vector<std::int64_t>(
-        b.plan.tile.rectDims, opts.tile)));
-    b.tiled = tilePm.run(b.fixed).program;
-    b.stats.append(tilePm.stats());
-  } else {
-    b.tiled = b.fixed;
-  }
+  b.tiled = cp.tiled();
   b.tiledBaseline = b.seq;
+  b.system = cp.system();
+  b.fixLog = cp.fixLog();
+  b.plan = cp.plan();
+  b.stats = cp.stats();
   return b;
 }
 

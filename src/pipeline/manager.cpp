@@ -210,6 +210,16 @@ PipelineState PassManager::run(const ir::Program& input) {
 }
 
 PipelineState PassManager::runOnSystem(deps::NestSystem sys) {
+  // The by-value parameter promises the caller's system stays untouched,
+  // but a NestSystem copy still shares its statement trees (StmtPtr is a
+  // shared_ptr) and FixDeps rewrites nest bodies in place (copy
+  // insertion, read redirection). Clone the bodies so the isolation the
+  // signature advertises is real - clone() keeps assignIds and the
+  // hash-consed expressions, so fingerprints and semantics are
+  // unchanged.
+  for (auto& nest : sys.nests)
+    if (nest.body) nest.body = nest.body->clone();
+  if (sys.decls.body) sys.decls.body = sys.decls.body->clone();
   PipelineState state;
   state.ctx = ctx_;
   state.program = core::generateSequentialProgram(sys);

@@ -4,7 +4,7 @@
 #include <memory>
 #include <optional>
 
-#include "codegen/native_module.h"
+#include "codegen/module_cache.h"
 #include "interp/compare.h"
 #include "support/env.h"
 
@@ -50,7 +50,8 @@ interp::Machine NativeExecutor::execute(
 
   std::string error;
   std::shared_ptr<const codegen::NativeModule> module =
-      codegen::NativeModule::tryGetOrCompile(p, &error, &r.compileCached);
+      codegen::processModuleCache().tryGetOrCompile(p, &error,
+                                                    &r.compileCached);
   if (!module) {
     // Graceful fallback: the bytecode engine runs the program instead.
     // Same dedup key as the interpreter's fallback, so one failure warns

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "core/transforms.h"
 #include "deps/analysis.h"
@@ -753,6 +754,39 @@ pipeline::PassManager& addPlannedPasses(pipeline::PassManager& pm,
     pm.add(pipeline::scalarizeArrayPass(array, scalar));
   if (snaps.fixed) pm.add(pipeline::snapshotPass("fixed", snaps.fixed));
   return pm;
+}
+
+std::string planSignature(const Plan& plan) {
+  std::ostringstream os;
+  os << plan.strategy;
+  os << "|peel=" << (plan.peelVar ? *plan.peelVar : "-");
+  os << "|split=" << (plan.splitEpilogue ? 1 : 0);
+  os << "|nests=" << plan.candidateNests;
+  os << "|overrides=" << plan.placementOverrides << "p"
+     << plan.boundOverrides << "b" << plan.boundRelaxations << "r";
+  os << "|scalarize=";
+  if (plan.scalarize.empty()) os << "-";
+  for (const auto& [array, scalar] : plan.scalarize)
+    os << array << ">" << scalar << ";";
+  os << "|fix=" << plan.fixLog.tiles.size() << "t"
+     << plan.fixLog.copies.size() << "c";
+  os << "|tile=" << plan.tile.kindName();
+  switch (plan.tile.kind) {
+    case TilePlan::Kind::StripMineOuter:
+      os << "(" << plan.tile.stripVar << ")";
+      break;
+    case TilePlan::Kind::Rectangular:
+      os << "(" << plan.tile.rectDims << "d)";
+      break;
+    case TilePlan::Kind::SkewAndTile:
+      os << "(";
+      for (const auto& v : plan.tile.skewVars) os << v << ";";
+      os << ")";
+      break;
+    case TilePlan::Kind::None:
+      break;
+  }
+  return os.str();
 }
 
 SystemPlan planSystem(const deps::NestSystem& sys) {

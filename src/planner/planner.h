@@ -119,6 +119,14 @@ pipeline::PassManager& addPlannedPasses(pipeline::PassManager& pm,
                                         const Plan& plan,
                                         const SnapshotTargets& snaps = {});
 
+/// Deterministic one-line digest of a plan's decisions: strategy, peel,
+/// epilogue split, override/relaxation counts, scalarised temporaries,
+/// FixDeps action counts and the tiling shape. Structurally equal
+/// programs plan identically, so the digest is a stable observability
+/// key for the engine cache (surfaced in the schema-v7 `engine` bench
+/// section, pinned by the committed baselines).
+std::string planSignature(const Plan& plan);
+
 /// Thin NestSystem entry for corpora that build systems directly (the
 /// fuzz corpus): report the violated-dependence profile and the repair
 /// pass to run. The returned pipeline is fixDepsPass-only; running it

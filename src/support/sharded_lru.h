@@ -1,0 +1,146 @@
+// Sharded, bounded, LRU-evicting build cache.
+//
+// The engine-level caches (planner::Plan + pipeline products, compiled
+// NativeModules) share one discipline: key -> value memoization where
+// the build step is expensive (replan, recompile) and concurrent
+// requests for the same key must perform exactly one build. The cache
+// is sharded by key hash (the consing-arena idiom from ir::Context) so
+// unrelated keys never contend; each shard holds its own mutex, an LRU
+// list and an index into it. The shard mutex is held *across the build
+// callback* on purpose: losers of a same-key race block until the
+// winner's build lands and then take the hit. Same-shard different-key
+// requests serialize too - acceptable because builds are rare after
+// warmup and correctness (one build per key) is the contract.
+//
+// Bounded: `bound` total entries split evenly across min(16, bound)
+// shards; each shard evicts its least-recently-used entry past its
+// per-shard cap. A build that throws caches nothing and propagates
+// (callers that want failure-caching wrap the error into the value).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fixfuse::support {
+
+/// Aggregate counters across all shards. `buildSeconds` is the total
+/// wall-clock spent inside build callbacks (misses only).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  double buildSeconds = 0;
+};
+
+template <class K, class V, class Hash = std::hash<K>>
+class ShardedLruCache {
+ public:
+  /// `bound` is the total entry capacity (clamped to >= 1). Shard count
+  /// is min(16, bound) so a tiny bound still evicts deterministically
+  /// (bound 1 == one shard holding one entry).
+  explicit ShardedLruCache(std::size_t bound)
+      : bound_(std::max<std::size_t>(1, bound)) {
+    const std::size_t nShards =
+        std::min<std::size_t>(kMaxShards, bound_);
+    perShardCap_ = std::max<std::size_t>(1, bound_ / nShards);
+    shards_.reserve(nShards);
+    for (std::size_t i = 0; i < nShards; ++i)
+      shards_.push_back(std::make_unique<Shard>());
+  }
+
+  /// Return the cached value for `key`, or run `build` and cache its
+  /// result. Exactly one build runs per key even under concurrent
+  /// access (the shard lock is held across the build; losers wait).
+  /// `cached`, when given, reports whether this call was a hit. If
+  /// `build` throws, nothing is cached and the exception propagates.
+  V getOrBuild(const K& key, const std::function<V()>& build,
+               bool* cached = nullptr) {
+    Shard& sh = shardFor(key);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.index.find(key);
+    if (it != sh.index.end()) {
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+      ++sh.stats.hits;
+      if (cached) *cached = true;
+      return it->second->second;
+    }
+    if (cached) *cached = false;
+    ++sh.stats.misses;
+    const double t0 = nowSeconds();
+    V value = build();
+    sh.stats.buildSeconds += nowSeconds() - t0;
+    sh.lru.emplace_front(key, std::move(value));
+    sh.index.emplace(key, sh.lru.begin());
+    while (sh.lru.size() > perShardCap_) {
+      sh.index.erase(sh.lru.back().first);
+      sh.lru.pop_back();
+      ++sh.stats.evictions;
+    }
+    return sh.lru.front().second;
+  }
+
+  /// Counters summed over all shards (a snapshot; each shard is locked
+  /// briefly in turn).
+  CacheStats stats() const {
+    CacheStats total;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      total.hits += sh->stats.hits;
+      total.misses += sh->stats.misses;
+      total.evictions += sh->stats.evictions;
+      total.buildSeconds += sh->stats.buildSeconds;
+    }
+    return total;
+  }
+
+  /// Entries currently resident (snapshot).
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      n += sh->lru.size();
+    }
+    return n;
+  }
+
+  std::size_t bound() const { return bound_; }
+  std::size_t shardCount() const { return shards_.size(); }
+  std::size_t perShardCap() const { return perShardCap_; }
+
+ private:
+  static constexpr std::size_t kMaxShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<K, V>> lru;  // front = most recently used
+    std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator,
+                       Hash>
+        index;
+    CacheStats stats;
+  };
+
+  static double nowSeconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  Shard& shardFor(const K& key) {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::size_t bound_;
+  std::size_t perShardCap_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fixfuse::support

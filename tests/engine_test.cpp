@@ -1,0 +1,312 @@
+// engine::Engine - the unified compile front door and its plan cache.
+//
+// Pins the cache discipline the rest of the repo relies on: structurally
+// equal programs share one entry (full-key equality, never trusted
+// hash), the verify init closure is NOT part of the key, concurrent
+// same-fingerprint compiles build exactly once (single-flight), the
+// bound is enforced with LRU eviction and honest counters, and cached
+// handles execute bit-for-bit identically on all three interpreter
+// backends. The fuzz section replays the FixDeps corpus through
+// compileSystem: every accepted system, submitted twice, must hit on
+// the second submission and produce byte-identical machines.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "interp/compare.h"
+#include "interp/interp.h"
+#include "ir/parse.h"
+#include "planner/planner.h"
+#include "support/error.h"
+#include "support/thread_pool.h"
+#include "fuzz_systems.h"
+
+namespace fixfuse::engine {
+namespace {
+
+// The textual_pipeline example program: an imperfect nest with a real
+// fusion-preventing flow dependence, fully handled by the planner.
+const char* kProgramText = R"(
+program(N) {
+  double R[(N + 4)];
+  double S[(N + 4)];
+  for k = 1 .. N {
+    for i = 1 .. N {
+      R[i] = (R[i] + (0.5 * S[i]));
+    }
+    for i = 1 .. N {
+      S[i] = (S[i] + R[min((i + 1), N)]);
+    }
+  }
+}
+)";
+
+// Same shape, different constant: a distinct fingerprint.
+const char* kProgramTextB = R"(
+program(N) {
+  double R[(N + 4)];
+  double S[(N + 4)];
+  for k = 1 .. N {
+    for i = 1 .. N {
+      R[i] = (R[i] + (0.25 * S[i]));
+    }
+    for i = 1 .. N {
+      S[i] = (S[i] + R[min((i + 1), N)]);
+    }
+  }
+}
+)";
+
+poly::ParamContext testContext() {
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 1000000);
+  return ctx;
+}
+
+void initRS(interp::Machine& m) {
+  double x = 0.05;
+  for (auto& v : m.array("R").data()) v = (x += 0.13);
+  for (auto& v : m.array("S").data()) v = (x -= 0.07);
+}
+
+CompileOptions verifiedOptions() {
+  CompileOptions opts;
+  opts.verify.enabled = true;
+  opts.verify.paramSets = {{{"N", 12}}};
+  opts.verify.init = [](interp::Machine& m,
+                        const std::map<std::string, std::int64_t>&) {
+    initRS(m);
+  };
+  return opts;
+}
+
+TEST(Engine, TextAndProgramEntriesShareOneCachedCompile) {
+  Engine eng(8);
+  poly::ParamContext ctx = testContext();
+  CompileOptions opts = verifiedOptions();
+
+  CompiledProgram cp1 = eng.compileText(kProgramText, ctx, opts);
+  EXPECT_FALSE(cp1.cacheHit());
+  support::CacheStats st = eng.cacheStats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_GT(st.buildSeconds, 0.0);
+
+  // The textual entry is compile() over parseProgram: the parsed program
+  // keys identically, so the second submission is a pure hash lookup.
+  CompiledProgram cp2 = eng.compile(ir::parseProgram(kProgramText), ctx, opts);
+  EXPECT_TRUE(cp2.cacheHit());
+  st = eng.cacheStats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(eng.cacheSize(), 1u);
+
+  // Same immutable entry, not an equal copy.
+  EXPECT_EQ(&cp1.fixed(), &cp2.fixed());
+  EXPECT_EQ(&cp1.plan(), &cp2.plan());
+
+  // The handle carries the full pipeline product set.
+  EXPECT_FALSE(cp1.stats().passes.empty());
+  EXPECT_FALSE(cp1.planSignature().empty());
+  EXPECT_EQ(cp1.planSignature(), planner::planSignature(cp1.plan()));
+  EXPECT_EQ(cp1.planSignature().rfind(cp1.plan().strategy, 0), 0u)
+      << cp1.planSignature();
+
+  // Tree and bytecode runs of the cached program are bit-identical.
+  std::map<std::string, std::int64_t> params{{"N", 17}};
+  interp::Machine mt = cp1.run(params, initRS, interp::Backend::Tree);
+  interp::Machine mb = cp2.run(params, initRS, interp::Backend::Bytecode);
+  std::string where;
+  EXPECT_TRUE(interp::machineStateBitwiseEqual(cp1.tiled(), mt, mb, &where))
+      << where;
+}
+
+TEST(Engine, VerifyInitClosureIsNotPartOfTheKey) {
+  // Bound 64 = 16 shards x 4 entries: room for three distinct keys in
+  // one shard. (A small bound like 8 means one entry per shard, and the
+  // shard a key lands in varies per process - the bucket selector
+  // hashes raw hash-consed pointers.)
+  Engine eng(64);
+  poly::ParamContext ctx = testContext();
+
+  CompileOptions a = verifiedOptions();
+  CompiledProgram cp1 = eng.compileText(kProgramText, ctx, a);
+  EXPECT_FALSE(cp1.cacheHit());
+
+  // A different init closure with the same paramSets shares the entry:
+  // the cached products do not depend on init (verification only
+  // checks), and the key deliberately excludes it.
+  CompileOptions b = verifiedOptions();
+  b.verify.init = [](interp::Machine& m,
+                     const std::map<std::string, std::int64_t>&) {
+    for (auto& v : m.array("R").data()) v = 1.0;
+    for (auto& v : m.array("S").data()) v = 2.0;
+  };
+  CompiledProgram cp2 = eng.compileText(kProgramText, ctx, b);
+  EXPECT_TRUE(cp2.cacheHit());
+
+  // Different paramSets ARE part of the key: a fresh verified compile.
+  CompileOptions c = verifiedOptions();
+  c.verify.paramSets = {{{"N", 13}}};
+  CompiledProgram cp3 = eng.compileText(kProgramText, ctx, c);
+  EXPECT_FALSE(cp3.cacheHit());
+
+  // So is the verification switch itself.
+  CompileOptions d;
+  CompiledProgram cp4 = eng.compileText(kProgramText, ctx, d);
+  EXPECT_FALSE(cp4.cacheHit());
+
+  support::CacheStats st = eng.cacheStats();
+  EXPECT_EQ(st.misses, 3u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(eng.cacheSize(), 3u);
+}
+
+TEST(Engine, IllegalRecommendedTilingIsRejectedLoudlyAndNotCached) {
+  // For this program the plan's recommended tiling shape is not legal
+  // (the fused loop carries a dependence plain rectangular tiling
+  // breaks). With verification on, the engine's tiling stage must throw
+  // VerificationError - fixed-or-rejected-loudly extends to tiling -
+  // and a failed build must cache nothing.
+  Engine eng(8);
+  poly::ParamContext ctx = testContext();
+  CompileOptions opts = verifiedOptions();
+  opts.tile = 4;
+  EXPECT_THROW(eng.compileText(kProgramText, ctx, opts),
+               pipeline::VerificationError);
+  EXPECT_EQ(eng.cacheSize(), 0u);
+  // The same request fails again (nothing poisoned the cache with a
+  // half-built entry) and the untiled compile still succeeds.
+  EXPECT_THROW(eng.compileText(kProgramText, ctx, opts),
+               pipeline::VerificationError);
+  opts.tile = 0;
+  EXPECT_FALSE(eng.compileText(kProgramText, ctx, opts).cacheHit());
+  EXPECT_EQ(eng.cacheSize(), 1u);
+}
+
+TEST(Engine, ConcurrentSameProgramCompilesExactlyOnce) {
+  Engine eng(16);
+  poly::ParamContext ctx = testContext();
+  ir::Program p = ir::parseProgram(kProgramText);
+  const std::size_t kJobs = 16;
+  std::map<std::string, std::int64_t> params{{"N", 15}};
+
+  // N threads hammer one engine with the same program. The shard mutex
+  // is held across the build (single-flight): losers wait for the
+  // winner's entry instead of compiling their own.
+  std::vector<std::vector<double>> results =
+      support::parallelMapOrdered<std::vector<double>>(
+          kJobs, 8, [&](std::size_t) {
+            CompiledProgram cp = eng.compile(p, ctx);
+            interp::Machine m =
+                cp.run(params, initRS, interp::Backend::Bytecode);
+            std::vector<double> out = m.array("R").data();
+            const std::vector<double>& s = m.array("S").data();
+            out.insert(out.end(), s.begin(), s.end());
+            return out;
+          });
+
+  support::CacheStats st = eng.cacheStats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, kJobs - 1);
+  EXPECT_EQ(st.evictions, 0u);
+  EXPECT_EQ(eng.cacheSize(), 1u);
+
+  ASSERT_EQ(results.size(), kJobs);
+  for (std::size_t i = 1; i < kJobs; ++i)
+    EXPECT_TRUE(interp::bitsEqual(results[i], results[0])) << "job " << i;
+}
+
+TEST(Engine, BoundOneEvictsLeastRecentlyUsed) {
+  Engine eng(1);
+  EXPECT_EQ(eng.cacheBound(), 1u);
+  EXPECT_EQ(eng.cacheShards(), 1u);
+  poly::ParamContext ctx = testContext();
+  ir::Program pa = ir::parseProgram(kProgramText);
+  ir::Program pb = ir::parseProgram(kProgramTextB);
+
+  EXPECT_FALSE(eng.compile(pa, ctx).cacheHit());  // miss, size 1
+  EXPECT_FALSE(eng.compile(pb, ctx).cacheHit());  // miss, evicts A
+  EXPECT_FALSE(eng.compile(pa, ctx).cacheHit());  // miss, evicts B
+  EXPECT_TRUE(eng.compile(pa, ctx).cacheHit());   // hit
+
+  support::CacheStats st = eng.cacheStats();
+  EXPECT_EQ(st.misses, 3u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.evictions, 2u);
+  EXPECT_EQ(eng.cacheSize(), 1u);
+}
+
+TEST(Engine, CacheBoundComesFromEnv) {
+  ::setenv("FIXFUSE_ENGINE_CACHE", "4", 1);
+  Engine eng;
+  EXPECT_EQ(eng.cacheBound(), 4u);
+  ::unsetenv("FIXFUSE_ENGINE_CACHE");
+  Engine def;
+  EXPECT_EQ(def.cacheBound(), 256u);
+}
+
+// The FixDeps fuzz corpus through the engine front door: each accepted
+// system submitted twice must hit the cache on the second submission
+// and run bit-for-bit identically on every backend. Mirrors the
+// PlannerFuzz idiom (UnsupportedError = rejected-loudly, not a bug).
+TEST(Engine, FuzzCorpusSecondSubmissionHitsAndRunsBitwiseOnAllBackends) {
+  Engine eng(128);
+  const std::int64_t n = 13;
+  std::map<std::string, std::int64_t> params{{"N", n}};
+  int accepted = 0;
+
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    tests::FuzzSystem fz = tests::randomSystem(seed);
+    CompileOptions opts;
+    opts.verify =
+        tests::fuzzVerify(seed, 77, {static_cast<std::int64_t>(tests::kPad + 1), n});
+
+    std::optional<CompiledProgram> compiled;
+    try {
+      compiled = eng.compileSystem(fz.sys, opts);
+    } catch (const UnsupportedError&) {
+      continue;  // outside Theorem 3/4: rejected loudly, never mis-compiled
+    }
+    CompiledProgram& cp = *compiled;
+    ++accepted;
+
+    CompiledProgram again = eng.compileSystem(fz.sys, opts);
+    EXPECT_TRUE(again.cacheHit()) << "seed " << seed;
+    EXPECT_EQ(&cp.fixed(), &again.fixed()) << "seed " << seed;
+
+    auto init = [seed](interp::Machine& m) {
+      tests::initFuzzArrays(m, seed, 77, n);
+    };
+    interp::Machine mt = cp.run(params, init, interp::Backend::Tree);
+    interp::Machine mb = again.run(params, init, interp::Backend::Bytecode);
+    std::string where;
+    EXPECT_TRUE(interp::machineStateBitwiseEqual(cp.tiled(), mt, mb, &where))
+        << "seed " << seed << ": " << where;
+
+    // The repaired program matches the sequential reference bitwise.
+    interp::Machine ms = interp::runProgram(cp.seq(), params, init);
+    EXPECT_TRUE(
+        interp::machinesBitwiseEqual(cp.seq(), ms, cp.tiled(), mb, &where))
+        << "seed " << seed << ": " << where;
+
+    // Native (emitC -> cc -> dlopen) on a sample of the corpus: a host
+    // compile per unique program is too slow for all 40 seeds. Degrades
+    // to bytecode without a host cc, which must still be bit-identical.
+    if (seed % 8 == 0) {
+      interp::Machine mn = cp.run(params, init, interp::Backend::Native);
+      EXPECT_TRUE(interp::machineStateBitwiseEqual(cp.tiled(), mn, mb, &where))
+          << "seed " << seed << ": " << where;
+    }
+  }
+  // The corpus must actually exercise the engine, not skip everything.
+  EXPECT_GT(accepted, 10);
+}
+
+}  // namespace
+}  // namespace fixfuse::engine

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/module_cache.h"
 #include "codegen/native_module.h"
 #include "core/fuse.h"
 #include "fuzz_systems.h"
@@ -171,19 +172,47 @@ TEST(NativeBackend, ObserverForcesBytecodeAndEmitsTheFullTrace) {
 TEST(NativeBackend, ModuleCacheHitsOnSecondRequest) {
   SKIP_WITHOUT_HOST_CC();
   kernels::KernelBundle b = kernels::buildKernel("cholesky", {/*tile=*/0});
+  codegen::ModuleCache& cache = codegen::processModuleCache();
   bool cached1 = true, cached2 = false;
-  auto m1 = codegen::NativeModule::getOrCompile(b.fixed, &cached1);
-  auto m2 = codegen::NativeModule::getOrCompile(b.fixed, &cached2);
+  auto m1 = cache.getOrCompile(b.fixed, &cached1);
+  auto m2 = cache.getOrCompile(b.fixed, &cached2);
   // First call may or may not hit (another test can have compiled the
   // same hash-consed program already); the second must.
   EXPECT_TRUE(cached2);
   EXPECT_EQ(m1.get(), m2.get());
   std::string error = "preset";
   bool cached3 = false;
-  auto m3 = codegen::NativeModule::tryGetOrCompile(b.fixed, &error, &cached3);
+  auto m3 = cache.tryGetOrCompile(b.fixed, &error, &cached3);
   EXPECT_EQ(m3.get(), m1.get());
   EXPECT_TRUE(cached3);
   EXPECT_TRUE(error.empty());
+  const support::CacheStats st = cache.stats();
+  EXPECT_GE(st.hits, 2u);
+  EXPECT_GE(st.misses, 1u);
+}
+
+TEST(NativeBackend, ModuleCacheIsBoundedWithLruEviction) {
+  SKIP_WITHOUT_HOST_CC();
+  kernels::KernelBundle chol = kernels::buildKernel("cholesky", {/*tile=*/0});
+  kernels::KernelBundle qr = kernels::buildKernel("qr", {/*tile=*/0});
+  codegen::ModuleCache cache(/*bound=*/1);
+  EXPECT_EQ(cache.bound(), 1u);
+  EXPECT_EQ(cache.shardCount(), 1u);
+  bool cached = true;
+  cache.getOrCompile(chol.fixed, &cached);
+  EXPECT_FALSE(cached);
+  cache.getOrCompile(qr.fixed, &cached);  // evicts cholesky
+  EXPECT_FALSE(cached);
+  cache.getOrCompile(chol.fixed, &cached);  // recompiles
+  EXPECT_FALSE(cached);
+  cache.getOrCompile(chol.fixed, &cached);
+  EXPECT_TRUE(cached);
+  const support::CacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 3u);
+  EXPECT_EQ(st.evictions, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GT(st.buildSeconds, 0.0);
 }
 
 TEST(NativeBackend, NativeExecutorReportsAndVerifies) {

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "codegen/module_cache.h"
 #include "support/env.h"
 
 namespace fixfuse::support {
@@ -92,6 +93,38 @@ TEST(Env, PositiveIntRejectsMalformedWithWarning) {
     EXPECT_EQ(::testing::internal::GetCapturedStderr(), "") << v;
     ::unsetenv(var.c_str());
   }
+}
+
+TEST(Env, EngineCacheBoundParsesStrictPositiveInt) {
+  // The engine/module cache bound knob goes through the same strict
+  // positiveInt path as every other FIXFUSE_* integer. Valid values
+  // first: the invalid-value warning below is once-per-var for the
+  // whole process, so order matters within this binary.
+  ::unsetenv("FIXFUSE_ENGINE_CACHE");
+  EXPECT_EQ(codegen::engineCacheBoundFromEnv(), 256u);
+  ::setenv("FIXFUSE_ENGINE_CACHE", "1", 1);
+  EXPECT_EQ(codegen::engineCacheBoundFromEnv(), 1u);
+  ::setenv("FIXFUSE_ENGINE_CACHE", "1048576", 1);  // 2^20, the max
+  EXPECT_EQ(codegen::engineCacheBoundFromEnv(), 1048576u);
+
+  // Malformed: warn once with the uniform format, fall back to 256.
+  ::setenv("FIXFUSE_ENGINE_CACHE", "0", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(codegen::engineCacheBoundFromEnv(), 256u);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(),
+            "warning: unrecognized FIXFUSE_ENGINE_CACHE value '0' "
+            "(expected a positive entry count <= 2^20); "
+            "using default bound 256\n");
+
+  // Further rejections of the same variable are silent (once per var),
+  // and above-max / partial parses fall back the same way.
+  for (const char* v : {"1048577", "16k", "-8", "maybe"}) {
+    ::setenv("FIXFUSE_ENGINE_CACHE", v, 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(codegen::engineCacheBoundFromEnv(), 256u) << v;
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "") << v;
+  }
+  ::unsetenv("FIXFUSE_ENGINE_CACHE");
 }
 
 TEST(Env, WarnInvalidOncePerVarSuppressesRepeats) {
