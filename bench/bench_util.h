@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/parallel.h"
 #include "interp/interp.h"
 #include "kernels/common.h"
 #include "kernels/native.h"
@@ -211,14 +212,31 @@ class BenchReport {
     engine_.set(key, std::move(v));
   }
 
+  /// Fields for the top-level `parallel` section (schema v8): the
+  /// derived ParallelPlan per kernel (kind/depth/proof tallies - all
+  /// deterministic and baseline-gated) plus the measured
+  /// parallel-vs-serial native speedup (volatile). Written only when a
+  /// bench sets at least one field (microbench does).
+  void setParallel(const std::string& key, support::Json v) {
+    if (parallel_.isNull()) parallel_ = support::Json::object();
+    parallel_.set(key, std::move(v));
+  }
+
   /// Write the report when requested; returns the path written to.
   std::optional<std::string> write() {
     if (!path_) return std::nullopt;
     support::Json doc = support::Json::object();
     doc.set("bench", name_);
-    doc.set("schema_version", std::int64_t{7});
+    doc.set("schema_version", std::int64_t{8});
     doc.set("full_sweep", fullRuns());
     doc.set("threads", static_cast<std::int64_t>(sweepThreads()));
+    // Environment knobs that shape execution (schema v8). Both are
+    // machine-dependent and marked volatile in the baseline differ.
+    support::Json env = support::Json::object();
+    env.set("fixfuse_parallel",
+            static_cast<std::int64_t>(codegen::parallelWorkersFromEnv()));
+    env.set("fixfuse_threads", static_cast<std::int64_t>(sweepThreads()));
+    doc.set("env", std::move(env));
     interp_.set("backend",
                 std::string(interp::backendName(interp::backendFromEnv())));
     doc.set("interp", std::move(interp_));
@@ -228,6 +246,7 @@ class BenchReport {
     if (!analysis_.isNull()) doc.set("analysis", std::move(analysis_));
     if (!planner_.isNull()) doc.set("planner", std::move(planner_));
     if (!engine_.isNull()) doc.set("engine", std::move(engine_));
+    if (!parallel_.isNull()) doc.set("parallel", std::move(parallel_));
     doc.set("wall_seconds", now() - start_);
     std::FILE* f = std::fopen(path_->c_str(), "w");
     if (!f) {
@@ -261,6 +280,7 @@ class BenchReport {
   support::Json analysis_;  // null unless setAnalysis was called (schema v4)
   support::Json planner_;   // null unless setPlanner was called (schema v6)
   support::Json engine_;    // null unless setEngine was called (schema v7)
+  support::Json parallel_;  // null unless setParallel was called (schema v8)
 };
 
 /// Run fn(i) for each sweep point on the worker pool, then emit the rows

@@ -37,6 +37,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <unordered_map>
 
@@ -820,6 +821,165 @@ program(N) {
   return pass ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// Parallel tiled native execution (the `parallel` section, schema v8).
+// Three parts: (1) the derived ParallelPlan per kernel - kind, depth and
+// proof tallies are deterministic and baseline-gated; (2) simulated
+// memory traffic vs the Dinh-Demmel communication lower bound
+// (flops / sqrt(cache words), the analytic yardstick from PAPERS.md)
+// per kernel at N=200 - a true lower bound, so the ratio gates >= 1;
+// (3) the headline gate: parallel-native vs serial-native wall clock on
+// paper-scale Cholesky (N=952, a paper sweep point), bar = hardware
+// threads / 2, with EVERY parallel run self-verified bit-for-bit
+// against the bytecode reference (the serial schedule's semantics).
+
+int runParallelSection(bench::BenchReport& report) {
+  std::printf("\nParallel tiled native execution (codegen::ParallelPlan)\n");
+  bool pass = true;
+
+  // (1) Derived plans. Cholesky's rectangular k-tiling and Jacobi's
+  // skew-and-tile both schedule by anti-diagonal wavefronts; LU and QR
+  // stay serial (data-dependent pivot subscripts / unproven pairs).
+  std::printf("%-10s %-16s %6s %7s  %s\n", "kernel", "plan", "proven",
+              "pairs", "reason");
+  for (const char* name : {"cholesky", "jacobi", "lu", "qr"}) {
+    const bool jac = std::string(name) == "jacobi";
+    kernels::KernelBundle b = kernels::buildKernel(name, {/*tile=*/32});
+    codegen::ParallelPlan plan =
+        codegen::deriveParallelPlan(b.tiled, kernels::kernelContext(jac));
+    std::printf("%-10s %-16s %6zu %7zu  %.60s\n", name, plan.str().c_str(),
+                plan.pairsProven, plan.pairsTotal, plan.reason.c_str());
+    support::Json j = support::Json::object();
+    j.set("plan", plan.str())
+        .set("kind", std::string(plan.kindName()))
+        .set("depth", static_cast<std::int64_t>(plan.depth))
+        .set("grain_depth", static_cast<std::int64_t>(plan.grainDepth()))
+        .set("pairs_proven", static_cast<std::int64_t>(plan.pairsProven))
+        .set("pairs_total", static_cast<std::int64_t>(plan.pairsTotal))
+        .set("legal", plan.legal());
+    report.setParallel(name, std::move(j));
+    if (jac || std::string(name) == "cholesky")
+      pass = pass && plan.legal();  // the two wavefront kernels must stay so
+  }
+
+  // (2) Memory traffic vs the Dinh-Demmel lower bound at N=200: traffic
+  // = simulated L2 misses x L2 line bytes; lower bound = 8 bytes x
+  // flops / sqrt(L2 words). Deterministic (simulator counts).
+  const std::int64_t nSim = 200;
+  const sim::CacheConfig l2 = sim::CacheConfig::octane2L2();
+  const double fastWords = static_cast<double>(l2.sizeBytes) / 8.0;
+  std::printf("\nTraffic vs Dinh-Demmel lower bound (N=%lld, L2=%llu KiB)\n",
+              static_cast<long long>(nSim),
+              static_cast<unsigned long long>(l2.sizeBytes / 1024));
+  std::printf("%-10s %14s %16s %8s\n", "kernel", "traffic_B", "lower_bound_B",
+              "ratio");
+  support::Json traffic = support::Json::object();
+  for (const char* name : {"cholesky", "jacobi", "lu", "qr"}) {
+    const bool jac = std::string(name) == "jacobi";
+    kernels::KernelBundle b = kernels::buildKernel(name, {/*tile=*/32});
+    std::map<std::string, std::int64_t> params{{"N", nSim}};
+    if (jac) params["M"] = 5;
+    std::map<std::string, kernels::native::Matrix> init{
+        {"A", jac ? kernels::native::randomMatrix(nSim, 1, 0.5, 1.5)
+                  : kernels::native::spdMatrix(nSim, 1)}};
+    sim::PerfCounts c = bench::simulate(b.tiled, params, init);
+    const double bytes = static_cast<double>(c.l2Misses) * l2.lineBytes;
+    const double bound =
+        8.0 * static_cast<double>(c.flops) / std::sqrt(fastWords);
+    const double ratio = bound > 0 ? bytes / bound : 0;
+    std::printf("%-10s %14.0f %16.1f %8.2f\n", name, bytes, bound, ratio);
+    support::Json j = support::Json::object();
+    j.set("l2_misses", static_cast<std::int64_t>(c.l2Misses))
+        .set("flops", static_cast<std::int64_t>(c.flops))
+        .set("traffic_bytes", bytes)
+        .set("lower_bound_bytes", bound)
+        .set("ratio", ratio);
+    traffic.set(name, std::move(j));
+    pass = pass && ratio >= 1.0;  // a violated lower bound is a sim bug
+  }
+  report.setParallel("traffic", std::move(traffic));
+
+  // (3) The speedup gate on paper-scale Cholesky. The ThreadPool is
+  // constructed outside the executor's timed region, so nativeSeconds
+  // measures the wave schedule itself; the verify leg (bytecode
+  // reference + bitwise compare) is also outside it.
+  const std::int64_t n = 952, tile = 32;
+  const unsigned workers = support::ThreadPool::hardwareThreads();
+  const double bar = workers / 2.0;
+  kernels::KernelBundle chol = kernels::buildKernel("cholesky", {tile});
+  codegen::ParallelPlan plan =
+      codegen::deriveParallelPlan(chol.tiled, kernels::kernelContext(false));
+  auto a0 = kernels::native::spdMatrix(n, 1);
+  auto init = [&](interp::Machine& m) { m.array("A").data() = a0; };
+  std::printf(
+      "\nParallel-native vs serial-native (Cholesky N=%lld tile=%lld, "
+      "%u workers, every parallel run state-verified)\n",
+      static_cast<long long>(n), static_cast<long long>(tile), workers);
+
+  pipeline::NativeRunReport probe;
+  pipeline::NativeExecutor timed(/*verify=*/false);
+  timed.execute(chol.tiled, {{"N", n}}, init, &probe);  // warm the module
+  if (!probe.available) {
+    std::printf("native backend unavailable: %s\n", probe.reason.c_str());
+    std::printf("PASS: section skipped (bytecode fallback)\n");
+    support::Json j = support::Json::object();
+    j.set("available", false).set("reason", probe.reason);
+    report.setParallel("cholesky_speedup", std::move(j));
+    report.setParallel("pass", pass);
+    return pass ? 0 : 1;
+  }
+  double serialBest = probe.nativeSeconds;
+  for (int r = 0; r < 2; ++r) {
+    pipeline::NativeRunReport rr;
+    timed.execute(chol.tiled, {{"N", n}}, init, &rr);
+    serialBest = std::min(serialBest, rr.nativeSeconds);
+  }
+
+  pipeline::NativeExecOptions po;
+  po.parallel = &plan;
+  po.workers = workers;
+  pipeline::NativeExecutor verified(/*verify=*/true);
+  pipeline::NativeRunReport best;
+  bool allVerified = true;
+  double parallelBest = 1e300;
+  for (int r = 0; r < 2; ++r) {
+    pipeline::NativeRunReport rr;
+    verified.execute(chol.tiled, {{"N", n}}, init, &rr, po);
+    allVerified = allVerified && rr.verified;
+    if (rr.nativeSeconds < parallelBest) {
+      parallelBest = rr.nativeSeconds;
+      best = rr;
+    }
+  }
+  const double speedup = parallelBest > 0 ? serialBest / parallelBest : 0;
+  const bool speedupOk = allVerified && best.backend == "parallel-native" &&
+                         speedup >= bar;
+  pass = pass && speedupOk;
+  std::printf("%-16s %10.4f s\n", "serial native", serialBest);
+  std::printf("%-16s %10.4f s  (%zu waves, %zu grains)\n", "parallel native",
+              parallelBest, best.waves, best.grains);
+  std::printf("every parallel run verified bit-for-bit: %s\n",
+              allVerified ? "yes" : "NO - BUG");
+  std::printf("%s: parallel speedup %.2fx (bar: >= %.2fx = %u cores / 2)\n",
+              speedupOk ? "PASS" : "FAIL", speedup, bar, workers);
+
+  support::Json j = support::Json::object();
+  j.set("available", true)
+      .set("n", n)
+      .set("tile", tile)
+      .set("workers", static_cast<std::int64_t>(workers))
+      .set("waves", static_cast<std::int64_t>(best.waves))
+      .set("grains", static_cast<std::int64_t>(best.grains))
+      .set("serial_seconds", serialBest)
+      .set("parallel_seconds", parallelBest)
+      .set("speedup_vs_serial", speedup)
+      .set("speedup_bar", bar)
+      .set("verified", allVerified);
+  report.setParallel("cholesky_speedup", std::move(j));
+  report.setParallel("pass", pass);
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -846,6 +1006,7 @@ int main(int argc, char** argv) {
   rc |= runNativeComparison(report);
   rc |= runPlannerSection(report);
   rc |= runEngineSection(report);
+  rc |= runParallelSection(report);
   report.write();
   return rc;
 }

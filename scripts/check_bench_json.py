@@ -25,7 +25,12 @@ that was generated from a failing run):
               compiler is available; pass --allow-no-native on runners
               without one), all totals_agree/verified/pass flags true,
               planner.pass true (all four kernels planned), engine.pass
-              true with exact warm/eviction plan-cache counters.
+              true with exact warm/eviction plan-cache counters,
+              parallel.pass true with the Cholesky/Jacobi wavefront
+              plans legal, every traffic ratio >= the Dinh-Demmel
+              lower bound, and parallel-native >= cores/2 vs serial
+              native on paper-scale Cholesky (every parallel run
+              self-verified).
   table1_capability: every kernel handled.
   ablation_fixdeps:  every post-FixDeps error norm exactly 0.
 
@@ -46,6 +51,12 @@ VOLATILE_KEYS = {
     "dep_cache_hits",
     "fm_eliminations",
     "emptiness_checks",
+    # Worker-count knobs and pool sizes: machine/environment dependent
+    # (schema v8 `env` block, parallel-native reports). The wave/grain
+    # counts stay - they depend only on the plan and the parameters.
+    "workers",
+    "fixfuse_parallel",
+    "fixfuse_threads",
 }
 
 
@@ -135,6 +146,29 @@ def gate_microbench(doc, errors, allow_no_native):
     for kernel in ("cholesky", "jacobi", "lu", "qr"):
         if not engine.get("signatures", {}).get(kernel):
             fail(errors, f"engine.signatures.{kernel} missing or empty")
+    parallel = doc.get("parallel", {})
+    if parallel.get("pass") is not True:
+        fail(errors, "parallel.pass is not true")
+    for kernel in ("cholesky", "jacobi"):
+        if parallel.get(kernel, {}).get("legal") is not True:
+            fail(errors, f"parallel.{kernel}.legal is not true "
+                         "(wavefront plan lost)")
+    for kernel, t in parallel.get("traffic", {}).items():
+        if t.get("ratio", 0) < 1.0:
+            fail(errors, f"parallel.traffic.{kernel}.ratio "
+                         f"{t.get('ratio')} < 1 (below the Dinh-Demmel "
+                         "lower bound: simulator bug)")
+    sp = parallel.get("cholesky_speedup", {})
+    if sp.get("available"):
+        if sp.get("verified") is not True:
+            fail(errors, "parallel.cholesky_speedup.verified is not true")
+        if sp.get("speedup_vs_serial", 0) < sp.get("speedup_bar", 0):
+            fail(errors, "parallel.cholesky_speedup.speedup_vs_serial "
+                         f"{sp.get('speedup_vs_serial')} < bar "
+                         f"{sp.get('speedup_bar')}")
+    elif not allow_no_native:
+        fail(errors, "parallel.cholesky_speedup.available is false; "
+                     "pass --allow-no-native on compiler-less runners")
 
 
 def gate_table1(doc, errors):

@@ -95,6 +95,10 @@ class Emitter {
       for (const auto& s : p_.scalars)
         os_ << "  *ff_sc_" << s.name << " = " << s.name << ";\n";
     os_ << "}\n";
+    // Parallel symbols go before the #undefs: they index through the
+    // same _AT macros. Serial emission is byte-identical to before.
+    if (opts_.nativeEntry && opts_.parallel && opts_.parallel->legal())
+      emitParallel();
     for (const auto& a : p_.arrays) os_ << "#undef " << a.name << "_AT\n";
     if (opts_.nativeEntry) emitEntry();
     return os_.str();
@@ -130,6 +134,192 @@ class Emitter {
   }
 
  private:
+  // --- parallel-native symbols (EmitOptions::parallel) ----------------------
+
+  /// Locals binding the entry ABI the way the kernel expects them:
+  /// params by program order, `<name>_` array base pointers by
+  /// declaration order (the _AT macros index through those names).
+  void emitEntryBindings() {
+    os_ << "  (void)ff_params; (void)ff_arrays; (void)ff_fscalars; "
+           "(void)ff_iscalars;\n";
+    for (std::size_t i = 0; i < p_.params.size(); ++i)
+      os_ << "  long " << p_.params[i] << " = ff_params[" << i << "];\n";
+    for (std::size_t i = 0; i < p_.arrays.size(); ++i)
+      os_ << "  double* " << p_.arrays[i].name << "_ = ff_arrays[" << i
+          << "];\n";
+  }
+
+  void emitScalarCopyIn() {
+    std::size_t nf = 0, ni = 0;
+    for (const auto& s : p_.scalars) {
+      if (s.type == ir::Type::Int)
+        os_ << "  long " << s.name << " = *ff_iscalars[" << ni++ << "];\n";
+      else
+        os_ << "  double " << s.name << " = *ff_fscalars[" << nf++ << "];\n";
+    }
+  }
+
+  /// Statements outside the scheduled nest run serially with the machine
+  /// slots as the scalar storage (copy-in / copy-out, like the kernel).
+  void emitSerialSection(const char* suffix,
+                         const std::vector<ir::StmtPtr>& stmts) {
+    os_ << "\nvoid " << opts_.functionName << "_" << suffix
+        << "_entry(const long* ff_params, double** ff_arrays, "
+           "double** ff_fscalars, long** ff_iscalars) {\n";
+    emitEntryBindings();
+    emitScalarCopyIn();
+    for (const auto& st : stmts) emitStmt(*st, 1);
+    std::size_t nf = 0, ni = 0;
+    for (const auto& s : p_.scalars) {
+      if (s.type == ir::Type::Int)
+        os_ << "  *ff_iscalars[" << ni++ << "] = " << s.name << ";\n";
+      else
+        os_ << "  *ff_fscalars[" << nf++ << "] = " << s.name << ";\n";
+    }
+    os_ << "}\n";
+  }
+
+  /// The wave table (see EmitOptions::parallel for the ABI). Must mirror
+  /// codegen::computeWaveTable row for row - tests compare them.
+  void emitWaveTable(const ParallelNest& nest) {
+    const ParallelPlan& plan = *opts_.parallel;
+    const std::size_t g = plan.grainDepth();
+    const std::size_t pIdx = plan.depth - 1;
+    const std::string g1 = std::to_string(1 + g);
+    os_ << "\nlong " << opts_.functionName
+        << "_wave_table(const long* ff_params, long* ff_out) {\n";
+    os_ << "  (void)ff_params;\n";
+    for (std::size_t i = 0; i < p_.params.size(); ++i)
+      os_ << "  long " << p_.params[i] << " = ff_params[" << i << "];\n";
+    os_ << "  long ff_n = 0;\n  long ff_wave = 0;\n";
+    auto row = [&](int indent, const std::vector<std::string>& vals) {
+      std::string pad = repeat("  ", indent);
+      os_ << pad << "if (ff_out) {\n";
+      os_ << pad << "  ff_out[ff_n * " << g1 << "] = ff_wave;\n";
+      for (std::size_t i = 0; i < vals.size(); ++i)
+        os_ << pad << "  ff_out[ff_n * " << g1 << " + " << (i + 1)
+            << "] = " << vals[i] << ";\n";
+      os_ << pad << "}\n" << pad << "++ff_n;\n";
+    };
+    auto forLine = [&](int indent, const Stmt& l) {
+      os_ << repeat("  ", indent) << "for (long " << l.loopVar() << " = "
+          << emitExpr(*l.lowerBound()) << "; " << l.loopVar()
+          << " <= " << emitExpr(*l.upperBound()) << "; ++" << l.loopVar()
+          << ") {\n";
+    };
+    int ind = 1;
+    std::vector<std::string> outers;
+    for (std::size_t i = 0; i < pIdx; ++i) {
+      forLine(ind++, *nest.chain[i]);
+      outers.push_back(nest.chain[i]->loopVar());
+    }
+    const Stmt& pl = *nest.chain[pIdx];
+    const std::string pad = repeat("  ", ind);
+    if (plan.kind == ParallelPlan::Kind::ParallelLoop) {
+      // Iterations below the frontier are singleton (serial) waves; the
+      // rest share one parallel wave per outer tuple.
+      if (plan.frontier)
+        os_ << pad << "long ff_B = " << emitExpr(*plan.frontier) << ";\n";
+      os_ << pad << "long ff_any = 0;\n";
+      forLine(ind, pl);
+      std::vector<std::string> vals = outers;
+      vals.push_back(pl.loopVar());
+      if (plan.frontier) {
+        os_ << pad << "  if (" << pl.loopVar() << " < ff_B) {\n";
+        row(ind + 2, vals);
+        os_ << pad << "    ++ff_wave;\n" << pad << "  } else {\n";
+        row(ind + 2, vals);
+        os_ << pad << "    ff_any = 1;\n" << pad << "  }\n";
+      } else {
+        row(ind + 1, vals);
+        os_ << pad << "  ff_any = 1;\n";
+      }
+      os_ << pad << "}\n";
+      os_ << pad << "if (ff_any) ++ff_wave;\n";
+    } else {
+      // Wavefront: anti-diagonals of (p, q); two-pass scan because q's
+      // bounds may depend on p.
+      const Stmt& ql = *nest.chain[pIdx + 1];
+      const std::string& pv = pl.loopVar();
+      os_ << pad << "long ff_have = 0, ff_smin = 0, ff_smax = 0;\n";
+      forLine(ind, pl);
+      os_ << pad << "  long ff_qlb = " << emitExpr(*ql.lowerBound()) << ";\n";
+      os_ << pad << "  long ff_qub = " << emitExpr(*ql.upperBound()) << ";\n";
+      os_ << pad << "  if (ff_qlb <= ff_qub) {\n";
+      os_ << pad << "    if (!ff_have || " << pv
+          << " + ff_qlb < ff_smin) ff_smin = " << pv << " + ff_qlb;\n";
+      os_ << pad << "    if (!ff_have || " << pv
+          << " + ff_qub > ff_smax) ff_smax = " << pv << " + ff_qub;\n";
+      os_ << pad << "    ff_have = 1;\n";
+      os_ << pad << "  }\n";
+      os_ << pad << "}\n";
+      os_ << pad << "if (ff_have) {\n";
+      os_ << pad << "for (long ff_s = ff_smin; ff_s <= ff_smax; ++ff_s) {\n";
+      os_ << pad << "  long ff_any = 0;\n";
+      forLine(ind, pl);
+      os_ << pad << "  long ff_q = ff_s - " << pv << ";\n";
+      os_ << pad << "  long ff_qlb = " << emitExpr(*ql.lowerBound()) << ";\n";
+      os_ << pad << "  long ff_qub = " << emitExpr(*ql.upperBound()) << ";\n";
+      os_ << pad << "  if (ff_q >= ff_qlb && ff_q <= ff_qub) {\n";
+      std::vector<std::string> vals = outers;
+      vals.push_back(pv);
+      vals.push_back("ff_q");
+      row(ind + 2, vals);
+      os_ << pad << "    ff_any = 1;\n" << pad << "  }\n";
+      os_ << pad << "}\n";
+      os_ << pad << "if (ff_any) ++ff_wave;\n";
+      os_ << pad << "}\n";
+      os_ << pad << "}\n";
+    }
+    while (--ind >= 1) os_ << repeat("  ", ind) << "}\n";
+    os_ << "  (void)ff_wave;\n  return ff_n;\n}\n";
+  }
+
+  /// One grain of the parallel schedule: the grain body with every
+  /// scalar privatized, reporting finals + wrote-flags for the host's
+  /// lex-max merge (see EmitOptions::parallel).
+  void emitTile(const ParallelNest& nest) {
+    const std::size_t g = opts_.parallel->grainDepth();
+    os_ << "\nvoid " << opts_.functionName
+        << "_tile(const long* ff_params, double** ff_arrays, "
+           "double** ff_fscalars, long** ff_iscalars, const long* ff_vals, "
+           "double* ff_out_f, long* ff_out_i, long* ff_out_w) {\n";
+    emitEntryBindings();
+    os_ << "  (void)ff_vals; (void)ff_out_f; (void)ff_out_i; "
+           "(void)ff_out_w;\n";
+    for (std::size_t i = 0; i < g; ++i)
+      os_ << "  long " << nest.chain[i]->loopVar() << " = ff_vals[" << i
+          << "];\n";
+    emitScalarCopyIn();
+    for (const auto& s : p_.scalars)
+      os_ << "  long ff_w_" << s.name << " = 0;\n";
+    trackScalarWrites_ = true;
+    if (nest.chain[g - 1]->loopBody())
+      emitStmt(*nest.chain[g - 1]->loopBody(), 1);
+    trackScalarWrites_ = false;
+    std::size_t nf = 0, ni = 0, nw = 0;
+    for (const auto& s : p_.scalars) {
+      if (s.type == ir::Type::Int)
+        os_ << "  ff_out_i[" << ni++ << "] = " << s.name << ";\n";
+      else
+        os_ << "  ff_out_f[" << nf++ << "] = " << s.name << ";\n";
+    }
+    for (const auto& s : p_.scalars)
+      os_ << "  ff_out_w[" << nw++ << "] = ff_w_" << s.name << ";\n";
+    os_ << "}\n";
+  }
+
+  void emitParallel() {
+    const ParallelNest nest = findParallelNest(p_);
+    FIXFUSE_CHECK(opts_.parallel->grainDepth() >= 1 &&
+                      opts_.parallel->grainDepth() <= nest.chain.size(),
+                  "parallel plan deeper than the program's loop chain");
+    emitSerialSection("pre", nest.pre);
+    emitSerialSection("post", nest.post);
+    emitWaveTable(nest);
+    emitTile(nest);
+  }
+
   std::string emitExpr(const Expr& e) {
     std::ostringstream s;
     switch (e.kind()) {
@@ -219,6 +409,8 @@ class Emitter {
         const ir::LValue& lhs = st.lhs();
         if (lhs.isScalar()) {
           os_ << pad << lhs.name << " = " << emitExpr(*st.rhs()) << ";\n";
+          if (trackScalarWrites_)
+            os_ << pad << "ff_w_" << lhs.name << " = 1;\n";
         } else {
           os_ << pad << lhs.name << "_AT(";
           for (std::size_t d = 0; d < lhs.indices.size(); ++d)
@@ -253,6 +445,8 @@ class Emitter {
   const ir::Program& p_;
   const EmitOptions& opts_;
   std::ostringstream os_;
+  /// Inside the tile body: scalar assigns also set their ff_w_ flag.
+  bool trackScalarWrites_ = false;
 };
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "codegen/parallel.h"
 #include "ir/stmt.h"
 
 namespace fixfuse::codegen {
@@ -30,6 +31,29 @@ struct EmitOptions {
   /// (declaration order, split by type) to the kernel. Compiled as C, so
   /// the entry symbol is unmangled and dlsym-able.
   bool nativeEntry = false;
+  /// Parallel-native mode (requires nativeEntry and a legal plan;
+  /// serial emission is byte-identical when unset). Appends, between the
+  /// kernel and the macro #undefs so the `_AT` macros stay usable:
+  ///   void <fn>_pre_entry(const long* ff_params, double** ff_arrays,
+  ///                       double** ff_fscalars, long** ff_iscalars);
+  ///   void <fn>_post_entry(...same ABI...);
+  ///     statements before/after the scheduled nest, run serially;
+  ///     scalars copy-in from / copy-out to the machine slots.
+  ///   long <fn>_wave_table(const long* ff_params, long* ff_out);
+  ///     returns the row count; when ff_out is non-NULL also fills rows
+  ///     of (1 + grainDepth) longs: waveId then the grain's leading
+  ///     chain-var values, in execution order (waveIds nondecreasing
+  ///     from 0). Mirrors codegen::computeWaveTable exactly.
+  ///   void <fn>_tile(const long* ff_params, double** ff_arrays,
+  ///                  double** ff_fscalars, long** ff_iscalars,
+  ///                  const long* ff_vals, double* ff_out_f,
+  ///                  long* ff_out_i, long* ff_out_w);
+  ///     one grain: binds the grain vars from ff_vals, privatizes every
+  ///     scalar (copy-in from slots), runs the grain body, then reports
+  ///     final scalar values (ff_out_f / ff_out_i by per-type declaration
+  ///     ordinal) and wrote-flags (ff_out_w by overall declaration
+  ///     ordinal) for the host's lex-max merge.
+  const ParallelPlan* parallel = nullptr;
 };
 
 std::string emitC(const ir::Program& p, const EmitOptions& opts = {});

@@ -12,6 +12,31 @@ std::size_t engineCacheBoundFromEnv() {
 
 ModuleCache::ModuleCache(std::size_t bound) : cache_(bound) {}
 
+namespace {
+
+/// Program fingerprint + parallel-mode marker + plan identity packed as
+/// length-prefixed 8-byte words (mirrors engine::appendString).
+ir::Fingerprint parallelKey(const ir::Program& p, const ParallelPlan& plan) {
+  ir::Fingerprint fp = ir::fingerprint(p);
+  fp.push_back(0xF1F0A11E7ull);  // parallel-artifact marker
+  const std::string s = plan.str();
+  fp.push_back(s.size());
+  std::uint64_t w = 0;
+  int k = 0;
+  for (unsigned char c : s) {
+    w = (w << 8) | c;
+    if (++k == 8) {
+      fp.push_back(w);
+      w = 0;
+      k = 0;
+    }
+  }
+  if (k) fp.push_back(w);
+  return fp;
+}
+
+}  // namespace
+
 std::shared_ptr<const NativeModule> ModuleCache::getOrCompile(
     const ir::Program& p, bool* cached) {
   std::shared_ptr<const Entry> entry = cache_.getOrBuild(
@@ -34,6 +59,38 @@ std::shared_ptr<const NativeModule> ModuleCache::tryGetOrCompile(
     const ir::Program& p, std::string* error, bool* cached) {
   try {
     std::shared_ptr<const NativeModule> m = getOrCompile(p, cached);
+    if (error) error->clear();
+    return m;
+  } catch (const Error& e) {
+    if (error) *error = e.what();
+    return nullptr;
+  }
+}
+
+std::shared_ptr<const NativeModule> ModuleCache::getOrCompileParallel(
+    const ir::Program& p, const ParallelPlan& plan, bool* cached) {
+  std::shared_ptr<const Entry> entry = cache_.getOrBuild(
+      parallelKey(p, plan),
+      [&]() -> std::shared_ptr<const Entry> {
+        auto e = std::make_shared<Entry>();
+        try {
+          e->module = NativeModule::compileParallel(p, plan);
+        } catch (const Error& err) {
+          e->error = err.what();
+        }
+        return e;
+      },
+      cached);
+  if (!entry->module) throw NativeError(entry->error);
+  return entry->module;
+}
+
+std::shared_ptr<const NativeModule> ModuleCache::tryGetOrCompileParallel(
+    const ir::Program& p, const ParallelPlan& plan, std::string* error,
+    bool* cached) {
+  try {
+    std::shared_ptr<const NativeModule> m =
+        getOrCompileParallel(p, plan, cached);
     if (error) error->clear();
     return m;
   } catch (const Error& e) {

@@ -52,6 +52,17 @@ class ModuleCache {
   std::shared_ptr<const NativeModule> tryGetOrCompile(
       const ir::Program& p, std::string* error, bool* cached = nullptr);
 
+  /// Parallel variants: the cache key extends the program fingerprint
+  /// with a mode marker and the plan's stable identity (plan.str()), so
+  /// serial and parallel artifacts of the same program - or of two
+  /// different plans - never collide. Same single-flight and
+  /// failure-caching discipline as getOrCompile.
+  std::shared_ptr<const NativeModule> getOrCompileParallel(
+      const ir::Program& p, const ParallelPlan& plan, bool* cached = nullptr);
+  std::shared_ptr<const NativeModule> tryGetOrCompileParallel(
+      const ir::Program& p, const ParallelPlan& plan, std::string* error,
+      bool* cached = nullptr);
+
   /// hits / misses / evictions / compile wall-clock, summed over shards.
   support::CacheStats stats() const { return cache_.stats(); }
 

@@ -109,12 +109,13 @@ support::Dylib compileAndLoad(const std::string& source,
 
 }  // namespace
 
-std::shared_ptr<const NativeModule> NativeModule::compile(
-    const ir::Program& p) {
+std::shared_ptr<const NativeModule> NativeModule::compileImpl(
+    const ir::Program& p, const ParallelPlan* plan) {
   EmitOptions opts;
   opts.functionName = "ff_kernel";
   opts.standalone = true;
   opts.nativeEntry = true;
+  opts.parallel = plan;
   const std::string source = emitC(p, opts);
 
   // Process-unique scratch stem: concurrent compiles (distinct shards of
@@ -127,20 +128,43 @@ std::shared_ptr<const NativeModule> NativeModule::compile(
   mod->source_ = source;
   const double t0 = nowSeconds();
   std::string soPath;
-  support::Dylib lib =
-      compileAndLoad(source, "mod_" + std::to_string(id), &soPath);
+  support::Dylib lib = compileAndLoad(
+      source, (plan ? "pmod_" : "mod_") + std::to_string(id), &soPath);
   void* entry = lib.symbol("ff_kernel_entry");
   mod->compileSeconds_ = nowSeconds() - t0;
   mod->soPath_ = soPath;
   mod->entry_ = reinterpret_cast<NativeModule::EntryFn>(entry);
+  if (plan) {
+    mod->preFn_ =
+        reinterpret_cast<EntryFn>(lib.symbol("ff_kernel_pre_entry"));
+    mod->postFn_ =
+        reinterpret_cast<EntryFn>(lib.symbol("ff_kernel_post_entry"));
+    mod->waveTableFn_ =
+        reinterpret_cast<WaveTableFn>(lib.symbol("ff_kernel_wave_table"));
+    mod->tileFn_ = reinterpret_cast<TileFn>(lib.symbol("ff_kernel_tile"));
+    mod->grainDepth_ = plan->grainDepth();
+  }
   mod->nParams_ = p.params.size();
   mod->nArrays_ = p.arrays.size();
-  for (const auto& s : p.scalars)
+  for (const auto& s : p.scalars) {
+    mod->scalarIsInt_.push_back(s.type == ir::Type::Int);
     (s.type == ir::Type::Int ? mod->nIntScalars_ : mod->nFloatScalars_) += 1;
+  }
   mod->lib_ = std::shared_ptr<void>(
       new support::Dylib(std::move(lib)),
       [](void* d) { delete static_cast<support::Dylib*>(d); });
   return mod;
+}
+
+std::shared_ptr<const NativeModule> NativeModule::compile(
+    const ir::Program& p) {
+  return compileImpl(p, nullptr);
+}
+
+std::shared_ptr<const NativeModule> NativeModule::compileParallel(
+    const ir::Program& p, const ParallelPlan& plan) {
+  FIXFUSE_CHECK(plan.legal(), "compileParallel requires a parallel plan");
+  return compileImpl(p, &plan);
 }
 
 void NativeModule::run(const Binding& b) const {
@@ -152,6 +176,96 @@ void NativeModule::run(const Binding& b) const {
   entry_(b.params.data(), const_cast<double**>(b.arrays.data()),
          const_cast<double**>(b.floatScalars.data()),
          const_cast<std::int64_t**>(b.intScalars.data()));
+}
+
+std::vector<std::int64_t> NativeModule::waveTableRows(
+    const std::vector<std::int64_t>& params) const {
+  FIXFUSE_CHECK(parallel(), "waveTableRows on a serial module");
+  FIXFUSE_CHECK(params.size() == nParams_, "waveTableRows param count");
+  const std::int64_t n = waveTableFn_(params.data(), nullptr);
+  std::vector<std::int64_t> rows(static_cast<std::size_t>(n) *
+                                 (1 + grainDepth_));
+  if (n > 0) waveTableFn_(params.data(), rows.data());
+  return rows;
+}
+
+void NativeModule::runParallel(const Binding& b, support::ThreadPool& pool,
+                               ParallelRunStats* stats) const {
+  FIXFUSE_CHECK(parallel(), "runParallel on a serial module");
+  FIXFUSE_CHECK(b.params.size() == nParams_ && b.arrays.size() == nArrays_ &&
+                    b.floatScalars.size() == nFloatScalars_ &&
+                    b.intScalars.size() == nIntScalars_,
+                "NativeModule::runParallel binding shape mismatch");
+  auto arrays = const_cast<double**>(b.arrays.data());
+  auto fsc = const_cast<double**>(b.floatScalars.data());
+  auto isc = const_cast<std::int64_t**>(b.intScalars.data());
+
+  preFn_(b.params.data(), arrays, fsc, isc);
+
+  const std::vector<std::int64_t> rows = waveTableRows(b.params);
+  const std::size_t stride = 1 + grainDepth_;
+  const std::size_t n = rows.size() / stride;
+  const std::size_t nScalars = scalarIsInt_.size();
+
+  // Per-grain privatized-scalar results: finals by per-type ordinal,
+  // wrote-flags by overall declaration ordinal.
+  std::vector<double> outF(n * nFloatScalars_);
+  std::vector<std::int64_t> outI(n * nIntScalars_);
+  std::vector<std::int64_t> outW(n * nScalars);
+
+  auto runGrain = [&](std::size_t r) {
+    tileFn_(b.params.data(), arrays, fsc, isc, rows.data() + r * stride + 1,
+            outF.data() + r * nFloatScalars_, outI.data() + r * nIntScalars_,
+            outW.data() + r * nScalars);
+  };
+
+  std::size_t waves = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && rows[j * stride] == rows[i * stride]) ++j;
+    ++waves;
+    if (j - i == 1)
+      runGrain(i);  // singleton wave: stay on the caller thread
+    else
+      pool.parallelForWave(j - i,
+                           [&](std::size_t k) { runGrain(i + k); });
+    i = j;
+  }
+
+  // Merge privatized scalars: the serial schedule leaves each scalar at
+  // the value written by the *lexicographically largest* grain that
+  // wrote it (grain tuples order identically to serial execution order;
+  // wave/row order does not, e.g. wavefront diagonals).
+  auto lexGreater = [&](std::size_t a, std::size_t c) {
+    for (std::size_t d = 1; d < stride; ++d) {
+      const std::int64_t va = rows[a * stride + d];
+      const std::int64_t vc = rows[c * stride + d];
+      if (va != vc) return va > vc;
+    }
+    return false;
+  };
+  std::size_t nf = 0, ni = 0;
+  for (std::size_t s = 0; s < nScalars; ++s) {
+    const std::size_t ord = scalarIsInt_[s] ? ni++ : nf++;
+    std::size_t best = n;
+    for (std::size_t r = 0; r < n; ++r)
+      if (outW[r * nScalars + s] != 0 && (best == n || lexGreater(r, best)))
+        best = r;
+    if (best == n) continue;  // no grain wrote it: the slot is untouched
+    if (scalarIsInt_[s])
+      *isc[ord] = outI[best * nIntScalars_ + ord];
+    else
+      *fsc[ord] = outF[best * nFloatScalars_ + ord];
+  }
+
+  postFn_(b.params.data(), arrays, fsc, isc);
+
+  if (stats) {
+    stats->waves = waves;
+    stats->grains = n;
+    stats->workers = pool.size();
+  }
 }
 
 // --- host-compiler probe ----------------------------------------------------

@@ -35,8 +35,10 @@
 #include <string>
 #include <vector>
 
+#include "codegen/parallel.h"
 #include "ir/stmt.h"
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace fixfuse::codegen {
 
@@ -66,9 +68,45 @@ class NativeModule {
   /// access goes through codegen::ModuleCache, not here.
   static std::shared_ptr<const NativeModule> compile(const ir::Program& p);
 
+  /// Like compile, but additionally emits the parallel symbols for a
+  /// parallel-legal `plan` (EmitOptions::parallel): pre/post sections,
+  /// wave table and tile body. The serial entry is still present, so
+  /// run() works on the same module. Throws InternalError when the plan
+  /// is serial.
+  static std::shared_ptr<const NativeModule> compileParallel(
+      const ir::Program& p, const ParallelPlan& plan);
+
   /// Execute the compiled entry point on `b`. The binding's vector sizes
   /// must match the program the module was compiled from (checked).
   void run(const Binding& b) const;
+
+  /// Tallies of one runParallel dispatch.
+  struct ParallelRunStats {
+    std::size_t waves = 0;
+    std::size_t grains = 0;
+    unsigned workers = 0;
+  };
+
+  /// Execute the parallel schedule on `b`: serial pre section, then each
+  /// wave's grains over `pool` (barrier between waves; singleton waves
+  /// run inline on the caller), host-side lex-max merge of privatized
+  /// scalar finals back into the binding's slots, serial post section.
+  /// Bit-for-bit state-equal to run() whenever the plan's proofs hold -
+  /// no FP reassociation, each grain runs its statement instances in the
+  /// serial schedule's order. Requires parallel().
+  void runParallel(const Binding& b, support::ThreadPool& pool,
+                   ParallelRunStats* stats = nullptr) const;
+
+  /// Was this module compiled with a parallel plan?
+  bool parallel() const { return tileFn_ != nullptr; }
+  /// Grain-var count of the compiled plan (0 when serial).
+  std::size_t grainDepth() const { return grainDepth_; }
+
+  /// The compiled wave table at `params`: rowCount * (1 + grainDepth())
+  /// values, (waveId, grain vals...) per row. Tests compare this against
+  /// codegen::computeWaveTable. Requires parallel().
+  std::vector<std::int64_t> waveTableRows(
+      const std::vector<std::int64_t>& params) const;
 
   /// Wall-clock seconds the host compiler took for this module.
   double compileSeconds() const { return compileSeconds_; }
@@ -85,8 +123,24 @@ class NativeModule {
 
   using EntryFn = void (*)(const std::int64_t* params, double** arrays,
                            double** fscalars, std::int64_t** iscalars);
+  using WaveTableFn = std::int64_t (*)(const std::int64_t* params,
+                                       std::int64_t* out);
+  using TileFn = void (*)(const std::int64_t* params, double** arrays,
+                          double** fscalars, std::int64_t** iscalars,
+                          const std::int64_t* vals, double* outF,
+                          std::int64_t* outI, std::int64_t* outW);
+
+  static std::shared_ptr<const NativeModule> compileImpl(
+      const ir::Program& p, const ParallelPlan* plan);
 
   EntryFn entry_ = nullptr;
+  EntryFn preFn_ = nullptr, postFn_ = nullptr;
+  WaveTableFn waveTableFn_ = nullptr;
+  TileFn tileFn_ = nullptr;
+  std::size_t grainDepth_ = 0;
+  /// Scalar types in overall declaration order (drives the merge's
+  /// slot/ordinal mapping).
+  std::vector<bool> scalarIsInt_;
   double compileSeconds_ = 0;
   std::string soPath_;
   std::string source_;

@@ -1,0 +1,886 @@
+#include "codegen/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "ir/affine_bridge.h"
+#include "support/env.h"
+#include "support/error.h"
+
+namespace fixfuse::codegen {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::Stmt;
+using ir::StmtKind;
+using poly::AffineExpr;
+using poly::Constraint;
+using poly::IntegerSet;
+
+namespace {
+
+// --- nest discovery ---------------------------------------------------------
+
+/// Length of the perfect loop chain rooted at `loop`: the chain extends
+/// while a loop's body is exactly one loop (directly, or a Block whose
+/// single statement is a loop).
+const Stmt* chainNext(const Stmt& loop) {
+  const Stmt* body = loop.loopBody();
+  if (!body) return nullptr;
+  if (body->kind() == StmtKind::Loop) return body;
+  if (body->kind() == StmtKind::Block && body->stmts().size() == 1 &&
+      body->stmts()[0]->kind() == StmtKind::Loop)
+    return body->stmts()[0].get();
+  return nullptr;
+}
+
+std::vector<const Stmt*> chainFrom(const Stmt& root) {
+  std::vector<const Stmt*> chain;
+  const Stmt* cur = &root;
+  while (cur) {
+    chain.push_back(cur);
+    cur = chainNext(*cur);
+  }
+  return chain;
+}
+
+// --- small expression utilities --------------------------------------------
+
+std::int64_t floorDiv64(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Evaluate an Int expression over a full environment (params + bound
+/// loop vars). Throws on unsupported kinds or unbound names.
+std::int64_t evalInt(const Expr& e,
+                     const std::map<std::string, std::int64_t>& env) {
+  switch (e.kind()) {
+    case ExprKind::IntConst:
+      return e.intValue();
+    case ExprKind::VarRef: {
+      auto it = env.find(e.name());
+      FIXFUSE_CHECK(it != env.end(),
+                    "wave table: unbound variable " + e.name());
+      return it->second;
+    }
+    case ExprKind::Binary: {
+      const std::int64_t a = evalInt(*e.lhs(), env);
+      const std::int64_t b = evalInt(*e.rhs(), env);
+      switch (e.binOp()) {
+        case ir::BinOp::Add: return a + b;
+        case ir::BinOp::Sub: return a - b;
+        case ir::BinOp::Mul: return a * b;
+        case ir::BinOp::FloorDiv: return floorDiv64(a, b);
+        case ir::BinOp::Mod: return a - floorDiv64(a, b) * b;
+        case ir::BinOp::Min: return std::min(a, b);
+        case ir::BinOp::Max: return std::max(a, b);
+        case ir::BinOp::Div: break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  throw InternalError("wave table: non-integer bound expression " + e.str());
+}
+
+/// True when `e` is an Int expression over only `allowed` names - no
+/// scalar or array loads, no calls. The wave table must be able to
+/// evaluate chain-loop bounds from params and outer chain vars alone.
+bool exprUsesOnly(const Expr& e, const std::set<std::string>& allowed) {
+  switch (e.kind()) {
+    case ExprKind::IntConst:
+      return true;
+    case ExprKind::VarRef:
+      return allowed.count(e.name()) != 0;
+    case ExprKind::Binary:
+      return exprUsesOnly(*e.lhs(), allowed) && exprUsesOnly(*e.rhs(), allowed);
+    default:
+      return false;
+  }
+}
+
+bool exprLoadsScalar(const Expr& e, const std::string& s) {
+  switch (e.kind()) {
+    case ExprKind::ScalarLoad:
+      return e.name() == s;
+    case ExprKind::Binary:
+    case ExprKind::Compare:
+    case ExprKind::BoolBinary:
+      return exprLoadsScalar(*e.lhs(), s) || exprLoadsScalar(*e.rhs(), s);
+    case ExprKind::Select:
+      return exprLoadsScalar(*e.selectCond(), s) ||
+             exprLoadsScalar(*e.lhs(), s) || exprLoadsScalar(*e.rhs(), s);
+    case ExprKind::Call:
+    case ExprKind::BoolNot:
+      return exprLoadsScalar(*e.operand(), s);
+    case ExprKind::ArrayLoad:
+      for (const auto& ix : e.indices())
+        if (exprLoadsScalar(*ix, s)) return true;
+      return false;
+    default:
+      return false;
+  }
+}
+
+/// Does the statement subtree read or write scalar `s` anywhere
+/// (including loop bounds, guards and subscripts)?
+bool stmtTouchesScalar(const Stmt& st, const std::string& s) {
+  switch (st.kind()) {
+    case StmtKind::Assign: {
+      if (st.lhs().isScalar() && st.lhs().name == s) return true;
+      for (const auto& ix : st.lhs().indices)
+        if (exprLoadsScalar(*ix, s)) return true;
+      return exprLoadsScalar(*st.rhs(), s);
+    }
+    case StmtKind::If:
+      if (exprLoadsScalar(*st.cond(), s)) return true;
+      if (st.thenBody() && stmtTouchesScalar(*st.thenBody(), s)) return true;
+      return st.elseBody() && stmtTouchesScalar(*st.elseBody(), s);
+    case StmtKind::Loop:
+      if (exprLoadsScalar(*st.lowerBound(), s) ||
+          exprLoadsScalar(*st.upperBound(), s))
+        return true;
+      return st.loopBody() && stmtTouchesScalar(*st.loopBody(), s);
+    case StmtKind::Block:
+      for (const auto& c : st.stmts())
+        if (stmtTouchesScalar(*c, s)) return true;
+      return false;
+  }
+  return false;
+}
+
+/// Is scalar `s` (written somewhere inside `st`) provably write-first on
+/// every accessing path, so a grain may privatize it? Recursive descent
+/// through the unique touching statement until a Block with several
+/// touching children (or a lone Assign) decides: the first access must
+/// be an unconditional write whose rhs does not read `s`.
+bool scalarPrivatizableIn(const Stmt& st, const std::string& s) {
+  switch (st.kind()) {
+    case StmtKind::Assign: {
+      if (!(st.lhs().isScalar() && st.lhs().name == s)) return false;
+      for (const auto& ix : st.lhs().indices)
+        if (exprLoadsScalar(*ix, s)) return false;
+      return !exprLoadsScalar(*st.rhs(), s);
+    }
+    case StmtKind::Loop:
+      if (exprLoadsScalar(*st.lowerBound(), s) ||
+          exprLoadsScalar(*st.upperBound(), s))
+        return false;  // bound read precedes any body write
+      return st.loopBody() && scalarPrivatizableIn(*st.loopBody(), s);
+    case StmtKind::If: {
+      if (exprLoadsScalar(*st.cond(), s)) return false;
+      const bool t = st.thenBody() && stmtTouchesScalar(*st.thenBody(), s);
+      const bool e = st.elseBody() && stmtTouchesScalar(*st.elseBody(), s);
+      if (t && e) return false;  // conservative: one accessing branch only
+      if (t) return scalarPrivatizableIn(*st.thenBody(), s);
+      if (e) return scalarPrivatizableIn(*st.elseBody(), s);
+      return false;
+    }
+    case StmtKind::Block: {
+      std::vector<const Stmt*> touching;
+      for (const auto& c : st.stmts())
+        if (stmtTouchesScalar(*c, s)) touching.push_back(c.get());
+      if (touching.empty()) return false;
+      if (touching.size() == 1) return scalarPrivatizableIn(*touching[0], s);
+      // Several touchers: the first must be the unconditional write; the
+      // rest execute after it within every execution of this block.
+      const Stmt& first = *touching[0];
+      return first.kind() == StmtKind::Assign && first.lhs().isScalar() &&
+             first.lhs().name == s && !exprLoadsScalar(*first.rhs(), s);
+    }
+  }
+  return false;
+}
+
+// --- access collection ------------------------------------------------------
+
+/// One array access site inside the grain body, with its sound
+/// constraint over-approximation: inner-loop bound constraints
+/// (min/max bounds decomposed conjunctively where affine, dropped
+/// otherwise) and single-conjunction affine guards (multi-piece or
+/// non-affine guards dropped). Dropping constraints only enlarges the
+/// set, so every proof stays sound.
+struct Access {
+  std::string array;
+  std::vector<AffineExpr> subs;
+  bool affine = true;  // every subscript converted; false poisons proofs
+  bool write = false;
+  std::vector<Constraint> cs;
+  std::vector<std::string> innerVars;  // loop vars opened inside the grain
+};
+
+void addUpperBound(std::vector<Constraint>& cs, const AffineExpr& v,
+                   const Expr& ub) {
+  if (ub.kind() == ExprKind::Binary && ub.binOp() == ir::BinOp::Min) {
+    addUpperBound(cs, v, *ub.lhs());
+    addUpperBound(cs, v, *ub.rhs());
+    return;
+  }
+  if (auto a = ir::toAffine(ub)) cs.push_back(Constraint::ge(*a - v));
+}
+
+void addLowerBound(std::vector<Constraint>& cs, const AffineExpr& v,
+                   const Expr& lb) {
+  if (lb.kind() == ExprKind::Binary && lb.binOp() == ir::BinOp::Max) {
+    addLowerBound(cs, v, *lb.lhs());
+    addLowerBound(cs, v, *lb.rhs());
+    return;
+  }
+  if (auto a = ir::toAffine(lb)) cs.push_back(Constraint::ge(v - *a));
+}
+
+struct AccessCollector {
+  std::vector<Access> out;
+  std::vector<Constraint> cs;
+  std::vector<std::string> vars;
+
+  void record(const std::string& array, const std::vector<ir::ExprPtr>& subs,
+              bool write) {
+    Access a;
+    a.array = array;
+    a.write = write;
+    a.cs = cs;
+    a.innerVars = vars;
+    for (const auto& ix : subs) {
+      auto aff = ir::toAffine(*ix);
+      if (!aff) {
+        a.affine = false;
+        break;
+      }
+      a.subs.push_back(*aff);
+    }
+    out.push_back(std::move(a));
+  }
+
+  void collectReads(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::ArrayLoad:
+        record(e.name(), e.indices(), /*write=*/false);
+        for (const auto& ix : e.indices()) collectReads(*ix);
+        return;
+      case ExprKind::Binary:
+      case ExprKind::Compare:
+      case ExprKind::BoolBinary:
+        collectReads(*e.lhs());
+        collectReads(*e.rhs());
+        return;
+      case ExprKind::Select:
+        collectReads(*e.selectCond());
+        collectReads(*e.lhs());
+        collectReads(*e.rhs());
+        return;
+      case ExprKind::Call:
+      case ExprKind::BoolNot:
+        collectReads(*e.operand());
+        return;
+      default:
+        return;
+    }
+  }
+
+  void walk(const Stmt& st) {
+    switch (st.kind()) {
+      case StmtKind::Assign: {
+        collectReads(*st.rhs());
+        if (!st.lhs().isScalar()) {
+          for (const auto& ix : st.lhs().indices) collectReads(*ix);
+          record(st.lhs().name, st.lhs().indices, /*write=*/true);
+        }
+        return;
+      }
+      case StmtKind::If: {
+        collectReads(*st.cond());
+        auto branch = [&](const Stmt* body, ir::ExprPtr cond) {
+          if (!body) return;
+          auto pieces = ir::condToPieces(*cond);
+          const std::size_t mark = cs.size();
+          if (pieces && pieces->size() == 1)
+            for (const auto& c : (*pieces)[0]) cs.push_back(c);
+          walk(*body);
+          cs.resize(mark);
+        };
+        branch(st.thenBody(), st.cond());
+        if (st.elseBody()) branch(st.elseBody(), ir::notE(st.cond()));
+        return;
+      }
+      case StmtKind::Loop: {
+        const AffineExpr v = AffineExpr::var(st.loopVar());
+        const std::size_t mark = cs.size();
+        addLowerBound(cs, v, *st.lowerBound());
+        addUpperBound(cs, v, *st.upperBound());
+        vars.push_back(st.loopVar());
+        if (st.loopBody()) walk(*st.loopBody());
+        vars.pop_back();
+        cs.resize(mark);
+        return;
+      }
+      case StmtKind::Block:
+        for (const auto& c : st.stmts()) walk(*c);
+        return;
+    }
+  }
+};
+
+/// Scalars the statement subtree assigns to.
+void collectScalarWrites(const Stmt& st, std::set<std::string>& out) {
+  switch (st.kind()) {
+    case StmtKind::Assign:
+      if (st.lhs().isScalar()) out.insert(st.lhs().name);
+      return;
+    case StmtKind::If:
+      if (st.thenBody()) collectScalarWrites(*st.thenBody(), out);
+      if (st.elseBody()) collectScalarWrites(*st.elseBody(), out);
+      return;
+    case StmtKind::Loop:
+      if (st.loopBody()) collectScalarWrites(*st.loopBody(), out);
+      return;
+    case StmtKind::Block:
+      for (const auto& c : st.stmts()) collectScalarWrites(*c, out);
+      return;
+  }
+}
+
+// --- candidate legality -----------------------------------------------------
+
+struct Candidate {
+  ParallelPlan::Kind kind = ParallelPlan::Kind::Serial;
+  std::size_t depth = 0;  // 1-based
+  std::optional<AffineExpr> frontier;
+  std::size_t pairsProven = 0;
+  std::size_t pairsTotal = 0;
+  double score = 0;
+};
+
+AffineExpr renameSide(const AffineExpr& e,
+                      const std::vector<std::string>& sideVars,
+                      const char* suffix) {
+  AffineExpr r = e;
+  for (const auto& v : sideVars) r = r.renamed(v, v + suffix);
+  return r;
+}
+
+Constraint renameSide(const Constraint& c,
+                      const std::vector<std::string>& sideVars,
+                      const char* suffix) {
+  return {renameSide(c.expr, sideVars, suffix), c.kind};
+}
+
+class CandidateProver {
+ public:
+  CandidateProver(const std::vector<const Stmt*>& chain,
+                  const poly::ParamContext& ctx)
+      : chain_(chain), ctx_(ctx) {}
+
+  /// Bounds of chain loops [0, g) evaluable from params and outer chain
+  /// vars alone (the wave table's requirement).
+  bool chainBoundsEvaluable(std::size_t g, const std::set<std::string>& params)
+      const {
+    std::set<std::string> allowed = params;
+    for (std::size_t i = 0; i < g; ++i) {
+      if (!exprUsesOnly(*chain_[i]->lowerBound(), allowed) ||
+          !exprUsesOnly(*chain_[i]->upperBound(), allowed))
+        return false;
+      allowed.insert(chain_[i]->loopVar());
+    }
+    return true;
+  }
+
+  /// Every scalar written inside the grain body must be privatizable.
+  bool scalarsPrivatizable(std::size_t g) const {
+    const Stmt* body = chain_[g - 1]->loopBody();
+    if (!body) return true;
+    std::set<std::string> written;
+    collectScalarWrites(*body, written);
+    for (const auto& s : written)
+      if (!scalarPrivatizableIn(*body, s)) return false;
+    return true;
+  }
+
+  std::vector<Access> collect(std::size_t g) const {
+    AccessCollector c;
+    if (chain_[g - 1]->loopBody()) c.walk(*chain_[g - 1]->loopBody());
+    return c.out;
+  }
+
+  /// Bound constraints of chain loop `i` on its own variable.
+  std::vector<Constraint> chainBoundCs(std::size_t i) const {
+    std::vector<Constraint> cs;
+    const AffineExpr v = AffineExpr::var(chain_[i]->loopVar());
+    addLowerBound(cs, v, *chain_[i]->lowerBound());
+    addUpperBound(cs, v, *chain_[i]->upperBound());
+    return cs;
+  }
+
+  /// The conflict set of one ordered access pair under the candidate's
+  /// same-wave hypothesis (a strictly before b in the parallel dims).
+  /// `extra` appends candidate-specific constraints (wavefront diagonal
+  /// equality, frontier cut, backward-piece constraints).
+  IntegerSet pairSet(const Access& a, const Access& b, std::size_t pIdx,
+                     std::size_t perSideCount,
+                     const std::vector<Constraint>& extra) const {
+    std::vector<std::string> perSide;
+    for (std::size_t i = 0; i < perSideCount; ++i)
+      perSide.push_back(chain_[pIdx + i]->loopVar());
+
+    auto sideVarsOf = [&](const Access& acc) {
+      std::vector<std::string> v = perSide;
+      v.insert(v.end(), acc.innerVars.begin(), acc.innerVars.end());
+      return v;
+    };
+    const std::vector<std::string> sideA = sideVarsOf(a);
+    const std::vector<std::string> sideB = sideVarsOf(b);
+
+    std::vector<std::string> vars;
+    for (std::size_t i = 0; i < pIdx; ++i)
+      vars.push_back(chain_[i]->loopVar());
+    for (const auto& v : sideA) vars.push_back(v + "__a");
+    for (const auto& v : sideB) vars.push_back(v + "__b");
+
+    IntegerSet set(vars);
+    for (std::size_t i = 0; i < pIdx; ++i)
+      for (const auto& c : chainBoundCs(i)) set.addConstraint(c);
+    for (std::size_t i = 0; i < perSideCount; ++i)
+      for (const auto& c : chainBoundCs(pIdx + i)) {
+        set.addConstraint(renameSide(c, sideA, "__a"));
+        set.addConstraint(renameSide(c, sideB, "__b"));
+      }
+    for (const auto& c : a.cs) set.addConstraint(renameSide(c, sideA, "__a"));
+    for (const auto& c : b.cs) set.addConstraint(renameSide(c, sideB, "__b"));
+    for (std::size_t d = 0; d < a.subs.size(); ++d)
+      set.addEQ(renameSide(a.subs[d], sideA, "__a") -
+                renameSide(b.subs[d], sideB, "__b"));
+    for (const auto& c : extra) set.addConstraint(c);
+    return set;
+  }
+
+  /// Ordered conflicting pairs: same array, at least one write. Returns
+  /// index pairs into `accesses`; `anyNonAffine` reports whether some
+  /// pair can never be proven (non-affine subscript).
+  std::vector<std::pair<std::size_t, std::size_t>> conflictPairs(
+      const std::vector<Access>& accesses, bool* anyNonAffine) const {
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    *anyNonAffine = false;
+    for (std::size_t i = 0; i < accesses.size(); ++i)
+      for (std::size_t j = 0; j < accesses.size(); ++j) {
+        if (accesses[i].array != accesses[j].array) continue;
+        if (!accesses[i].write && !accesses[j].write) continue;
+        if (!accesses[i].affine || !accesses[j].affine) *anyNonAffine = true;
+        pairs.emplace_back(i, j);
+      }
+    return pairs;
+  }
+
+  const std::vector<const Stmt*>& chain_;
+  const poly::ParamContext& ctx_;
+};
+
+// --- scoring ----------------------------------------------------------------
+
+/// Clamped sample binding for profitability scoring: each parameter at
+/// min(hi, max(lo, 96)), with lo/hi scraped from the context's
+/// single-variable constraints (defaults 1 / 10^6).
+std::map<std::string, std::int64_t> scoringBinding(
+    const poly::ParamContext& ctx) {
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> range;
+  for (const auto& p : ctx.params()) range[p] = {1, 1000000};
+  const std::vector<Constraint> cs = ctx.constraints();
+  for (const auto& c : cs) {
+    const std::vector<std::string> vars = c.expr.variables();
+    if (vars.size() != 1) continue;
+    auto it = range.find(vars[0]);
+    if (it == range.end()) continue;
+    const std::int64_t coeff = c.expr.coeff(vars[0]);
+    const std::int64_t k = c.expr.constant();
+    if (coeff == 0) continue;
+    if (c.kind == Constraint::Kind::EQ) {
+      if (k % coeff == 0) {
+        it->second.first = it->second.second = -k / coeff;
+      }
+    } else if (coeff > 0) {  // coeff*P + k >= 0  =>  P >= ceil(-k/coeff)
+      it->second.first =
+          std::max(it->second.first, -floorDiv64(k, coeff));
+    } else {  // P <= floor(k / -coeff)
+      it->second.second =
+          std::min(it->second.second, floorDiv64(k, -coeff));
+    }
+  }
+  std::map<std::string, std::int64_t> binding;
+  for (const auto& [name, lohi] : range)
+    binding[name] =
+        std::min(lohi.second, std::max(lohi.first, std::int64_t{96}));
+  return binding;
+}
+
+}  // namespace
+
+// --- public API -------------------------------------------------------------
+
+std::size_t ParallelPlan::grainDepth() const {
+  switch (kind) {
+    case Kind::Serial: return 0;
+    case Kind::ParallelLoop: return depth;
+    case Kind::Wavefront: return depth + 1;
+  }
+  return 0;
+}
+
+const char* ParallelPlan::kindName() const {
+  switch (kind) {
+    case Kind::Serial: return "serial";
+    case Kind::ParallelLoop: return "parallel-loop";
+    case Kind::Wavefront: return "wavefront";
+  }
+  return "?";
+}
+
+std::string ParallelPlan::str() const {
+  if (kind == Kind::Serial) return "serial";
+  std::string s = std::string(kindName()) + "(d=" + std::to_string(depth) + ")";
+  if (frontier) s += " frontier=" + frontier->str();
+  return s;
+}
+
+ParallelNest findParallelNest(const ir::Program& p) {
+  ParallelNest nest;
+  if (!p.body || p.body->kind() != StmtKind::Block) {
+    if (p.body && p.body->kind() == StmtKind::Loop)
+      nest.chain = chainFrom(*p.body);
+    return nest;
+  }
+  const auto& stmts = p.body->stmts();
+  std::size_t best = stmts.size(), bestLen = 0;
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    if (stmts[i]->kind() != StmtKind::Loop) continue;
+    const std::size_t len = chainFrom(*stmts[i]).size();
+    if (len > bestLen) {  // deepest chain wins; first on ties
+      bestLen = len;
+      best = i;
+    }
+  }
+  if (best == stmts.size()) return nest;
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    if (i < best)
+      nest.pre.push_back(stmts[i]);
+    else if (i > best)
+      nest.post.push_back(stmts[i]);
+  }
+  nest.chain = chainFrom(*stmts[best]);
+  return nest;
+}
+
+std::size_t WaveTable::waveCount() const {
+  const std::size_t n = rowCount();
+  if (n == 0) return 0;
+  const std::size_t stride = 1 + grainDepth;
+  return static_cast<std::size_t>(rows[(n - 1) * stride]) + 1;
+}
+
+WaveTable computeWaveTable(const ir::Program& p, const ParallelPlan& plan,
+                           const std::map<std::string, std::int64_t>& params) {
+  WaveTable wt;
+  if (!plan.legal()) return wt;
+  const ParallelNest nest = findParallelNest(p);
+  const std::size_t g = plan.grainDepth();
+  FIXFUSE_CHECK(g >= 1 && g <= nest.chain.size(),
+                "parallel plan depth exceeds the loop chain");
+  wt.grainDepth = g;
+  const std::size_t pIdx = plan.depth - 1;
+
+  std::map<std::string, std::int64_t> env = params;
+  std::int64_t wave = 0;
+  std::vector<std::int64_t> outer(pIdx, 0);
+  constexpr std::size_t kMaxRows = std::size_t{1} << 24;
+
+  auto pushRow = [&](std::int64_t w, std::int64_t v,
+                     std::optional<std::int64_t> q) {
+    FIXFUSE_CHECK(wt.rowCount() < kMaxRows, "wave table too large");
+    wt.rows.push_back(w);
+    for (std::size_t i = 0; i < pIdx; ++i) wt.rows.push_back(outer[i]);
+    wt.rows.push_back(v);
+    if (q) wt.rows.push_back(*q);
+  };
+
+  auto emitGroup = [&]() {
+    const Stmt& pl = *nest.chain[pIdx];
+    const std::int64_t lb = evalInt(*pl.lowerBound(), env);
+    const std::int64_t ub = evalInt(*pl.upperBound(), env);
+    if (plan.kind == ParallelPlan::Kind::ParallelLoop) {
+      const std::int64_t B =
+          plan.frontier ? evalInt(*plan.frontier, env)
+                        : std::numeric_limits<std::int64_t>::min();
+      bool any = false;
+      for (std::int64_t v = lb; v <= ub; ++v) {
+        if (v < B) {
+          pushRow(wave++, v, std::nullopt);  // serial prefix: singleton wave
+        } else {
+          pushRow(wave, v, std::nullopt);
+          any = true;
+        }
+      }
+      if (any) ++wave;
+      return;
+    }
+    // Wavefront over (chain[pIdx], chain[pIdx + 1]): anti-diagonals.
+    const Stmt& ql = *nest.chain[pIdx + 1];
+    const std::string& pv = pl.loopVar();
+    bool have = false;
+    std::int64_t smin = 0, smax = 0;
+    for (std::int64_t v = lb; v <= ub; ++v) {
+      env[pv] = v;
+      const std::int64_t qlb = evalInt(*ql.lowerBound(), env);
+      const std::int64_t qub = evalInt(*ql.upperBound(), env);
+      if (qlb > qub) continue;
+      if (!have || v + qlb < smin) smin = v + qlb;
+      if (!have || v + qub > smax) smax = v + qub;
+      have = true;
+    }
+    if (!have) {
+      env.erase(pv);
+      return;
+    }
+    for (std::int64_t s = smin; s <= smax; ++s) {
+      bool any = false;
+      for (std::int64_t v = lb; v <= ub; ++v) {
+        env[pv] = v;
+        const std::int64_t q = s - v;
+        const std::int64_t qlb = evalInt(*ql.lowerBound(), env);
+        const std::int64_t qub = evalInt(*ql.upperBound(), env);
+        if (q < qlb || q > qub) continue;
+        pushRow(wave, v, q);
+        any = true;
+      }
+      if (any) ++wave;
+    }
+    env.erase(pv);
+  };
+
+  std::function<void(std::size_t)> recurse = [&](std::size_t level) {
+    if (level == pIdx) {
+      emitGroup();
+      return;
+    }
+    const Stmt& loop = *nest.chain[level];
+    const std::int64_t lb = evalInt(*loop.lowerBound(), env);
+    const std::int64_t ub = evalInt(*loop.upperBound(), env);
+    for (std::int64_t v = lb; v <= ub; ++v) {
+      env[loop.loopVar()] = v;
+      outer[level] = v;
+      recurse(level + 1);
+    }
+    env.erase(loop.loopVar());
+  };
+  recurse(0);
+  return wt;
+}
+
+ParallelPlan deriveParallelPlan(const ir::Program& p,
+                                const poly::ParamContext& ctx) {
+  ParallelPlan serial;
+  const ParallelNest nest = findParallelNest(p);
+  if (nest.chain.empty()) {
+    serial.reason = "no top-level loop nest";
+    return serial;
+  }
+  std::set<std::string> params(p.params.begin(), p.params.end());
+  CandidateProver prover(nest.chain, ctx);
+
+  std::vector<Candidate> legal;
+  std::string why = "no provable candidate";
+
+  auto proveAll =
+      [&](const std::vector<Access>& accesses,
+          const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+          std::size_t pIdx, std::size_t perSideCount,
+          const std::vector<Constraint>& extra,
+          std::vector<IntegerSet>* unproven) -> std::size_t {
+    std::size_t proven = 0;
+    for (const auto& [i, j] : pairs) {
+      const Access& a = accesses[i];
+      const Access& b = accesses[j];
+      if (!a.affine || !b.affine) continue;  // never provable
+      IntegerSet set = prover.pairSet(a, b, pIdx, perSideCount, extra);
+      if (set.provablyEmpty(ctx))
+        ++proven;
+      else if (unproven)
+        unproven->push_back(std::move(set));
+    }
+    return proven;
+  };
+
+  // --- ParallelLoop candidates (plain, then frontier rescue) ---------------
+  for (std::size_t d = 1; d <= std::min<std::size_t>(3, nest.chain.size());
+       ++d) {
+    const std::size_t pIdx = d - 1;
+    if (!prover.chainBoundsEvaluable(d, params)) continue;
+    if (!prover.scalarsPrivatizable(d)) continue;
+    const std::vector<Access> accesses = prover.collect(d);
+    bool anyNonAffine = false;
+    const auto pairs = prover.conflictPairs(accesses, &anyNonAffine);
+    const std::string pVar = nest.chain[pIdx]->loopVar();
+    // Same wave, distinct grains: v__a < v__b (both orders covered by
+    // enumerating ordered site pairs).
+    std::vector<Constraint> order;
+    order.push_back(Constraint::ge(AffineExpr::var(pVar + "__b") -
+                                   AffineExpr::var(pVar + "__a") -
+                                   AffineExpr(1)));
+    std::vector<IntegerSet> unproven;
+    const std::size_t proven =
+        proveAll(accesses, pairs, pIdx, 1, order, &unproven);
+    if (proven == pairs.size()) {
+      legal.push_back({ParallelPlan::Kind::ParallelLoop, d, std::nullopt,
+                       proven, pairs.size(), 0});
+      continue;
+    }
+    if (anyNonAffine) continue;  // no set to harvest a frontier from
+    // Frontier rescue: project each unproven conflict onto the outer
+    // vars and v__a; constraints v__a <= e yield candidate cuts
+    // B = e + 1. A cut that re-proves EVERY pair under v__a >= B makes
+    // the suffix wave legal (the prefix stays serial).
+    std::vector<std::string> keep;
+    for (std::size_t i = 0; i < pIdx; ++i)
+      keep.push_back(nest.chain[i]->loopVar());
+    keep.push_back(pVar + "__a");
+    std::vector<AffineExpr> cuts;
+    for (const IntegerSet& s : unproven) {
+      std::vector<std::string> elim;
+      for (const auto& v : s.vars())
+        if (std::find(keep.begin(), keep.end(), v) == keep.end())
+          elim.push_back(v);
+      const IntegerSet proj = s.eliminated(elim);
+      const AffineExpr va = AffineExpr::var(pVar + "__a");
+      for (const auto& c : proj.constraints()) {
+        const std::int64_t coeff = c.expr.coeff(pVar + "__a");
+        AffineExpr rest;
+        if (coeff == -1)
+          rest = c.expr + va;  // v__a <= rest
+        else if (coeff == 1 && c.kind == Constraint::Kind::EQ)
+          rest = va - c.expr;  // v__a == rest
+        else
+          continue;
+        cuts.push_back(rest + AffineExpr(1));
+      }
+    }
+    std::sort(cuts.begin(), cuts.end(),
+              [](const AffineExpr& x, const AffineExpr& y) {
+                return x.str() < y.str();
+              });
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (const AffineExpr& B : cuts) {
+      std::vector<Constraint> withCut = order;
+      withCut.push_back(
+          Constraint::ge(AffineExpr::var(pVar + "__a") - B));
+      if (proveAll(accesses, pairs, pIdx, 1, withCut, nullptr) ==
+          pairs.size()) {
+        legal.push_back({ParallelPlan::Kind::ParallelLoop, d, B,
+                         pairs.size(), pairs.size(), 0});
+        break;
+      }
+    }
+  }
+
+  // --- Wavefront candidates -------------------------------------------------
+  for (std::size_t d = 1;
+       nest.chain.size() >= 2 &&
+       d <= std::min<std::size_t>(2, nest.chain.size() - 1);
+       ++d) {
+    const std::size_t pIdx = d - 1;
+    if (!prover.chainBoundsEvaluable(d + 1, params)) continue;
+    if (!prover.scalarsPrivatizable(d + 1)) continue;
+    const std::vector<Access> accesses = prover.collect(d + 1);
+    bool anyNonAffine = false;
+    const auto pairs = prover.conflictPairs(accesses, &anyNonAffine);
+    const std::string pVar = nest.chain[pIdx]->loopVar();
+    const std::string qVar = nest.chain[pIdx + 1]->loopVar();
+    const AffineExpr pa = AffineExpr::var(pVar + "__a");
+    const AffineExpr qa = AffineExpr::var(qVar + "__a");
+    const AffineExpr pb = AffineExpr::var(pVar + "__b");
+    const AffineExpr qb = AffineExpr::var(qVar + "__b");
+
+    // Same diagonal, distinct grains (wlog p__a < p__b).
+    std::vector<Constraint> sameWave;
+    sameWave.push_back(Constraint::eq(pa + qa - pb - qb));
+    sameWave.push_back(Constraint::ge(pb - pa - AffineExpr(1)));
+    std::size_t proven = proveAll(accesses, pairs, pIdx, 2, sameWave, nullptr);
+    if (proven != pairs.size()) continue;
+
+    // Backward refutation: no conflict from a lex-earlier grain to a
+    // strictly smaller diagonal (the wavefront would run the sink first).
+    bool backwardOk = true;
+    const auto lexPieces = poly::lexLessPieces({pa, qa}, {pb, qb});
+    for (const auto& piece : lexPieces) {
+      std::vector<Constraint> extra = piece;
+      extra.push_back(Constraint::ge(pa + qa - pb - qb - AffineExpr(1)));
+      if (proveAll(accesses, pairs, pIdx, 2, extra, nullptr) != pairs.size()) {
+        backwardOk = false;
+        break;
+      }
+    }
+    if (!backwardOk) continue;
+    legal.push_back({ParallelPlan::Kind::Wavefront, d, std::nullopt,
+                     pairs.size(), pairs.size(), 0});
+  }
+
+  if (legal.empty()) {
+    serial.reason = why;
+    return serial;
+  }
+
+  // --- profitability: grains per wave at a clamped sample binding -----------
+  const std::map<std::string, std::int64_t> binding = scoringBinding(ctx);
+  Candidate* best = nullptr;
+  for (Candidate& c : legal) {
+    ParallelPlan trial;
+    trial.kind = c.kind;
+    trial.depth = c.depth;
+    if (c.frontier) trial.frontier = ir::fromAffine(*c.frontier);
+    try {
+      const WaveTable wt = computeWaveTable(p, trial, binding);
+      const std::size_t waves = wt.waveCount();
+      if (waves == 0) continue;
+      c.score = static_cast<double>(wt.rowCount()) / static_cast<double>(waves);
+    } catch (const Error&) {
+      continue;  // unevaluable / oversized at the sample binding
+    }
+    if (c.score <= 1.05) continue;  // not profitably parallel
+    if (!best || c.score > best->score) best = &c;
+  }
+  if (!best) {
+    serial.reason = "legal candidates found but none profitable";
+    return serial;
+  }
+
+  ParallelPlan plan;
+  plan.kind = best->kind;
+  plan.depth = best->depth;
+  if (best->frontier) plan.frontier = ir::fromAffine(*best->frontier);
+  plan.pairsProven = best->pairsProven;
+  plan.pairsTotal = best->pairsTotal;
+  plan.reason = std::string(plan.kindName()) + " over '" +
+                nest.chain[plan.depth - 1]->loopVar() + "': " +
+                std::to_string(plan.pairsProven) + "/" +
+                std::to_string(plan.pairsTotal) +
+                " conflict pairs proven disjoint" +
+                (plan.frontier ? " beyond frontier " + plan.frontier->str()
+                               : std::string());
+  return plan;
+}
+
+unsigned parallelWorkersFromEnv() {
+  const char* raw = std::getenv("FIXFUSE_PARALLEL");
+  if (raw == nullptr || std::string(raw) == "0") return 0;  // serial, silent
+  return support::env::positiveInt(
+      "FIXFUSE_PARALLEL", /*max=*/1024, /*fallback=*/0,
+      "a worker count in [0, 1024]", "running the native backend serially");
+}
+
+}  // namespace fixfuse::codegen

@@ -1,0 +1,121 @@
+// Parallel execution planning for tiled loop nests (DESIGN.md item 15).
+//
+// A ParallelPlan says how the native backend may legally run a planned
+// tile nest across threads while staying *bit-for-bit state-equal* to
+// the serial schedule:
+//
+//  * ParallelLoop(d): the d-th loop of the program's perfect outer loop
+//    chain is a parallel loop - all its iterations under one fixed outer
+//    tuple form a wave whose grains the polyhedral layer has *proven*
+//    access-disjoint (every ordered site pair with at least one write is
+//    provably empty under "distinct grains, same wave"). An optional
+//    `frontier` expression B (over params and outer chain vars) marks a
+//    serial prefix: iterations v < B run as singleton waves in serial
+//    order, iterations v >= B form the parallel wave (Cholesky's tiled
+//    update has real dependences only below the per-tile frontier).
+//    Wave order is a contiguous coarsening of the serial order, so no
+//    cross-wave proof is needed.
+//  * Wavefront(d): loops d and d+1 of the chain are scheduled by
+//    anti-diagonals (waves of constant v_d + v_{d+1}) under serial outer
+//    loops 1..d-1 - the classic skew-and-tile schedule (Jacobi). Legal
+//    only when BOTH proofs go through: same-diagonal grains are
+//    access-disjoint, and no dependence flows from a lexicographically
+//    earlier grain to a strictly smaller diagonal (the wavefront order
+//    is not a coarsening of the serial order, so the backward direction
+//    must be refuted explicitly).
+//  * Serial: everything else. Sound-in-the-safe-direction discipline
+//    throughout: a pair we cannot prove empty is treated as a real
+//    conflict and the candidate stays serial; `reason` says why.
+//
+// Scalars written inside the grain body are privatized per grain when
+// provably write-first (all accesses in one block, the earliest being an
+// unconditional write): each grain reports its final value plus a
+// wrote-flag, and the host merges by picking the value of the
+// lexicographically largest grain that wrote - exactly the value the
+// serial schedule leaves behind. Anything else stays serial.
+//
+// deriveParallelPlan never affects emitted serial code or any verified
+// pipeline product; it only adds a schedule the native backend may use.
+// FP operations are never reassociated: each grain executes its
+// statement instances in the serial schedule's order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "poly/set.h"
+
+namespace fixfuse::codegen {
+
+struct ParallelPlan {
+  enum class Kind { Serial, ParallelLoop, Wavefront };
+  Kind kind = Kind::Serial;
+  /// 1-based position in the perfect outer loop chain: ParallelLoop(d)
+  /// parallelizes chain loop d; Wavefront(d) wavefronts chain loops d
+  /// and d+1.
+  std::size_t depth = 0;
+  /// ParallelLoop only (may be null): serial-prefix frontier B over
+  /// params and outer chain vars - iterations v < B stay serial.
+  ir::ExprPtr frontier;
+  /// Why the plan is serial, or what was proven (human-readable).
+  std::string reason;
+  /// Ordered access-pair proof tally for the chosen candidate.
+  std::size_t pairsProven = 0;
+  std::size_t pairsTotal = 0;
+
+  bool legal() const { return kind != Kind::Serial; }
+  /// Number of leading chain vars a wave-table row binds (0 if serial):
+  /// depth for ParallelLoop, depth + 1 for Wavefront.
+  std::size_t grainDepth() const;
+  const char* kindName() const;
+  /// Stable textual identity (kind, depth, frontier) - a cache-key
+  /// component for compiled artifacts; excludes the tallies and reason.
+  std::string str() const;
+};
+
+/// The nest the plan schedules: statements before/after the chosen
+/// top-level loop (run serially), and the perfect loop chain from its
+/// root. The chain extends while each loop's body is exactly one loop.
+/// The deepest top-level loop is chosen (first on ties); chain is empty
+/// when the program has no top-level loop.
+struct ParallelNest {
+  std::vector<ir::StmtPtr> pre, post;
+  std::vector<const ir::Stmt*> chain;
+};
+ParallelNest findParallelNest(const ir::Program& p);
+
+/// Derive the best provably legal parallel schedule for `p` (typically a
+/// tiled pipeline product). Candidates are enumerated deterministically,
+/// proven with IntegerSet::provablyEmpty under `ctx`, scored by
+/// grains-per-wave at a clamped sample binding, and the best scoring
+/// legal candidate wins; returns Serial (with a reason) when nothing is
+/// provable or profitable.
+ParallelPlan deriveParallelPlan(const ir::Program& p,
+                                const poly::ParamContext& ctx);
+
+/// Wave schedule at concrete parameter values: rows of
+/// (waveId, grain vals...) in execution order - waveIds nondecreasing
+/// from 0, grains within a wave in ascending parallel-var order. The
+/// C++ reference for the emitted `<fn>_wave_table` symbol (tests compare
+/// them) and the planner's profitability oracle.
+struct WaveTable {
+  std::size_t grainDepth = 0;
+  std::vector<std::int64_t> rows;  // rowCount() * (1 + grainDepth) values
+  std::size_t rowCount() const {
+    return grainDepth == 0 ? 0 : rows.size() / (1 + grainDepth);
+  }
+  std::size_t waveCount() const;
+};
+WaveTable computeWaveTable(const ir::Program& p, const ParallelPlan& plan,
+                           const std::map<std::string, std::int64_t>& params);
+
+/// Worker count from FIXFUSE_PARALLEL: unset or literal "0" => 0
+/// (serial, silently); otherwise a strict positive integer <= 1024 via
+/// support::env::positiveInt (malformed / out-of-range values warn once
+/// per process and run serial).
+unsigned parallelWorkersFromEnv();
+
+}  // namespace fixfuse::codegen

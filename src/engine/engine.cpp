@@ -104,7 +104,13 @@ interp::Machine CompiledProgram::runNative(
     const std::function<void(interp::Machine&)>& init,
     pipeline::NativeRunReport* report, bool verify) const {
   pipeline::NativeExecutor exec(verify);
-  return exec.execute(e_->tiled, params, init, report);
+  pipeline::NativeExecOptions po;
+  const unsigned workers = codegen::parallelWorkersFromEnv();
+  if (workers > 0) {
+    po.parallel = &e_->plan.tile.parallel;
+    po.workers = workers;
+  }
+  return exec.execute(e_->tiled, params, init, report, po);
 }
 
 Engine::Engine(std::size_t cacheBound) : cache_(cacheBound) {}
@@ -143,6 +149,10 @@ CompiledProgram Engine::compile(const ir::Program& p,
         } else {
           e->tiled = e->fixed;
         }
+        // Parallel schedule for the final product (sound: stays Serial
+        // unless the polyhedral layer proved wave disjointness). Part of
+        // the cached entry; the compiled-module cache keys on it.
+        e->plan.tile.parallel = codegen::deriveParallelPlan(e->tiled, ctx);
         e->planSignature = planner::planSignature(e->plan);
         return e;
       },
@@ -195,6 +205,8 @@ CompiledProgram Engine::compileSystem(const deps::NestSystem& sys,
             " nest(s) with violated flow/output deps, " +
             std::to_string(sp.violatedAnti) +
             " array(s) with violated anti deps");
+        e->plan.tile.parallel =
+            codegen::deriveParallelPlan(e->tiled, sys.ctx);
         e->planSignature = planner::planSignature(e->plan);
         return e;
       },

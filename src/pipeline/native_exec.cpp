@@ -35,23 +35,63 @@ support::Json NativeRunReport::json() const {
       .set("bytecode_seconds", bytecodeSeconds)
       .set("speedup_vs_bytecode", speedupVsBytecode)
       .set("verified", verified);
+  if (backend == "parallel-native") {
+    j.set("workers", static_cast<std::int64_t>(workers))
+        .set("waves", static_cast<std::int64_t>(waves))
+        .set("grains", static_cast<std::int64_t>(grains));
+  }
   return j;
 }
 
 interp::Machine NativeExecutor::execute(
     const ir::Program& p, const std::map<std::string, std::int64_t>& params,
-    const std::function<void(interp::Machine&)>& init,
-    NativeRunReport* report) const {
+    const std::function<void(interp::Machine&)>& init, NativeRunReport* report,
+    const NativeExecOptions& opts) const {
   NativeRunReport r;
   r.compiler = codegen::hostCompilerCommand();
 
   interp::Machine machine(p, params);
   if (init) init(machine);
 
+  // Decide the native flavor. Parallel requested against an illegal /
+  // serial plan degrades to serial native with a once-per-process
+  // warning (same discipline as the native -> bytecode fallback).
+  bool wantParallel = false;
+  if (opts.workers >= 1) {
+    if (opts.parallel && opts.parallel->legal()) {
+      wantParallel = true;
+    } else {
+      const std::string why = opts.parallel && !opts.parallel->reason.empty()
+                                  ? opts.parallel->reason
+                                  : std::string("no parallel plan derived");
+      support::env::warnOncePerProcess(
+          "parallel-serial-fallback: " + why,
+          "FIXFUSE_PARALLEL requested but the plan is not parallel-legal (" +
+              why + "); running the native backend serially");
+    }
+  }
+
   std::string error;
-  std::shared_ptr<const codegen::NativeModule> module =
-      codegen::processModuleCache().tryGetOrCompile(p, &error,
-                                                    &r.compileCached);
+  std::shared_ptr<const codegen::NativeModule> module;
+  if (wantParallel) {
+    module = codegen::processModuleCache().tryGetOrCompileParallel(
+        p, *opts.parallel, &error, &r.compileCached);
+    if (!module) {
+      // Parallel artifact would not build; a serial module may still.
+      const std::string parallelError = error;
+      module = codegen::processModuleCache().tryGetOrCompile(
+          p, &error, &r.compileCached);
+      if (module)
+        support::env::warnOncePerProcess(
+            parallelError,
+            "parallel native module failed to compile, running serially: " +
+                parallelError);
+      wantParallel = false;
+    }
+  } else {
+    module = codegen::processModuleCache().tryGetOrCompile(p, &error,
+                                                           &r.compileCached);
+  }
   if (!module) {
     // Graceful fallback: the bytecode engine runs the program instead.
     // Same dedup key as the interpreter's fallback, so one failure warns
@@ -72,13 +112,15 @@ interp::Machine NativeExecutor::execute(
   }
 
   r.available = true;
-  r.backend = "native";
+  r.backend = wantParallel ? "parallel-native" : "native";
   r.compileSeconds = r.compileCached ? 0 : module->compileSeconds();
 
   std::optional<interp::Machine> reference;
   if (verify_) reference.emplace(machine);  // identical pre-run bits
 
-  // Native leg, timed alone (the module is compiled already).
+  // Native leg, timed alone (the module is compiled already; pool
+  // construction is outside the timed region so the wave schedule
+  // itself is what the speedup measures).
   {
     codegen::NativeModule::Binding b;
     for (const auto& prm : p.params)
@@ -91,9 +133,20 @@ interp::Machine NativeExecutor::execute(
       else
         b.floatScalars.push_back(machine.floatScalarSlot(s.name));
     }
-    const double t0 = nowSeconds();
-    module->run(b);
-    r.nativeSeconds = nowSeconds() - t0;
+    if (wantParallel) {
+      support::ThreadPool pool(opts.workers);
+      codegen::NativeModule::ParallelRunStats prs;
+      const double t0 = nowSeconds();
+      module->runParallel(b, pool, &prs);
+      r.nativeSeconds = nowSeconds() - t0;
+      r.workers = prs.workers;
+      r.waves = prs.waves;
+      r.grains = prs.grains;
+    } else {
+      const double t0 = nowSeconds();
+      module->run(b);
+      r.nativeSeconds = nowSeconds() - t0;
+    }
   }
 
   if (reference) {

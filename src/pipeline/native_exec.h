@@ -18,6 +18,7 @@
 #include <map>
 #include <string>
 
+#include "codegen/parallel.h"
 #include "interp/interp.h"
 #include "interp/machine.h"
 #include "support/json.h"
@@ -26,8 +27,8 @@ namespace fixfuse::pipeline {
 
 /// What one NativeExecutor::execute call did.
 struct NativeRunReport {
-  /// Backend that actually executed ("native", or "bytecode" on
-  /// fallback).
+  /// Backend that actually executed ("native", "parallel-native", or
+  /// "bytecode" on fallback).
   std::string backend;
   /// Host compiler usable and the program compiled.
   bool available = false;
@@ -46,9 +47,27 @@ struct NativeRunReport {
   /// A failed check never reports false here - it throws
   /// interp::NativeVerificationError.
   bool verified = false;
+  /// Parallel-native leg only (all zero otherwise): thread-pool size and
+  /// the executed wave schedule's shape. waves/grains are deterministic
+  /// (plan + params); workers is environment-dependent and marked
+  /// volatile in the baseline differ.
+  unsigned workers = 0;
+  std::size_t waves = 0;
+  std::size_t grains = 0;
 
-  /// The `interp.native` JSON fragment (schema v5).
+  /// The `interp.native` JSON fragment (schema v5; parallel-native runs
+  /// add workers/waves/grains).
   support::Json json() const;
+};
+
+/// How execute() should schedule the native leg.
+struct NativeExecOptions {
+  /// Parallel schedule to use. Ignored unless it is parallel-legal and
+  /// workers >= 1; an illegal/serial plan with workers requested falls
+  /// back to serial native with a once-per-process warning.
+  const codegen::ParallelPlan* parallel = nullptr;
+  /// Worker threads for the parallel schedule (0 = serial native).
+  unsigned workers = 0;
 };
 
 class NativeExecutor {
@@ -62,11 +81,15 @@ class NativeExecutor {
 
   /// Run `p` on a fresh machine: bind `params`, apply `init` (may be
   /// null), execute natively when possible (else bytecode), and return
-  /// the final machine state. Fills *report when given.
+  /// the final machine state. Fills *report when given. With a
+  /// parallel-legal plan and workers in `opts`, the native leg runs the
+  /// wave schedule over a thread pool (still verified bit-for-bit
+  /// against bytecode when verifying).
   interp::Machine execute(const ir::Program& p,
                           const std::map<std::string, std::int64_t>& params,
                           const std::function<void(interp::Machine&)>& init,
-                          NativeRunReport* report = nullptr) const;
+                          NativeRunReport* report = nullptr,
+                          const NativeExecOptions& opts = {}) const;
 
  private:
   bool verify_ = true;

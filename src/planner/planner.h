@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/parallel.h"
 #include "core/elim.h"
 #include "core/sink.h"
 #include "deps/nestsystem.h"
@@ -61,6 +62,11 @@ struct TilePlan {
   /// PDAT-based tile-size suggestion for an unknown problem size
   /// (tile::pdatTileSize); drivers may override with a measured size.
   std::int64_t suggestedTile = 0;
+  /// Provably legal parallel schedule for the engine's *final* (tiled)
+  /// program - derived by codegen::deriveParallelPlan from the pipeline
+  /// product, not by planProgram (which runs before tiling). Serial
+  /// unless the polyhedral layer proved wave disjointness.
+  codegen::ParallelPlan parallel;
 
   const char* kindName() const;
 };

@@ -39,6 +39,66 @@ void ThreadPool::wait() {
   idleCv_.wait(lock, [this] { return inFlight_ == 0; });
 }
 
+void ThreadPool::parallelForWave(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (size() <= 1 || count == 1) {
+    // Inline path keeps the full contract: attempt every index, then
+    // rethrow from the lowest one that failed (here the first failure,
+    // since the loop runs in index order).
+    std::exception_ptr err;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
+    return;
+  }
+  // Per-call latch: the pool may be shared, so pool.wait() (which waits
+  // for *all* in-flight jobs) would over-synchronise. Chunk the index
+  // space so each worker gets one contiguous slice.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending;
+    std::size_t errIndex;
+    std::exception_ptr err;
+  } latch;
+  const std::size_t nChunks = std::min<std::size_t>(count, size());
+  latch.pending = nChunks;
+  latch.errIndex = count;  // sentinel: no error yet
+  for (std::size_t c = 0; c < nChunks; ++c) {
+    const std::size_t lo = c * count / nChunks;
+    const std::size_t hi = (c + 1) * count / nChunks;
+    submit([&latch, &fn, lo, hi] {
+      // Every index is attempted even after an earlier one threw: the
+      // caller relies on the barrier meaning "all work was issued".
+      for (std::size_t i = lo; i < hi; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(latch.mu);
+          if (i < latch.errIndex) {
+            latch.errIndex = i;
+            latch.err = std::current_exception();
+          }
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(latch.mu);
+        --latch.pending;
+      }
+      latch.cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.pending == 0; });
+  if (latch.err) std::rethrow_exception(latch.err);
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> job;

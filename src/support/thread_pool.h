@@ -38,6 +38,16 @@ class ThreadPool {
   /// Block until every submitted job has finished.
   void wait();
 
+  /// Run fn(i) for every i in [0, count) across the pool's workers and
+  /// return only when all of them finished (a barrier). Every index is
+  /// attempted even after a failure; if any invocation threw, the
+  /// exception from the *lowest* index that threw is rethrown on the
+  /// caller thread (deterministic regardless of scheduling). Runs inline
+  /// on the caller when the pool has a single worker or count <= 1.
+  /// Unlike parallelMapOrdered, no per-index result storage is allocated.
+  void parallelForWave(std::size_t count,
+                       const std::function<void(std::size_t)>& fn);
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned hardwareThreads();
 

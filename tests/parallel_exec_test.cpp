@@ -1,0 +1,349 @@
+// Tests for parallel tiled native execution (DESIGN.md item 15):
+// deriveParallelPlan's kind/legality decisions on the paper kernels and
+// on adversarial hand-built programs, the wave-table contract (the
+// emitted `<fn>_wave_table` symbol must match the C++ reference
+// computeWaveTable row for row), and the headline invariant - a
+// parallel-native run lands in a machine state bit-for-bit identical to
+// the serial-native and bytecode runs, for the kernels and for the
+// FixDeps fuzz corpus routed through engine::Engine::compileSystem.
+//
+// Everything here follows the sound-in-the-safe-direction discipline:
+// programs whose wave disjointness the polyhedral layer cannot *prove*
+// must come back Serial (with a reason), never parallel-and-wrong.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codegen/native_module.h"
+#include "codegen/parallel.h"
+#include "engine/engine.h"
+#include "fuzz_systems.h"
+#include "interp/compare.h"
+#include "interp/interp.h"
+#include "kernels/common.h"
+#include "kernels/native.h"
+#include "pipeline/native_exec.h"
+
+namespace fixfuse::codegen {
+namespace {
+
+#define SKIP_WITHOUT_HOST_CC()                                       \
+  if (!codegen::hostCompilerAvailable())                             \
+  GTEST_SKIP() << "no usable host compiler ("                        \
+               << codegen::hostCompilerUnavailableReason()           \
+               << "); the parallel native backend degrades here"
+
+using Kind = ParallelPlan::Kind;
+
+poly::ParamContext simpleCtx() {
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  return ctx;
+}
+
+/// Run `p` through the NativeExecutor twice - serial native and
+/// parallel native under `plan` - on identical initial state, both legs
+/// self-verified against bytecode, and require the final machines
+/// bit-for-bit equal.
+void expectParallelMatchesSerial(
+    const ir::Program& p, const ParallelPlan& plan,
+    const std::map<std::string, std::int64_t>& params,
+    const std::function<void(interp::Machine&)>& init,
+    const std::string& label) {
+  ASSERT_TRUE(plan.legal()) << label;
+  pipeline::NativeExecutor exec(/*verify=*/true);
+
+  pipeline::NativeRunReport serialR;
+  interp::Machine serial = exec.execute(p, params, init, &serialR);
+  ASSERT_TRUE(serialR.available) << label;
+  EXPECT_EQ(serialR.backend, "native") << label;
+  EXPECT_TRUE(serialR.verified) << label;
+
+  pipeline::NativeExecOptions po;
+  po.parallel = &plan;
+  po.workers = 3;
+  pipeline::NativeRunReport parR;
+  interp::Machine par = exec.execute(p, params, init, &parR, po);
+  ASSERT_TRUE(parR.available) << label;
+  EXPECT_EQ(parR.backend, "parallel-native") << label;
+  EXPECT_TRUE(parR.verified) << label;
+  EXPECT_GE(parR.waves, 1u) << label;
+  EXPECT_GE(parR.grains, parR.waves) << label;
+
+  std::string where;
+  EXPECT_TRUE(interp::machineStateBitwiseEqual(p, par, serial, &where))
+      << label << ": '" << where
+      << "' differs between parallel-native and serial-native";
+}
+
+TEST(ParallelPlan, KernelPlanKindsArePinned) {
+  // The derivation is deterministic, so the four paper kernels' tiled
+  // pipelines pin to fixed kinds: Cholesky's rectangular k-tiling and
+  // Jacobi's skew-and-tile both schedule by anti-diagonal wavefronts;
+  // LU (pivot search + row swaps: data-dependent int subscripts) and QR
+  // (non-affine rotation structure) stay serial with a stated reason.
+  kernels::KernelBundle chol = kernels::buildKernel("cholesky", {8});
+  ParallelPlan pc =
+      deriveParallelPlan(chol.tiled, kernels::kernelContext(false));
+  EXPECT_EQ(pc.kind, Kind::Wavefront) << pc.reason;
+  EXPECT_EQ(pc.depth, 2u);
+  EXPECT_EQ(pc.grainDepth(), 3u);
+  EXPECT_GT(pc.pairsTotal, 0u);
+  EXPECT_EQ(pc.pairsProven, pc.pairsTotal);
+  EXPECT_EQ(pc.str(), "wavefront(d=2)");
+
+  kernels::KernelBundle jac = kernels::buildKernel("jacobi", {8});
+  ParallelPlan pj =
+      deriveParallelPlan(jac.tiled, kernels::kernelContext(true));
+  EXPECT_EQ(pj.kind, Kind::Wavefront) << pj.reason;
+  EXPECT_EQ(pj.depth, 1u);
+  EXPECT_EQ(pj.grainDepth(), 2u);
+  EXPECT_EQ(pj.pairsProven, pj.pairsTotal);
+
+  for (const char* name : {"lu", "qr"}) {
+    kernels::KernelBundle b = kernels::buildKernel(name, {8});
+    ParallelPlan p =
+        deriveParallelPlan(b.tiled, kernels::kernelContext(false));
+    EXPECT_EQ(p.kind, Kind::Serial) << name;
+    EXPECT_FALSE(p.legal()) << name;
+    EXPECT_FALSE(p.reason.empty()) << name;
+    EXPECT_EQ(p.str(), "serial") << name;
+  }
+}
+
+TEST(ParallelPlan, ProvablyDisjointLoopIsParallel) {
+  // Positive control for the prover: no cross-iteration access at all.
+  using namespace fixfuse::ir;
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(2))});
+  p.declareArray("B", {add(iv("N"), ic(2))});
+  p.body = blockS({loopS(
+      "i", ic(1), iv("N"),
+      {aassign("A", {iv("i")}, add(load("B", {iv("i")}), fc(1.0)))})});
+  ParallelPlan plan = deriveParallelPlan(p, simpleCtx());
+  EXPECT_EQ(plan.kind, Kind::ParallelLoop) << plan.reason;
+  EXPECT_EQ(plan.depth, 1u);
+  EXPECT_EQ(plan.frontier, nullptr);
+  EXPECT_EQ(plan.pairsProven, plan.pairsTotal);
+}
+
+TEST(ParallelPlan, UnprovenDisjointnessStaysSerial) {
+  using namespace fixfuse::ir;
+  // (1) A genuine loop-carried flow dependence: A(i) = A(i-1) * 0.5.
+  {
+    Program p;
+    p.params = {"N"};
+    p.declareArray("A", {add(iv("N"), ic(2))});
+    p.body = blockS(
+        {loopS("i", ic(1), iv("N"),
+               {aassign("A", {iv("i")},
+                        mul(load("A", {add(iv("i"), ic(-1))}), fc(0.5)))})});
+    ParallelPlan plan = deriveParallelPlan(p, simpleCtx());
+    EXPECT_EQ(plan.kind, Kind::Serial) << plan.str();
+    EXPECT_FALSE(plan.reason.empty());
+  }
+  // (2) A non-affine subscript: A(i*i). The polyhedral layer cannot
+  // model it, so the pair is unprovable and the safe answer is serial -
+  // even though the squares are in fact pairwise distinct.
+  {
+    Program p;
+    p.params = {"N"};
+    p.declareArray("A", {mul(add(iv("N"), ic(1)), add(iv("N"), ic(1)))});
+    p.body = blockS(
+        {loopS("i", ic(1), iv("N"),
+               {aassign("A", {mul(iv("i"), iv("i"))},
+                        add(load("A", {mul(iv("i"), iv("i"))}), fc(1.0)))})});
+    ParallelPlan plan = deriveParallelPlan(p, simpleCtx());
+    EXPECT_EQ(plan.kind, Kind::Serial) << plan.str();
+  }
+  // (3) A scalar reduction: s is read before written in every grain, so
+  // it is not privatizable and the nest must stay serial.
+  {
+    Program p;
+    p.params = {"N"};
+    p.declareArray("A", {add(iv("N"), ic(2))});
+    p.declareScalar("s", Type::Float);
+    p.body = blockS(
+        {sassign("s", fc(0.0)),
+         loopS("i", ic(1), iv("N"),
+               {sassign("s", add(sloadf("s"), load("A", {iv("i")}))),
+                aassign("A", {iv("i")}, sloadf("s"))})});
+    ParallelPlan plan = deriveParallelPlan(p, simpleCtx());
+    EXPECT_EQ(plan.kind, Kind::Serial) << plan.str();
+  }
+}
+
+TEST(ParallelPlan, WaveTableIsAValidSchedule) {
+  // Reference wave tables for the two parallel kernels: waveIds
+  // nondecreasing from 0, every row binding grainDepth vals, and within
+  // a wave the grain tuples strictly ascending (deterministic order).
+  for (const char* name : {"cholesky", "jacobi"}) {
+    const bool jac = std::string(name) == "jacobi";
+    kernels::KernelBundle b = kernels::buildKernel(name, {8});
+    ParallelPlan plan =
+        deriveParallelPlan(b.tiled, kernels::kernelContext(jac));
+    ASSERT_TRUE(plan.legal()) << name << ": " << plan.reason;
+    std::map<std::string, std::int64_t> params{{"N", 24}};
+    if (jac) params["M"] = 5;
+    WaveTable wt = computeWaveTable(b.tiled, plan, params);
+    ASSERT_EQ(wt.grainDepth, plan.grainDepth()) << name;
+    const std::size_t stride = 1 + wt.grainDepth;
+    ASSERT_GT(wt.rowCount(), 0u) << name;
+    EXPECT_EQ(wt.rows.size(), wt.rowCount() * stride) << name;
+    EXPECT_EQ(wt.rows[0], 0) << name;  // first wave is wave 0
+    std::int64_t prevWave = 0;
+    for (std::size_t r = 1; r < wt.rowCount(); ++r) {
+      const std::int64_t w = wt.rows[r * stride];
+      EXPECT_GE(w, prevWave) << name << " row " << r;
+      EXPECT_LE(w, prevWave + 1) << name << " row " << r;  // no gaps
+      if (w == prevWave) {
+        // Same wave: strictly ascending grain tuples.
+        std::vector<std::int64_t> a(wt.rows.begin() + (r - 1) * stride + 1,
+                                    wt.rows.begin() + r * stride);
+        std::vector<std::int64_t> c(wt.rows.begin() + r * stride + 1,
+                                    wt.rows.begin() + (r + 1) * stride);
+        EXPECT_LT(a, c) << name << " row " << r;
+      }
+      prevWave = w;
+    }
+    EXPECT_EQ(wt.waveCount(), static_cast<std::size_t>(prevWave) + 1) << name;
+  }
+}
+
+TEST(ParallelPlan, EmittedWaveTableMatchesReference) {
+  // The compiled `<fn>_wave_table` symbol must reproduce the C++
+  // reference schedule exactly - same rows, same order - at every
+  // parameter binding.
+  SKIP_WITHOUT_HOST_CC();
+  for (const char* name : {"cholesky", "jacobi"}) {
+    const bool jac = std::string(name) == "jacobi";
+    kernels::KernelBundle b = kernels::buildKernel(name, {8});
+    ParallelPlan plan =
+        deriveParallelPlan(b.tiled, kernels::kernelContext(jac));
+    ASSERT_TRUE(plan.legal()) << name << ": " << plan.reason;
+    auto module = NativeModule::compileParallel(b.tiled, plan);
+    ASSERT_NE(module, nullptr) << name;
+    ASSERT_TRUE(module->parallel()) << name;
+    EXPECT_EQ(module->grainDepth(), plan.grainDepth()) << name;
+    for (std::int64_t n : {9, 16, 24}) {
+      std::map<std::string, std::int64_t> params{{"N", n}};
+      std::vector<std::int64_t> binding;
+      for (const auto& prm : b.tiled.params) {
+        if (params.count(prm) == 0) params[prm] = 4;  // Jacobi's M
+        binding.push_back(params[prm]);
+      }
+      WaveTable ref = computeWaveTable(b.tiled, plan, params);
+      std::vector<std::int64_t> got = module->waveTableRows(binding);
+      EXPECT_EQ(got, ref.rows) << name << " N=" << n;
+    }
+  }
+}
+
+TEST(ParallelExec, KernelsBitwiseEqualToSerialNative) {
+  SKIP_WITHOUT_HOST_CC();
+  for (const char* name : {"cholesky", "jacobi"}) {
+    const bool jac = std::string(name) == "jacobi";
+    kernels::KernelBundle b = kernels::buildKernel(name, {8});
+    ParallelPlan plan =
+        deriveParallelPlan(b.tiled, kernels::kernelContext(jac));
+    std::map<std::string, std::int64_t> params{{"N", 23}};
+    if (jac) params["M"] = 6;
+    kernels::native::Matrix a0 =
+        jac ? kernels::native::randomMatrix(23, 11, 0.5, 1.5)
+            : kernels::native::spdMatrix(23, 11);
+    auto init = [&a0](interp::Machine& m) {
+      if (m.hasArray("A")) m.array("A").data() = a0;
+    };
+    expectParallelMatchesSerial(b.tiled, plan, params, init, name);
+  }
+}
+
+TEST(ParallelExec, FuzzSystemsDifferentialAndSoundness) {
+  // The FixDeps fuzz corpus through the engine: every accepted system
+  // gets a parallel plan derived as part of its cached compile. Legal
+  // plans must execute bitwise-equal to serial native; systems whose
+  // disjointness the prover cannot establish must come back Serial.
+  SKIP_WITHOUT_HOST_CC();
+  engine::Engine eng(/*cacheBound=*/64);
+  std::size_t legal = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    tests::FuzzSystem fz = tests::randomSystem(seed);
+    std::optional<engine::CompiledProgram> cpOpt;
+    try {
+      cpOpt.emplace(eng.compileSystem(fz.sys));
+    } catch (const UnsupportedError&) {
+      continue;  // fixed-or-rejected-loudly: rejection is a sound answer
+    }
+    const engine::CompiledProgram& cp = *cpOpt;
+    const ParallelPlan& plan = cp.plan().tile.parallel;
+    if (!plan.legal()) {
+      EXPECT_FALSE(plan.reason.empty()) << "seed " << seed;
+      continue;
+    }
+    ++legal;
+    EXPECT_EQ(plan.pairsProven, plan.pairsTotal) << "seed " << seed;
+    auto init = [seed](interp::Machine& m) {
+      tests::initFuzzArrays(m, seed, 91, 16);
+    };
+    expectParallelMatchesSerial(cp.tiled(), plan, {{"N", 16}}, init,
+                                "fuzz seed " + std::to_string(seed));
+  }
+  // The corpus is deterministic: some seeds are provably disjoint and
+  // must stay that way (a prover regression would zero this out).
+  EXPECT_GE(legal, 2u);
+}
+
+TEST(ParallelExec, EngineRunNativeHonorsFixfuseParallel) {
+  // End to end through the engine front door: FIXFUSE_PARALLEL=N runs
+  // the cached program's wave schedule on N workers (verified), =0 runs
+  // serial native, and a serial-plan program under FIXFUSE_PARALLEL
+  // degrades to serial native rather than failing.
+  SKIP_WITHOUT_HOST_CC();
+  kernels::KernelBundle b = kernels::buildKernel("cholesky", {8});
+  engine::CompiledProgram cp = engine::processEngine().compile(
+      b.seq, kernels::kernelContext(false), {/*tile=*/8});
+  ASSERT_TRUE(cp.plan().tile.parallel.legal())
+      << cp.plan().tile.parallel.reason;
+  kernels::native::Matrix a0 = kernels::native::spdMatrix(20, 5);
+  auto init = [&a0](interp::Machine& m) { m.array("A").data() = a0; };
+
+  ::setenv("FIXFUSE_PARALLEL", "3", 1);
+  pipeline::NativeRunReport rp;
+  interp::Machine mp = cp.runNative({{"N", 20}}, init, &rp);
+  EXPECT_EQ(rp.backend, "parallel-native");
+  EXPECT_TRUE(rp.verified);
+  EXPECT_EQ(rp.workers, 3u);
+
+  ::setenv("FIXFUSE_PARALLEL", "0", 1);
+  pipeline::NativeRunReport rs;
+  interp::Machine ms = cp.runNative({{"N", 20}}, init, &rs);
+  EXPECT_EQ(rs.backend, "native");
+  EXPECT_TRUE(rs.verified);
+  std::string where;
+  EXPECT_TRUE(
+      interp::machineStateBitwiseEqual(cp.tiled(), mp, ms, &where))
+      << where;
+
+  // A serial plan under FIXFUSE_PARALLEL: graceful serial fallback.
+  ::setenv("FIXFUSE_PARALLEL", "3", 1);
+  kernels::KernelBundle lu = kernels::buildKernel("lu", {8});
+  engine::CompiledProgram cpLu = engine::processEngine().compile(
+      lu.seq, kernels::kernelContext(false), {/*tile=*/8});
+  ASSERT_FALSE(cpLu.plan().tile.parallel.legal());
+  kernels::native::Matrix l0 = kernels::native::randomMatrix(16, 3, 0.5, 1.5);
+  pipeline::NativeRunReport rl;
+  cpLu.runNative(
+      {{"N", 16}},
+      [&l0](interp::Machine& m) { m.array("A").data() = l0; }, &rl);
+  EXPECT_EQ(rl.backend, "native");
+  EXPECT_TRUE(rl.verified);
+  ::unsetenv("FIXFUSE_PARALLEL");
+}
+
+}  // namespace
+}  // namespace fixfuse::codegen

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "codegen/module_cache.h"
+#include "codegen/parallel.h"
 #include "support/env.h"
 
 namespace fixfuse::support {
@@ -125,6 +126,46 @@ TEST(Env, EngineCacheBoundParsesStrictPositiveInt) {
     EXPECT_EQ(::testing::internal::GetCapturedStderr(), "") << v;
   }
   ::unsetenv("FIXFUSE_ENGINE_CACHE");
+}
+
+TEST(Env, ParallelWorkersParsesStrictPositiveInt) {
+  // FIXFUSE_PARALLEL: unset and the literal "0" mean serial, silently;
+  // everything else goes through the strict positiveInt path (bounded,
+  // complete parse, no whitespace or sign). Valid values first - the
+  // invalid-value warning below is once-per-var for the process.
+  ::unsetenv("FIXFUSE_PARALLEL");
+  EXPECT_EQ(codegen::parallelWorkersFromEnv(), 0u);
+  ::setenv("FIXFUSE_PARALLEL", "0", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(codegen::parallelWorkersFromEnv(), 0u);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");  // "0" is silent
+  ::setenv("FIXFUSE_PARALLEL", "1", 1);
+  EXPECT_EQ(codegen::parallelWorkersFromEnv(), 1u);
+  ::setenv("FIXFUSE_PARALLEL", "2", 1);
+  EXPECT_EQ(codegen::parallelWorkersFromEnv(), 2u);
+  ::setenv("FIXFUSE_PARALLEL", "1024", 1);  // the max
+  EXPECT_EQ(codegen::parallelWorkersFromEnv(), 1024u);
+
+  // Malformed: warn once with the uniform format, fall back to serial.
+  ::setenv("FIXFUSE_PARALLEL", "1025", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(codegen::parallelWorkersFromEnv(), 0u);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(),
+            "warning: unrecognized FIXFUSE_PARALLEL value '1025' "
+            "(expected a worker count in [0, 1024]); "
+            "running the native backend serially\n");
+
+  // Whitespace, signs, partial parses and overflow are all rejected the
+  // same way; repeats of the same variable are silent (once per var).
+  for (const char* v : {" 2", "2 ", "+2", "-2", "2x", "0x2",
+                        "99999999999999999999", "all", ""}) {
+    ::setenv("FIXFUSE_PARALLEL", v, 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(codegen::parallelWorkersFromEnv(), 0u) << "'" << v << "'";
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "")
+        << "'" << v << "'";
+  }
+  ::unsetenv("FIXFUSE_PARALLEL");
 }
 
 TEST(Env, WarnInvalidOncePerVarSuppressesRepeats) {

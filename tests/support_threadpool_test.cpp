@@ -45,6 +45,62 @@ TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
 }
 
+TEST(ParallelForWave, RunsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{7}, std::size_t{100}}) {
+      std::vector<std::atomic<int>> hits(count);
+      for (auto& h : hits) h = 0;
+      pool.parallelForWave(count, [&](std::size_t i) { ++hits[i]; });
+      for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(hits[i].load(), 1)
+            << "threads=" << threads << " count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForWave, IsABarrierAndReusable) {
+  // Returning from parallelForWave means every index finished - a second
+  // wave over the same pool must observe all of the first wave's writes.
+  ThreadPool pool(4);
+  std::vector<int> data(64, 0);
+  pool.parallelForWave(data.size(), [&](std::size_t i) { data[i] = 1; });
+  for (int v : data) EXPECT_EQ(v, 1);
+  pool.parallelForWave(data.size(), [&](std::size_t i) { data[i] += 1; });
+  for (int v : data) EXPECT_EQ(v, 2);
+}
+
+TEST(ParallelForWave, RethrowsLowestFailingIndexAfterAttemptingAll) {
+  // Deterministic error reporting: whatever the scheduling, the caller
+  // sees the exception from the lowest index that threw, and every index
+  // was still attempted (no silent holes in a wave).
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(50);
+    for (auto& h : hits) h = 0;
+    try {
+      pool.parallelForWave(hits.size(), [&](std::size_t i) {
+        ++hits[i];
+        if (i == 31 || i == 7 || i == 44)
+          throw std::runtime_error("grain " + std::to_string(i));
+      });
+      FAIL() << "expected the wave to rethrow (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "grain 7") << "threads=" << threads;
+    }
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+  }
+}
+
+TEST(ParallelForWave, CountBeyondPoolSizeCompletes) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallelForWave(1000, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), std::size_t{1000} * 999 / 2);
+}
+
 TEST(ParallelMapOrdered, ResultsInIndexOrderForAnyThreadCount) {
   auto square = [](std::size_t i) { return i * i; };
   std::vector<std::size_t> expected(57);
