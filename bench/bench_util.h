@@ -222,12 +222,23 @@ class BenchReport {
     parallel_.set(key, std::move(v));
   }
 
+  /// Fields for the top-level `sparse` section (schema v9): the
+  /// inspector-executor over the gathered SpMM-SpMM chain - proof
+  /// tallies from deps::inspectFusion (deterministic), simulated cache
+  /// misses of the unfused vs inspector-fused schedules (deterministic)
+  /// and the bitwise fused-vs-unfused verification verdict. Written only
+  /// when a bench sets at least one field (microbench does).
+  void setSparse(const std::string& key, support::Json v) {
+    if (sparse_.isNull()) sparse_ = support::Json::object();
+    sparse_.set(key, std::move(v));
+  }
+
   /// Write the report when requested; returns the path written to.
   std::optional<std::string> write() {
     if (!path_) return std::nullopt;
     support::Json doc = support::Json::object();
     doc.set("bench", name_);
-    doc.set("schema_version", std::int64_t{8});
+    doc.set("schema_version", std::int64_t{9});
     doc.set("full_sweep", fullRuns());
     doc.set("threads", static_cast<std::int64_t>(sweepThreads()));
     // Environment knobs that shape execution (schema v8). Both are
@@ -247,6 +258,7 @@ class BenchReport {
     if (!planner_.isNull()) doc.set("planner", std::move(planner_));
     if (!engine_.isNull()) doc.set("engine", std::move(engine_));
     if (!parallel_.isNull()) doc.set("parallel", std::move(parallel_));
+    if (!sparse_.isNull()) doc.set("sparse", std::move(sparse_));
     doc.set("wall_seconds", now() - start_);
     std::FILE* f = std::fopen(path_->c_str(), "w");
     if (!f) {
@@ -281,6 +293,7 @@ class BenchReport {
   support::Json planner_;   // null unless setPlanner was called (schema v6)
   support::Json engine_;    // null unless setEngine was called (schema v7)
   support::Json parallel_;  // null unless setParallel was called (schema v8)
+  support::Json sparse_;    // null unless setSparse was called (schema v9)
 };
 
 /// Run fn(i) for each sweep point on the worker pool, then emit the rows

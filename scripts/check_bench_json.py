@@ -28,9 +28,11 @@ that was generated from a failing run):
               true with exact warm/eviction plan-cache counters,
               parallel.pass true with the Cholesky/Jacobi wavefront
               plans legal, every traffic ratio >= the Dinh-Demmel
-              lower bound, and parallel-native >= cores/2 vs serial
+              lower bound, parallel-native >= cores/2 vs serial
               native on paper-scale Cholesky (every parallel run
-              self-verified).
+              self-verified), and sparse.pass true with the inspector
+              fusion proved, the fused schedule bit-for-bit equal to
+              the unfused one and strictly fewer simulated L1 misses.
   table1_capability: every kernel handled.
   ablation_fixdeps:  every post-FixDeps error norm exactly 0.
 
@@ -169,6 +171,20 @@ def gate_microbench(doc, errors, allow_no_native):
     elif not allow_no_native:
         fail(errors, "parallel.cholesky_speedup.available is false; "
                      "pass --allow-no-native on compiler-less runners")
+    sparse = doc.get("sparse", {})
+    if sparse.get("pass") is not True:
+        fail(errors, "sparse.pass is not true")
+    if sparse.get("inspector", {}).get("fusable") is not True:
+        fail(errors, "sparse.inspector.fusable is not true "
+                     "(inspector proof lost)")
+    if sparse.get("verified") is not True:
+        fail(errors, "sparse.verified is not true (fused schedule not "
+                     "bit-for-bit equal to unfused)")
+    unfused = sparse.get("unfused", {}).get("l1_misses", 0)
+    fused = sparse.get("fused", {}).get("l1_misses", 0)
+    if not fused < unfused:
+        fail(errors, f"sparse fused l1_misses {fused} not below "
+                     f"unfused {unfused} (fusion locality win lost)")
 
 
 def gate_table1(doc, errors):
@@ -238,13 +254,23 @@ def main():
                          "(runners without a host C compiler)")
     args = ap.parse_args()
 
+    # A missing or empty fresh directory is an environment/setup error
+    # (wrong path, benches never ran), not a "no drift" pass - fail it
+    # loudly in both modes before touching any baseline.
+    if not args.fresh_dir.is_dir():
+        print(f"error: fresh report directory {args.fresh_dir} does not "
+              "exist (run the benches with FIXFUSE_JSON=<dir> first)",
+              file=sys.stderr)
+        return 1
+    fresh_names = sorted(p.name for p in args.fresh_dir.glob("BENCH_*.json"))
+    if not fresh_names:
+        print(f"error: no BENCH_*.json in {args.fresh_dir} (run the "
+              "benches with FIXFUSE_JSON=<dir> first)", file=sys.stderr)
+        return 1
+
     if args.update:
         args.baselines.mkdir(parents=True, exist_ok=True)
-        names = sorted(p.name for p in args.fresh_dir.glob("BENCH_*.json"))
-        if not names:
-            print(f"error: no BENCH_*.json in {args.fresh_dir}",
-                  file=sys.stderr)
-            return 1
+        names = fresh_names
         for name in names:
             doc = prune(json.loads((args.fresh_dir / name).read_text()))
             out = args.baselines / name
@@ -253,6 +279,10 @@ def main():
             print(f"updated {out}")
         return 0
 
+    if not args.baselines.is_dir():
+        print(f"error: baseline directory {args.baselines} does not exist",
+              file=sys.stderr)
+        return 1
     baselines = sorted(args.baselines.glob("BENCH_*.json"))
     if not baselines:
         print(f"error: no baselines in {args.baselines}", file=sys.stderr)
@@ -265,6 +295,15 @@ def main():
         for e in errors:
             print(f"  {e}")
         rc |= bool(errors)
+    # A fresh report with no committed baseline would otherwise pass
+    # silently forever - a new bench must commit its baseline (--update).
+    baseline_names = {p.name for p in baselines}
+    for name in fresh_names:
+        if name not in baseline_names:
+            print(f"{name}: FAIL")
+            print(f"  no baseline {args.baselines / name} (new bench? "
+                  "rerun with --update and commit it)")
+            rc = 1
     return rc
 
 

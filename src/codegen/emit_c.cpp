@@ -378,6 +378,16 @@ class Emitter {
         s << ")";
         break;
       }
+      case ExprKind::IdxLoad: {
+        // Index arrays are stored as doubles holding integral values;
+        // the gather truncates toward zero exactly like the interpreter's
+        // static_cast<long long>, so all three backends agree bit-for-bit.
+        s << "((long)" << e.name() << "_AT(";
+        for (std::size_t d = 0; d < e.indices().size(); ++d)
+          s << (d ? ", " : "") << emitExpr(*e.indices()[d]);
+        s << "))";
+        break;
+      }
       case ExprKind::Call:
         s << (e.callFn() == CallFn::Sqrt ? "sqrt" : "fabs") << "("
           << emitExpr(*e.operand()) << ")";

@@ -124,6 +124,7 @@ bool exprLoadsScalar(const Expr& e, const std::string& s) {
     case ExprKind::BoolNot:
       return exprLoadsScalar(*e.operand(), s);
     case ExprKind::ArrayLoad:
+    case ExprKind::IdxLoad:
       for (const auto& ix : e.indices())
         if (exprLoadsScalar(*ix, s)) return true;
       return false;
@@ -265,6 +266,7 @@ struct AccessCollector {
   void collectReads(const Expr& e) {
     switch (e.kind()) {
       case ExprKind::ArrayLoad:
+      case ExprKind::IdxLoad:
         record(e.name(), e.indices(), /*write=*/false);
         for (const auto& ix : e.indices()) collectReads(*ix);
         return;
@@ -837,6 +839,7 @@ ParallelPlan deriveParallelPlan(const ir::Program& p,
 
   // --- profitability: grains per wave at a clamped sample binding -----------
   const std::map<std::string, std::int64_t> binding = scoringBinding(ctx);
+  const double threshold = parallelThresholdFromEnv();
   Candidate* best = nullptr;
   for (Candidate& c : legal) {
     ParallelPlan trial;
@@ -851,7 +854,7 @@ ParallelPlan deriveParallelPlan(const ir::Program& p,
     } catch (const Error&) {
       continue;  // unevaluable / oversized at the sample binding
     }
-    if (c.score <= 1.05) continue;  // not profitably parallel
+    if (c.score <= threshold) continue;  // not profitably parallel
     if (!best || c.score > best->score) best = &c;
   }
   if (!best) {
@@ -873,6 +876,13 @@ ParallelPlan deriveParallelPlan(const ir::Program& p,
                 (plan.frontier ? " beyond frontier " + plan.frontier->str()
                                : std::string());
   return plan;
+}
+
+double parallelThresholdFromEnv() {
+  return support::env::positiveDouble(
+      "FIXFUSE_PARALLEL_THRESHOLD", /*max=*/1024.0, /*fallback=*/1.05,
+      "a positive decimal <= 1024 (e.g. 1.05)",
+      "using the default profitability threshold 1.05");
 }
 
 unsigned parallelWorkersFromEnv() {

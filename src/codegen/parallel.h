@@ -118,4 +118,12 @@ WaveTable computeWaveTable(const ir::Program& p, const ParallelPlan& plan,
 /// per process and run serial).
 unsigned parallelWorkersFromEnv();
 
+/// Profitability bar for deriveParallelPlan: a candidate whose
+/// grains-per-wave score at the sample binding is <= this threshold
+/// stays Serial. FIXFUSE_PARALLEL_THRESHOLD, strict positive decimal
+/// <= 1024 via support::env::positiveDouble (default 1.05; malformed
+/// values warn once per process and use the default). Read fresh on
+/// every call, so tests and long-lived processes can retune it.
+double parallelThresholdFromEnv();
+
 }  // namespace fixfuse::codegen

@@ -266,6 +266,11 @@ ExprPtr redirectExpr(const ExprPtr& e, const ReadRedirect& r) {
       ExprPtr hload = Expr::arrayLoad(r.copyArray, idx);
       return r.cond ? ir::selectE(r.cond, hload, base) : hload;
     }
+    case ExprKind::IdxLoad:
+      // Index arrays are read-only, so a gather is never itself a
+      // redirect target; its Int subscripts may still read a redirected
+      // Int scalar.
+      return Expr::idxLoad(e->symbol(), redirectAll(e->indices(), r));
     case ExprKind::Binary:
       return Expr::binary(e->binOp(), redirectExpr(e->lhs(), r),
                           redirectExpr(e->rhs(), r));

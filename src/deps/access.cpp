@@ -104,7 +104,13 @@ class Collector {
     // Reads inside the rhs and inside the lhs subscripts.
     auto visitReads = [&](const Expr& root) {
       ir::forEachExprIn(root, [&](const Expr& e) {
-        if (e.kind() == ExprKind::ArrayLoad) {
+        if (e.kind() == ExprKind::ArrayLoad ||
+            e.kind() == ExprKind::IdxLoad) {
+          // IdxLoad: the gather *read of the index array itself* is
+          // recorded like any array read (index arrays are read-only, so
+          // it can never pair with a write); any subscript *containing*
+          // an indirection already collapsed to Subscript::any() via
+          // toAffine, which is the conservative treatment.
           Access r;
           r.name = e.name();
           r.sym = e.symbol();

@@ -1,0 +1,100 @@
+// Inspector-executor for indirect (gathered) accesses.
+//
+// The polyhedral layer cannot reason about a subscript like col[i][k]:
+// ir::toAffine returns nullopt, deps::collectAccesses collapses it to
+// Subscript::any(), and every cross-nest dependence test conservatively
+// answers "may depend" - which is sound but forbids fusing any sparse
+// kernel chain (SpMM-SpMM, Gauss-Seidel sweeps) even when the concrete
+// sparsity pattern makes the fusion legal.
+//
+// The inspector closes that gap the way runtime sparse-fusion systems
+// do (sparse polyhedral framework / Sympiler-style inspection): index
+// arrays are *read-only* inside a program (ir::validate rejects stores),
+// so once the caller binds their runtime contents - InspectorBindings,
+// the same bindings that key the engine cache - the subscripts become
+// compile-time constants. inspectFusion then *materialises the concrete
+// cross-nest dependence set* between adjacent top-level nests by
+// enumerating every gathered read and checking its source row against
+// the fused schedule, producing a proof of fusion legality the
+// polyhedral layer cannot: exact, per-element, for this index data.
+//
+// The discipline stays sound-in-the-safe-direction: every structural
+// precondition is checked and anything the inspector cannot evaluate
+// concretely (scalar-dependent subscripts, float-guarded reads it
+// cannot bound) rejects the fusion with a reason - never an unsound
+// "fusable". The executor half (fuseTopLevelNests) is wrapped as a
+// semantics-preserving pipeline::Pass, so the interpreter additionally
+// verifies every inspected fusion bit-for-bit against the unfused
+// schedule before it is ever trusted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/fingerprint.h"
+#include "ir/stmt.h"
+
+namespace fixfuse::deps {
+
+/// Runtime constants the inspector executes against: integer parameter
+/// bindings plus the concrete contents of every index array, linearised
+/// in storage order (column-major, first subscript fastest - the same
+/// layout interp::ArrayStorage uses). Part of the engine cache key:
+/// two compiles differing only in index-array contents must not share
+/// a fused plan, because the legality proof is per-element.
+struct InspectorBindings {
+  std::map<std::string, std::int64_t> params;
+  std::map<std::string, std::vector<std::int64_t>> indexArrays;
+
+  bool empty() const { return params.empty() && indexArrays.empty(); }
+
+  /// Append the full bindings to a cache key, fingerprint-discipline:
+  /// every parameter and every index-array element verbatim (full-tuple
+  /// equality, never a trusted hash digest).
+  void appendFingerprint(ir::Fingerprint& fp) const;
+};
+
+/// Outcome of one inspection: the legality verdict, a deterministic
+/// human-readable reason (proof summary or first violation), and the
+/// proof-size tallies surfaced in the bench JSON `sparse` section.
+struct InspectionReport {
+  bool fusable = false;
+  std::string reason;
+  std::size_t nests = 0;        // top-level nests examined
+  std::size_t flowArrays = 0;   // arrays carrying cross-nest flow deps
+  std::size_t readsChecked = 0; // concrete gathered reads evaluated
+  std::size_t violations = 0;   // reads whose source row runs too late
+};
+
+/// True when any expression in `p` is an IdxLoad gather - the condition
+/// under which the planner must route through the inspector (the affine
+/// strategies would be conservatively wrong about legality).
+bool hasIndirectAccess(const ir::Program& p);
+
+/// Prove (or refute) that the top-level nests of `p` can be fused into
+/// one loop, under the concrete `b`. Requirements checked structurally:
+/// body is a Block of >= 2 Loops over the same variable with identical
+/// (hash-consed) bounds; no scalar is accessed by more than one nest;
+/// a later nest never writes an array an earlier nest touches; every
+/// cross-nest flow array is written with its first subscript exactly
+/// the outer loop variable. The flow legality itself is decided by
+/// enumeration: every read of a flow array in a consumer nest has its
+/// first subscript evaluated for every executed iteration, and the
+/// fusion is legal iff each such source row r satisfies r <= i (the
+/// consumer's outer iteration) or r > ub (never written). Never throws
+/// for "not fusable" - that is a report with a reason; throws
+/// support::UnsupportedError only for malformed inputs (unbound
+/// parameter / missing or mis-sized index-array binding).
+InspectionReport inspectFusion(const ir::Program& p,
+                               const InspectorBindings& b);
+
+/// The executor transform: merge the top-level nests of `p` (shape as
+/// checked by inspectFusion) into a single loop whose body runs each
+/// nest's body in original order per iteration. Purely structural - the
+/// legality must come from inspectFusion; pipeline::inspectorFusePass
+/// composes the two and the verifier bit-compares the result.
+ir::Program fuseTopLevelNests(const ir::Program& p);
+
+}  // namespace fixfuse::deps

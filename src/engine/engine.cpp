@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -59,6 +60,18 @@ void appendOptions(ir::Fingerprint& fp, const CompileOptions& opts) {
   fp.push_back(opts.planner.scalarizeTemps ? 1 : 0);
   fp.push_back(static_cast<std::uint64_t>(opts.planner.l1Bytes));
   appendParamSets(fp, opts.planner.trialParams);
+  // Inspector bindings are semantics-affecting in the strongest sense:
+  // the fusion-legality proof is per index-array element, so the full
+  // contents go into the key (same full-tuple discipline as the rest).
+  opts.planner.inspector.appendFingerprint(fp);
+  // The profitability threshold steers deriveParallelPlan, whose result
+  // is cached in the entry (and keys the module cache); compiles under
+  // different FIXFUSE_PARALLEL_THRESHOLD must not share an entry.
+  const double threshold = codegen::parallelThresholdFromEnv();
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(threshold));
+  std::memcpy(&bits, &threshold, sizeof(bits));
+  fp.push_back(bits);
 }
 
 /// The planned tiling as passes, exactly as the kernel drivers used to
@@ -137,7 +150,10 @@ CompiledProgram Engine::compile(const ir::Program& p,
         planner::addPlannedPasses(pm, e->plan, {&e->fused, &e->fixed});
         pipeline::PipelineState st = pm.run(p);
         e->fixLog = std::move(st.fixLog);
-        e->system = std::move(*st.system);
+        // Inspector pipelines never build a nest system (the fusion is
+        // proved concretely, not polyhedrally); the entry keeps an
+        // empty one.
+        if (st.system.has_value()) e->system = std::move(*st.system);
         e->stats = pm.stats();
         if (opts.tile > 0 &&
             e->plan.tile.kind != planner::TilePlan::Kind::None) {

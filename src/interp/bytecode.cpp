@@ -295,6 +295,22 @@ class Compiler {
       case ExprKind::ScalarLoad:
         emit({Op::LdIntScalar, 0, dst, 0, 0, intSlot(e.symbol()), 0});
         return;
+      case ExprKind::IdxLoad: {
+        // Gather: always a generic site (an indirection is never affine).
+        // Same post-order event shape as the tree walker: index exprs
+        // first (their Binary intOps interleave), then intOps(rank) and
+        // the load at the gathered address.
+        const SpSave sp = saveSp();
+        const auto rank = static_cast<std::uint8_t>(e.indices().size());
+        const std::uint16_t base = allocInt(rank);
+        for (std::size_t j = 0; j < e.indices().size(); ++j)
+          compileIntInto(*e.indices()[j],
+                         static_cast<std::uint16_t>(base + j));
+        emit({Op::GenLoadInt, rank, dst, base, 0,
+              static_cast<std::int32_t>(genSite(e.name())), 0});
+        restoreSp(sp);
+        return;
+      }
       case ExprKind::Binary: {
         FIXFUSE_CHECK(e.binOp() != BinOp::Div, "int binop");
         const std::uint16_t l = compileIntValue(*e.lhs());
@@ -842,6 +858,21 @@ void runImpl(const CompiledProgram& cp, Em& em, SiteState& sites) {
           em.load(g.array->base() +
                   static_cast<std::uint64_t>(lin) * sizeof(double));
         fregs[I.a] = g.array->data()[lin];
+        ++pc;
+        break;
+      }
+      case Op::GenLoadInt: {
+        const GenSite& g = cp.genSites[static_cast<std::size_t>(I.aux)];
+        idxScratch.clear();
+        for (std::size_t j = 0; j < I.sub; ++j)
+          idxScratch.push_back(iregs[I.b + j]);
+        em.intOps(I.sub);
+        const std::size_t lin = g.array->linearIndex(idxScratch);
+        if constexpr (Em::kActive)
+          em.load(g.array->base() +
+                  static_cast<std::uint64_t>(lin) * sizeof(double));
+        iregs[I.a] =
+            static_cast<std::int64_t>(g.array->data()[lin]);
         ++pc;
         break;
       }

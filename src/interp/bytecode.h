@@ -70,6 +70,7 @@ enum class Op : std::uint8_t {
   AffLoad,      // freg[a] = strength-reduced affine load of site aux
   AffStore,     // affine store of freg[a] to site aux
   GenLoad,      // freg[a] = load, indices in iregs[b .. b+sub)
+  GenLoadInt,   // ireg[a] = (int64)load (IdxLoad gather), same event shape
   GenStore,     // store freg[a], indices in iregs[b .. b+sub)
   // Loops (aux = loop id, imm = jump target).
   LoopEnter,    // reset site accumulators; if var > ub jump to exit

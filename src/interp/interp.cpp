@@ -136,6 +136,22 @@ std::int64_t Interpreter::evalInt(const Expr& e) {
     }
     case ExprKind::ScalarLoad:
       return machine_.intScalar(e.name());
+    case ExprKind::IdxLoad: {
+      // Gather from an index array (stored as doubles holding integral
+      // values; truncation cast matches bytecode and emitC's `(long)`).
+      // Local index buffer: a gather may sit inside an ArrayLoad
+      // subscript that is mid-way through filling idxScratch_.
+      const auto& idxExprs = e.indices();
+      std::vector<std::int64_t> idx;
+      idx.reserve(idxExprs.size());
+      for (const auto& ie : idxExprs) idx.push_back(evalInt(*ie));
+      const ArrayStorage& st = machine_.array(e.name());
+      if (obs_) {
+        emitIntOps(idxExprs.size());  // address computation
+        emitLoad(st.addrOf(idx));
+      }
+      return static_cast<std::int64_t>(st.get(idx));
+    }
     case ExprKind::Binary: {
       std::int64_t l = evalInt(*e.lhs());
       std::int64_t r = evalInt(*e.rhs());

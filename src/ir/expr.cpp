@@ -137,7 +137,7 @@ double Expr::floatValue() const {
 }
 Symbol Expr::symbol() const {
   FIXFUSE_CHECK(kind_ == ExprKind::VarRef || kind_ == ExprKind::ScalarLoad ||
-                    kind_ == ExprKind::ArrayLoad,
+                    kind_ == ExprKind::ArrayLoad || kind_ == ExprKind::IdxLoad,
                 "node has no name");
   return sym_;
 }
@@ -182,7 +182,8 @@ const ExprPtr& Expr::operand() const {
   return operand_;
 }
 const std::vector<ExprPtr>& Expr::indices() const {
-  FIXFUSE_CHECK(kind_ == ExprKind::ArrayLoad, "not an ArrayLoad");
+  FIXFUSE_CHECK(kind_ == ExprKind::ArrayLoad || kind_ == ExprKind::IdxLoad,
+                "not an ArrayLoad/IdxLoad");
   return indices_;
 }
 
@@ -265,6 +266,27 @@ ExprPtr Expr::arrayLoad(Symbol array, std::vector<ExprPtr> indices) {
 
 ExprPtr Expr::arrayLoad(std::string array, std::vector<ExprPtr> indices) {
   return arrayLoad(Context::intern(array), std::move(indices));
+}
+
+ExprPtr Expr::idxLoad(Symbol array, std::vector<ExprPtr> indices) {
+  FIXFUSE_CHECK(array.valid(), "IdxLoad of invalid symbol");
+  FIXFUSE_CHECK(!indices.empty(), "IdxLoad without indices");
+  for (const auto& i : indices)
+    FIXFUSE_CHECK(i && i->type() == Type::Int, "non-Int index-array subscript");
+  ConsKey k;
+  k.push(tagOf(ExprKind::IdxLoad, Type::Int));
+  k.push(array.id());
+  for (const auto& i : indices) k.push(childWord(i));
+  return arena().getOrMake(k, [&] {
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::IdxLoad, Type::Int));
+    e->sym_ = array;
+    e->indices_ = std::move(indices);
+    return e;
+  });
+}
+
+ExprPtr Expr::idxLoad(std::string array, std::vector<ExprPtr> indices) {
+  return idxLoad(Context::intern(array), std::move(indices));
 }
 
 ExprPtr Expr::scalarLoad(Symbol name, Type t) {
@@ -382,7 +404,8 @@ std::string Expr::str() const {
         os << "(" << lhs_->str() << " " << binOpName(binOp_) << " "
            << rhs_->str() << ")";
       break;
-    case ExprKind::ArrayLoad: {
+    case ExprKind::ArrayLoad:
+    case ExprKind::IdxLoad: {
       os << name();
       for (const auto& i : indices_) os << "[" << i->str() << "]";
       break;
@@ -444,6 +467,9 @@ ExprPtr imax(ExprPtr a, ExprPtr b) {
 
 ExprPtr load(const std::string& array, std::vector<ExprPtr> indices) {
   return Expr::arrayLoad(array, std::move(indices));
+}
+ExprPtr iload(const std::string& array, std::vector<ExprPtr> indices) {
+  return Expr::idxLoad(array, std::move(indices));
 }
 ExprPtr sloadf(const std::string& name) {
   return Expr::scalarLoad(name, Type::Float);

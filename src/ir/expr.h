@@ -33,6 +33,7 @@ enum class ExprKind {
   VarRef,      // loop variable or integer parameter (N, M, ...)
   Binary,      // arithmetic on two operands of equal type
   ArrayLoad,   // A[i_1]...[i_d] (double elements)
+  IdxLoad,     // idx[i_1]...[i_d]: gather from an integer index array -> Int
   ScalarLoad,  // named scalar, Int (e.g. pivot row m) or Float (temp, norm)
   Call,        // sqrt | fabs, one double argument
   Compare,     // ==, !=, <, <=, >, >= on Int or Float operands -> Bool
@@ -77,7 +78,7 @@ class Expr {
   const ExprPtr& rhs() const;
   const ExprPtr& operand() const;        // Call / BoolNot
   const ExprPtr& selectCond() const;     // Select
-  const std::vector<ExprPtr>& indices() const;  // ArrayLoad
+  const std::vector<ExprPtr>& indices() const;  // ArrayLoad / IdxLoad
 
   std::string str() const;
 
@@ -89,6 +90,8 @@ class Expr {
   static ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r);
   static ExprPtr arrayLoad(std::string array, std::vector<ExprPtr> indices);
   static ExprPtr arrayLoad(Symbol array, std::vector<ExprPtr> indices);
+  static ExprPtr idxLoad(std::string array, std::vector<ExprPtr> indices);
+  static ExprPtr idxLoad(Symbol array, std::vector<ExprPtr> indices);
   static ExprPtr scalarLoad(std::string name, Type t);
   static ExprPtr scalarLoad(Symbol name, Type t);
   static ExprPtr call(CallFn fn, ExprPtr arg);
@@ -130,6 +133,7 @@ ExprPtr imin(ExprPtr a, ExprPtr b);
 ExprPtr imax(ExprPtr a, ExprPtr b);
 
 ExprPtr load(const std::string& array, std::vector<ExprPtr> indices);
+ExprPtr iload(const std::string& array, std::vector<ExprPtr> indices);
 ExprPtr sloadf(const std::string& name);  // Float scalar
 ExprPtr sloadi(const std::string& name);  // Int scalar
 

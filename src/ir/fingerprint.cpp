@@ -49,6 +49,7 @@ void appendFingerprint(Fingerprint& fp, const Program& p) {
   fp.push_back(p.arrays.size());
   for (const auto& a : p.arrays) {
     fp.push_back(Context::intern(a.name).id());
+    fp.push_back(static_cast<std::uint64_t>(a.elem));
     fp.push_back(a.extents.size());
     for (const auto& e : a.extents) fpExpr(fp, e);
   }

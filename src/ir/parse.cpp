@@ -164,18 +164,14 @@ class Parser {
     expect(Tok::RParen);
     expect(Tok::LBrace);
     program_ = &p;  // array extents may reference the parameters
-    // Declarations: `double NAME[...]...;`, `double NAME;`, `long NAME;`.
+    // Declarations: `double NAME[...]...;`, `double NAME;`, `long NAME;`,
+    // and `long NAME[...]...;` (read-only index array for gathers).
     while (lex_.peek().kind == Tok::Ident &&
            (lex_.peek().text == "double" || lex_.peek().text == "long")) {
       std::string ty = lex_.next().text;
       std::string name = expectAnyIdent();
-      if (ty == "long") {
-        p.declareScalar(name, Type::Int);
-        expect(Tok::Semi);
-        continue;
-      }
       if (lex_.peek().kind != Tok::LBracket) {
-        p.declareScalar(name, Type::Float);
+        p.declareScalar(name, ty == "long" ? Type::Int : Type::Float);
         expect(Tok::Semi);
         continue;
       }
@@ -185,7 +181,10 @@ class Parser {
         extents.push_back(coerceInt(parseExpr(0), "array extent"));
         expect(Tok::RBracket);
       }
-      p.declareArray(name, std::move(extents));
+      if (ty == "long")
+        p.declareIndexArray(name, std::move(extents));
+      else
+        p.declareArray(name, std::move(extents));
       expect(Tok::Semi);
     }
     std::vector<StmtPtr> body;
@@ -397,7 +396,8 @@ class Parser {
           expect(Tok::RParen);
           return name == "sqrt" ? sqrtE(std::move(a)) : fabsE(std::move(a));
         }
-        // Array load?
+        // Array load (value array -> Float ArrayLoad, index array -> Int
+        // IdxLoad gather)?
         if (lex_.peek().kind == Tok::LBracket) {
           if (!program_->hasArray(name))
             throw ParseError("load from undeclared array " + name);
@@ -407,6 +407,8 @@ class Parser {
             idx.push_back(coerceInt(parseExpr(0), "subscript"));
             expect(Tok::RBracket);
           }
+          if (program_->array(name).isIndexArray())
+            return iload(name, std::move(idx));
           return load(name, std::move(idx));
         }
         // Scalar, loop var or parameter.

@@ -50,7 +50,7 @@ std::string printProgram(const Program& p) {
   }
   os << ") {\n";
   for (const auto& a : p.arrays) {
-    os << "  double " << a.name;
+    os << "  " << (a.elem == Type::Int ? "long" : "double") << " " << a.name;
     for (const auto& e : a.extents) os << "[" << e->str() << "]";
     os << ";\n";
   }

@@ -81,7 +81,8 @@ ExprPtr substituteVars(const ExprPtr& e, const SymSubst& subst) {
       if (l == e->lhs() && r == e->rhs()) return e;
       return Expr::binary(e->binOp(), std::move(l), std::move(r));
     }
-    case ExprKind::ArrayLoad: {
+    case ExprKind::ArrayLoad:
+    case ExprKind::IdxLoad: {
       std::vector<ExprPtr> idx;
       bool changed = false;
       idx.reserve(e->indices().size());
@@ -90,7 +91,9 @@ ExprPtr substituteVars(const ExprPtr& e, const SymSubst& subst) {
         changed |= idx.back() != i;
       }
       if (!changed) return e;
-      return Expr::arrayLoad(e->symbol(), std::move(idx));
+      return e->kind() == ExprKind::ArrayLoad
+                 ? Expr::arrayLoad(e->symbol(), std::move(idx))
+                 : Expr::idxLoad(e->symbol(), std::move(idx));
     }
     case ExprKind::Call: {
       auto a = substituteVars(e->operand(), subst);
@@ -193,6 +196,7 @@ void forEachExprIn(const Expr& e, const std::function<void(const Expr&)>& fn) {
       forEachExprIn(*e.rhs(), fn);
       return;
     case ExprKind::ArrayLoad:
+    case ExprKind::IdxLoad:
       for (const auto& i : e.indices()) forEachExprIn(*i, fn);
       return;
     case ExprKind::Call:
@@ -241,6 +245,16 @@ ExprPtr simplify(const ExprPtr& e) {
     case Type::Int: {
       // Affine canonicalisation subsumes constant folding for +,-,*.
       if (auto a = toAffine(*e)) return fromAffine(*a);
+      if (e->kind() == ExprKind::IdxLoad) {
+        std::vector<ExprPtr> idx;
+        bool changed = false;
+        for (const auto& i : e->indices()) {
+          idx.push_back(simplify(i));
+          changed |= idx.back() != i;
+        }
+        if (changed) return Expr::idxLoad(e->symbol(), std::move(idx));
+        return e;
+      }
       if (e->kind() == ExprKind::Binary) {
         auto l = simplify(e->lhs());
         auto r = simplify(e->rhs());

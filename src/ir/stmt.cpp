@@ -232,6 +232,13 @@ void Program::declareArray(std::string name, std::vector<ExprPtr> extents) {
   arrays.push_back(ArrayDecl{std::move(name), std::move(extents)});
 }
 
+void Program::declareIndexArray(std::string name,
+                                std::vector<ExprPtr> extents) {
+  FIXFUSE_CHECK(!hasArray(name) && !hasScalar(name),
+                "redeclaration of " + name);
+  arrays.push_back(ArrayDecl{std::move(name), std::move(extents), Type::Int});
+}
+
 void Program::declareScalar(std::string name, Type t) {
   FIXFUSE_CHECK(!hasArray(name) && !hasScalar(name),
                 "redeclaration of " + name);

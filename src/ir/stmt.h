@@ -110,6 +110,14 @@ StmtPtr blockS(std::vector<StmtPtr> stmts);
 struct ArrayDecl {
   std::string name;
   std::vector<ExprPtr> extents;
+  /// Element type: Float for value arrays (the default, every paper
+  /// kernel), Int for index arrays feeding IdxLoad gathers. Index arrays
+  /// are read-only inside a program (validate rejects stores) so the
+  /// inspector-executor can treat their runtime contents as compile-time
+  /// constants.
+  Type elem = Type::Float;
+
+  bool isIndexArray() const { return elem == Type::Int; }
 };
 
 struct ScalarDecl {
@@ -137,6 +145,8 @@ class Program {
   const ArrayDecl& array(const std::string& name) const;
   const ScalarDecl& scalar(const std::string& name) const;
   void declareArray(std::string name, std::vector<ExprPtr> extents);
+  /// Declare an Int-element index array (IdxLoad gather target).
+  void declareIndexArray(std::string name, std::vector<ExprPtr> extents);
   void declareScalar(std::string name, Type t);
 
   /// Number every Assign in textual order starting from 0; returns the

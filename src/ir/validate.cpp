@@ -50,9 +50,21 @@ class Validator {
         case ExprKind::ArrayLoad: {
           FIXFUSE_CHECK(p_.hasArray(x.name()),
                         "load from undeclared array " + x.name());
+          FIXFUSE_CHECK(p_.array(x.name()).elem == Type::Float,
+                        "ArrayLoad from index array " + x.name());
           FIXFUSE_CHECK(
               p_.array(x.name()).extents.size() == x.indices().size(),
               "rank mismatch on array " + x.name());
+          break;
+        }
+        case ExprKind::IdxLoad: {
+          FIXFUSE_CHECK(p_.hasArray(x.name()),
+                        "gather from undeclared array " + x.name());
+          FIXFUSE_CHECK(p_.array(x.name()).elem == Type::Int,
+                        "IdxLoad from non-index array " + x.name());
+          FIXFUSE_CHECK(
+              p_.array(x.name()).extents.size() == x.indices().size(),
+              "rank mismatch on index array " + x.name());
           break;
         }
         case ExprKind::ScalarLoad: {
@@ -81,6 +93,8 @@ class Validator {
         } else {
           FIXFUSE_CHECK(p_.hasArray(lhs.name),
                         "assignment to undeclared array " + lhs.name);
+          FIXFUSE_CHECK(p_.array(lhs.name).elem == Type::Float,
+                        "store to read-only index array " + lhs.name);
           FIXFUSE_CHECK(p_.array(lhs.name).extents.size() ==
                             lhs.indices.size(),
                         "rank mismatch writing array " + lhs.name);

@@ -151,6 +151,29 @@ Pass snapshotPass(std::string label, ir::Program* out) {
               [out](PipelineState& state) { *out = state.program; }};
 }
 
+Pass inspectorFusePass(deps::InspectorBindings bindings) {
+  return Pass{"inspector-fuse", true,
+              [b = std::move(bindings)](PipelineState& state) {
+                const deps::InspectionReport rep =
+                    deps::inspectFusion(state.program, b);
+                if (!rep.fusable)
+                  throw UnsupportedError("inspector-fuse: " + rep.reason);
+                state.program = deps::fuseTopLevelNests(state.program);
+              }};
+}
+
+void bindIndexArrays(interp::Machine& m, const deps::InspectorBindings& b) {
+  for (const auto& [name, vals] : b.indexArrays) {
+    interp::ArrayStorage& a = m.array(name);
+    FIXFUSE_CHECK(a.elementCount() == vals.size(),
+                  "index array '" + name + "' binding has " +
+                      std::to_string(vals.size()) + " elements, storage has " +
+                      std::to_string(a.elementCount()));
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      a.data()[i] = static_cast<double>(vals[i]);
+  }
+}
+
 Pass customPass(std::string name, std::function<void(PipelineState&)> fn,
                 bool preservesSemantics) {
   return Pass{std::move(name), preservesSemantics, std::move(fn)};

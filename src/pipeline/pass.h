@@ -23,7 +23,9 @@
 #include "core/elim.h"
 #include "core/fuse.h"
 #include "core/sink.h"
+#include "deps/inspector.h"
 #include "deps/nestsystem.h"
+#include "interp/machine.h"
 #include "ir/stmt.h"
 #include "poly/set.h"
 #include "support/intmatrix.h"
@@ -102,6 +104,21 @@ Pass distributeLoopsPass();
 /// Store a copy of the current program into *out (intermediate results:
 /// the raw fused program, the fixed program). `out` must outlive the run.
 Pass snapshotPass(std::string label, ir::Program* out);
+
+/// deps::inspectFusion under `bindings`, then deps::fuseTopLevelNests.
+/// Semantics-preserving: the inspector's concrete legality proof is the
+/// reason the fused program is equivalent, and the manager's verifier
+/// additionally bit-compares fused vs unfused (the caller's verify init
+/// must bind the same index-array contents - bindIndexArrays). A
+/// rejecting inspection throws support::UnsupportedError with the
+/// reason: inspected fusion is fixed-or-rejected-loudly like FixDeps.
+Pass inspectorFusePass(deps::InspectorBindings bindings);
+
+/// Copy bound index-array contents into a machine's storage (the
+/// elements are doubles holding integral values - the gather truncates
+/// back, identically on every backend). The standard verify/run init
+/// body for sparse programs.
+void bindIndexArrays(interp::Machine& m, const deps::InspectorBindings& b);
 
 /// Escape hatch for call-site-specific steps.
 Pass customPass(std::string name, std::function<void(PipelineState&)> fn,

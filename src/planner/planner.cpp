@@ -636,6 +636,34 @@ const char* TilePlan::kindName() const {
 
 Plan planProgram(const ir::Program& p, const poly::ParamContext& ctx,
                  const PlannerOptions& opts) {
+  // Indirect subscripts defeat every affine strategy (ir::toAffine
+  // collapses them to Subscript::any(), so the fuse/peel/relax chain
+  // could only conservatively reject): gather programs route through
+  // the inspector-executor, which either proves the fusion legal on the
+  // bound index-array contents or rejects loudly with the reason.
+  if (deps::hasIndirectAccess(p)) {
+    if (opts.inspector.empty())
+      throw UnsupportedError(
+          "planner: program contains indirect (gathered) accesses - "
+          "provide PlannerOptions::inspector bindings (parameters + "
+          "index-array contents) for inspector-executor planning");
+    Plan plan;
+    plan.strategy = "inspector";
+    plan.strategiesTried = 1;
+    plan.inspection = deps::inspectFusion(p, opts.inspector);
+    plan.candidateNests = plan.inspection.nests;
+    if (!plan.inspection.fusable)
+      throw UnsupportedError("planner: inspector rejected fusion: " +
+                             plan.inspection.reason);
+    plan.inspectorFused = true;
+    plan.inspectorBindings = opts.inspector;
+    plan.log.push_back("inspector: " + plan.inspection.reason);
+    // TilePlan stays None: gathered reads have no static footprint for
+    // the PDAT model. Parallel legality is decided downstream by
+    // deriveParallelPlan, which sees the non-affine subscripts and
+    // stays Serial - the safe direction.
+    return plan;
+  }
   // Candidate discovery needs a single top-level loop whose body holds
   // the fusable sub-nests (the shape codeSink consumes). Anything else
   // is a rejection, not an internal error: arbitrary programs may
@@ -745,6 +773,12 @@ Plan planProgram(const ir::Program& p, const poly::ParamContext& ctx,
 pipeline::PassManager& addPlannedPasses(pipeline::PassManager& pm,
                                         const Plan& plan,
                                         const SnapshotTargets& snaps) {
+  if (plan.inspectorFused) {
+    pm.add(pipeline::inspectorFusePass(plan.inspectorBindings));
+    if (snaps.fused) pm.add(pipeline::snapshotPass("fused", snaps.fused));
+    if (snaps.fixed) pm.add(pipeline::snapshotPass("fixed", snaps.fixed));
+    return pm;
+  }
   if (plan.peelVar) pm.add(pipeline::peelLastIterationPass(*plan.peelVar));
   pm.add(pipeline::sinkPass(plan.sink, plan.splitEpilogue))
       .add(pipeline::fusePass());
@@ -786,6 +820,9 @@ std::string planSignature(const Plan& plan) {
     case TilePlan::Kind::None:
       break;
   }
+  if (plan.inspectorFused)
+    os << "|inspected=" << plan.inspection.readsChecked << "r"
+       << plan.inspection.flowArrays << "f" << plan.inspection.nests << "n";
   return os.str();
 }
 

@@ -36,6 +36,7 @@
 #include "codegen/parallel.h"
 #include "core/elim.h"
 #include "core/sink.h"
+#include "deps/inspector.h"
 #include "deps/nestsystem.h"
 #include "ir/stmt.h"
 #include "pipeline/manager.h"
@@ -82,6 +83,15 @@ struct Plan {
   std::vector<std::pair<std::string, std::string>> scalarize;
   TilePlan tile;
 
+  /// Inspector-executor plan (programs with IdxLoad gathers): when
+  /// engaged, the planned pipeline is a single inspectorFusePass under
+  /// these bindings and every affine field above is unused. The
+  /// bindings are copied into the plan so addPlannedPasses (and the
+  /// engine cache entry) stay self-contained.
+  bool inspectorFused = false;
+  deps::InspectorBindings inspectorBindings;
+  deps::InspectionReport inspection;  // the proof tallies (bench JSON)
+
   // --- planning report (deterministic; surfaced in bench JSON) ---
   core::FixLog fixLog;        // from the planner's trial run
   std::string strategy;       // "fuse" | "peel" | "relax-bounds"
@@ -103,6 +113,13 @@ struct PlannerOptions {
   bool scalarizeTemps = true;
   /// L1 size driving the PDAT tile-size suggestion.
   std::int64_t l1Bytes = 32 * 1024;
+  /// Runtime constants for gather programs: parameter bindings plus
+  /// index-array contents. Programs containing IdxLoad are planned
+  /// exclusively through deps::inspectFusion against these (and are
+  /// rejected loudly when the bindings are empty). Part of the engine
+  /// cache key - the legality proof is per-element, so compiles
+  /// differing only in index data must not share a plan.
+  deps::InspectorBindings inspector;
 };
 
 /// Plan the fusion pipeline for `p`. Throws support::UnsupportedError

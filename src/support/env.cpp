@@ -94,6 +94,32 @@ std::uint32_t positiveInt(const char* var, std::uint32_t max,
   return fallback;
 }
 
+double positiveDouble(const char* var, double max, double fallback,
+                      const char* expected, const char* fallbackAction) {
+  const char* v = std::getenv(var);
+  if (!v) return fallback;
+  // Digits with at most one '.': rejects signs, whitespace, exponents
+  // and partial parses up front, mirroring positiveInt's discipline.
+  bool wellFormed = *v != '\0';
+  int digits = 0, dots = 0;
+  for (const char* c = v; *c != '\0'; ++c) {
+    if (*c >= '0' && *c <= '9')
+      ++digits;
+    else if (*c == '.')
+      ++dots;
+    else
+      wellFormed = false;
+  }
+  if (wellFormed && digits >= 1 && dots <= 1) {
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(v, &end);
+    if (*end == '\0' && errno == 0 && d > 0.0 && d <= max) return d;
+  }
+  warnInvalid(var, v, expected, fallbackAction, /*oncePerVar=*/true);
+  return fallback;
+}
+
 std::string stringOr(const char* var, const char* fallback) {
   const char* v = std::getenv(var);
   return (v && *v) ? std::string(v) : std::string(fallback);

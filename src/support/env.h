@@ -47,6 +47,14 @@ std::uint32_t positiveInt(const char* var, std::uint32_t max,
                           std::uint32_t fallback, const char* expected,
                           const char* fallbackAction);
 
+/// Complete positive decimal number in (0, max]: digits with at most
+/// one '.' (no sign, no whitespace, no exponent). Unset => fallback;
+/// anything else - "abc", "1.05x", "-1", "+2", "1e3", ".", "0", values
+/// above max - warns once per variable and uses the fallback. Same
+/// strictness discipline as positiveInt, for FIXFUSE_PARALLEL_THRESHOLD.
+double positiveDouble(const char* var, double max, double fallback,
+                      const char* expected, const char* fallbackAction);
+
 /// Free-form string env var (no validation to apply): unset or empty =>
 /// fallback. Used by FIXFUSE_CC / FIXFUSE_CFLAGS, where any non-empty
 /// value is a legitimate compiler invocation.

@@ -13,11 +13,14 @@
 #include <string>
 #include <vector>
 
+#include "deps/inspector.h"
 #include "deps/nestsystem.h"
 #include "interp/machine.h"
 #include "ir/rewrite.h"
 #include "ir/stmt.h"
+#include "ir/validate.h"
 #include "pipeline/manager.h"
+#include "pipeline/pass.h"
 #include "poly/set.h"
 #include "support/rng.h"
 
@@ -98,6 +101,82 @@ inline void initFuzzArrays(interp::Machine& m, std::uint64_t seed,
                            std::uint64_t mult, std::int64_t n) {
   SplitMix64 rng(seed * mult + static_cast<std::uint64_t>(n));
   for (const char* name : {"A", "B", "Cc"})
+    if (m.hasArray(name))
+      for (auto& v : m.array(name).data()) v = rng.nextDouble(-2.0, 2.0);
+}
+
+/// A seeded indirect-access (gathered) program: a two-nest sparse chain
+/// over one index array, the shape the inspector-executor fuses.
+///
+///   nest 0:  Y[i] += A[i][k] * X[col[i][k]]        (SpMV-style gather)
+///   nest 1:  Z[i] += A[i][k] * Y[col[i][k]] (+ X[i] on odd seeds)
+///
+/// The program text is the same for every seed with the same (n, k);
+/// the *bindings* vary per seed: triangular draws keep col[i][k] <= i
+/// (inspector must prove the fusion), non-triangular draws use the full
+/// row range (inspector must reject it - fixed-or-rejected-loudly).
+/// Either way the program runs on every backend; only fusion legality
+/// differs.
+struct IndirectProgram {
+  ir::Program prog;
+  deps::InspectorBindings bindings;
+  bool triangular = false;
+};
+
+inline IndirectProgram randomIndirectProgram(std::uint64_t seed,
+                                             std::int64_t n = 16,
+                                             std::int64_t kWidth = 4) {
+  using namespace fixfuse::ir;
+  SplitMix64 rng(seed * 0x9e3779b97f4a7c15ull + 0x5eed);
+  IndirectProgram out;
+  out.triangular = (seed % 2) == 1;
+
+  Program& p = out.prog;
+  p.params = {"N", "K"};
+  p.declareArray("A", {iv("N"), iv("K")});
+  p.declareIndexArray("col", {iv("N"), iv("K")});
+  p.declareArray("X", {iv("N")});
+  p.declareArray("Y", {iv("N")});
+  p.declareArray("Z", {iv("N")});
+  ExprPtr gather = iload("col", {iv("i"), iv("k")});
+  StmtPtr produce = aassign(
+      "Y", {iv("i")},
+      add(load("Y", {iv("i")}),
+          mul(load("A", {iv("i"), iv("k")}), load("X", {gather}))));
+  ExprPtr consumed = mul(load("A", {iv("i"), iv("k")}), load("Y", {gather}));
+  if (seed % 2) consumed = add(consumed, load("X", {iv("i")}));
+  StmtPtr consume =
+      aassign("Z", {iv("i")}, add(load("Z", {iv("i")}), consumed));
+  auto nest = [&](StmtPtr body) {
+    return loopS("i", ic(0), sub(iv("N"), ic(1)),
+                 {loopS("k", ic(0), sub(iv("K"), ic(1)), {std::move(body)})});
+  };
+  p.body = blockS({nest(std::move(produce)), nest(std::move(consume))});
+  p.numberAssignments();
+  ir::validate(p);
+
+  out.bindings.params = {{"N", n}, {"K", kWidth}};
+  // Column-major contents: col[i][k] lives at linear index i + k*n.
+  std::vector<std::int64_t> col(static_cast<std::size_t>(n * kWidth), 0);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t k = 0; k < kWidth; ++k)
+      col[static_cast<std::size_t>(i + k * n)] =
+          out.triangular ? rng.nextInt(0, i) : rng.nextInt(0, n - 1);
+  // Guarantee at least one forward reference on non-triangular draws so
+  // "must reject" is deterministic, not probabilistic.
+  if (!out.triangular && n > 1) col[0] = n - 1;
+  out.bindings.indexArrays["col"] = std::move(col);
+  return out;
+}
+
+/// Deterministic random initialisation for an IndirectProgram's machine:
+/// index arrays from the bindings, value arrays from the seeded rng.
+inline void initIndirectArrays(interp::Machine& m,
+                               const deps::InspectorBindings& b,
+                               std::uint64_t seed) {
+  pipeline::bindIndexArrays(m, b);
+  SplitMix64 rng(seed * 131 + 7);
+  for (const char* name : {"A", "X", "Y", "Z"})
     if (m.hasArray(name))
       for (auto& v : m.array(name).data()) v = rng.nextDouble(-2.0, 2.0);
 }

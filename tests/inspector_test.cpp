@@ -1,0 +1,400 @@
+// The indirect-access IR and the inspector-executor.
+//
+// Pins the whole sparse path end to end: IdxLoad parse/print/fingerprint
+// round-trips and hash-conses like every other node; validate enforces
+// the read-only index-array discipline; deps::inspectFusion proves
+// fusion legality by materialising the concrete cross-nest dependence
+// set from the bound index data (and rejects loudly - structurally or
+// per-element - when it cannot); the fused-by-inspector schedule is
+// bit-for-bit state-equal to the unfused one on the tree, bytecode and
+// native backends; and the engine front door plans gather programs
+// through the inspector with the bindings as part of the cache key.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "deps/inspector.h"
+#include "engine/engine.h"
+#include "fuzz_systems.h"
+#include "interp/compare.h"
+#include "interp/interp.h"
+#include "ir/fingerprint.h"
+#include "ir/parse.h"
+#include "ir/validate.h"
+#include "pipeline/pass.h"
+#include "planner/planner.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace fixfuse::deps {
+namespace {
+
+// SpMM-SpMM chain in ELL form (two-hop sparse propagation over a
+// feature dimension): nest 0 gathers X rows through col into Y, nest 1
+// gathers Y rows through the same pattern into Z. Fusable at outer-loop
+// granularity exactly when every col[i][k] <= i.
+const char* kSpmmChain = R"(
+program(N, K, F) {
+  double A[N][K];
+  long col[N][K];
+  double X[N][F];
+  double Y[N][F];
+  double Z[N][F];
+  for i = 0 .. (N - 1) {
+    for k = 0 .. (K - 1) {
+      for j = 0 .. (F - 1) {
+        Y[i][j] = (Y[i][j] + (A[i][k] * X[col[i][k]][j]));
+      }
+    }
+  }
+  for i = 0 .. (N - 1) {
+    for k = 0 .. (K - 1) {
+      for j = 0 .. (F - 1) {
+        Z[i][j] = (Z[i][j] + (A[i][k] * Y[col[i][k]][j]));
+      }
+    }
+  }
+}
+)";
+
+constexpr std::int64_t kN = 24, kK = 4, kF = 3;
+
+std::map<std::string, std::int64_t> spmmParams() {
+  return {{"N", kN}, {"K", kK}, {"F", kF}};
+}
+
+/// Column-major col contents (linear index i + k*N), lower-triangular
+/// (col[i][k] <= i) unless `forwardRow0` plants one forward reference.
+InspectorBindings spmmBindings(std::uint64_t seed, bool forwardRow0 = false) {
+  InspectorBindings b;
+  b.params = spmmParams();
+  SplitMix64 rng(seed * 2654435761u + 17);
+  std::vector<std::int64_t> col(kN * kK, 0);
+  for (std::int64_t i = 0; i < kN; ++i)
+    for (std::int64_t k = 0; k < kK; ++k)
+      col[static_cast<std::size_t>(i + k * kN)] = rng.nextInt(0, i);
+  if (forwardRow0) col[0] = kN - 1;
+  b.indexArrays["col"] = std::move(col);
+  return b;
+}
+
+void initSpmm(interp::Machine& m, const InspectorBindings& b,
+              std::uint64_t seed) {
+  pipeline::bindIndexArrays(m, b);
+  SplitMix64 rng(seed * 97 + 3);
+  for (const char* name : {"A", "X", "Y", "Z"})
+    for (auto& v : m.array(name).data()) v = rng.nextDouble(-1.5, 1.5);
+}
+
+interp::Machine runOn(const ir::Program& p, const InspectorBindings& b,
+                      std::uint64_t seed, interp::Backend backend) {
+  interp::Machine m(p, spmmParams());
+  initSpmm(m, b, seed);
+  interp::Interpreter it(p, m, nullptr,
+                         interp::Interpreter::Dispatch::Batched, backend);
+  it.run();
+  return m;
+}
+
+TEST(IndirectIR, ParsePrintFingerprintRoundTrip) {
+  ir::Program p = ir::parseProgram(kSpmmChain);
+  EXPECT_TRUE(hasIndirectAccess(p));
+  EXPECT_TRUE(p.array("col").isIndexArray());
+  EXPECT_FALSE(p.array("A").isIndexArray());
+  // Printed form declares the index array as long and re-parses to the
+  // identical hash-consed fingerprint.
+  const std::string text = p.str();
+  EXPECT_NE(text.find("long col[N][K];"), std::string::npos) << text;
+  ir::Program q = ir::parseProgram(text);
+  EXPECT_EQ(ir::fingerprint(p), ir::fingerprint(q));
+  EXPECT_EQ(p.str(), q.str());
+}
+
+TEST(IndirectIR, IdxLoadHashConsesLikeEveryOtherNode) {
+  using ir::Expr;
+  ir::ExprPtr a = Expr::idxLoad("colT", {ir::iv("i"), ir::iv("k")});
+  ir::ExprPtr b = Expr::idxLoad("colT", {ir::iv("i"), ir::iv("k")});
+  EXPECT_EQ(a.get(), b.get());  // structural equality is pointer equality
+  EXPECT_EQ(a->type(), ir::Type::Int);
+  EXPECT_NE(a.get(), Expr::idxLoad("colT", {ir::iv("k"), ir::iv("i")}).get());
+  // An ArrayLoad of the same name/indices is a different node: the
+  // gather is Int-typed and tagged by kind.
+  EXPECT_NE(static_cast<const void*>(a.get()),
+            static_cast<const void*>(
+                Expr::arrayLoad("colT", {ir::iv("i"), ir::iv("k")}).get()));
+  // Index-array element type discriminates the program fingerprint.
+  ir::Program p1 = ir::parseProgram("program(N) { double D[N]; }");
+  ir::Program p2 = ir::parseProgram("program(N) { long D[N]; }");
+  EXPECT_NE(ir::fingerprint(p1), ir::fingerprint(p2));
+}
+
+TEST(IndirectIR, ValidateEnforcesReadOnlyIndexArrays) {
+  // Store to an index array.
+  EXPECT_THROW(ir::parseProgram(R"(
+program(N) {
+  long idx[N];
+  for i = 0 .. (N - 1) { idx[i] = 1.0; }
+}
+)"),
+               Error);
+  // Gathering from a double array.
+  EXPECT_THROW(ir::parseProgram(R"(
+program(N) {
+  double D[N];
+  double Y[N];
+  for i = 0 .. (N - 1) { Y[i] = Y[D[i]]; }
+}
+)"),
+               Error);
+  // Rank mismatch on the index array.
+  EXPECT_THROW(ir::parseProgram(R"(
+program(N) {
+  long idx[N][N];
+  double Y[N];
+  for i = 0 .. (N - 1) { Y[i] = Y[idx[i]]; }
+}
+)"),
+               Error);
+}
+
+TEST(Inspector, ProvesTriangularChainFusable) {
+  ir::Program p = ir::parseProgram(kSpmmChain);
+  InspectionReport rep = inspectFusion(p, spmmBindings(1));
+  EXPECT_TRUE(rep.fusable) << rep.reason;
+  EXPECT_EQ(rep.nests, 2u);
+  EXPECT_EQ(rep.flowArrays, 1u);  // Y
+  // One check per (i, k) pair: the feature loop j cannot change the
+  // gathered row, so the walker collapses it.
+  EXPECT_EQ(rep.readsChecked, static_cast<std::size_t>(kN * kK));
+  EXPECT_EQ(rep.violations, 0u);
+  EXPECT_NE(rep.reason.find("proved"), std::string::npos);
+}
+
+TEST(Inspector, RejectsForwardReferencePerElement) {
+  ir::Program p = ir::parseProgram(kSpmmChain);
+  InspectionReport rep = inspectFusion(p, spmmBindings(1, /*forwardRow0=*/true));
+  EXPECT_FALSE(rep.fusable);
+  EXPECT_GE(rep.violations, 1u);
+  EXPECT_NE(rep.reason.find("break the fused order"), std::string::npos)
+      << rep.reason;
+}
+
+TEST(Inspector, RejectsStructurallyUnsuitableShapes) {
+  // Different bounds across nests.
+  ir::Program diff = ir::parseProgram(R"(
+program(N, K) {
+  double A[N][K];
+  long col[N][K];
+  double Y[N];
+  double Z[N];
+  for i = 0 .. (N - 1) { Y[i] = (Y[i] + A[i][0]); }
+  for i = 0 .. (N - 2) { Z[i] = (Z[i] + Y[col[i][0]]); }
+}
+)");
+  InspectionReport rep = inspectFusion(diff, spmmBindings(1));
+  EXPECT_FALSE(rep.fusable);
+  EXPECT_NE(rep.reason.find("bounds"), std::string::npos) << rep.reason;
+
+  // A flow write that does not target row i.
+  ir::Program offRow = ir::parseProgram(R"(
+program(N, K) {
+  double A[N][K];
+  long col[N][K];
+  double Y[(N + 1)];
+  double Z[N];
+  for i = 0 .. (N - 1) { Y[(i + 1)] = A[i][0]; }
+  for i = 0 .. (N - 1) { Z[i] = Y[col[i][0]]; }
+}
+)");
+  rep = inspectFusion(offRow, spmmBindings(2));
+  EXPECT_FALSE(rep.fusable);
+  EXPECT_NE(rep.reason.find("does not target row"), std::string::npos)
+      << rep.reason;
+}
+
+TEST(Inspector, MalformedBindingsThrow) {
+  ir::Program p = ir::parseProgram(kSpmmChain);
+  InspectorBindings noCol = spmmBindings(1);
+  noCol.indexArrays.clear();
+  EXPECT_THROW(inspectFusion(p, noCol), UnsupportedError);
+
+  InspectorBindings shortCol = spmmBindings(1);
+  shortCol.indexArrays["col"].pop_back();
+  EXPECT_THROW(inspectFusion(p, shortCol), UnsupportedError);
+
+  InspectorBindings noParam = spmmBindings(1);
+  noParam.params.erase("F");
+  EXPECT_THROW(inspectFusion(p, noParam), UnsupportedError);
+}
+
+TEST(Inspector, FusedMatchesUnfusedBitForBitOnAllBackends) {
+  ir::Program p = ir::parseProgram(kSpmmChain);
+  InspectorBindings b = spmmBindings(3);
+  ASSERT_TRUE(inspectFusion(p, b).fusable);
+  ir::Program fused = fuseTopLevelNests(p);
+  // The fused body is one loop; gathers are intact.
+  ASSERT_EQ(fused.body->stmts().size(), 1u);
+  EXPECT_TRUE(hasIndirectAccess(fused));
+  for (interp::Backend backend :
+       {interp::Backend::Tree, interp::Backend::Bytecode,
+        interp::Backend::Native}) {
+    interp::Machine unfused = runOn(p, b, 3, backend);
+    interp::Machine withFusion = runOn(fused, b, 3, backend);
+    std::string which;
+    EXPECT_TRUE(
+        interp::machinesBitwiseEqual(p, unfused, fused, withFusion, &which))
+        << "backend " << interp::backendName(backend) << ": array " << which;
+  }
+}
+
+TEST(Inspector, FingerprintCoversEveryElement) {
+  InspectorBindings a = spmmBindings(1);
+  InspectorBindings b = spmmBindings(1);
+  ir::Fingerprint fa, fb;
+  a.appendFingerprint(fa);
+  b.appendFingerprint(fb);
+  EXPECT_EQ(fa, fb);
+  b.indexArrays["col"][kN * kK - 1] ^= 1;  // one element, one bit
+  fb.clear();
+  b.appendFingerprint(fb);
+  EXPECT_NE(fa, fb);
+}
+
+TEST(Planner, GatherProgramsRequireInspectorBindings) {
+  ir::Program p = ir::parseProgram(kSpmmChain);
+  poly::ParamContext ctx;
+  ctx.addParam("N", 2, 100000);
+  ctx.addParam("K", 1, 1024);
+  ctx.addParam("F", 1, 1024);
+  try {
+    planner::planProgram(p, ctx, {});
+    FAIL() << "expected UnsupportedError";
+  } catch (const UnsupportedError& e) {
+    EXPECT_NE(std::string(e.what()).find("inspector"), std::string::npos);
+  }
+}
+
+TEST(Planner, InspectorPlanIsLoudOnIllegalData) {
+  ir::Program p = ir::parseProgram(kSpmmChain);
+  poly::ParamContext ctx;
+  ctx.addParam("N", 2, 100000);
+  ctx.addParam("K", 1, 1024);
+  ctx.addParam("F", 1, 1024);
+  planner::PlannerOptions po;
+  po.inspector = spmmBindings(1, /*forwardRow0=*/true);
+  try {
+    planner::planProgram(p, ctx, po);
+    FAIL() << "expected UnsupportedError";
+  } catch (const UnsupportedError& e) {
+    EXPECT_NE(std::string(e.what()).find("inspector rejected"),
+              std::string::npos);
+  }
+}
+
+engine::CompileOptions sparseCompileOptions(const InspectorBindings& b,
+                                            std::uint64_t seed) {
+  engine::CompileOptions opts;
+  opts.planner.inspector = b;
+  opts.verify.enabled = true;
+  opts.verify.paramSets = {b.params};
+  opts.verify.init = [b, seed](interp::Machine& m,
+                               const std::map<std::string, std::int64_t>&) {
+    initSpmm(m, b, seed);
+  };
+  return opts;
+}
+
+TEST(Engine, SparseChainCompilesThroughInspectorAndCachesOnIndexData) {
+  engine::Engine eng(8);
+  poly::ParamContext ctx;
+  ctx.addParam("N", 2, 100000);
+  ctx.addParam("K", 1, 1024);
+  ctx.addParam("F", 1, 1024);
+  InspectorBindings b = spmmBindings(5);
+  engine::CompiledProgram cp =
+      eng.compileText(kSpmmChain, ctx, sparseCompileOptions(b, 5));
+  EXPECT_FALSE(cp.cacheHit());
+  EXPECT_EQ(cp.plan().strategy, "inspector");
+  EXPECT_TRUE(cp.plan().inspectorFused);
+  EXPECT_EQ(cp.plan().tile.kind, planner::TilePlan::Kind::None);
+  // Gather subscripts are non-affine: the parallel layer must stay
+  // Serial (the safe direction), never an unproven parallel schedule.
+  EXPECT_EQ(cp.plan().tile.parallel.kind,
+            codegen::ParallelPlan::Kind::Serial);
+  EXPECT_FALSE(cp.plan().tile.parallel.reason.empty());
+  EXPECT_NE(cp.planSignature().find("inspector"), std::string::npos);
+  EXPECT_NE(cp.planSignature().find("inspected="), std::string::npos);
+  // fused == fixed == tiled: the inspector pipeline is one fusion.
+  EXPECT_EQ(cp.fused().str(), cp.fixed().str());
+  EXPECT_EQ(cp.fixed().str(), cp.tiled().str());
+  EXPECT_EQ(cp.tiled().body->stmts().size(), 1u);
+
+  // The cached artifact executes: engine-run fused state equals a
+  // direct unfused interpretation, bit for bit.
+  ir::Program p = ir::parseProgram(kSpmmChain);
+  interp::Machine viaEngine = cp.run(
+      b.params, [&](interp::Machine& m) { initSpmm(m, b, 5); },
+      interp::Backend::Bytecode);
+  interp::Machine unfused = runOn(p, b, 5, interp::Backend::Bytecode);
+  std::string which;
+  EXPECT_TRUE(interp::machinesBitwiseEqual(cp.tiled(), viaEngine, p, unfused,
+                                           &which))
+      << which;
+
+  // Same program + same bindings: cache hit.
+  EXPECT_TRUE(
+      eng.compileText(kSpmmChain, ctx, sparseCompileOptions(b, 5)).cacheHit());
+  // Same program, different index data (still triangular): the legality
+  // proof is per-element, so this must be a distinct entry.
+  InspectorBindings b2 = spmmBindings(6);
+  ASSERT_NE(b.indexArrays["col"], b2.indexArrays["col"]);
+  engine::CompiledProgram cp2 =
+      eng.compileText(kSpmmChain, ctx, sparseCompileOptions(b2, 6));
+  EXPECT_FALSE(cp2.cacheHit());
+  EXPECT_EQ(eng.cacheSize(), 2u);
+}
+
+TEST(Engine, SparseFuzzIsFusedOrRejectedLoudly) {
+  poly::ParamContext ctx;
+  ctx.addParam("N", 2, 100000);
+  ctx.addParam("K", 1, 1024);
+  engine::Engine eng(32);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    tests::IndirectProgram ip = tests::randomIndirectProgram(seed);
+    engine::CompileOptions opts;
+    opts.planner.inspector = ip.bindings;
+    opts.verify.enabled = true;
+    opts.verify.paramSets = {ip.bindings.params};
+    opts.verify.init = [&ip, seed](interp::Machine& m,
+                                   const std::map<std::string, std::int64_t>&) {
+      tests::initIndirectArrays(m, ip.bindings, seed);
+    };
+    if (ip.triangular) {
+      engine::CompiledProgram cp = eng.compile(ip.prog, ctx, opts);
+      EXPECT_EQ(cp.plan().strategy, "inspector") << "seed " << seed;
+      // Verified fused execution equals the unfused schedule.
+      interp::Machine fusedM = cp.run(
+          ip.bindings.params,
+          [&](interp::Machine& m) { tests::initIndirectArrays(m, ip.bindings, seed); });
+      interp::Machine seqM(ip.prog, ip.bindings.params);
+      tests::initIndirectArrays(seqM, ip.bindings, seed);
+      interp::Interpreter it(ip.prog, seqM, nullptr,
+                             interp::Interpreter::Dispatch::Batched,
+                             interp::Backend::Bytecode);
+      it.run();
+      std::string which;
+      EXPECT_TRUE(interp::machinesBitwiseEqual(cp.tiled(), fusedM, ip.prog,
+                                               seqM, &which))
+          << "seed " << seed << ": " << which;
+    } else {
+      EXPECT_THROW(eng.compile(ip.prog, ctx, opts), UnsupportedError)
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fixfuse::deps

@@ -95,6 +95,25 @@ TEST(InterpBytecode, FuzzProgramsSequentialAndFused) {
   }
 }
 
+TEST(InterpBytecode, IndirectGatherProgramsBothDispatchModes) {
+  // Gathered (IdxLoad) subscripts must be bit-for-bit state- AND
+  // event-equivalent across tree and bytecode, like every other node -
+  // both for the two-nest sparse chain and, on triangular draws, for
+  // the inspector-fused single nest.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    tests::IndirectProgram ip = tests::randomIndirectProgram(seed);
+    auto init = [&ip, seed](Machine& m) {
+      tests::initIndirectArrays(m, ip.bindings, seed);
+    };
+    expectBackendsEquivalent(ip.prog, ip.bindings.params, init,
+                             "indirect seed=" + std::to_string(seed));
+    if (ip.triangular)
+      expectBackendsEquivalent(deps::fuseTopLevelNests(ip.prog),
+                               ip.bindings.params, init,
+                               "indirect fused seed=" + std::to_string(seed));
+  }
+}
+
 TEST(InterpBytecode, AllKernelVariantsAllBackendsAllDispatchModes) {
   for (const char* kernel : {"lu", "cholesky", "qr", "jacobi"}) {
     kernels::KernelBundle b = kernels::buildKernel(kernel, {/*tile=*/4});

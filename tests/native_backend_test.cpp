@@ -104,6 +104,26 @@ TEST(NativeBackend, FuzzProgramsStateEquivalent) {
   }
 }
 
+TEST(NativeBackend, IndirectGatherProgramsStateEquivalent) {
+  // The emitC gather (`(long)` truncation into a column-major index)
+  // must land in exactly the bytecode state, unfused and
+  // inspector-fused alike.
+  SKIP_WITHOUT_HOST_CC();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    tests::IndirectProgram ip = tests::randomIndirectProgram(seed);
+    auto init = [&ip, seed](Machine& m) {
+      tests::initIndirectArrays(m, ip.bindings, seed);
+    };
+    expectNativeMatchesBytecode(ip.prog, ip.bindings.params, init,
+                                "indirect seed=" + std::to_string(seed));
+    if (ip.triangular)
+      expectNativeMatchesBytecode(deps::fuseTopLevelNests(ip.prog),
+                                  ip.bindings.params, init,
+                                  "indirect fused seed=" +
+                                      std::to_string(seed));
+  }
+}
+
 TEST(NativeBackend, ScalarsAreWrittenBack) {
   // Final scalar values must round-trip out of the native function (the
   // emitted C keeps them as locals; the entry trampoline copies them in

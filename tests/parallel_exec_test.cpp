@@ -178,6 +178,54 @@ TEST(ParallelPlan, UnprovenDisjointnessStaysSerial) {
   }
 }
 
+TEST(ParallelPlan, GatherPlansTakeTheSafeDirection) {
+  // Indirect (IdxLoad) subscripts are non-affine: any conflict pair
+  // touching one is unprovable and must be treated as a real
+  // dependence. In the UNFUSED two-nest chain the chosen nest only
+  // writes Y[i] (affine, disjoint) and the gather reads arrays never
+  // written inside that nest, so ParallelLoop over it is a sound,
+  // proven claim - the other nest runs as serial pre/post. In the
+  // inspector-FUSED nest the gathered read Y[col[i][k]] conflicts with
+  // the affine write Y[i] inside one loop, the pair is unprovable, and
+  // the plan must come back Serial with a reason. (The inspector's
+  // concrete proof covers *fusion* legality only; it says nothing about
+  // cross-iteration disjointness.)
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    tests::IndirectProgram ip = tests::randomIndirectProgram(seed);
+    poly::ParamContext ctx;
+    ctx.addParam("N", 2, 100000);
+    ctx.addParam("K", 1, 1024);
+    ParallelPlan plan = deriveParallelPlan(ip.prog, ctx);
+    EXPECT_EQ(plan.kind, Kind::ParallelLoop) << plan.str();
+    EXPECT_EQ(plan.pairsProven, plan.pairsTotal);
+    if (ip.triangular) {
+      ParallelPlan fusedPlan =
+          deriveParallelPlan(deps::fuseTopLevelNests(ip.prog), ctx);
+      EXPECT_EQ(fusedPlan.kind, Kind::Serial) << fusedPlan.str();
+      EXPECT_FALSE(fusedPlan.reason.empty());
+    }
+  }
+}
+
+TEST(ParallelExec, GatherProgramParallelMatchesSerial) {
+  // The unfused gather chain's proven ParallelLoop plan must execute
+  // bitwise-equal to serial native (index arrays and values identical).
+  SKIP_WITHOUT_HOST_CC();
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    tests::IndirectProgram ip = tests::randomIndirectProgram(seed);
+    poly::ParamContext ctx;
+    ctx.addParam("N", 2, 100000);
+    ctx.addParam("K", 1, 1024);
+    ParallelPlan plan = deriveParallelPlan(ip.prog, ctx);
+    ASSERT_EQ(plan.kind, Kind::ParallelLoop) << plan.str();
+    auto init = [&ip, seed](interp::Machine& m) {
+      tests::initIndirectArrays(m, ip.bindings, seed);
+    };
+    expectParallelMatchesSerial(ip.prog, plan, ip.bindings.params, init,
+                                "indirect seed " + std::to_string(seed));
+  }
+}
+
 TEST(ParallelPlan, WaveTableIsAValidSchedule) {
   // Reference wave tables for the two parallel kernels: waveIds
   // nondecreasing from 0, every row binding grainDepth vals, and within

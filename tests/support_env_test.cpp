@@ -12,6 +12,8 @@
 
 #include "codegen/module_cache.h"
 #include "codegen/parallel.h"
+#include "ir/stmt.h"
+#include "poly/set.h"
 #include "support/env.h"
 
 namespace fixfuse::support {
@@ -166,6 +168,101 @@ TEST(Env, ParallelWorkersParsesStrictPositiveInt) {
         << "'" << v << "'";
   }
   ::unsetenv("FIXFUSE_PARALLEL");
+}
+
+TEST(Env, PositiveDoubleParsesCompleteValues) {
+  ::unsetenv("FIXFUSE_ENVTEST_PD");
+  EXPECT_DOUBLE_EQ(env::positiveDouble("FIXFUSE_ENVTEST_PD", 1024.0, 1.05,
+                                       "a positive decimal", "noop"),
+                   1.05);
+  const struct {
+    const char* v;
+    double want;
+  } cases[] = {{"1.05", 1.05}, {"2", 2.0},     {"0.5", 0.5},
+               {"1.", 1.0},    {".25", 0.25},  {"1024", 1024.0}};
+  for (const auto& c : cases) {
+    ::setenv("FIXFUSE_ENVTEST_PD", c.v, 1);
+    EXPECT_DOUBLE_EQ(env::positiveDouble("FIXFUSE_ENVTEST_PD", 1024.0, 1.05,
+                                         "a positive decimal", "noop"),
+                     c.want)
+        << "'" << c.v << "'";
+  }
+  ::unsetenv("FIXFUSE_ENVTEST_PD");
+}
+
+TEST(Env, PositiveDoubleRejectsMalformedWithWarning) {
+  // First malformed value warns in the uniform format...
+  ::setenv("FIXFUSE_ENVTEST_PDBAD", "1.05x", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(env::positiveDouble("FIXFUSE_ENVTEST_PDBAD", 1024.0, 1.05,
+                                       "a positive decimal <= 1024",
+                                       "using the default"),
+                   1.05);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(),
+            "warning: unrecognized FIXFUSE_ENVTEST_PDBAD value '1.05x' "
+            "(expected a positive decimal <= 1024); using the default\n");
+  // ...and every later rejection of the same variable is silent. Signs,
+  // whitespace, exponents, multiple dots, zero, negatives and
+  // out-of-range values all fall back.
+  for (const char* v : {"", " 1.05", "1.05 ", "+1.05", "-1.05", "1e3",
+                        "1.0.5", ".", "0", "0.0", "1025", "nan", "inf"}) {
+    ::setenv("FIXFUSE_ENVTEST_PDBAD", v, 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_DOUBLE_EQ(env::positiveDouble("FIXFUSE_ENVTEST_PDBAD", 1024.0,
+                                         1.05, "a positive decimal <= 1024",
+                                         "using the default"),
+                     1.05)
+        << "'" << v << "'";
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "") << "'" << v << "'";
+  }
+  ::unsetenv("FIXFUSE_ENVTEST_PDBAD");
+}
+
+TEST(Env, ParallelThresholdKnob) {
+  // FIXFUSE_PARALLEL_THRESHOLD: strict positive decimal, default 1.05,
+  // read fresh on every call.
+  ::unsetenv("FIXFUSE_PARALLEL_THRESHOLD");
+  EXPECT_DOUBLE_EQ(codegen::parallelThresholdFromEnv(), 1.05);
+  ::setenv("FIXFUSE_PARALLEL_THRESHOLD", "2.5", 1);
+  EXPECT_DOUBLE_EQ(codegen::parallelThresholdFromEnv(), 2.5);
+  ::setenv("FIXFUSE_PARALLEL_THRESHOLD", "0.1", 1);
+  EXPECT_DOUBLE_EQ(codegen::parallelThresholdFromEnv(), 0.1);
+  ::setenv("FIXFUSE_PARALLEL_THRESHOLD", "bogus", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(codegen::parallelThresholdFromEnv(), 1.05);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(),
+            "warning: unrecognized FIXFUSE_PARALLEL_THRESHOLD value 'bogus' "
+            "(expected a positive decimal <= 1024 (e.g. 1.05)); "
+            "using the default profitability threshold 1.05\n");
+  ::unsetenv("FIXFUSE_PARALLEL_THRESHOLD");
+}
+
+TEST(Env, ParallelThresholdSteersProfitability) {
+  // An absurdly high bar turns every provably parallel candidate
+  // unprofitable: the plan degrades to Serial with the explicit
+  // "none profitable" reason, never to an illegal schedule.
+  using namespace fixfuse::ir;
+  Program p;
+  p.params = {"N"};
+  p.declareArray("A", {add(iv("N"), ic(2))});
+  p.declareArray("B", {add(iv("N"), ic(2))});
+  p.body = blockS({loopS(
+      "i", ic(1), iv("N"),
+      {aassign("A", {iv("i")}, add(load("B", {iv("i")}), fc(1.0)))})});
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+
+  ::unsetenv("FIXFUSE_PARALLEL_THRESHOLD");
+  EXPECT_EQ(codegen::deriveParallelPlan(p, ctx).kind,
+            codegen::ParallelPlan::Kind::ParallelLoop);
+  ::setenv("FIXFUSE_PARALLEL_THRESHOLD", "1000", 1);
+  codegen::ParallelPlan high = codegen::deriveParallelPlan(p, ctx);
+  EXPECT_EQ(high.kind, codegen::ParallelPlan::Kind::Serial);
+  EXPECT_NE(high.reason.find("none profitable"), std::string::npos)
+      << high.reason;
+  ::unsetenv("FIXFUSE_PARALLEL_THRESHOLD");
+  EXPECT_EQ(codegen::deriveParallelPlan(p, ctx).kind,
+            codegen::ParallelPlan::Kind::ParallelLoop);
 }
 
 TEST(Env, WarnInvalidOncePerVarSuppressesRepeats) {
