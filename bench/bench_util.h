@@ -233,12 +233,24 @@ class BenchReport {
     sparse_.set(key, std::move(v));
   }
 
+  /// Fields for the top-level `server` section (schema v10): the
+  /// compile-server saturation replay - corpus size, request/error/
+  /// cache-hit/verified tallies per pass (deterministic and
+  /// baseline-gated) plus requests/sec and p50/p99 latency (volatile)
+  /// and the persistent-tier counters (volatile: depend on what a
+  /// previous run left in FIXFUSE_CACHE_DIR). Written only when a bench
+  /// sets at least one field (server_saturation does).
+  void setServer(const std::string& key, support::Json v) {
+    if (server_.isNull()) server_ = support::Json::object();
+    server_.set(key, std::move(v));
+  }
+
   /// Write the report when requested; returns the path written to.
   std::optional<std::string> write() {
     if (!path_) return std::nullopt;
     support::Json doc = support::Json::object();
     doc.set("bench", name_);
-    doc.set("schema_version", std::int64_t{9});
+    doc.set("schema_version", std::int64_t{10});
     doc.set("full_sweep", fullRuns());
     doc.set("threads", static_cast<std::int64_t>(sweepThreads()));
     // Environment knobs that shape execution (schema v8). Both are
@@ -259,6 +271,7 @@ class BenchReport {
     if (!engine_.isNull()) doc.set("engine", std::move(engine_));
     if (!parallel_.isNull()) doc.set("parallel", std::move(parallel_));
     if (!sparse_.isNull()) doc.set("sparse", std::move(sparse_));
+    if (!server_.isNull()) doc.set("server", std::move(server_));
     doc.set("wall_seconds", now() - start_);
     std::FILE* f = std::fopen(path_->c_str(), "w");
     if (!f) {
@@ -294,6 +307,7 @@ class BenchReport {
   support::Json engine_;    // null unless setEngine was called (schema v7)
   support::Json parallel_;  // null unless setParallel was called (schema v8)
   support::Json sparse_;    // null unless setSparse was called (schema v9)
+  support::Json server_;    // null unless setServer was called (schema v10)
 };
 
 /// Run fn(i) for each sweep point on the worker pool, then emit the rows

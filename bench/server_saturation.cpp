@@ -1,0 +1,193 @@
+// Compile-server saturation: an in-process fixfuse-serve daemon under
+// concurrent replay clients.
+//
+// Pass 0 ("cold") replays the deterministic corpus once over a single
+// connection: every program plans once, every module compiles once (or
+// loads from FIXFUSE_CACHE_DIR when a previous run populated it).
+// Pass 1 ("saturation") replays the same corpus from several concurrent
+// clients: every request must hit the plan cache - the warm hit rate
+// the CI gate pins at 100% - while requests/sec and p50/p99 latency
+// measure the served throughput. Every `run` request is executed
+// through the native executor with bit-for-bit verification against the
+// bytecode interpreter; the bench refuses to count an unchecked run.
+//
+// Deterministic JSON fields (baseline-gated): corpus composition,
+// request/error/hit/verified tallies per pass, engine plan-cache
+// counters. Volatile: requests/sec, latency percentiles, wall clock and
+// the persistent-tier counters (they depend on what an earlier process
+// left in FIXFUSE_CACHE_DIR).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "server/corpus.h"
+#include "server/server.h"
+
+using namespace fixfuse;
+
+namespace {
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+support::Json passJson(const server::ReplayResult& r) {
+  support::Json o = support::Json::object();
+  o.set("requests", static_cast<std::int64_t>(r.requests));
+  o.set("errors", static_cast<std::int64_t>(r.errors));
+  o.set("cache_hits", static_cast<std::int64_t>(r.cacheHits));
+  o.set("runs", static_cast<std::int64_t>(r.runs));
+  o.set("runs_verified", static_cast<std::int64_t>(r.runsVerified));
+  o.set("runs_bytecode", static_cast<std::int64_t>(r.bytecodeRuns));
+  // Runs neither verified against bytecode nor served by it: must be 0
+  // (the server never returns an unchecked result).
+  o.set("runs_unchecked", static_cast<std::int64_t>(
+                              r.runs - r.runsVerified - r.bytecodeRuns));
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchReport report("server_saturation", argc, argv);
+  const bool full = bench::fullRuns();
+  const std::size_t fuzzCount = full ? 16 : 8;
+  const std::size_t syntheticCount = full ? 8 : 4;
+  const unsigned clients = full ? 8 : 4;
+
+  std::printf("server saturation bench (%s scale)\n",
+              full ? "full" : "reduced");
+  const std::vector<server::CorpusEntry> corpus =
+      server::buildCorpus(fuzzCount, syntheticCount);
+  std::size_t kernels = 0, fuzz = 0, synthetic = 0;
+  for (const server::CorpusEntry& e : corpus) {
+    if (e.name.rfind("kernel:", 0) == 0) ++kernels;
+    if (e.name.rfind("fuzz:", 0) == 0) ++fuzz;
+    if (e.name.rfind("synthetic:", 0) == 0) ++synthetic;
+  }
+  std::printf("corpus: %zu entries (%zu kernel, %zu fuzz, %zu synthetic)\n",
+              corpus.size(), kernels, fuzz, synthetic);
+
+  const std::string socketPath =
+      (std::filesystem::temp_directory_path() /
+       ("fixfuse-sat-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  engine::Engine eng(/*cacheBound=*/256);
+  server::Server srv(eng, {.socketPath = socketPath, .workers = clients});
+  try {
+    srv.start();
+  } catch (const support::ProtocolError& e) {
+    std::printf("skipping: %s\n", e.what());
+    return 0;
+  }
+
+  // Pass 0: cold, one connection. Times the plan+compile path.
+  const double t0 = bench::now();
+  server::ReplayResult cold;
+  {
+    server::Client c(socketPath);
+    cold = server::replayCorpus(c, corpus);
+  }
+  const double coldSeconds = bench::now() - t0;
+  std::printf(
+      "cold: %zu requests, %zu errors, %zu cache hits, %zu runs "
+      "(%zu verified, %zu on bytecode) in %.2fs\n",
+      cold.requests, cold.errors, cold.cacheHits, cold.runs,
+      cold.runsVerified, cold.bytecodeRuns, coldSeconds);
+
+  // Pass 1: saturation - `clients` concurrent connections, each
+  // replaying the full corpus against the warmed caches.
+  std::vector<server::ReplayResult> results(clients);
+  const double t1 = bench::now();
+  {
+    std::vector<std::thread> threads;
+    for (unsigned i = 0; i < clients; ++i)
+      threads.emplace_back([&, i] {
+        server::Client c(socketPath);
+        results[i] = server::replayCorpus(c, corpus);
+      });
+    for (std::thread& t : threads) t.join();
+  }
+  const double satSeconds = bench::now() - t1;
+
+  server::ReplayResult sat;
+  for (const server::ReplayResult& r : results) {
+    sat.requests += r.requests;
+    sat.errors += r.errors;
+    sat.cacheHits += r.cacheHits;
+    sat.runs += r.runs;
+    sat.runsVerified += r.runsVerified;
+    sat.bytecodeRuns += r.bytecodeRuns;
+    sat.latenciesSeconds.insert(sat.latenciesSeconds.end(),
+                                r.latenciesSeconds.begin(),
+                                r.latenciesSeconds.end());
+    if (sat.firstError.empty()) sat.firstError = r.firstError;
+  }
+  const double rps =
+      satSeconds > 0 ? static_cast<double>(sat.requests) / satSeconds : 0;
+  const double p50 = percentile(sat.latenciesSeconds, 0.50);
+  const double p99 = percentile(sat.latenciesSeconds, 0.99);
+  std::printf(
+      "saturation: %u clients, %zu requests, %zu errors, %zu cache hits, "
+      "%zu runs (%zu verified, %zu on bytecode)\n",
+      clients, sat.requests, sat.errors, sat.cacheHits, sat.runs,
+      sat.runsVerified, sat.bytecodeRuns);
+  std::printf("throughput: %.0f requests/sec, p50 %.3f ms, p99 %.3f ms\n",
+              rps, p50 * 1e3, p99 * 1e3);
+  if (!cold.firstError.empty() || !sat.firstError.empty())
+    std::printf("first error: %s\n", (!cold.firstError.empty()
+                                          ? cold.firstError
+                                          : sat.firstError)
+                                         .c_str());
+
+  const support::Json stats = eng.statsJson();
+  server::Request sd;
+  sd.verb = "shutdown";
+  {
+    server::Client c(socketPath);
+    c.call(sd);
+  }
+  srv.wait();
+
+  if (report.enabled()) {
+    support::Json corpusObj = support::Json::object();
+    corpusObj.set("entries", static_cast<std::int64_t>(corpus.size()));
+    corpusObj.set("kernels", static_cast<std::int64_t>(kernels));
+    corpusObj.set("fuzz", static_cast<std::int64_t>(fuzz));
+    corpusObj.set("synthetic", static_cast<std::int64_t>(synthetic));
+    report.setServer("corpus", std::move(corpusObj));
+    report.setServer("clients", static_cast<std::int64_t>(clients));
+    report.setServer("cold", passJson(cold));
+    support::Json satObj = passJson(sat);
+    satObj.set("hit_rate", sat.requests
+                               ? static_cast<double>(sat.cacheHits) /
+                                     static_cast<double>(sat.requests)
+                               : 0.0);
+    satObj.set("requests_per_sec", rps);
+    satObj.set("p50_seconds", p50);
+    satObj.set("p99_seconds", p99);
+    report.setServer("saturation", std::move(satObj));
+    // Engine/cache counters: plan traffic is deterministic; the module/
+    // disk tiers land under "disk"-prefixed keys the baseline differ
+    // treats as volatile (they depend on FIXFUSE_CACHE_DIR residency).
+    report.setServer("plan_hits",
+                     static_cast<std::int64_t>(eng.cacheStats().hits));
+    report.setServer("plan_misses",
+                     static_cast<std::int64_t>(eng.cacheStats().misses));
+    support::Json disk = support::Json::object();
+    disk.set("stats", stats);  // full engine statsJson snapshot
+    report.setServer("disk", std::move(disk));
+  }
+  report.write();
+  return (cold.errors || sat.errors) ? 1 : 0;
+}

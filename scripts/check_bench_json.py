@@ -3,7 +3,7 @@
 
 Usage:
     check_bench_json.py <fresh_dir> [--baselines <dir>] [--update]
-                        [--allow-no-native]
+                        [--allow-no-native] [--gates]
 
 For every baseline in bench/baselines/, the same-named report must exist
 in <fresh_dir> and match it exactly after *pruning volatile fields*
@@ -33,8 +33,18 @@ that was generated from a failing run):
               self-verified), and sparse.pass true with the inspector
               fusion proved, the fused schedule bit-for-bit equal to
               the unfused one and strictly fewer simulated L1 misses.
-  table1_capability: every kernel handled.
+  table1_capability: every kernel handled (and a pipeline section
+              present).
   ablation_fixdeps:  every post-FixDeps error norm exactly 0.
+  server_saturation: zero request errors, the saturation pass 100%
+              cache-hit, zero unchecked runs (every served execution
+              verified against bytecode or served by it), and the
+              throughput/latency numbers present.
+
+With --gates, skip the baseline diff and run only the schema pin and
+the gates over every fresh report - the mode CI smoke legs use on
+reports that have no committed baseline requirement yet (it replaces
+the inline Python assertion block the workflow used to carry).
 
 Exit status: 0 clean, 1 on any mismatch, missing report or failed gate.
 """
@@ -59,7 +69,15 @@ VOLATILE_KEYS = {
     "workers",
     "fixfuse_parallel",
     "fixfuse_threads",
+    # Persistent-tier counters (schema v10): hits/stores/compile counts
+    # depend on what an earlier process left in FIXFUSE_CACHE_DIR.
+    "disk",
+    "host_compiles",
 }
+
+# Every report must carry this schema; a mismatch means the bench binary
+# and this script (or the committed baselines) are out of step.
+EXPECTED_SCHEMA = 10
 
 
 def is_volatile(key):
@@ -109,6 +127,8 @@ def fail(errors, msg):
 
 def gate_microbench(doc, errors, allow_no_native):
     interp = doc.get("interp", {})
+    if interp.get("backend") not in ("tree", "bytecode", "native"):
+        fail(errors, f"interp.backend {interp.get('backend')!r} unknown")
     if interp.get("speedup", 0) < 3.0:
         fail(errors, f"interp.speedup {interp.get('speedup')} < 3")
     if interp.get("totals_agree") is not True:
@@ -137,6 +157,13 @@ def gate_microbench(doc, errors, allow_no_native):
     planner = doc.get("planner", {})
     if planner.get("pass") is not True:
         fail(errors, "planner.pass is not true")
+    # The paper's hand-derived strategies: planner drift shows up here.
+    for kernel, strategy in (("cholesky", "peel"), ("jacobi", "fuse"),
+                             ("lu", "peel"), ("qr", "relax-bounds")):
+        got = planner.get(kernel, {}).get("strategy")
+        if got != strategy:
+            fail(errors, f"planner.{kernel}.strategy {got!r} != "
+                         f"{strategy!r}")
     engine = doc.get("engine", {})
     if engine.get("pass") is not True:
         fail(errors, "engine.pass is not true")
@@ -155,6 +182,10 @@ def gate_microbench(doc, errors, allow_no_native):
         if parallel.get(kernel, {}).get("legal") is not True:
             fail(errors, f"parallel.{kernel}.legal is not true "
                          "(wavefront plan lost)")
+        if parallel.get(kernel, {}).get("kind") != "wavefront":
+            fail(errors, f"parallel.{kernel}.kind "
+                         f"{parallel.get(kernel, {}).get('kind')!r} != "
+                         "'wavefront'")
     for kernel, t in parallel.get("traffic", {}).items():
         if t.get("ratio", 0) < 1.0:
             fail(errors, f"parallel.traffic.{kernel}.ratio "
@@ -177,6 +208,13 @@ def gate_microbench(doc, errors, allow_no_native):
     if sparse.get("inspector", {}).get("fusable") is not True:
         fail(errors, "sparse.inspector.fusable is not true "
                      "(inspector proof lost)")
+    if sparse.get("inspector", {}).get("violations") != 0:
+        fail(errors, "sparse.inspector.violations "
+                     f"{sparse.get('inspector', {}).get('violations')!r}"
+                     " != 0")
+    if sparse.get("strategy") != "inspector":
+        fail(errors, f"sparse.strategy {sparse.get('strategy')!r} != "
+                     "'inspector'")
     if sparse.get("verified") is not True:
         fail(errors, "sparse.verified is not true (fused schedule not "
                      "bit-for-bit equal to unfused)")
@@ -188,6 +226,8 @@ def gate_microbench(doc, errors, allow_no_native):
 
 
 def gate_table1(doc, errors):
+    if not doc.get("pipeline"):
+        fail(errors, "pipeline section missing or empty")
     for row in doc.get("rows", []):
         if row.get("handled") is not True:
             fail(errors, f"kernel {row.get('kernel')!r} not handled")
@@ -201,11 +241,53 @@ def gate_ablation(doc, errors):
                          f"post-FixDeps error {err!r} != 0")
 
 
+def gate_server(doc, errors):
+    server = doc.get("server")
+    if not server:
+        fail(errors, "server section missing (sockets unavailable?)")
+        return
+    if server.get("corpus", {}).get("entries", 0) < 10:
+        fail(errors, "server.corpus.entries "
+                     f"{server.get('corpus', {}).get('entries')!r} < 10 "
+                     "(corpus collapsed)")
+    for name in ("cold", "saturation"):
+        p = server.get(name, {})
+        if p.get("errors") != 0:
+            fail(errors, f"server.{name}.errors {p.get('errors')!r} != 0")
+        if p.get("runs_unchecked") != 0:
+            fail(errors, f"server.{name}.runs_unchecked "
+                         f"{p.get('runs_unchecked')!r} != 0 (a served "
+                         "run was neither verified nor on bytecode)")
+        if p.get("runs", 0) < 1:
+            fail(errors, f"server.{name}.runs {p.get('runs')!r} < 1")
+    sat = server.get("saturation", {})
+    if sat.get("hit_rate") != 1.0:
+        fail(errors, f"server.saturation.hit_rate {sat.get('hit_rate')!r}"
+                     " != 1.0 (warm replay must be all cache hits)")
+    if not sat.get("requests_per_sec", 0) > 0:
+        fail(errors, "server.saturation.requests_per_sec missing or 0")
+    if "p99_seconds" not in sat or sat["p99_seconds"] < 0:
+        fail(errors, "server.saturation.p99_seconds missing or negative")
+
+
 GATES = {
     "microbench": gate_microbench,
     "table1_capability": gate_table1,
     "ablation_fixdeps": gate_ablation,
+    "server_saturation": gate_server,
 }
+
+
+def run_gates(doc, errors, allow_no_native):
+    if doc.get("schema_version") != EXPECTED_SCHEMA:
+        fail(errors, f"schema_version {doc.get('schema_version')!r} != "
+                     f"{EXPECTED_SCHEMA}")
+    bench = doc.get("bench", "")
+    if bench in GATES:
+        if bench == "microbench":
+            GATES[bench](doc, errors, allow_no_native)
+        else:
+            GATES[bench](doc, errors)
 
 
 def check_one(baseline_path, fresh_dir, allow_no_native):
@@ -227,12 +309,7 @@ def check_one(baseline_path, fresh_dir, allow_no_native):
         for doc in (pruned_base, pruned_fresh):
             doc.get("interp", {}).pop("native", None)
     diff(pruned_base, pruned_fresh, "", errors)
-    bench = fresh.get("bench", "")
-    if bench in GATES:
-        if bench == "microbench":
-            GATES[bench](fresh, errors, allow_no_native)
-        else:
-            GATES[bench](fresh, errors)
+    run_gates(fresh, errors, allow_no_native)
     return errors
 
 
@@ -252,6 +329,9 @@ def main():
     ap.add_argument("--allow-no-native", action="store_true",
                     help="do not require the native-backend section "
                          "(runners without a host C compiler)")
+    ap.add_argument("--gates", action="store_true",
+                    help="run only the schema pin and minimum-bar gates "
+                         "over the fresh reports; no baseline diff")
     args = ap.parse_args()
 
     # A missing or empty fresh directory is an environment/setup error
@@ -267,6 +347,19 @@ def main():
         print(f"error: no BENCH_*.json in {args.fresh_dir} (run the "
               "benches with FIXFUSE_JSON=<dir> first)", file=sys.stderr)
         return 1
+
+    if args.gates:
+        rc = 0
+        for name in fresh_names:
+            errors = []
+            run_gates(json.loads((args.fresh_dir / name).read_text()),
+                      errors, args.allow_no_native)
+            status = "ok" if not errors else "FAIL"
+            print(f"{name}: {status} (gates only)")
+            for e in errors:
+                print(f"  {e}")
+            rc |= bool(errors)
+        return rc
 
     if args.update:
         args.baselines.mkdir(parents=True, exist_ok=True)

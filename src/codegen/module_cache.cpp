@@ -1,5 +1,10 @@
 #include "codegen/module_cache.h"
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "ir/printer.h"
 #include "support/env.h"
 
 namespace fixfuse::codegen {
@@ -10,16 +15,40 @@ std::size_t engineCacheBoundFromEnv() {
       "a positive entry count <= 2^20", "using default bound 256");
 }
 
-ModuleCache::ModuleCache(std::size_t bound) : cache_(bound) {}
+std::string persistentCacheDirFromEnv() {
+  return support::env::stringOr("FIXFUSE_CACHE_DIR", "");
+}
+
+std::uint64_t persistentCacheMaxBytesFromEnv() {
+  const std::uint32_t mb = support::env::positiveInt(
+      "FIXFUSE_CACHE_MB", /*max=*/1u << 20, /*fallback=*/512,
+      "a positive size in MiB <= 2^20", "using default bound 512 MiB");
+  return static_cast<std::uint64_t>(mb) << 20;
+}
+
+std::string moduleStoreVersion() {
+  // Bump the schema component whenever the persisted artifact format or
+  // the emitted-code ABI changes shape.
+  return "ffmod-1 | " + hostCompilerId();
+}
+
+ModuleCache::ModuleCache(std::size_t bound)
+    : ModuleCache(bound, persistentCacheDirFromEnv(),
+                  persistentCacheMaxBytesFromEnv()) {}
+
+ModuleCache::ModuleCache(std::size_t bound, const std::string& diskDir,
+                         std::uint64_t diskMaxBytes)
+    : cache_(bound) {
+  if (!diskDir.empty())
+    disk_ = std::make_unique<support::DiskStore>(diskDir, diskMaxBytes,
+                                                 moduleStoreVersion());
+}
 
 namespace {
 
-/// Program fingerprint + parallel-mode marker + plan identity packed as
-/// length-prefixed 8-byte words (mirrors engine::appendString).
-ir::Fingerprint parallelKey(const ir::Program& p, const ParallelPlan& plan) {
-  ir::Fingerprint fp = ir::fingerprint(p);
-  fp.push_back(0xF1F0A11E7ull);  // parallel-artifact marker
-  const std::string s = plan.str();
+/// Append a string as length + packed 8-byte words (mirrors
+/// engine::appendString): full content, never a trusted hash.
+void packString(ir::Fingerprint& fp, const std::string& s) {
   fp.push_back(s.size());
   std::uint64_t w = 0;
   int k = 0;
@@ -32,19 +61,88 @@ ir::Fingerprint parallelKey(const ir::Program& p, const ParallelPlan& plan) {
     }
   }
   if (k) fp.push_back(w);
+}
+
+/// Program fingerprint + parallel-mode marker + plan identity packed as
+/// length-prefixed 8-byte words (mirrors engine::appendString).
+ir::Fingerprint parallelKey(const ir::Program& p, const ParallelPlan& plan) {
+  ir::Fingerprint fp = ir::fingerprint(p);
+  fp.push_back(0xF1F0A11E7ull);  // parallel-artifact marker
+  packString(fp, plan.str());
   return fp;
+}
+
+/// The persistent tier's key. ir::Fingerprint words are hash-consed
+/// expression *addresses* - canonical within one process, meaningless in
+/// the next - so disk entries key on the canonical printed program text
+/// (the goldens' deterministic rendering) plus the parallel plan,
+/// packed verbatim. Same full-tuple equality discipline, one process-
+/// independent spelling.
+ir::Fingerprint stableDiskKey(const ir::Program& p, const ParallelPlan* plan) {
+  ir::Fingerprint fp;
+  fp.push_back(0xD15CF00Dull);  // disk-tier marker
+  packString(fp, ir::printProgram(p));
+  fp.push_back(plan ? 1 : 0);
+  if (plan) packString(fp, plan->str());
+  return fp;
+}
+
+std::string readFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
 }
 
 }  // namespace
 
+std::shared_ptr<const NativeModule> ModuleCache::loadOrCompile(
+    const ir::Program& p, const ParallelPlan* plan) {
+  // Computed lazily only when a disk tier exists: printing the program
+  // is pure overhead on the in-memory path.
+  ir::Fingerprint key;
+  if (disk_) key = stableDiskKey(p, plan);
+  if (disk_) {
+    if (std::optional<support::DiskStore::Blobs> blobs = disk_->load(key)) {
+      std::string so, source;
+      for (auto& [name, data] : *blobs) {
+        if (name == "so") so = std::move(data);
+        if (name == "c") source = std::move(data);
+      }
+      try {
+        if (so.empty()) throw NativeError("persisted entry has no .so blob");
+        return NativeModule::fromImage(p, plan, so, std::move(source));
+      } catch (const Error& e) {
+        // The entry parsed but its artifact will not load here (e.g. a
+        // foreign-architecture .so): evict it and rebuild fresh.
+        std::fprintf(
+            stderr,
+            "warning: evicting unusable cache entry %s: %s; rebuilding\n",
+            disk_->entryPath(key).c_str(), e.what());
+        disk_->remove(key);
+      }
+    }
+  }
+  std::shared_ptr<const NativeModule> mod =
+      plan ? NativeModule::compileParallel(p, *plan) : NativeModule::compile(p);
+  if (disk_) {
+    const std::string so = readFileBytes(mod->soPath());
+    // Persist successes only; a vanished .so just skips the tier.
+    if (!so.empty())
+      disk_->store(key, {{"so", so}, {"c", mod->source()}});
+  }
+  return mod;
+}
+
 std::shared_ptr<const NativeModule> ModuleCache::getOrCompile(
     const ir::Program& p, bool* cached) {
+  const ir::Fingerprint key = ir::fingerprint(p);
   std::shared_ptr<const Entry> entry = cache_.getOrBuild(
-      ir::fingerprint(p),
+      key,
       [&]() -> std::shared_ptr<const Entry> {
         auto e = std::make_shared<Entry>();
         try {
-          e->module = NativeModule::compile(p);
+          e->module = loadOrCompile(p, nullptr);
         } catch (const Error& err) {
           e->error = err.what();
         }
@@ -69,12 +167,13 @@ std::shared_ptr<const NativeModule> ModuleCache::tryGetOrCompile(
 
 std::shared_ptr<const NativeModule> ModuleCache::getOrCompileParallel(
     const ir::Program& p, const ParallelPlan& plan, bool* cached) {
+  const ir::Fingerprint key = parallelKey(p, plan);
   std::shared_ptr<const Entry> entry = cache_.getOrBuild(
-      parallelKey(p, plan),
+      key,
       [&]() -> std::shared_ptr<const Entry> {
         auto e = std::make_shared<Entry>();
         try {
-          e->module = NativeModule::compileParallel(p, plan);
+          e->module = loadOrCompile(p, &plan);
         } catch (const Error& err) {
           e->error = err.what();
         }

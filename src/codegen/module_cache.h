@@ -18,11 +18,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "codegen/native_module.h"
 #include "ir/fingerprint.h"
+#include "support/diskstore.h"
 #include "support/sharded_lru.h"
 
 namespace fixfuse::codegen {
@@ -33,10 +35,30 @@ namespace fixfuse::codegen {
 /// to the default).
 std::size_t engineCacheBoundFromEnv();
 
+/// Directory of the persistent (cross-process) module cache tier, from
+/// FIXFUSE_CACHE_DIR. Empty (the default) disables the tier entirely -
+/// no filesystem traffic, no compiler-id probe.
+std::string persistentCacheDirFromEnv();
+
+/// Byte bound of the persistent tier, from FIXFUSE_CACHE_MB via strict
+/// support::env::positiveInt (default 512 MiB, max 2^20 MiB; invalid
+/// values warn once per process and fall back to the default).
+std::uint64_t persistentCacheMaxBytesFromEnv();
+
+/// Version tag of persisted module entries: the artifact-format schema
+/// plus hostCompilerId(). Any mismatch makes an on-disk entry stale -
+/// a schema bump or compiler change invalidates, never mis-serves.
+std::string moduleStoreVersion();
+
 class ModuleCache {
  public:
-  /// Bound defaults to FIXFUSE_ENGINE_CACHE (engineCacheBoundFromEnv).
+  /// Bound defaults to FIXFUSE_ENGINE_CACHE (engineCacheBoundFromEnv);
+  /// the persistent tier defaults to FIXFUSE_CACHE_DIR /
+  /// FIXFUSE_CACHE_MB (disabled when the dir is empty). Tests pass
+  /// explicit dirs for isolation.
   explicit ModuleCache(std::size_t bound = engineCacheBoundFromEnv());
+  ModuleCache(std::size_t bound, const std::string& diskDir,
+              std::uint64_t diskMaxBytes);
 
   /// Compile `p` or return the cached module for its hash-consed
   /// identity. Thread-safe; exactly one compile per fingerprint.
@@ -66,6 +88,15 @@ class ModuleCache {
   /// hits / misses / evictions / compile wall-clock, summed over shards.
   support::CacheStats stats() const { return cache_.stats(); }
 
+  /// Is the persistent tier active for this cache?
+  bool diskEnabled() const { return disk_ != nullptr; }
+  /// Traffic tallies of the persistent tier (zeros when disabled).
+  support::DiskStoreStats diskStats() const {
+    return disk_ ? disk_->stats() : support::DiskStoreStats{};
+  }
+  /// The persistent tier's directory ("" when disabled).
+  std::string diskDir() const { return disk_ ? disk_->dir() : std::string(); }
+
   std::size_t bound() const { return cache_.bound(); }
   std::size_t shardCount() const { return cache_.shardCount(); }
   std::size_t size() const { return cache_.size(); }
@@ -76,9 +107,18 @@ class ModuleCache {
     std::string error;                           // reason when null
   };
 
+  /// The build step behind both getOrCompile flavours: consult the
+  /// persistent tier first (load + dlopen, evicting unusable entries
+  /// loudly), else run the host compiler and persist the result. The
+  /// disk tier keys on the printed program text, not the in-memory
+  /// fingerprint - expression addresses do not survive a process.
+  std::shared_ptr<const NativeModule> loadOrCompile(const ir::Program& p,
+                                                    const ParallelPlan* plan);
+
   support::ShardedLruCache<ir::Fingerprint, std::shared_ptr<const Entry>,
                            ir::FingerprintHash>
       cache_;
+  std::unique_ptr<support::DiskStore> disk_;  // null when tier disabled
 };
 
 /// The process-wide module cache (leaky singleton, like the consing

@@ -107,7 +107,44 @@ support::Dylib compileAndLoad(const std::string& source,
   }
 }
 
+// Kernel-module builds this process (probe excluded); hostCompileCount.
+std::atomic<std::uint64_t> gCompileCount{0};
+
+// Process-unique scratch stem: concurrent compiles (distinct shards of
+// the module cache, or independent caches) must not clobber each
+// other's .c/.so files.
+std::uint64_t nextScratchId() {
+  static std::atomic<std::uint64_t> nextId{0};
+  return nextId.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
+
+void NativeModule::finishModule(NativeModule& mod, support::Dylib lib,
+                                const ir::Program& p,
+                                const ParallelPlan* plan) {
+  mod.entry_ = reinterpret_cast<EntryFn>(lib.symbol("ff_kernel_entry"));
+  if (plan) {
+    mod.preFn_ = reinterpret_cast<NativeModule::EntryFn>(
+        lib.symbol("ff_kernel_pre_entry"));
+    mod.postFn_ = reinterpret_cast<NativeModule::EntryFn>(
+        lib.symbol("ff_kernel_post_entry"));
+    mod.waveTableFn_ = reinterpret_cast<NativeModule::WaveTableFn>(
+        lib.symbol("ff_kernel_wave_table"));
+    mod.tileFn_ =
+        reinterpret_cast<NativeModule::TileFn>(lib.symbol("ff_kernel_tile"));
+    mod.grainDepth_ = plan->grainDepth();
+  }
+  mod.nParams_ = p.params.size();
+  mod.nArrays_ = p.arrays.size();
+  for (const auto& s : p.scalars) {
+    mod.scalarIsInt_.push_back(s.type == ir::Type::Int);
+    (s.type == ir::Type::Int ? mod.nIntScalars_ : mod.nFloatScalars_) += 1;
+  }
+  mod.lib_ = std::shared_ptr<void>(
+      new support::Dylib(std::move(lib)),
+      [](void* d) { delete static_cast<support::Dylib*>(d); });
+}
 
 std::shared_ptr<const NativeModule> NativeModule::compileImpl(
     const ir::Program& p, const ParallelPlan* plan) {
@@ -118,11 +155,7 @@ std::shared_ptr<const NativeModule> NativeModule::compileImpl(
   opts.parallel = plan;
   const std::string source = emitC(p, opts);
 
-  // Process-unique scratch stem: concurrent compiles (distinct shards of
-  // the module cache, or independent caches) must not clobber each
-  // other's .c/.so files.
-  static std::atomic<std::uint64_t> nextId{0};
-  const std::uint64_t id = nextId.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = nextScratchId();
 
   std::shared_ptr<NativeModule> mod(new NativeModule());
   mod->source_ = source;
@@ -130,29 +163,35 @@ std::shared_ptr<const NativeModule> NativeModule::compileImpl(
   std::string soPath;
   support::Dylib lib = compileAndLoad(
       source, (plan ? "pmod_" : "mod_") + std::to_string(id), &soPath);
-  void* entry = lib.symbol("ff_kernel_entry");
+  gCompileCount.fetch_add(1, std::memory_order_relaxed);
   mod->compileSeconds_ = nowSeconds() - t0;
   mod->soPath_ = soPath;
-  mod->entry_ = reinterpret_cast<NativeModule::EntryFn>(entry);
-  if (plan) {
-    mod->preFn_ =
-        reinterpret_cast<EntryFn>(lib.symbol("ff_kernel_pre_entry"));
-    mod->postFn_ =
-        reinterpret_cast<EntryFn>(lib.symbol("ff_kernel_post_entry"));
-    mod->waveTableFn_ =
-        reinterpret_cast<WaveTableFn>(lib.symbol("ff_kernel_wave_table"));
-    mod->tileFn_ = reinterpret_cast<TileFn>(lib.symbol("ff_kernel_tile"));
-    mod->grainDepth_ = plan->grainDepth();
+  finishModule(*mod, std::move(lib), p, plan);
+  return mod;
+}
+
+std::shared_ptr<const NativeModule> NativeModule::fromImage(
+    const ir::Program& p, const ParallelPlan* plan,
+    const std::string& soBytes, std::string source) {
+  if (!support::Dylib::supported())
+    throw NativeError("dynamic loading unsupported on this platform");
+  const fs::path so =
+      scratchDir() / ("img_" + std::to_string(nextScratchId()) + ".so");
+  {
+    std::ofstream out(so, std::ios::binary | std::ios::trunc);
+    if (!out) throw NativeError("cannot write " + so.string());
+    out.write(soBytes.data(), static_cast<std::streamsize>(soBytes.size()));
+    if (!out) throw NativeError("short write to " + so.string());
   }
-  mod->nParams_ = p.params.size();
-  mod->nArrays_ = p.arrays.size();
-  for (const auto& s : p.scalars) {
-    mod->scalarIsInt_.push_back(s.type == ir::Type::Int);
-    (s.type == ir::Type::Int ? mod->nIntScalars_ : mod->nFloatScalars_) += 1;
+  std::shared_ptr<NativeModule> mod(new NativeModule());
+  mod->source_ = std::move(source);
+  mod->soPath_ = so.string();
+  try {
+    support::Dylib lib = support::Dylib::open(so.string());
+    finishModule(*mod, std::move(lib), p, plan);
+  } catch (const support::DylibError& e) {
+    throw NativeError(e.what());
   }
-  mod->lib_ = std::shared_ptr<void>(
-      new support::Dylib(std::move(lib)),
-      [](void* d) { delete static_cast<support::Dylib*>(d); });
   return mod;
 }
 
@@ -306,6 +345,28 @@ const std::string& hostCompilerUnavailableReason() { return probe().reason; }
 
 std::string hostCompilerCommand() {
   return compilerBase() + " " + compilerFlags();
+}
+
+const std::string& hostCompilerId() {
+  static const std::string* id = [] {
+    std::string s = hostCompilerCommand();
+    // First line of `<cc> --version`, so upgrading the toolchain (same
+    // command, new binary) still changes the identity.
+    const fs::path out = scratchDir() / "ccid.txt";
+    const std::string cmd =
+        compilerBase() + " --version > " + out.string() + " 2>&1";
+    if (std::system(cmd.c_str()) == 0) {
+      std::ifstream in(out);
+      std::string line;
+      if (in && std::getline(in, line) && !line.empty()) s += " | " + line;
+    }
+    return new std::string(std::move(s));
+  }();
+  return *id;
+}
+
+std::uint64_t hostCompileCount() {
+  return gCompileCount.load(std::memory_order_relaxed);
 }
 
 }  // namespace fixfuse::codegen

@@ -40,6 +40,10 @@
 #include "support/error.h"
 #include "support/thread_pool.h"
 
+namespace fixfuse::support {
+class Dylib;
+}
+
 namespace fixfuse::codegen {
 
 /// Native compilation or loading failed (missing compiler, compiler
@@ -75,6 +79,16 @@ class NativeModule {
   /// is serial.
   static std::shared_ptr<const NativeModule> compileParallel(
       const ir::Program& p, const ParallelPlan& plan);
+
+  /// Rehydrate a module from a previously compiled shared object's raw
+  /// bytes (the persistent cache tier): the bytes are written to the
+  /// scratch dir and dlopened - no host-compiler run. `plan` must be
+  /// the same plan (or null) the image was compiled with; the caller
+  /// (ModuleCache) guarantees this because the plan is part of the
+  /// disk key. Throws NativeError when the image does not load.
+  static std::shared_ptr<const NativeModule> fromImage(
+      const ir::Program& p, const ParallelPlan* plan,
+      const std::string& soBytes, std::string source);
 
   /// Execute the compiled entry point on `b`. The binding's vector sizes
   /// must match the program the module was compiled from (checked).
@@ -132,6 +146,10 @@ class NativeModule {
 
   static std::shared_ptr<const NativeModule> compileImpl(
       const ir::Program& p, const ParallelPlan* plan);
+  /// Resolve entry symbols from a loaded library and fill the
+  /// program-shape metadata (shared by compile and fromImage).
+  static void finishModule(NativeModule& mod, support::Dylib lib,
+                           const ir::Program& p, const ParallelPlan* plan);
 
   EntryFn entry_ = nullptr;
   EntryFn preFn_ = nullptr, postFn_ = nullptr;
@@ -163,5 +181,17 @@ const std::string& hostCompilerUnavailableReason();
 /// The compiler command prefix in use, e.g. "cc -O2 -shared -fPIC"
 /// (FIXFUSE_CC / FIXFUSE_CFLAGS applied) - for bench reports.
 std::string hostCompilerCommand();
+
+/// Stable identity of the host compiler: the command prefix plus the
+/// first line of `cc --version` output. Folded into the persistent
+/// cache tier's version tag, so a compiler upgrade (or a FIXFUSE_CC /
+/// FIXFUSE_CFLAGS change) invalidates every persisted artifact instead
+/// of serving objects another compiler built. Computed once per process.
+const std::string& hostCompilerId();
+
+/// Kernel modules built by the host compiler in this process (probe
+/// runs excluded, fromImage loads excluded). The warm-start legs
+/// assert this stays 0 when the persistent tier serves all traffic.
+std::uint64_t hostCompileCount();
 
 }  // namespace fixfuse::codegen

@@ -230,6 +230,36 @@ CompiledProgram Engine::compileSystem(const deps::NestSystem& sys,
   return CompiledProgram(std::move(entry), hit);
 }
 
+support::Json Engine::statsJson() const {
+  auto cacheObj = [](const support::CacheStats& s, std::size_t size,
+                     std::size_t bound) {
+    support::Json o = support::Json::object();
+    o.set("hits", static_cast<std::int64_t>(s.hits));
+    o.set("misses", static_cast<std::int64_t>(s.misses));
+    o.set("evictions", static_cast<std::int64_t>(s.evictions));
+    o.set("build_seconds", s.buildSeconds);
+    o.set("size", static_cast<std::int64_t>(size));
+    o.set("bound", static_cast<std::int64_t>(bound));
+    return o;
+  };
+  codegen::ModuleCache& mc = codegen::processModuleCache();
+  support::Json doc = support::Json::object();
+  doc.set("plan_cache", cacheObj(cache_.stats(), cache_.size(), cache_.bound()));
+  doc.set("module_cache", cacheObj(mc.stats(), mc.size(), mc.bound()));
+  const support::DiskStoreStats ds = mc.diskStats();
+  support::Json disk = support::Json::object();
+  disk.set("enabled", mc.diskEnabled());
+  disk.set("dir", mc.diskDir());
+  disk.set("hits", static_cast<std::int64_t>(ds.hits));
+  disk.set("misses", static_cast<std::int64_t>(ds.misses));
+  disk.set("stores", static_cast<std::int64_t>(ds.stores));
+  disk.set("evictions", static_cast<std::int64_t>(ds.evictions));
+  disk.set("corrupt", static_cast<std::int64_t>(ds.corrupt));
+  doc.set("disk", std::move(disk));
+  doc.set("host_compiles", static_cast<std::int64_t>(codegen::hostCompileCount()));
+  return doc;
+}
+
 Engine& processEngine() {
   static Engine* engine = new Engine();  // leaky, like the arenas
   return *engine;

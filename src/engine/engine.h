@@ -43,6 +43,7 @@
 #include "interp/interp.h"
 #include "pipeline/native_exec.h"
 #include "poly/set.h"
+#include "support/json.h"
 
 namespace fixfuse::engine {
 
@@ -133,6 +134,11 @@ class Engine {
 
   /// Plan-cache counters (hits/misses/evictions/build wall-clock).
   support::CacheStats cacheStats() const { return cache_.stats(); }
+  /// Service-level counter snapshot as one JSON object: this engine's
+  /// plan cache, the process module cache, its persistent disk tier and
+  /// the host-compiler build count. The compile server's `stats` verb
+  /// and the saturation bench report exactly this object.
+  support::Json statsJson() const;
   std::size_t cacheBound() const { return cache_.bound(); }
   std::size_t cacheShards() const { return cache_.shardCount(); }
   std::size_t cacheSize() const { return cache_.size(); }

@@ -1,0 +1,217 @@
+#include "server/corpus.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/fuse.h"
+#include "engine/engine.h"
+#include "ir/parse.h"
+#include "ir/printer.h"
+#include "ir/stmt.h"
+#include "kernels/common.h"
+#include "poly/set.h"
+#include "support/error.h"
+
+#include "../../tests/fuzz_systems.h"
+
+namespace fixfuse::server {
+
+namespace {
+
+/// The replay ctx header for a kernel: the kernel drivers' ranges
+/// (kernels::kernelContext), spelled out so the request is
+/// self-contained on the wire.
+std::string kernelCtxHeader(bool withM) {
+  return withM ? "N=4:1000000,M=1:1000000" : "N=4:1000000";
+}
+
+/// Trial-compile `e` on `eng` with exactly the options the replay will
+/// use; false when the planner (or any pipeline stage) rejects it.
+bool accepts(engine::Engine& eng, const CorpusEntry& e) {
+  poly::ParamContext ctx;
+  // Mirror the server's ctxFromHeader: parse name=lo:hi items; params
+  // the header leaves out get the default kernel range.
+  ir::Program p;
+  try {
+    p = ir::parseProgram(e.text);
+  } catch (const Error&) {
+    return false;
+  }
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> bounds;
+  std::size_t pos = 0;
+  while (pos < e.ctx.size()) {
+    std::size_t next = e.ctx.find(',', pos);
+    if (next == std::string::npos) next = e.ctx.size();
+    const std::string item = e.ctx.substr(pos, next - pos);
+    pos = next + 1;
+    const std::size_t eq = item.find('=');
+    const std::size_t colon = item.find(':');
+    if (eq == std::string::npos || colon == std::string::npos) continue;
+    bounds[item.substr(0, eq)] = {
+        std::stoll(item.substr(eq + 1, colon - eq - 1)),
+        std::stoll(item.substr(colon + 1))};
+  }
+  for (const std::string& name : p.params) {
+    auto it = bounds.find(name);
+    if (it == bounds.end())
+      ctx.addParam(name, 4, 1000000);
+    else
+      ctx.addParam(name, it->second.first, it->second.second);
+  }
+  engine::CompileOptions co;
+  co.tile = e.tile;
+  try {
+    eng.compile(p, ctx, co);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+/// The engine microbench's two-nest program family: always a single
+/// top-level nest, always plannable, distinct per constant.
+std::string syntheticText(double c) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), R"(
+program(N) {
+  double R[(N + 4)];
+  double S[(N + 4)];
+  for k = 1 .. N {
+    for i = 1 .. N {
+      R[i] = (R[i] + (%g * S[i]));
+    }
+    for i = 1 .. N {
+      S[i] = (S[i] + R[min((i + 1), N)]);
+    }
+  }
+}
+)",
+                c);
+  return buf;
+}
+
+}  // namespace
+
+Request CorpusEntry::compileRequest() const {
+  Request r;
+  r.verb = "compile";
+  if (!ctx.empty()) r.headers["ctx"] = ctx;
+  if (tile > 0) r.headers["tile"] = std::to_string(tile);
+  r.body = text;
+  return r;
+}
+
+Request CorpusEntry::runRequest() const {
+  Request r;
+  r.verb = "run";
+  if (!ctx.empty()) r.headers["ctx"] = ctx;
+  if (tile > 0) r.headers["tile"] = std::to_string(tile);
+  std::string bound;
+  for (const auto& [name, value] : params) {
+    if (!bound.empty()) bound += ",";
+    bound += name + "=" + std::to_string(value);
+  }
+  r.headers["params"] = bound;
+  r.headers["seed"] = std::to_string(seed);
+  r.body = text;
+  return r;
+}
+
+std::vector<CorpusEntry> buildCorpus(std::size_t fuzzCount,
+                                     std::size_t syntheticCount) {
+  std::vector<CorpusEntry> out;
+  engine::Engine trial(/*cacheBound=*/64);  // throwaway: filter only
+
+  // The four paper kernels, untiled sequential text plus one tiled
+  // variant each (tile 8 keeps replay-scale runs fast).
+  for (const char* name : {"lu", "cholesky", "qr", "jacobi"}) {
+    const bool withM = std::string(name) == "jacobi";
+    kernels::KernelOptions ko;
+    ko.tile = 0;  // corpus building needs seq only; replay tiles
+    const kernels::KernelBundle kb = kernels::buildKernel(name, ko);
+    CorpusEntry e;
+    e.name = std::string("kernel:") + name;
+    e.text = ir::printProgram(kb.seq);
+    e.ctx = kernelCtxHeader(withM);
+    e.params["N"] = withM ? 16 : 24;
+    if (withM) e.params["M"] = 4;
+    e.seed = 7;
+    if (accepts(trial, e)) out.push_back(e);
+    CorpusEntry t = e;
+    t.name += ":tiled";
+    t.tile = 8;
+    if (accepts(trial, t)) out.push_back(t);
+  }
+
+  // Fuzz-system programs: the FixDeps generator emits a *sequence* of
+  // top-level nests, which the planner rejects by shape; a single-trip
+  // outer loop makes it one nest without changing a single statement
+  // instance. Rejected seeds (non-fusable shapes) are skipped - the
+  // corpus promises replayability, not generator coverage.
+  std::uint64_t seed = 1;
+  std::size_t accepted = 0;
+  for (; accepted < fuzzCount && seed <= fuzzCount * 8; ++seed) {
+    const tests::FuzzSystem fz = tests::randomSystem(seed);
+    if (!fz.ok) continue;
+    const ir::Program p0 = core::generateSequentialProgram(fz.sys);
+    ir::Program w = p0;
+    w.body = ir::blockS({ir::loopS("t", ir::ic(1), ir::ic(1),
+                                   {p0.body->clone()})});
+    w.numberAssignments();
+    CorpusEntry e;
+    e.name = "fuzz:" + std::to_string(seed);
+    e.text = ir::printProgram(w);
+    e.ctx = "N=4:100000";
+    e.params["N"] = 32;
+    e.seed = seed;
+    if (!accepts(trial, e)) continue;
+    out.push_back(e);
+    ++accepted;
+  }
+
+  // Synthetic two-nest variants (the engine microbench's program
+  // family), half of them tiled.
+  for (std::size_t i = 0; i < syntheticCount; ++i) {
+    CorpusEntry e;
+    e.name = "synthetic:" + std::to_string(i);
+    e.text = syntheticText(0.5 + 0.03125 * static_cast<double>(i));
+    e.ctx = "N=4:1000000";
+    e.tile = (i % 2) ? 8 : 0;
+    e.params["N"] = 48;
+    e.seed = 11 + i;
+    if (accepts(trial, e)) out.push_back(e);
+  }
+  return out;
+}
+
+ReplayResult replayCorpus(Client& client,
+                          const std::vector<CorpusEntry>& corpus) {
+  ReplayResult rr;
+  auto send = [&](const std::string& name, const Request& req) -> Response {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Response resp = client.call(req);
+    const auto t1 = std::chrono::steady_clock::now();
+    rr.latenciesSeconds.push_back(
+        std::chrono::duration<double>(t1 - t0).count());
+    ++rr.requests;
+    if (!resp.ok) {
+      ++rr.errors;
+      if (rr.firstError.empty())
+        rr.firstError = name + ": [" + resp.header("error") + "] " + resp.body;
+    }
+    if (resp.header("cache") == "hit") ++rr.cacheHits;
+    return resp;
+  };
+  for (const CorpusEntry& e : corpus) {
+    send(e.name, e.compileRequest());
+    const Response run = send(e.name, e.runRequest());
+    if (run.ok) {
+      ++rr.runs;
+      if (run.header("verified") == "1") ++rr.runsVerified;
+      if (run.header("backend") == "bytecode") ++rr.bytecodeRuns;
+    }
+  }
+  return rr;
+}
+
+}  // namespace fixfuse::server

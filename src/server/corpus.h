@@ -1,0 +1,60 @@
+// The replayable request corpus behind the saturation bench and the CI
+// smoke/warm-start legs: a deterministic stream of textual-IR requests
+// drawn from the four paper kernels, the FixDeps fuzz-system generator
+// (tests/fuzz_systems.h) and synthetic two-nest variants (the engine
+// microbench's program family). One definition shared by
+// bench/server_saturation and the fixfuse-serve --replay client, so
+// "replay the corpus twice" means the same traffic everywhere.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/server.h"
+
+namespace fixfuse::server {
+
+/// One replayable request: program text plus everything needed to
+/// compile and run it deterministically.
+struct CorpusEntry {
+  std::string name;   // "kernel:cholesky", "fuzz:17", "synthetic:3"
+  std::string text;   // program text (the request body)
+  std::string ctx;    // ctx header value ("" = server defaults)
+  std::int64_t tile = 0;
+  std::map<std::string, std::int64_t> params;  // run bindings
+  std::uint64_t seed = 1;                      // run init seed
+
+  /// The compile/run requests this entry replays as.
+  Request compileRequest() const;
+  Request runRequest() const;
+};
+
+/// Build the deterministic corpus: the four kernels, `fuzzCount`
+/// fuzz-system programs (each nest sequence wrapped in a single-trip
+/// outer loop so it is one top-level nest, the shape the planner
+/// accepts), and `syntheticCount` constant-varied two-nest programs.
+/// Every candidate is trial-compiled on a throwaway engine and skipped
+/// if rejected, so replaying the corpus against a warmed server yields
+/// a 100% cache-hit pass - the property the saturation gate pins.
+std::vector<CorpusEntry> buildCorpus(std::size_t fuzzCount,
+                                     std::size_t syntheticCount);
+
+/// Tallies of one replay pass over the corpus.
+struct ReplayResult {
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  std::size_t cacheHits = 0;
+  std::size_t runs = 0;
+  std::size_t runsVerified = 0;
+  std::size_t bytecodeRuns = 0;  // native unavailable: served by bytecode
+  std::vector<double> latenciesSeconds;  // one per request, arrival order
+  std::string firstError;                // name + reason of the first failure
+};
+
+/// Replay every entry (compile, then run) through `client` sequentially.
+ReplayResult replayCorpus(Client& client,
+                          const std::vector<CorpusEntry>& corpus);
+
+}  // namespace fixfuse::server

@@ -1,0 +1,609 @@
+#include "server/server.h"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<sys/socket.h>) && __has_include(<sys/un.h>) && \
+    __has_include(<unistd.h>)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define FIXFUSE_HAVE_SOCKETS 1
+#endif
+#endif
+
+#include "codegen/emit_c.h"
+#include "codegen/module_cache.h"
+#include "codegen/native_module.h"
+#include "ir/parse.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace fixfuse::server {
+
+namespace {
+
+constexpr const char* kVersionTag = "fixfuse/1";
+
+// --- wire format ------------------------------------------------------------
+
+std::string serializeMessage(const std::string& head,
+                             const std::map<std::string, std::string>& headers,
+                             const std::string& body) {
+  std::string out = std::string(kVersionTag) + " " + head + "\n";
+  for (const auto& [k, v] : headers) out += k + ": " + v + "\n";
+  out += "\n";
+  out += body;
+  return out;
+}
+
+/// Split `frame` into head line, headers and body; throws ProtocolError.
+std::string parseMessage(const std::string& frame,
+                         std::map<std::string, std::string>* headers,
+                         std::string* body) {
+  std::size_t eol = frame.find('\n');
+  if (eol == std::string::npos)
+    throw support::ProtocolError("request has no header section");
+  std::string line = frame.substr(0, eol);
+  const std::string prefix = std::string(kVersionTag) + " ";
+  if (line.rfind(prefix, 0) != 0)
+    throw support::ProtocolError("expected '" + prefix +
+                                 "<verb>' on the first line, got '" + line +
+                                 "'");
+  const std::string head = line.substr(prefix.size());
+  if (head.empty()) throw support::ProtocolError("empty verb");
+
+  std::size_t pos = eol + 1;
+  while (true) {
+    eol = frame.find('\n', pos);
+    if (eol == std::string::npos)
+      throw support::ProtocolError("headers not terminated by a blank line");
+    line = frame.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) break;  // blank separator
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos)
+      throw support::ProtocolError("malformed header line '" + line + "'");
+    std::string value = line.substr(colon + 1);
+    if (!value.empty() && value[0] == ' ') value.erase(0, 1);
+    (*headers)[line.substr(0, colon)] = std::move(value);
+  }
+  *body = frame.substr(pos);
+  return head;
+}
+
+// --- header value parsing ---------------------------------------------------
+
+/// Complete signed decimal; throws ProtocolError on anything else.
+std::int64_t parseI64(const std::string& s, const char* what) {
+  if (s.empty()) throw support::ProtocolError(std::string(what) + " is empty");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size())
+    throw support::ProtocolError("malformed " + std::string(what) + " '" + s +
+                                 "'");
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t parseU64(const std::string& s, const char* what) {
+  if (s.empty()) throw support::ProtocolError(std::string(what) + " is empty");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size())
+    throw support::ProtocolError("malformed " + std::string(what) + " '" + s +
+                                 "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+std::vector<std::string> splitList(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) next = s.size();
+    if (next > pos) out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+/// "N=40,M=8" -> bindings; throws ProtocolError on malformed items.
+std::map<std::string, std::int64_t> parseParams(const std::string& s) {
+  std::map<std::string, std::int64_t> out;
+  for (const std::string& item : splitList(s, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw support::ProtocolError("malformed params item '" + item +
+                                   "' (expected name=value)");
+    out[item.substr(0, eq)] = parseI64(item.substr(eq + 1), "params value");
+  }
+  return out;
+}
+
+/// "N=4:1000000,M=1:100" + the program's parameter list -> ParamContext.
+/// Parameters the header does not mention get the default range
+/// [4, 1000000] (the kernel drivers' N range); names the program does
+/// not declare are rejected.
+poly::ParamContext ctxFromHeader(const std::string& s, const ir::Program& p) {
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> bounds;
+  for (const std::string& item : splitList(s, ',')) {
+    const std::size_t eq = item.find('=');
+    const std::size_t colon = item.find(':', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || colon == std::string::npos || eq == 0)
+      throw support::ProtocolError("malformed ctx item '" + item +
+                                   "' (expected name=lo:hi)");
+    const std::string name = item.substr(0, eq);
+    bool known = false;
+    for (const std::string& q : p.params) known = known || q == name;
+    if (!known)
+      throw support::ProtocolError("ctx names undeclared parameter '" + name +
+                                   "'");
+    bounds[name] = {parseI64(item.substr(eq + 1, colon - eq - 1), "ctx lo"),
+                    parseI64(item.substr(colon + 1), "ctx hi")};
+  }
+  poly::ParamContext ctx;
+  for (const std::string& name : p.params) {
+    auto it = bounds.find(name);
+    if (it == bounds.end())
+      ctx.addParam(name, 4, 1000000);
+    else
+      ctx.addParam(name, it->second.first, it->second.second);
+  }
+  return ctx;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+Response errorResponse(const std::string& kind, const std::string& reason) {
+  Response r;
+  r.ok = false;
+  r.headers["error"] = kind;
+  r.body = reason;
+  return r;
+}
+
+}  // namespace
+
+// --- Request / Response -----------------------------------------------------
+
+std::string Request::serialize() const {
+  return serializeMessage(verb, headers, body);
+}
+
+Request Request::parse(const std::string& frame) {
+  Request r;
+  r.verb = parseMessage(frame, &r.headers, &r.body);
+  return r;
+}
+
+std::string Request::header(const std::string& name) const {
+  auto it = headers.find(name);
+  return it == headers.end() ? std::string() : it->second;
+}
+
+std::string Response::serialize() const {
+  return serializeMessage(ok ? "ok" : "error", headers, body);
+}
+
+Response Response::parse(const std::string& frame) {
+  Response r;
+  const std::string status = parseMessage(frame, &r.headers, &r.body);
+  if (status == "ok")
+    r.ok = true;
+  else if (status == "error")
+    r.ok = false;
+  else
+    throw support::ProtocolError("unknown response status '" + status + "'");
+  return r;
+}
+
+std::string Response::header(const std::string& name) const {
+  auto it = headers.find(name);
+  return it == headers.end() ? std::string() : it->second;
+}
+
+// --- deterministic run state ------------------------------------------------
+
+void seedInit(const ir::Program& p, interp::Machine& m, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (const ir::ArrayDecl& a : p.arrays) {
+    if (a.isIndexArray()) continue;  // gather indices come from bindings
+    if (!m.hasArray(a.name)) continue;
+    for (double& v : m.array(a.name).data()) v = rng.nextDouble(-2.0, 2.0);
+  }
+}
+
+std::uint64_t stateDigest(const ir::Program& p, const interp::Machine& m) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const void* data, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const ir::ArrayDecl& a : p.arrays) {
+    if (!m.hasArray(a.name)) continue;
+    const std::vector<double>& d = m.array(a.name).data();
+    mix(d.data(), d.size() * sizeof(double));
+  }
+  for (const ir::ScalarDecl& s : p.scalars) {
+    if (s.type == ir::Type::Int) {
+      const std::int64_t v = m.intScalar(s.name);
+      mix(&v, sizeof(v));
+    } else {
+      const double v = m.floatScalar(s.name);
+      mix(&v, sizeof(v));
+    }
+  }
+  return h;
+}
+
+// --- Service ----------------------------------------------------------------
+
+Response Service::handle(const Request& req) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    return dispatch(req);
+  } catch (const support::ProtocolError& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return errorResponse("protocol", e.what());
+  } catch (const ir::ParseError& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return errorResponse("parse", e.what());
+  } catch (const UnsupportedError& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return errorResponse("unsupported", e.what());
+  } catch (const pipeline::VerificationError& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return errorResponse("verification", e.what());
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return errorResponse("internal", e.what());
+  }
+}
+
+Response Service::dispatch(const Request& req) {
+  if (req.verb == "ping") {
+    Response r;
+    r.headers["pong"] = "1";
+    return r;
+  }
+  if (req.verb == "shutdown") {
+    Response r;
+    r.headers["bye"] = "1";
+    return r;
+  }
+  if (req.verb == "stats") {
+    const ServiceStats s = stats();
+    const support::CacheStats plan = engine_.cacheStats();
+    codegen::ModuleCache& mc = codegen::processModuleCache();
+    const support::CacheStats mod = mc.stats();
+    const support::DiskStoreStats disk = mc.diskStats();
+
+    Response r;
+    r.headers["requests"] = std::to_string(s.requests);
+    r.headers["errors"] = std::to_string(s.errors);
+    r.headers["compiles"] = std::to_string(s.compiles);
+    r.headers["cache_hits"] = std::to_string(s.cacheHits);
+    r.headers["runs"] = std::to_string(s.runs);
+    r.headers["runs_verified"] = std::to_string(s.runsVerified);
+    r.headers["plan_hits"] = std::to_string(plan.hits);
+    r.headers["plan_misses"] = std::to_string(plan.misses);
+    r.headers["module_hits"] = std::to_string(mod.hits);
+    r.headers["module_misses"] = std::to_string(mod.misses);
+    r.headers["native_compiles"] = std::to_string(codegen::hostCompileCount());
+    r.headers["disk_enabled"] = mc.diskEnabled() ? "1" : "0";
+    r.headers["disk_hits"] = std::to_string(disk.hits);
+    r.headers["disk_misses"] = std::to_string(disk.misses);
+    r.headers["disk_stores"] = std::to_string(disk.stores);
+    r.headers["disk_corrupt"] = std::to_string(disk.corrupt);
+
+    support::Json doc = engine_.statsJson();
+    support::Json served = support::Json::object();
+    served.set("requests", static_cast<std::int64_t>(s.requests));
+    served.set("errors", static_cast<std::int64_t>(s.errors));
+    served.set("compiles", static_cast<std::int64_t>(s.compiles));
+    served.set("cache_hits", static_cast<std::int64_t>(s.cacheHits));
+    served.set("runs", static_cast<std::int64_t>(s.runs));
+    served.set("runs_verified", static_cast<std::int64_t>(s.runsVerified));
+    doc.set("served", std::move(served));
+    r.body = doc.str(2);
+    return r;
+  }
+  if (req.verb != "emitc" && req.verb != "compile" && req.verb != "run")
+    throw support::ProtocolError("unknown verb '" + req.verb + "'");
+
+  // The compile verbs share one path into the engine.
+  if (req.body.empty())
+    throw support::ProtocolError("verb '" + req.verb +
+                                 "' requires a program body");
+  const ir::Program p = ir::parseProgram(req.body);
+  const poly::ParamContext ctx = ctxFromHeader(req.header("ctx"), p);
+  engine::CompileOptions co;
+  if (!req.header("tile").empty())
+    co.tile = parseI64(req.header("tile"), "tile header");
+
+  const engine::CompiledProgram cp = engine_.compile(p, ctx, co);
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  if (cp.cacheHit()) cacheHits_.fetch_add(1, std::memory_order_relaxed);
+
+  Response r;
+  r.headers["cache"] = cp.cacheHit() ? "hit" : "miss";
+  r.headers["signature"] = cp.planSignature();
+  const std::string& sig = cp.planSignature();
+  r.headers["strategy"] = sig.substr(0, sig.find('|'));
+
+  if (req.verb == "emitc") {
+    codegen::EmitOptions eo;
+    eo.functionName = "ff_kernel";
+    eo.standalone = true;
+    r.body = codegen::emitC(cp.tiled(), eo);
+    return r;
+  }
+  if (req.verb == "compile") {
+    r.headers["fingerprint"] = hex16(ir::fingerprint(cp.tiled()).empty()
+                                         ? 0
+                                         : ir::fingerprint(cp.tiled())[0]);
+    return r;
+  }
+
+  // run: bind params, init deterministically, execute through the
+  // native executor with bit-for-bit verification on.
+  const std::map<std::string, std::int64_t> params =
+      parseParams(req.header("params"));
+  for (const std::string& name : p.params)
+    if (!params.count(name))
+      throw support::ProtocolError("run request missing binding for '" + name +
+                                   "'");
+  const std::uint64_t seed = req.header("seed").empty()
+                                 ? 1
+                                 : parseU64(req.header("seed"), "seed header");
+  pipeline::NativeRunReport report;
+  const interp::Machine m = cp.runNative(
+      params,
+      [&cp, seed](interp::Machine& mm) { seedInit(cp.tiled(), mm, seed); },
+      &report, /*verify=*/true);
+  runs_.fetch_add(1, std::memory_order_relaxed);
+  if (report.verified) runsVerified_.fetch_add(1, std::memory_order_relaxed);
+
+  r.headers["backend"] = report.backend;
+  r.headers["verified"] = report.verified ? "1" : "0";
+  r.headers["compile_cached"] = report.compileCached ? "1" : "0";
+  r.headers["digest"] = hex16(stateDigest(cp.tiled(), m));
+  return r;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.compiles = compiles_.load(std::memory_order_relaxed);
+  s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+  s.runs = runs_.load(std::memory_order_relaxed);
+  s.runsVerified = runsVerified_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- Server / Client (POSIX sockets) ----------------------------------------
+
+#ifdef FIXFUSE_HAVE_SOCKETS
+
+struct Server::Impl {
+  int listenFd = -1;
+  std::thread acceptThread;
+  std::unique_ptr<support::ThreadPool> pool;
+  std::mutex mu;
+  std::set<int> conns;
+  std::condition_variable cv;
+  bool stopRequested = false;
+  bool tornDown = false;
+};
+
+Server::Server(engine::Engine& eng, Options opts)
+    : opts_(std::move(opts)),
+      service_(std::make_unique<Service>(eng)),
+      impl_(std::make_unique<Impl>()) {}
+
+Server::~Server() { stop(); }
+
+namespace {
+
+int makeListener(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw support::ProtocolError("socket path '" + path +
+                                 "' is empty or too long for sockaddr_un");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw support::ProtocolError(std::string("socket: ") +
+                                 std::strerror(errno));
+  ::unlink(path.c_str());  // stale socket from a dead server
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw support::ProtocolError("bind " + path + ": " + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw support::ProtocolError("listen " + path + ": " + std::strerror(err));
+  }
+  return fd;
+}
+
+}  // namespace
+
+void Server::start() {
+  Impl& im = *impl_;
+  im.listenFd = makeListener(opts_.socketPath);
+  im.pool = std::make_unique<support::ThreadPool>(
+      opts_.workers ? opts_.workers : support::ThreadPool::hardwareThreads());
+  im.acceptThread = std::thread([this] {
+    Impl& impl = *impl_;
+    while (true) {
+      const int fd = ::accept(impl.listenFd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listener closed (stop) or fatal: end the loop
+      }
+      {
+        std::lock_guard<std::mutex> lock(impl.mu);
+        if (impl.stopRequested) {
+          ::close(fd);
+          break;
+        }
+        impl.conns.insert(fd);
+      }
+      impl.pool->submit([this, fd] {
+        serveConnection(fd);
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->conns.erase(fd);
+      });
+    }
+  });
+}
+
+void Server::serveConnection(int fd) {
+  while (true) {
+    std::string frame;
+    bool more = false;
+    try {
+      more = support::readFrame(fd, &frame);
+    } catch (const support::ProtocolError&) {
+      break;  // torn frame or peer reset: nothing sane to reply to
+    }
+    if (!more) break;
+    Response resp;
+    std::string verb;
+    try {
+      const Request req = Request::parse(frame);
+      verb = req.verb;
+      resp = service_->handle(req);
+    } catch (const support::ProtocolError& e) {
+      resp = errorResponse("protocol", e.what());
+    }
+    try {
+      support::writeFrame(fd, resp.serialize());
+    } catch (const support::ProtocolError&) {
+      break;
+    }
+    if (verb == "shutdown") {
+      // Respond first, then end the daemon: flip the flag and wake
+      // wait(); the teardown happens on the waiting thread, never on
+      // this pool thread.
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->stopRequested = true;
+      ::shutdown(impl_->listenFd, SHUT_RDWR);
+      impl_->cv.notify_all();
+      break;
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void Server::wait() {
+  Impl& im = *impl_;
+  std::unique_lock<std::mutex> lock(im.mu);
+  im.cv.wait(lock, [&im] { return im.stopRequested; });
+  lock.unlock();
+  stop();
+}
+
+void Server::stop() {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (im.tornDown) return;
+    im.tornDown = true;
+    im.stopRequested = true;
+    im.cv.notify_all();
+    if (im.listenFd >= 0) ::shutdown(im.listenFd, SHUT_RDWR);
+    // Nudge idle keep-alive connections: their blocking reads return 0
+    // (clean EOF) and the handler loops exit.
+    for (int fd : im.conns) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (im.acceptThread.joinable()) im.acceptThread.join();
+  im.pool.reset();  // drains and joins the connection handlers
+  if (im.listenFd >= 0) {
+    ::close(im.listenFd);
+    im.listenFd = -1;
+  }
+  ::unlink(opts_.socketPath.c_str());
+}
+
+Client::Client(const std::string& socketPath) {
+  sockaddr_un addr{};
+  if (socketPath.empty() || socketPath.size() >= sizeof(addr.sun_path))
+    throw support::ProtocolError("socket path '" + socketPath +
+                                 "' is empty or too long for sockaddr_un");
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw support::ProtocolError(std::string("socket: ") +
+                                 std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw support::ProtocolError("connect " + socketPath + ": " +
+                                 std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response Client::call(const Request& req) {
+  support::writeFrame(fd_, req.serialize());
+  std::string frame;
+  if (!support::readFrame(fd_, &frame))
+    throw support::ProtocolError("server closed the connection");
+  return Response::parse(frame);
+}
+
+#else  // !FIXFUSE_HAVE_SOCKETS
+
+struct Server::Impl {};
+
+Server::Server(engine::Engine& eng, Options opts)
+    : opts_(std::move(opts)), service_(std::make_unique<Service>(eng)) {}
+Server::~Server() = default;
+void Server::start() {
+  throw support::ProtocolError("AF_UNIX sockets unsupported on this platform");
+}
+void Server::stop() {}
+void Server::wait() {}
+void Server::serveConnection(int) {}
+
+Client::Client(const std::string&) {
+  throw support::ProtocolError("AF_UNIX sockets unsupported on this platform");
+}
+Client::~Client() = default;
+Response Client::call(const Request&) {
+  throw support::ProtocolError("AF_UNIX sockets unsupported on this platform");
+}
+
+#endif  // FIXFUSE_HAVE_SOCKETS
+
+}  // namespace fixfuse::server

@@ -1,0 +1,173 @@
+// Fusion-as-a-service (ROADMAP item 2): a long-running compile server
+// over the engine substrate.
+//
+// Requests are textual IR (ir::parseProgram is fuzz-proven to re-cons
+// pointer-identical trees) carried in length-prefixed frames
+// (support/protocol.h). Every request runs through one shared
+// engine::Engine - the same plan cache, module cache and persistent
+// disk tier all local callers use - so repeat traffic costs a hash
+// lookup, and a daemon restarted against a populated FIXFUSE_CACHE_DIR
+// serves native modules without ever invoking the host compiler.
+//
+// Execution discipline is unchanged from the rest of the repo: a `run`
+// request goes through CompiledProgram::runNative with verification on,
+// so every served result is machineStateBitwiseEqual-checked against
+// the bytecode interpreter (or transparently served *by* bytecode when
+// no host compiler exists - the response says which). The server never
+// weakens an engine invariant; it only moves the call site across a
+// socket.
+//
+// Request frame layout (one request per frame):
+//   fixfuse/1 <verb>\n        verbs: ping stats emitc compile run shutdown
+//   <name>: <value>\n         headers, order-insensitive, last one wins
+//   \n
+//   <body>                    program text (compile/emitc/run)
+//
+// Request headers:
+//   tile:   tile size for the planned tiling (default 0 = untiled)
+//   ctx:    parameter bounds "N=4:1000000,M=1:100" (defaults applied
+//           to params the header leaves out)
+//   params: concrete bindings for `run`, "N=40,M=8"
+//   seed:   deterministic SplitMix64 array initialisation for `run`
+//
+// Response frame layout mirrors the request ("fixfuse/1 ok|error").
+// Interesting response headers: cache (hit|miss), strategy, signature,
+// backend, verified (0|1), digest (FNV-1a over the final machine
+// state), and for stats: the engine/cache counters by name, so shell
+// clients can assert on them without a JSON parser.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "interp/machine.h"
+#include "support/protocol.h"
+
+namespace fixfuse::server {
+
+struct Request {
+  std::string verb;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string serialize() const;
+  /// Throws support::ProtocolError on a malformed frame (bad version
+  /// line, header without ':', missing blank separator).
+  static Request parse(const std::string& frame);
+
+  /// Header accessor with default ("" when absent).
+  std::string header(const std::string& name) const;
+};
+
+struct Response {
+  bool ok = true;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string serialize() const;
+  static Response parse(const std::string& frame);
+
+  std::string header(const std::string& name) const;
+};
+
+/// Deterministically fill every array of `m` from SplitMix64(seed)
+/// (declaration order of `p`, values in [-2, 2)), scalars zeroed as the
+/// Machine constructor left them. The replay client and the server must
+/// agree on this, so it lives next to the protocol.
+void seedInit(const ir::Program& p, interp::Machine& m, std::uint64_t seed);
+
+/// FNV-1a digest over the final machine state: every array's raw double
+/// bytes in declaration order, then the scalars in declaration order.
+/// Bitwise by construction - two states digest equal iff
+/// machineStateBitwiseEqual would accept them (modulo hash collisions),
+/// which lets a remote client check bit-equality across the wire.
+std::uint64_t stateDigest(const ir::Program& p, const interp::Machine& m);
+
+/// Per-verb request tallies of one Service (monotonic).
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t compiles = 0;  // compile+emitc+run requests
+  std::uint64_t cacheHits = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t runsVerified = 0;
+};
+
+/// The protocol-independent request handler: one instance per server,
+/// shared by every connection. Thread-safe (the engine's caches are
+/// sharded and single-flight; the tallies are atomics).
+class Service {
+ public:
+  explicit Service(engine::Engine& eng) : engine_(eng) {}
+
+  /// Handle one request. Never throws: every failure becomes an
+  /// ok=false response with the reason in the body and its class in
+  /// the `error` header (parse | unsupported | verification | internal).
+  Response handle(const Request& req);
+
+  ServiceStats stats() const;
+  engine::Engine& engine() { return engine_; }
+
+ private:
+  Response dispatch(const Request& req);
+
+  engine::Engine& engine_;
+  std::atomic<std::uint64_t> requests_{0}, errors_{0}, compiles_{0},
+      cacheHits_{0}, runs_{0}, runsVerified_{0};
+};
+
+/// The daemon: an AF_UNIX listener, one accept thread, connections
+/// served on a support::ThreadPool. `shutdown` requests (and stop())
+/// end the accept loop and drain in-flight connections.
+class Server {
+ public:
+  struct Options {
+    std::string socketPath;
+    unsigned workers = 0;  // 0 => ThreadPool::hardwareThreads()
+  };
+
+  Server(engine::Engine& eng, Options opts);
+  ~Server();
+
+  /// Bind + listen + start the accept thread. Throws
+  /// support::ProtocolError when the socket cannot be created (path too
+  /// long for sockaddr_un, bind failure, unsupported platform).
+  void start();
+  /// Idempotent: close the listener, nudge open connections, drain.
+  void stop();
+  /// Block until stop() is called (by a shutdown request or a signal
+  /// handler in the tool).
+  void wait();
+
+  const std::string& socketPath() const { return opts_.socketPath; }
+  Service& service() { return *service_; }
+
+ private:
+  struct Impl;
+  void serveConnection(int fd);
+
+  Options opts_;
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Blocking client over one connection. Methods throw
+/// support::ProtocolError on transport failure.
+class Client {
+ public:
+  explicit Client(const std::string& socketPath);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Response call(const Request& req);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace fixfuse::server

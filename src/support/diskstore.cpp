@@ -1,0 +1,292 @@
+#include "support/diskstore.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#if defined(__has_include)
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define FIXFUSE_HAVE_UNISTD 1
+#endif
+#endif
+
+#include "support/env.h"
+
+namespace fixfuse::support {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'F', 'F', 'D', 'S', '0', '0', '0', '1'};
+constexpr const char* kEntrySuffix = ".ffc";
+
+// FNV-1a, used both for entry file names and the trailing checksum.
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+// Bounds-checked little-endian reads over the serialized entry; any
+// overrun reports false and the caller treats the entry as corrupt.
+struct Reader {
+  const std::string& buf;
+  std::size_t pos = 0;
+  bool u64(std::uint64_t* v) {
+    if (buf.size() - pos < 8) return false;
+    std::uint64_t r = 0;
+    for (int i = 7; i >= 0; --i)
+      r = (r << 8) |
+          static_cast<unsigned char>(buf[pos + static_cast<std::size_t>(i)]);
+    *v = r;
+    pos += 8;
+    return true;
+  }
+  bool bytes(std::uint64_t n, std::string* out) {
+    if (n > buf.size() - pos) return false;
+    out->assign(buf, pos, static_cast<std::size_t>(n));
+    pos += static_cast<std::size_t>(n);
+    return true;
+  }
+};
+
+std::string serializeEntry(const DiskStore::Key& key,
+                           const DiskStore::Blobs& blobs,
+                           const std::string& version) {
+  std::string out(kMagic, sizeof(kMagic));
+  putU64(out, version.size());
+  out += version;
+  putU64(out, key.size());
+  for (std::uint64_t w : key) putU64(out, w);
+  putU64(out, blobs.size());
+  for (const auto& [name, data] : blobs) {
+    putU64(out, name.size());
+    out += name;
+    putU64(out, data.size());
+    out += data;
+  }
+  putU64(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+/// Why a parsed entry is unusable, or empty when it parsed cleanly.
+/// `keyMismatch` distinguishes "valid entry for a different key" (a
+/// hash collision: a plain miss, nothing to evict loudly).
+std::string parseEntry(const std::string& buf, const DiskStore::Key& key,
+                       const std::string& version, bool* keyMismatch,
+                       DiskStore::Blobs* out) {
+  *keyMismatch = false;
+  if (buf.size() < sizeof(kMagic) + 8 ||
+      buf.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0)
+    return "bad magic (not a fixfuse cache entry)";
+  const std::uint64_t want =
+      fnv1a(buf.data(), buf.size() - 8);
+  Reader tail{buf, buf.size() - 8};
+  std::uint64_t got = 0;
+  tail.u64(&got);
+  if (got != want) return "checksum mismatch (truncated or corrupt)";
+
+  Reader r{buf, sizeof(kMagic)};
+  std::uint64_t n = 0;
+  std::string entryVersion;
+  if (!r.u64(&n) || !r.bytes(n, &entryVersion)) return "short read (version)";
+  if (entryVersion != version)
+    return "stale version '" + entryVersion + "' (expected '" + version + "')";
+  if (!r.u64(&n)) return "short read (key length)";
+  if (n != key.size()) {
+    *keyMismatch = true;
+    return "key mismatch";
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t w = 0;
+    if (!r.u64(&w)) return "short read (key)";
+    if (w != key[static_cast<std::size_t>(i)]) {
+      *keyMismatch = true;
+      return "key mismatch";
+    }
+  }
+  std::uint64_t blobCount = 0;
+  if (!r.u64(&blobCount) || blobCount > 64) return "short read (blob count)";
+  DiskStore::Blobs blobs;
+  for (std::uint64_t i = 0; i < blobCount; ++i) {
+    std::string name, data;
+    if (!r.u64(&n) || !r.bytes(n, &name)) return "short read (blob name)";
+    if (!r.u64(&n) || !r.bytes(n, &data)) return "short read (blob data)";
+    blobs.emplace_back(std::move(name), std::move(data));
+  }
+  if (r.pos != buf.size() - 8) return "trailing garbage";
+  *out = std::move(blobs);
+  return {};
+}
+
+}  // namespace
+
+DiskStore::DiskStore(std::string dir, std::uint64_t maxBytes,
+                     std::string version)
+    : dir_(std::move(dir)),
+      maxBytes_(maxBytes),
+      version_(std::move(version)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    env::warnOncePerProcess(
+        "diskstore:" + dir_,
+        "cannot create cache dir " + dir_ + ": " + ec.message() +
+            "; the persistent cache tier is effectively disabled");
+}
+
+std::string DiskStore::entryPath(const Key& key) const {
+  std::uint64_t h = fnv1a(key.data(), key.size() * sizeof(std::uint64_t));
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx",
+                static_cast<unsigned long long>(h));
+  return (fs::path(dir_) / (std::string(name) + kEntrySuffix)).string();
+}
+
+std::optional<DiskStore::Blobs> DiskStore::load(const Key& key) {
+  const std::string path = entryPath(key);
+  std::string buf;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    buf.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+  }
+  bool keyMismatch = false;
+  Blobs blobs;
+  const std::string why = parseEntry(buf, key, version_, &keyMismatch, &blobs);
+  if (why.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    return blobs;
+  }
+  if (keyMismatch) {
+    // A valid entry for another key sharing the file name: plain miss.
+    // store() will overwrite it, which is ordinary cache displacement.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // Damaged or stale: evict loudly and rebuild.
+  std::fprintf(stderr,
+               "warning: evicting unusable cache entry %s: %s; rebuilding\n",
+               path.c_str(), why.c_str());
+  std::error_code ec;
+  fs::remove(path, ec);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.corrupt;
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void DiskStore::store(const Key& key, const Blobs& blobs) {
+  const std::string path = entryPath(key);
+  // Process+sequence-unique temp name in the same directory, so the
+  // final rename() is atomic on every POSIX filesystem.
+  static std::atomic<std::uint64_t> nextSeq{0};
+#ifdef FIXFUSE_HAVE_UNISTD
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  const std::string tmp =
+      path + ".tmp." + std::to_string(pid) + "." +
+      std::to_string(nextSeq.fetch_add(1, std::memory_order_relaxed));
+  const std::string entry = serializeEntry(key, blobs, version_);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (out) out.write(entry.data(), static_cast<std::streamsize>(entry.size()));
+    if (!out) {
+      env::warnOncePerProcess(
+          "diskstore-write:" + dir_,
+          "cannot write cache entry under " + dir_ +
+              "; continuing without the persistent tier");
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    env::warnOncePerProcess(
+        "diskstore-rename:" + dir_,
+        "cannot publish cache entry " + path + ": " + ec.message());
+    fs::remove(tmp, ec);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stores;
+  }
+  trimToBound();
+}
+
+void DiskStore::remove(const Key& key) {
+  std::error_code ec;
+  fs::remove(entryPath(key), ec);
+}
+
+void DiskStore::trimToBound() {
+  struct EntryFile {
+    fs::path path;
+    std::uint64_t size;
+    fs::file_time_type mtime;
+  };
+  std::vector<EntryFile> files;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (ec) return;
+    const fs::path& p = de.path();
+    if (p.extension() != kEntrySuffix) continue;  // skip temps, strangers
+    std::error_code fec;
+    const std::uint64_t sz = de.file_size(fec);
+    const auto mt = de.last_write_time(fec);
+    if (fec) continue;
+    files.push_back({p, sz, mt});
+    total += sz;
+  }
+  if (total <= maxBytes_) return;
+  std::sort(files.begin(), files.end(),
+            [](const EntryFile& a, const EntryFile& b) {
+              return a.mtime < b.mtime;
+            });
+  std::uint64_t evicted = 0;
+  for (const EntryFile& f : files) {
+    if (total <= maxBytes_) break;
+    std::error_code rec;
+    if (fs::remove(f.path, rec)) {
+      total -= f.size;
+      ++evicted;
+    }
+  }
+  if (evicted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.evictions += evicted;
+  }
+}
+
+DiskStoreStats DiskStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace fixfuse::support

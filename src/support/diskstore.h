@@ -1,0 +1,90 @@
+// Persistent on-disk blob store: the cross-process tier under the
+// in-memory ShardedLruCaches.
+//
+// A DiskStore maps a fingerprint key (vector of u64 words, same shape
+// as ir::Fingerprint) to a set of named blobs (e.g. the emitted C
+// source and the compiled shared object). It is deliberately dumber
+// than the in-memory tier - no single-flight, no negative caching -
+// because correctness never depends on it: a miss, a corrupt entry or
+// a racing writer all just mean "rebuild".
+//
+// Durability discipline:
+//  * Atomic writes: blobs are serialized to a process/sequence-unique
+//    temp file in the store directory and rename()d into place, so a
+//    reader never observes a half-written entry and concurrent writers
+//    of the same key leave one intact winner.
+//  * Versioned entries: every entry embeds the caller's version tag
+//    (schema + host-compiler identity for native modules). A tag
+//    mismatch is stale by definition - evicted loudly and rebuilt.
+//  * Full-key equality: the file name is only a hash; the entry embeds
+//    the complete key and load() compares every word. A hash collision
+//    is a miss, never a wrong artifact.
+//  * Corrupt/truncated entries (bad magic, short reads, checksum
+//    mismatch) are evicted loudly - one stderr warning naming the file
+//    and the reason - and treated as a miss so the artifact is rebuilt.
+//  * Bounded: after each store() the directory is trimmed to maxBytes
+//    by mtime (oldest entries first). Capacity eviction is silent;
+//    only damage and staleness warn.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fixfuse::support {
+
+/// Tallies of one DiskStore's traffic (process-local, not persisted).
+struct DiskStoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;     // absent entries and key-hash collisions
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;  // capacity trims (silent)
+  std::uint64_t corrupt = 0;    // damaged or stale entries evicted loudly
+};
+
+class DiskStore {
+ public:
+  using Key = std::vector<std::uint64_t>;
+  /// Named byte strings, e.g. {{"c", source}, {"so", elfBytes}}.
+  using Blobs = std::vector<std::pair<std::string, std::string>>;
+
+  /// `dir` is created on demand (recursively). `version` is embedded in
+  /// every entry and checked on load; bump it whenever the artifact
+  /// format or its producer (schema, compiler) changes.
+  DiskStore(std::string dir, std::uint64_t maxBytes, std::string version);
+
+  /// The stored blobs for `key`, or nullopt on miss. Damaged and stale
+  /// entries are unlinked (with one stderr warning) and report nullopt.
+  std::optional<Blobs> load(const Key& key);
+
+  /// Persist `blobs` under `key` (atomic replace), then trim the store
+  /// to maxBytes. A write failure warns and is otherwise ignored - the
+  /// disk tier must never fail a request.
+  void store(const Key& key, const Blobs& blobs);
+
+  /// Drop the entry for `key` if present (used when a loaded artifact
+  /// turns out unusable, e.g. dlopen of a persisted .so fails).
+  void remove(const Key& key);
+
+  DiskStoreStats stats() const;
+  const std::string& dir() const { return dir_; }
+  std::uint64_t maxBytes() const { return maxBytes_; }
+  const std::string& version() const { return version_; }
+
+  /// The entry file path `key` maps to (tests poke entries directly).
+  std::string entryPath(const Key& key) const;
+
+ private:
+  void trimToBound();
+
+  std::string dir_;
+  std::uint64_t maxBytes_;
+  std::string version_;
+  mutable std::mutex mu_;  // guards stats_ only; file ops are rename-atomic
+  DiskStoreStats stats_;
+};
+
+}  // namespace fixfuse::support

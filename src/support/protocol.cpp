@@ -1,0 +1,95 @@
+#include "support/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__has_include)
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define FIXFUSE_HAVE_UNISTD 1
+#endif
+#endif
+
+namespace fixfuse::support {
+
+#ifndef FIXFUSE_HAVE_UNISTD
+
+bool readFrame(int, std::string*, std::size_t) {
+  throw ProtocolError("frame transport unsupported on this platform");
+}
+void writeFrame(int, std::string_view, std::size_t) {
+  throw ProtocolError("frame transport unsupported on this platform");
+}
+
+#else
+
+namespace {
+
+/// Read exactly n bytes. Returns the count read before EOF (== n on
+/// success); throws on I/O errors. EINTR retries.
+std::size_t readFully(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return got;  // EOF
+    if (errno == EINTR) continue;
+    throw ProtocolError(std::string("read failed: ") + std::strerror(errno));
+  }
+  return got;
+}
+
+void writeFully(int fd, const char* buf, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t r = ::write(fd, buf + put, n - put);
+    if (r >= 0) {
+      put += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw ProtocolError(std::string("write failed: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+bool readFrame(int fd, std::string* payload, std::size_t maxBytes) {
+  unsigned char hdr[4];
+  const std::size_t got = readFully(fd, reinterpret_cast<char*>(hdr), 4);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < 4) throw ProtocolError("EOF inside frame header");
+  const std::size_t len = (static_cast<std::size_t>(hdr[0]) << 24) |
+                          (static_cast<std::size_t>(hdr[1]) << 16) |
+                          (static_cast<std::size_t>(hdr[2]) << 8) |
+                          static_cast<std::size_t>(hdr[3]);
+  if (len > maxBytes)
+    throw ProtocolError("frame of " + std::to_string(len) +
+                        " bytes exceeds the " + std::to_string(maxBytes) +
+                        "-byte ceiling");
+  payload->resize(len);
+  if (len && readFully(fd, payload->data(), len) < len)
+    throw ProtocolError("EOF inside frame payload");
+  return true;
+}
+
+void writeFrame(int fd, std::string_view payload, std::size_t maxBytes) {
+  if (payload.size() > maxBytes)
+    throw ProtocolError("refusing to send a " +
+                        std::to_string(payload.size()) + "-byte frame (max " +
+                        std::to_string(maxBytes) + ")");
+  const std::size_t len = payload.size();
+  const unsigned char hdr[4] = {static_cast<unsigned char>(len >> 24),
+                                static_cast<unsigned char>(len >> 16),
+                                static_cast<unsigned char>(len >> 8),
+                                static_cast<unsigned char>(len)};
+  writeFully(fd, reinterpret_cast<const char*>(hdr), 4);
+  if (len) writeFully(fd, payload.data(), len);
+}
+
+#endif  // FIXFUSE_HAVE_UNISTD
+
+}  // namespace fixfuse::support

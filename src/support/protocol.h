@@ -1,0 +1,42 @@
+// Length-prefixed frame transport for the compile server.
+//
+// One frame = a 4-byte big-endian payload length followed by the
+// payload bytes. Works over any byte-stream fd pair: an AF_UNIX
+// socket, a socketpair, or stdin/stdout (fixfuse-serve --stdio).
+// Reads retry on EINTR and loop over short reads/writes; a frame
+// announcing more than `maxBytes` is rejected before any allocation,
+// so a hostile or corrupted peer cannot make the server balloon.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "support/error.h"
+
+namespace fixfuse::support {
+
+/// Malformed framing or transport failure (short frame, oversized
+/// announcement, I/O error). Clean EOF between frames is NOT an error -
+/// readFrame reports it as false.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : Error("protocol: " + what) {}
+};
+
+/// Default per-frame ceiling: generous for any program text or emitted
+/// C this repo produces, small enough to bound a request's memory.
+constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/// Read exactly one frame from `fd` into *payload. Returns false on a
+/// clean EOF before the first header byte; throws ProtocolError on a
+/// torn header/payload, an oversized announcement, or a read error.
+bool readFrame(int fd, std::string* payload,
+               std::size_t maxBytes = kMaxFrameBytes);
+
+/// Write one frame. Throws ProtocolError on oversize or write error.
+void writeFrame(int fd, std::string_view payload,
+                std::size_t maxBytes = kMaxFrameBytes);
+
+}  // namespace fixfuse::support

@@ -1,0 +1,300 @@
+// The persistent module-cache tier: DiskStore durability discipline
+// (round-trip, corrupt/stale eviction, key-collision misses, capacity
+// trim) and ModuleCache's use of it (cross-instance warm start with
+// zero host-compiler runs, corrupt-entry rebuild, single compile under
+// concurrency). The cross-instance tests stand in for cross-process
+// ones: a second ModuleCache shares nothing in memory with the first,
+// exactly like a restarted daemon.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "codegen/module_cache.h"
+#include "codegen/native_module.h"
+#include "ir/expr.h"
+#include "ir/parse.h"
+#include "ir/stmt.h"
+#include "support/diskstore.h"
+
+namespace fixfuse {
+namespace {
+
+namespace fs = std::filesystem;
+
+#define SKIP_WITHOUT_HOST_COMPILER()                                   \
+  if (!codegen::hostCompilerAvailable())                               \
+  GTEST_SKIP() << "no usable host compiler ("                          \
+               << codegen::hostCompilerUnavailableReason() << ")"
+
+/// A fresh scratch directory per test, removed on destruction.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("fixfuse-dstest-" + tag + "-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+support::DiskStore::Blobs testBlobs() {
+  return {{"so", std::string(4096, '\x7f') + "ELF-ish payload"},
+          {"c", "int main(void) { return 0; }\n"}};
+}
+
+TEST(DiskStore, RoundTrip) {
+  ScratchDir dir("roundtrip");
+  support::DiskStore store(dir.str(), 1 << 20, "v1");
+  const support::DiskStore::Key key{1, 2, 3};
+  EXPECT_FALSE(store.load(key).has_value());
+  store.store(key, testBlobs());
+  const auto got = store.load(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, testBlobs());
+  const support::DiskStoreStats s = store.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.corrupt, 0u);
+}
+
+TEST(DiskStore, SurvivesReopen) {
+  ScratchDir dir("reopen");
+  const support::DiskStore::Key key{42, 43};
+  {
+    support::DiskStore store(dir.str(), 1 << 20, "v1");
+    store.store(key, testBlobs());
+  }
+  support::DiskStore fresh(dir.str(), 1 << 20, "v1");
+  const auto got = fresh.load(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, testBlobs());
+}
+
+TEST(DiskStore, CorruptEntryEvictedLoudlyAndRebuilt) {
+  ScratchDir dir("corrupt");
+  support::DiskStore store(dir.str(), 1 << 20, "v1");
+  const support::DiskStore::Key key{7};
+  store.store(key, testBlobs());
+  // Flip bytes in the middle of the entry: checksum must catch it.
+  {
+    std::fstream f(store.entryPath(key),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(200);
+    f.write("XXXX", 4);
+  }
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(store.load(key).has_value());
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("evicting"), std::string::npos) << err;
+  EXPECT_FALSE(fs::exists(store.entryPath(key)));  // unlinked, not retried
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  // The slot is reusable: a fresh store round-trips again.
+  store.store(key, testBlobs());
+  EXPECT_TRUE(store.load(key).has_value());
+}
+
+TEST(DiskStore, TruncatedEntryEvicted) {
+  ScratchDir dir("truncated");
+  support::DiskStore store(dir.str(), 1 << 20, "v1");
+  const support::DiskStore::Key key{9, 9, 9};
+  store.store(key, testBlobs());
+  fs::resize_file(store.entryPath(key), 64);
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(store.load(key).has_value());
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_FALSE(fs::exists(store.entryPath(key)));
+}
+
+TEST(DiskStore, VersionMismatchInvalidates) {
+  ScratchDir dir("version");
+  const support::DiskStore::Key key{1234};
+  {
+    support::DiskStore v1(dir.str(), 1 << 20, "compiler-A");
+    v1.store(key, testBlobs());
+  }
+  support::DiskStore v2(dir.str(), 1 << 20, "compiler-B");
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(v2.load(key).has_value());
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("evicting"), std::string::npos) << err;
+  EXPECT_EQ(v2.stats().corrupt, 1u);
+  // Stale entries are unlinked so the new producer's store sticks.
+  v2.store(key, testBlobs());
+  EXPECT_TRUE(v2.load(key).has_value());
+}
+
+TEST(DiskStore, KeyHashCollisionIsPlainMiss) {
+  ScratchDir dir("collision");
+  support::DiskStore store(dir.str(), 1 << 20, "v1");
+  const support::DiskStore::Key a{1};
+  const support::DiskStore::Key b{2};
+  store.store(a, testBlobs());
+  // Simulate a file-name hash collision: b's slot holds a's entry.
+  fs::rename(store.entryPath(a), store.entryPath(b));
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(store.load(b).has_value());
+  const std::string err = testing::internal::GetCapturedStderr();
+  // A collision is a silent miss - never a loud eviction, and never
+  // a served artifact for the wrong key.
+  EXPECT_EQ(err.find("evicting"), std::string::npos) << err;
+  EXPECT_EQ(store.stats().corrupt, 0u);
+  EXPECT_GE(store.stats().misses, 1u);
+}
+
+TEST(DiskStore, CapacityTrimEvictsOldestSilently) {
+  ScratchDir dir("capacity");
+  // Each entry is ~4.2 KB; a 16 KB bound keeps only the newest few.
+  support::DiskStore store(dir.str(), 16 << 10, "v1");
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    store.store({i}, testBlobs());
+    // Distinct mtimes so "oldest" is well defined on coarse clocks.
+    fs::last_write_time(store.entryPath({i}),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::seconds(100 - i));
+  }
+  store.store({99}, testBlobs());
+  std::uintmax_t total = 0;
+  std::size_t entries = 0;
+  for (const auto& de : fs::directory_iterator(dir.str()))
+    if (de.is_regular_file()) {
+      total += de.file_size();
+      ++entries;
+    }
+  EXPECT_LE(total, 16u << 10);
+  EXPECT_LT(entries, 9u);
+  EXPECT_GT(store.stats().evictions, 0u);
+  // The newest entry must have survived the trim.
+  EXPECT_TRUE(store.load({99}).has_value());
+}
+
+// --- ModuleCache over the disk tier ----------------------------------------
+
+ir::Program testProgram(double c) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "program(N) {\n  double A[(N + 4)];\n"
+                "  for i = 1 .. N {\n    A[i] = (A[i] + %g);\n  }\n}\n",
+                c);
+  return ir::parseProgram(buf);
+}
+
+TEST(ModuleCachePersistence, CrossInstanceWarmStartCompilesNothing) {
+  SKIP_WITHOUT_HOST_COMPILER();
+  ScratchDir dir("warmstart");
+  const ir::Program p = testProgram(0.5);
+  {
+    codegen::ModuleCache cold(8, dir.str(), 1 << 30);
+    cold.getOrCompile(p);
+    EXPECT_EQ(cold.diskStats().stores, 1u);
+  }
+  const std::uint64_t compiles = codegen::hostCompileCount();
+  codegen::ModuleCache warm(8, dir.str(), 1 << 30);  // a "restarted daemon"
+  auto mod = warm.getOrCompile(p);
+  ASSERT_NE(mod, nullptr);
+  EXPECT_EQ(codegen::hostCompileCount(), compiles)
+      << "warm start must not invoke the host compiler";
+  EXPECT_EQ(warm.diskStats().hits, 1u);
+  EXPECT_FALSE(mod->source().empty());  // the "c" blob came along
+}
+
+TEST(ModuleCachePersistence, CorruptEntryRebuiltLoudly) {
+  SKIP_WITHOUT_HOST_COMPILER();
+  ScratchDir dir("rebuild");
+  const ir::Program p = testProgram(0.25);
+  {
+    codegen::ModuleCache cold(8, dir.str(), 1 << 30);
+    cold.getOrCompile(p);
+  }
+  // Damage the single stored entry.
+  for (const auto& de : fs::directory_iterator(dir.str())) {
+    std::fstream f(de.path(), std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    f.write("CORRUPTCORRUPT", 14);
+  }
+  const std::uint64_t compiles = codegen::hostCompileCount();
+  codegen::ModuleCache warm(8, dir.str(), 1 << 30);
+  testing::internal::CaptureStderr();
+  auto mod = warm.getOrCompile(p);
+  const std::string err = testing::internal::GetCapturedStderr();
+  ASSERT_NE(mod, nullptr);
+  EXPECT_NE(err.find("evicting"), std::string::npos) << err;
+  EXPECT_EQ(codegen::hostCompileCount(), compiles + 1)
+      << "damaged entry must be rebuilt by a real compile";
+  EXPECT_EQ(warm.diskStats().corrupt, 1u);
+  // The rebuild re-persisted: a third instance warm-starts cleanly.
+  codegen::ModuleCache third(8, dir.str(), 1 << 30);
+  third.getOrCompile(p);
+  EXPECT_EQ(codegen::hostCompileCount(), compiles + 1);
+}
+
+TEST(ModuleCachePersistence, StaleCompilerIdInvalidates) {
+  SKIP_WITHOUT_HOST_COMPILER();
+  ScratchDir dir("staleid");
+  const ir::Program p = testProgram(0.125);
+  {
+    // An entry persisted by a "different compiler": same directory,
+    // fabricated version tag.
+    codegen::ModuleCache cold(8, dir.str(), 1 << 30);
+    cold.getOrCompile(p);
+  }
+  // Rewrite the entry under a fabricated version so the real
+  // moduleStoreVersion() mismatches.
+  std::string entry;
+  for (const auto& de : fs::directory_iterator(dir.str()))
+    entry = de.path().string();
+  ASSERT_FALSE(entry.empty());
+  {
+    support::DiskStore forger(dir.str(), 1 << 30, "ffmod-0 | other-cc 0.0");
+    // Write a syntactically valid entry with the wrong version at some
+    // key; then give it the real entry's file name.
+    forger.store({1}, testBlobs());
+    fs::remove(entry);
+    fs::rename(forger.entryPath({1}), entry);
+  }
+  const std::uint64_t compiles = codegen::hostCompileCount();
+  codegen::ModuleCache warm(8, dir.str(), 1 << 30);
+  testing::internal::CaptureStderr();
+  auto mod = warm.getOrCompile(p);
+  testing::internal::GetCapturedStderr();
+  ASSERT_NE(mod, nullptr);
+  EXPECT_EQ(codegen::hostCompileCount(), compiles + 1)
+      << "foreign-compiler entry must not be served";
+}
+
+TEST(ModuleCachePersistence, ConcurrentSameProgramCompilesOnce) {
+  SKIP_WITHOUT_HOST_COMPILER();
+  ScratchDir dir("concurrent");
+  codegen::ModuleCache cache(8, dir.str(), 1 << 30);
+  const ir::Program p = testProgram(0.75);
+  const std::uint64_t compiles = codegen::hostCompileCount();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i)
+    threads.emplace_back([&] {
+      if (!cache.getOrCompile(p)) failures.fetch_add(1);
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(codegen::hostCompileCount(), compiles + 1)
+      << "single-flight must hold through the disk tier";
+  EXPECT_EQ(cache.diskStats().stores, 1u);
+}
+
+}  // namespace
+}  // namespace fixfuse

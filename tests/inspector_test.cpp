@@ -308,7 +308,11 @@ engine::CompileOptions sparseCompileOptions(const InspectorBindings& b,
 }
 
 TEST(Engine, SparseChainCompilesThroughInspectorAndCachesOnIndexData) {
-  engine::Engine eng(8);
+  // Bound 32 = 16 shards x capacity 2: the two distinct entries this
+  // test creates can never evict each other even when the (per-process)
+  // fingerprint hash lands both in one shard. Bound 8 gave one-entry
+  // shards and a ~1/8 flake.
+  engine::Engine eng(32);
   poly::ParamContext ctx;
   ctx.addParam("N", 2, 100000);
   ctx.addParam("K", 1, 1024);

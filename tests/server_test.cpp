@@ -1,0 +1,295 @@
+// The compile server: wire format round-trips, malformed-frame
+// rejection, every verb through the protocol-independent Service, the
+// served digest against a locally computed reference, and the full
+// Server/Client daemon over an AF_UNIX socket (concurrent clients,
+// repeat-request cache hits, shutdown).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "engine/engine.h"
+#include "server/corpus.h"
+#include "server/server.h"
+#include "support/protocol.h"
+
+namespace fixfuse {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kProgram = R"(
+program(N) {
+  double A[(N + 4)];
+  double B[(N + 4)];
+  for k = 1 .. N {
+    for i = 1 .. N {
+      A[i] = (A[i] + (0.5 * B[i]));
+    }
+    for i = 1 .. N {
+      B[i] = (B[i] + A[min((i + 1), N)]);
+    }
+  }
+}
+)";
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+server::Request makeRun(std::int64_t n, std::uint64_t seed) {
+  server::Request req;
+  req.verb = "run";
+  req.headers["ctx"] = "N=4:100000";
+  req.headers["params"] = "N=" + std::to_string(n);
+  req.headers["seed"] = std::to_string(seed);
+  req.body = kProgram;
+  return req;
+}
+
+TEST(ServerProtocol, RequestRoundTrip) {
+  server::Request req;
+  req.verb = "run";
+  req.headers = {{"ctx", "N=4:100"}, {"params", "N=8"}, {"seed", "3"}};
+  req.body = "program(N) { }";
+  const server::Request back = server::Request::parse(req.serialize());
+  EXPECT_EQ(back.verb, req.verb);
+  EXPECT_EQ(back.headers, req.headers);
+  EXPECT_EQ(back.body, req.body);
+}
+
+TEST(ServerProtocol, ResponseRoundTrip) {
+  server::Response resp;
+  resp.ok = false;
+  resp.headers = {{"error", "parse"}};
+  resp.body = "line 3: unexpected token";
+  const server::Response back = server::Response::parse(resp.serialize());
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.header("error"), "parse");
+  EXPECT_EQ(back.body, resp.body);
+}
+
+TEST(ServerProtocol, MalformedFramesThrow) {
+  EXPECT_THROW(server::Request::parse(""), support::ProtocolError);
+  EXPECT_THROW(server::Request::parse("HTTP/1.1 GET /\n\n"),
+               support::ProtocolError);
+  EXPECT_THROW(server::Request::parse("fixfuse/1 \n\n"),
+               support::ProtocolError);
+  // Headers must terminate with a blank line.
+  EXPECT_THROW(server::Request::parse("fixfuse/1 ping\nk: v"),
+               support::ProtocolError);
+  // Header lines need a colon.
+  EXPECT_THROW(server::Request::parse("fixfuse/1 ping\nnocolon\n\n"),
+               support::ProtocolError);
+  EXPECT_THROW(server::Response::parse("fixfuse/1 maybe\n\n"),
+               support::ProtocolError);
+}
+
+TEST(ServerService, PingAndUnknownVerb) {
+  engine::Engine eng(16);
+  server::Service svc(eng);
+  server::Request ping;
+  ping.verb = "ping";
+  EXPECT_TRUE(svc.handle(ping).ok);
+
+  server::Request bogus;
+  bogus.verb = "frobnicate";
+  const server::Response resp = svc.handle(bogus);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.header("error"), "protocol");
+  EXPECT_EQ(svc.stats().errors, 1u);
+}
+
+TEST(ServerService, CompileMissThenHit) {
+  engine::Engine eng(16);
+  server::Service svc(eng);
+  server::Request req;
+  req.verb = "compile";
+  req.headers["ctx"] = "N=4:100000";
+  req.body = kProgram;
+  const server::Response first = svc.handle(req);
+  ASSERT_TRUE(first.ok) << first.body;
+  EXPECT_EQ(first.header("cache"), "miss");
+  EXPECT_FALSE(first.header("strategy").empty());
+  EXPECT_FALSE(first.header("signature").empty());
+  const server::Response second = svc.handle(req);
+  EXPECT_EQ(second.header("cache"), "hit");
+  EXPECT_EQ(second.header("signature"), first.header("signature"));
+  EXPECT_EQ(svc.stats().cacheHits, 1u);
+}
+
+TEST(ServerService, EmitCReturnsStandaloneKernel) {
+  engine::Engine eng(16);
+  server::Service svc(eng);
+  server::Request req;
+  req.verb = "emitc";
+  req.body = kProgram;
+  const server::Response resp = svc.handle(req);
+  ASSERT_TRUE(resp.ok) << resp.body;
+  EXPECT_NE(resp.body.find("ff_kernel"), std::string::npos);
+}
+
+TEST(ServerService, ErrorsAreClassified) {
+  engine::Engine eng(16);
+  server::Service svc(eng);
+
+  server::Request noBody;
+  noBody.verb = "compile";
+  EXPECT_EQ(svc.handle(noBody).header("error"), "protocol");
+
+  server::Request garbage;
+  garbage.verb = "compile";
+  garbage.body = "this is not a program";
+  EXPECT_EQ(svc.handle(garbage).header("error"), "parse");
+
+  server::Request badCtx;
+  badCtx.verb = "compile";
+  badCtx.headers["ctx"] = "Q=1:10";  // undeclared parameter
+  badCtx.body = kProgram;
+  EXPECT_EQ(svc.handle(badCtx).header("error"), "protocol");
+
+  server::Request badTile;
+  badTile.verb = "compile";
+  badTile.headers["tile"] = "8x";  // partial parse rejected
+  badTile.body = kProgram;
+  EXPECT_EQ(svc.handle(badTile).header("error"), "protocol");
+
+  server::Request unbound = makeRun(32, 1);
+  unbound.headers["params"] = "";  // run without a binding for N
+  EXPECT_EQ(svc.handle(unbound).header("error"), "protocol");
+
+  // A multi-top-loop program is planner-rejected, never mis-served.
+  server::Request multi;
+  multi.verb = "compile";
+  multi.body =
+      "program(N) {\n  double A[(N + 4)];\n"
+      "  for i = 1 .. N {\n    A[i] = (A[i] + 1.0);\n  }\n"
+      "  for i = 1 .. N {\n    A[i] = (A[i] * 0.5);\n  }\n}\n";
+  EXPECT_EQ(svc.handle(multi).header("error"), "unsupported");
+}
+
+TEST(ServerService, RunDigestMatchesLocalReference) {
+  engine::Engine eng(16);
+  server::Service svc(eng);
+  const server::Response resp = svc.handle(makeRun(32, 5));
+  ASSERT_TRUE(resp.ok) << resp.body;
+  EXPECT_FALSE(resp.header("digest").empty());
+  EXPECT_FALSE(resp.header("backend").empty());
+
+  // Recompute on a separate engine through the bytecode interpreter:
+  // the served digest must match bit-for-bit whatever backend served
+  // the request.
+  engine::Engine local(16);
+  poly::ParamContext ctx;
+  ctx.addParam("N", 4, 100000);
+  const engine::CompiledProgram cp = local.compileText(kProgram, ctx);
+  const interp::Machine m = cp.run(
+      {{"N", 32}},
+      [&cp](interp::Machine& mm) { server::seedInit(cp.tiled(), mm, 5); },
+      interp::Backend::Bytecode);
+  EXPECT_EQ(resp.header("digest"),
+            hex16(server::stateDigest(cp.tiled(), m)));
+
+  // Same request, same digest; different seed, different digest.
+  EXPECT_EQ(svc.handle(makeRun(32, 5)).header("digest"),
+            resp.header("digest"));
+  EXPECT_NE(svc.handle(makeRun(32, 6)).header("digest"),
+            resp.header("digest"));
+}
+
+TEST(ServerService, StatsHeadersAreShellAssertable) {
+  engine::Engine eng(16);
+  server::Service svc(eng);
+  svc.handle(makeRun(16, 1));
+  server::Request st;
+  st.verb = "stats";
+  const server::Response resp = svc.handle(st);
+  ASSERT_TRUE(resp.ok);
+  for (const char* key :
+       {"requests", "errors", "compiles", "cache_hits", "runs",
+        "runs_verified", "plan_hits", "plan_misses", "native_compiles",
+        "disk_enabled"})
+    EXPECT_FALSE(resp.header(key).empty()) << key;
+  EXPECT_EQ(resp.header("runs"), "1");
+  // The body is the engine's full JSON counter snapshot.
+  EXPECT_NE(resp.body.find("\"plan_cache\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"served\""), std::string::npos);
+}
+
+TEST(ServerDaemon, ServesConcurrentClientsAndShutsDown) {
+  const std::string socketPath =
+      (fs::temp_directory_path() /
+       ("fixfuse-servertest-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  engine::Engine eng(64);
+  server::Server srv(eng, {.socketPath = socketPath, .workers = 4});
+  try {
+    srv.start();
+  } catch (const support::ProtocolError& e) {
+    GTEST_SKIP() << "sockets unavailable: " << e.what();
+  }
+
+  // Concurrent clients all compile+run the same program; single-flight
+  // means one plan build, and every response must agree on the digest.
+  constexpr int kClients = 6;
+  std::vector<std::string> digests(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i)
+    threads.emplace_back([&, i] {
+      server::Client c(socketPath);
+      const server::Response resp = c.call(makeRun(24, 3));
+      if (resp.ok) digests[i] = resp.header("digest");
+    });
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_FALSE(digests[i].empty()) << "client " << i << " failed";
+    EXPECT_EQ(digests[i], digests[0]);
+  }
+
+  {
+    // One connection, many requests: the keep-alive path, with the
+    // second round served from the plan cache.
+    server::Client c(socketPath);
+    server::Request compile;
+    compile.verb = "compile";
+    compile.headers["ctx"] = "N=4:100000";
+    compile.body = kProgram;
+    EXPECT_EQ(c.call(compile).header("cache"), "hit");
+    server::Request st;
+    st.verb = "stats";
+    const server::Response stats = c.call(st);
+    EXPECT_EQ(stats.header("errors"), "0");
+    server::Request sd;
+    sd.verb = "shutdown";
+    EXPECT_TRUE(c.call(sd).ok);
+  }
+  srv.wait();  // returns because shutdown stopped the daemon
+
+  // The socket is gone: a fresh client cannot connect.
+  EXPECT_THROW(server::Client bad(socketPath), support::ProtocolError);
+}
+
+TEST(ServerCorpus, BuildsAndReplaysCleanly) {
+  const std::vector<server::CorpusEntry> corpus = server::buildCorpus(2, 2);
+  // 4 kernels x 2 variants + fuzz + synthetic, minus any rejects.
+  EXPECT_GE(corpus.size(), 8u);
+  engine::Engine eng(64);
+  server::Service svc(eng);
+  for (const server::CorpusEntry& e : corpus) {
+    EXPECT_TRUE(svc.handle(e.compileRequest()).ok) << e.name;
+    const server::Response run = svc.handle(e.runRequest());
+    EXPECT_TRUE(run.ok) << e.name << ": " << run.body;
+  }
+  EXPECT_EQ(svc.stats().errors, 0u);
+}
+
+}  // namespace
+}  // namespace fixfuse

@@ -1,0 +1,198 @@
+// fixfuse-serve: the fusion-as-a-service daemon and its replay client.
+//
+//   fixfuse-serve --socket PATH [--workers N]
+//       Run the compile server in the foreground. Prints one
+//       "listening on PATH" line when ready; SIGINT/SIGTERM (or a
+//       `shutdown` request) drain and exit. Set FIXFUSE_CACHE_DIR to
+//       give the daemon a persistent module cache that survives
+//       restarts.
+//
+//   fixfuse-serve --ping --socket PATH
+//       Exit 0 iff a daemon answers on PATH (readiness probe).
+//
+//   fixfuse-serve --replay --socket PATH [--fuzz N] [--synthetic N]
+//                 [--passes N] [--expect-warm] [--expect-no-compiles]
+//                 [--shutdown]
+//       Build the deterministic request corpus and replay it (compile +
+//       run per entry, every run verified bit-for-bit server-side).
+//       --expect-warm requires every request of the LAST pass to be a
+//       cache hit; --expect-no-compiles requires the daemon's
+//       native_compiles counter to be 0 afterwards (the warm-restart
+//       property: the disk tier served every module). Violations and
+//       request errors exit nonzero.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/corpus.h"
+#include "server/server.h"
+
+namespace {
+
+fixfuse::server::Server* gServer = nullptr;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--workers N]\n"
+               "       %s --ping --socket PATH\n"
+               "       %s --replay --socket PATH [--fuzz N] [--synthetic N]\n"
+               "          [--passes N] [--expect-warm] [--expect-no-compiles]"
+               " [--shutdown]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+int runDaemon(const std::string& socketPath, unsigned workers) {
+  using namespace fixfuse;
+  server::Server srv(engine::processEngine(),
+                     {.socketPath = socketPath, .workers = workers});
+  srv.start();
+  gServer = &srv;
+  // SIGINT/SIGTERM stop the server exactly like a `shutdown` request;
+  // the handler only forwards to stop() via a detached thread spawned
+  // here so the signal context itself stays minimal.
+  std::signal(SIGINT, [](int) {
+    std::thread([] { if (gServer) gServer->stop(); }).detach();
+  });
+  std::signal(SIGTERM, [](int) {
+    std::thread([] { if (gServer) gServer->stop(); }).detach();
+  });
+  std::printf("listening on %s\n", socketPath.c_str());
+  std::fflush(stdout);
+  srv.wait();
+  gServer = nullptr;
+  std::printf("server stopped\n");
+  return 0;
+}
+
+int runPing(const std::string& socketPath) {
+  using namespace fixfuse;
+  try {
+    server::Client c(socketPath);
+    server::Request req;
+    req.verb = "ping";
+    const server::Response resp = c.call(req);
+    return resp.ok && resp.header("pong") == "1" ? 0 : 1;
+  } catch (const Error&) {
+    return 1;
+  }
+}
+
+int runReplay(const std::string& socketPath, std::size_t fuzz,
+              std::size_t synthetic, int passes, bool expectWarm,
+              bool expectNoCompiles, bool sendShutdown) {
+  using namespace fixfuse;
+  const std::vector<server::CorpusEntry> corpus =
+      server::buildCorpus(fuzz, synthetic);
+  std::printf("corpus: %zu entries\n", corpus.size());
+  if (corpus.empty()) {
+    std::fprintf(stderr, "error: empty corpus\n");
+    return 1;
+  }
+
+  bool failed = false;
+  server::ReplayResult last;
+  for (int pass = 0; pass < passes; ++pass) {
+    server::Client c(socketPath);
+    last = server::replayCorpus(c, corpus);
+    std::printf(
+        "pass %d: %zu requests, %zu errors, %zu cache hits, %zu runs "
+        "(%zu verified, %zu on bytecode)\n",
+        pass, last.requests, last.errors, last.cacheHits, last.runs,
+        last.runsVerified, last.bytecodeRuns);
+    if (last.errors) {
+      std::fprintf(stderr, "error: first failure: %s\n",
+                   last.firstError.c_str());
+      failed = true;
+    }
+  }
+  if (expectWarm && last.cacheHits != last.requests) {
+    std::fprintf(stderr,
+                 "error: --expect-warm: %zu/%zu requests hit the cache\n",
+                 last.cacheHits, last.requests);
+    failed = true;
+  }
+  if (last.runsVerified + last.bytecodeRuns < last.runs) {
+    // Native runs are verified per-run; bytecode fallbacks ARE the
+    // reference. Anything else means verification was skipped.
+    std::fprintf(stderr, "error: %zu runs, only %zu verified\n", last.runs,
+                 last.runsVerified);
+    failed = true;
+  }
+
+  server::Client c(socketPath);
+  server::Request st;
+  st.verb = "stats";
+  const server::Response stats = c.call(st);
+  std::printf("server: requests=%s compiles=%s cache_hits=%s "
+              "native_compiles=%s disk_enabled=%s disk_hits=%s\n",
+              stats.header("requests").c_str(),
+              stats.header("compiles").c_str(),
+              stats.header("cache_hits").c_str(),
+              stats.header("native_compiles").c_str(),
+              stats.header("disk_enabled").c_str(),
+              stats.header("disk_hits").c_str());
+  if (expectNoCompiles && stats.header("native_compiles") != "0") {
+    std::fprintf(stderr,
+                 "error: --expect-no-compiles: server ran the host compiler "
+                 "%s time(s)\n",
+                 stats.header("native_compiles").c_str());
+    failed = true;
+  }
+  if (sendShutdown) {
+    server::Request sd;
+    sd.verb = "shutdown";
+    c.call(sd);
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socketPath;
+  unsigned workers = 0;
+  bool ping = false, replay = false, expectWarm = false,
+       expectNoCompiles = false, sendShutdown = false;
+  std::size_t fuzz = 8, synthetic = 4;
+  int passes = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") socketPath = next();
+    else if (a == "--workers") workers = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "--fuzz") fuzz = static_cast<std::size_t>(std::atoi(next()));
+    else if (a == "--synthetic")
+      synthetic = static_cast<std::size_t>(std::atoi(next()));
+    else if (a == "--passes") passes = std::atoi(next());
+    else if (a == "--ping") ping = true;
+    else if (a == "--replay") replay = true;
+    else if (a == "--expect-warm") expectWarm = true;
+    else if (a == "--expect-no-compiles") expectNoCompiles = true;
+    else if (a == "--shutdown") sendShutdown = true;
+    else return usage(argv[0]);
+  }
+  if (socketPath.empty() || passes < 1) return usage(argv[0]);
+
+  try {
+    if (ping) return runPing(socketPath);
+    if (replay)
+      return runReplay(socketPath, fuzz, synthetic, passes, expectWarm,
+                       expectNoCompiles, sendShutdown);
+    return runDaemon(socketPath, workers);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
